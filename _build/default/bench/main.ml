@@ -1,0 +1,238 @@
+(* Benchmark harness.
+
+   Two kinds of content, as DESIGN.md's per-experiment index specifies:
+
+   1. Reproductions — regenerate every table of the paper's evaluation
+      (Table 1: HLI sizes; Table 2: dependence-query counts, reductions
+      and machine speedups), plus the ablations DESIGN.md calls out
+      (class-merging aggressiveness, the R10000 LSQ blocking rule, and
+      the HLI-vs-no-HLI behaviour of the CSE/LICM passes).
+
+   2. Microbenchmarks — one Bechamel Test.make per pipeline stage that
+      feeds those tables (front-end analysis + TBLCONST, serialization,
+      HLI queries, DDG construction + scheduling, and both timing
+      simulators), so component costs are tracked like any other
+      performance artifact.
+
+   Run with: dune exec bench/main.exe            (everything)
+             dune exec bench/main.exe -- tables  (reproductions only)
+             dune exec bench/main.exe -- micro   (microbenchmarks only) *)
+
+let fuel = 100_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Table reproductions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let reproduce_tables () =
+  let rows =
+    List.map
+      (fun w ->
+        Fmt.epr "running %s...@." w.Workloads.Workload.name;
+        Harness.Tables.run_workload ~fuel w)
+      Workloads.Registry.all
+  in
+  print_string (Harness.Tables.print_tables rows)
+
+(* Ablation 1 (DESIGN.md §5, item 1/2): turn off per-space merging when
+   propagating classes to parent regions — bigger HLI, finer classes. *)
+let ablation_merging () =
+  print_endline "\n== Ablation: class merging at region boundaries ==";
+  Printf.printf "%-14s %12s %12s %10s %10s\n" "Benchmark" "HLI(B) merge"
+    "HLI(B) keep" "red% merge" "red% keep";
+  let red (s : Backend.Ddg.stats) =
+    if s.Backend.Ddg.gcc_yes = 0 then 0.0
+    else
+      100.0
+      *. float_of_int (s.Backend.Ddg.gcc_yes - s.Backend.Ddg.combined_yes)
+      /. float_of_int s.Backend.Ddg.gcc_yes
+  in
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.Registry.find name) in
+      let src = w.Workloads.Workload.source in
+      let c1 = Harness.Pipeline.compile src in
+      let c2 =
+        Harness.Pipeline.compile
+          ~opts:{ Hligen.Tblconst.merge_parent_classes = false }
+          src
+      in
+      Printf.printf "%-14s %12d %12d %9.0f%% %9.0f%%\n" name
+        c1.Harness.Pipeline.hli_bytes c2.Harness.Pipeline.hli_bytes
+        (red c1.Harness.Pipeline.stats)
+        (red c2.Harness.Pipeline.stats))
+    [ "101.tomcatv"; "102.swim"; "034.mdljdp2"; "129.compress" ]
+
+(* Ablation 2 (DESIGN.md §5, item 4): disable the R10000 LSQ blocking
+   rule; the HLI speedup on the OoO machine should collapse toward the
+   in-order line. *)
+let ablation_lsq () =
+  print_endline "\n== Ablation: R10000 LSQ load-blocking rule ==";
+  Printf.printf "%-14s %14s %14s\n" "Benchmark" "speedup w/LSQ" "speedup no-LSQ";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.Registry.find name) in
+      let c = Harness.Pipeline.compile w.Workloads.Workload.source in
+      let cycles ~lsq prog =
+        let m = Machine.Ooo.make () in
+        let m =
+          if lsq then m
+          else
+            {
+              m with
+              Machine.Ooo.md =
+                { m.Machine.Ooo.md with Backend.Machdesc.lsq_blocking = false };
+            }
+        in
+        ignore (Machine.Exec.run ~fuel ~hook:(Machine.Ooo.hook m) prog);
+        float_of_int (Machine.Ooo.cycles m)
+      in
+      let sp ~lsq =
+        cycles ~lsq c.Harness.Pipeline.rtl_gcc_r10000
+        /. cycles ~lsq c.Harness.Pipeline.rtl_hli_r10000
+      in
+      Printf.printf "%-14s %14.3f %14.3f\n" name (sp ~lsq:true) (sp ~lsq:false))
+    [ "034.mdljdp2"; "077.mdljsp2"; "102.swim" ]
+
+(* Ablation 3: the CSE and LICM passes with and without HLI (Figure 4
+   and the loop-invariant-removal discussion of Section 3.2.2). *)
+let ablation_passes () =
+  print_endline "\n== Ablation: optimization passes with and without HLI ==";
+  Printf.printf "%-14s %18s %18s\n" "Benchmark" "CSE loads (-/+)" "LICM loads (-/+)";
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.Registry.find name) in
+      let prog = Srclang.Typecheck.program_of_string w.Workloads.Workload.source in
+      let entries = Harness.Pipeline.build_hli_entries prog in
+      let variant use_hli =
+        let rtl = Backend.Lower.lower_program prog in
+        let cse_total = ref 0 and licm_total = ref 0 in
+        List.iter
+          (fun fn ->
+            let entry =
+              List.find
+                (fun (e : Hli_core.Tables.hli_entry) ->
+                  e.Hli_core.Tables.unit_name = fn.Backend.Rtl.fname)
+                entries
+            in
+            let m = Backend.Hli_import.map_unit entry fn in
+            let hli = if use_hli then Some m else None in
+            let s1 = Backend.Cse.run_fn ?hli fn in
+            cse_total := !cse_total + s1.Backend.Cse.loads_eliminated;
+            let s2 = Backend.Licm.run_fn ?hli fn in
+            licm_total := !licm_total + s2.Backend.Licm.hoisted_loads)
+          rtl.Backend.Rtl.fns;
+        (!cse_total, !licm_total)
+      in
+      let c1, l1 = variant false in
+      let c2, l2 = variant true in
+      Printf.printf "%-14s %11d/%-6d %11d/%-6d\n" name c1 c2 l1 l2)
+    [ "015.doduc"; "101.tomcatv"; "052.alvinn" ]
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let w = Option.get (Workloads.Registry.find "101.tomcatv") in
+  let src = w.Workloads.Workload.source in
+  let prog = Srclang.Typecheck.program_of_string src in
+  let entries = Harness.Pipeline.build_hli_entries prog in
+  let hli = { Hli_core.Tables.entries } in
+  let bytes = Hli_core.Serialize.to_bytes hli in
+  let rtl0 = Backend.Lower.lower_program prog in
+  let fn = List.hd rtl0.Backend.Rtl.fns in
+  let entry =
+    List.find
+      (fun (e : Hli_core.Tables.hli_entry) ->
+        e.Hli_core.Tables.unit_name = fn.Backend.Rtl.fname)
+      entries
+  in
+  let map = Backend.Hli_import.map_unit entry fn in
+  let idx = map.Backend.Hli_import.index in
+  let item_arr = Array.of_list (Hli_core.Tables.all_items entry) in
+  let small_src =
+    {|
+double a[64];
+int main()
+{
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 1; i < 64; i++)
+  {
+    a[i] = a[i] + a[i-1];
+    s = s + a[i];
+  }
+  print_double(s);
+  return 0;
+}
+|}
+  in
+  let small = Harness.Pipeline.compile small_src in
+  let tests =
+    [
+      Test.make ~name:"frontend:parse+typecheck"
+        (Staged.stage (fun () -> ignore (Srclang.Typecheck.program_of_string src)));
+      Test.make ~name:"frontend:tblconst"
+        (Staged.stage (fun () -> ignore (Hligen.Tblconst.build_program prog)));
+      Test.make ~name:"hli:serialize"
+        (Staged.stage (fun () -> ignore (Hli_core.Serialize.to_bytes hli)));
+      Test.make ~name:"hli:deserialize"
+        (Staged.stage (fun () -> ignore (Hli_core.Serialize.of_bytes bytes)));
+      Test.make ~name:"backend:lower"
+        (Staged.stage (fun () -> ignore (Backend.Lower.lower_program prog)));
+      Test.make ~name:"hli:query-equiv-acc-x200"
+        (Staged.stage (fun () ->
+             let n = Array.length item_arr in
+             for k = 0 to 199 do
+               let a = item_arr.(k mod n) and b = item_arr.((k * 7 + 3) mod n) in
+               ignore (Hli_core.Query.get_equiv_acc idx a b)
+             done));
+      Test.make ~name:"backend:ddg+schedule"
+        (Staged.stage (fun () ->
+             let rtl = Backend.Lower.lower_program prog in
+             ignore
+               (Backend.Sched.schedule_program ~mode:Backend.Ddg.Gcc_only
+                  ~hli_of_fn:(fun _ -> None) ~md:Backend.Machdesc.r10000 rtl)));
+      Test.make ~name:"machine:r4600-sim-small"
+        (Staged.stage (fun () ->
+             ignore
+               (Machine.Simulate.run Machine.Simulate.R4600
+                  small.Harness.Pipeline.rtl_gcc_r4600)));
+      Test.make ~name:"machine:r10000-sim-small"
+        (Staged.stage (fun () ->
+             ignore
+               (Machine.Simulate.run Machine.Simulate.R10000
+                  small.Harness.Pipeline.rtl_gcc_r10000)));
+    ]
+  in
+  print_endline "\n== Microbenchmarks (ns per run, OLS on monotonic clock) ==";
+  List.iter
+    (fun t ->
+      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:60 ~quota:(Time.second 0.4) () in
+      let raw = Benchmark.all cfg instances t in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name res ->
+          match Analyze.OLS.estimates res with
+          | Some [ est ] -> Printf.printf "%-34s %14.1f\n" name est
+          | Some _ | None -> Printf.printf "%-34s (no estimate)\n" name)
+        ols)
+    tests
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if mode = "tables" || mode = "all" then begin
+    reproduce_tables ();
+    ablation_merging ();
+    ablation_lsq ();
+    ablation_passes ()
+  end;
+  if mode = "micro" || mode = "all" then micro ()

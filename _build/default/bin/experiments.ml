@@ -1,0 +1,36 @@
+(* experiments — regenerate the paper's Table 1 and Table 2 over all
+   fourteen workloads, plus the DESIGN.md ablations. *)
+
+open Cmdliner
+
+let run_tables only quick =
+  let wls =
+    match only with
+    | [] -> Workloads.Registry.all
+    | names ->
+        List.filter
+          (fun w -> List.mem w.Workloads.Workload.name names)
+          Workloads.Registry.all
+  in
+  let fuel = if quick then 20_000_000 else 400_000_000 in
+  let rows =
+    List.map
+      (fun w ->
+        Fmt.epr "running %s...@." w.Workloads.Workload.name;
+        Harness.Tables.run_workload ~fuel w)
+      wls
+  in
+  print_string (Harness.Tables.print_tables rows);
+  0
+
+let only_arg =
+  Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME" ~doc:"run only this workload (repeatable)")
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"cap simulation fuel for a fast pass")
+
+let cmd =
+  let doc = "reproduce the paper's Tables 1 and 2" in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run_tables $ only_arg $ quick_flag)
+
+let () = exit (Cmd.eval' cmd)

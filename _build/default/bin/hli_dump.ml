@@ -1,0 +1,40 @@
+(* hli_dump — inspect a serialized HLI file.
+
+   Prints the line table and region tables of every program unit, and
+   verifies the binary round-trip. *)
+
+open Cmdliner
+
+let run path verify =
+  try
+    let f = Hli_core.Serialize.read_file path in
+    print_string (Hli_core.Serialize.to_text f);
+    if verify then begin
+      let bytes = Hli_core.Serialize.to_bytes f in
+      let f2 = Hli_core.Serialize.of_bytes bytes in
+      if f = f2 then Fmt.pr "round-trip: OK (%d bytes)@." (String.length bytes)
+      else begin
+        Fmt.epr "round-trip: MISMATCH@.";
+        exit 2
+      end
+    end;
+    0
+  with
+  | Hli_core.Serialize.Corrupt msg ->
+      Fmt.epr "corrupt HLI file: %s@." msg;
+      1
+  | Sys_error msg ->
+      Fmt.epr "error: %s@." msg;
+      1
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"HLI file")
+
+let verify_flag =
+  Arg.(value & flag & info [ "verify" ] ~doc:"check binary round-trip")
+
+let cmd =
+  let doc = "dump a High-Level Information file" in
+  Cmd.v (Cmd.info "hli_dump" ~doc) Term.(const run $ path_arg $ verify_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,94 @@
+(* hlic — the full compiler driver.
+
+   Compiles a mini-C source file through the whole pipeline: front-end
+   analysis, HLI generation, GCC-like lowering, HLI import, optional
+   CSE/LICM/unrolling, basic-block scheduling, and (optionally)
+   execution on one of the simulated machines. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_hlic src_path use_hli machine run emit_hli dump_rtl cse licm unroll =
+  try
+    let src = read_file src_path in
+    let passes =
+      {
+        Harness.Pipeline.p_cse = cse;
+        p_licm = licm;
+        p_unroll = (if unroll >= 2 then Some unroll else None);
+      }
+    in
+    let c = Harness.Pipeline.compile ~passes src in
+    (match emit_hli with
+    | Some out ->
+        Hli_core.Serialize.write_file out c.Harness.Pipeline.hli;
+        Fmt.pr "wrote %s (%d bytes)@." out c.Harness.Pipeline.hli_bytes
+    | None -> ());
+    let md_is_4600 = machine = "r4600" in
+    let rtl =
+      match (use_hli, md_is_4600) with
+      | true, true -> c.Harness.Pipeline.rtl_hli_r4600
+      | true, false -> c.Harness.Pipeline.rtl_hli_r10000
+      | false, true -> c.Harness.Pipeline.rtl_gcc_r4600
+      | false, false -> c.Harness.Pipeline.rtl_gcc_r10000
+    in
+    if dump_rtl then
+      List.iter (fun fn -> Fmt.pr "%a@." Backend.Rtl.pp_fn fn) rtl.Backend.Rtl.fns;
+    let s = c.Harness.Pipeline.stats in
+    Fmt.pr "dependence queries: total=%d gcc_yes=%d hli_yes=%d combined_yes=%d@."
+      s.Backend.Ddg.total s.Backend.Ddg.gcc_yes s.Backend.Ddg.hli_yes
+      s.Backend.Ddg.combined_yes;
+    if run then begin
+      let m = if md_is_4600 then Machine.Simulate.R4600 else Machine.Simulate.R10000 in
+      let r = Machine.Simulate.run m rtl in
+      Fmt.pr "%s" r.Machine.Simulate.output;
+      Fmt.pr "[%s] %d cycles, %d instructions, L1 %d/%d hits/misses@."
+        (Machine.Simulate.machine_name m)
+        r.Machine.Simulate.cycles r.Machine.Simulate.dyn_insns
+        r.Machine.Simulate.l1_hits r.Machine.Simulate.l1_misses
+    end;
+    0
+  with
+  | Harness.Pipeline.Compile_error msg ->
+      Fmt.epr "error: %s@." msg;
+      1
+  | Sys_error msg ->
+      Fmt.epr "error: %s@." msg;
+      1
+
+let src_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C source file")
+
+let hli_flag =
+  Arg.(value & opt bool true & info [ "use-hli" ] ~doc:"use HLI in the scheduler (default true)")
+
+let machine_arg =
+  Arg.(value & opt (enum [ ("r4600", "r4600"); ("r10000", "r10000") ]) "r10000"
+       & info [ "machine" ] ~doc:"target machine model")
+
+let run_flag = Arg.(value & flag & info [ "run" ] ~doc:"execute on the simulator")
+
+let emit_arg =
+  Arg.(value & opt (some string) None & info [ "emit-hli" ] ~docv:"OUT" ~doc:"write the HLI file")
+
+let dump_flag = Arg.(value & flag & info [ "dump-rtl" ] ~doc:"print the scheduled RTL")
+
+let cse_flag = Arg.(value & flag & info [ "cse" ] ~doc:"run local CSE")
+let licm_flag = Arg.(value & flag & info [ "licm" ] ~doc:"run loop-invariant code motion")
+
+let unroll_arg =
+  Arg.(value & opt int 0 & info [ "unroll" ] ~docv:"K" ~doc:"unroll eligible loops by K")
+
+let cmd =
+  let doc = "compile mini-C with High-Level Information support" in
+  Cmd.v (Cmd.info "hlic" ~doc)
+    Term.(
+      const run_hlic $ src_arg $ hli_flag $ machine_arg $ run_flag $ emit_arg
+      $ dump_flag $ cse_flag $ licm_flag $ unroll_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/interprocedural_cse.ml: Backend Fmt Harness Hli_core List Machine Srclang

@@ -1,0 +1,1 @@
+examples/interprocedural_cse.mli:

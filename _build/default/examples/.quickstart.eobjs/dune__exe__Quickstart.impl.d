@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backend Fmt Harness Machine

@@ -1,0 +1,1 @@
+examples/region_explorer.ml: Fmt Frontir Hli_core Hligen List Srclang

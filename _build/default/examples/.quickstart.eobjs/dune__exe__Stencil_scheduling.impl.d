@@ -1,0 +1,1 @@
+examples/stencil_scheduling.ml: Backend Fmt Harness Machine Option Workloads

@@ -1,0 +1,1 @@
+examples/unroll_maintenance.ml: Backend Fmt Harness Hli_core List Machine Option Srclang

@@ -1,0 +1,1 @@
+examples/unroll_maintenance.mli:

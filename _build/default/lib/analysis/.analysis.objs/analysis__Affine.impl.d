@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Ast Fmt List Option Srclang Symbol Tast Types

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Hashtbl List Option Srclang Tast

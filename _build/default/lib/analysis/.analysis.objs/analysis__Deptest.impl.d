@@ -1,0 +1,1 @@
+lib/analysis/deptest.ml: Affine Fmt Frontir List Srclang Symbol

@@ -1,0 +1,1 @@
+lib/analysis/pointsto.ml: Fmt Hashtbl List Option Srclang Symbol Tast Types

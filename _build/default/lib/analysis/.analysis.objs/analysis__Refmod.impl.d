@@ -1,0 +1,1 @@
+lib/analysis/refmod.ml: Builtins Callgraph Frontir Hashtbl List Pointsto Srclang Symbol Tast

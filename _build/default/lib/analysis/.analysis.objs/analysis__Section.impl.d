@@ -1,0 +1,1 @@
+lib/analysis/section.ml: Affine Fmt List

@@ -1,0 +1,62 @@
+(** Call graph over user-defined functions. *)
+
+open Srclang
+
+type t = {
+  callees : (string, string list) Hashtbl.t;
+      (** user functions called by each function (deduplicated) *)
+  builtin_calls : (string, string list) Hashtbl.t;
+      (** builtin functions called by each function *)
+  callers : (string, string list) Hashtbl.t;
+}
+
+let calls_in_func (f : Tast.func) : string list =
+  Tast.fold_exprs
+    (fun acc e ->
+      match e.Tast.desc with Tast.Call (name, _) -> name :: acc | _ -> acc)
+    [] f.Tast.body
+  |> List.rev
+
+let dedup l = List.sort_uniq compare l
+
+let build (prog : Tast.program) : t =
+  let callees = Hashtbl.create 16
+  and builtin_calls = Hashtbl.create 16
+  and callers = Hashtbl.create 16 in
+  let is_user name = Option.is_some (Tast.find_func prog name) in
+  List.iter
+    (fun (f : Tast.func) ->
+      let all = calls_in_func f in
+      let user, builtin = List.partition is_user all in
+      Hashtbl.replace callees f.Tast.name (dedup user);
+      Hashtbl.replace builtin_calls f.Tast.name (dedup builtin);
+      List.iter
+        (fun callee ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt callers callee) in
+          if not (List.mem f.Tast.name prev) then
+            Hashtbl.replace callers callee (f.Tast.name :: prev))
+        (dedup user))
+    prog.Tast.funcs;
+  { callees; builtin_calls; callers }
+
+let callees t name = Option.value ~default:[] (Hashtbl.find_opt t.callees name)
+let callers t name = Option.value ~default:[] (Hashtbl.find_opt t.callers name)
+
+let builtins_called t name =
+  Option.value ~default:[] (Hashtbl.find_opt t.builtin_calls name)
+
+(** Is [callee] reachable from [caller] through user calls (including
+    transitively)?  Used to detect recursion. *)
+let reaches t ~from ~target =
+  let seen = Hashtbl.create 16 in
+  let rec go name =
+    if Hashtbl.mem seen name then false
+    else begin
+      Hashtbl.replace seen name ();
+      let cs = callees t name in
+      List.mem target cs || List.exists go cs
+    end
+  in
+  go from
+
+let is_recursive t name = reaches t ~from:name ~target:name

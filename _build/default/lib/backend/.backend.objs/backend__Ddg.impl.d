@@ -1,0 +1,1 @@
+lib/backend/ddg.ml: Array Gcc_alias Hashtbl Hli_import List Machdesc Option Rtl

@@ -1,0 +1,1 @@
+lib/backend/gcc_alias.ml: Rtl Srclang

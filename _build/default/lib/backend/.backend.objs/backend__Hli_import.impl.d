@@ -1,0 +1,1 @@
+lib/backend/hli_import.ml: Array Hashtbl Hli_core List Rtl

@@ -1,0 +1,1 @@
+lib/backend/licm.ml: Array Gcc_alias Hashtbl Hli_core Hli_import List Option Rtl

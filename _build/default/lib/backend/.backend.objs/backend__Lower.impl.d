@@ -1,0 +1,1 @@
+lib/backend/lower.ml: Array Ast Frontir Hashtbl List Loc Option Rtl Srclang Symbol Tast Types

@@ -1,0 +1,1 @@
+lib/backend/machdesc.ml: Rtl

@@ -1,0 +1,1 @@
+lib/backend/rtl.ml: Array Fmt List Srclang Symbol Tast

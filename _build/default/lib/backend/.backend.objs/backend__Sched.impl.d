@@ -1,0 +1,1 @@
+lib/backend/sched.ml: Array Ddg Fun List Machdesc Rtl

@@ -1,0 +1,1 @@
+lib/backend/unroll.ml: Array Hashtbl Hli_core List Option Rtl

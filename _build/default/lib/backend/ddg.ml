@@ -1,0 +1,165 @@
+(** Data dependence graph construction for basic-block scheduling, with
+    the paper's query counting (Table 2).
+
+    For every pair of memory references in a block where at least one is
+    a write, the builder asks {b both} analyzers — GCC's local
+    [true_dependence] and the HLI equivalent-access query — and combines
+    them exactly as Figure 5 does:
+    [final = flag_use_hli ? gcc_value && hli_value : gcc_value].
+    The three "yes" counters correspond to Table 2's {e GCC result},
+    {e HLI result} and {e Combined result} columns. *)
+
+open Rtl
+
+(** Which analyzer drives edge insertion. *)
+type mode = Gcc_only | With_hli
+
+type stats = {
+  mutable total : int;  (** dependence queries issued *)
+  mutable gcc_yes : int;
+  mutable hli_yes : int;
+  mutable combined_yes : int;
+}
+
+let fresh_stats () = { total = 0; gcc_yes = 0; hli_yes = 0; combined_yes = 0 }
+
+let add_stats a b =
+  a.total <- a.total + b.total;
+  a.gcc_yes <- a.gcc_yes + b.gcc_yes;
+  a.hli_yes <- a.hli_yes + b.hli_yes;
+  a.combined_yes <- a.combined_yes + b.combined_yes
+
+type edge = { e_src : int; e_dst : int; e_lat : int }
+(** indices into the block's instruction array *)
+
+type graph = {
+  insns : insn array;
+  preds : (int * int) list array;  (** (pred index, latency) per node *)
+  succs : (int * int) list array;
+}
+
+(* Memory-vs-memory dependence decision, with counting. *)
+let mem_pair_dependent ~mode ~(hli : Hli_import.t option) ~stats (a : insn)
+    (b : insn) : bool =
+  match (mem_of_insn a, mem_of_insn b) with
+  | Some ma, Some mb ->
+      let counted = is_store a || is_store b in
+      let gcc_value = Gcc_alias.true_dependence ma mb in
+      if counted then begin
+        stats.total <- stats.total + 1;
+        if gcc_value then stats.gcc_yes <- stats.gcc_yes + 1
+      end;
+      (match (mode, hli) with
+      | Gcc_only, _ | _, None ->
+          if counted then begin
+            (* still record what the HLI would have said, so Table 2's
+               HLI column is measured on the same query stream *)
+            match hli with
+            | Some h ->
+                let hli_value = not (Hli_import.proves_independent h a b) in
+                if hli_value then stats.hli_yes <- stats.hli_yes + 1;
+                if gcc_value && hli_value then
+                  stats.combined_yes <- stats.combined_yes + 1
+            | None -> ()
+          end;
+          gcc_value
+      | With_hli, Some h ->
+          let hli_value = not (Hli_import.proves_independent h a b) in
+          if counted then begin
+            if hli_value then stats.hli_yes <- stats.hli_yes + 1;
+            if gcc_value && hli_value then
+              stats.combined_yes <- stats.combined_yes + 1
+          end;
+          gcc_value && hli_value)
+  | _ -> false
+
+(* Call-vs-memory decision (not counted in Table 2's query stream, which
+   the paper restricts to memory disambiguation). *)
+let call_mem_dependent ~mode ~hli (call : insn) (mem : insn) : bool =
+  let linkage =
+    (* Argument-passing slots feed (and are consumed by) calls: they can
+       never move across one, regardless of what the HLI says about
+       user-visible memory. *)
+    match mem_of_insn mem with
+    | Some { mbase = Bargout | Bargin; _ } -> true
+    | _ -> false
+  in
+  if linkage then true
+  else
+    match (mode, hli) with
+    | Gcc_only, _ | _, None -> true (* GCC fences all memory at calls *)
+    | With_hli, Some h -> Hli_import.call_conflicts h ~call ~mem
+
+(** Build the DDG of one block.  [stats] accumulates query counts across
+    blocks. *)
+let build ~mode ~(hli : Hli_import.t option) ~(md : Machdesc.t) ~stats
+    (block_insns : insn list) : graph =
+  let insns = Array.of_list block_insns in
+  let n = Array.length insns in
+  let preds = Array.make n [] and succs = Array.make n [] in
+  let add_edge src dst lat =
+    if src <> dst then begin
+      preds.(dst) <- (src, lat) :: preds.(dst);
+      succs.(src) <- (dst, lat) :: succs.(src)
+    end
+  in
+  (* register dependences *)
+  let last_def : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let uses_since_def : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  for j = 0 to n - 1 do
+    let i = insns.(j) in
+    List.iter
+      (fun r ->
+        (match Hashtbl.find_opt last_def r with
+        | Some dj -> add_edge dj j (Machdesc.latency md insns.(dj))
+        | None -> ());
+        let prev = Option.value ~default:[] (Hashtbl.find_opt uses_since_def r) in
+        Hashtbl.replace uses_since_def r (j :: prev))
+      (uses i);
+    match def i with
+    | Some r ->
+        (match Hashtbl.find_opt last_def r with
+        | Some dj -> add_edge dj j 1 (* WAW *)
+        | None -> ());
+        List.iter
+          (fun uj -> add_edge uj j 0 (* WAR *))
+          (Option.value ~default:[] (Hashtbl.find_opt uses_since_def r));
+        Hashtbl.replace last_def r j;
+        Hashtbl.replace uses_since_def r []
+    | None -> ()
+  done;
+  (* memory, call and control dependences *)
+  for j = 0 to n - 1 do
+    let b = insns.(j) in
+    for k = 0 to j - 1 do
+      let a = insns.(k) in
+      let dependent =
+        if is_branch a || is_branch b then true
+        else if is_call a && is_call b then true
+        else if is_call a && Option.is_some (mem_of_insn b) then
+          call_mem_dependent ~mode ~hli a b
+        else if is_call b && Option.is_some (mem_of_insn a) then
+          call_mem_dependent ~mode ~hli b a
+        else if
+          Option.is_some (mem_of_insn a)
+          && Option.is_some (mem_of_insn b)
+          && (is_store a || is_store b)
+        then mem_pair_dependent ~mode ~hli ~stats a b
+        else false
+      in
+      if dependent then
+        let lat =
+          if is_store a && is_load b then Machdesc.latency md a
+          else if is_store a || is_store b then 1
+          else if is_call a || is_call b then 1
+          else 1
+        in
+        add_edge k j lat
+    done
+  done;
+  { insns; preds; succs }
+
+(** Count memory-dependence edges that the final decision inserted
+    (diagnostic; Table 2 uses the query counters instead). *)
+let edge_count g =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 g.succs

@@ -1,0 +1,64 @@
+(** GCC-2.7-style conservative memory disambiguation.
+
+    Reimplements the base+offset reasoning of GCC's
+    [memrefs_conflict_p]/[true_dependence] era (before alias.c grew type
+    information): two memory references conflict unless their addresses
+    can be proven distinct purely from the RTL address structure.  This
+    is deliberately the {e weak} analyzer of the paper's Table 2 "GCC
+    result" column — the headroom the HLI then recovers.
+
+    Rules:
+    - distinct global symbols never conflict;
+    - same base (symbol, frame, or same pointer register) with constant
+      offsets: conflict iff the byte ranges overlap;
+    - any reference with an index register conflicts with everything in
+      a compatible space (GCC cannot bound the index);
+    - register-based (pointer) references conflict with all symbol/frame
+      references and with each other, except the same-register
+      constant-offset case;
+    - the argument-passing areas are private: outgoing/incoming slots
+      conflict only among themselves at overlapping offsets. *)
+
+open Rtl
+
+(* byte ranges [o1, o1+s1) and [o2, o2+s2) overlap? *)
+let ranges_overlap o1 s1 o2 s2 = o1 < o2 + s2 && o2 < o1 + s1
+
+(* Both references have fixed (index-free) addresses off the same base. *)
+let fixed m = m.mindex = None
+
+(** Do the two references possibly access overlapping memory, under
+    GCC's local rules only? *)
+let memrefs_conflict_p (a : mem) (b : mem) : bool =
+  match (a.mbase, b.mbase) with
+  | Bsym sa, Bsym sb ->
+      if not (Srclang.Symbol.equal sa sb) then false
+      else if fixed a && fixed b then
+        ranges_overlap a.moffset a.msize b.moffset b.msize
+      else true
+  | Bframe, Bframe ->
+      if fixed a && fixed b then ranges_overlap a.moffset a.msize b.moffset b.msize
+      else true
+  | Bargout, Bargout | Bargin, Bargin ->
+      ranges_overlap a.moffset a.msize b.moffset b.msize
+  | Bargout, Bargin | Bargin, Bargout ->
+      (* different frames' linkage areas *)
+      false
+  | (Bargout | Bargin), _ | _, (Bargout | Bargin) ->
+      (* GCC knows the arg-passing slots are compiler-private *)
+      false
+  | Breg ra, Breg rb ->
+      if ra = rb && fixed a && fixed b then
+        ranges_overlap a.moffset a.msize b.moffset b.msize
+      else true
+  | Breg _, (Bsym _ | Bframe) | (Bsym _ | Bframe), Breg _ ->
+      (* a pointer may point anywhere GCC can see *)
+      true
+  | Bsym _, Bframe | Bframe, Bsym _ ->
+      (* frame slots are not globals; GCC 2.7 distinguished the frame
+         from static storage *)
+      false
+
+(** GCC's answer to "must I assume a dependence between these two
+    references?" — one of them being a write is the caller's concern. *)
+let true_dependence a b = memrefs_conflict_p a b

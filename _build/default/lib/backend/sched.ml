@@ -1,0 +1,105 @@
+(** Basic-block list scheduler (GCC's sched1 analogue).
+
+    Schedules each block independently — the paper notes GCC's scheduler
+    is "limited to basic blocks" — using critical-path-first list
+    scheduling over the {!Ddg} graph, with the target machine's
+    latencies.  The output is a new instruction order per block; the
+    timing simulators then measure what that order costs on each
+    machine. *)
+
+open Rtl
+
+(* critical-path priority: longest latency path from node to any sink *)
+let priorities (g : Ddg.graph) (md : Machdesc.t) : int array =
+  let n = Array.length g.Ddg.insns in
+  let prio = Array.make n (-1) in
+  let rec compute j =
+    if prio.(j) >= 0 then prio.(j)
+    else begin
+      let own = Machdesc.latency md g.Ddg.insns.(j) in
+      let best =
+        List.fold_left
+          (fun acc (succ, lat) -> max acc (lat + compute succ))
+          0 g.Ddg.succs.(j)
+      in
+      prio.(j) <- own + best;
+      prio.(j)
+    end
+  in
+  for j = 0 to n - 1 do
+    ignore (compute j)
+  done;
+  prio
+
+(** Schedule one block's instructions, returning them in the new order. *)
+let schedule_block ~(md : Machdesc.t) (g : Ddg.graph) : insn list =
+  let n = Array.length g.Ddg.insns in
+  if n = 0 then []
+  else begin
+    let prio = priorities g md in
+    let unscheduled_preds = Array.make n 0 in
+    Array.iteri
+      (fun j preds -> unscheduled_preds.(j) <- List.length preds)
+      g.Ddg.preds;
+    (* earliest cycle each node may issue, updated as preds schedule *)
+    let earliest = Array.make n 0 in
+    let scheduled = Array.make n false in
+    let order = ref [] in
+    let cycle = ref 0 in
+    let remaining = ref n in
+    while !remaining > 0 do
+      (* ready nodes at the current cycle *)
+      let ready =
+        List.filter
+          (fun j ->
+            (not scheduled.(j))
+            && unscheduled_preds.(j) = 0
+            && earliest.(j) <= !cycle)
+          (List.init n Fun.id)
+      in
+      let ready =
+        List.sort
+          (fun a b ->
+            match compare prio.(b) prio.(a) with
+            | 0 -> compare a b (* stable: original order breaks ties *)
+            | c -> c)
+          ready
+      in
+      let issued = ref 0 in
+      List.iter
+        (fun j ->
+          if !issued < md.Machdesc.issue_width then begin
+            scheduled.(j) <- true;
+            incr issued;
+            decr remaining;
+            order := j :: !order;
+            List.iter
+              (fun (succ, lat) ->
+                unscheduled_preds.(succ) <- unscheduled_preds.(succ) - 1;
+                earliest.(succ) <- max earliest.(succ) (!cycle + lat))
+              g.Ddg.succs.(j)
+          end)
+        ready;
+      incr cycle
+    done;
+    List.rev_map (fun j -> g.Ddg.insns.(j)) !order
+  end
+
+(** Schedule every block of a function in place, building DDGs in the
+    given mode and accumulating query statistics. *)
+let schedule_fn ~mode ~hli ~(md : Machdesc.t) ~(stats : Ddg.stats) (fn : fn) :
+    unit =
+  Array.iter
+    (fun (b : block) ->
+      let g = Ddg.build ~mode ~hli ~md ~stats b.insns in
+      b.insns <- schedule_block ~md g)
+    fn.blocks
+
+(** Schedule a whole program; returns the accumulated statistics. *)
+let schedule_program ~mode ~hli_of_fn ~(md : Machdesc.t) (p : program) :
+    Ddg.stats =
+  let stats = Ddg.fresh_stats () in
+  List.iter
+    (fun fn -> schedule_fn ~mode ~hli:(hli_of_fn fn.fname) ~md ~stats fn)
+    p.fns;
+  stats

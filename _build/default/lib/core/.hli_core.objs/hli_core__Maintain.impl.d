@@ -1,0 +1,1 @@
+lib/core/maintain.ml: Array Hashtbl List Option Printf Query Tables

@@ -1,0 +1,1 @@
+lib/core/query.ml: Fmt Hashtbl List Option Tables

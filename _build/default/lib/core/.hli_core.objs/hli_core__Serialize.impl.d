@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Buffer Char Fmt Fun List Printf String Tables

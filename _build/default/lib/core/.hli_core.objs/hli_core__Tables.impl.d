@@ -1,0 +1,1 @@
+lib/core/tables.ml: Fmt List

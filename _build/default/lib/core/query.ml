@@ -1,0 +1,271 @@
+(** HLI query interface (paper Section 3.2.2).
+
+    The stored HLI is accessed only through these functions, so a back
+    end never touches the raw tables.  An {!index} is built once per
+    program unit when its entry is imported; all queries are then O(tree
+    depth) or table lookups.
+
+    The five basic query functions are {!get_equiv_acc}, {!get_alias},
+    {!get_lcdd}, {!get_call_acc} and {!get_region_of_item}; the remaining
+    functions are conveniences composed from them. *)
+
+open Tables
+
+type index = {
+  entry : hli_entry;
+  region_by_id : (int, region_entry) Hashtbl.t;
+  (* innermost class containing each item: item id -> (region, class) *)
+  direct_class : (int, int * int) Hashtbl.t;
+  (* subclass links: (sub_region, class) -> (region, class) of parent *)
+  class_up : (int * int, int * int) Hashtbl.t;
+  (* call items -> region that lists them immediately *)
+  acc_of_item : (int, access_type) Hashtbl.t;
+  line_of_item : (int, int) Hashtbl.t;
+}
+
+let build (entry : hli_entry) : index =
+  let region_by_id = Hashtbl.create 16 in
+  let direct_class = Hashtbl.create 64 in
+  let class_up = Hashtbl.create 64 in
+  let acc_of_item = Hashtbl.create 64 in
+  let line_of_item = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace region_by_id r.region_id r) entry.regions;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          List.iter
+            (fun m ->
+              match m with
+              | Member_item id -> Hashtbl.replace direct_class id (r.region_id, c.class_id)
+              | Member_subclass { sub_region; cls } ->
+                  Hashtbl.replace class_up (sub_region, cls) (r.region_id, c.class_id))
+            c.members)
+        r.eq_classes)
+    entry.regions;
+  List.iter
+    (fun le ->
+      List.iter
+        (fun it ->
+          Hashtbl.replace acc_of_item it.item_id it.acc;
+          Hashtbl.replace line_of_item it.item_id le.line_no)
+        le.items)
+    entry.line_table;
+  { entry; region_by_id; direct_class; class_up; acc_of_item; line_of_item }
+
+(* ------------------------------------------------------------------ *)
+(* Basic queries                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let region idx rid = Hashtbl.find_opt idx.region_by_id rid
+
+let access_type idx item = Hashtbl.find_opt idx.acc_of_item item
+
+let line_of_item idx item = Hashtbl.find_opt idx.line_of_item item
+
+(** Innermost region whose equivalent-access table directly contains the
+    item.  [None] when the item is unknown to the HLI. *)
+let get_region_of_item idx item =
+  Option.map fst (Hashtbl.find_opt idx.direct_class item)
+
+(** The class representing [item] in region [rid], walking subclass
+    links upward from the item's innermost region. *)
+let class_at idx ~rid item =
+  let rec walk (r, c) =
+    if r = rid then Some c
+    else
+      match Hashtbl.find_opt idx.class_up (r, c) with
+      | Some up -> walk up
+      | None -> None
+  in
+  Option.bind (Hashtbl.find_opt idx.direct_class item) walk
+
+(** Chain of (region, class) representations of an item, innermost
+    first. *)
+let class_chain idx item =
+  let rec walk acc rc =
+    let acc = rc :: acc in
+    match Hashtbl.find_opt idx.class_up rc with
+    | Some up -> walk acc up
+    | None -> List.rev acc
+  in
+  match Hashtbl.find_opt idx.direct_class item with
+  | Some rc -> walk [] rc
+  | None -> []
+
+let class_kind idx ~rid cid =
+  match region idx rid with
+  | None -> None
+  | Some r -> Option.map (fun c -> c.kind) (find_class r cid)
+
+(** Result of the equivalent-access query, mirroring the paper's
+    [HLI_EquivAccType]. *)
+type equiv_result =
+  | Equiv_none  (** proven distinct: never the same location *)
+  | Equiv_same of equiv_kind  (** same class (definitely or maybe) *)
+  | Equiv_alias  (** distinct classes listed as aliased *)
+  | Equiv_unknown  (** at least one item is not represented in the HLI *)
+
+let classes_aliased (r : region_entry) a b =
+  List.exists
+    (fun ae -> List.mem a ae.alias_classes && List.mem b ae.alias_classes)
+    r.aliases
+
+(** Do two items possibly access the same memory location {e within one
+    iteration} of every loop enclosing both?  This is the query the back
+    end's dependence checker combines with its own analysis (Figure 5). *)
+let get_equiv_acc idx item_a item_b =
+  let chain_a = class_chain idx item_a and chain_b = class_chain idx item_b in
+  if chain_a = [] || chain_b = [] then Equiv_unknown
+  else begin
+    (* find the innermost region present in both chains *)
+    let common =
+      List.find_opt (fun (r, _) -> List.mem_assoc r chain_b) chain_a
+    in
+    match common with
+    | None -> Equiv_unknown
+    | Some (rid, ca) -> (
+        let cb = List.assoc rid chain_b in
+        if ca = cb then
+          match class_kind idx ~rid ca with
+          | Some k -> Equiv_same k
+          | None -> Equiv_unknown
+        else
+          match region idx rid with
+          | Some r -> if classes_aliased r ca cb then Equiv_alias else Equiv_none
+          | None -> Equiv_unknown)
+  end
+
+(** Alias query between two classes of one region: are they listed in a
+    common alias entry? *)
+let get_alias idx ~rid cls_a cls_b =
+  match region idx rid with
+  | None -> false
+  | Some r -> classes_aliased r cls_a cls_b
+
+(** Loop-carried data dependences between the classes representing the
+    two items in loop region [rid] (normalized forward).  The empty list
+    means "no LCDD recorded", which proves independence across
+    iterations only when both items are represented in the region. *)
+let get_lcdd idx ~rid item_a item_b =
+  match (region idx rid, class_at idx ~rid item_a, class_at idx ~rid item_b) with
+  | Some r, Some ca, Some cb ->
+      Some
+        (List.filter
+           (fun l ->
+             (l.lcdd_src = ca && l.lcdd_dst = cb)
+             || (l.lcdd_src = cb && l.lcdd_dst = ca))
+           r.lcdds)
+  | _ -> None
+
+(** Result of the call REF/MOD query, mirroring [HLI_GetCallAcc]. *)
+type call_acc_result =
+  | Call_none
+  | Call_ref
+  | Call_mod
+  | Call_refmod
+  | Call_unknown
+
+(** May the call item [call] reference or modify the location of memory
+    item [mem]?  Resolves the call through the region that lists it
+    (either as an immediate call item or via a sub-region entry). *)
+let get_call_acc idx ~call ~mem =
+  (* Find a region whose callrefmod table covers this call, preferring
+     the innermost region that also represents [mem]. *)
+  let covering (r : region_entry) =
+    List.find_opt
+      (fun e ->
+        match e.call_key with
+        | Key_call_item id -> id = call
+        | Key_sub_region sr -> (
+            (* the call is inside sub-region sr *)
+            match Hashtbl.find_opt idx.region_by_id sr with
+            | Some sub -> (
+                match line_of_item idx call with
+                | Some ln -> ln >= sub.first_line && ln <= sub.last_line
+                | None -> false)
+            | None -> false))
+      r.callrefmods
+  in
+  let rec regions_up rid acc =
+    match region idx rid with
+    | None -> List.rev acc
+    | Some r -> (
+        match r.parent with
+        | None -> List.rev (r :: acc)
+        | Some p -> regions_up p (r :: acc))
+  in
+  match line_of_item idx call with
+  | None -> Call_unknown
+  | Some call_line -> (
+      (* innermost region containing the call line *)
+      let innermost =
+        List.fold_left
+          (fun best r ->
+            if call_line >= r.first_line && call_line <= r.last_line then
+              match best with
+              | Some b
+                when r.last_line - r.first_line < b.last_line - b.first_line ->
+                  Some r
+              | None -> Some r
+              | _ -> best
+            else best)
+          None idx.entry.regions
+      in
+      match innermost with
+      | None -> Call_unknown
+      | Some r0 ->
+          let rec search = function
+            | [] -> Call_unknown
+            | r :: rest -> (
+                match (covering r, class_at idx ~rid:r.region_id mem) with
+                | Some e, Some mc ->
+                    if e.refmod_all then Call_refmod
+                    else begin
+                      match
+                        (List.mem mc e.ref_classes, List.mem mc e.mod_classes)
+                      with
+                      | false, false -> Call_none
+                      | true, false -> Call_ref
+                      | false, true -> Call_mod
+                      | true, true -> Call_refmod
+                    end
+                | Some e, None ->
+                    (* call covered but mem not representable here *)
+                    if e.refmod_all then Call_refmod else search rest
+                | None, _ -> search rest)
+          in
+          search (regions_up r0.region_id []))
+
+(* ------------------------------------------------------------------ *)
+(* Derived queries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** True when the HLI proves the two items never touch the same location
+    in the same iteration — the "no dependence" answer used to cut DDG
+    edges. *)
+let proves_independent idx item_a item_b =
+  match get_equiv_acc idx item_a item_b with
+  | Equiv_none -> true
+  | Equiv_same _ | Equiv_alias | Equiv_unknown -> false
+
+(** True when the HLI proves the call neither refs nor mods the item's
+    location. *)
+let call_independent idx ~call ~mem =
+  match get_call_acc idx ~call ~mem with
+  | Call_none -> true
+  | Call_ref | Call_mod | Call_refmod | Call_unknown -> false
+
+let pp_equiv_result ppf = function
+  | Equiv_none -> Fmt.string ppf "none"
+  | Equiv_same Definitely -> Fmt.string ppf "same(definite)"
+  | Equiv_same Maybe -> Fmt.string ppf "same(maybe)"
+  | Equiv_alias -> Fmt.string ppf "alias"
+  | Equiv_unknown -> Fmt.string ppf "unknown"
+
+let pp_call_acc ppf = function
+  | Call_none -> Fmt.string ppf "none"
+  | Call_ref -> Fmt.string ppf "ref"
+  | Call_mod -> Fmt.string ppf "mod"
+  | Call_refmod -> Fmt.string ppf "refmod"
+  | Call_unknown -> Fmt.string ppf "unknown"

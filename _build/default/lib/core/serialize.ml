@@ -1,0 +1,250 @@
+(** Binary (de)serialization of HLI files.
+
+    The paper defines the logical layout (its Figure 1) but not a byte
+    format; this module provides a compact one so that Table 1's "HLI
+    size (KB)" column is measurable.  Integers are LEB128 varints;
+    strings are length-prefixed.  [of_bytes (to_bytes f) = f] holds for
+    every well-formed file (round-trip is property-tested). *)
+
+open Tables
+
+exception Corrupt of string
+
+let magic = "HLI1"
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "put_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let put_list buf f l =
+  put_varint buf (List.length l);
+  List.iter (f buf) l
+
+let put_acc buf = function
+  | Acc_load -> Buffer.add_char buf '\000'
+  | Acc_store -> Buffer.add_char buf '\001'
+  | Acc_call -> Buffer.add_char buf '\002'
+
+let put_item buf it =
+  put_varint buf it.item_id;
+  put_acc buf it.acc
+
+let put_line buf le =
+  put_varint buf le.line_no;
+  put_list buf put_item le.items
+
+let put_member buf = function
+  | Member_item id ->
+      Buffer.add_char buf '\000';
+      put_varint buf id
+  | Member_subclass { sub_region; cls } ->
+      Buffer.add_char buf '\001';
+      put_varint buf sub_region;
+      put_varint buf cls
+
+let put_class buf c =
+  put_varint buf c.class_id;
+  Buffer.add_char buf (match c.kind with Definitely -> '\000' | Maybe -> '\001');
+  put_string buf c.desc;
+  put_list buf put_member c.members
+
+let put_alias buf a = put_list buf (fun b x -> put_varint b x) a.alias_classes
+
+let put_lcdd buf l =
+  put_varint buf l.lcdd_src;
+  put_varint buf l.lcdd_dst;
+  Buffer.add_char buf (match l.lcdd_dep with Dep_definite -> '\000' | Dep_maybe -> '\001');
+  put_varint buf (match l.lcdd_distance with None -> 0 | Some d -> d)
+
+let put_callrefmod buf e =
+  (match e.call_key with
+  | Key_call_item id ->
+      Buffer.add_char buf '\000';
+      put_varint buf id
+  | Key_sub_region r ->
+      Buffer.add_char buf '\001';
+      put_varint buf r);
+  Buffer.add_char buf (if e.refmod_all then '\001' else '\000');
+  put_list buf (fun b x -> put_varint b x) e.ref_classes;
+  put_list buf (fun b x -> put_varint b x) e.mod_classes
+
+let put_region buf r =
+  put_varint buf r.region_id;
+  Buffer.add_char buf (match r.rtype with Region_unit -> '\000' | Region_loop -> '\001');
+  put_varint buf (match r.parent with None -> 0 | Some p -> p);
+  put_varint buf r.first_line;
+  put_varint buf r.last_line;
+  put_list buf put_class r.eq_classes;
+  put_list buf put_alias r.aliases;
+  put_list buf put_lcdd r.lcdds;
+  put_list buf put_callrefmod r.callrefmods
+
+let put_entry buf e =
+  put_string buf e.unit_name;
+  put_list buf put_line e.line_table;
+  put_list buf put_region e.regions
+
+let to_bytes (f : hli_file) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_list buf put_entry f.entries;
+  Buffer.contents buf
+
+(** Serialized size in bytes: the paper's Table 1 metric. *)
+let size_bytes f = String.length (to_bytes f)
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { data : string; mutable pos : int }
+
+let byte cur =
+  if cur.pos >= String.length cur.data then raise (Corrupt "truncated");
+  let c = Char.code cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  c
+
+let get_varint cur =
+  let rec go shift acc =
+    let b = byte cur in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let get_string cur =
+  let n = get_varint cur in
+  if cur.pos + n > String.length cur.data then raise (Corrupt "truncated string");
+  let s = String.sub cur.data cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let get_list cur f =
+  let n = get_varint cur in
+  List.init n (fun _ -> f cur)
+
+let get_acc cur =
+  match byte cur with
+  | 0 -> Acc_load
+  | 1 -> Acc_store
+  | 2 -> Acc_call
+  | n -> raise (Corrupt (Printf.sprintf "bad access type %d" n))
+
+let get_item cur =
+  let item_id = get_varint cur in
+  { item_id; acc = get_acc cur }
+
+let get_line cur =
+  let line_no = get_varint cur in
+  { line_no; items = get_list cur get_item }
+
+let get_member cur =
+  match byte cur with
+  | 0 -> Member_item (get_varint cur)
+  | 1 ->
+      let sub_region = get_varint cur in
+      Member_subclass { sub_region; cls = get_varint cur }
+  | n -> raise (Corrupt (Printf.sprintf "bad member tag %d" n))
+
+let get_class cur =
+  let class_id = get_varint cur in
+  let kind =
+    match byte cur with
+    | 0 -> Definitely
+    | 1 -> Maybe
+    | n -> raise (Corrupt (Printf.sprintf "bad equiv kind %d" n))
+  in
+  let desc = get_string cur in
+  { class_id; kind; desc; members = get_list cur get_member }
+
+let get_alias cur = { alias_classes = get_list cur get_varint }
+
+let get_lcdd cur =
+  let lcdd_src = get_varint cur in
+  let lcdd_dst = get_varint cur in
+  let lcdd_dep =
+    match byte cur with
+    | 0 -> Dep_definite
+    | 1 -> Dep_maybe
+    | n -> raise (Corrupt (Printf.sprintf "bad dep type %d" n))
+  in
+  let d = get_varint cur in
+  { lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance = (if d = 0 then None else Some d) }
+
+let get_callrefmod cur =
+  let call_key =
+    match byte cur with
+    | 0 -> Key_call_item (get_varint cur)
+    | 1 -> Key_sub_region (get_varint cur)
+    | n -> raise (Corrupt (Printf.sprintf "bad call key %d" n))
+  in
+  let refmod_all = byte cur = 1 in
+  let ref_classes = get_list cur get_varint in
+  let mod_classes = get_list cur get_varint in
+  { call_key; ref_classes; mod_classes; refmod_all }
+
+let get_region cur =
+  let region_id = get_varint cur in
+  let rtype =
+    match byte cur with
+    | 0 -> Region_unit
+    | 1 -> Region_loop
+    | n -> raise (Corrupt (Printf.sprintf "bad region type %d" n))
+  in
+  let parent = match get_varint cur with 0 -> None | p -> Some p in
+  let first_line = get_varint cur in
+  let last_line = get_varint cur in
+  let eq_classes = get_list cur get_class in
+  let aliases = get_list cur get_alias in
+  let lcdds = get_list cur get_lcdd in
+  let callrefmods = get_list cur get_callrefmod in
+  { region_id; rtype; parent; first_line; last_line; eq_classes; aliases; lcdds; callrefmods }
+
+let get_entry cur =
+  let unit_name = get_string cur in
+  let line_table = get_list cur get_line in
+  let regions = get_list cur get_region in
+  { unit_name; line_table; regions }
+
+let of_bytes (s : string) : hli_file =
+  if String.length s < 4 || String.sub s 0 4 <> magic then
+    raise (Corrupt "bad magic");
+  let cur = { data = s; pos = 4 } in
+  let entries = get_list cur get_entry in
+  if cur.pos <> String.length s then raise (Corrupt "trailing bytes");
+  { entries }
+
+(* ------------------------------------------------------------------ *)
+(* File I/O and text dump                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path f =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_bytes f))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_bytes (really_input_string ic (in_channel_length ic)))
+
+let to_text (f : hli_file) : string =
+  Fmt.str "@[<v>%a@]@." Fmt.(list ~sep:cut pp_entry) f.entries

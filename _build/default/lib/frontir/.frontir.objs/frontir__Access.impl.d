@@ -1,0 +1,1 @@
+lib/frontir/access.ml: Fmt Srclang Symbol Tast Types

@@ -1,0 +1,1 @@
+lib/frontir/itemgen.ml: Access Fmt Hashtbl List Memwalk Option Region Srclang Tast

@@ -1,0 +1,1 @@
+lib/frontir/memwalk.ml: Access List Loc Option Srclang Symbol Tast Types

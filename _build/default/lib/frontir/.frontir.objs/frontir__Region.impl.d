@@ -1,0 +1,1 @@
+lib/frontir/region.ml: Ast Fmt List Loc Srclang Symbol Tast Types

@@ -1,0 +1,87 @@
+(** ITEMGEN — memory access item generation (paper Section 3.1.1).
+
+    Walks a function and assigns a unique item id to every memory access
+    and call event, in the canonical {!Memwalk} order.  The produced items
+    are the currency of the whole HLI: the line table lists them per line,
+    the region tables group them into equivalence classes, and the back
+    end maps them 1:1 onto RTL memory references. *)
+
+open Srclang
+
+type kind =
+  | Mem_item of Access.t
+  | Call_item of string  (** callee name *)
+
+type item = {
+  id : int;  (** unique within the program unit *)
+  line : int;
+  kind : kind;
+}
+
+type unit_items = {
+  func_name : string;
+  items : item list;  (** in canonical order *)
+}
+
+let access_of item =
+  match item.kind with Mem_item a -> Some a | Call_item _ -> None
+
+let is_store item =
+  match item.kind with Mem_item a -> a.Access.is_store | Call_item _ -> false
+
+let is_call item =
+  match item.kind with Call_item _ -> true | Mem_item _ -> false
+
+(** Generate items for one function.  Ids start at [first_id] and are
+    dense; the next free id is returned alongside. *)
+let of_func ?(first_id = 1) (f : Tast.func) : unit_items * int =
+  let events = Memwalk.func_events f in
+  let next = ref first_id in
+  let items =
+    List.map
+      (fun { Memwalk.line; event } ->
+        let id = !next in
+        incr next;
+        match event with
+        | Memwalk.Mem access -> { id; line; kind = Mem_item access }
+        | Memwalk.Callsite name -> { id; line; kind = Call_item name })
+      events
+  in
+  ({ func_name = f.Tast.name; items }, !next)
+
+(** Items grouped by source line, preserving canonical order within each
+    line (this is exactly the HLI line table's content). *)
+let by_line (u : unit_items) : (int * item list) list =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun it ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl it.line) in
+      Hashtbl.replace tbl it.line (it :: prev))
+    u.items;
+  Hashtbl.fold (fun line items acc -> (line, List.rev items) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Items whose line falls inside region [r] but not inside any of its
+    sub-regions. *)
+let immediate_items (u : unit_items) (r : Region.t) : item list =
+  List.filter
+    (fun it ->
+      it.line >= r.Region.first_line
+      && it.line <= r.Region.last_line
+      && not
+           (List.exists
+              (fun s ->
+                it.line >= s.Region.first_line && it.line <= s.Region.last_line)
+              r.Region.subs))
+    u.items
+
+(** All items inside region [r], including sub-regions. *)
+let items_within (u : unit_items) (r : Region.t) : item list =
+  List.filter
+    (fun it -> it.line >= r.Region.first_line && it.line <= r.Region.last_line)
+    u.items
+
+let pp_item ppf it =
+  match it.kind with
+  | Mem_item a -> Fmt.pf ppf "{%d @%d %a}" it.id it.line Access.pp a
+  | Call_item name -> Fmt.pf ppf "{%d @%d call %s}" it.id it.line name

@@ -1,0 +1,174 @@
+(** Canonical enumeration of memory events.
+
+    The HLI mapping between front end and back end (paper Sections 2.1 and
+    3.2.1) relies on one contract: {b for each source line, the front end
+    lists memory items in exactly the order the back end's instruction
+    stream contains the corresponding memory references}.  This module is
+    the single definition of that order; {!Itemgen} consumes it directly
+    and {!Backend.Lower} is written against the same rules (and tested for
+    agreement on every workload).
+
+    Ordering rules:
+    - expressions are evaluated left to right, operands before operators;
+    - for an assignment, the right-hand side is evaluated first, then the
+      address of the left-hand side, and the store is last;
+    - a subscripted access emits its base-pointer load (if the base is a
+      memory-resident pointer variable), then its subscript expressions'
+      events, then the element access itself;
+    - a call emits its arguments' events left to right, then one store per
+      stack-passed argument (beyond the 4 register arguments of the
+      MIPS-style ABI), then the call event itself;
+    - a function prologue emits, per parameter in order: a store when a
+      register-passed parameter is memory-resident (spilled at entry), or
+      a load when a stack-passed parameter is promoted to a register;
+    - scalar locals and parameters that are never address-taken live in
+      pseudo-registers and emit nothing (rule for optimization above -O0);
+    - a [for (init; cond; step)] line emits init events, then cond events,
+      then step events, matching the textual RTL layout
+      preheader/header/latch. *)
+
+open Srclang
+
+(** Number of arguments passed in registers by the target ABI. *)
+let abi_reg_args = 4
+
+type event =
+  | Mem of Access.t  (** a load or store of user-visible memory *)
+  | Callsite of string  (** a call instruction *)
+
+type line_event = { line : int; event : event }
+
+let is_memory_lvalue (lv : Tast.lvalue) =
+  match lv.Tast.ldesc with
+  | Tast.Lvar s -> Symbol.memory_resident s
+  | Tast.Lindex _ | Tast.Lderef _ -> true
+
+let rec expr_events (e : Tast.expr) : line_event list =
+  let line = e.Tast.loc.Loc.line in
+  match e.Tast.desc with
+  | Tast.Const_int _ | Tast.Const_float _ -> []
+  | Tast.Lval lv ->
+      if is_memory_lvalue lv then
+        address_events lv
+        @ [ { line = lv.Tast.lloc.Loc.line; event = Mem (Access.of_lvalue ~is_store:false lv) } ]
+      else []
+  | Tast.Addr lv -> address_events lv
+  | Tast.Binop (_, a, b) -> expr_events a @ expr_events b
+  | Tast.Unop (_, a) | Tast.Cast (_, a) -> expr_events a
+  | Tast.Call (name, args) ->
+      let arg_events = List.concat_map expr_events args in
+      let n = List.length args in
+      let stack_stores =
+        if n <= abi_reg_args then []
+        else
+          List.filteri (fun i _ -> i >= abi_reg_args) args
+          |> List.mapi (fun k arg ->
+                 let idx = abi_reg_args + k in
+                 let elem_size =
+                   Types.size_of (Types.decay arg.Tast.ty)
+                 in
+                 {
+                   line = arg.Tast.loc.Loc.line;
+                   event =
+                     Mem
+                       {
+                         Access.base = Access.Stack_arg (name, idx);
+                         subscripts = [];
+                         elem_size;
+                         is_store = true;
+                       };
+                 })
+      in
+      arg_events @ stack_stores @ [ { line; event = Callsite name } ]
+
+(** Events needed to compute the address of [lv] (no access to the
+    element itself). *)
+and address_events (lv : Tast.lvalue) : line_event list =
+  match lv.Tast.ldesc with
+  | Tast.Lvar _ -> []
+  | Tast.Lindex (base, idx) ->
+      let base_events =
+        match base.Tast.lty with
+        | Types.Tptr _ ->
+            (* the pointer's value is needed: a load if it lives in memory *)
+            if is_memory_lvalue base then
+              address_events base
+              @ [
+                  {
+                    line = base.Tast.lloc.Loc.line;
+                    event = Mem (Access.of_lvalue ~is_store:false base);
+                  };
+                ]
+            else []
+        | _ -> address_events base
+      in
+      base_events @ expr_events idx
+  | Tast.Lderef e -> expr_events e
+
+let assign_events (lv : Tast.lvalue) (rhs : Tast.expr) sloc =
+  let rhs_events = expr_events rhs in
+  if is_memory_lvalue lv then
+    rhs_events @ address_events lv
+    @ [ { line = sloc.Loc.line; event = Mem (Access.of_lvalue ~is_store:true lv) } ]
+  else rhs_events
+
+(** Events of one statement, including nested statements, in program
+    order. *)
+let rec stmt_events (st : Tast.stmt) : line_event list =
+  match st.Tast.sdesc with
+  | Tast.Sexpr e -> expr_events e
+  | Tast.Sassign (lv, rhs) -> assign_events lv rhs st.Tast.sloc
+  | Tast.Sif (cond, a, b) -> expr_events cond @ stmts_events a @ stmts_events b
+  | Tast.Swhile (cond, body) -> expr_events cond @ stmts_events body
+  | Tast.Sfor (init, cond, step, body) ->
+      let of_stmt = Option.fold ~none:[] ~some:stmt_events in
+      let of_expr = Option.fold ~none:[] ~some:expr_events in
+      of_stmt init @ of_expr cond @ stmts_events body @ of_stmt step
+  | Tast.Sreturn e -> Option.fold ~none:[] ~some:expr_events e
+  | Tast.Sblock body -> stmts_events body
+
+and stmts_events stmts = List.concat_map stmt_events stmts
+
+(** ABI events of the function prologue, on the function's first line. *)
+let prologue_events (f : Tast.func) : line_event list =
+  let line = f.Tast.loc.Loc.line in
+  List.concat
+    (List.mapi
+       (fun i p ->
+         let resident = Symbol.memory_resident p in
+         let elem_size = Types.size_of (Types.decay p.Symbol.ty) in
+         if i < abi_reg_args && resident then
+           [
+             {
+               line;
+               event =
+                 Mem
+                   {
+                     Access.base = Access.Incoming_arg (f.Tast.name, i);
+                     subscripts = [];
+                     elem_size;
+                     is_store = true;
+                   };
+             };
+           ]
+         else if i >= abi_reg_args && not resident then
+           [
+             {
+               line;
+               event =
+                 Mem
+                   {
+                     Access.base = Access.Incoming_arg (f.Tast.name, i);
+                     subscripts = [];
+                     elem_size;
+                     is_store = false;
+                   };
+             };
+           ]
+         else [])
+       f.Tast.params)
+
+(** All memory events of a function in program-textual order: prologue
+    first, then the body. *)
+let func_events (f : Tast.func) : line_event list =
+  prologue_events f @ stmts_events f.Tast.body

@@ -1,0 +1,1 @@
+lib/harness/pipeline.ml: Backend Fmt Hashtbl Hli_core Hligen List Machine Option Srclang

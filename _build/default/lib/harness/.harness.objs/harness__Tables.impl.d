@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Backend Buffer List Machine Pipeline Printf Workloads

@@ -1,0 +1,206 @@
+(** The full compilation pipeline, front end to simulator.
+
+    [compile] mirrors Figure 3 of the paper: the source is parsed and
+    analyzed once, ITEMGEN+TBLCONST produce the HLI, the GCC-like back
+    end lowers the same source, imports the HLI by line mapping, and the
+    scheduler builds per-block DDGs querying both analyzers.  Every
+    configuration (±HLI × machine) is compiled from a fresh lowering so
+    schedules never contaminate each other. *)
+
+type compiled = {
+  prog : Srclang.Tast.program;
+  hli : Hli_core.Tables.hli_file;
+  hli_bytes : int;
+  (* scheduled programs per (use_hli, machine) *)
+  rtl_gcc_r4600 : Backend.Rtl.program;
+  rtl_hli_r4600 : Backend.Rtl.program;
+  rtl_gcc_r10000 : Backend.Rtl.program;
+  rtl_hli_r10000 : Backend.Rtl.program;
+  stats : Backend.Ddg.stats;  (** query counts from one scheduling pass *)
+  map_unmapped : int;  (** memory refs the mapping could not cover *)
+}
+
+exception Compile_error of string
+
+let build_hli_entries ?(opts = Hligen.Tblconst.default_options) prog =
+  let ctx = Hligen.Tblconst.make_context ~opts prog in
+  List.map
+    (fun f ->
+      let e, _, _ = Hligen.Tblconst.build_unit ctx f in
+      e)
+    prog.Srclang.Tast.funcs
+
+(* lower a fresh copy and attach HLI maps per function *)
+let lower_and_map prog entries =
+  let rtl = Backend.Lower.lower_program prog in
+  let maps = Hashtbl.create 16 in
+  let unmapped = ref 0 in
+  List.iter
+    (fun (e : Hli_core.Tables.hli_entry) ->
+      match Backend.Rtl.find_fn rtl e.Hli_core.Tables.unit_name with
+      | Some fn ->
+          let m = Backend.Hli_import.map_unit e fn in
+          unmapped := !unmapped + m.Backend.Hli_import.unmapped_insns;
+          Hashtbl.replace maps e.Hli_core.Tables.unit_name m
+      | None -> ())
+    entries;
+  (rtl, maps, !unmapped)
+
+let schedule ~mode ~maps ~md rtl =
+  let hli_of_fn name = Hashtbl.find_opt maps name in
+  Backend.Sched.schedule_program ~mode ~hli_of_fn ~md rtl
+
+(** Optional optimization passes run between HLI import and scheduling
+    (each exercises a maintenance scenario from Section 3.2.3). *)
+type passes = {
+  p_cse : bool;
+  p_licm : bool;
+  p_unroll : int option;  (** unroll factor for eligible loops *)
+}
+
+let no_passes = { p_cse = false; p_licm = false; p_unroll = None }
+
+type pass_stats = {
+  ps_cse : Backend.Cse.stats;
+  ps_licm : Backend.Licm.stats;
+  ps_unroll : Backend.Unroll.stats;
+}
+
+(* Run the optional passes over one function, with or without HLI.
+   When HLI is in play, a maintenance session keeps the entry in sync
+   and the refreshed map replaces the old one. *)
+let run_passes ~passes ~use_hli (entries : Hli_core.Tables.hli_entry list)
+    (rtl : Backend.Rtl.program) maps : Backend.Rtl.program * pass_stats =
+  let cse_stats = Backend.Cse.fresh_stats () in
+  let licm_stats = Backend.Licm.fresh_stats () in
+  let unroll_stats = Backend.Unroll.fresh_stats () in
+  let fns =
+    List.map
+      (fun fn ->
+        let name = fn.Backend.Rtl.fname in
+        let hli = if use_hli then Hashtbl.find_opt maps name else None in
+        let entry =
+          List.find_opt
+            (fun (e : Hli_core.Tables.hli_entry) ->
+              e.Hli_core.Tables.unit_name = name)
+            entries
+        in
+        let mt = Option.map Hli_core.Maintain.start entry in
+        let mt = if use_hli then mt else None in
+        if passes.p_cse then begin
+          let s = Backend.Cse.run_fn ?hli ?maintain:mt fn in
+          cse_stats.Backend.Cse.alu_eliminated <-
+            cse_stats.Backend.Cse.alu_eliminated + s.Backend.Cse.alu_eliminated;
+          cse_stats.Backend.Cse.loads_eliminated <-
+            cse_stats.Backend.Cse.loads_eliminated + s.Backend.Cse.loads_eliminated;
+          cse_stats.Backend.Cse.call_purges <-
+            cse_stats.Backend.Cse.call_purges + s.Backend.Cse.call_purges;
+          cse_stats.Backend.Cse.call_survivals <-
+            cse_stats.Backend.Cse.call_survivals + s.Backend.Cse.call_survivals
+        end;
+        if passes.p_licm then begin
+          let s = Backend.Licm.run_fn ?hli ?maintain:mt fn in
+          licm_stats.Backend.Licm.hoisted_loads <-
+            licm_stats.Backend.Licm.hoisted_loads + s.Backend.Licm.hoisted_loads;
+          licm_stats.Backend.Licm.hoisted_alu <-
+            licm_stats.Backend.Licm.hoisted_alu + s.Backend.Licm.hoisted_alu;
+          licm_stats.Backend.Licm.blocked_by_alias <-
+            licm_stats.Backend.Licm.blocked_by_alias
+            + s.Backend.Licm.blocked_by_alias
+        end;
+        let fn =
+          match passes.p_unroll with
+          | Some factor when factor >= 2 ->
+              let s = Backend.Unroll.run_fn ?maintain:mt ~factor fn in
+              unroll_stats.Backend.Unroll.unrolled <-
+                unroll_stats.Backend.Unroll.unrolled + s.Backend.Unroll.unrolled;
+              unroll_stats.Backend.Unroll.copies_made <-
+                unroll_stats.Backend.Unroll.copies_made
+                + s.Backend.Unroll.copies_made;
+              Backend.Unroll.refresh fn
+          | _ -> fn
+        in
+        (* refresh the query index after maintenance *)
+        (match (mt, hli) with
+        | Some m, Some _ ->
+            let entry', _ = Hli_core.Maintain.commit m in
+            Hashtbl.replace maps name
+              {
+                (Hashtbl.find maps name) with
+                Backend.Hli_import.index = Hli_core.Query.build entry';
+              }
+        | _ -> ());
+        fn)
+      rtl.Backend.Rtl.fns
+  in
+  ( { rtl with Backend.Rtl.fns = fns },
+    { ps_cse = cse_stats; ps_licm = licm_stats; ps_unroll = unroll_stats } )
+
+(** Compile a source program into all four scheduled variants.
+    [passes] optionally interposes CSE/LICM/unrolling (with HLI
+    maintenance on the HLI variants) before scheduling. *)
+let compile ?(opts = Hligen.Tblconst.default_options) ?(passes = no_passes)
+    (src : string) : compiled =
+  let prog =
+    try Srclang.Typecheck.program_of_string src with
+    | Srclang.Typecheck.Error (msg, loc) ->
+        raise (Compile_error (Fmt.str "type error at %a: %s" Srclang.Loc.pp loc msg))
+    | Srclang.Parser.Error (msg, loc) ->
+        raise (Compile_error (Fmt.str "parse error at %a: %s" Srclang.Loc.pp loc msg))
+    | Srclang.Lexer.Error (msg, loc) ->
+        raise (Compile_error (Fmt.str "lex error at %a: %s" Srclang.Loc.pp loc msg))
+  in
+  let entries = build_hli_entries ~opts prog in
+  let hli = { Hli_core.Tables.entries } in
+  let hli_bytes = Hli_core.Serialize.size_bytes hli in
+  let mk mode md =
+    let rtl, maps, unmapped = lower_and_map prog entries in
+    let use_hli = mode = Backend.Ddg.With_hli in
+    let rtl, _ = run_passes ~passes ~use_hli entries rtl maps in
+    let stats = schedule ~mode ~maps ~md rtl in
+    (rtl, stats, unmapped)
+  in
+  let rtl_gcc_r4600, _, _ = mk Backend.Ddg.Gcc_only Backend.Machdesc.r4600 in
+  let rtl_hli_r4600, _, _ = mk Backend.Ddg.With_hli Backend.Machdesc.r4600 in
+  let rtl_gcc_r10000, _, _ = mk Backend.Ddg.Gcc_only Backend.Machdesc.r10000 in
+  let rtl_hli_r10000, stats, map_unmapped =
+    mk Backend.Ddg.With_hli Backend.Machdesc.r10000
+  in
+  {
+    prog;
+    hli;
+    hli_bytes;
+    rtl_gcc_r4600;
+    rtl_hli_r4600;
+    rtl_gcc_r10000;
+    rtl_hli_r10000;
+    stats;
+    map_unmapped;
+  }
+
+type measured = {
+  r4600_gcc : Machine.Simulate.report;
+  r4600_hli : Machine.Simulate.report;
+  r10000_gcc : Machine.Simulate.report;
+  r10000_hli : Machine.Simulate.report;
+}
+
+(** Run all four variants; checks that the HLI-scheduled binaries
+    produce byte-identical output (scheduling must not change
+    semantics). *)
+let measure ?(fuel = 400_000_000) (c : compiled) : measured =
+  let r4600_gcc = Machine.Simulate.run ~fuel Machine.Simulate.R4600 c.rtl_gcc_r4600 in
+  let r4600_hli = Machine.Simulate.run ~fuel Machine.Simulate.R4600 c.rtl_hli_r4600 in
+  let r10000_gcc = Machine.Simulate.run ~fuel Machine.Simulate.R10000 c.rtl_gcc_r10000 in
+  let r10000_hli = Machine.Simulate.run ~fuel Machine.Simulate.R10000 c.rtl_hli_r10000 in
+  if r4600_gcc.Machine.Simulate.output <> r4600_hli.Machine.Simulate.output then
+    raise (Compile_error "HLI schedule changed program output (R4600)");
+  if r10000_gcc.Machine.Simulate.output <> r10000_hli.Machine.Simulate.output then
+    raise (Compile_error "HLI schedule changed program output (R10000)");
+  { r4600_gcc; r4600_hli; r10000_gcc; r10000_hli }
+
+let speedup ~(base : Machine.Simulate.report) ~(opt : Machine.Simulate.report) =
+  if opt.Machine.Simulate.cycles = 0 then 1.0
+  else
+    float_of_int base.Machine.Simulate.cycles
+    /. float_of_int opt.Machine.Simulate.cycles

@@ -1,0 +1,115 @@
+(** Experiment drivers reproducing the paper's Table 1 and Table 2. *)
+
+type row = {
+  w : Workloads.Workload.t;
+  lines : int;
+  hli_bytes : int;
+  stats : Backend.Ddg.stats;
+  sp_r4600 : float;
+  sp_r10000 : float;
+  dyn_insns : int;
+}
+
+let run_workload ?(fuel = 400_000_000) (w : Workloads.Workload.t) : row =
+  let c = Pipeline.compile w.Workloads.Workload.source in
+  let m = Pipeline.measure ~fuel c in
+  {
+    w;
+    lines = Workloads.Workload.line_count w;
+    hli_bytes = c.Pipeline.hli_bytes;
+    stats = c.Pipeline.stats;
+    sp_r4600 =
+      Pipeline.speedup ~base:m.Pipeline.r4600_gcc ~opt:m.Pipeline.r4600_hli;
+    sp_r10000 =
+      Pipeline.speedup ~base:m.Pipeline.r10000_gcc ~opt:m.Pipeline.r10000_hli;
+    dyn_insns = m.Pipeline.r4600_gcc.Machine.Simulate.dyn_insns;
+  }
+
+let reduction (s : Backend.Ddg.stats) =
+  if s.Backend.Ddg.gcc_yes = 0 then 0.0
+  else
+    float_of_int (s.Backend.Ddg.gcc_yes - s.Backend.Ddg.combined_yes)
+    /. float_of_int s.Backend.Ddg.gcc_yes
+
+let pct n total = if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total
+
+(* ------------------------------------------------------------------ *)
+(* Formatting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table1_header =
+  Printf.sprintf "%-14s %-7s %10s %9s %13s" "Benchmark" "Suite" "Code(lines)"
+    "HLI(KB)" "HLI/line(B)"
+
+let table1_row (r : row) =
+  Printf.sprintf "%-14s %-7s %10d %9.1f %13.1f" r.w.Workloads.Workload.name
+    (Workloads.Workload.suite_name r.w.Workloads.Workload.suite)
+    r.lines
+    (float_of_int r.hli_bytes /. 1024.0)
+    (float_of_int r.hli_bytes /. float_of_int (max 1 r.lines))
+
+let table2_header =
+  Printf.sprintf "%-14s %7s %9s %12s %12s %12s %6s %8s %8s" "Benchmark" "Tests"
+    "per line" "GCC yes" "HLI yes" "Comb yes" "Red%" "R4600" "R10000"
+
+let table2_row (r : row) =
+  let s = r.stats in
+  Printf.sprintf "%-14s %7d %9.2f %6d (%2.0f%%) %6d (%2.0f%%) %6d (%2.0f%%) %5.0f%% %8.2f %8.2f"
+    r.w.Workloads.Workload.name s.Backend.Ddg.total
+    (float_of_int s.Backend.Ddg.total /. float_of_int (max 1 r.lines))
+    s.Backend.Ddg.gcc_yes
+    (pct s.Backend.Ddg.gcc_yes s.Backend.Ddg.total)
+    s.Backend.Ddg.hli_yes
+    (pct s.Backend.Ddg.hli_yes s.Backend.Ddg.total)
+    s.Backend.Ddg.combined_yes
+    (pct s.Backend.Ddg.combined_yes s.Backend.Ddg.total)
+    (100.0 *. reduction s)
+    r.sp_r4600 r.sp_r10000
+
+(* geometric mean of speedups, arithmetic means of percentages, as the
+   paper's "mean" rows do *)
+let mean_row name (rows : row list) =
+  let n = max 1 (List.length rows) in
+  let fn = float_of_int n in
+  let avg f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. fn in
+  let geo f =
+    exp (List.fold_left (fun acc r -> acc +. log (f r)) 0.0 rows /. fn)
+  in
+  Printf.sprintf
+    "%-14s %7s %9.2f %12s %12s %12s %5.0f%% %8.2f %8.2f" name "-"
+    (avg (fun r -> float_of_int r.stats.Backend.Ddg.total /. float_of_int (max 1 r.lines)))
+    (Printf.sprintf "- (%2.0f%%)" (avg (fun r -> pct r.stats.Backend.Ddg.gcc_yes r.stats.Backend.Ddg.total)))
+    (Printf.sprintf "- (%2.0f%%)" (avg (fun r -> pct r.stats.Backend.Ddg.hli_yes r.stats.Backend.Ddg.total)))
+    (Printf.sprintf "- (%2.0f%%)" (avg (fun r -> pct r.stats.Backend.Ddg.combined_yes r.stats.Backend.Ddg.total)))
+    (100.0 *. avg (fun r -> reduction r.stats))
+    (geo (fun r -> r.sp_r4600))
+    (geo (fun r -> r.sp_r10000))
+
+let mean_row_t1 name (rows : row list) =
+  let n = max 1 (List.length rows) in
+  let avg f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. float_of_int n in
+  Printf.sprintf "%-14s %-7s %10s %9s %13.1f" name "-" "-" "-"
+    (avg (fun r -> float_of_int r.hli_bytes /. float_of_int (max 1 r.lines)))
+
+let print_tables (rows : row list) =
+  let int_rows, fp_rows =
+    List.partition
+      (fun r -> not (Workloads.Workload.is_fp r.w.Workloads.Workload.suite))
+      rows
+  in
+  let buf = Buffer.create 4096 in
+  let line s = Buffer.add_string buf (s ^ "\n") in
+  line "== Table 1: benchmark characteristics ==";
+  line table1_header;
+  List.iter (fun r -> line (table1_row r)) int_rows;
+  line (mean_row_t1 "mean (int)" int_rows);
+  List.iter (fun r -> line (table1_row r)) fp_rows;
+  line (mean_row_t1 "mean (fp)" fp_rows);
+  line "";
+  line "== Table 2: dependence tests and speedups ==";
+  line table2_header;
+  List.iter (fun r -> line (table2_row r)) int_rows;
+  line (mean_row "mean (int)" int_rows);
+  List.iter (fun r -> line (table2_row r)) fp_rows;
+  line (mean_row "mean (fp)" fp_rows);
+  Buffer.contents buf

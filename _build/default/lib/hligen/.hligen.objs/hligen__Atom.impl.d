@@ -1,0 +1,1 @@
+lib/hligen/atom.ml: Affine Analysis Deptest Fmt Frontir Hli_core List Option Printf Section Srclang Symbol Types

@@ -1,0 +1,1 @@
+lib/hligen/tblconst.ml: Affine Analysis Atom Deptest Fmt Frontir Hli_core List Option Pointsto Refmod Section Srclang Symbol Tast Types

@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Array Backend Buffer Bytes Float Hashtbl Int32 Int64 List Option Printf Rtl Srclang

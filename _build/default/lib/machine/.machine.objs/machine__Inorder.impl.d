@@ -1,0 +1,1 @@
+lib/machine/inorder.ml: Backend Cache Exec Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/machine/ooo.ml: Array Backend Cache Exec Hashtbl List Option

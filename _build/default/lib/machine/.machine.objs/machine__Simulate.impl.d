@@ -1,0 +1,1 @@
+lib/machine/simulate.ml: Backend Cache Exec Inorder Ooo

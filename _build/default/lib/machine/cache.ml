@@ -1,0 +1,88 @@
+(** Set-associative cache model with LRU replacement, used as the L1
+    data cache (backed by an optional L2) of both machine models. *)
+
+type level = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array array;  (** [set].[way] = tag, -1 empty *)
+  lru : int array array;  (** higher = more recently used *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make_level ~size_bytes ~ways ~line_bytes =
+  let sets = max 1 (size_bytes / (ways * line_bytes)) in
+  {
+    sets;
+    ways;
+    line_bytes;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    lru = Array.init sets (fun _ -> Array.make ways 0);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+(* true = hit *)
+let access_level l addr =
+  let line = addr / l.line_bytes in
+  let set = line mod l.sets in
+  let tag = line / l.sets in
+  l.tick <- l.tick + 1;
+  let tags = l.tags.(set) and lru = l.lru.(set) in
+  let rec find w = if w >= l.ways then None else if tags.(w) = tag then Some w else find (w + 1) in
+  match find 0 with
+  | Some w ->
+      lru.(w) <- l.tick;
+      l.hits <- l.hits + 1;
+      true
+  | None ->
+      l.misses <- l.misses + 1;
+      (* evict LRU way *)
+      let victim = ref 0 in
+      for w = 1 to l.ways - 1 do
+        if lru.(w) < lru.(!victim) then victim := w
+      done;
+      tags.(!victim) <- tag;
+      lru.(!victim) <- l.tick;
+      false
+
+type t = {
+  l1 : level;
+  l2 : level option;
+  l2_penalty : int;  (** extra cycles on L1 miss, L2 hit *)
+  mem_penalty : int;  (** extra cycles on L2 miss (or L1 miss, no L2) *)
+}
+
+(** Parameters of the R4600 board in the paper: 16 KB 2-way L1D, no L2,
+    64 MB DRAM. *)
+let r4600 () =
+  {
+    l1 = make_level ~size_bytes:(16 * 1024) ~ways:2 ~line_bytes:32;
+    l2 = None;
+    l2_penalty = 0;
+    mem_penalty = 30;
+  }
+
+(** R10000: 32 KB 2-way L1D, 2 MB unified L2. *)
+let r10000 () =
+  {
+    l1 = make_level ~size_bytes:(32 * 1024) ~ways:2 ~line_bytes:32;
+    l2 = Some (make_level ~size_bytes:(2 * 1024 * 1024) ~ways:2 ~line_bytes:64);
+    l2_penalty = 8;
+    mem_penalty = 60;
+  }
+
+(** Access the hierarchy; returns the extra latency beyond an L1 hit. *)
+let access t addr =
+  if access_level t.l1 addr then 0
+  else
+    match t.l2 with
+    | None -> t.mem_penalty
+    | Some l2 ->
+        if access_level l2 addr then t.l2_penalty
+        else t.l2_penalty + t.mem_penalty
+
+let l1_stats t = (t.l1.hits, t.l1.misses)

@@ -1,0 +1,367 @@
+(** Execution-driven RTL interpreter.
+
+    Runs a lowered {!Backend.Rtl.program} against a flat byte-addressed
+    memory, calling a user-supplied hook on every executed instruction —
+    the timing models ({!Inorder}, {!Ooo}) consume that dynamic stream on
+    the fly, so no trace is materialized.
+
+    Memory layout: globals are placed from [global_base] upward; each
+    activation gets a frame below the previous one (stack grows down),
+    with its 128-byte outgoing-argument area directly below the frame
+    base, shared with the callee's incoming-argument view. *)
+
+open Backend
+
+exception Runtime_error of string
+
+exception Out_of_fuel
+
+(** One executed instruction, as seen by a timing model.  Register ids
+    are globalized (per-function base added) so models need no notion of
+    activations; recursion folds onto the same ids, which only makes the
+    timing marginally conservative. *)
+type dyn = {
+  d_insn : Rtl.insn;
+  d_srcs : int list;  (** globalized source registers *)
+  d_dst : int option;
+  d_addr : int;  (** effective address for loads/stores, else 0 *)
+  d_taken : bool;  (** control transfer actually redirected *)
+}
+
+type result = {
+  ret : int;
+  output : string;
+  dyn_count : int;  (** executed instructions *)
+}
+
+type state = {
+  prog : Rtl.program;
+  mem : Bytes.t;
+  global_addr : (int, int) Hashtbl.t;  (** symbol id -> address *)
+  out : Buffer.t;
+  mutable rand_state : int;
+  mutable fuel : int;
+  mutable executed : int;
+  hook : dyn -> unit;
+  reg_base : (string, int) Hashtbl.t;  (** per-function global reg base *)
+}
+
+let mem_size = 32 * 1024 * 1024
+
+let global_base = 0x1000
+
+let argout_bytes = 128
+
+(* ------------------------------------------------------------------ *)
+(* Memory helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_addr st addr size =
+  if addr < 0 || addr + size > Bytes.length st.mem then
+    raise (Runtime_error (Printf.sprintf "address out of range: 0x%x" addr))
+
+let load_int st addr =
+  check_addr st addr 4;
+  Int32.to_int (Bytes.get_int32_le st.mem addr)
+
+let store_int st addr v =
+  check_addr st addr 4;
+  Bytes.set_int32_le st.mem addr (Int32.of_int v)
+
+let load_flt st addr =
+  check_addr st addr 8;
+  Int64.float_of_bits (Bytes.get_int64_le st.mem addr)
+
+let store_flt st addr v =
+  check_addr st addr 8;
+  Bytes.set_int64_le st.mem addr (Int64.bits_of_float v)
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let layout_globals (prog : Rtl.program) mem =
+  let tbl = Hashtbl.create 64 in
+  let next = ref global_base in
+  List.iter
+    (fun ((s : Srclang.Symbol.t), init) ->
+      let size = max 8 (Srclang.Types.size_of s.Srclang.Symbol.ty) in
+      let addr = !next in
+      next := addr + ((size + 7) land lnot 7);
+      Hashtbl.replace tbl s.Srclang.Symbol.id addr;
+      match init with
+      | Some (Srclang.Tast.Ginit_int n) ->
+          Bytes.set_int32_le mem addr (Int32.of_int n)
+      | Some (Srclang.Tast.Ginit_float f) ->
+          Bytes.set_int64_le mem addr (Int64.bits_of_float f)
+      | None -> ())
+    prog.Rtl.globals;
+  tbl
+
+let make ?(fuel = 400_000_000) ?(hook = fun (_ : dyn) -> ()) (prog : Rtl.program) :
+    state =
+  let mem = Bytes.make mem_size '\000' in
+  let reg_base = Hashtbl.create 16 in
+  let base = ref 0 in
+  List.iter
+    (fun (f : Rtl.fn) ->
+      Hashtbl.replace reg_base f.Rtl.fname !base;
+      base := !base + f.Rtl.vreg_count)
+    prog.Rtl.fns;
+  {
+    prog;
+    mem;
+    global_addr = layout_globals prog mem;
+    out = Buffer.create 256;
+    rand_state = 123456789;
+    fuel;
+    executed = 0;
+    hook;
+    reg_base;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type value = Vi of int | Vf of float
+
+let as_int = function Vi n -> n | Vf f -> int_of_float f
+let as_flt = function Vf f -> f | Vi n -> float_of_int n
+
+let exec_builtin st name (args : value list) : value =
+  let f1 () = match args with a :: _ -> as_flt a | [] -> 0.0 in
+  match name with
+  | "sqrt" -> Vf (sqrt (f1 ()))
+  | "fabs" -> Vf (abs_float (f1 ()))
+  | "exp" -> Vf (exp (f1 ()))
+  | "log" -> Vf (log (f1 ()))
+  | "sin" -> Vf (sin (f1 ()))
+  | "cos" -> Vf (cos (f1 ()))
+  | "pow" -> (
+      match args with
+      | [ a; b ] -> Vf (Float.pow (as_flt a) (as_flt b))
+      | _ -> Vf 0.0)
+  | "abs" -> Vi (abs (match args with a :: _ -> as_int a | [] -> 0))
+  | "print_int" ->
+      Buffer.add_string st.out
+        (string_of_int (match args with a :: _ -> as_int a | [] -> 0));
+      Buffer.add_char st.out '\n';
+      Vi 0
+  | "print_double" ->
+      Buffer.add_string st.out
+        (Printf.sprintf "%.6f" (match args with a :: _ -> as_flt a | [] -> 0.0));
+      Buffer.add_char st.out '\n';
+      Vi 0
+  | "rand" ->
+      (* deterministic LCG (glibc constants), masked to 31 bits *)
+      st.rand_state <- ((st.rand_state * 1103515245) + 12345) land 0x7fffffff;
+      Vi st.rand_state
+  | "srand" ->
+      st.rand_state <- (match args with a :: _ -> as_int a | [] -> 1);
+      Vi 0
+  | _ -> raise (Runtime_error ("unknown builtin " ^ name))
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type frame = {
+  fn : Rtl.fn;
+  iregs : int array;
+  fregs : float array;
+  fp : int;  (** frame base address *)
+  argout_base : int;  (** fp - argout_bytes *)
+  caller_argout : int;  (** address of caller's outgoing area *)
+  rbase : int;  (** globalized register base *)
+  args : value array;  (** register-passed arguments *)
+}
+
+let reg_val fr cls r =
+  match cls with Rtl.Rint -> Vi fr.iregs.(r) | Rtl.Rflt -> Vf fr.fregs.(r)
+
+let operand_val fr (op : Rtl.operand) : value =
+  match op with
+  | Rtl.Imm n -> Vi n
+  | Rtl.Fimm f -> Vf f
+  | Rtl.Reg r -> reg_val fr fr.fn.Rtl.vreg_class.(r) r
+
+let set_reg fr r (v : value) =
+  match fr.fn.Rtl.vreg_class.(r) with
+  | Rtl.Rint -> fr.iregs.(r) <- as_int v
+  | Rtl.Rflt -> fr.fregs.(r) <- as_flt v
+
+let addr_of_mem st fr (m : Rtl.mem) : int =
+  let base =
+    match m.Rtl.mbase with
+    | Rtl.Bsym s -> (
+        match Hashtbl.find_opt st.global_addr s.Srclang.Symbol.id with
+        | Some a -> a
+        | None -> raise (Runtime_error ("no address for global " ^ s.Srclang.Symbol.name)))
+    | Rtl.Breg r -> fr.iregs.(r)
+    | Rtl.Bframe -> fr.fp
+    | Rtl.Bargout -> fr.argout_base
+    | Rtl.Bargin -> fr.caller_argout
+  in
+  let idx = match m.Rtl.mindex with Some r -> fr.iregs.(r) * m.Rtl.mscale | None -> 0 in
+  base + m.Rtl.moffset + idx
+
+let alu_op (op : Rtl.alu_op) a b =
+  match op with
+  | Rtl.Add -> a + b
+  | Rtl.Sub -> a - b
+  | Rtl.Mul -> a * b
+  | Rtl.Div -> if b = 0 then raise (Runtime_error "division by zero") else a / b
+  | Rtl.Rem -> if b = 0 then raise (Runtime_error "modulo by zero") else a mod b
+  | Rtl.And -> a land b
+  | Rtl.Or -> a lor b
+  | Rtl.Xor -> a lxor b
+  | Rtl.Shl -> a lsl (b land 31)
+  | Rtl.Shr -> a asr (b land 31)
+  | Rtl.Slt -> if a < b then 1 else 0
+  | Rtl.Sle -> if a <= b then 1 else 0
+  | Rtl.Seq -> if a = b then 1 else 0
+  | Rtl.Sne -> if a <> b then 1 else 0
+
+let falu_op (op : Rtl.falu_op) a b : value =
+  match op with
+  | Rtl.Fadd -> Vf (a +. b)
+  | Rtl.Fsub -> Vf (a -. b)
+  | Rtl.Fmul -> Vf (a *. b)
+  | Rtl.Fdiv -> Vf (a /. b)
+  | Rtl.Fslt -> Vi (if a < b then 1 else 0)
+  | Rtl.Fsle -> Vi (if a <= b then 1 else 0)
+  | Rtl.Fseq -> Vi (if a = b then 1 else 0)
+  | Rtl.Fsne -> Vi (if a <> b then 1 else 0)
+
+let globalize fr regs = List.map (fun r -> fr.rbase + r) regs
+
+let emit_dyn st fr (i : Rtl.insn) ~addr ~taken =
+  st.executed <- st.executed + 1;
+  if st.fuel > 0 && st.executed > st.fuel then raise Out_of_fuel;
+  st.hook
+    {
+      d_insn = i;
+      d_srcs = globalize fr (Rtl.uses i);
+      d_dst = Option.map (fun r -> fr.rbase + r) (Rtl.def i);
+      d_addr = addr;
+      d_taken = taken;
+    }
+
+let rec exec_call st ~sp name (args : value list) : value =
+  match Rtl.find_fn st.prog name with
+  | None -> exec_builtin st name args
+  | Some fn -> exec_fn st ~sp fn args
+
+and exec_fn st ~sp (fn : Rtl.fn) (args : value list) : value =
+  (* sp points just below the caller's outgoing-argument area *)
+  let fp = sp - fn.Rtl.frame_size in
+  if fp - argout_bytes < global_base then raise (Runtime_error "stack overflow");
+  let fr =
+    {
+      fn;
+      iregs = Array.make (max 1 fn.Rtl.vreg_count) 0;
+      fregs = Array.make (max 1 fn.Rtl.vreg_count) 0.0;
+      fp;
+      argout_base = fp - argout_bytes;
+      caller_argout = sp;
+      rbase = (try Hashtbl.find st.reg_base fn.Rtl.fname with Not_found -> 0);
+      args = Array.of_list args;
+    }
+  in
+  let blocks = fn.Rtl.blocks in
+  let rec run_block bid : value =
+    let rec run_insns = function
+      | [] -> Vi 0 (* block fell off the end: treat as return 0 *)
+      | (i : Rtl.insn) :: rest -> (
+          match i.Rtl.desc with
+          | Rtl.Li (d, op) ->
+              set_reg fr d (operand_val fr op);
+              emit_dyn st fr i ~addr:0 ~taken:false;
+              run_insns rest
+          | Rtl.Alu (op, d, a, b) ->
+              set_reg fr d
+                (Vi (alu_op op (as_int (operand_val fr a)) (as_int (operand_val fr b))));
+              emit_dyn st fr i ~addr:0 ~taken:false;
+              run_insns rest
+          | Rtl.Falu (op, d, a, b) ->
+              set_reg fr d
+                (falu_op op (as_flt (operand_val fr a)) (as_flt (operand_val fr b)));
+              emit_dyn st fr i ~addr:0 ~taken:false;
+              run_insns rest
+          | Rtl.La (d, s) ->
+              set_reg fr d
+                (Vi
+                   (match Hashtbl.find_opt st.global_addr s.Srclang.Symbol.id with
+                   | Some a -> a
+                   | None -> raise (Runtime_error "unallocated global")));
+              emit_dyn st fr i ~addr:0 ~taken:false;
+              run_insns rest
+          | Rtl.Laf (d, off) ->
+              set_reg fr d (Vi (fr.fp + off));
+              emit_dyn st fr i ~addr:0 ~taken:false;
+              run_insns rest
+          | Rtl.Load (d, m) ->
+              let addr = addr_of_mem st fr m in
+              let v =
+                match m.Rtl.mclass with
+                | Rtl.Rint -> Vi (load_int st addr)
+                | Rtl.Rflt -> Vf (load_flt st addr)
+              in
+              set_reg fr d v;
+              emit_dyn st fr i ~addr ~taken:false;
+              run_insns rest
+          | Rtl.Store (m, v) ->
+              let addr = addr_of_mem st fr m in
+              (match m.Rtl.mclass with
+              | Rtl.Rint -> store_int st addr (as_int (operand_val fr v))
+              | Rtl.Rflt -> store_flt st addr (as_flt (operand_val fr v)));
+              emit_dyn st fr i ~addr ~taken:false;
+              run_insns rest
+          | Rtl.Cvt_i2f (d, s) ->
+              fr.fregs.(d) <- float_of_int fr.iregs.(s);
+              emit_dyn st fr i ~addr:0 ~taken:false;
+              run_insns rest
+          | Rtl.Cvt_f2i (d, s) ->
+              fr.iregs.(d) <- int_of_float fr.fregs.(s);
+              emit_dyn st fr i ~addr:0 ~taken:false;
+              run_insns rest
+          | Rtl.Getarg (d, k) ->
+              set_reg fr d (if k < Array.length fr.args then fr.args.(k) else Vi 0);
+              emit_dyn st fr i ~addr:0 ~taken:false;
+              run_insns rest
+          | Rtl.Call (name, ops, dst) ->
+              let argv = List.map (operand_val fr) ops in
+              emit_dyn st fr i ~addr:0 ~taken:false;
+              let v = exec_call st ~sp:fr.argout_base name argv in
+              (match dst with Some d -> set_reg fr d v | None -> ());
+              run_insns rest
+          | Rtl.Br_eqz (r, l) ->
+              let taken = fr.iregs.(r) = 0 in
+              emit_dyn st fr i ~addr:0 ~taken;
+              if taken then run_block l else run_insns rest
+          | Rtl.Br_nez (r, l) ->
+              let taken = fr.iregs.(r) <> 0 in
+              emit_dyn st fr i ~addr:0 ~taken;
+              if taken then run_block l else run_insns rest
+          | Rtl.Jmp l ->
+              emit_dyn st fr i ~addr:0 ~taken:true;
+              run_block l
+          | Rtl.Ret op ->
+              emit_dyn st fr i ~addr:0 ~taken:true;
+              (match op with Some v -> operand_val fr v | None -> Vi 0))
+    in
+    run_insns blocks.(bid).Rtl.insns
+  in
+  run_block fn.Rtl.entry
+
+(** Run [main].  Raises {!Runtime_error} for bad programs and
+    {!Out_of_fuel} when the instruction budget is exhausted. *)
+let run ?fuel ?hook (prog : Rtl.program) : result =
+  let st = make ?fuel ?hook prog in
+  match Rtl.find_fn prog "main" with
+  | None -> raise (Runtime_error "no main function")
+  | Some fn ->
+      let sp = mem_size - 64 in
+      let v = exec_fn st ~sp fn [] in
+      { ret = as_int v; output = Buffer.contents st.out; dyn_count = st.executed }

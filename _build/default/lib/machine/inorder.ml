@@ -1,0 +1,52 @@
+(** In-order single-issue pipeline model (MIPS R4600).
+
+    A scoreboard over the dynamic instruction stream: each instruction
+    issues at the earliest cycle where (a) the previous instruction has
+    issued (single issue), and (b) all its source registers are ready.
+    Loads incur the L1 latency plus any cache-miss penalty; taken
+    branches cost one bubble.  Because issue is strictly in order, a
+    poorly scheduled block serializes on load-use stalls — which is
+    exactly the effect HLI-enabled scheduling removes. *)
+
+type t = {
+  md : Backend.Machdesc.t;
+  cache : Cache.t;
+  reg_ready : (int, int) Hashtbl.t;
+  mutable last_issue : int;
+  mutable cycles : int;
+  mutable insns : int;
+}
+
+let make () =
+  {
+    md = Backend.Machdesc.r4600;
+    cache = Cache.r4600 ();
+    reg_ready = Hashtbl.create 1024;
+    last_issue = 0;
+    cycles = 0;
+    insns = 0;
+  }
+
+let ready t r = Option.value ~default:0 (Hashtbl.find_opt t.reg_ready r)
+
+let step (t : t) (d : Exec.dyn) =
+  t.insns <- t.insns + 1;
+  let i = d.Exec.d_insn in
+  let src_ready = List.fold_left (fun acc r -> max acc (ready t r)) 0 d.Exec.d_srcs in
+  let issue = max (t.last_issue + 1) src_ready in
+  let lat = Backend.Machdesc.latency t.md i in
+  let lat =
+    if Backend.Rtl.is_load i || Backend.Rtl.is_store i then
+      lat + Cache.access t.cache d.Exec.d_addr
+    else lat
+  in
+  (match d.Exec.d_dst with
+  | Some r -> Hashtbl.replace t.reg_ready r (issue + lat)
+  | None -> ());
+  (* taken control transfers flush the fetch stage: one bubble *)
+  t.last_issue <- (if d.Exec.d_taken then issue + 1 else issue);
+  if issue + lat > t.cycles then t.cycles <- issue + lat
+
+let cycles t = t.cycles
+
+let hook t : Exec.dyn -> unit = step t

@@ -1,0 +1,176 @@
+(** Out-of-order superscalar model (MIPS R10000).
+
+    A window-based approximation of a 4-issue core: instructions
+    dispatch in order (4 per cycle) into a reorder buffer of 32 entries,
+    issue out of order when their operands are ready and a function unit
+    is free, and retire in order (4 per cycle).
+
+    The load/store queue implements the rule the paper singles out as
+    the reason the R10000 profits more from HLI scheduling: {e a load is
+    not issued to the memory system until the addresses of all earlier
+    stores in the queue are known}.  A conservatively ordered static
+    schedule therefore delays address computations of stores — and every
+    younger load pays for it; the HLI schedule hoists loads above
+    stores, making their issue independent. *)
+
+type entry = {
+  mutable complete : int;  (** cycle the result is available *)
+  mutable retire : int;
+  is_store : bool;
+  is_load : bool;
+  addr_known : int;  (** cycle the effective address is resolved *)
+  addr : int;
+}
+
+type t = {
+  md : Backend.Machdesc.t;
+  cache : Cache.t;
+  reg_ready : (int, int) Hashtbl.t;
+  rob : entry array;  (** circular, indexed by seq mod window *)
+  mutable seq : int;  (** instructions dispatched so far *)
+  mutable dispatch_cycle : int;
+  mutable dispatch_in_cycle : int;
+  mutable last_retire : int;
+  mutable retired_in_cycle : int;
+  (* function-unit next-free times: int ALUs, FP units, memory port *)
+  alu_free : int array;
+  fpu_free : int array;
+  mem_free : int array;
+  mutable cycles : int;
+  mutable insns : int;
+  mutable lsq_stall_cycles : int;  (** diagnostic: issue delay due to LSQ *)
+}
+
+let window = 32
+
+let make () =
+  {
+    md = Backend.Machdesc.r10000;
+    cache = Cache.r10000 ();
+    reg_ready = Hashtbl.create 1024;
+    rob =
+      Array.init window (fun _ ->
+          { complete = 0; retire = 0; is_store = false; is_load = false; addr_known = 0; addr = 0 });
+    seq = 0;
+    dispatch_cycle = 0;
+    dispatch_in_cycle = 0;
+    last_retire = 0;
+    retired_in_cycle = 0;
+    alu_free = Array.make 2 0;
+    fpu_free = Array.make 2 0;
+    mem_free = Array.make 1 0;
+    cycles = 0;
+    insns = 0;
+    lsq_stall_cycles = 0;
+  }
+
+let ready t r = Option.value ~default:0 (Hashtbl.find_opt t.reg_ready r)
+
+(* earliest free slot among k identical units; claims it *)
+let claim_unit units at =
+  let best = ref 0 in
+  Array.iteri (fun i free -> if free < units.(!best) then best := i else ignore free) units;
+  let start = max at units.(!best) in
+  (start, !best)
+
+let unit_kind (i : Backend.Rtl.insn) =
+  match i.Backend.Rtl.desc with
+  | Backend.Rtl.Falu _ | Backend.Rtl.Cvt_i2f _ | Backend.Rtl.Cvt_f2i _ -> `Fpu
+  | Backend.Rtl.Load _ | Backend.Rtl.Store _ -> `Mem
+  | _ -> `Alu
+
+let step (t : t) (d : Exec.dyn) =
+  t.insns <- t.insns + 1;
+  let i = d.Exec.d_insn in
+  let slot = t.seq mod window in
+  (* in-order dispatch: 4 per cycle, and the ROB slot must have retired *)
+  let oldest_retire = if t.seq >= window then t.rob.(slot).retire else 0 in
+  if t.dispatch_in_cycle >= t.md.Backend.Machdesc.issue_width then begin
+    t.dispatch_cycle <- t.dispatch_cycle + 1;
+    t.dispatch_in_cycle <- 0
+  end;
+  if oldest_retire > t.dispatch_cycle then begin
+    t.dispatch_cycle <- oldest_retire;
+    t.dispatch_in_cycle <- 0
+  end;
+  let dispatch = t.dispatch_cycle in
+  t.dispatch_in_cycle <- t.dispatch_in_cycle + 1;
+  (* operands *)
+  let src_ready = List.fold_left (fun acc r -> max acc (ready t r)) 0 d.Exec.d_srcs in
+  let operand_ready = max dispatch src_ready in
+  (* LSQ rule: loads wait until all earlier in-flight stores have known
+     addresses; if an earlier store writes the same word, wait for its
+     completion (forwarding takes one extra cycle). *)
+  let lsq_ready =
+    if (not (Backend.Rtl.is_load i)) || not t.md.Backend.Machdesc.lsq_blocking then 0
+    else begin
+      let upto = min t.seq window in
+      let w = ref 0 in
+      for k = 1 to upto - 1 do
+        let e = t.rob.((t.seq - k) mod window) in
+        (* stores still in flight (not yet retired) gate the load: the
+           R10000 does not issue a load past a store whose independence
+           is not yet established, so the load waits until the earlier
+           store has executed (or forwarded, same-word case) *)
+        if e.is_store && e.retire > operand_ready then begin
+          if e.complete > !w then w := e.complete;
+          if e.addr land lnot 7 = d.Exec.d_addr land lnot 7 && e.complete + 1 > !w
+          then w := e.complete + 1
+        end
+      done;
+      !w
+    end
+  in
+  if lsq_ready > operand_ready then
+    t.lsq_stall_cycles <- t.lsq_stall_cycles + (lsq_ready - operand_ready);
+  let can_issue = max operand_ready lsq_ready in
+  let units =
+    match unit_kind i with
+    | `Alu -> t.alu_free
+    | `Fpu -> t.fpu_free
+    | `Mem -> t.mem_free
+  in
+  let issue, u = claim_unit units can_issue in
+  units.(u) <- issue + 1;
+  let lat = Backend.Machdesc.latency t.md i in
+  let lat =
+    if Backend.Rtl.is_load i || Backend.Rtl.is_store i then
+      lat + Cache.access t.cache d.Exec.d_addr
+    else lat
+  in
+  let complete = issue + lat in
+  (match d.Exec.d_dst with
+  | Some r -> Hashtbl.replace t.reg_ready r complete
+  | None -> ());
+  (* in-order retirement, issue_width per cycle *)
+  let retire = max complete t.last_retire in
+  let retire =
+    if retire = t.last_retire then begin
+      t.retired_in_cycle <- t.retired_in_cycle + 1;
+      if t.retired_in_cycle >= t.md.Backend.Machdesc.issue_width then begin
+        t.retired_in_cycle <- 0;
+        retire + 1
+      end
+      else retire
+    end
+    else begin
+      t.retired_in_cycle <- 1;
+      retire
+    end
+  in
+  t.last_retire <- retire;
+  t.rob.(slot) <-
+    {
+      complete;
+      retire;
+      is_store = Backend.Rtl.is_store i;
+      is_load = Backend.Rtl.is_load i;
+      addr_known = operand_ready;
+      addr = d.Exec.d_addr;
+    };
+  t.seq <- t.seq + 1;
+  if retire > t.cycles then t.cycles <- retire
+
+let cycles t = t.cycles
+
+let hook t : Exec.dyn -> unit = step t

@@ -1,0 +1,53 @@
+(** Glue: run a lowered program on one of the machine models and report
+    cycles plus execution statistics. *)
+
+type machine = R4600 | R10000
+
+type report = {
+  machine : machine;
+  cycles : int;
+  dyn_insns : int;
+  output : string;  (** program stdout, for output-equivalence checks *)
+  ret : int;
+  l1_hits : int;
+  l1_misses : int;
+  lsq_stalls : int;  (** 0 on the in-order machine *)
+}
+
+let machine_name = function R4600 -> "R4600" | R10000 -> "R10000"
+
+let run ?(fuel = 400_000_000) (machine : machine) (prog : Backend.Rtl.program) :
+    report =
+  match machine with
+  | R4600 ->
+      let m = Inorder.make () in
+      let res = Exec.run ~fuel ~hook:(Inorder.hook m) prog in
+      let h, mi = Cache.l1_stats m.Inorder.cache in
+      {
+        machine;
+        cycles = Inorder.cycles m;
+        dyn_insns = res.Exec.dyn_count;
+        output = res.Exec.output;
+        ret = res.Exec.ret;
+        l1_hits = h;
+        l1_misses = mi;
+        lsq_stalls = 0;
+      }
+  | R10000 ->
+      let m = Ooo.make () in
+      let res = Exec.run ~fuel ~hook:(Ooo.hook m) prog in
+      let h, mi = Cache.l1_stats m.Ooo.cache in
+      {
+        machine;
+        cycles = Ooo.cycles m;
+        dyn_insns = res.Exec.dyn_count;
+        output = res.Exec.output;
+        ret = res.Exec.ret;
+        l1_hits = h;
+        l1_misses = mi;
+        lsq_stalls = m.Ooo.lsq_stall_cycles;
+      }
+
+(** Functional-only run (no timing), for correctness checks. *)
+let run_functional ?(fuel = 400_000_000) (prog : Backend.Rtl.program) : Exec.result =
+  Exec.run ~fuel prog

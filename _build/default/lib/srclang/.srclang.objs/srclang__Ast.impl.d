@@ -1,0 +1,1 @@
+lib/srclang/ast.ml: List Loc Option Types

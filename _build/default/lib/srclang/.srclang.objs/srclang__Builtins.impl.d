@@ -1,0 +1,1 @@
+lib/srclang/builtins.ml: List Option Types

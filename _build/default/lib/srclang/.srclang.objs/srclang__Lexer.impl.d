@@ -1,0 +1,1 @@
+lib/srclang/lexer.ml: List Loc Printf String Token

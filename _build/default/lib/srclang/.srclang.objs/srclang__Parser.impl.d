@@ -1,0 +1,1 @@
+lib/srclang/parser.ml: Array Ast Lexer List Loc Printf Token Types

@@ -1,0 +1,1 @@
+lib/srclang/symbol.ml: Fmt Hashtbl Map Set Types

@@ -1,0 +1,1 @@
+lib/srclang/tast.ml: Ast Fmt List Loc Option Symbol Types

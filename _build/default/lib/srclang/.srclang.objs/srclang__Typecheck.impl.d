@@ -1,0 +1,1 @@
+lib/srclang/typecheck.ml: Ast Builtins Fmt Hashtbl List Loc Option Parser Symbol Tast Types

@@ -1,0 +1,1 @@
+lib/srclang/types.ml: Fmt

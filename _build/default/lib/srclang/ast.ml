@@ -1,0 +1,130 @@
+(** Untyped abstract syntax for the mini-C language.
+
+    This is what {!Parser} produces.  Every node carries a {!Loc.t}; the
+    line component is semantically significant downstream because the HLI
+    line table keys on it. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land  (** logical && *)
+  | Lor  (** logical || *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Lnot  (** logical ! *)
+  | Bnot  (** bitwise ~ *)
+
+type expr = { edesc : edesc; eloc : Loc.t }
+
+and edesc =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of expr * expr  (** [a\[i\]]; multi-dim arrays nest *)
+  | Deref of expr  (** [*p] *)
+  | Addr of expr  (** [&lv] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Cast of Types.t * expr
+
+type decl = {
+  dname : string;
+  dty : Types.t;
+  dinit : expr option;
+  dloc : Loc.t;
+}
+
+type stmt = { sdesc : sdesc; sloc : Loc.t }
+
+and sdesc =
+  | Sexpr of expr  (** expression statement (usually a call) *)
+  | Sassign of expr * expr  (** lvalue = rvalue *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+      (** [for (init; cond; step) body]; init/step are simple statements *)
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sdecl of decl
+
+type func = {
+  fname : string;
+  fret : Types.t;
+  fparams : (string * Types.t) list;
+  fbody : stmt list;
+  floc : Loc.t;
+}
+
+type top = Tgvar of decl | Tfunc of func
+
+type program = { tops : top list }
+
+let mk_expr ~loc edesc = { edesc; eloc = loc }
+let mk_stmt ~loc sdesc = { sdesc; sloc = loc }
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Land -> "&&"
+  | Lor -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let unop_to_string = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+(** Fold over all expressions in a statement list, outside-in. *)
+let rec fold_stmts_expr f acc stmts =
+  List.fold_left (fold_stmt_expr f) acc stmts
+
+and fold_stmt_expr f acc stmt =
+  match stmt.sdesc with
+  | Sexpr e -> f acc e
+  | Sassign (lhs, rhs) -> f (f acc lhs) rhs
+  | Sif (cond, then_, else_) ->
+      fold_stmts_expr f (fold_stmts_expr f (f acc cond) then_) else_
+  | Swhile (cond, body) -> fold_stmts_expr f (f acc cond) body
+  | Sfor (init, cond, step, body) ->
+      let acc = Option.fold ~none:acc ~some:(fold_stmt_expr f acc) init in
+      let acc = Option.fold ~none:acc ~some:(f acc) cond in
+      let acc = Option.fold ~none:acc ~some:(fold_stmt_expr f acc) step in
+      fold_stmts_expr f acc body
+  | Sreturn e -> Option.fold ~none:acc ~some:(f acc) e
+  | Sblock body -> fold_stmts_expr f acc body
+  | Sdecl d -> Option.fold ~none:acc ~some:(f acc) d.dinit
+
+(** All function names called anywhere in [e], in syntactic order. *)
+let rec calls_in_expr e =
+  match e.edesc with
+  | Int_lit _ | Float_lit _ | Var _ -> []
+  | Index (a, i) -> calls_in_expr a @ calls_in_expr i
+  | Deref a | Addr a | Unop (_, a) | Cast (_, a) -> calls_in_expr a
+  | Binop (_, a, b) -> calls_in_expr a @ calls_in_expr b
+  | Call (name, args) -> (name :: List.concat_map calls_in_expr args)

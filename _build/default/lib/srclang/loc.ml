@@ -1,0 +1,29 @@
+(** Source locations for the mini-C front end.
+
+    Line numbers are the backbone of the HLI line table (Section 2.1 of the
+    paper): the front end and back end agree on nothing except source
+    coordinates, so every AST node, HIR item and RTL instruction carries one
+    of these. *)
+
+type t = {
+  line : int;  (** 1-based source line *)
+  col : int;  (** 1-based column of the first character *)
+}
+
+let make ~line ~col = { line; col }
+
+(** A conventional location for synthesized nodes (e.g. implicit casts). *)
+let dummy = { line = 0; col = 0 }
+
+let is_dummy t = t.line = 0
+
+let compare a b =
+  match compare a.line b.line with 0 -> compare a.col b.col | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<synth>"
+  else Fmt.pf ppf "%d:%d" t.line t.col
+
+let to_string t = Fmt.str "%a" pp t

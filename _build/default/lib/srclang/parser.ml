@@ -1,0 +1,410 @@
+(** Recursive-descent parser for the mini-C language.
+
+    Grammar summary (C-like):
+    {v
+    program   := (gvar | func)*
+    gvar      := type declarator ('=' expr)? ';'
+    func      := type ident '(' params ')' '{' stmt* '}'
+    type      := ('int' | 'double' | 'void') '*'*
+    declarator:= ident ('[' INT ']')*
+    stmt      := decl | 'if' ... | 'while' ... | 'for' ... | 'return' ...
+               | '{' stmt* '}' | simple ';'
+    simple    := lvalue ('='|'+='|'-='|'*='|'/=') expr
+               | lvalue ('++'|'--') | expr
+    v}
+    Expressions use precedence climbing with the usual C precedences.
+    Compound assignments and [++]/[--] are desugared into plain
+    {!Ast.Sassign} so downstream passes see a single assignment form. *)
+
+exception Error of string * Loc.t
+
+type state = { toks : (Token.t * Loc.t) array; mutable cur : int }
+
+let make toks = { toks = Array.of_list toks; cur = 0 }
+
+let peek st = fst st.toks.(st.cur)
+let peek_loc st = snd st.toks.(st.cur)
+
+let peek_ahead st n =
+  let i = st.cur + n in
+  if i < Array.length st.toks then fst st.toks.(i) else Token.EOF
+
+let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+
+let err st msg = raise (Error (msg, peek_loc st))
+
+let expect st tok =
+  if Token.equal (peek st) tok then advance st
+  else
+    err st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let accept st tok =
+  if Token.equal (peek st) tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | t -> err st ("expected identifier but found " ^ Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_type_start = function
+  | Token.KW_INT | Token.KW_DOUBLE | Token.KW_VOID -> true
+  | _ -> false
+
+let parse_base_type st =
+  match peek st with
+  | Token.KW_INT ->
+      advance st;
+      Types.Tint
+  | Token.KW_DOUBLE ->
+      advance st;
+      Types.Tdouble
+  | Token.KW_VOID ->
+      advance st;
+      Types.Tvoid
+  | t -> err st ("expected a type but found " ^ Token.to_string t)
+
+let parse_pointer_suffix st base =
+  let rec go ty = if accept st Token.STAR then go (Types.Tptr ty) else ty in
+  go base
+
+let parse_type st = parse_pointer_suffix st (parse_base_type st)
+
+(* Array dimensions attach outside-in: int a[2][3] is array 2 of array 3. *)
+let parse_array_dims st =
+  let rec go acc =
+    if accept st Token.LBRACKET then begin
+      match peek st with
+      | Token.INT_LIT n ->
+          advance st;
+          expect st Token.RBRACKET;
+          go (n :: acc)
+      | t -> err st ("expected array size but found " ^ Token.to_string t)
+    end
+    else List.rev acc
+  in
+  go []
+
+let apply_dims ty dims =
+  List.fold_right (fun n acc -> Types.Tarray (acc, n)) dims ty
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Binding power of each binary operator (higher binds tighter). *)
+let binop_of_token = function
+  | Token.BAR_BAR -> Some (Ast.Lor, 1)
+  | Token.AMP_AMP -> Some (Ast.Land, 2)
+  | Token.BAR -> Some (Ast.Bor, 3)
+  | Token.CARET -> Some (Ast.Bxor, 4)
+  | Token.AMP -> Some (Ast.Band, 5)
+  | Token.EQ -> Some (Ast.Eq, 6)
+  | Token.NE -> Some (Ast.Ne, 6)
+  | Token.LT -> Some (Ast.Lt, 7)
+  | Token.LE -> Some (Ast.Le, 7)
+  | Token.GT -> Some (Ast.Gt, 7)
+  | Token.GE -> Some (Ast.Ge, 7)
+  | Token.SHL -> Some (Ast.Shl, 8)
+  | Token.SHR -> Some (Ast.Shr, 8)
+  | Token.PLUS -> Some (Ast.Add, 9)
+  | Token.MINUS -> Some (Ast.Sub, 9)
+  | Token.STAR -> Some (Ast.Mul, 10)
+  | Token.SLASH -> Some (Ast.Div, 10)
+  | Token.PERCENT -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+        let loc = peek_loc st in
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        loop (Ast.mk_expr ~loc (Ast.Binop (op, lhs, rhs)))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Unop (Ast.Neg, parse_unary st))
+  | Token.BANG ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Unop (Ast.Lnot, parse_unary st))
+  | Token.TILDE ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Unop (Ast.Bnot, parse_unary st))
+  | Token.STAR ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Deref (parse_unary st))
+  | Token.AMP ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Addr (parse_unary st))
+  | Token.LPAREN when is_type_start (peek_ahead st 1) ->
+      (* cast: '(' type ')' unary *)
+      advance st;
+      let ty = parse_type st in
+      expect st Token.RPAREN;
+      Ast.mk_expr ~loc (Ast.Cast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let base = parse_primary st in
+  let rec go e =
+    if Token.equal (peek st) Token.LBRACKET then begin
+      let loc = peek_loc st in
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      go (Ast.mk_expr ~loc (Ast.Index (e, idx)))
+    end
+    else e
+  in
+  go base
+
+and parse_primary st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.INT_LIT n ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Int_lit n)
+  | Token.FLOAT_LIT f ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Float_lit f)
+  | Token.IDENT name ->
+      advance st;
+      if accept st Token.LPAREN then begin
+        let args = parse_args st in
+        Ast.mk_expr ~loc (Ast.Call (name, args))
+      end
+      else Ast.mk_expr ~loc (Ast.Var name)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | t -> err st ("expected an expression but found " ^ Token.to_string t)
+
+and parse_args st =
+  if accept st Token.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if accept st Token.COMMA then go (e :: acc)
+      else begin
+        expect st Token.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let desugar_incr ~loc lv op =
+  let one = Ast.mk_expr ~loc (Ast.Int_lit 1) in
+  Ast.mk_stmt ~loc (Ast.Sassign (lv, Ast.mk_expr ~loc (Ast.Binop (op, lv, one))))
+
+let desugar_compound ~loc lv op rhs =
+  Ast.mk_stmt ~loc (Ast.Sassign (lv, Ast.mk_expr ~loc (Ast.Binop (op, lv, rhs))))
+
+(* A "simple statement" is an assignment, a ++/--, or a bare expression;
+   used both as a statement body and in for-headers. *)
+let rec parse_simple st =
+  let loc = peek_loc st in
+  let e = parse_expr st in
+  match peek st with
+  | Token.ASSIGN ->
+      advance st;
+      let rhs = parse_expr st in
+      Ast.mk_stmt ~loc (Ast.Sassign (e, rhs))
+  | Token.PLUS_ASSIGN ->
+      advance st;
+      desugar_compound ~loc e Ast.Add (parse_expr st)
+  | Token.MINUS_ASSIGN ->
+      advance st;
+      desugar_compound ~loc e Ast.Sub (parse_expr st)
+  | Token.STAR_ASSIGN ->
+      advance st;
+      desugar_compound ~loc e Ast.Mul (parse_expr st)
+  | Token.SLASH_ASSIGN ->
+      advance st;
+      desugar_compound ~loc e Ast.Div (parse_expr st)
+  | Token.PLUS_PLUS ->
+      advance st;
+      desugar_incr ~loc e Ast.Add
+  | Token.MINUS_MINUS ->
+      advance st;
+      desugar_incr ~loc e Ast.Sub
+  | _ -> Ast.mk_stmt ~loc (Ast.Sexpr e)
+
+and parse_stmt st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.LBRACE ->
+      advance st;
+      let body = parse_stmt_list st in
+      expect st Token.RBRACE;
+      Ast.mk_stmt ~loc (Ast.Sblock body)
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_ = parse_branch st in
+      let else_ = if accept st Token.KW_ELSE then parse_branch st else [] in
+      Ast.mk_stmt ~loc (Ast.Sif (cond, then_, else_))
+  | Token.KW_WHILE ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let body = parse_branch st in
+      Ast.mk_stmt ~loc (Ast.Swhile (cond, body))
+  | Token.KW_FOR ->
+      advance st;
+      expect st Token.LPAREN;
+      let init =
+        if Token.equal (peek st) Token.SEMI then None else Some (parse_simple st)
+      in
+      expect st Token.SEMI;
+      let cond =
+        if Token.equal (peek st) Token.SEMI then None else Some (parse_expr st)
+      in
+      expect st Token.SEMI;
+      let step =
+        if Token.equal (peek st) Token.RPAREN then None
+        else Some (parse_simple st)
+      in
+      expect st Token.RPAREN;
+      let body = parse_branch st in
+      Ast.mk_stmt ~loc (Ast.Sfor (init, cond, step, body))
+  | Token.KW_RETURN ->
+      advance st;
+      let e =
+        if Token.equal (peek st) Token.SEMI then None else Some (parse_expr st)
+      in
+      expect st Token.SEMI;
+      Ast.mk_stmt ~loc (Ast.Sreturn e)
+  | t when is_type_start t ->
+      let base = parse_type st in
+      let name = expect_ident st in
+      let dims = parse_array_dims st in
+      let ty = apply_dims base dims in
+      let init = if accept st Token.ASSIGN then Some (parse_expr st) else None in
+      expect st Token.SEMI;
+      Ast.mk_stmt ~loc (Ast.Sdecl { dname = name; dty = ty; dinit = init; dloc = loc })
+  | Token.SEMI ->
+      advance st;
+      Ast.mk_stmt ~loc (Ast.Sblock [])
+  | _ ->
+      let s = parse_simple st in
+      expect st Token.SEMI;
+      s
+
+and parse_branch st =
+  (* Body of if/while/for: a braced block or a single statement. *)
+  if Token.equal (peek st) Token.LBRACE then begin
+    advance st;
+    let body = parse_stmt_list st in
+    expect st Token.RBRACE;
+    body
+  end
+  else [ parse_stmt st ]
+
+and parse_stmt_list st =
+  let rec go acc =
+    if Token.equal (peek st) Token.RBRACE || Token.equal (peek st) Token.EOF then
+      List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params st =
+  expect st Token.LPAREN;
+  if accept st Token.RPAREN then []
+  else if Token.equal (peek st) Token.KW_VOID && Token.equal (peek_ahead st 1) Token.RPAREN
+  then begin
+    advance st;
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let ty = parse_type st in
+      let name = expect_ident st in
+      let dims = parse_array_dims st in
+      (* As in C, an array parameter decays to a pointer. *)
+      let ty =
+        match dims with
+        | [] -> ty
+        | _ :: rest -> Types.Tptr (apply_dims ty rest)
+      in
+      let acc = (name, ty) :: acc in
+      if accept st Token.COMMA then go acc
+      else begin
+        expect st Token.RPAREN;
+        List.rev acc
+      end
+    in
+    go []
+
+let parse_top st =
+  let loc = peek_loc st in
+  let base = parse_type st in
+  let name = expect_ident st in
+  if Token.equal (peek st) Token.LPAREN then begin
+    let params = parse_params st in
+    expect st Token.LBRACE;
+    let body = parse_stmt_list st in
+    expect st Token.RBRACE;
+    Ast.Tfunc { fname = name; fret = base; fparams = params; fbody = body; floc = loc }
+  end
+  else begin
+    let dims = parse_array_dims st in
+    let ty = apply_dims base dims in
+    let init = if accept st Token.ASSIGN then Some (parse_expr st) else None in
+    expect st Token.SEMI;
+    Ast.Tgvar { dname = name; dty = ty; dinit = init; dloc = loc }
+  end
+
+let parse_program st =
+  let rec go acc =
+    if Token.equal (peek st) Token.EOF then List.rev acc
+    else go (parse_top st :: acc)
+  in
+  { Ast.tops = go [] }
+
+(** Parse a whole source string.  Raises {!Error} or {!Lexer.Error} on
+    malformed input. *)
+let program_of_string src = parse_program (make (Lexer.tokenize src))
+
+(** Parse a single expression (used by tests). *)
+let expr_of_string src =
+  let st = make (Lexer.tokenize src) in
+  let e = parse_expr st in
+  expect st Token.EOF;
+  e

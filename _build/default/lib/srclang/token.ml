@@ -1,0 +1,101 @@
+(** Lexical tokens of the mini-C language. *)
+
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT
+  | KW_DOUBLE
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN  (** [=] *)
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PLUS_PLUS
+  | MINUS_MINUS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AMP_AMP
+  | BAR_BAR
+  | BANG
+  | AMP
+  | BAR
+  | CARET
+  | TILDE
+  | SHL
+  | SHR
+  | EOF
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | FLOAT_LIT f -> string_of_float f
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_DOUBLE -> "double"
+  | KW_VOID -> "void"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PLUS_PLUS -> "++"
+  | MINUS_MINUS -> "--"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | AMP_AMP -> "&&"
+  | BAR_BAR -> "||"
+  | BANG -> "!"
+  | AMP -> "&"
+  | BAR -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EOF -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,377 @@
+(** Type checker and elaborator: {!Ast} → {!Tast}.
+
+    Responsibilities beyond checking:
+    - resolve names to {!Symbol.t}s (fresh per declaration, so shadowing
+      is harmless downstream);
+    - insert explicit {!Tast.Cast} nodes for the implicit [int]/[double]
+      conversions of C;
+    - decay array values to pointers ([Addr] nodes), as C does;
+    - normalize [*p] and [*(p + i)] to subscript form [p\[i\]] so the
+      dependence analyzer sees a uniform access shape;
+    - record [addr_taken] on symbols whose address escapes, which is what
+      the ITEMGEN rules use to decide pseudo-register promotion. *)
+
+exception Error of string * Loc.t
+
+let err loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
+
+type fsig = { fs_ret : Types.t; fs_params : Types.t list }
+
+type env = {
+  globals : (string, Symbol.t) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  mutable scopes : (string, Symbol.t) Hashtbl.t list;
+  mutable locals_acc : Symbol.t list;  (** locals of the current function *)
+  mutable cur_ret : Types.t;  (** return type of the function being checked *)
+}
+
+let enter_scope env = env.scopes <- Hashtbl.create 16 :: env.scopes
+
+let leave_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> invalid_arg "leave_scope: no open scope"
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> Hashtbl.find_opt env.globals name
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some s -> Some s
+        | None -> go rest)
+  in
+  go env.scopes
+
+let declare_local env ~loc ~name ~ty ~storage =
+  match env.scopes with
+  | [] -> err loc "internal: local declaration outside any scope"
+  | scope :: _ ->
+      if Hashtbl.mem scope name then
+        err loc "redeclaration of %s in the same scope" name;
+      let sym = Symbol.fresh ~name ~ty ~storage in
+      Hashtbl.replace scope name sym;
+      env.locals_acc <- sym :: env.locals_acc;
+      sym
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec coerce ~(to_ : Types.t) (e : Tast.expr) : Tast.expr =
+  if Types.equal e.ty to_ then e
+  else
+    match (e.ty, to_) with
+    | Types.Tint, Types.Tdouble | Types.Tdouble, Types.Tint ->
+        { desc = Tast.Cast (to_, e); ty = to_; loc = e.loc }
+    | Types.Tptr _, Types.Tptr _ ->
+        (* permissive pointer casts, as the benchmarks use void-free code *)
+        { desc = Tast.Cast (to_, e); ty = to_; loc = e.loc }
+    | _ -> err e.loc "cannot convert %a to %a" Types.pp e.ty Types.pp to_
+
+and arith_join a b =
+  (* usual arithmetic conversions restricted to int/double *)
+  match (a.Tast.ty, b.Tast.ty) with
+  | Types.Tdouble, _ | _, Types.Tdouble ->
+      (coerce ~to_:Types.Tdouble a, coerce ~to_:Types.Tdouble b, Types.Tdouble)
+  | _ -> (coerce ~to_:Types.Tint a, coerce ~to_:Types.Tint b, Types.Tint)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec mark_addr_taken (lv : Tast.lvalue) =
+  match lv.ldesc with
+  | Tast.Lvar s -> s.Symbol.addr_taken <- true
+  | Tast.Lindex (base, _) -> (
+      match base.lty with
+      | Types.Tptr _ -> () (* the pointee, not the pointer var, escapes *)
+      | _ -> mark_addr_taken base)
+  | Tast.Lderef _ -> ()
+
+let rec check_expr env (e : Ast.expr) : Tast.expr =
+  let loc = e.eloc in
+  match e.edesc with
+  | Ast.Int_lit n -> { desc = Tast.Const_int n; ty = Types.Tint; loc }
+  | Ast.Float_lit f -> { desc = Tast.Const_float f; ty = Types.Tdouble; loc }
+  | Ast.Var _ -> rvalue_of_lvalue (check_lvalue env e)
+  | Ast.Index _ -> rvalue_of_lvalue (check_lvalue env e)
+  | Ast.Deref _ -> rvalue_of_lvalue (check_lvalue env e)
+  | Ast.Addr inner ->
+      let lv = check_lvalue env inner in
+      mark_addr_taken lv;
+      { desc = Tast.Addr lv; ty = Types.Tptr lv.lty; loc }
+  | Ast.Unop (op, a) -> check_unop env loc op a
+  | Ast.Binop (op, a, b) -> check_binop env loc op a b
+  | Ast.Call (name, args) -> check_call env loc name args
+  | Ast.Cast (ty, a) ->
+      let a = check_expr env a in
+      coerce ~to_:ty a
+
+and rvalue_of_lvalue (lv : Tast.lvalue) : Tast.expr =
+  match lv.lty with
+  | Types.Tarray (elem, _) ->
+      (* array value decays to a pointer to its first element *)
+      { desc = Tast.Addr lv; ty = Types.Tptr elem; loc = lv.lloc }
+  | ty -> { desc = Tast.Lval lv; ty; loc = lv.lloc }
+
+and check_unop env loc op a =
+  let a = check_expr env a in
+  match op with
+  | Ast.Neg ->
+      if not (Types.is_arith a.ty) then err loc "negation of non-arithmetic type";
+      { desc = Tast.Unop (op, a); ty = a.ty; loc }
+  | Ast.Lnot -> { desc = Tast.Unop (op, a); ty = Types.Tint; loc }
+  | Ast.Bnot ->
+      let a = coerce ~to_:Types.Tint a in
+      { desc = Tast.Unop (op, a); ty = Types.Tint; loc }
+
+and check_binop env loc op a b =
+  let a = check_expr env a and b = check_expr env b in
+  match op with
+  | Ast.Add | Ast.Sub -> (
+      match (a.ty, b.ty) with
+      | Types.Tptr _, Types.Tint ->
+          { desc = Tast.Binop (op, a, b); ty = a.ty; loc }
+      | Types.Tint, Types.Tptr _ when op = Ast.Add ->
+          { desc = Tast.Binop (op, b, a); ty = b.ty; loc }
+      | _ ->
+          let a, b, ty = arith_join a b in
+          { desc = Tast.Binop (op, a, b); ty; loc })
+  | Ast.Mul | Ast.Div ->
+      let a, b, ty = arith_join a b in
+      { desc = Tast.Binop (op, a, b); ty; loc }
+  | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+      let a = coerce ~to_:Types.Tint a and b = coerce ~to_:Types.Tint b in
+      { desc = Tast.Binop (op, a, b); ty = Types.Tint; loc }
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> (
+      match (a.ty, b.ty) with
+      | Types.Tptr _, Types.Tptr _ ->
+          { desc = Tast.Binop (op, a, b); ty = Types.Tint; loc }
+      | _ ->
+          let a, b, _ = arith_join a b in
+          { desc = Tast.Binop (op, a, b); ty = Types.Tint; loc })
+  | Ast.Land | Ast.Lor ->
+      { desc = Tast.Binop (op, a, b); ty = Types.Tint; loc }
+
+and check_call env loc name args =
+  let targs = List.map (check_expr env) args in
+  let ret, param_tys =
+    match Hashtbl.find_opt env.funcs name with
+    | Some fs -> (fs.fs_ret, fs.fs_params)
+    | None -> (
+        match Builtins.find name with
+        | Some b -> (b.Builtins.ret, b.Builtins.params)
+        | None -> err loc "call to undeclared function %s" name)
+  in
+  if List.length targs <> List.length param_tys then
+    err loc "%s expects %d arguments, got %d" name (List.length param_tys)
+      (List.length targs);
+  let targs = List.map2 (fun a ty -> coerce ~to_:ty a) targs param_tys in
+  { desc = Tast.Call (name, targs); ty = ret; loc }
+
+and check_lvalue env (e : Ast.expr) : Tast.lvalue =
+  let loc = e.eloc in
+  match e.edesc with
+  | Ast.Var name -> (
+      match lookup_var env name with
+      | Some s -> { ldesc = Tast.Lvar s; lty = s.Symbol.ty; lloc = loc }
+      | None -> err loc "use of undeclared variable %s" name)
+  | Ast.Index (base, idx) -> (
+      let base_lv = check_lvalue env base in
+      let idx = coerce ~to_:Types.Tint (check_expr env idx) in
+      match Types.deref base_lv.lty with
+      | Some elem -> { ldesc = Tast.Lindex (base_lv, idx); lty = elem; lloc = loc }
+      | None -> err loc "subscript of non-array, non-pointer value")
+  | Ast.Deref inner -> check_deref env loc inner
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Addr _ | Ast.Binop _ | Ast.Unop _
+  | Ast.Call _ | Ast.Cast _ ->
+      err loc "expression is not an lvalue"
+
+and check_deref env loc inner =
+  (* Normalize *(p) and *(p + i) to p[i] when p is a simple pointer
+     lvalue, so the dependence tester sees affine subscripts. *)
+  let subscript_form base_ast idx_t =
+    let base_lv = check_lvalue env base_ast in
+    match Types.deref base_lv.lty with
+    | Some elem -> Some { Tast.ldesc = Tast.Lindex (base_lv, idx_t); lty = elem; lloc = loc }
+    | None -> None
+  in
+  let as_simple_ptr (a : Ast.expr) =
+    match a.edesc with Ast.Var _ | Ast.Index _ | Ast.Deref _ -> true | _ -> false
+  in
+  let fallback () =
+    let p = check_expr env inner in
+    match p.ty with
+    | Types.Tptr elem -> { Tast.ldesc = Tast.Lderef p; lty = elem; lloc = loc }
+    | _ -> err loc "dereference of non-pointer value"
+  in
+  match inner.edesc with
+  | Ast.Binop (Ast.Add, base, idx) when as_simple_ptr base -> (
+      let idx_t = coerce ~to_:Types.Tint (check_expr env idx) in
+      match subscript_form base idx_t with Some lv -> lv | None -> fallback ())
+  | Ast.Var _ | Ast.Index _ -> (
+      let zero = { Tast.desc = Tast.Const_int 0; ty = Types.Tint; loc } in
+      match subscript_form inner zero with Some lv -> lv | None -> fallback ())
+  | _ -> fallback ()
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_stmt env (s : Ast.stmt) : Tast.stmt list =
+  let loc = s.sloc in
+  match s.sdesc with
+  | Ast.Sexpr e -> [ { sdesc = Tast.Sexpr (check_expr env e); sloc = loc } ]
+  | Ast.Sassign (lhs, rhs) ->
+      let lv = check_lvalue env lhs in
+      if not (Types.is_scalar lv.lty) then
+        err loc "assignment to non-scalar lvalue";
+      let rhs = coerce ~to_:lv.lty (check_expr env rhs) in
+      [ { sdesc = Tast.Sassign (lv, rhs); sloc = loc } ]
+  | Ast.Sif (cond, then_, else_) ->
+      let cond = check_expr env cond in
+      let then_ = check_block env then_ in
+      let else_ = check_block env else_ in
+      [ { sdesc = Tast.Sif (cond, then_, else_); sloc = loc } ]
+  | Ast.Swhile (cond, body) ->
+      let cond = check_expr env cond in
+      let body = check_block env body in
+      [ { sdesc = Tast.Swhile (cond, body); sloc = loc } ]
+  | Ast.Sfor (init, cond, step, body) ->
+      enter_scope env;
+      let init = Option.map (check_simple env) init in
+      let cond = Option.map (check_expr env) cond in
+      let step = Option.map (check_simple env) step in
+      let body = check_block env body in
+      leave_scope env;
+      [ { sdesc = Tast.Sfor (init, cond, step, body); sloc = loc } ]
+  | Ast.Sreturn e ->
+      let e =
+        Option.map
+          (fun e -> coerce ~to_:env.cur_ret (check_expr env e))
+          e
+      in
+      [ { sdesc = Tast.Sreturn e; sloc = loc } ]
+  | Ast.Sblock body ->
+      let body = check_block env body in
+      [ { sdesc = Tast.Sblock body; sloc = loc } ]
+  | Ast.Sdecl d -> (
+      let sym = declare_local env ~loc:d.dloc ~name:d.dname ~ty:d.dty ~storage:Symbol.Local in
+      match d.dinit with
+      | None -> []
+      | Some init ->
+          let lv = { Tast.ldesc = Tast.Lvar sym; lty = sym.Symbol.ty; lloc = d.dloc } in
+          let init = coerce ~to_:sym.Symbol.ty (check_expr env init) in
+          [ { sdesc = Tast.Sassign (lv, init); sloc = d.dloc } ])
+
+and check_simple env s =
+  match check_stmt env s with
+  | [ single ] -> single
+  | _ -> err s.sloc "declaration not allowed here"
+
+and check_block env stmts =
+  enter_scope env;
+  let out = List.concat_map (check_stmt env) stmts in
+  leave_scope env;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let constant_initializer ~ty (e : Ast.expr) =
+  let rec eval (e : Ast.expr) =
+    match e.edesc with
+    | Ast.Int_lit n -> Some (Tast.Ginit_int n)
+    | Ast.Float_lit f -> Some (Tast.Ginit_float f)
+    | Ast.Unop (Ast.Neg, inner) -> (
+        match eval inner with
+        | Some (Tast.Ginit_int n) -> Some (Tast.Ginit_int (-n))
+        | Some (Tast.Ginit_float f) -> Some (Tast.Ginit_float (-.f))
+        | None -> None)
+    | _ -> None
+  in
+  match (eval e, ty) with
+  | Some (Tast.Ginit_int n), Types.Tdouble -> Some (Tast.Ginit_float (float_of_int n))
+  | (Some _ as v), _ -> v
+  | None, _ -> None
+
+let check_func env (f : Ast.func) : Tast.func =
+  env.locals_acc <- [];
+  env.cur_ret <- f.fret;
+  enter_scope env;
+  let params =
+    List.map
+      (fun (name, ty) ->
+        match env.scopes with
+        | scope :: _ ->
+            if Hashtbl.mem scope name then
+              err f.floc "duplicate parameter %s in %s" name f.fname;
+            let sym = Symbol.fresh ~name ~ty ~storage:Symbol.Param in
+            Hashtbl.replace scope name sym;
+            sym
+        | [] -> assert false)
+      f.fparams
+  in
+  let body = List.concat_map (check_stmt env) f.fbody in
+  leave_scope env;
+  {
+    Tast.name = f.fname;
+    ret = f.fret;
+    params;
+    locals = List.rev env.locals_acc;
+    body;
+    loc = f.floc;
+  }
+
+(** Check a whole program.  Function signatures are collected up front so
+    that forward calls (and recursion) type-check. *)
+let check_program (p : Ast.program) : Tast.program =
+  let env =
+    {
+      globals = Hashtbl.create 64;
+      funcs = Hashtbl.create 64;
+      scopes = [];
+      locals_acc = [];
+      cur_ret = Types.Tvoid;
+    }
+  in
+  (* pass 1: signatures and globals *)
+  List.iter
+    (fun top ->
+      match top with
+      | Ast.Tfunc f ->
+          if Hashtbl.mem env.funcs f.fname then
+            err f.floc "redefinition of function %s" f.fname;
+          if Builtins.is_builtin f.fname then
+            err f.floc "function %s shadows a builtin" f.fname;
+          Hashtbl.replace env.funcs f.fname
+            { fs_ret = f.fret; fs_params = List.map snd f.fparams }
+      | Ast.Tgvar d ->
+          if Hashtbl.mem env.globals d.dname then
+            err d.dloc "redefinition of global %s" d.dname;
+          let sym = Symbol.fresh ~name:d.dname ~ty:d.dty ~storage:Symbol.Global in
+          Hashtbl.replace env.globals d.dname sym)
+    p.tops;
+  (* pass 2: bodies and initializers *)
+  let globals = ref [] and funcs = ref [] in
+  List.iter
+    (fun top ->
+      match top with
+      | Ast.Tgvar d ->
+          let sym = Hashtbl.find env.globals d.dname in
+          let init =
+            match d.dinit with
+            | None -> None
+            | Some e -> (
+                match constant_initializer ~ty:d.dty e with
+                | Some _ as v -> v
+                | None -> err d.dloc "global initializer must be a constant")
+          in
+          globals := (sym, init) :: !globals
+      | Ast.Tfunc f -> funcs := check_func env f :: !funcs)
+    p.tops;
+  { Tast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+(** Convenience: parse and check in one step. *)
+let program_of_string src = check_program (Parser.program_of_string src)

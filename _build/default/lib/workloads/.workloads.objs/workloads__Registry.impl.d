@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List W_alvinn W_apsi W_compress W_doduc W_eqntott W_espresso W_mdljdp2 W_mdljsp2 W_mgrid W_ora W_su2cor W_swim W_tomcatv W_wc Workload

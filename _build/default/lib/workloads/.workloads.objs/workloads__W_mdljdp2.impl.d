@@ -1,0 +1,1 @@
+lib/workloads/w_mdljdp2.ml: Workload

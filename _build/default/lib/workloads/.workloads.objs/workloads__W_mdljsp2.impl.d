@@ -1,0 +1,1 @@
+lib/workloads/w_mdljsp2.ml: Workload

@@ -1,0 +1,22 @@
+(** All workloads, in the paper's Table 1/2 order (integer suite first,
+    then floating point). *)
+
+let all : Workload.t list =
+  [
+    W_wc.workload;
+    W_espresso.workload;
+    W_eqntott.workload;
+    W_compress.workload;
+    W_doduc.workload;
+    W_mdljdp2.workload;
+    W_ora.workload;
+    W_alvinn.workload;
+    W_mdljsp2.workload;
+    W_tomcatv.workload;
+    W_swim.workload;
+    W_su2cor.workload;
+    W_mgrid.workload;
+    W_apsi.workload;
+  ]
+
+let find name = List.find_opt (fun w -> w.Workload.name = name) all

@@ -1,0 +1,173 @@
+(** 052.alvinn stand-in: neural-network training.
+
+    The original trains a small feed-forward network (input → hidden →
+    output) with back-propagation: matrix-vector products over weight
+    arrays and activation vectors, all reached through pointer
+    parameters.  The tiny program size (475 lines in the paper) and
+    dense inner products match here. *)
+
+let template =
+  {|
+double in_act[@NIN@];
+double hid_act[@NHID@];
+double out_act[@NOUT@];
+double w1[@W1SZ@];
+double w2[@W2SZ@];
+double hid_delta[@NHID@];
+double out_delta[@NOUT@];
+double target[@NOUT@];
+
+void input_pattern(int seed)
+{
+  int i;
+  int v;
+  v = seed;
+  for (i = 0; i < @NIN@; i++)
+  {
+    v = (v * 137 + 29) & 4095;
+    in_act[i] = v * 0.000244140625;
+  }
+  for (i = 0; i < @NOUT@; i++)
+  {
+    v = (v * 137 + 29) & 4095;
+    target[i] = v * 0.000244140625;
+  }
+}
+
+void forward_hidden(double *act, double *w, double *hid)
+{
+  int h;
+  int i;
+  double s;
+  for (h = 0; h < @NHID@; h++)
+  {
+    s = 0.0;
+    for (i = 0; i < @NIN@; i++)
+    {
+      s = s + act[i] * w[h * @NIN@ + i];
+    }
+    hid[h] = 1.0 / (1.0 + exp(0.0 - s));
+  }
+}
+
+void forward_output(double *hid, double *w, double *out)
+{
+  int o;
+  int h;
+  double s;
+  for (o = 0; o < @NOUT@; o++)
+  {
+    s = 0.0;
+    for (h = 0; h < @NHID@; h++)
+    {
+      s = s + hid[h] * w[o * @NHID@ + h];
+    }
+    out[o] = 1.0 / (1.0 + exp(0.0 - s));
+  }
+}
+
+double output_error(double *out, double *tgt, double *delta)
+{
+  int o;
+  double e;
+  double d;
+  e = 0.0;
+  for (o = 0; o < @NOUT@; o++)
+  {
+    d = tgt[o] - out[o];
+    delta[o] = d * out[o] * (1.0 - out[o]);
+    e = e + d * d;
+  }
+  return e;
+}
+
+void hidden_error(double *odelta, double *w, double *hid, double *hdelta)
+{
+  int h;
+  int o;
+  double s;
+  for (h = 0; h < @NHID@; h++)
+  {
+    s = 0.0;
+    for (o = 0; o < @NOUT@; o++)
+    {
+      s = s + odelta[o] * w[o * @NHID@ + h];
+    }
+    hdelta[h] = s * hid[h] * (1.0 - hid[h]);
+  }
+}
+
+void adjust_w2(double *w, double *odelta, double *hid)
+{
+  int o;
+  int h;
+  for (o = 0; o < @NOUT@; o++)
+  {
+    for (h = 0; h < @NHID@; h++)
+    {
+      w[o * @NHID@ + h] = w[o * @NHID@ + h] + 0.3 * odelta[o] * hid[h];
+    }
+  }
+}
+
+void adjust_w1(double *w, double *hdelta, double *act)
+{
+  int h;
+  int i;
+  for (h = 0; h < @NHID@; h++)
+  {
+    for (i = 0; i < @NIN@; i++)
+    {
+      w[h * @NIN@ + i] = w[h * @NIN@ + i] + 0.3 * hdelta[h] * act[i];
+    }
+  }
+}
+
+int main()
+{
+  int epoch;
+  int i;
+  double err;
+  for (i = 0; i < @W1SZ@; i++)
+  {
+    w1[i] = 0.01 * ((i * 7) % 19) - 0.09;
+  }
+  for (i = 0; i < @W2SZ@; i++)
+  {
+    w2[i] = 0.01 * ((i * 5) % 23) - 0.11;
+  }
+  err = 0.0;
+  for (epoch = 0; epoch < @EPOCHS@; epoch++)
+  {
+    input_pattern(epoch * 13 + 1);
+    forward_hidden(in_act, w1, hid_act);
+    forward_output(hid_act, w2, out_act);
+    err = err + output_error(out_act, target, out_delta);
+    hidden_error(out_delta, w2, hid_act, hid_delta);
+    adjust_w2(w2, out_delta, hid_act);
+    adjust_w1(w1, hid_delta, in_act);
+  }
+  print_double(err);
+  return 0;
+}
+|}
+
+let source =
+  Workload.expand
+    [
+      ("W1SZ", 960 * 30);
+      ("W2SZ", 30 * 30);
+      ("NIN", 960);
+      ("NHID", 30);
+      ("NOUT", 30);
+      ("EPOCHS", 24);
+    ]
+    template
+
+let workload =
+  {
+    Workload.name = "052.alvinn";
+    suite = Workload.Cfp92;
+    descr = "neural-net training: matrix-vector products via pointer parameters";
+    source;
+  }

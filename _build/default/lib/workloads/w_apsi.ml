@@ -1,0 +1,163 @@
+(** 141.apsi stand-in: mesoscale atmospheric simulation.
+
+    The original advances temperature, wind and pollutant fields on a
+    3-D grid through many specialized routines.  Its paper profile is
+    distinctive: the highest query density (1.02 per line) but a modest
+    33% reduction — a mix of disambiguable constant-stride sweeps and
+    symbolic-stride/indirect routines the front end cannot crack.  We
+    reproduce both kinds: constant-stride advection/diffusion over
+    named fields, plus symbolic-stride column physics where the HLI
+    stays conservative. *)
+
+let template =
+  {|
+double t_fld[@SZ@];
+double q_fld[@SZ@];
+double uw_fld[@SZ@];
+double vw_fld[@SZ@];
+double wrk1[@SZ@];
+double wrk2[@SZ@];
+double colbuf[@NZ@];
+
+void advect(double *t, double *u, double *v, double *out)
+{
+  int i;
+  int j;
+  for (i = 1; i < @NX1@; i++)
+  {
+    for (j = 1; j < @NY1@; j++)
+    {
+      out[i*@NY@+j] = t[i*@NY@+j]
+        - 0.1 * u[i*@NY@+j] * (t[i*@NY@+j] - t[(i-1)*@NY@+j])
+        - 0.1 * v[i*@NY@+j] * (t[i*@NY@+j] - t[i*@NY@+j-1]);
+    }
+  }
+}
+
+void diffuse(double *t, double *out)
+{
+  int i;
+  int j;
+  for (i = 1; i < @NX1@; i++)
+  {
+    for (j = 1; j < @NY1@; j++)
+    {
+      out[i*@NY@+j] = t[i*@NY@+j] + 0.05 *
+        (t[(i+1)*@NY@+j] + t[(i-1)*@NY@+j] + t[i*@NY@+j+1] + t[i*@NY@+j-1] - 4.0 * t[i*@NY@+j]);
+    }
+  }
+}
+
+void column_physics(double *f, double *col, int nz, int stride)
+{
+  int k;
+  double flux;
+  for (k = 0; k < nz; k++)
+  {
+    col[k] = f[k * stride];
+  }
+  for (k = 1; k < nz - 1; k++)
+  {
+    flux = 0.3 * (col[k + 1] - col[k - 1]);
+    f[k * stride] = col[k] + 0.01 * flux - 0.002 * col[k] * col[k];
+  }
+}
+
+void apply_columns(double *f)
+{
+  int i;
+  for (i = 0; i < @NX@; i++)
+  {
+    column_physics(f + i * @NY@, colbuf, @NZ@, 3);
+  }
+}
+
+void wind_update(double *u, double *v, double *t)
+{
+  int i;
+  int j;
+  for (i = 1; i < @NX1@; i++)
+  {
+    for (j = 1; j < @NY1@; j++)
+    {
+      u[i*@NY@+j] = 0.99 * u[i*@NY@+j] - 0.002 * (t[i*@NY@+j] - t[(i-1)*@NY@+j]);
+      v[i*@NY@+j] = 0.99 * v[i*@NY@+j] - 0.002 * (t[i*@NY@+j] - t[i*@NY@+j-1]);
+    }
+  }
+}
+
+void copy_back(double *dst, double *src)
+{
+  int i;
+  for (i = 0; i < @SZ@; i++)
+  {
+    dst[i] = src[i];
+  }
+}
+
+double total_heat(double *t)
+{
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < @SZ@; i++)
+  {
+    s = s + t[i];
+  }
+  return s;
+}
+
+int main()
+{
+  int i;
+  int step;
+  double s;
+  for (i = 0; i < @SZ@; i++)
+  {
+    t_fld[i] = 280.0 + 0.01 * (i % 97);
+    q_fld[i] = 0.001 * (i % 31);
+    uw_fld[i] = 1.0 + 0.005 * (i % 13);
+    vw_fld[i] = 0.5 - 0.004 * (i % 17);
+    wrk1[i] = 0.0;
+    wrk2[i] = 0.0;
+  }
+  s = 0.0;
+  for (step = 0; step < @STEPS@; step++)
+  {
+    advect(t_fld, uw_fld, vw_fld, wrk1);
+    diffuse(wrk1, wrk2);
+    copy_back(t_fld, wrk2);
+    advect(q_fld, uw_fld, vw_fld, wrk1);
+    copy_back(q_fld, wrk1);
+    apply_columns(t_fld);
+    wind_update(uw_fld, vw_fld, t_fld);
+    s = total_heat(t_fld);
+  }
+  print_double(s);
+  return 0;
+}
+|}
+
+let nx = 48
+let ny = 48
+
+let source =
+  Workload.expand
+    [
+      ("SZ", nx * ny);
+      ("NX1", nx - 1);
+      ("NY1", ny - 1);
+      ("NX", nx);
+      ("NY", ny);
+      ("NZ", 16);
+      ("STEPS", 12);
+    ]
+    template
+
+let workload =
+  {
+    Workload.name = "141.apsi";
+    suite = Workload.Cfp95;
+    descr = "atmospheric fields: constant-stride sweeps plus symbolic-stride columns";
+    source;
+  }

@@ -1,0 +1,146 @@
+(** 129.compress stand-in: LZW compression.
+
+    The original compresses a byte stream with a hash-probed code table.
+    We reproduce the structure: a byte-generating loop, an LZW encode
+    loop probing global hash/code tables with data-dependent indices,
+    and a small output-counting sink.  Integer code, short basic blocks,
+    few memory references per line — the profile the paper reports for
+    the integer programs (low queries/line, modest HLI benefit). *)
+
+let template =
+  {|
+int htab[@HSIZE@];
+int codetab[@HSIZE@];
+int inbuf[@INSIZE@];
+int outcount;
+int incount;
+int checksum;
+
+void cl_hash()
+{
+  int i;
+  for (i = 0; i < @HSIZE@; i++)
+  {
+    htab[i] = -1;
+    codetab[i] = 0;
+  }
+}
+
+int emit_code(int code)
+{
+  outcount = outcount + 1;
+  checksum = (checksum + code) & 65535;
+  return code;
+}
+
+void fill_input(int n)
+{
+  int i;
+  int v;
+  v = 7;
+  for (i = 0; i < n; i++)
+  {
+    v = (v * 129 + 41) & 8191;
+    if (v & 64)
+    {
+      inbuf[i] = (v >> 3) & 63;
+    }
+    else
+    {
+      inbuf[i] = v & 15;
+    }
+  }
+  incount = n;
+}
+
+void compress(int *buf, int *ht, int *ct)
+{
+  int i;
+  int ent;
+  int c;
+  int fcode;
+  int h;
+  int disp;
+  int free_ent;
+  int probes;
+  free_ent = 257;
+  ent = buf[0];
+  probes = 0;
+  for (i = 1; i < incount; i++)
+  {
+    c = buf[i];
+    fcode = (c << 12) + ent;
+    h = (c << 4) ^ ent;
+    if (ht[h] == fcode)
+    {
+      ent = ct[h];
+    }
+    else
+    {
+      if (ht[h] >= 0)
+      {
+        disp = @HSIZE@ - h;
+        if (h == 0)
+        {
+          disp = 1;
+        }
+        probes = 0;
+        while (ht[h] >= 0 && ht[h] != fcode && probes < 8)
+        {
+          h = h - disp;
+          if (h < 0)
+          {
+            h = h + @HSIZE@;
+          }
+          probes = probes + 1;
+        }
+      }
+      if (ht[h] == fcode)
+      {
+        ent = ct[h];
+      }
+      else
+      {
+        emit_code(ent);
+        if (free_ent < @MAXCODE@)
+        {
+          ct[h] = free_ent;
+          ht[h] = fcode;
+          free_ent = free_ent + 1;
+        }
+        ent = c;
+      }
+    }
+  }
+  emit_code(ent);
+}
+
+int main()
+{
+  int round;
+  outcount = 0;
+  checksum = 0;
+  for (round = 0; round < @ROUNDS@; round++)
+  {
+    fill_input(@INSIZE@);
+    cl_hash();
+    compress(inbuf, htab, codetab);
+  }
+  print_int(outcount);
+  print_int(checksum);
+  return 0;
+}
+|}
+
+let source =
+  Workload.expand
+    [ ("HSIZE", 5003); ("INSIZE", 16384); ("MAXCODE", 4096); ("ROUNDS", 6) ]
+    template
+
+let workload =
+  {
+    Workload.name = "129.compress";
+    suite = Workload.Cint95;
+    descr = "LZW compression: hash-probed tables, data-dependent indices";
+    source;
+  }

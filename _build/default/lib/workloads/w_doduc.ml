@@ -1,0 +1,173 @@
+(** 015.doduc stand-in: Monte-Carlo nuclear reactor simulation.
+
+    The original is a large (25k-line) Fortran program of many small
+    routines: table interpolations, thermodynamic property evaluations
+    and control logic, with deep call chains and dense per-line memory
+    traffic in nested loops (the paper measures its largest HLI file,
+    53 bytes/line, and a 63% edge reduction).  We reproduce the shape
+    with a battery of interpolation/property routines over shared
+    tables, called from nested sweep loops. *)
+
+let template =
+  {|
+double t_temp[@TAB@];
+double t_pres[@TAB@];
+double t_enth[@TAB@];
+double t_dens[@TAB@];
+double t_visc[@TAB@];
+double cell_t[@NCELL@];
+double cell_p[@NCELL@];
+double cell_h[@NCELL@];
+double cell_d[@NCELL@];
+double flux[@NCELL@];
+double srcq[@NCELL@];
+
+void build_tables()
+{
+  int i;
+  for (i = 0; i < @TAB@; i++)
+  {
+    t_temp[i] = 280.0 + 2.5 * i;
+    t_pres[i] = 1.0 + 0.04 * i;
+    t_enth[i] = 1000.0 + 12.0 * i + 0.01 * i * i;
+    t_dens[i] = 900.0 - 1.5 * i;
+    t_visc[i] = 0.001 + 0.00001 * i;
+  }
+}
+
+int locate(double *tab, double x)
+{
+  int lo;
+  int hi;
+  int mid;
+  lo = 0;
+  hi = @TAB@ - 1;
+  while (hi - lo > 1)
+  {
+    mid = (lo + hi) / 2;
+    if (tab[mid] > x)
+    {
+      hi = mid;
+    }
+    else
+    {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+double interp(double *xs, double *ys, double x)
+{
+  int i;
+  double f;
+  i = locate(xs, x);
+  f = (x - xs[i]) / (xs[i + 1] - xs[i]);
+  return ys[i] + f * (ys[i + 1] - ys[i]);
+}
+
+double enthalpy(double t)
+{
+  return interp(t_temp, t_enth, t);
+}
+
+double density(double t)
+{
+  return interp(t_temp, t_dens, t);
+}
+
+double viscosity(double t)
+{
+  return interp(t_temp, t_visc, t);
+}
+
+double heat_source(int i, double t)
+{
+  double base;
+  base = 0.8 + 0.2 * sin(0.01 * i);
+  return base * (1.0 + 0.0005 * (t - 300.0));
+}
+
+void sweep_cells(double *ct, double *cp, double *ch, double *cd, double *fl, double *sq)
+{
+  int i;
+  double h;
+  double d;
+  double mu;
+  double q;
+  double dt;
+  for (i = 1; i < @NCELL1@; i++)
+  {
+    h = enthalpy(ct[i]);
+    d = density(ct[i]);
+    mu = viscosity(ct[i]);
+    q = heat_source(i, ct[i]);
+    dt = (q + 0.5 * (fl[i - 1] + fl[i]) - 0.001 * h * mu) / (d + 1.0);
+    ct[i] = ct[i] + 0.05 * dt;
+    ch[i] = h;
+    cd[i] = d;
+    cp[i] = cp[i] + 0.01 * (d - 900.0);
+    sq[i] = q;
+  }
+}
+
+void diffuse_flux(double *fl, double *sq)
+{
+  int i;
+  for (i = 1; i < @NCELL1@; i++)
+  {
+    fl[i] = 0.9 * fl[i] + 0.05 * (fl[i - 1] + fl[i + 1]) + 0.02 * sq[i];
+  }
+}
+
+double core_energy(double *ch, double *cd)
+{
+  int i;
+  double e;
+  e = 0.0;
+  for (i = 0; i < @NCELL@; i++)
+  {
+    e = e + ch[i] * cd[i];
+  }
+  return e * 0.000001;
+}
+
+int main()
+{
+  int i;
+  int step;
+  double e;
+  build_tables();
+  for (i = 0; i < @NCELL@; i++)
+  {
+    cell_t[i] = 300.0 + 0.2 * i;
+    cell_p[i] = 10.0;
+    cell_h[i] = 0.0;
+    cell_d[i] = 0.0;
+    flux[i] = 1.0 + 0.001 * i;
+    srcq[i] = 0.0;
+  }
+  e = 0.0;
+  for (step = 0; step < @STEPS@; step++)
+  {
+    sweep_cells(cell_t, cell_p, cell_h, cell_d, flux, srcq);
+    diffuse_flux(flux, srcq);
+    e = core_energy(cell_h, cell_d);
+  }
+  print_double(e);
+  return 0;
+}
+|}
+
+let source =
+  Workload.expand
+    [ ("NCELL1", 1023); ("NCELL", 1024); ("TAB", 128); ("STEPS", 30) ]
+    template
+
+let workload =
+  {
+    Workload.name = "015.doduc";
+    suite = Workload.Cfp92;
+    descr = "reactor simulation: table interpolation routines under sweep loops";
+    source;
+  }

@@ -1,0 +1,161 @@
+(** 023.eqntott stand-in: truth-table generation.
+
+    The original spends its time comparing and sorting PLA terms —
+    fixed-width integer vectors — through a comparison routine called
+    from a sort.  We reproduce that: term vectors in a flat global
+    array, a [cmppt]-like comparator through pointer parameters, an
+    insertion/shell sort driver, and a de-duplication sweep. *)
+
+let template =
+  {|
+int terms[@TOTSZ@];
+int outterms[@TOTSZ@];
+int perm[@NTERMS@];
+int nterm;
+int sig;
+
+void gen_terms(int seed)
+{
+  int i;
+  int k;
+  int v;
+  v = seed;
+  for (i = 0; i < @NTERMS@; i++)
+  {
+    perm[i] = i;
+    for (k = 0; k < @W@; k++)
+    {
+      v = (v * 75 + 74) % 65537;
+      terms[i * @W@ + k] = v & 3;
+    }
+  }
+  nterm = @NTERMS@;
+}
+
+int cmppt(int *a, int *b)
+{
+  int k;
+  for (k = 0; k < @W@; k++)
+  {
+    if (a[k] < b[k])
+    {
+      return 0 - 1;
+    }
+    if (a[k] > b[k])
+    {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+void sort_terms()
+{
+  int gap;
+  int i;
+  int j;
+  int t;
+  int c;
+  gap = nterm / 2;
+  while (gap > 0)
+  {
+    for (i = gap; i < nterm; i++)
+    {
+      j = i - gap;
+      while (j >= 0)
+      {
+        c = cmppt(terms + perm[j] * @W@, terms + perm[j + gap] * @W@);
+        if (c > 0)
+        {
+          t = perm[j];
+          perm[j] = perm[j + gap];
+          perm[j + gap] = t;
+          j = j - gap;
+        }
+        else
+        {
+          j = 0 - 1;
+        }
+      }
+    }
+    gap = gap / 2;
+  }
+}
+
+int copy_unique(int *src, int *dst, int *pm)
+{
+  int i;
+  int k;
+  int n;
+  int same;
+  n = 0;
+  for (i = 0; i < nterm; i++)
+  {
+    same = 0;
+    if (i > 0)
+    {
+      same = cmppt(src + pm[i] * @W@, src + pm[i - 1] * @W@) == 0;
+    }
+    if (same == 0)
+    {
+      for (k = 0; k < @W@; k++)
+      {
+        dst[n * @W@ + k] = src[pm[i] * @W@ + k];
+      }
+      n = n + 1;
+    }
+  }
+  return n;
+}
+
+int dedup()
+{
+  int i;
+  int uniq;
+  uniq = 1;
+  for (i = 1; i < nterm; i++)
+  {
+    if (cmppt(terms + perm[i] * @W@, terms + perm[i - 1] * @W@) != 0)
+    {
+      uniq = uniq + 1;
+    }
+  }
+  return uniq;
+}
+
+int main()
+{
+  int round;
+  int u;
+  int i;
+  u = 0;
+  for (round = 0; round < @ROUNDS@; round++)
+  {
+    gen_terms(round * 31 + 7);
+    sort_terms();
+    u = u + dedup();
+    u = u + copy_unique(terms, outterms, perm);
+  }
+  sig = 0;
+  for (i = 0; i < @NTERMS@; i++)
+  {
+    sig = (sig * 31 + perm[i] + outterms[i]) & 65535;
+  }
+  print_int(u);
+  print_int(sig);
+  return 0;
+}
+|}
+
+let source =
+  Workload.expand
+    [ ("TOTSZ", 256 * 16); ("NTERMS", 256); ("ROUNDS", 6); ("W", 16) ]
+    template
+
+let workload =
+  {
+    Workload.name = "023.eqntott";
+    suite = Workload.Cint92;
+    descr = "truth-table generation: term comparison and sorting via pointers";
+    source;
+  }

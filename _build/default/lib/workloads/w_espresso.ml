@@ -1,0 +1,209 @@
+(** 008.espresso stand-in: two-level logic minimization.
+
+    The original manipulates cube covers as arrays of bit-set words
+    passed between many small set-operation routines.  We reproduce
+    that: a cover of fixed-width cubes, set operations (and/or/diff/
+    containment/distance) through pointer parameters, and an iterative
+    expand/irredundant-like driver.  Many short leaf calls over
+    pointer-parameter words is where GCC's disambiguation gives up and
+    interprocedural REF/MOD plus points-to recover scheduling freedom
+    (the paper's largest integer reduction, 62%). *)
+
+let template =
+  {|
+int cover[@COVSZ@];
+int tmpa[@W@];
+int tmpb[@W@];
+int tmpc[@W@];
+int ncubes;
+int sig;
+
+void set_copy(int *dst, int *src)
+{
+  int k;
+  for (k = 0; k < @W@; k++)
+  {
+    dst[k] = src[k];
+  }
+}
+
+void set_and(int *dst, int *a, int *b)
+{
+  int k;
+  for (k = 0; k < @W@; k++)
+  {
+    dst[k] = a[k] & b[k];
+  }
+}
+
+void set_or(int *dst, int *a, int *b)
+{
+  int k;
+  for (k = 0; k < @W@; k++)
+  {
+    dst[k] = a[k] | b[k];
+  }
+}
+
+void set_diff(int *dst, int *a, int *b)
+{
+  int k;
+  for (k = 0; k < @W@; k++)
+  {
+    dst[k] = a[k] & ~b[k];
+  }
+}
+
+int set_empty(int *a)
+{
+  int k;
+  int acc;
+  acc = 0;
+  for (k = 0; k < @W@; k++)
+  {
+    acc = acc | a[k];
+  }
+  return acc == 0;
+}
+
+int set_contains(int *a, int *b)
+{
+  int k;
+  int bad;
+  bad = 0;
+  for (k = 0; k < @W@; k++)
+  {
+    bad = bad | (b[k] & ~a[k]);
+  }
+  return bad == 0;
+}
+
+int cube_distance(int *a, int *b)
+{
+  int k;
+  int d;
+  int x;
+  d = 0;
+  for (k = 0; k < @W@; k++)
+  {
+    x = a[k] & b[k];
+    if (x == 0)
+    {
+      d = d + 1;
+    }
+  }
+  return d;
+}
+
+void gen_cube(int *dst, int seed)
+{
+  int k;
+  int v;
+  v = seed;
+  for (k = 0; k < @W@; k++)
+  {
+    v = (v * 69069 + 5) & 1048575;
+    dst[k] = v | 257;
+  }
+}
+
+void expand_cube(int *c, int *against)
+{
+  int k;
+  for (k = 0; k < @W@; k++)
+  {
+    c[k] = c[k] | (c[k] << 1 & ~against[k]);
+  }
+}
+
+int irredundant()
+{
+  int i;
+  int j;
+  int removed;
+  removed = 0;
+  for (i = 0; i < ncubes; i++)
+  {
+    for (j = 0; j < ncubes; j++)
+    {
+      if (i != j)
+      {
+        if (set_contains(cover + j * @W@, cover + i * @W@))
+        {
+          if (set_empty(cover + i * @W@) == 0)
+          {
+            set_diff(cover + i * @W@, cover + i * @W@, cover + i * @W@);
+            removed = removed + 1;
+          }
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+void sharp(int *a, int *b)
+{
+  set_and(tmpa, a, b);
+  set_diff(tmpb, a, tmpa);
+  set_or(a, tmpb, tmpa);
+}
+
+int main()
+{
+  int i;
+  int j;
+  int pass;
+  int total;
+  int d;
+  ncubes = @NCUBES@;
+  total = 0;
+  for (i = 0; i < ncubes; i++)
+  {
+    gen_cube(cover + i * @W@, i * 7 + 3);
+  }
+  for (pass = 0; pass < @PASSES@; pass++)
+  {
+    for (i = 0; i < ncubes; i++)
+    {
+      for (j = i + 1; j < ncubes; j++)
+      {
+        d = cube_distance(cover + i * @W@, cover + j * @W@);
+        if (d == 0)
+        {
+          sharp(cover + i * @W@, cover + j * @W@);
+        }
+        else
+        {
+          if (d == 1)
+          {
+            expand_cube(cover + i * @W@, cover + j * @W@);
+          }
+        }
+      }
+    }
+    total = total + irredundant();
+  }
+  sig = 0;
+  for (i = 0; i < ncubes * @W@; i++)
+  {
+    sig = (sig + cover[i]) & 65535;
+  }
+  print_int(total);
+  print_int(sig);
+  return 0;
+}
+|}
+
+let source =
+  Workload.expand
+    [ ("COVSZ", 64 * 8); ("NCUBES", 64); ("PASSES", 12); ("W", 8) ]
+    template
+
+let workload =
+  {
+    Workload.name = "008.espresso";
+    suite = Workload.Cint92;
+    descr = "logic minimization: bit-set cubes through pointer-parameter leaf calls";
+    source;
+  }

@@ -1,0 +1,141 @@
+(** 034.mdljdp2 stand-in: molecular dynamics (double precision).
+
+    The original integrates equations of motion for a few hundred
+    particles: a pairwise force loop (distance, cutoff, Lennard-Jones
+    force accumulation into fx/fy/fz), then velocity/position updates.
+    All particle arrays reach the kernels as pointer parameters, and the
+    force-loop body is one large basic block mixing loads of six arrays
+    with stores into three — GCC serializes all of it (every reference
+    is pointer-based), while points-to plus subscript analysis frees
+    nearly everything, giving the paper's 85% reduction and its largest
+    R10000 speedups. *)
+
+let template =
+  {|
+double px[@NP@];
+double py[@NP@];
+double pz[@NP@];
+double vx[@NP@];
+double vy[@NP@];
+double vz[@NP@];
+double fx[@NP@];
+double fy[@NP@];
+double fz[@NP@];
+double epot_g;
+
+void init_particles()
+{
+  int i;
+  int side;
+  side = 8;
+  for (i = 0; i < @NP@; i++)
+  {
+    px[i] = 1.1 * (i % side) + 0.01 * i;
+    py[i] = 1.1 * ((i / side) % side) - 0.005 * i;
+    pz[i] = 1.1 * (i / (side * side));
+    vx[i] = 0.001 * (i % 7) - 0.003;
+    vy[i] = 0.001 * (i % 5) - 0.002;
+    vz[i] = 0.001 * (i % 3) - 0.001;
+  }
+}
+
+void clear_forces(double *gx, double *gy, double *gz)
+{
+  int i;
+  for (i = 0; i < @NP@; i++)
+  {
+    gx[i] = 0.0;
+    gy[i] = 0.0;
+    gz[i] = 0.0;
+  }
+}
+
+double forces(double *x, double *y, double *z, double *gx, double *gy, double *gz)
+{
+  int i;
+  int j;
+  double dx;
+  double dy;
+  double dz;
+  double r2;
+  double r2i;
+  double r6i;
+  double ff;
+  double epot;
+  epot = 0.0;
+  for (i = 0; i < @NP@; i++)
+  {
+    for (j = i + 1; j < @NP@; j++)
+    {
+      dx = x[i] - x[j];
+      dy = y[i] - y[j];
+      dz = z[i] - z[j];
+      r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 < @CUT@.0)
+      {
+        r2i = 1.0 / r2;
+        r6i = r2i * r2i * r2i;
+        ff = 48.0 * r2i * r6i * (r6i - 0.5);
+        epot = epot + 4.0 * r6i * (r6i - 1.0);
+        gx[i] = gx[i] + ff * dx;
+        gy[i] = gy[i] + ff * dy;
+        gz[i] = gz[i] + ff * dz;
+        gx[j] = gx[j] - ff * dx;
+        gy[j] = gy[j] - ff * dy;
+        gz[j] = gz[j] - ff * dz;
+      }
+    }
+  }
+  return epot;
+}
+
+double update(double *x, double *y, double *z, double *wx, double *wy, double *wz, double *gx, double *gy, double *gz)
+{
+  int i;
+  double dt;
+  double ekin;
+  dt = 0.004;
+  ekin = 0.0;
+  for (i = 0; i < @NP@; i++)
+  {
+    wx[i] = wx[i] + dt * gx[i];
+    wy[i] = wy[i] + dt * gy[i];
+    wz[i] = wz[i] + dt * gz[i];
+    x[i] = x[i] + dt * wx[i];
+    y[i] = y[i] + dt * wy[i];
+    z[i] = z[i] + dt * wz[i];
+    ekin = ekin + wx[i] * wx[i] + wy[i] * wy[i] + wz[i] * wz[i];
+  }
+  return 0.5 * ekin;
+}
+
+int main()
+{
+  int step;
+  double epot;
+  double ekin;
+  init_particles();
+  epot = 0.0;
+  ekin = 0.0;
+  for (step = 0; step < @STEPS@; step++)
+  {
+    clear_forces(fx, fy, fz);
+    epot = forces(px, py, pz, fx, fy, fz);
+    ekin = update(px, py, pz, vx, vy, vz, fx, fy, fz);
+  }
+  epot_g = epot;
+  print_double(epot);
+  print_double(ekin);
+  return 0;
+}
+|}
+
+let source = Workload.expand [ ("NP", 192); ("CUT", 9); ("STEPS", 12) ] template
+
+let workload =
+  {
+    Workload.name = "034.mdljdp2";
+    suite = Workload.Cfp92;
+    descr = "molecular dynamics: pairwise force loop over pointer-parameter arrays";
+    source;
+  }

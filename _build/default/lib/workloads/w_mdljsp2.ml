@@ -1,0 +1,173 @@
+(** 077.mdljsp2 stand-in: molecular dynamics, single precision in the
+    original (we model one floating class), with the neighbor-list
+    variant of the force computation.
+
+    Differs from 034.mdljdp2 in loop structure: forces are accumulated
+    through a precomputed neighbor list (indirection through an integer
+    index array), plus a scaling pass.  The same pointer-parameter style
+    keeps GCC maximally conservative; the paper reports an 85% edge
+    reduction and its largest speedup (1.59 on R10000). *)
+
+let template =
+  {|
+double sx[@NP@];
+double sy[@NP@];
+double sz[@NP@];
+double swx[@NP@];
+double swy[@NP@];
+double swz[@NP@];
+double sfx[@NP@];
+double sfy[@NP@];
+double sfz[@NP@];
+int nbr[@NBMAX@];
+int nstart[@NP1@];
+
+void sp_init()
+{
+  int i;
+  for (i = 0; i < @NP@; i++)
+  {
+    sx[i] = 0.9 * (i % 9) + 0.013 * i;
+    sy[i] = 0.9 * ((i / 9) % 9) - 0.007 * i;
+    sz[i] = 0.9 * (i / 81);
+    swx[i] = 0.0015 * (i % 11) - 0.004;
+    swy[i] = 0.0015 * (i % 13) - 0.006;
+    swz[i] = 0.0015 * (i % 17) - 0.008;
+    sfx[i] = 0.0;
+    sfy[i] = 0.0;
+    sfz[i] = 0.0;
+  }
+}
+
+int build_neighbors(double *x, double *y, double *z, int *list, int *start)
+{
+  int i;
+  int j;
+  int n;
+  double dx;
+  double dy;
+  double dz;
+  double r2;
+  n = 0;
+  for (i = 0; i < @NP@; i++)
+  {
+    start[i] = n;
+    for (j = i + 1; j < @NP@; j++)
+    {
+      dx = x[i] - x[j];
+      dy = y[i] - y[j];
+      dz = z[i] - z[j];
+      r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 < 6.25)
+      {
+        if (n < @NBMAX@)
+        {
+          list[n] = j;
+          n = n + 1;
+        }
+      }
+    }
+  }
+  start[@NP@] = n;
+  return n;
+}
+
+double sp_forces(double *x, double *y, double *z, double *gx, double *gy, double *gz, int *list, int *start)
+{
+  int i;
+  int k;
+  int j;
+  double dx;
+  double dy;
+  double dz;
+  double r2;
+  double r2i;
+  double r6i;
+  double ff;
+  double epot;
+  epot = 0.0;
+  for (i = 0; i < @NP@; i++)
+  {
+    for (k = start[i]; k < start[i + 1]; k++)
+    {
+      j = list[k];
+      dx = x[i] - x[j];
+      dy = y[i] - y[j];
+      dz = z[i] - z[j];
+      r2 = dx * dx + dy * dy + dz * dz;
+      r2i = 1.0 / r2;
+      r6i = r2i * r2i * r2i;
+      ff = 48.0 * r2i * r6i * (r6i - 0.5);
+      epot = epot + 4.0 * r6i * (r6i - 1.0);
+      gx[i] = gx[i] + ff * dx;
+      gy[i] = gy[i] + ff * dy;
+      gz[i] = gz[i] + ff * dz;
+      gx[j] = gx[j] - ff * dx;
+      gy[j] = gy[j] - ff * dy;
+      gz[j] = gz[j] - ff * dz;
+    }
+  }
+  return epot;
+}
+
+double sp_update(double *x, double *y, double *z, double *wx, double *wy, double *wz, double *gx, double *gy, double *gz)
+{
+  int i;
+  double dt;
+  double ekin;
+  dt = 0.003;
+  ekin = 0.0;
+  for (i = 0; i < @NP@; i++)
+  {
+    wx[i] = wx[i] + dt * gx[i];
+    wy[i] = wy[i] + dt * gy[i];
+    wz[i] = wz[i] + dt * gz[i];
+    x[i] = x[i] + dt * wx[i];
+    y[i] = y[i] + dt * wy[i];
+    z[i] = z[i] + dt * wz[i];
+    ekin = ekin + wx[i] * wx[i] + wy[i] * wy[i] + wz[i] * wz[i];
+    gx[i] = 0.0;
+    gy[i] = 0.0;
+    gz[i] = 0.0;
+  }
+  return 0.5 * ekin;
+}
+
+int main()
+{
+  int step;
+  int nn;
+  double epot;
+  double ekin;
+  sp_init();
+  epot = 0.0;
+  ekin = 0.0;
+  nn = 0;
+  for (step = 0; step < @STEPS@; step++)
+  {
+    if (step % 4 == 0)
+    {
+      nn = build_neighbors(sx, sy, sz, nbr, nstart);
+    }
+    epot = sp_forces(sx, sy, sz, sfx, sfy, sfz, nbr, nstart);
+    ekin = sp_update(sx, sy, sz, swx, swy, swz, sfx, sfy, sfz);
+  }
+  print_int(nn);
+  print_double(epot);
+  print_double(ekin);
+  return 0;
+}
+|}
+
+let source =
+  Workload.expand
+    [ ("NBMAX", 40000); ("NP1", 193); ("NP", 192); ("STEPS", 16) ]
+    template
+
+let workload =
+  {
+    Workload.name = "077.mdljsp2";
+    suite = Workload.Cfp92;
+    descr = "molecular dynamics with neighbor lists through pointer parameters";
+    source;
+  }

@@ -1,0 +1,144 @@
+(** 107.mgrid stand-in: multigrid solver.
+
+    The original applies 27-point 3-D stencils (resid/psinv) and
+    grid-transfer operators.  The paper reports the {e smallest} HLI
+    win of the floating-point set (15% reduction): the same array
+    appears as both input and output of the smoother at different grid
+    levels reached through offset pointers, so the front end can rarely
+    separate classes.  We reproduce that with in-place smoothing on one
+    array through two offset pointer views plus the usual 3-D stencil
+    reads, so most HLI answers stay "maybe". *)
+
+let template =
+  {|
+double grid_u[@SZ3@];
+double grid_v[@SZ3@];
+double grid_r[@SZ3@];
+
+void resid(double *u, double *v, double *r, int n)
+{
+  int i;
+  int j;
+  int k;
+  int n2;
+  n2 = n * n;
+  for (i = 1; i < n - 1; i++)
+  {
+    for (j = 1; j < n - 1; j++)
+    {
+      for (k = 1; k < n - 1; k++)
+      {
+        r[i*n2+j*n+k] = v[i*n2+j*n+k]
+          - 2.0 * u[i*n2+j*n+k]
+          + 0.125 * (u[(i-1)*n2+j*n+k] + u[(i+1)*n2+j*n+k]
+            + u[i*n2+(j-1)*n+k] + u[i*n2+(j+1)*n+k]
+            + u[i*n2+j*n+k-1] + u[i*n2+j*n+k+1]);
+      }
+    }
+  }
+}
+
+void psinv(double *r, double *u, int n)
+{
+  int i;
+  int j;
+  int k;
+  int n2;
+  n2 = n * n;
+  for (i = 1; i < n - 1; i++)
+  {
+    for (j = 1; j < n - 1; j++)
+    {
+      for (k = 1; k < n - 1; k++)
+      {
+        u[i*n2+j*n+k] = u[i*n2+j*n+k]
+          + 0.5 * r[i*n2+j*n+k]
+          + 0.0625 * (r[(i-1)*n2+j*n+k] + r[(i+1)*n2+j*n+k]
+            + r[i*n2+(j-1)*n+k] + r[i*n2+(j+1)*n+k]
+            + r[i*n2+j*n+k-1] + r[i*n2+j*n+k+1]);
+      }
+    }
+  }
+}
+
+void smooth_inplace(double *u, int n)
+{
+  int i;
+  int j;
+  int k;
+  int n2;
+  double *a;
+  double *b;
+  n2 = n * n;
+  a = u;
+  b = u + 1;
+  for (i = 1; i < n - 1; i++)
+  {
+    for (j = 1; j < n - 1; j++)
+    {
+      for (k = 1; k < n - 2; k++)
+      {
+        a[i*n2+j*n+k] = 0.75 * a[i*n2+j*n+k] + 0.25 * b[i*n2+j*n+k];
+      }
+    }
+  }
+}
+
+double norm(double *r, int n)
+{
+  int i;
+  int j;
+  int k;
+  int n2;
+  double s;
+  n2 = n * n;
+  s = 0.0;
+  for (i = 0; i < n; i++)
+  {
+    for (j = 0; j < n; j++)
+    {
+      for (k = 0; k < n; k++)
+      {
+        s = s + r[i*n2+j*n+k] * r[i*n2+j*n+k];
+      }
+    }
+  }
+  return s;
+}
+
+int main()
+{
+  int i;
+  int cyc;
+  double s;
+  for (i = 0; i < @SZ3@; i++)
+  {
+    grid_u[i] = 0.0;
+    grid_v[i] = 0.001 * (i % 257) - 0.128;
+    grid_r[i] = 0.0;
+  }
+  s = 0.0;
+  for (cyc = 0; cyc < @CYCLES@; cyc++)
+  {
+    resid(grid_u, grid_v, grid_r, @N@);
+    psinv(grid_r, grid_u, @N@);
+    smooth_inplace(grid_u, @N@);
+    s = norm(grid_r, @N@);
+  }
+  print_double(s);
+  return 0;
+}
+|}
+
+let n = 24
+
+let source =
+  Workload.expand [ ("SZ3", n * n * n); ("CYCLES", 10); ("N", n) ] template
+
+let workload =
+  {
+    Workload.name = "107.mgrid";
+    suite = Workload.Cfp95;
+    descr = "multigrid 3-D stencils with in-place offset-pointer smoothing";
+    source;
+  }

@@ -1,0 +1,115 @@
+(** 048.ora stand-in: optical ray tracing.
+
+    The original traces rays through a stack of optical surfaces —
+    almost pure scalar double-precision code (sqrt-heavy), tiny arrays,
+    long arithmetic dependence chains and few memory references.  Memory
+    disambiguation consequently buys little (the paper reports a 1.00
+    speedup), which this stand-in preserves: the surface table is small
+    and scalars dominate. *)
+
+let template =
+  {|
+double surf_r[@NSURF@];
+double surf_d[@NSURF@];
+double surf_n[@NSURF@];
+double stat_y[@NSURF@];
+double stat_u[@NSURF@];
+double acc_x;
+double acc_u;
+
+void setup()
+{
+  int s;
+  for (s = 0; s < @NSURF@; s++)
+  {
+    surf_r[s] = 20.0 + 3.0 * s;
+    surf_d[s] = 1.5 + 0.25 * s;
+    surf_n[s] = 1.4 + 0.01 * s;
+    stat_y[s] = 0.0;
+    stat_u[s] = 0.0;
+  }
+}
+
+double trace_ray(double y0, double u0, double *sy, double *su)
+{
+  int b;
+  int s;
+  double y;
+  double u;
+  double i;
+  double ip;
+  double n1;
+  double n2;
+  double c;
+  y = y0;
+  u = u0;
+  n1 = 1.0;
+  for (s = 0; s < @NSURF@; s++)
+  {
+    c = 1.0 / surf_r[s];
+    i = u + y * c;
+    n2 = surf_n[s];
+    ip = i * n1 / n2;
+    u = ip - y * c;
+    y = y + u * surf_d[s];
+    n1 = n2;
+  }
+  b = 0;
+  if (y < 0.0)
+  {
+    b = 1;
+  }
+  sy[b] = sy[b] + y;
+  su[b] = su[b] + u;
+  return y * y + u * u;
+}
+
+double ray_bundle(int nrays)
+{
+  int k;
+  double a;
+  double y0;
+  double u0;
+  double e;
+  a = 0.0;
+  for (k = 0; k < nrays; k++)
+  {
+    y0 = 0.05 * k;
+    u0 = 0.001 * k - 0.02;
+    e = trace_ray(y0, u0, stat_y, stat_u);
+    a = a + sqrt(e + 1.0);
+    acc_x = acc_x + y0;
+    acc_u = acc_u + u0;
+  }
+  return a;
+}
+
+int main()
+{
+  int round;
+  double total;
+  setup();
+  acc_x = 0.0;
+  acc_u = 0.0;
+  total = 0.0;
+  for (round = 0; round < @ROUNDS@; round++)
+  {
+    total = total + ray_bundle(@NRAYS@);
+  }
+  print_double(total);
+  print_double(acc_x);
+  print_double(stat_y[3] + stat_u[5]);
+  return 0;
+}
+|}
+
+let source =
+  Workload.expand [ ("NSURF", 16); ("NRAYS", 512); ("ROUNDS", 40) ] template
+
+let workload =
+  {
+    Workload.name = "048.ora";
+    suite = Workload.Cfp92;
+    descr = "ray tracing through optical surfaces: scalar sqrt-heavy chains";
+    source;
+  }

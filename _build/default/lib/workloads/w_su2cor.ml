@@ -1,0 +1,127 @@
+(** 103.su2cor stand-in: quantum-physics lattice correlation.
+
+    The original computes particle-mass correlation functions on a 4-D
+    lattice with a Monte-Carlo update (matrix multiplies over small
+    complex matrices at every site) and a correlation-gathering sweep
+    with reductions.  We reproduce a flattened lattice of 2x2 "link
+    matrices", a heat-bath-like update, and correlation sums at a range
+    of separations. *)
+
+let template =
+  {|
+double lat_a[@LSZ@];
+double lat_b[@LSZ@];
+double lat_c[@LSZ@];
+double lat_d[@LSZ@];
+double corr[@TLEN@];
+double work[@LSZ@];
+
+void init_lattice(int seed)
+{
+  int s;
+  int v;
+  v = seed;
+  for (s = 0; s < @LSZ@; s++)
+  {
+    v = (v * 1103515 + 12345) & 1048575;
+    lat_a[s] = 1.0 - 0.000001 * v;
+    lat_b[s] = 0.0000005 * v - 0.25;
+    lat_c[s] = 0.25 - 0.0000004 * v;
+    lat_d[s] = 1.0 + 0.0000002 * v;
+  }
+}
+
+void su2_multiply(double *a, double *b, double *c, double *d, double *w, int n)
+{
+  int s;
+  int t;
+  for (s = 0; s < n - 1; s++)
+  {
+    t = s + 1;
+    w[s] = a[s] * a[t] - b[s] * b[t] - c[s] * c[t] - d[s] * d[t];
+  }
+  w[n - 1] = a[n - 1];
+}
+
+void heatbath(double *a, double *b, double *c, double *d, double *w, int n)
+{
+  int s;
+  double act;
+  double scale;
+  for (s = 1; s < n - 1; s++)
+  {
+    act = w[s - 1] + w[s + 1];
+    scale = 1.0 / sqrt(1.0 + act * act);
+    a[s] = (a[s] + 0.1 * act) * scale;
+    b[s] = b[s] * scale;
+    c[s] = c[s] * scale;
+    d[s] = d[s] * scale;
+  }
+}
+
+void correlations(double *a, double *b, double *cr)
+{
+  int t;
+  int s;
+  double acc;
+  for (t = 0; t < @TLEN@; t++)
+  {
+    acc = 0.0;
+    for (s = 0; s < @LSZ@ - @TLEN@; s++)
+    {
+      acc = acc + a[s] * a[s + t] + b[s] * b[s + t];
+    }
+    cr[t] = cr[t] + acc;
+  }
+}
+
+double effective_mass(double *cr)
+{
+  int t;
+  double m;
+  double r;
+  m = 0.0;
+  for (t = 1; t < @TLEN@ - 1; t++)
+  {
+    r = (cr[t - 1] + cr[t + 1]) / (2.0 * cr[t] + 0.000001);
+    if (r > 1.0)
+    {
+      m = m + log(r);
+    }
+  }
+  return m;
+}
+
+int main()
+{
+  int sweep;
+  int t;
+  double mass;
+  init_lattice(991);
+  for (t = 0; t < @TLEN@; t++)
+  {
+    corr[t] = 0.0;
+  }
+  mass = 0.0;
+  for (sweep = 0; sweep < @SWEEPS@; sweep++)
+  {
+    su2_multiply(lat_a, lat_b, lat_c, lat_d, work, @LSZ@);
+    heatbath(lat_a, lat_b, lat_c, lat_d, work, @LSZ@);
+    correlations(lat_a, lat_b, corr);
+    mass = effective_mass(corr);
+  }
+  print_double(mass);
+  return 0;
+}
+|}
+
+let source =
+  Workload.expand [ ("LSZ", 8192); ("TLEN", 32); ("SWEEPS", 4) ] template
+
+let workload =
+  {
+    Workload.name = "103.su2cor";
+    suite = Workload.Cfp95;
+    descr = "lattice correlation: multi-array sweeps and sliding-window reductions";
+    source;
+  }

@@ -1,0 +1,151 @@
+(** 102.swim stand-in: shallow-water equations.
+
+    The original sweeps five 2-D fields (u, v, p and their time-shifted
+    copies) with wide stencils in three routines (calc1/calc2/calc3);
+    its basic blocks contain a dozen loads from distinct arrays per
+    statement.  The paper's numbers — 0.78 queries/line (the densest of
+    all benchmarks), 96% GCC-yes, 90% reduction — come from exactly this
+    many-array pointer-parameter stencil shape. *)
+
+let template =
+  {|
+double u_g[@SZ@];
+double v_g[@SZ@];
+double p_g[@SZ@];
+double unew_g[@SZ@];
+double vnew_g[@SZ@];
+double pnew_g[@SZ@];
+double cu_g[@SZ@];
+double cv_g[@SZ@];
+double z_g[@SZ@];
+double h_g[@SZ@];
+
+void calc1(double *u, double *v, double *p, double *cu, double *cv, double *z, double *h)
+{
+  int i;
+  int j;
+  double fsdx;
+  double fsdy;
+  fsdx = 4.0 / 0.25;
+  fsdy = 4.0 / 0.25;
+  for (i = 1; i < @N1@; i++)
+  {
+    for (j = 1; j < @N1@; j++)
+    {
+      cu[i*@N@+j] = 0.5 * (p[i*@N@+j] + p[(i-1)*@N@+j]) * u[i*@N@+j];
+      cv[i*@N@+j] = 0.5 * (p[i*@N@+j] + p[i*@N@+j-1]) * v[i*@N@+j];
+      z[i*@N@+j] = (fsdx * (v[i*@N@+j] - v[(i-1)*@N@+j]) - fsdy * (u[i*@N@+j] - u[i*@N@+j-1]))
+        / (p[(i-1)*@N@+j-1] + p[i*@N@+j-1] + p[i*@N@+j] + p[(i-1)*@N@+j]);
+      h[i*@N@+j] = p[i*@N@+j] + 0.25 * (u[i*@N@+j] * u[i*@N@+j] + u[(i-1)*@N@+j] * u[(i-1)*@N@+j]
+        + v[i*@N@+j] * v[i*@N@+j] + v[i*@N@+j-1] * v[i*@N@+j-1]);
+    }
+  }
+}
+
+void calc2(double *u, double *v, double *p, double *unew, double *vnew, double *pnew, double *cu, double *cv, double *z, double *h)
+{
+  int i;
+  int j;
+  double tdts8;
+  double tdtsdx;
+  double tdtsdy;
+  tdts8 = 90.0 / 8.0;
+  tdtsdx = 90.0 / 0.25;
+  tdtsdy = 90.0 / 0.25;
+  for (i = 1; i < @N1@; i++)
+  {
+    for (j = 1; j < @N1@; j++)
+    {
+      unew[i*@N@+j] = u[i*@N@+j]
+        + tdts8 * (z[i*@N@+j] + z[i*@N@+j-1]) * (cv[i*@N@+j] + cv[(i-1)*@N@+j])
+        - tdtsdx * (h[i*@N@+j] - h[(i-1)*@N@+j]);
+      vnew[i*@N@+j] = v[i*@N@+j]
+        - tdts8 * (z[i*@N@+j] + z[(i-1)*@N@+j]) * (cu[i*@N@+j] + cu[i*@N@+j-1])
+        - tdtsdy * (h[i*@N@+j] - h[i*@N@+j-1]);
+      pnew[i*@N@+j] = p[i*@N@+j]
+        - tdtsdx * (cu[i*@N@+j] - cu[(i-1)*@N@+j])
+        - tdtsdy * (cv[i*@N@+j] - cv[i*@N@+j-1]);
+    }
+  }
+}
+
+void calc3(double *u, double *v, double *p, double *unew, double *vnew, double *pnew)
+{
+  int i;
+  int j;
+  double alpha;
+  alpha = 0.001;
+  for (i = 1; i < @N1@; i++)
+  {
+    for (j = 1; j < @N1@; j++)
+    {
+      u[i*@N@+j] = u[i*@N@+j] + alpha * (unew[i*@N@+j] - 2.0 * u[i*@N@+j] + unew[i*@N@+j-1]);
+      v[i*@N@+j] = v[i*@N@+j] + alpha * (vnew[i*@N@+j] - 2.0 * v[i*@N@+j] + vnew[(i-1)*@N@+j]);
+      p[i*@N@+j] = p[i*@N@+j] + alpha * (pnew[i*@N@+j] - 2.0 * p[i*@N@+j] + pnew[i*@N@+j-1]);
+    }
+  }
+}
+
+double check(double *p)
+{
+  int i;
+  int j;
+  double s;
+  s = 0.0;
+  for (i = 0; i < @N@; i++)
+  {
+    for (j = 0; j < @N@; j++)
+    {
+      s = s + p[i*@N@+j];
+    }
+  }
+  return s;
+}
+
+int main()
+{
+  int i;
+  int j;
+  int step;
+  double s;
+  for (i = 0; i < @N@; i++)
+  {
+    for (j = 0; j < @N@; j++)
+    {
+      u_g[i*@N@+j] = 0.1 * i - 0.05 * j;
+      v_g[i*@N@+j] = 0.05 * j - 0.02 * i;
+      p_g[i*@N@+j] = 1000.0 + 0.5 * i + 0.25 * j;
+      unew_g[i*@N@+j] = 0.0;
+      vnew_g[i*@N@+j] = 0.0;
+      pnew_g[i*@N@+j] = 0.0;
+      cu_g[i*@N@+j] = 0.0;
+      cv_g[i*@N@+j] = 0.0;
+      z_g[i*@N@+j] = 0.0;
+      h_g[i*@N@+j] = 0.0;
+    }
+  }
+  s = 0.0;
+  for (step = 0; step < @STEPS@; step++)
+  {
+    calc1(u_g, v_g, p_g, cu_g, cv_g, z_g, h_g);
+    calc2(u_g, v_g, p_g, unew_g, vnew_g, pnew_g, cu_g, cv_g, z_g, h_g);
+    calc3(u_g, v_g, p_g, unew_g, vnew_g, pnew_g);
+    s = check(p_g);
+  }
+  print_double(s);
+  return 0;
+}
+|}
+
+let n = 64
+
+let source =
+  Workload.expand [ ("SZ", n * n); ("N1", n - 1); ("N", n); ("STEPS", 10) ] template
+
+let workload =
+  {
+    Workload.name = "102.swim";
+    suite = Workload.Cfp95;
+    descr = "shallow-water stencils over ten pointer-parameter fields";
+    source;
+  }

@@ -1,0 +1,132 @@
+(** 101.tomcatv stand-in: vectorized mesh generation.
+
+    The original is a Fortran mesh generator dominated by 2-D
+    neighbor-stencil sweeps over a handful of grid arrays.  We reproduce
+    that shape: flattened 2-D grids handed to subroutines as pointer
+    parameters (the Fortran calling convention GCC sees), residual
+    computation with (i±1, j±1) neighbors, and relaxation sweeps.
+    Pointer-parameter stencils are exactly where GCC's local
+    disambiguation collapses (every reference is register-based) while
+    the HLI's points-to and SIV tests keep the classes apart. *)
+
+let n = 64
+
+let template =
+  {|
+double xx[@NSQ@];
+double yy[@NSQ@];
+double rxg[@NSQ@];
+double ryg[@NSQ@];
+double aa[@N@];
+double dd[@N@];
+
+void residual(double *x, double *y, double *rx, double *ry)
+{
+  int i;
+  int j;
+  for (i = 1; i < @N1@; i++)
+  {
+    for (j = 1; j < @N1@; j++)
+    {
+      double xxij;
+      double yxij;
+      double xyij;
+      double yyij;
+      double a;
+      double b;
+      double c;
+      xxij = 0.5 * (x[(i+1)*@N@+j] - x[(i-1)*@N@+j]);
+      yxij = 0.5 * (y[(i+1)*@N@+j] - y[(i-1)*@N@+j]);
+      xyij = 0.5 * (x[i*@N@+j+1] - x[i*@N@+j-1]);
+      yyij = 0.5 * (y[i*@N@+j+1] - y[i*@N@+j-1]);
+      a = 0.25 * (xyij*xyij + yyij*yyij);
+      b = 0.25 * (xxij*xxij + yxij*yxij);
+      c = 0.125 * (xxij*xyij + yxij*yyij);
+      rx[i*@N@+j] = a * (x[(i+1)*@N@+j] - 2.0*x[i*@N@+j] + x[(i-1)*@N@+j])
+        + b * (x[i*@N@+j+1] - 2.0*x[i*@N@+j] + x[i*@N@+j-1])
+        - 2.0 * c * (x[(i+1)*@N@+j+1] - x[(i+1)*@N@+j-1] - x[(i-1)*@N@+j+1] + x[(i-1)*@N@+j-1]);
+      ry[i*@N@+j] = a * (y[(i+1)*@N@+j] - 2.0*y[i*@N@+j] + y[(i-1)*@N@+j])
+        + b * (y[i*@N@+j+1] - 2.0*y[i*@N@+j] + y[i*@N@+j-1])
+        - 2.0 * c * (y[(i+1)*@N@+j+1] - y[(i+1)*@N@+j-1] - y[(i-1)*@N@+j+1] + y[(i-1)*@N@+j-1]);
+    }
+  }
+}
+
+void relax(double *x, double *rx, double *a, double *d)
+{
+  int i;
+  int j;
+  double r;
+  for (i = 1; i < @N1@; i++)
+  {
+    d[i] = 1.0 / (4.0 + a[i]);
+    for (j = 1; j < @N1@; j++)
+    {
+      r = rx[i*@N@+j];
+      x[i*@N@+j] = x[i*@N@+j] + 0.35 * r * d[i];
+    }
+  }
+}
+
+double maxres(double *rx, double *ry)
+{
+  int i;
+  int j;
+  double m;
+  double v;
+  m = 0.0;
+  for (i = 1; i < @N1@; i++)
+  {
+    for (j = 1; j < @N1@; j++)
+    {
+      v = fabs(rx[i*@N@+j]) + fabs(ry[i*@N@+j]);
+      if (v > m)
+      {
+        m = v;
+      }
+    }
+  }
+  return m;
+}
+
+int main()
+{
+  int i;
+  int j;
+  int it;
+  double res;
+  for (i = 0; i < @N@; i++)
+  {
+    aa[i] = 0.01 * i;
+    dd[i] = 0.0;
+    for (j = 0; j < @N@; j++)
+    {
+      xx[i*@N@+j] = i * 1.0 + 0.03 * j;
+      yy[i*@N@+j] = j * 1.0 - 0.01 * i;
+      rxg[i*@N@+j] = 0.0;
+      ryg[i*@N@+j] = 0.0;
+    }
+  }
+  res = 0.0;
+  for (it = 0; it < 8; it++)
+  {
+    residual(xx, yy, rxg, ryg);
+    relax(xx, rxg, aa, dd);
+    relax(yy, ryg, aa, dd);
+    res = maxres(rxg, ryg);
+  }
+  print_double(res);
+  return 0;
+}
+|}
+
+let source =
+  Workload.expand [ ("NSQ", n * n); ("N1", n - 1); ("N", n) ] template
+
+let workload =
+  {
+    Workload.name = "101.tomcatv";
+    suite = Workload.Cfp95;
+    descr = "2-D mesh generation: pointer-parameter neighbor stencils";
+    source;
+  }

@@ -1,0 +1,58 @@
+(** Workload descriptors.
+
+    Each workload is a mini-C program standing in for one row of the
+    paper's Tables 1 and 2.  SPEC sources are not redistributable (and
+    far larger); these programs reproduce the {e memory-reference
+    character} that drives the paper's numbers — loop structure,
+    refs-per-line density, array-vs-pointer access style, and
+    call-graph shape — at a scale our simulators run in seconds.  See
+    DESIGN.md ("Substitutions"). *)
+
+type suite = Gnu | Cint92 | Cint95 | Cfp92 | Cfp95
+
+let suite_name = function
+  | Gnu -> "GNU"
+  | Cint92 -> "CINT92"
+  | Cint95 -> "CINT95"
+  | Cfp92 -> "CFP92"
+  | Cfp95 -> "CFP95"
+
+let is_fp = function Cfp92 | Cfp95 -> true | Gnu | Cint92 | Cint95 -> false
+
+type t = {
+  name : string;  (** paper's benchmark name *)
+  suite : suite;
+  descr : string;  (** what the original program does / what we mimic *)
+  source : string;  (** mini-C source text *)
+}
+
+(** Source lines, counted the way the paper's Table 1 does (all lines of
+    the source file). *)
+let line_count (w : t) =
+  String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 w.source
+
+(** Template expansion for generated sources: replaces each [@KEY@]
+    occurrence with its value.  Used by workloads whose problem sizes
+    are parameters. *)
+let expand (bindings : (string * int) list) (template : string) : string =
+  List.fold_left
+    (fun acc (key, v) ->
+      let pat = "@" ^ key ^ "@" in
+      let b = Buffer.create (String.length acc) in
+      let plen = String.length pat in
+      let rec go i =
+        if i >= String.length acc then ()
+        else if
+          i + plen <= String.length acc && String.sub acc i plen = pat
+        then begin
+          Buffer.add_string b (string_of_int v);
+          go (i + plen)
+        end
+        else begin
+          Buffer.add_char b acc.[i];
+          go (i + 1)
+        end
+      in
+      go 0;
+      Buffer.contents b)
+    template bindings

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Affine Alcotest Analysis Callgraph Deptest Frontir List Option Pointsto QCheck QCheck_alcotest Refmod Section Srclang Symbol Tast Typecheck Types

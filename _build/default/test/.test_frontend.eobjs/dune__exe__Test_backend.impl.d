@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Backend Ddg Frontir Gcc_alias Harness Hashtbl Hli_core Hli_import Hligen List Lower Machdesc Option Rtl Sched Srclang Workloads

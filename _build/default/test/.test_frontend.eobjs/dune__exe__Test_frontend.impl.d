@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Backend Fmt Frontir Hli_core Hligen List Machine Option Srclang String

@@ -1,0 +1,1 @@
+test/test_hli.ml: Alcotest Array Hli_core Hligen List Option QCheck QCheck_alcotest Srclang String

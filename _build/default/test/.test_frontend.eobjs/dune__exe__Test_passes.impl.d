@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Backend Harness Hli_core List Machine Option Srclang String Workloads

@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Array Harness List Machine Printf QCheck QCheck_alcotest String

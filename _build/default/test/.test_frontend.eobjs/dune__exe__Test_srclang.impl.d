@@ -1,0 +1,1 @@
+test/test_srclang.ml: Alcotest Ast Fmt Lexer List Loc Option Parser QCheck QCheck_alcotest Srclang Symbol Tast Token Typecheck Types

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Backend Harness Hli_core List Machine String Workloads

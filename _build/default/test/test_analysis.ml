@@ -1,0 +1,391 @@
+(* Tests for the analysis library: affine forms, dependence tests,
+   sections, points-to, call graph, REF/MOD. *)
+
+open Srclang
+open Analysis
+
+let sym name = Symbol.fresh ~name ~ty:Types.Tint ~storage:Symbol.Local
+
+(* fixed symbols shared by the affine tests *)
+let i = sym "i"
+let j = sym "j"
+let k = sym "k"
+
+let aff_testable = Alcotest.testable Affine.pp Affine.equal
+
+(* ------------------------------------------------------------------ *)
+(* Affine forms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let affine_tests =
+  [
+    Alcotest.test_case "add/sub cancel" `Quick (fun () ->
+        let f = Affine.add (Affine.var i) (Affine.const 3) in
+        let g = Affine.sub f (Affine.var i) in
+        Alcotest.check aff_testable "3" (Affine.const 3) g);
+    Alcotest.test_case "scale distributes" `Quick (fun () ->
+        let f = Affine.add (Affine.var ~coeff:2 i) (Affine.const 5) in
+        let g = Affine.scale 3 f in
+        Alcotest.(check int) "coeff" 6 (Affine.coeff_of g i);
+        Alcotest.(check (option int)) "const" None (Affine.const_value g));
+    Alcotest.test_case "subst" `Quick (fun () ->
+        (* (2i + j)[i := k + 1] = 2k + j + 2 *)
+        let f = Affine.add (Affine.var ~coeff:2 i) (Affine.var j) in
+        let r = Affine.add (Affine.var k) (Affine.const 1) in
+        let g = Affine.subst f i r in
+        Alcotest.(check int) "k coeff" 2 (Affine.coeff_of g k);
+        Alcotest.(check int) "j coeff" 1 (Affine.coeff_of g j);
+        Alcotest.(check int) "i coeff" 0 (Affine.coeff_of g i));
+    Alcotest.test_case "of_expr affine" `Quick (fun () ->
+        let p = Typecheck.program_of_string "int f(int i, int j) { return 2*i + j - 3; }" in
+        let f = Option.get (Tast.find_func p "f") in
+        match f.Tast.body with
+        | [ { Tast.sdesc = Tast.Sreturn (Some e); _ } ] -> (
+            match Affine.of_expr e with
+            | Some a ->
+                Alcotest.(check int) "const" (-3) a.Affine.const;
+                Alcotest.(check int) "terms" 2 (List.length a.Affine.terms)
+            | None -> Alcotest.fail "not affine")
+        | _ -> Alcotest.fail "shape");
+    Alcotest.test_case "of_expr rejects product" `Quick (fun () ->
+        let p = Typecheck.program_of_string "int f(int i, int j) { return i * j; }" in
+        let f = Option.get (Tast.find_func p "f") in
+        match f.Tast.body with
+        | [ { Tast.sdesc = Tast.Sreturn (Some e); _ } ] ->
+            Alcotest.(check bool) "none" true (Affine.of_expr e = None)
+        | _ -> Alcotest.fail "shape");
+  ]
+
+(* qcheck: algebraic laws of affine arithmetic *)
+let gen_affine =
+  QCheck.Gen.(
+    int_range (-20) 20 >>= fun c ->
+    int_range (-5) 5 >>= fun ci ->
+    int_range (-5) 5 >>= fun cj ->
+    return
+      (Affine.add
+         (Affine.add (Affine.var ~coeff:ci i) (Affine.var ~coeff:cj j))
+         (Affine.const c)))
+
+let arb_affine = QCheck.make ~print:Affine.to_string gen_affine
+
+let affine_props =
+  [
+    QCheck.Test.make ~count:300 ~name:"a - a = 0" arb_affine (fun a ->
+        Affine.equal (Affine.sub a a) Affine.zero);
+    QCheck.Test.make ~count:300 ~name:"add commutes"
+      (QCheck.pair arb_affine arb_affine) (fun (a, b) ->
+        Affine.equal (Affine.add a b) (Affine.add b a));
+    QCheck.Test.make ~count:300 ~name:"neg involutive" arb_affine (fun a ->
+        Affine.equal (Affine.neg (Affine.neg a)) a);
+    QCheck.Test.make ~count:300 ~name:"scale 2 = a + a" arb_affine (fun a ->
+        Affine.equal (Affine.scale 2 a) (Affine.add a a));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Dependence tests                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let loop_ctx_of r =
+  match r.Frontir.Region.kind with
+  | Frontir.Region.Loop_region { ivar = Some iv; lower; upper; inclusive; step } ->
+      let aff e = Option.bind e Affine.of_expr in
+      Some
+        (Deptest.loop_ctx ~ivar:iv ?lower:(aff lower) ?upper:(aff upper)
+           ~inclusive ?step ())
+  | _ -> None
+
+(* helper: extract the single loop's context and the memory accesses of a
+   one-function program *)
+let carried_of src =
+  let p = Typecheck.program_of_string src in
+  let f = List.hd p.Tast.funcs in
+  let region = Frontir.Region.of_func f in
+  let items, _ = Frontir.Itemgen.of_func f in
+  let loop = List.hd region.Frontir.Region.subs in
+  let ctx = Option.get (loop_ctx_of loop) in
+  let accesses =
+    List.filter_map Frontir.Itemgen.access_of items.Frontir.Itemgen.items
+  in
+  (ctx, accesses)
+
+let outcome_testable = Alcotest.testable Deptest.pp_outcome (fun a b -> a = b)
+
+let deptest_tests =
+  [
+    Alcotest.test_case "strong SIV distance 1" `Quick (fun () ->
+        let ctx, accs =
+          carried_of
+            "int a[100];\nvoid f() { int i; for (i = 1; i < 100; i++) { a[i] = a[i-1]; } }"
+        in
+        match accs with
+        | [ load; store ] ->
+            Alcotest.check outcome_testable "d=1"
+              (Deptest.Dependent { distance = Some 1; definite = true })
+              (Deptest.carried ~ctx ~invariant:(fun _ -> true) store load)
+        | _ -> Alcotest.fail "accesses");
+    Alcotest.test_case "self access independent across iterations" `Quick (fun () ->
+        let ctx, accs =
+          carried_of
+            "int a[100];\nint b[100];\nvoid f() { int i; for (i = 0; i < 100; i++) { a[i] = b[i]; } }"
+        in
+        match accs with
+        | [ _load; store ] ->
+            Alcotest.check outcome_testable "independent" Deptest.Independent
+              (Deptest.carried ~ctx ~invariant:(fun _ -> true) store store)
+        | _ -> Alcotest.fail "accesses");
+    Alcotest.test_case "ZIV distinct constants" `Quick (fun () ->
+        let ctx, accs =
+          carried_of
+            "int a[100];\nvoid f() { int i; for (i = 0; i < 100; i++) { a[3] = a[7]; } }"
+        in
+        match accs with
+        | [ load; store ] ->
+            Alcotest.check outcome_testable "independent" Deptest.Independent
+              (Deptest.carried ~ctx ~invariant:(fun _ -> true) store load)
+        | _ -> Alcotest.fail "accesses");
+    Alcotest.test_case "scalar distance 1" `Quick (fun () ->
+        let ctx, accs =
+          carried_of
+            "int s;\nvoid f() { int i; for (i = 0; i < 9; i++) { s = s + 1; } }"
+        in
+        match accs with
+        | [ load; store ] ->
+            Alcotest.check outcome_testable "d=1"
+              (Deptest.Dependent { distance = Some 1; definite = true })
+              (Deptest.carried ~ctx ~invariant:(fun _ -> true) store load)
+        | _ -> Alcotest.fail "accesses");
+    Alcotest.test_case "GCD independent (stride 2)" `Quick (fun () ->
+        let ctx, accs =
+          carried_of
+            "int a[200];\nvoid f() { int i; for (i = 0; i < 50; i++) { a[2*i] = a[2*i+1]; } }"
+        in
+        match accs with
+        | [ load; store ] ->
+            Alcotest.check outcome_testable "independent" Deptest.Independent
+              (Deptest.carried ~ctx ~invariant:(fun _ -> true) store load)
+        | _ -> Alcotest.fail "accesses");
+    Alcotest.test_case "distance beyond trip count" `Quick (fun () ->
+        let ctx, accs =
+          carried_of
+            "int a[100];\nvoid f() { int i; for (i = 0; i < 5; i++) { a[i] = a[i+50]; } }"
+        in
+        match accs with
+        | [ load; store ] ->
+            Alcotest.check outcome_testable "independent" Deptest.Independent
+              (Deptest.carried ~ctx ~invariant:(fun _ -> true) load store)
+        | _ -> Alcotest.fail "accesses");
+    Alcotest.test_case "symbolic invariant offset cancels" `Quick (fun () ->
+        let ctx, accs =
+          carried_of
+            "int a[200];\nvoid f(int n) { int i; for (i = 0; i < 50; i++) { a[i+n] = a[i+n-2]; } }"
+        in
+        match accs with
+        | [ load; store ] ->
+            Alcotest.check outcome_testable "d=2"
+              (Deptest.Dependent { distance = Some 2; definite = true })
+              (Deptest.carried ~ctx ~invariant:(fun _ -> true) store load)
+        | _ -> Alcotest.fail "accesses");
+    Alcotest.test_case "non-invariant symbol is maybe" `Quick (fun () ->
+        let ctx, accs =
+          carried_of
+            "int a[200];\nvoid f(int n) { int i; for (i = 0; i < 50; i++) { a[i+n] = a[i+n-2]; } }"
+        in
+        match accs with
+        | [ load; store ] -> (
+            match Deptest.carried ~ctx ~invariant:(fun _ -> false) store load with
+            | Deptest.Dependent { distance = None; _ } -> ()
+            | o -> Alcotest.failf "expected maybe, got %a" Deptest.pp_outcome o)
+        | _ -> Alcotest.fail "accesses");
+    Alcotest.test_case "step 2 halves the distance" `Quick (fun () ->
+        let ctx, accs =
+          carried_of
+            "int a[200];\nvoid f() { int i; for (i = 0; i < 100; i = i + 2) { a[i] = a[i-4]; } }"
+        in
+        match accs with
+        | [ load; store ] ->
+            Alcotest.check outcome_testable "d=2 iterations"
+              (Deptest.Dependent { distance = Some 2; definite = true })
+              (Deptest.carried ~ctx ~invariant:(fun _ -> true) store load)
+        | _ -> Alcotest.fail "accesses");
+    Alcotest.test_case "same_location exact and different" `Quick (fun () ->
+        let _, accs =
+          carried_of
+            "int a[100];\nvoid f() { int i; for (i = 1; i < 99; i++) { a[i] = a[i] + a[i-1]; } }"
+        in
+        match accs with
+        | [ l1; l2; st ] ->
+            Alcotest.(check bool) "a[i] ~ a[i]" true
+              (Deptest.same_location ~invariant:(fun _ -> true) l1 st = Deptest.Same);
+            Alcotest.(check bool) "a[i] vs a[i-1]" true
+              (Deptest.same_location ~invariant:(fun _ -> true) l2 st = Deptest.Different)
+        | _ -> Alcotest.fail "accesses");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Sections                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let section_tests =
+  [
+    Alcotest.test_case "widen over ivar" `Quick (fun () ->
+        let s = Section.of_point [ Affine.var i ] in
+        let w =
+          Section.widen_over ~ivar:i ~iv_lo:(Some (Affine.const 1))
+            ~iv_hi:(Some (Affine.const 9)) s
+        in
+        Alcotest.(check bool) "same as [1..9]" true
+          (Section.same w
+             (Section.Dims
+                [ { Section.lo = Some (Affine.const 1); hi = Some (Affine.const 9) } ])));
+    Alcotest.test_case "widen flips for negative coeff" `Quick (fun () ->
+        let s = Section.of_point [ Affine.var ~coeff:(-1) i ] in
+        let w =
+          Section.widen_over ~ivar:i ~iv_lo:(Some (Affine.const 1))
+            ~iv_hi:(Some (Affine.const 9)) s
+        in
+        Alcotest.(check bool) "[-9..-1]" true
+          (Section.same w
+             (Section.Dims
+                [ { Section.lo = Some (Affine.const (-9)); hi = Some (Affine.const (-1)) } ])));
+    Alcotest.test_case "disjoint points" `Quick (fun () ->
+        let a = Section.of_point [ Affine.const 3 ] in
+        let b = Section.of_point [ Affine.const 4 ] in
+        Alcotest.(check bool) "3 vs 4" true (Section.disjoint a b);
+        Alcotest.(check bool) "3 vs 3" false (Section.disjoint a a));
+    Alcotest.test_case "join covers both" `Quick (fun () ->
+        let a = Section.of_point [ Affine.const 3 ] in
+        let b = Section.of_point [ Affine.const 7 ] in
+        let j = Section.join a b in
+        Alcotest.(check bool) "covers 5" false
+          (Section.disjoint j (Section.of_point [ Affine.const 5 ])));
+    Alcotest.test_case "whole never disjoint" `Quick (fun () ->
+        Alcotest.(check bool) "whole" false
+          (Section.disjoint Section.Whole (Section.of_point [ Affine.const 0 ])));
+    Alcotest.test_case "symbolic bounds only comparable when const diff" `Quick
+      (fun () ->
+        let a = Section.of_point [ Affine.var i ] in
+        let b = Section.of_point [ Affine.add (Affine.var i) (Affine.const 2) ] in
+        let c = Section.of_point [ Affine.var j ] in
+        Alcotest.(check bool) "i vs i+2 disjoint" true (Section.disjoint a b);
+        Alcotest.(check bool) "i vs j unknown" false (Section.disjoint a c));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Points-to and REF/MOD                                               *)
+(* ------------------------------------------------------------------ *)
+
+let interproc_src =
+  {|
+int a[10];
+int b[10];
+int g;
+
+void writer(int *p)
+{
+  p[0] = 1;
+}
+
+int reader(int *q)
+{
+  return q[1];
+}
+
+void caller()
+{
+  writer(a);
+  g = reader(b);
+}
+
+int pure_leaf(int x)
+{
+  return x * 2;
+}
+
+int main()
+{
+  caller();
+  return pure_leaf(g);
+}
+|}
+
+let pointsto_tests =
+  [
+    Alcotest.test_case "params point at arguments" `Quick (fun () ->
+        let p = Typecheck.program_of_string interproc_src in
+        let pt = Pointsto.analyze p in
+        let writer = Option.get (Tast.find_func p "writer") in
+        let param = List.hd writer.Tast.params in
+        let a_sym = fst (List.nth p.Tast.globals 0) in
+        let b_sym = fst (List.nth p.Tast.globals 1) in
+        Alcotest.(check bool) "p -> a" true (Pointsto.may_point_at pt param a_sym);
+        Alcotest.(check bool) "p not-> b" false (Pointsto.may_point_at pt param b_sym));
+    Alcotest.test_case "refmod distinguishes ref and mod" `Quick (fun () ->
+        let p = Typecheck.program_of_string interproc_src in
+        let pt = Pointsto.analyze p in
+        let rm = Refmod.analyze p pt in
+        let a_sym = fst (List.nth p.Tast.globals 0) in
+        let b_sym = fst (List.nth p.Tast.globals 1) in
+        let g_sym = fst (List.nth p.Tast.globals 2) in
+        Alcotest.(check bool) "writer mods a" true
+          (Refmod.call_acc rm ~callee:"writer" a_sym = Refmod.Acc_mod);
+        Alcotest.(check bool) "reader refs b" true
+          (Refmod.call_acc rm ~callee:"reader" b_sym = Refmod.Acc_ref);
+        Alcotest.(check bool) "pure_leaf touches nothing" true
+          (Refmod.call_acc rm ~callee:"pure_leaf" g_sym = Refmod.Acc_none);
+        Alcotest.(check bool) "caller mods a transitively" true
+          (Refmod.call_acc rm ~callee:"caller" a_sym = Refmod.Acc_mod);
+        Alcotest.(check bool) "caller touches g" true
+          (match Refmod.call_acc rm ~callee:"caller" g_sym with
+          | Refmod.Acc_mod | Refmod.Acc_refmod -> true
+          | _ -> false));
+    Alcotest.test_case "builtins are effect-free" `Quick (fun () ->
+        let p = Typecheck.program_of_string interproc_src in
+        let pt = Pointsto.analyze p in
+        let rm = Refmod.analyze p pt in
+        let g_sym = fst (List.nth p.Tast.globals 2) in
+        Alcotest.(check bool) "sqrt" true
+          (Refmod.call_acc rm ~callee:"sqrt" g_sym = Refmod.Acc_none));
+    Alcotest.test_case "callgraph" `Quick (fun () ->
+        let p = Typecheck.program_of_string interproc_src in
+        let cg = Callgraph.build p in
+        Alcotest.(check (list string)) "caller callees" [ "reader"; "writer" ]
+          (Callgraph.callees cg "caller");
+        Alcotest.(check bool) "main reaches writer" true
+          (Callgraph.reaches cg ~from:"main" ~target:"writer");
+        Alcotest.(check bool) "no recursion" false (Callgraph.is_recursive cg "main"));
+    Alcotest.test_case "recursion detected and refmod converges" `Quick (fun () ->
+        let src =
+          "int g;\nint fact(int n) { g = g + 1; if (n < 2) { return 1; } return n * fact(n - 1); }\nint main() { return fact(5); }"
+        in
+        let p = Typecheck.program_of_string src in
+        let cg = Callgraph.build p in
+        Alcotest.(check bool) "recursive" true (Callgraph.is_recursive cg "fact");
+        let pt = Pointsto.analyze p in
+        let rm = Refmod.analyze p pt in
+        let g_sym = fst (List.hd p.Tast.globals) in
+        Alcotest.(check bool) "fact mods g" true
+          (match Refmod.call_acc rm ~callee:"fact" g_sym with
+          | Refmod.Acc_mod | Refmod.Acc_refmod -> true
+          | _ -> false));
+    Alcotest.test_case "escaped pointers go conservative" `Quick (fun () ->
+        let src =
+          "int a[4];\nint *box[2];\nvoid f() { box[0] = a; }\nint g() { int *p; p = box[0]; return p[0]; }\nint main() { f(); return g(); }"
+        in
+        let p = Typecheck.program_of_string src in
+        let pt = Pointsto.analyze p in
+        let gf = Option.get (Tast.find_func p "g") in
+        let psym = List.hd gf.Tast.locals in
+        Alcotest.(check bool) "p is universe" true
+          (Pointsto.points_to pt psym = Pointsto.Universe));
+  ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("affine", affine_tests);
+      ("affine-props", List.map QCheck_alcotest.to_alcotest affine_props);
+      ("deptest", deptest_tests);
+      ("section", section_tests);
+      ("interprocedural", pointsto_tests);
+    ]

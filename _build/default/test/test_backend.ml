@@ -1,0 +1,236 @@
+(* Tests for the back end: GCC-style alias rules, the lowering/ITEMGEN
+   order contract on every workload, DDG query accounting, and schedule
+   validity. *)
+
+open Backend
+
+let mem ?(base = Rtl.Bframe) ?(off = 0) ?idx ?(scale = 1) ?(size = 4) () =
+  {
+    Rtl.mbase = base;
+    moffset = off;
+    mindex = idx;
+    mscale = scale;
+    msize = size;
+    mclass = Rtl.Rint;
+  }
+
+let gsym name = Srclang.Symbol.fresh ~name ~ty:(Srclang.Types.Tarray (Srclang.Types.Tint, 10)) ~storage:Srclang.Symbol.Global
+
+let gcc_alias_tests =
+  [
+    Alcotest.test_case "distinct globals never conflict" `Quick (fun () ->
+        let a = mem ~base:(Rtl.Bsym (gsym "a")) () in
+        let b = mem ~base:(Rtl.Bsym (gsym "b")) () in
+        Alcotest.(check bool) "no" false (Gcc_alias.true_dependence a b));
+    Alcotest.test_case "same global disjoint offsets" `Quick (fun () ->
+        let s = gsym "a" in
+        let a = mem ~base:(Rtl.Bsym s) ~off:0 ~size:4 () in
+        let b = mem ~base:(Rtl.Bsym s) ~off:4 ~size:4 () in
+        let c = mem ~base:(Rtl.Bsym s) ~off:2 ~size:4 () in
+        Alcotest.(check bool) "disjoint" false (Gcc_alias.true_dependence a b);
+        Alcotest.(check bool) "overlap" true (Gcc_alias.true_dependence a c));
+    Alcotest.test_case "index register forces conflict" `Quick (fun () ->
+        let s = gsym "a" in
+        let a = mem ~base:(Rtl.Bsym s) ~idx:5 () in
+        let b = mem ~base:(Rtl.Bsym s) ~off:400 () in
+        Alcotest.(check bool) "yes" true (Gcc_alias.true_dependence a b));
+    Alcotest.test_case "pointer conflicts with symbol" `Quick (fun () ->
+        let a = mem ~base:(Rtl.Breg 3) () in
+        let b = mem ~base:(Rtl.Bsym (gsym "a")) () in
+        Alcotest.(check bool) "yes" true (Gcc_alias.true_dependence a b));
+    Alcotest.test_case "same pointer reg, disjoint offsets" `Quick (fun () ->
+        let a = mem ~base:(Rtl.Breg 3) ~off:0 () in
+        let b = mem ~base:(Rtl.Breg 3) ~off:8 () in
+        let c = mem ~base:(Rtl.Breg 4) ~off:8 () in
+        Alcotest.(check bool) "same reg disjoint" false (Gcc_alias.true_dependence a b);
+        Alcotest.(check bool) "different regs" true (Gcc_alias.true_dependence a c));
+    Alcotest.test_case "frame vs global never conflict" `Quick (fun () ->
+        let a = mem ~base:Rtl.Bframe () in
+        let b = mem ~base:(Rtl.Bsym (gsym "a")) () in
+        Alcotest.(check bool) "no" false (Gcc_alias.true_dependence a b));
+    Alcotest.test_case "arg areas are private" `Quick (fun () ->
+        let out = mem ~base:Rtl.Bargout ~off:32 () in
+        let ptr = mem ~base:(Rtl.Breg 3) () in
+        let out2 = mem ~base:Rtl.Bargout ~off:32 () in
+        Alcotest.(check bool) "vs pointer" false (Gcc_alias.true_dependence out ptr);
+        Alcotest.(check bool) "same slot" true (Gcc_alias.true_dependence out out2));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Mapping contract on every workload                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mapping_tests =
+  List.map
+    (fun w ->
+      Alcotest.test_case w.Workloads.Workload.name `Quick (fun () ->
+          let prog =
+            Srclang.Typecheck.program_of_string w.Workloads.Workload.source
+          in
+          let ctx = Hligen.Tblconst.make_context prog in
+          let rtl = Lower.lower_program prog in
+          List.iter
+            (fun f ->
+              let entry, _, _ = Hligen.Tblconst.build_unit ctx f in
+              let fn = Option.get (Rtl.find_fn rtl f.Srclang.Tast.name) in
+              let m = Hli_import.map_unit entry fn in
+              Alcotest.(check int)
+                (f.Srclang.Tast.name ^ " unmapped")
+                0 m.Hli_import.unmapped_insns;
+              Alcotest.(check (list int))
+                (f.Srclang.Tast.name ^ " mismatched lines")
+                [] m.Hli_import.mismatched_lines)
+            prog.Srclang.Tast.funcs))
+    Workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* DDG accounting and schedule validity                                *)
+(* ------------------------------------------------------------------ *)
+
+let stencil_src =
+  {|
+double u[128];
+double v[128];
+
+void step(double *x, double *y)
+{
+  int i;
+  for (i = 1; i < 127; i++)
+  {
+    y[i] = x[i-1] + x[i+1] + x[i] * 0.5;
+  }
+}
+
+int main()
+{
+  int i;
+  double s;
+  for (i = 0; i < 128; i++)
+  {
+    u[i] = 0.1 * i;
+  }
+  step(u, v);
+  s = 0.0;
+  for (i = 0; i < 128; i++)
+  {
+    s = s + v[i];
+  }
+  print_double(s);
+  return 0;
+}
+|}
+
+let compile_stats mode =
+  let prog = Srclang.Typecheck.program_of_string stencil_src in
+  let entries = Harness.Pipeline.build_hli_entries prog in
+  let rtl = Lower.lower_program prog in
+  let maps = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Hli_core.Tables.hli_entry) ->
+      match Rtl.find_fn rtl e.Hli_core.Tables.unit_name with
+      | Some fn ->
+          Hashtbl.replace maps e.Hli_core.Tables.unit_name (Hli_import.map_unit e fn)
+      | None -> ())
+    entries;
+  let stats =
+    Sched.schedule_program ~mode
+      ~hli_of_fn:(fun n -> Hashtbl.find_opt maps n)
+      ~md:Machdesc.r10000 rtl
+  in
+  (rtl, stats)
+
+let ddg_tests =
+  [
+    Alcotest.test_case "combined <= gcc and <= hli (Figure 5)" `Quick (fun () ->
+        let _, s = compile_stats Ddg.With_hli in
+        Alcotest.(check bool) "total > 0" true (s.Ddg.total > 0);
+        Alcotest.(check bool) "combined <= gcc" true
+          (s.Ddg.combined_yes <= s.Ddg.gcc_yes);
+        Alcotest.(check bool) "combined <= hli" true
+          (s.Ddg.combined_yes <= s.Ddg.hli_yes);
+        Alcotest.(check bool) "all <= total" true
+          (s.Ddg.gcc_yes <= s.Ddg.total && s.Ddg.hli_yes <= s.Ddg.total));
+    Alcotest.test_case "HLI strictly disambiguates the stencil" `Quick (fun () ->
+        let _, s = compile_stats Ddg.With_hli in
+        Alcotest.(check bool) "hli < gcc" true (s.Ddg.hli_yes < s.Ddg.gcc_yes));
+    Alcotest.test_case "schedules respect DDG order" `Quick (fun () ->
+        (* after scheduling, every block must still be a topological
+           order of a freshly built DDG *)
+        let rtl, _ = compile_stats Ddg.Gcc_only in
+        List.iter
+          (fun fn ->
+            Array.iter
+              (fun (b : Rtl.block) ->
+                let g =
+                  Ddg.build ~mode:Ddg.Gcc_only ~hli:None ~md:Machdesc.r10000
+                    ~stats:(Ddg.fresh_stats ()) b.Rtl.insns
+                in
+                (* positions in the new order *)
+                let pos = Hashtbl.create 16 in
+                List.iteri
+                  (fun idx (ins : Rtl.insn) -> Hashtbl.replace pos ins.Rtl.uid idx)
+                  b.Rtl.insns;
+                Array.iteri
+                  (fun j preds ->
+                    List.iter
+                      (fun (k, _) ->
+                        let pj = Hashtbl.find pos g.Ddg.insns.(j).Rtl.uid in
+                        let pk = Hashtbl.find pos g.Ddg.insns.(k).Rtl.uid in
+                        Alcotest.(check bool) "pred before succ" true (pk < pj))
+                      preds)
+                  g.Ddg.preds)
+              fn.Rtl.blocks)
+          rtl.Rtl.fns);
+    Alcotest.test_case "branches stay last" `Quick (fun () ->
+        let rtl, _ = compile_stats Ddg.With_hli in
+        List.iter
+          (fun fn ->
+            Array.iter
+              (fun (b : Rtl.block) ->
+                let rec check_tail seen_branch = function
+                  | [] -> ()
+                  | (i : Rtl.insn) :: rest ->
+                      if seen_branch then
+                        Alcotest.(check bool) "only branches after a branch" true
+                          (Rtl.is_branch i)
+                      else ();
+                      check_tail (seen_branch || Rtl.is_branch i) rest
+                in
+                check_tail false b.Rtl.insns)
+              fn.Rtl.blocks)
+          rtl.Rtl.fns);
+  ]
+
+(* lowering sanity: loop metadata matches region numbering *)
+let loop_meta_tests =
+  [
+    Alcotest.test_case "loop regions numbered like the front end" `Quick (fun () ->
+        let prog = Srclang.Typecheck.program_of_string stencil_src in
+        let rtl = Lower.lower_program prog in
+        List.iter
+          (fun f ->
+            let region = Frontir.Region.of_func f in
+            let fn = Option.get (Rtl.find_fn rtl f.Srclang.Tast.name) in
+            let front_ids =
+              List.filter_map
+                (fun r ->
+                  if Frontir.Region.is_loop r then Some r.Frontir.Region.rid
+                  else None)
+                (Frontir.Region.all region)
+            in
+            let back_ids = List.map (fun l -> l.Rtl.l_region) fn.Rtl.loops in
+            Alcotest.(check (list int))
+              (f.Srclang.Tast.name ^ " loop ids")
+              (List.sort compare front_ids)
+              (List.sort compare back_ids))
+          prog.Srclang.Tast.funcs);
+  ]
+
+let () =
+  Alcotest.run "backend"
+    [
+      ("gcc-alias", gcc_alias_tests);
+      ("mapping-contract", mapping_tests);
+      ("ddg", ddg_tests);
+      ("loops", loop_meta_tests);
+    ]

@@ -1,0 +1,308 @@
+(* Tests for the HLI core: tables, queries, serialization (with a random
+   file generator), and the maintenance API including unrolling. *)
+
+module T = Hli_core.Tables
+
+(* the paper's Figure 2 program builds our reference entry *)
+let fig2 =
+  {|
+int a[10];
+int b[10];
+int sum;
+
+void foo()
+{
+  int i;
+  int j;
+  for (i = 0; i < 10; i++)
+  {
+    a[i] = 0;
+  }
+  for (i = 0; i < 10; i++)
+  {
+    sum = sum + a[i] + b[0];
+    for (j = 1; j < 10; j++)
+    {
+      b[j] = b[j] + b[j-1];
+      a[i] = a[i] + b[j];
+      sum = sum + 1;
+    }
+  }
+}
+|}
+
+let fig2_entry () =
+  let prog = Srclang.Typecheck.program_of_string fig2 in
+  let ctx = Hligen.Tblconst.make_context prog in
+  let f = List.hd prog.Srclang.Tast.funcs in
+  let entry, _, _ = Hligen.Tblconst.build_unit ctx f in
+  entry
+
+let query_tests =
+  [
+    Alcotest.test_case "region structure" `Quick (fun () ->
+        let e = fig2_entry () in
+        Alcotest.(check int) "4 regions" 4 (List.length e.T.regions);
+        let r1 = List.hd e.T.regions in
+        Alcotest.(check bool) "unit first" true (r1.T.rtype = T.Region_unit);
+        Alcotest.(check int) "unit has 3 classes" 3 (List.length r1.T.eq_classes));
+    Alcotest.test_case "equiv: b[j] vs b[j-1] proven distinct" `Quick (fun () ->
+        let idx = Hli_core.Query.build (fig2_entry ()) in
+        (* items 6 and 7 are the loads of b[j] and b[j-1] *)
+        Alcotest.(check bool) "none" true
+          (Hli_core.Query.get_equiv_acc idx 6 7 = Hli_core.Query.Equiv_none);
+        Alcotest.(check bool) "symmetric" true
+          (Hli_core.Query.get_equiv_acc idx 7 6 = Hli_core.Query.Equiv_none));
+    Alcotest.test_case "equiv: b[j] load vs store same class" `Quick (fun () ->
+        let idx = Hli_core.Query.build (fig2_entry ()) in
+        match Hli_core.Query.get_equiv_acc idx 6 8 with
+        | Hli_core.Query.Equiv_same _ -> ()
+        | r -> Alcotest.failf "got %a" Hli_core.Query.pp_equiv_result r);
+    Alcotest.test_case "equiv across regions via subclasses" `Quick (fun () ->
+        let idx = Hli_core.Query.build (fig2_entry ()) in
+        (* item 1 (a[i] store, first loop) vs item 9 (a[i] load, j loop):
+           common region is the unit; same a[0..9] class (maybe) *)
+        match Hli_core.Query.get_equiv_acc idx 1 9 with
+        | Hli_core.Query.Equiv_same T.Maybe -> ()
+        | r -> Alcotest.failf "got %a" Hli_core.Query.pp_equiv_result r);
+    Alcotest.test_case "alias: b[0] vs b[0..9] in region 3" `Quick (fun () ->
+        let e = fig2_entry () in
+        let idx = Hli_core.Query.build e in
+        (* item 4 is the b[0] load; item 6 the b[j] load.  In region 3
+           their classes are distinct but aliased. *)
+        match Hli_core.Query.get_equiv_acc idx 4 6 with
+        | Hli_core.Query.Equiv_alias -> ()
+        | r -> Alcotest.failf "got %a" Hli_core.Query.pp_equiv_result r);
+    Alcotest.test_case "lcdd b[j] -> b[j-1] distance 1" `Quick (fun () ->
+        let idx = Hli_core.Query.build (fig2_entry ()) in
+        match Hli_core.Query.get_lcdd idx ~rid:4 8 7 with
+        | Some [ l ] ->
+            Alcotest.(check (option int)) "distance" (Some 1) l.T.lcdd_distance;
+            Alcotest.(check bool) "definite" true (l.T.lcdd_dep = T.Dep_definite)
+        | Some l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
+        | None -> Alcotest.fail "items not represented");
+    Alcotest.test_case "line table lookups" `Quick (fun () ->
+        let e = fig2_entry () in
+        let idx = Hli_core.Query.build e in
+        Alcotest.(check (option int)) "item 6 on line 19" (Some 19)
+          (Hli_core.Query.line_of_item idx 6);
+        Alcotest.(check int) "3 items on line 19" 3
+          (List.length (T.items_of_line e 19));
+        Alcotest.(check (option bool)) "item 8 is store" (Some true)
+          (Option.map (fun a -> a = T.Acc_store) (Hli_core.Query.access_type idx 8)));
+    Alcotest.test_case "unknown items answer unknown" `Quick (fun () ->
+        let idx = Hli_core.Query.build (fig2_entry ()) in
+        Alcotest.(check bool) "unknown" true
+          (Hli_core.Query.get_equiv_acc idx 999 6 = Hli_core.Query.Equiv_unknown));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_file : T.hli_file QCheck.Gen.t =
+  QCheck.Gen.(
+    let gen_acc = oneofl [ T.Acc_load; T.Acc_store; T.Acc_call ] in
+    let gen_item =
+      int_range 1 500 >>= fun id ->
+      gen_acc >>= fun acc -> return { T.item_id = id; acc }
+    in
+    let gen_line =
+      int_range 1 200 >>= fun line_no ->
+      list_size (int_range 0 5) gen_item >>= fun items ->
+      return { T.line_no; items }
+    in
+    let gen_member =
+      oneof
+        [
+          map (fun i -> T.Member_item i) (int_range 1 500);
+          (int_range 1 20 >>= fun sub_region ->
+           int_range 1 500 >>= fun cls ->
+           return (T.Member_subclass { sub_region; cls }));
+        ]
+    in
+    let gen_class =
+      int_range 1 500 >>= fun class_id ->
+      oneofl [ T.Definitely; T.Maybe ] >>= fun kind ->
+      string_size ~gen:(char_range 'a' 'z') (int_range 0 8) >>= fun desc ->
+      list_size (int_range 0 4) gen_member >>= fun members ->
+      return { T.class_id; kind; desc; members }
+    in
+    let gen_lcdd =
+      int_range 1 500 >>= fun lcdd_src ->
+      int_range 1 500 >>= fun lcdd_dst ->
+      oneofl [ T.Dep_definite; T.Dep_maybe ] >>= fun lcdd_dep ->
+      opt (int_range 1 64) >>= fun lcdd_distance ->
+      return { T.lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance }
+    in
+    let gen_callrefmod =
+      oneof
+        [
+          map (fun i -> T.Key_call_item i) (int_range 1 500);
+          map (fun r -> T.Key_sub_region r) (int_range 1 20);
+        ]
+      >>= fun call_key ->
+      bool >>= fun refmod_all ->
+      list_size (int_range 0 3) (int_range 1 500) >>= fun ref_classes ->
+      list_size (int_range 0 3) (int_range 1 500) >>= fun mod_classes ->
+      return { T.call_key; ref_classes; mod_classes; refmod_all }
+    in
+    let gen_region =
+      int_range 1 20 >>= fun region_id ->
+      oneofl [ T.Region_unit; T.Region_loop ] >>= fun rtype ->
+      opt (int_range 1 20) >>= fun parent ->
+      int_range 1 100 >>= fun first_line ->
+      int_range 1 100 >>= fun d ->
+      list_size (int_range 0 4) gen_class >>= fun eq_classes ->
+      list_size (int_range 0 2)
+        (list_size (int_range 2 4) (int_range 1 500)
+        >>= fun alias_classes -> return { T.alias_classes })
+      >>= fun aliases ->
+      list_size (int_range 0 4) gen_lcdd >>= fun lcdds ->
+      list_size (int_range 0 2) gen_callrefmod >>= fun callrefmods ->
+      return
+        {
+          T.region_id;
+          rtype;
+          parent;
+          first_line;
+          last_line = first_line + d;
+          eq_classes;
+          aliases;
+          lcdds;
+          callrefmods;
+        }
+    in
+    let gen_entry =
+      string_size ~gen:(char_range 'a' 'z') (int_range 1 10) >>= fun unit_name ->
+      list_size (int_range 0 8) gen_line >>= fun line_table ->
+      list_size (int_range 0 4) gen_region >>= fun regions ->
+      return { T.unit_name; line_table; regions }
+    in
+    list_size (int_range 0 4) gen_entry >>= fun entries -> return { T.entries })
+
+let serialize_props =
+  [
+    QCheck.Test.make ~count:200 ~name:"binary round-trip"
+      (QCheck.make gen_file) (fun f ->
+        Hli_core.Serialize.of_bytes (Hli_core.Serialize.to_bytes f) = f);
+    QCheck.Test.make ~count:100 ~name:"size is deterministic"
+      (QCheck.make gen_file) (fun f ->
+        Hli_core.Serialize.size_bytes f = Hli_core.Serialize.size_bytes f);
+  ]
+
+let serialize_tests =
+  [
+    Alcotest.test_case "bad magic rejected" `Quick (fun () ->
+        match Hli_core.Serialize.of_bytes "NOPE" with
+        | exception Hli_core.Serialize.Corrupt _ -> ()
+        | _ -> Alcotest.fail "accepted garbage");
+    Alcotest.test_case "truncation rejected" `Quick (fun () ->
+        let f = { T.entries = [ fig2_entry () ] } in
+        let b = Hli_core.Serialize.to_bytes f in
+        let cut = String.sub b 0 (String.length b - 3) in
+        match Hli_core.Serialize.of_bytes cut with
+        | exception Hli_core.Serialize.Corrupt _ -> ()
+        | _ -> Alcotest.fail "accepted truncated");
+    Alcotest.test_case "trailing bytes rejected" `Quick (fun () ->
+        let f = { T.entries = [] } in
+        let b = Hli_core.Serialize.to_bytes f ^ "x" in
+        match Hli_core.Serialize.of_bytes b with
+        | exception Hli_core.Serialize.Corrupt _ -> ()
+        | _ -> Alcotest.fail "accepted trailing");
+    Alcotest.test_case "figure-2 entry round-trips" `Quick (fun () ->
+        let f = { T.entries = [ fig2_entry () ] } in
+        Alcotest.(check bool) "eq" true
+          (Hli_core.Serialize.of_bytes (Hli_core.Serialize.to_bytes f) = f));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let maintain_tests =
+  [
+    Alcotest.test_case "delete_item removes everywhere" `Quick (fun () ->
+        let e = fig2_entry () in
+        let m = Hli_core.Maintain.start e in
+        Hli_core.Maintain.delete_item m 6;
+        let e', idx = Hli_core.Maintain.commit m in
+        Alcotest.(check bool) "gone from lines" true
+          (not (List.mem 6 (T.all_items e')));
+        Alcotest.(check (option int)) "no region" None
+          (Hli_core.Query.get_region_of_item idx 6));
+    Alcotest.test_case "deleting a whole class cascades" `Quick (fun () ->
+        let e = fig2_entry () in
+        let m = Hli_core.Maintain.start e in
+        (* item 7 (b[j-1]) is alone in its class; deleting it must drop
+           the class and the LCDD entry pointing at it *)
+        Hli_core.Maintain.delete_item m 7;
+        let e', _ = Hli_core.Maintain.commit m in
+        let r4 = Option.get (T.find_region e' 4) in
+        Alcotest.(check int) "3 classes left" 3 (List.length r4.T.eq_classes);
+        Alcotest.(check bool) "no dangling lcdd" true
+          (List.for_all
+             (fun l ->
+               List.exists (fun c -> c.T.class_id = l.T.lcdd_src) r4.T.eq_classes
+               && List.exists (fun c -> c.T.class_id = l.T.lcdd_dst) r4.T.eq_classes)
+             r4.T.lcdds));
+    Alcotest.test_case "gen_item inherits class and line" `Quick (fun () ->
+        let e = fig2_entry () in
+        let m = Hli_core.Maintain.start e in
+        let nid = Hli_core.Maintain.gen_item m ~like:6 ~line:19 in
+        let e', idx = Hli_core.Maintain.commit m in
+        Alcotest.(check bool) "fresh id" true (nid > 6);
+        Alcotest.(check (option int)) "same region"
+          (Hli_core.Query.get_region_of_item idx 6)
+          (Hli_core.Query.get_region_of_item idx nid);
+        Alcotest.(check bool) "same class" true
+          (Hli_core.Query.get_equiv_acc idx 6 nid <> Hli_core.Query.Equiv_none);
+        Alcotest.(check bool) "on line" true
+          (List.exists (fun it -> it.T.item_id = nid) (T.items_of_line e' 19)));
+    Alcotest.test_case "move_item_outward" `Quick (fun () ->
+        let e = fig2_entry () in
+        let m = Hli_core.Maintain.start e in
+        (* move the a[i] load (item 9) from region 4 out to region 3 *)
+        Alcotest.(check bool) "moved" true
+          (Hli_core.Maintain.move_item_outward m ~item:9 ~target_rid:3);
+        let _, idx = Hli_core.Maintain.commit m in
+        Alcotest.(check (option int)) "now in region 3" (Some 3)
+          (Hli_core.Query.get_region_of_item idx 9));
+    Alcotest.test_case "unroll remaps LCDD (Figure 6)" `Quick (fun () ->
+        let e = fig2_entry () in
+        let m = Hli_core.Maintain.start e in
+        let r = Hli_core.Maintain.unroll m ~rid:4 ~factor:2 in
+        let e', idx = Hli_core.Maintain.commit m in
+        (* every original item gained one copy *)
+        List.iter
+          (fun (_, arr) -> Alcotest.(check int) "2 copies" 2 (Array.length arr))
+          r.Hli_core.Maintain.copies;
+        let r4 = Option.get (T.find_region e' 4) in
+        (* the b[j] -> b[j-1] d=1 dependence becomes: copy0 -> copy1
+           same-iteration alias, and copy1 -> copy0 at distance 1 *)
+        Alcotest.(check bool) "has wrapped lcdd d=1" true
+          (List.exists
+             (fun l -> l.T.lcdd_distance = Some 1 && l.T.lcdd_dep = T.Dep_definite)
+             r4.T.lcdds);
+        Alcotest.(check bool) "has new alias entry" true (r4.T.aliases <> []);
+        (* copies of one item stay equivalent to their original class *)
+        let orig, arr = List.hd r.Hli_core.Maintain.copies in
+        Alcotest.(check bool) "copy equiv known" true
+          (Hli_core.Query.get_equiv_acc idx orig arr.(1)
+          <> Hli_core.Query.Equiv_unknown));
+    Alcotest.test_case "unroll factor 1 rejected" `Quick (fun () ->
+        let e = fig2_entry () in
+        let m = Hli_core.Maintain.start e in
+        match Hli_core.Maintain.unroll m ~rid:4 ~factor:1 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "accepted factor 1");
+  ]
+
+let () =
+  Alcotest.run "hli"
+    [
+      ("query", query_tests);
+      ("serialize", serialize_tests);
+      ("serialize-props", List.map QCheck_alcotest.to_alcotest serialize_props);
+      ("maintain", maintain_tests);
+    ]

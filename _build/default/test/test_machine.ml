@@ -1,0 +1,223 @@
+(* Tests for the machine library: functional execution semantics of the
+   RTL interpreter, the cache model, and basic timing-model sanity. *)
+
+let run_src ?(fuel = 50_000_000) src =
+  let prog = Srclang.Typecheck.program_of_string src in
+  let rtl = Backend.Lower.lower_program prog in
+  Machine.Exec.run ~fuel rtl
+
+let check_output name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let r = run_src src in
+      Alcotest.(check string) name expected (String.trim r.Machine.Exec.output))
+
+let exec_tests =
+  [
+    check_output "arith and precedence"
+      "int main() { print_int(2 + 3 * 4 - 10 / 2); return 0; }" "9";
+    check_output "division truncates"
+      "int main() { print_int(7 / 2); print_int(-7 % 3); return 0; }" "3\n-1";
+    check_output "float arithmetic"
+      "int main() { print_double(1.5 * 4.0 + 0.25); return 0; }" "6.250000";
+    check_output "conversions"
+      "int main() { int n; double x; n = 7; x = n / 2; print_double(x); n = (int)(3.9); print_int(n); return 0; }"
+      "3.000000\n3";
+    check_output "while and if"
+      "int main() { int i; int s; i = 0; s = 0; while (i < 10) { if (i % 2 == 0) { s += i; } i++; } print_int(s); return 0; }"
+      "20";
+    check_output "short circuit"
+      {|
+int g;
+int bump() { g = g + 1; return 1; }
+int main()
+{
+  int r;
+  g = 0;
+  r = 0 && bump();
+  r = r + (1 || bump());
+  print_int(r);
+  print_int(g);
+  return 0;
+}
+|}
+      "1\n0";
+    check_output "arrays and pointers"
+      {|
+int a[5];
+int main()
+{
+  int i;
+  int *p;
+  for (i = 0; i < 5; i++) { a[i] = i * i; }
+  p = a + 1;
+  print_int(p[2] + *p + a[4]);
+  return 0;
+}
+|}
+      "26";
+    check_output "2d arrays"
+      {|
+int m[3][4];
+int main()
+{
+  int i;
+  int j;
+  for (i = 0; i < 3; i++) { for (j = 0; j < 4; j++) { m[i][j] = i * 10 + j; } }
+  print_int(m[2][3]);
+  print_int(m[0][1]);
+  return 0;
+}
+|}
+      "23\n1";
+    check_output "address-taken local"
+      {|
+void set(int *p, int v) { *p = v; }
+int main()
+{
+  int x;
+  x = 1;
+  set(&x, 42);
+  print_int(x);
+  return 0;
+}
+|}
+      "42";
+    check_output "recursion"
+      {|
+int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+int main() { print_int(fib(12)); return 0; }
+|}
+      "144";
+    check_output "stack arguments (>4)"
+      {|
+int sum6(int a, int b, int c, int d, int e, int f)
+{
+  return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+}
+int main() { print_int(sum6(1, 2, 3, 4, 5, 6)); return 0; }
+|}
+      "91";
+    check_output "double stack arguments"
+      {|
+double mix(double a, double b, double c, double d, double e)
+{
+  return a + b + c + d + e * 10.0;
+}
+int main() { print_double(mix(1.0, 2.0, 3.0, 4.0, 0.5)); return 0; }
+|}
+      "15.000000";
+    check_output "builtins"
+      "int main() { print_double(sqrt(16.0)); print_double(fabs(0.0 - 2.5)); print_int(abs(-3)); return 0; }"
+      "4.000000\n2.500000\n3";
+    check_output "global initializers"
+      "int a = 5;\ndouble b = -1.5;\nint main() { print_int(a); print_double(b); return 0; }"
+      "5\n-1.500000";
+    Alcotest.test_case "rand is deterministic" `Quick (fun () ->
+        let src =
+          "int main() { srand(7); print_int(rand() % 100); print_int(rand() % 100); return 0; }"
+        in
+        let r1 = run_src src and r2 = run_src src in
+        Alcotest.(check string) "same" r1.Machine.Exec.output r2.Machine.Exec.output);
+    Alcotest.test_case "out of fuel raises" `Quick (fun () ->
+        match run_src ~fuel:1000 "int main() { while (1) { } return 0; }" with
+        | exception Machine.Exec.Out_of_fuel -> ()
+        | _ -> Alcotest.fail "did not time out");
+    Alcotest.test_case "division by zero raises" `Quick (fun () ->
+        match run_src "int main() { int z; z = 0; return 1 / z; }" with
+        | exception Machine.Exec.Runtime_error _ -> ()
+        | _ -> Alcotest.fail "no error");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cache_tests =
+  [
+    Alcotest.test_case "repeat access hits" `Quick (fun () ->
+        let c = Machine.Cache.r4600 () in
+        let miss1 = Machine.Cache.access c 0x1000 in
+        let hit = Machine.Cache.access c 0x1004 in
+        Alcotest.(check bool) "first misses" true (miss1 > 0);
+        Alcotest.(check int) "same line hits" 0 hit);
+    Alcotest.test_case "capacity eviction" `Quick (fun () ->
+        let c = Machine.Cache.r4600 () in
+        ignore (Machine.Cache.access c 0);
+        (* touch far more lines than 16KB can hold *)
+        for k = 1 to 4096 do
+          ignore (Machine.Cache.access c (k * 32))
+        done;
+        let again = Machine.Cache.access c 0 in
+        Alcotest.(check bool) "evicted" true (again > 0));
+    Alcotest.test_case "L2 catches L1 misses" `Quick (fun () ->
+        let c = Machine.Cache.r10000 () in
+        ignore (Machine.Cache.access c 0x2000);
+        (* evict from L1 only: touch > 32KB of lines *)
+        for k = 1 to 2048 do
+          ignore (Machine.Cache.access c (0x10000 + (k * 32)))
+        done;
+        let lat = Machine.Cache.access c 0x2000 in
+        Alcotest.(check int) "l2 hit penalty" c.Machine.Cache.l2_penalty lat);
+    Alcotest.test_case "stats add up" `Quick (fun () ->
+        let c = Machine.Cache.r4600 () in
+        for k = 0 to 99 do
+          ignore (Machine.Cache.access c (k * 4))
+        done;
+        let h, m = Machine.Cache.l1_stats c in
+        Alcotest.(check int) "total" 100 (h + m));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Timing models                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let timing_src =
+  {|
+double a[256];
+int main()
+{
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < 256; i++) { a[i] = i * 0.5; }
+  for (i = 1; i < 256; i++) { s = s + a[i] * a[i-1]; }
+  print_double(s);
+  return 0;
+}
+|}
+
+let timing_tests =
+  [
+    Alcotest.test_case "r4600 cycles >= instructions" `Quick (fun () ->
+        let prog = Srclang.Typecheck.program_of_string timing_src in
+        let rtl = Backend.Lower.lower_program prog in
+        let r = Machine.Simulate.run Machine.Simulate.R4600 rtl in
+        Alcotest.(check bool) "single issue" true
+          (r.Machine.Simulate.cycles >= r.Machine.Simulate.dyn_insns));
+    Alcotest.test_case "r10000 is faster than r4600" `Quick (fun () ->
+        let prog = Srclang.Typecheck.program_of_string timing_src in
+        let rtl = Backend.Lower.lower_program prog in
+        let r1 = Machine.Simulate.run Machine.Simulate.R4600 rtl in
+        let prog2 = Srclang.Typecheck.program_of_string timing_src in
+        let rtl2 = Backend.Lower.lower_program prog2 in
+        let r2 = Machine.Simulate.run Machine.Simulate.R10000 rtl2 in
+        Alcotest.(check bool) "ooo wins" true
+          (r2.Machine.Simulate.cycles < r1.Machine.Simulate.cycles);
+        Alcotest.(check bool) "at least 1/width" true
+          (r2.Machine.Simulate.cycles * 4 >= r2.Machine.Simulate.dyn_insns));
+    Alcotest.test_case "both machines run the same program" `Quick (fun () ->
+        let prog = Srclang.Typecheck.program_of_string timing_src in
+        let rtl = Backend.Lower.lower_program prog in
+        let r1 = Machine.Simulate.run Machine.Simulate.R4600 rtl in
+        let prog2 = Srclang.Typecheck.program_of_string timing_src in
+        let rtl2 = Backend.Lower.lower_program prog2 in
+        let r2 = Machine.Simulate.run Machine.Simulate.R10000 rtl2 in
+        Alcotest.(check string) "output" r1.Machine.Simulate.output
+          r2.Machine.Simulate.output;
+        Alcotest.(check int) "dyn insns" r1.Machine.Simulate.dyn_insns
+          r2.Machine.Simulate.dyn_insns);
+  ]
+
+let () =
+  Alcotest.run "machine"
+    [ ("exec", exec_tests); ("cache", cache_tests); ("timing", timing_tests) ]

@@ -1,0 +1,128 @@
+(* Property-based soundness testing: generate random array kernels,
+   compile them with and without HLI (and with the optimization passes),
+   and require byte-identical program output.  This is the whole
+   system's safety property: no analysis result may ever license a
+   semantics-changing reordering. *)
+
+let array_names = [| "aa"; "bb"; "cc" |]
+
+(* random subscript around the induction variable *)
+let gen_subscript =
+  QCheck.Gen.(
+    oneof
+      [
+        return "i";
+        return "i-1";
+        return "i+1";
+        return "i+2";
+        map string_of_int (int_range 0 9);
+      ])
+
+let gen_operand =
+  QCheck.Gen.(
+    oneof
+      [
+        (oneofl [ 0; 1; 2 ] >>= fun a ->
+         gen_subscript >>= fun s ->
+         return (Printf.sprintf "%s[%s]" array_names.(a) s));
+        map string_of_int (int_range 1 9);
+        return "s";
+      ])
+
+let gen_stmt =
+  QCheck.Gen.(
+    oneof
+      [
+        (* array store *)
+        (oneofl [ 0; 1; 2 ] >>= fun a ->
+         gen_subscript >>= fun s ->
+         gen_operand >>= fun x ->
+         gen_operand >>= fun y ->
+         oneofl [ "+"; "-"; "*" ] >>= fun op ->
+         return (Printf.sprintf "    %s[%s] = %s %s %s;" array_names.(a) s x op y));
+        (* scalar update *)
+        (gen_operand >>= fun x ->
+         oneofl [ "+"; "-" ] >>= fun op ->
+         return (Printf.sprintf "    s = s %s %s;" op x));
+      ])
+
+let gen_program =
+  QCheck.Gen.(
+    int_range 2 8 >>= fun nstmts ->
+    list_repeat nstmts gen_stmt >>= fun body ->
+    int_range 4 30 >>= fun trip ->
+    let body = String.concat "\n" body in
+    return
+      (Printf.sprintf
+         {|
+int aa[64];
+int bb[64];
+int cc[64];
+
+void kernel(int *pa, int *pb)
+{
+  int i;
+  int s;
+  s = 0;
+  for (i = 3; i < %d; i++)
+  {
+%s
+    pa[i] = pa[i] + pb[i-1];
+  }
+  aa[0] = aa[0] + s;
+}
+
+int main()
+{
+  int i;
+  int sig;
+  for (i = 0; i < 64; i++)
+  {
+    aa[i] = i * 3 + 1;
+    bb[i] = 64 - i;
+    cc[i] = (i * 7) %% 13;
+  }
+  kernel(aa, bb);
+  kernel(bb, cc);
+  sig = 0;
+  for (i = 0; i < 64; i++)
+  {
+    sig = (sig * 31 + aa[i] + bb[i] * 2 + cc[i] * 3) %% 65536;
+  }
+  print_int(sig);
+  return 0;
+}
+|}
+         (3 + trip) body))
+
+let arb_program = QCheck.make ~print:(fun s -> s) gen_program
+
+let outputs_agree ?(passes = Harness.Pipeline.no_passes) src =
+  match Harness.Pipeline.compile ~passes src with
+  | exception Harness.Pipeline.Compile_error _ -> false
+  | c ->
+      let out rtl = (Machine.Exec.run rtl).Machine.Exec.output in
+      let o1 = out c.Harness.Pipeline.rtl_gcc_r4600 in
+      out c.Harness.Pipeline.rtl_hli_r4600 = o1
+      && out c.Harness.Pipeline.rtl_gcc_r10000 = o1
+      && out c.Harness.Pipeline.rtl_hli_r10000 = o1
+
+let props =
+  [
+    QCheck.Test.make ~count:40 ~name:"HLI scheduling never changes output"
+      arb_program (fun src -> outputs_agree src);
+    QCheck.Test.make ~count:25 ~name:"CSE+LICM+unroll never change output"
+      arb_program (fun src ->
+        outputs_agree
+          ~passes:{ Harness.Pipeline.p_cse = true; p_licm = true; p_unroll = Some 2 }
+          src);
+    QCheck.Test.make ~count:40 ~name:"item mapping is always total" arb_program
+      (fun src ->
+        match Harness.Pipeline.compile src with
+        | exception Harness.Pipeline.Compile_error _ -> false
+        | c -> c.Harness.Pipeline.map_unmapped = 0);
+  ]
+
+let () =
+  Alcotest.run "random-soundness"
+    [ ("properties", List.map QCheck_alcotest.to_alcotest props) ]

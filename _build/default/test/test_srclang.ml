@@ -1,0 +1,205 @@
+(* Unit tests for the mini-C front end: lexer, parser, type checker. *)
+
+open Srclang
+
+let tok_list src = List.map fst (Lexer.tokenize src)
+
+let check_tokens name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check (list string))
+        name expected
+        (List.map Token.to_string (tok_list src)))
+
+let lexer_tests =
+  [
+    check_tokens "operators" "a += b << 2 && !c"
+      [ "a"; "+="; "b"; "<<"; "2"; "&&"; "!"; "c"; "<eof>" ];
+    check_tokens "comments" "x /* skip\nme */ = // eol\n1;"
+      [ "x"; "="; "1"; ";"; "<eof>" ];
+    check_tokens "floats" "1.5 2. 3e2 4.5e-1 7"
+      [ "1.5"; "2."; "300."; "0.45"; "7"; "<eof>" ];
+    check_tokens "keywords vs idents" "int intx for fort"
+      [ "int"; "intx"; "for"; "fort"; "<eof>" ];
+    Alcotest.test_case "line numbers" `Quick (fun () ->
+        let toks = Lexer.tokenize "a\nbb\n  c" in
+        let lines = List.map (fun (_, l) -> l.Loc.line) toks in
+        Alcotest.(check (list int)) "lines" [ 1; 2; 3; 3 ] lines);
+    Alcotest.test_case "unterminated comment" `Quick (fun () ->
+        Alcotest.check_raises "raises"
+          (Lexer.Error ("unterminated comment", Loc.make ~line:1 ~col:1))
+          (fun () -> ignore (Lexer.tokenize "/* oops")));
+  ]
+
+let pp_expr ppf (e : Ast.expr) =
+  let rec go ppf (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.Int_lit n -> Fmt.int ppf n
+    | Ast.Float_lit f -> Fmt.float ppf f
+    | Ast.Var v -> Fmt.string ppf v
+    | Ast.Index (a, i) -> Fmt.pf ppf "%a[%a]" go a go i
+    | Ast.Deref a -> Fmt.pf ppf "(*%a)" go a
+    | Ast.Addr a -> Fmt.pf ppf "(&%a)" go a
+    | Ast.Binop (op, a, b) ->
+        Fmt.pf ppf "(%a %s %a)" go a (Ast.binop_to_string op) go b
+    | Ast.Unop (op, a) -> Fmt.pf ppf "(%s%a)" (Ast.unop_to_string op) go a
+    | Ast.Call (f, args) ->
+        Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") go) args
+    | Ast.Cast (t, a) -> Fmt.pf ppf "((%a)%a)" Types.pp t go a
+  in
+  go ppf e
+
+let expr_str src = Fmt.str "%a" pp_expr (Parser.expr_of_string src)
+
+let check_expr name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (expr_str src))
+
+let parser_tests =
+  [
+    check_expr "precedence mul over add" "a + b * c" "(a + (b * c))";
+    check_expr "precedence shift vs cmp" "a << 1 < b" "((a << 1) < b)";
+    check_expr "logical precedence" "a && b || c && d" "((a && b) || (c && d))";
+    check_expr "unary binds tight" "-a * b" "((-a) * b)";
+    check_expr "nested index" "m[i][j+1]" "m[i][(j + 1)]";
+    check_expr "deref arith" "*(p + 2)" "(*(p + 2))";
+    check_expr "address of element" "&a[i]" "(&a[i])";
+    check_expr "call args" "f(a, b + 1, g(c))" "f(a, (b + 1), g(c))";
+    check_expr "cast" "(double)n + 1.0" "(((double)n) + 1)";
+    check_expr "bitwise layering" "a | b ^ c & d" "(a | (b ^ (c & d)))";
+    Alcotest.test_case "program structure" `Quick (fun () ->
+        let p =
+          Parser.program_of_string
+            "int g;\nint f(int x) { return x + g; }\nint main() { g = 1; return f(2); }"
+        in
+        Alcotest.(check int) "3 tops" 3 (List.length p.Ast.tops));
+    Alcotest.test_case "for desugar ++" `Quick (fun () ->
+        let p = Parser.program_of_string "void f() { int i; for (i = 0; i < 3; i++) { } }" in
+        match p.Ast.tops with
+        | [ Ast.Tfunc f ] -> (
+            match List.rev f.Ast.fbody with
+            | { Ast.sdesc = Ast.Sfor (Some _, Some _, Some step, _); _ } :: _ -> (
+                match step.Ast.sdesc with
+                | Ast.Sassign (_, { Ast.edesc = Ast.Binop (Ast.Add, _, _); _ }) -> ()
+                | _ -> Alcotest.fail "step not desugared to i = i + 1")
+            | _ -> Alcotest.fail "no for")
+        | _ -> Alcotest.fail "no func");
+    Alcotest.test_case "array params decay" `Quick (fun () ->
+        let p = Parser.program_of_string "void f(double a[10]) { }" in
+        match p.Ast.tops with
+        | [ Ast.Tfunc { Ast.fparams = [ (_, Types.Tptr Types.Tdouble) ]; _ } ] -> ()
+        | _ -> Alcotest.fail "param did not decay");
+    Alcotest.test_case "parse error has location" `Quick (fun () ->
+        match Parser.program_of_string "int f() { return + ; }" with
+        | exception Parser.Error (_, loc) ->
+            Alcotest.(check int) "line" 1 loc.Loc.line
+        | _ -> Alcotest.fail "expected error");
+  ]
+
+let check_ty name src fname expected_ty =
+  Alcotest.test_case name `Quick (fun () ->
+      let p = Typecheck.program_of_string src in
+      let f = Option.get (Tast.find_func p fname) in
+      match List.rev f.Tast.body with
+      | { Tast.sdesc = Tast.Sreturn (Some e); _ } :: _ ->
+          Alcotest.(check string) name expected_ty (Types.to_string e.Tast.ty)
+      | _ -> Alcotest.fail "no return"
+
+)
+
+let typecheck_tests =
+  [
+    check_ty "int arith" "int f() { return 1 + 2 * 3; }" "f" "int";
+    check_ty "promotion to double"
+      "double f() { int n; n = 2; return n + 1.5; }" "f" "double";
+    check_ty "pointer arith keeps type"
+      "double g[4];\ndouble *f() { return g + 2; }" "f" "double*";
+    check_ty "comparison is int"
+      "int f() { double x; x = 1.0; return x < 2.0; }" "f" "int";
+    Alcotest.test_case "implicit cast inserted" `Quick (fun () ->
+        let p = Typecheck.program_of_string "double f(int n) { return n; }" in
+        let f = Option.get (Tast.find_func p "f") in
+        match f.Tast.body with
+        | [ { Tast.sdesc = Tast.Sreturn (Some { Tast.desc = Tast.Cast (Types.Tdouble, _); _ }); _ } ] -> ()
+        | _ -> Alcotest.fail "no cast");
+    Alcotest.test_case "addr_taken is recorded" `Quick (fun () ->
+        let p =
+          Typecheck.program_of_string
+            "void g(int *p) { }\nvoid f() { int x; int y; g(&x); y = 1; }"
+        in
+        let f = Option.get (Tast.find_func p "f") in
+        let x = List.find (fun s -> s.Symbol.name = "x") f.Tast.locals in
+        let y = List.find (fun s -> s.Symbol.name = "y") f.Tast.locals in
+        Alcotest.(check bool) "x taken" true x.Symbol.addr_taken;
+        Alcotest.(check bool) "y not" false y.Symbol.addr_taken;
+        Alcotest.(check bool) "x resident" true (Symbol.memory_resident x);
+        Alcotest.(check bool) "y pseudo" false (Symbol.memory_resident y));
+    Alcotest.test_case "deref normalized to subscript" `Quick (fun () ->
+        let p =
+          Typecheck.program_of_string "int f(int *p, int i) { return *(p + i); }"
+        in
+        let f = Option.get (Tast.find_func p "f") in
+        match f.Tast.body with
+        | [ { Tast.sdesc = Tast.Sreturn (Some { Tast.desc = Tast.Lval lv; _ }); _ } ] -> (
+            match lv.Tast.ldesc with
+            | Tast.Lindex (_, _) -> ()
+            | _ -> Alcotest.fail "not normalized")
+        | _ -> Alcotest.fail "shape");
+    Alcotest.test_case "undeclared variable rejected" `Quick (fun () ->
+        match Typecheck.program_of_string "int f() { return nope; }" with
+        | exception Typecheck.Error (_, _) -> ()
+        | _ -> Alcotest.fail "accepted bad program");
+    Alcotest.test_case "bad arity rejected" `Quick (fun () ->
+        match
+          Typecheck.program_of_string "int g(int a) { return a; }\nint f() { return g(); }"
+        with
+        | exception Typecheck.Error (_, _) -> ()
+        | _ -> Alcotest.fail "accepted bad call");
+    Alcotest.test_case "global initializers" `Quick (fun () ->
+        let p = Typecheck.program_of_string "int a = -3;\ndouble b = 2;\nint main() { return 0; }" in
+        match p.Tast.globals with
+        | [ (_, Some (Tast.Ginit_int -3)); (_, Some (Tast.Ginit_float 2.0)) ] -> ()
+        | _ -> Alcotest.fail "bad initializers");
+    Alcotest.test_case "types size_of" `Quick (fun () ->
+        Alcotest.(check int) "int" 4 (Types.size_of Types.Tint);
+        Alcotest.(check int) "double" 8 (Types.size_of Types.Tdouble);
+        Alcotest.(check int) "ptr" 4 (Types.size_of (Types.Tptr Types.Tdouble));
+        Alcotest.(check int) "array" 80
+          (Types.size_of (Types.Tarray (Types.Tdouble, 10)));
+        Alcotest.(check int) "2d array" 24
+          (Types.size_of (Types.Tarray (Types.Tarray (Types.Tint, 3), 2))));
+    Alcotest.test_case "builtins typed" `Quick (fun () ->
+        let p = Typecheck.program_of_string "double f() { return sqrt(2.0) + exp(1.0); }" in
+        Alcotest.(check int) "one func" 1 (List.length p.Tast.funcs));
+  ]
+
+(* property: the lexer+parser roundtrips integer expressions built from a
+   tiny generator *)
+let gen_expr_string =
+  let open QCheck.Gen in
+  let rec gen n =
+    if n <= 0 then
+      oneof [ map string_of_int (int_range 0 99); return "x"; return "y" ]
+    else
+      frequency
+        [
+          (3, gen 0);
+          (2, map2 (fun a b -> "(" ^ a ^ " + " ^ b ^ ")") (gen (n - 1)) (gen (n - 1)));
+          (2, map2 (fun a b -> "(" ^ a ^ " * " ^ b ^ ")") (gen (n - 1)) (gen (n - 1)));
+          (1, map (fun a -> "(-" ^ a ^ ")") (gen (n - 1)));
+        ]
+  in
+  gen 4
+
+let prop_parse_total =
+  QCheck.Test.make ~count:200 ~name:"parser total on generated exprs"
+    (QCheck.make gen_expr_string) (fun s ->
+      match Parser.expr_of_string s with _ -> true | exception _ -> false)
+
+let () =
+  Alcotest.run "srclang"
+    [
+      ("lexer", lexer_tests);
+      ("parser", parser_tests);
+      ("typecheck", typecheck_tests);
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_parse_total ]);
+    ]
