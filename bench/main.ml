@@ -16,23 +16,146 @@
 
    Run with: dune exec bench/main.exe            (everything)
              dune exec bench/main.exe -- tables  (reproductions only)
-             dune exec bench/main.exe -- micro   (microbenchmarks only) *)
+             dune exec bench/main.exe -- micro   (microbenchmarks only)
+
+   Flags (tables mode):
+     -j N                 domain-pool size (default: HLI_JOBS env, else
+                          Domain.recommended_domain_count; -j 1 is the
+                          sequential reference path)
+     --workloads a,b,c    run only the named workloads (skips ablations)
+     --fuel N             per-run simulation budget, 0 = unlimited
+                          (exhaustion annotates the row, see Tables)
+     --stats              print the per-stage telemetry table
+     --stats-json PATH    write the hli-telemetry-v1 JSON dump ("-" for
+                          stdout)
+     --validate-json PATH structural JSON check of a dump; exit 1 if
+                          malformed (used by bench/smoke.sh) *)
 
 let fuel = 100_000_000
+
+type cfg = {
+  mode : string;
+  jobs : int;
+  fuel : int;
+  stats : bool;
+  stats_json : string option;
+  workloads : string list option;
+}
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [tables|micro|all] [-j N] [--fuel N] [--workloads a,b,c] \
+     [--stats] [--stats-json PATH] [--validate-json PATH]";
+  exit 2
+
+let parse_args () =
+  let cfg =
+    ref
+      {
+        mode = "all";
+        jobs = Harness.Pool.default_jobs ();
+        fuel;
+        stats = false;
+        stats_json = None;
+        workloads = None;
+      }
+  in
+  let rec loop = function
+    | [] -> ()
+    | ("tables" | "micro" | "all") as m :: rest ->
+        cfg := { !cfg with mode = m };
+        loop rest
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            cfg := { !cfg with jobs = j };
+            loop rest
+        | _ -> usage ())
+    | "--fuel" :: n :: rest -> (
+        (* simulation budget per run; 0 = unlimited.  A workload that
+           exhausts it yields an annotated partial row, not an abort. *)
+        match int_of_string_opt n with
+        | Some f when f >= 0 ->
+            cfg := { !cfg with fuel = f };
+            loop rest
+        | _ -> usage ())
+    | "--stats" :: rest ->
+        cfg := { !cfg with stats = true };
+        loop rest
+    | "--stats-json" :: path :: rest ->
+        cfg := { !cfg with stats_json = Some path };
+        loop rest
+    | "--workloads" :: names :: rest ->
+        cfg := { !cfg with workloads = Some (String.split_on_char ',' names) };
+        loop rest
+    | "--validate-json" :: path :: _ ->
+        let ic =
+          try open_in_bin path
+          with Sys_error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1
+        in
+        let s =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        (match Harness.Telemetry.validate_json s with
+        | Ok () ->
+            print_endline "valid JSON";
+            exit 0
+        | Error (msg, pos) ->
+            Printf.eprintf "%s: malformed JSON at byte %d: %s\n" path pos msg;
+            exit 1)
+    | _ -> usage ()
+  in
+  loop (List.tl (Array.to_list Sys.argv));
+  !cfg
 
 (* ------------------------------------------------------------------ *)
 (* Table reproductions                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let reproduce_tables () =
-  let rows =
-    List.map
-      (fun w ->
-        Fmt.epr "running %s...@." w.Workloads.Workload.name;
-        Harness.Tables.run_workload ~fuel w)
-      Workloads.Registry.all
+let reproduce_tables cfg pool =
+  (* fail fast on an unwritable --stats-json path, before the (long) run *)
+  let stats_oc =
+    match cfg.stats_json with
+    | None | Some "-" -> None
+    | Some path -> (
+        try Some (open_out_bin path)
+        with Sys_error msg ->
+          Printf.eprintf "--stats-json: %s\n" msg;
+          exit 1)
   in
-  print_string (Harness.Tables.print_tables rows)
+  let ws =
+    match cfg.workloads with
+    | None -> Workloads.Registry.all
+    | Some names ->
+        List.filter_map
+          (fun n ->
+            match Workloads.Registry.find n with
+            | Some w -> Some w
+            | None ->
+                Fmt.epr "warning: unknown workload %s (skipped)@." n;
+                None)
+          names
+  in
+  let rows =
+    Harness.Tables.run_all ~fuel:cfg.fuel ?pool
+      ~progress:(fun w -> Fmt.epr "running %s...@." w.Workloads.Workload.name)
+      ws
+  in
+  print_string (Harness.Tables.print_tables rows);
+  if cfg.stats then print_string ("\n" ^ Harness.Tables.stats_table rows);
+  (match (cfg.stats_json, stats_oc) with
+  | Some "-", _ -> print_endline (Harness.Tables.stats_json rows)
+  | Some path, Some oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Harness.Tables.stats_json rows));
+      Fmt.epr "wrote telemetry to %s@." path
+  | _ -> ());
+  rows
 
 (* Ablation 1 (DESIGN.md §5, item 1/2): turn off per-space merging when
    propagating classes to parent regions — bigger HLI, finer classes. *)
@@ -228,11 +351,21 @@ int main()
     tests
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if mode = "tables" || mode = "all" then begin
-    reproduce_tables ();
-    ablation_merging ();
-    ablation_lsq ();
-    ablation_passes ()
-  end;
-  if mode = "micro" || mode = "all" then micro ()
+  let cfg = parse_args () in
+  let pool =
+    if cfg.jobs > 1 then Some (Harness.Pool.create ~jobs:cfg.jobs) else None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Harness.Pool.shutdown pool)
+    (fun () ->
+      if cfg.mode = "tables" || cfg.mode = "all" then begin
+        ignore (reproduce_tables cfg pool);
+        (* ablations use fixed workload subsets; skip them when the
+           run was narrowed with --workloads (e.g. the smoke alias) *)
+        if cfg.workloads = None then begin
+          ablation_merging ();
+          ablation_lsq ();
+          ablation_passes ()
+        end
+      end;
+      if cfg.mode = "micro" || cfg.mode = "all" then micro ())

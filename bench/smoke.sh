@@ -1,0 +1,41 @@
+#!/bin/sh
+# CI smoke check for the parallel workload harness (dune alias @smoke).
+#
+# Runs two small workloads through bench/main.exe both sequentially
+# (-j 1) and on a 4-domain pool, then checks that
+#   1. the Table 1/2 output is byte-identical between the two runs, and
+#   2. the --stats-json telemetry dump is well-formed JSON
+#      (validated with the harness's own structural checker, since the
+#      container has no external JSON tooling).
+set -eu
+
+# dune runs us inside _build with a relative exe path; make it invocable
+exe="$1"
+case "$exe" in
+  /*) ;;
+  *) exe="./$exe" ;;
+esac
+
+tmp="${TMPDIR:-/tmp}/hli-smoke-$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+WORKLOADS="wc,129.compress"
+
+"$exe" tables --workloads "$WORKLOADS" -j 1 --stats-json "$tmp/seq.json" \
+  > "$tmp/seq.out" 2>/dev/null
+"$exe" tables --workloads "$WORKLOADS" -j 4 --stats-json "$tmp/par.json" \
+  > "$tmp/par.out" 2>/dev/null
+
+if ! cmp -s "$tmp/seq.out" "$tmp/par.out"; then
+  echo "smoke: FAIL — parallel tables differ from the sequential run" >&2
+  diff "$tmp/seq.out" "$tmp/par.out" >&2 || true
+  exit 1
+fi
+
+"$exe" --validate-json "$tmp/seq.json" > /dev/null \
+  || { echo "smoke: FAIL — malformed sequential --stats-json" >&2; exit 1; }
+"$exe" --validate-json "$tmp/par.json" > /dev/null \
+  || { echo "smoke: FAIL — malformed parallel --stats-json" >&2; exit 1; }
+
+echo "smoke: OK (parallel == sequential, telemetry JSON valid)"

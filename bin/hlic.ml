@@ -13,7 +13,12 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_hlic src_path use_hli machine run emit_hli dump_rtl cse licm unroll =
+let run_hlic src_path use_hli machine run emit_hli dump_rtl cse licm unroll
+    jobs stats stats_json =
+  let pool = if jobs > 1 then Some (Harness.Pool.create ~jobs) else None in
+  let tm = Harness.Telemetry.create () in
+  Fun.protect ~finally:(fun () -> Option.iter Harness.Pool.shutdown pool)
+  @@ fun () ->
   try
     let src = read_file src_path in
     let passes =
@@ -23,7 +28,7 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl cse licm unroll =
         p_unroll = (if unroll >= 2 then Some unroll else None);
       }
     in
-    let c = Harness.Pipeline.compile ~passes src in
+    let c = Harness.Pipeline.compile ~passes ?pool ~tm src in
     (match emit_hli with
     | Some out ->
         Hli_core.Serialize.write_file out c.Harness.Pipeline.hli;
@@ -45,13 +50,46 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl cse licm unroll =
       s.Backend.Ddg.combined_yes;
     if run then begin
       let m = if md_is_4600 then Machine.Simulate.R4600 else Machine.Simulate.R10000 in
-      let r = Machine.Simulate.run m rtl in
+      let r =
+        Harness.Telemetry.span ~tm "machine.simulate" (fun () ->
+            Machine.Simulate.run m rtl)
+      in
       Fmt.pr "%s" r.Machine.Simulate.output;
       Fmt.pr "[%s] %d cycles, %d instructions, L1 %d/%d hits/misses@."
         (Machine.Simulate.machine_name m)
         r.Machine.Simulate.cycles r.Machine.Simulate.dyn_insns
         r.Machine.Simulate.l1_hits r.Machine.Simulate.l1_misses
     end;
+    if stats then begin
+      Fmt.pr "== per-stage telemetry ==@.%a" Harness.Telemetry.pp_table tm;
+      Fmt.pr "== HLI queries by kind ==@.";
+      List.iter
+        (fun (name, v) -> Fmt.pr "%-16s %12d@." name v)
+        (Hli_core.Query.query_counters ())
+    end;
+    (match stats_json with
+    | None -> ()
+    | Some path ->
+        let b = Buffer.create 512 in
+        Buffer.add_string b
+          (Printf.sprintf "{\"schema\":\"hli-telemetry-v1\",\"file\":\"%s\",\"hli_queries\":{"
+             (Harness.Telemetry.json_escape src_path));
+        List.iteri
+          (fun i (name, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+          (Hli_core.Query.query_counters ());
+        Buffer.add_string b "},";
+        Buffer.add_string b (Harness.Telemetry.json_fragment tm);
+        Buffer.add_char b '}';
+        if path = "-" then print_endline (Buffer.contents b)
+        else begin
+          let oc = open_out_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (Buffer.contents b));
+          Fmt.pr "wrote telemetry to %s@." path
+        end);
     0
   with
   | Harness.Pipeline.Compile_error msg ->
@@ -84,11 +122,32 @@ let licm_flag = Arg.(value & flag & info [ "licm" ] ~doc:"run loop-invariant cod
 let unroll_arg =
   Arg.(value & opt int 0 & info [ "unroll" ] ~docv:"K" ~doc:"unroll eligible loops by K")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "domain-pool size for the four pipeline variants (default: \
+           \\$(b,HLI_JOBS) env, else the recommended domain count; 1 is \
+           fully sequential)")
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"print per-stage telemetry and HLI query counters")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"PATH"
+        ~doc:"write the hli-telemetry-v1 JSON dump to $(docv) (\"-\" for stdout)")
+
 let cmd =
   let doc = "compile mini-C with High-Level Information support" in
   Cmd.v (Cmd.info "hlic" ~doc)
     Term.(
       const run_hlic $ src_arg $ hli_flag $ machine_arg $ run_flag $ emit_arg
-      $ dump_flag $ cse_flag $ licm_flag $ unroll_arg)
+      $ dump_flag $ cse_flag $ licm_flag $ unroll_arg $ jobs_arg $ stats_flag
+      $ stats_json_arg)
 
 let () = exit (Cmd.eval' cmd)

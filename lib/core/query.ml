@@ -11,6 +11,50 @@
 
 open Tables
 
+(* ------------------------------------------------------------------ *)
+(* Per-kind query counters (harness telemetry)                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Process-wide counters of the five basic HLI queries, one per kind.
+    [Atomic] so harness domains running schedulers in parallel can bump
+    them without races; totals are deterministic even though the
+    interleaving is not. *)
+type query_kind = Q_equiv_acc | Q_alias | Q_lcdd | Q_call_acc | Q_region_of_item
+
+let q_equiv_acc = Atomic.make 0
+let q_alias = Atomic.make 0
+let q_lcdd = Atomic.make 0
+let q_call_acc = Atomic.make 0
+let q_region_of_item = Atomic.make 0
+
+let cell_of_kind = function
+  | Q_equiv_acc -> q_equiv_acc
+  | Q_alias -> q_alias
+  | Q_lcdd -> q_lcdd
+  | Q_call_acc -> q_call_acc
+  | Q_region_of_item -> q_region_of_item
+
+let count_query k = Atomic.incr (cell_of_kind k)
+
+let query_kind_name = function
+  | Q_equiv_acc -> "equiv_acc"
+  | Q_alias -> "alias"
+  | Q_lcdd -> "lcdd"
+  | Q_call_acc -> "call_acc"
+  | Q_region_of_item -> "region_of_item"
+
+let all_query_kinds =
+  [ Q_equiv_acc; Q_alias; Q_lcdd; Q_call_acc; Q_region_of_item ]
+
+(** Snapshot of all per-kind counters, in a fixed order. *)
+let query_counters () =
+  List.map
+    (fun k -> (query_kind_name k, Atomic.get (cell_of_kind k)))
+    all_query_kinds
+
+let reset_query_counters () =
+  List.iter (fun k -> Atomic.set (cell_of_kind k) 0) all_query_kinds
+
 type index = {
   entry : hli_entry;
   region_by_id : (int, region_entry) Hashtbl.t;
@@ -66,6 +110,7 @@ let line_of_item idx item = Hashtbl.find_opt idx.line_of_item item
 (** Innermost region whose equivalent-access table directly contains the
     item.  [None] when the item is unknown to the HLI. *)
 let get_region_of_item idx item =
+  count_query Q_region_of_item;
   Option.map fst (Hashtbl.find_opt idx.direct_class item)
 
 (** The class representing [item] in region [rid], walking subclass
@@ -115,6 +160,7 @@ let classes_aliased (r : region_entry) a b =
     iteration} of every loop enclosing both?  This is the query the back
     end's dependence checker combines with its own analysis (Figure 5). *)
 let get_equiv_acc idx item_a item_b =
+  count_query Q_equiv_acc;
   let chain_a = class_chain idx item_a and chain_b = class_chain idx item_b in
   if chain_a = [] || chain_b = [] then Equiv_unknown
   else begin
@@ -139,6 +185,7 @@ let get_equiv_acc idx item_a item_b =
 (** Alias query between two classes of one region: are they listed in a
     common alias entry? *)
 let get_alias idx ~rid cls_a cls_b =
+  count_query Q_alias;
   match region idx rid with
   | None -> false
   | Some r -> classes_aliased r cls_a cls_b
@@ -148,6 +195,7 @@ let get_alias idx ~rid cls_a cls_b =
     means "no LCDD recorded", which proves independence across
     iterations only when both items are represented in the region. *)
 let get_lcdd idx ~rid item_a item_b =
+  count_query Q_lcdd;
   match (region idx rid, class_at idx ~rid item_a, class_at idx ~rid item_b) with
   | Some r, Some ca, Some cb ->
       Some
@@ -170,6 +218,7 @@ type call_acc_result =
     item [mem]?  Resolves the call through the region that lists it
     (either as an immediate call item or via a sub-region entry). *)
 let get_call_acc idx ~call ~mem =
+  count_query Q_call_acc;
   (* Find a region whose callrefmod table covers this call, preferring
      the innermost region that also represents [mem]. *)
   let covering (r : region_entry) =

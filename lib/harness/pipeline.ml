@@ -22,17 +22,25 @@ type compiled = {
 
 exception Compile_error of string
 
-let build_hli_entries ?(opts = Hligen.Tblconst.default_options) prog =
-  let ctx = Hligen.Tblconst.make_context ~opts prog in
-  List.map
-    (fun f ->
-      let e, _, _ = Hligen.Tblconst.build_unit ctx f in
-      e)
-    prog.Srclang.Tast.funcs
+let build_hli_entries ?(opts = Hligen.Tblconst.default_options) ?tm prog =
+  let ctx =
+    Telemetry.span ?tm "frontend.analysis" (fun () ->
+        Hligen.Tblconst.make_context ~opts prog)
+  in
+  Telemetry.span ?tm "hligen.tblconst" (fun () ->
+      List.map
+        (fun f ->
+          let e, _, _ = Hligen.Tblconst.build_unit ctx f in
+          e)
+        prog.Srclang.Tast.funcs)
 
 (* lower a fresh copy and attach HLI maps per function *)
-let lower_and_map prog entries =
-  let rtl = Backend.Lower.lower_program prog in
+let lower_and_map ?tm prog entries =
+  let rtl =
+    Telemetry.span ?tm "backend.lower" (fun () ->
+        Backend.Lower.lower_program prog)
+  in
+  Telemetry.span ?tm "backend.hli_import" @@ fun () ->
   let maps = Hashtbl.create 16 in
   let unmapped = ref 0 in
   List.iter
@@ -79,14 +87,17 @@ let run_passes ~passes ~use_hli (entries : Hli_core.Tables.hli_entry list)
       (fun fn ->
         let name = fn.Backend.Rtl.fname in
         let hli = if use_hli then Hashtbl.find_opt maps name else None in
-        let entry =
-          List.find_opt
-            (fun (e : Hli_core.Tables.hli_entry) ->
-              e.Hli_core.Tables.unit_name = name)
-            entries
+        (* a maintenance session is only needed when the HLI is in
+           play: non-HLI variants must not pay for Maintain.start *)
+        let mt =
+          if use_hli then
+            Option.map Hli_core.Maintain.start
+              (List.find_opt
+                 (fun (e : Hli_core.Tables.hli_entry) ->
+                   e.Hli_core.Tables.unit_name = name)
+                 entries)
+          else None
         in
-        let mt = Option.map Hli_core.Maintain.start entry in
-        let mt = if use_hli then mt else None in
         if passes.p_cse then begin
           let s = Backend.Cse.run_fn ?hli ?maintain:mt fn in
           cse_stats.Backend.Cse.alu_eliminated <-
@@ -138,10 +149,20 @@ let run_passes ~passes ~use_hli (entries : Hli_core.Tables.hli_entry list)
 
 (** Compile a source program into all four scheduled variants.
     [passes] optionally interposes CSE/LICM/unrolling (with HLI
-    maintenance on the HLI variants) before scheduling. *)
+    maintenance on the HLI variants) before scheduling.
+
+    The four variants are independent (each lowers a fresh copy), so
+    when [pool] is given they are built concurrently; [tm] charges
+    per-stage spans to a {!Telemetry} record.
+
+    Only the [With_hli] variants import the HLI and issue (counted)
+    queries — the [Gcc_only] baselines never touch HLI lookups, and
+    Table 2's measurement stream comes from exactly one pass (the
+    With_hli/R10000 one, whose [stats] this record carries). *)
 let compile ?(opts = Hligen.Tblconst.default_options) ?(passes = no_passes)
-    (src : string) : compiled =
+    ?pool ?tm (src : string) : compiled =
   let prog =
+    Telemetry.span ?tm "frontend.parse_typecheck" @@ fun () ->
     try Srclang.Typecheck.program_of_string src with
     | Srclang.Typecheck.Error (msg, loc) ->
         raise (Compile_error (Fmt.str "type error at %a: %s" Srclang.Loc.pp loc msg))
@@ -150,33 +171,61 @@ let compile ?(opts = Hligen.Tblconst.default_options) ?(passes = no_passes)
     | Srclang.Lexer.Error (msg, loc) ->
         raise (Compile_error (Fmt.str "lex error at %a: %s" Srclang.Loc.pp loc msg))
   in
-  let entries = build_hli_entries ~opts prog in
+  let entries = build_hli_entries ~opts ?tm prog in
   let hli = { Hli_core.Tables.entries } in
-  let hli_bytes = Hli_core.Serialize.size_bytes hli in
-  let mk mode md =
-    let rtl, maps, unmapped = lower_and_map prog entries in
+  let hli_bytes =
+    Telemetry.span ?tm "hli.serialize" (fun () ->
+        Hli_core.Serialize.size_bytes hli)
+  in
+  let mk (mode, md) =
     let use_hli = mode = Backend.Ddg.With_hli in
-    let rtl, _ = run_passes ~passes ~use_hli entries rtl maps in
-    let stats = schedule ~mode ~maps ~md rtl in
+    let rtl, maps, unmapped =
+      if use_hli then lower_and_map ?tm prog entries
+      else
+        (* baseline: no HLI import, no query index, empty maps *)
+        let rtl =
+          Telemetry.span ?tm "backend.lower" (fun () ->
+              Backend.Lower.lower_program prog)
+        in
+        (rtl, Hashtbl.create 1, 0)
+    in
+    let rtl, _ =
+      Telemetry.span ?tm "backend.passes" (fun () ->
+          run_passes ~passes ~use_hli entries rtl maps)
+    in
+    let stats =
+      Telemetry.span ?tm "backend.ddg_schedule" (fun () ->
+          schedule ~mode ~maps ~md rtl)
+    in
     (rtl, stats, unmapped)
   in
-  let rtl_gcc_r4600, _, _ = mk Backend.Ddg.Gcc_only Backend.Machdesc.r4600 in
-  let rtl_hli_r4600, _, _ = mk Backend.Ddg.With_hli Backend.Machdesc.r4600 in
-  let rtl_gcc_r10000, _, _ = mk Backend.Ddg.Gcc_only Backend.Machdesc.r10000 in
-  let rtl_hli_r10000, stats, map_unmapped =
-    mk Backend.Ddg.With_hli Backend.Machdesc.r10000
-  in
-  {
-    prog;
-    hli;
-    hli_bytes;
-    rtl_gcc_r4600;
-    rtl_hli_r4600;
-    rtl_gcc_r10000;
-    rtl_hli_r10000;
-    stats;
-    map_unmapped;
-  }
+  match
+    Pool.map_opt pool mk
+      [
+        (Backend.Ddg.Gcc_only, Backend.Machdesc.r4600);
+        (Backend.Ddg.With_hli, Backend.Machdesc.r4600);
+        (Backend.Ddg.Gcc_only, Backend.Machdesc.r10000);
+        (Backend.Ddg.With_hli, Backend.Machdesc.r10000);
+      ]
+  with
+  | [
+   (rtl_gcc_r4600, _, _);
+   (rtl_hli_r4600, _, _);
+   (rtl_gcc_r10000, _, _);
+   (rtl_hli_r10000, stats, map_unmapped);
+  ] ->
+      {
+        prog;
+        hli;
+        hli_bytes;
+        rtl_gcc_r4600;
+        rtl_hli_r4600;
+        rtl_gcc_r10000;
+        rtl_hli_r10000;
+        stats;
+        map_unmapped;
+      }
+  | _ -> assert false
 
 type measured = {
   r4600_gcc : Machine.Simulate.report;
@@ -185,22 +234,38 @@ type measured = {
   r10000_hli : Machine.Simulate.report;
 }
 
-(** Run all four variants; checks that the HLI-scheduled binaries
-    produce byte-identical output (scheduling must not change
-    semantics). *)
-let measure ?(fuel = 400_000_000) (c : compiled) : measured =
-  let r4600_gcc = Machine.Simulate.run ~fuel Machine.Simulate.R4600 c.rtl_gcc_r4600 in
-  let r4600_hli = Machine.Simulate.run ~fuel Machine.Simulate.R4600 c.rtl_hli_r4600 in
-  let r10000_gcc = Machine.Simulate.run ~fuel Machine.Simulate.R10000 c.rtl_gcc_r10000 in
-  let r10000_hli = Machine.Simulate.run ~fuel Machine.Simulate.R10000 c.rtl_hli_r10000 in
-  if r4600_gcc.Machine.Simulate.output <> r4600_hli.Machine.Simulate.output then
-    raise (Compile_error "HLI schedule changed program output (R4600)");
-  if r10000_gcc.Machine.Simulate.output <> r10000_hli.Machine.Simulate.output then
-    raise (Compile_error "HLI schedule changed program output (R10000)");
-  { r4600_gcc; r4600_hli; r10000_gcc; r10000_hli }
+(** Run all four variants ([pool]: concurrently); checks that the
+    HLI-scheduled binaries produce byte-identical output (scheduling
+    must not change semantics). *)
+let measure ?(fuel = 400_000_000) ?pool ?tm (c : compiled) : measured =
+  let sim (machine, rtl) =
+    Telemetry.span ?tm "machine.simulate" (fun () ->
+        Machine.Simulate.run ~fuel machine rtl)
+  in
+  match
+    Pool.map_opt pool sim
+      [
+        (Machine.Simulate.R4600, c.rtl_gcc_r4600);
+        (Machine.Simulate.R4600, c.rtl_hli_r4600);
+        (Machine.Simulate.R10000, c.rtl_gcc_r10000);
+        (Machine.Simulate.R10000, c.rtl_hli_r10000);
+      ]
+  with
+  | [ r4600_gcc; r4600_hli; r10000_gcc; r10000_hli ] ->
+      if r4600_gcc.Machine.Simulate.output <> r4600_hli.Machine.Simulate.output
+      then raise (Compile_error "HLI schedule changed program output (R4600)");
+      if
+        r10000_gcc.Machine.Simulate.output
+        <> r10000_hli.Machine.Simulate.output
+      then raise (Compile_error "HLI schedule changed program output (R10000)");
+      { r4600_gcc; r4600_hli; r10000_gcc; r10000_hli }
+  | _ -> assert false
 
+(** [base] cycles over [opt] cycles; a degenerate run on either side
+    (0 cycles, e.g. after an aborted simulation) reports a neutral
+    1.0 rather than a bogus 0× "slowdown". *)
 let speedup ~(base : Machine.Simulate.report) ~(opt : Machine.Simulate.report) =
-  if opt.Machine.Simulate.cycles = 0 then 1.0
+  if base.Machine.Simulate.cycles = 0 || opt.Machine.Simulate.cycles = 0 then 1.0
   else
     float_of_int base.Machine.Simulate.cycles
     /. float_of_int opt.Machine.Simulate.cycles

@@ -1,4 +1,11 @@
-(** Experiment drivers reproducing the paper's Table 1 and Table 2. *)
+(** Experiment drivers reproducing the paper's Table 1 and Table 2.
+
+    {!run_workload} is robust: a workload whose simulation runs out of
+    fuel (or hits a runtime error) yields a partial row carrying a
+    failure annotation instead of aborting the whole reproduction run;
+    its compile-side columns are still valid.  {!run_all} fans the
+    workloads out across an optional {!Pool} — the row list (and thus
+    the printed tables) is byte-identical to a sequential run. *)
 
 type row = {
   w : Workloads.Workload.t;
@@ -8,22 +15,58 @@ type row = {
   sp_r4600 : float;
   sp_r10000 : float;
   dyn_insns : int;
+  unmapped : int;  (** memory refs the HLI mapping could not cover *)
+  failure : string option;
+      (** [Some reason] when simulation aborted; speedups are then 1.0
+          placeholders and excluded from the mean rows *)
+  tm : Telemetry.t;  (** per-stage spans/counters for this workload *)
 }
 
-let run_workload ?(fuel = 400_000_000) (w : Workloads.Workload.t) : row =
-  let c = Pipeline.compile w.Workloads.Workload.source in
-  let m = Pipeline.measure ~fuel c in
-  {
-    w;
-    lines = Workloads.Workload.line_count w;
-    hli_bytes = c.Pipeline.hli_bytes;
-    stats = c.Pipeline.stats;
-    sp_r4600 =
-      Pipeline.speedup ~base:m.Pipeline.r4600_gcc ~opt:m.Pipeline.r4600_hli;
-    sp_r10000 =
-      Pipeline.speedup ~base:m.Pipeline.r10000_gcc ~opt:m.Pipeline.r10000_hli;
-    dyn_insns = m.Pipeline.r4600_gcc.Machine.Simulate.dyn_insns;
-  }
+let run_workload ?(fuel = 400_000_000) ?pool ?tm (w : Workloads.Workload.t) :
+    row =
+  let tm = match tm with Some t -> t | None -> Telemetry.create () in
+  let c = Pipeline.compile ?pool ~tm w.Workloads.Workload.source in
+  let base =
+    {
+      w;
+      lines = Workloads.Workload.line_count w;
+      hli_bytes = c.Pipeline.hli_bytes;
+      stats = c.Pipeline.stats;
+      sp_r4600 = 1.0;
+      sp_r10000 = 1.0;
+      dyn_insns = 0;
+      unmapped = c.Pipeline.map_unmapped;
+      failure = None;
+      tm;
+    }
+  in
+  match Pipeline.measure ~fuel ?pool ~tm c with
+  | m ->
+      {
+        base with
+        sp_r4600 =
+          Pipeline.speedup ~base:m.Pipeline.r4600_gcc ~opt:m.Pipeline.r4600_hli;
+        sp_r10000 =
+          Pipeline.speedup ~base:m.Pipeline.r10000_gcc
+            ~opt:m.Pipeline.r10000_hli;
+        dyn_insns = m.Pipeline.r4600_gcc.Machine.Simulate.dyn_insns;
+      }
+  | exception Machine.Exec.Out_of_fuel ->
+      { base with failure = Some "out of fuel" }
+  | exception Machine.Exec.Runtime_error msg ->
+      { base with failure = Some ("runtime error: " ^ msg) }
+
+(** Run a list of workloads, optionally fanning them out across
+    [pool]; results come back in input order.  [progress] is called as
+    each workload starts (on the running domain, so under a pool the
+    call order is nondeterministic — keep it on stderr). *)
+let run_all ?fuel ?pool ?(progress = fun (_ : Workloads.Workload.t) -> ())
+    (ws : Workloads.Workload.t list) : row list =
+  Pool.map_opt pool
+    (fun w ->
+      progress w;
+      run_workload ?fuel ?pool w)
+    ws
 
 let reduction (s : Backend.Ddg.stats) =
   if s.Backend.Ddg.gcc_yes = 0 then 0.0
@@ -42,11 +85,14 @@ let table1_header =
     "HLI(KB)" "HLI/line(B)"
 
 let table1_row (r : row) =
-  Printf.sprintf "%-14s %-7s %10d %9.1f %13.1f" r.w.Workloads.Workload.name
+  Printf.sprintf "%-14s %-7s %10d %9.1f %13.1f%s" r.w.Workloads.Workload.name
     (Workloads.Workload.suite_name r.w.Workloads.Workload.suite)
     r.lines
     (float_of_int r.hli_bytes /. 1024.0)
     (float_of_int r.hli_bytes /. float_of_int (max 1 r.lines))
+    (if r.unmapped > 0 then
+       Printf.sprintf "  !! %d unmapped refs" r.unmapped
+     else "")
 
 let table2_header =
   Printf.sprintf "%-14s %7s %9s %12s %12s %12s %6s %8s %8s" "Benchmark" "Tests"
@@ -54,21 +100,26 @@ let table2_header =
 
 let table2_row (r : row) =
   let s = r.stats in
-  Printf.sprintf "%-14s %7d %9.2f %6d (%2.0f%%) %6d (%2.0f%%) %6d (%2.0f%%) %5.0f%% %8.2f %8.2f"
-    r.w.Workloads.Workload.name s.Backend.Ddg.total
-    (float_of_int s.Backend.Ddg.total /. float_of_int (max 1 r.lines))
-    s.Backend.Ddg.gcc_yes
-    (pct s.Backend.Ddg.gcc_yes s.Backend.Ddg.total)
-    s.Backend.Ddg.hli_yes
-    (pct s.Backend.Ddg.hli_yes s.Backend.Ddg.total)
-    s.Backend.Ddg.combined_yes
-    (pct s.Backend.Ddg.combined_yes s.Backend.Ddg.total)
-    (100.0 *. reduction s)
-    r.sp_r4600 r.sp_r10000
+  let prefix =
+    Printf.sprintf "%-14s %7d %9.2f %6d (%2.0f%%) %6d (%2.0f%%) %6d (%2.0f%%) %5.0f%%"
+      r.w.Workloads.Workload.name s.Backend.Ddg.total
+      (float_of_int s.Backend.Ddg.total /. float_of_int (max 1 r.lines))
+      s.Backend.Ddg.gcc_yes
+      (pct s.Backend.Ddg.gcc_yes s.Backend.Ddg.total)
+      s.Backend.Ddg.hli_yes
+      (pct s.Backend.Ddg.hli_yes s.Backend.Ddg.total)
+      s.Backend.Ddg.combined_yes
+      (pct s.Backend.Ddg.combined_yes s.Backend.Ddg.total)
+      (100.0 *. reduction s)
+  in
+  match r.failure with
+  | None -> Printf.sprintf "%s %8.2f %8.2f" prefix r.sp_r4600 r.sp_r10000
+  | Some reason -> Printf.sprintf "%s %8s %8s  !! %s" prefix "-" "-" reason
 
 (* geometric mean of speedups, arithmetic means of percentages, as the
-   paper's "mean" rows do *)
+   paper's "mean" rows do; rows whose simulation failed are excluded *)
 let mean_row name (rows : row list) =
+  let rows = List.filter (fun r -> r.failure = None) rows in
   let n = max 1 (List.length rows) in
   let fn = float_of_int n in
   let avg f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. fn in
@@ -112,4 +163,85 @@ let print_tables (rows : row list) =
   line (mean_row "mean (int)" int_rows);
   List.iter (fun r -> line (table2_row r)) fp_rows;
   line (mean_row "mean (fp)" fp_rows);
+  let failed = List.filter (fun r -> r.failure <> None) rows in
+  if failed <> [] then begin
+    line "";
+    line
+      (Printf.sprintf
+         "!! %d workload(s) aborted during simulation; mean rows exclude them"
+         (List.length failed))
+  end;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry reports (--stats / --stats-json)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Human-readable per-workload, per-stage timing table, followed by
+    the process-wide per-kind HLI query counters. *)
+let stats_table (rows : row list) =
+  let buf = Buffer.create 4096 in
+  let line s = Buffer.add_string buf (s ^ "\n") in
+  line "== Telemetry: per-stage wall-clock (ms) per workload ==";
+  let stages =
+    List.filter
+      (fun s -> List.exists (fun r -> Telemetry.span_count r.tm s > 0) rows)
+      Telemetry.stage_order
+  in
+  let short s =
+    match String.rindex_opt s '.' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  line
+    (String.concat ""
+       (Printf.sprintf "%-14s" "Benchmark"
+       :: List.map (fun s -> Printf.sprintf " %14s" (short s)) stages));
+  List.iter
+    (fun r ->
+      line
+        (String.concat ""
+           (Printf.sprintf "%-14s" r.w.Workloads.Workload.name
+           :: List.map
+                (fun s ->
+                  Printf.sprintf " %14.2f"
+                    (Telemetry.ms_of_ns (Telemetry.span_ns r.tm s)))
+                stages)))
+    rows;
+  line "";
+  line "== Telemetry: HLI queries by kind (process-wide) ==";
+  List.iter
+    (fun (name, v) -> line (Printf.sprintf "%-16s %12d" name v))
+    (Hli_core.Query.query_counters ());
+  Buffer.contents buf
+
+(** Machine-readable dump: schema [hli-telemetry-v1].  Per workload:
+    failure annotation, unmapped count, dependence-query stats, and the
+    {!Telemetry} spans/counters; plus the process-wide per-kind HLI
+    query counters. *)
+let stats_json (rows : row list) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"hli-telemetry-v1\",\"hli_queries\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+    (Hli_core.Query.query_counters ());
+  Buffer.add_string b "},\"workloads\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      let s = r.stats in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"failure\":%s,\"unmapped\":%d,\"dep_queries\":{\"total\":%d,\"gcc_yes\":%d,\"hli_yes\":%d,\"combined_yes\":%d},%s}"
+           (Telemetry.json_escape r.w.Workloads.Workload.name)
+           (match r.failure with
+           | None -> "null"
+           | Some f -> "\"" ^ Telemetry.json_escape f ^ "\"")
+           r.unmapped s.Backend.Ddg.total s.Backend.Ddg.gcc_yes
+           s.Backend.Ddg.hli_yes s.Backend.Ddg.combined_yes
+           (Telemetry.json_fragment r.tm)))
+    rows;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -98,6 +98,9 @@ let layout_globals (prog : Rtl.program) mem =
     prog.Rtl.globals;
   tbl
 
+(** Build an execution state.  [fuel] is the instruction budget:
+    exactly [fuel] instructions execute before {!Out_of_fuel} is
+    raised on the next one; [fuel = 0] (or negative) means unlimited. *)
 let make ?(fuel = 400_000_000) ?(hook = fun (_ : dyn) -> ()) (prog : Rtl.program) :
     state =
   let mem = Bytes.make mem_size '\000' in
@@ -237,8 +240,10 @@ let falu_op (op : Rtl.falu_op) a b : value =
 let globalize fr regs = List.map (fun r -> fr.rbase + r) regs
 
 let emit_dyn st fr (i : Rtl.insn) ~addr ~taken =
+  (* check before counting: with [fuel = n] exactly [n] instructions
+     execute (and reach the hook) before the n+1st raises *)
+  if st.fuel > 0 && st.executed >= st.fuel then raise Out_of_fuel;
   st.executed <- st.executed + 1;
-  if st.fuel > 0 && st.executed > st.fuel then raise Out_of_fuel;
   st.hook
     {
       d_insn = i;
@@ -356,7 +361,9 @@ and exec_fn st ~sp (fn : Rtl.fn) (args : value list) : value =
   run_block fn.Rtl.entry
 
 (** Run [main].  Raises {!Runtime_error} for bad programs and
-    {!Out_of_fuel} when the instruction budget is exhausted. *)
+    {!Out_of_fuel} when the instruction budget is exhausted — exactly
+    [fuel] instructions execute before the budget trips, and
+    [fuel = 0] means unlimited. *)
 let run ?fuel ?hook (prog : Rtl.program) : result =
   let st = make ?fuel ?hook prog in
   match Rtl.find_fn prog "main" with

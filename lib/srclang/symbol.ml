@@ -20,11 +20,17 @@ type t = {
       (** set if [&x] appears anywhere; forces memory residence *)
 }
 
-let counter = ref 0
+(* Domain-local so programs type-checked on different harness domains
+   get ids that depend only on their own source text (parallel runs
+   must produce byte-identical output to sequential ones).  Ids are
+   unique within one program: the type checker resets the counter at
+   the start of every program. *)
+let counter_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let reset_counter () = counter := 0
+let reset_counter () = Domain.DLS.get counter_key := 0
 
 let fresh ~name ~ty ~storage =
+  let counter = Domain.DLS.get counter_key in
   incr counter;
   { id = !counter; name; ty; storage; addr_taken = false }
 

@@ -327,6 +327,10 @@ let check_func env (f : Ast.func) : Tast.func =
 (** Check a whole program.  Function signatures are collected up front so
     that forward calls (and recursion) type-check. *)
 let check_program (p : Ast.program) : Tast.program =
+  (* ids restart per program: they only need to be unique within one
+     program, and restarting keeps them a function of the source text
+     alone, so parallel harness runs stay deterministic *)
+  Symbol.reset_counter ();
   let env =
     {
       globals = Hashtbl.create 64;

@@ -218,6 +218,57 @@ let timing_tests =
           r2.Machine.Simulate.dyn_insns);
   ]
 
+(* Regression: [Exec.run ~fuel:n] executes exactly [n] instructions
+   before raising [Out_of_fuel] (the seed let n+1 slip through), and
+   [fuel = 0] means unlimited. *)
+let fuel_tests =
+  let src =
+    "int main() { int i; i = 0; while (i < 50) { i++; } print_int(i); return 0; }"
+  in
+  let fresh_rtl () =
+    Backend.Lower.lower_program (Srclang.Typecheck.program_of_string src)
+  in
+  [
+    Alcotest.test_case "fuel = total completes" `Quick (fun () ->
+        let total = (Machine.Exec.run (fresh_rtl ())).Machine.Exec.dyn_count in
+        let r = Machine.Exec.run ~fuel:total (fresh_rtl ()) in
+        Alcotest.(check int) "dyn_count" total r.Machine.Exec.dyn_count);
+    Alcotest.test_case "fuel = n executes exactly n" `Quick (fun () ->
+        let total = (Machine.Exec.run (fresh_rtl ())).Machine.Exec.dyn_count in
+        let n = total - 1 in
+        let hooked = ref 0 in
+        (match
+           Machine.Exec.run ~fuel:n ~hook:(fun _ -> incr hooked) (fresh_rtl ())
+         with
+        | _ -> Alcotest.fail "expected Out_of_fuel"
+        | exception Machine.Exec.Out_of_fuel -> ());
+        Alcotest.(check int) "hook saw exactly n instructions" n !hooked);
+    Alcotest.test_case "tiny budgets trip precisely" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let hooked = ref 0 in
+            (match
+               Machine.Exec.run ~fuel:n
+                 ~hook:(fun _ -> incr hooked)
+                 (fresh_rtl ())
+             with
+            | _ -> Alcotest.fail "expected Out_of_fuel"
+            | exception Machine.Exec.Out_of_fuel -> ());
+            Alcotest.(check int)
+              (Printf.sprintf "fuel=%d" n)
+              n !hooked)
+          [ 1; 2; 10 ]);
+    Alcotest.test_case "fuel = 0 is unlimited" `Quick (fun () ->
+        let r = Machine.Exec.run ~fuel:0 (fresh_rtl ()) in
+        Alcotest.(check string) "output" "50"
+          (String.trim r.Machine.Exec.output));
+  ]
+
 let () =
   Alcotest.run "machine"
-    [ ("exec", exec_tests); ("cache", cache_tests); ("timing", timing_tests) ]
+    [
+      ("exec", exec_tests);
+      ("cache", cache_tests);
+      ("timing", timing_tests);
+      ("fuel", fuel_tests);
+    ]

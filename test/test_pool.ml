@@ -1,0 +1,146 @@
+(* Tests for the harness domain pool: ordering determinism, the
+   sequential ~jobs:1 reference path, exception propagation, nested
+   (re-entrant) batches, and end-to-end parallel-vs-sequential
+   equality of a table row. *)
+
+let with_pool jobs f =
+  let p = Harness.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Harness.Pool.shutdown p) (fun () -> f p)
+
+let ints = Alcotest.(list int)
+
+let pool_tests =
+  [
+    Alcotest.test_case "map preserves input order" `Quick (fun () ->
+        with_pool 4 (fun p ->
+            let xs = List.init 100 Fun.id in
+            let expected = List.map (fun i -> i * i) xs in
+            Alcotest.check ints "ordered" expected
+              (Harness.Pool.map p (fun i -> i * i) xs)));
+    Alcotest.test_case "map is deterministic across runs" `Quick (fun () ->
+        with_pool 4 (fun p ->
+            let xs = List.init 64 Fun.id in
+            let f i = (i * 7919) mod 101 in
+            let r1 = Harness.Pool.map p f xs in
+            let r2 = Harness.Pool.map p f xs in
+            Alcotest.check ints "same" r1 r2;
+            Alcotest.check ints "matches List.map" (List.map f xs) r1));
+    Alcotest.test_case "jobs=1 runs strictly sequentially" `Quick (fun () ->
+        with_pool 1 (fun p ->
+            Alcotest.(check int) "no extra domains" 1 (Harness.Pool.size p);
+            let order = ref [] in
+            let r =
+              Harness.Pool.map p
+                (fun i ->
+                  order := i :: !order;
+                  i + 1)
+                [ 3; 1; 4; 1; 5 ]
+            in
+            Alcotest.check ints "results" [ 4; 2; 5; 2; 6 ] r;
+            (* side effects happened left-to-right *)
+            Alcotest.check ints "evaluation order" [ 3; 1; 4; 1; 5 ]
+              (List.rev !order)));
+    Alcotest.test_case "jobs=1 equals parallel results" `Quick (fun () ->
+        let xs = List.init 50 (fun i -> i - 25) in
+        let f i = (i * i) - (3 * i) in
+        let seq = with_pool 1 (fun p -> Harness.Pool.map p f xs) in
+        let par = with_pool 6 (fun p -> Harness.Pool.map p f xs) in
+        Alcotest.check ints "equal" seq par);
+    Alcotest.test_case "exception propagates to the submitter" `Quick
+      (fun () ->
+        with_pool 4 (fun p ->
+            Alcotest.check_raises "boom" (Failure "boom") (fun () ->
+                ignore
+                  (Harness.Pool.map p
+                     (fun i -> if i = 37 then failwith "boom" else i)
+                     (List.init 64 Fun.id)))));
+    Alcotest.test_case "first exception (submission order) wins" `Quick
+      (fun () ->
+        with_pool 4 (fun p ->
+            Alcotest.check_raises "first" (Failure "first") (fun () ->
+                ignore
+                  (Harness.Pool.map p
+                     (fun i ->
+                       if i = 5 then failwith "first"
+                       else if i = 40 then failwith "second"
+                       else i)
+                     (List.init 64 Fun.id)))));
+    Alcotest.test_case "siblings still run when one raises" `Quick (fun () ->
+        with_pool 4 (fun p ->
+            let ran = Atomic.make 0 in
+            (try
+               ignore
+                 (Harness.Pool.map p
+                    (fun i ->
+                      Atomic.incr ran;
+                      if i = 0 then failwith "boom")
+                    (List.init 32 Fun.id))
+             with Failure _ -> ());
+            Alcotest.(check int) "all ran" 32 (Atomic.get ran)));
+    Alcotest.test_case "nested maps do not deadlock" `Quick (fun () ->
+        with_pool 2 (fun p ->
+            let outer =
+              Harness.Pool.map p
+                (fun i ->
+                  let inner =
+                    Harness.Pool.map p (fun j -> (i * 10) + j)
+                      (List.init 4 Fun.id)
+                  in
+                  List.fold_left ( + ) 0 inner)
+                (List.init 4 Fun.id)
+            in
+            Alcotest.check ints "sums" [ 6; 46; 86; 126 ] outer));
+    Alcotest.test_case "map_opt None is List.map" `Quick (fun () ->
+        Alcotest.check ints "plain" [ 2; 4; 6 ]
+          (Harness.Pool.map_opt None (fun i -> 2 * i) [ 1; 2; 3 ]));
+    Alcotest.test_case "HLI_JOBS drives default_jobs" `Quick (fun () ->
+        Unix.putenv "HLI_JOBS" "3";
+        Alcotest.(check int) "env wins" 3 (Harness.Pool.default_jobs ());
+        Unix.putenv "HLI_JOBS" "not-a-number";
+        Alcotest.(check bool) "garbage falls back" true
+          (Harness.Pool.default_jobs () >= 1);
+        Unix.putenv "HLI_JOBS" "");
+  ]
+
+(* The acceptance property at workload granularity: a row computed
+   through a pool renders byte-identically to the sequential one. *)
+let integration_tests =
+  [
+    Alcotest.test_case "parallel row == sequential row" `Slow (fun () ->
+        let w = Option.get (Workloads.Registry.find "wc") in
+        let seq = Harness.Tables.run_workload w in
+        let par =
+          with_pool 4 (fun p -> Harness.Tables.run_workload ~pool:p w)
+        in
+        Alcotest.(check string)
+          "table1" (Harness.Tables.table1_row seq)
+          (Harness.Tables.table1_row par);
+        Alcotest.(check string)
+          "table2" (Harness.Tables.table2_row seq)
+          (Harness.Tables.table2_row par));
+    Alcotest.test_case "out-of-fuel yields an annotated partial row" `Quick
+      (fun () ->
+        let w = Option.get (Workloads.Registry.find "wc") in
+        let r = Harness.Tables.run_workload ~fuel:100 w in
+        (match r.Harness.Tables.failure with
+        | Some "out of fuel" -> ()
+        | Some other -> Alcotest.failf "unexpected annotation: %s" other
+        | None -> Alcotest.fail "expected a failure annotation");
+        (* compile-side columns survive; the printed row is annotated *)
+        Alcotest.(check bool) "hli bytes" true (r.Harness.Tables.hli_bytes > 0);
+        let line = Harness.Tables.table2_row r in
+        Alcotest.(check bool) "annotated" true
+          (String.length line > 0
+          && String.length line <> String.length ""
+          &&
+          let has_sub sub =
+            let n = String.length line and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+            go 0
+          in
+          has_sub "out of fuel"));
+  ]
+
+let () =
+  Alcotest.run "pool"
+    [ ("pool", pool_tests); ("integration", integration_tests) ]

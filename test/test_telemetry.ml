@@ -1,0 +1,145 @@
+(* Tests for the telemetry subsystem: span/counter accounting, the
+   JSON dump (validated by the bundled structural checker), and the
+   per-kind HLI query counters threaded through Hli_core.Query. *)
+
+let has_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  go 0
+
+let telemetry_tests =
+  [
+    Alcotest.test_case "spans accumulate ns and count" `Quick (fun () ->
+        let tm = Harness.Telemetry.create () in
+        let v =
+          Harness.Telemetry.span ~tm "backend.lower" (fun () ->
+              Sys.opaque_identity (List.init 1000 Fun.id) |> List.length)
+        in
+        Alcotest.(check int) "span returns f ()" 1000 v;
+        ignore (Harness.Telemetry.span ~tm "backend.lower" (fun () -> ()));
+        Alcotest.(check int) "count" 2
+          (Harness.Telemetry.span_count tm "backend.lower");
+        Alcotest.(check bool) "ns nonnegative" true
+          (Harness.Telemetry.span_ns tm "backend.lower" >= 0L);
+        Alcotest.(check int) "absent stage" 0
+          (Harness.Telemetry.span_count tm "machine.simulate"));
+    Alcotest.test_case "span charges time even when f raises" `Quick (fun () ->
+        let tm = Harness.Telemetry.create () in
+        (try
+           Harness.Telemetry.span ~tm "backend.passes" (fun () ->
+               failwith "boom")
+         with Failure _ -> ());
+        Alcotest.(check int) "counted" 1
+          (Harness.Telemetry.span_count tm "backend.passes"));
+    Alcotest.test_case "counters accumulate" `Quick (fun () ->
+        let tm = Harness.Telemetry.create () in
+        Harness.Telemetry.count ~tm "widgets";
+        Harness.Telemetry.count ~tm ~n:3 "widgets";
+        Alcotest.(check int) "total" 4 (Harness.Telemetry.counter tm "widgets"));
+    Alcotest.test_case "no-tm span is transparent" `Quick (fun () ->
+        Alcotest.(check int) "passthrough" 7
+          (Harness.Telemetry.span "anything" (fun () -> 7)));
+    Alcotest.test_case "stage names come back in pipeline order" `Quick
+      (fun () ->
+        let tm = Harness.Telemetry.create () in
+        ignore (Harness.Telemetry.span ~tm "machine.simulate" (fun () -> ()));
+        ignore (Harness.Telemetry.span ~tm "backend.lower" (fun () -> ()));
+        ignore (Harness.Telemetry.span ~tm "zz.custom" (fun () -> ()));
+        Alcotest.(check (list string))
+          "order"
+          [ "backend.lower"; "machine.simulate"; "zz.custom" ]
+          (Harness.Telemetry.span_names tm));
+  ]
+
+let json_tests =
+  [
+    Alcotest.test_case "to_json validates" `Quick (fun () ->
+        let tm = Harness.Telemetry.create () in
+        ignore (Harness.Telemetry.span ~tm "backend.lower" (fun () -> ()));
+        Harness.Telemetry.count ~tm "needs \"escaping\"\n";
+        match Harness.Telemetry.validate_json (Harness.Telemetry.to_json tm) with
+        | Ok () -> ()
+        | Error (msg, pos) -> Alcotest.failf "invalid at %d: %s" pos msg);
+    Alcotest.test_case "validator accepts JSON shapes" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Harness.Telemetry.validate_json s with
+            | Ok () -> ()
+            | Error (msg, pos) -> Alcotest.failf "%s: invalid at %d: %s" s pos msg)
+          [
+            "{}";
+            "[]";
+            "null";
+            "-12.5e+3";
+            "{\"a\":[1,2,{\"b\":null}],\"c\":\"x\\u00e9\"}";
+          ]);
+    Alcotest.test_case "validator rejects malformed input" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Harness.Telemetry.validate_json s with
+            | Ok () -> Alcotest.failf "accepted malformed: %s" s
+            | Error _ -> ())
+          [
+            "";
+            "{";
+            "{\"a\":}";
+            "{\"a\":1,}";
+            "[1,2";
+            "\"unterminated";
+            "{\"a\":1} trailing";
+            "{'a':1}";
+          ]);
+    Alcotest.test_case "stats_json for a workload row validates" `Quick
+      (fun () ->
+        let w = Option.get (Workloads.Registry.find "wc") in
+        (* fuel-starved on purpose: exercises the failure annotation in
+           the JSON too, cheaply *)
+        let r = Harness.Tables.run_workload ~fuel:100 w in
+        let json = Harness.Tables.stats_json [ r ] in
+        (match Harness.Telemetry.validate_json json with
+        | Ok () -> ()
+        | Error (msg, pos) -> Alcotest.failf "invalid at %d: %s" pos msg);
+        Alcotest.(check bool) "has schema" true
+          (has_sub json "\"schema\":\"hli-telemetry-v1\"");
+        Alcotest.(check bool) "has failure" true
+          (has_sub json "\"failure\":\"out of fuel\""));
+  ]
+
+let query_counter_tests =
+  [
+    Alcotest.test_case "HLI variants bump equiv_acc; kinds are counted"
+      `Quick (fun () ->
+        Hli_core.Query.reset_query_counters ();
+        let src =
+          {|
+double a[64];
+int main()
+{
+  int i;
+  for (i = 1; i < 64; i++)
+  {
+    a[i] = a[i] + a[i-1];
+  }
+  return 0;
+}
+|}
+        in
+        ignore (Harness.Pipeline.compile src);
+        let counters = Hli_core.Query.query_counters () in
+        Alcotest.(check int) "five kinds" 5 (List.length counters);
+        Alcotest.(check bool) "equiv_acc issued" true
+          (List.assoc "equiv_acc" counters > 0));
+    Alcotest.test_case "reset zeroes every kind" `Quick (fun () ->
+        Hli_core.Query.reset_query_counters ();
+        List.iter
+          (fun (name, v) -> Alcotest.(check int) name 0 v)
+          (Hli_core.Query.query_counters ()));
+  ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ("telemetry", telemetry_tests);
+      ("json", json_tests);
+      ("hli-query-counters", query_counter_tests);
+    ]
