@@ -17,19 +17,32 @@
    Run with: dune exec bench/main.exe            (everything)
              dune exec bench/main.exe -- tables  (reproductions only)
              dune exec bench/main.exe -- micro   (microbenchmarks only)
+             dune exec bench/main.exe -- querybench
+                                                 (query-throughput bench)
 
    Flags (tables mode):
      -j N                 domain-pool size (default: HLI_JOBS env, else
                           Domain.recommended_domain_count; -j 1 is the
                           sequential reference path)
-     --workloads a,b,c    run only the named workloads (skips ablations)
+     --workloads a,b,c    run only the named workloads (skips ablations;
+                          also selects the querybench workloads)
      --fuel N             per-run simulation budget, 0 = unlimited
                           (exhaustion annotates the row, see Tables)
      --stats              print the per-stage telemetry table
-     --stats-json PATH    write the hli-telemetry-v1 JSON dump ("-" for
+     --stats-json PATH    write the hli-telemetry-v2 JSON dump ("-" for
                           stdout)
-     --validate-json PATH structural JSON check of a dump; exit 1 if
-                          malformed (used by bench/smoke.sh) *)
+     --validate-json PATH check a JSON dump: telemetry schema version
+                          first (an hli-telemetry-v1 dump is rejected
+                          with a version-specific message), then the
+                          structural JSON check; exit 1 on either
+                          (used by bench/smoke.sh)
+     --out PATH           querybench output file
+                          (default BENCH_queries.json)
+
+   querybench replays a deterministic query stream over the selected
+   workloads' HLI entries against both the indexed Query engine and the
+   Query_ref oracle, and records queries/sec, index build time, memo
+   hit rates and the speedup in an hli-querybench-v1 JSON artifact. *)
 
 let fuel = 100_000_000
 
@@ -40,12 +53,14 @@ type cfg = {
   stats : bool;
   stats_json : string option;
   workloads : string list option;
+  out : string;
 }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [tables|micro|all] [-j N] [--fuel N] [--workloads a,b,c] \
-     [--stats] [--stats-json PATH] [--validate-json PATH]";
+    "usage: main.exe [tables|micro|querybench|all] [-j N] [--fuel N] \
+     [--workloads a,b,c] [--stats] [--stats-json PATH] [--validate-json PATH] \
+     [--out PATH]";
   exit 2
 
 let parse_args () =
@@ -58,11 +73,12 @@ let parse_args () =
         stats = false;
         stats_json = None;
         workloads = None;
+        out = "BENCH_queries.json";
       }
   in
   let rec loop = function
     | [] -> ()
-    | ("tables" | "micro" | "all") as m :: rest ->
+    | ("tables" | "micro" | "all" | "querybench") as m :: rest ->
         cfg := { !cfg with mode = m };
         loop rest
     | "-j" :: n :: rest -> (
@@ -88,6 +104,9 @@ let parse_args () =
     | "--workloads" :: names :: rest ->
         cfg := { !cfg with workloads = Some (String.split_on_char ',' names) };
         loop rest
+    | "--out" :: path :: rest ->
+        cfg := { !cfg with out = path };
+        loop rest
     | "--validate-json" :: path :: _ ->
         let ic =
           try open_in_bin path
@@ -100,6 +119,14 @@ let parse_args () =
             ~finally:(fun () -> close_in ic)
             (fun () -> really_input_string ic (in_channel_length ic))
         in
+        (* reject dumps from another telemetry schema generation first,
+           so an old v1 file gets a version message rather than a
+           (misleading) structural verdict *)
+        (match Harness.Telemetry.check_schema s with
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" path msg;
+            exit 1
+        | Ok () -> ());
         (match Harness.Telemetry.validate_json s with
         | Ok () ->
             print_endline "valid JSON";
@@ -253,6 +280,274 @@ let ablation_passes () =
     [ "015.doduc"; "101.tomcatv"; "052.alvinn" ]
 
 (* ------------------------------------------------------------------ *)
+(* Query-throughput microbenchmark (BENCH_queries.json)                *)
+(* ------------------------------------------------------------------ *)
+
+(* per-unit query material, derived once from the entry so both engines
+   see the same stream *)
+type qb_unit = {
+  qb_items : int array;  (** capped item ids *)
+  qb_calls : int array;  (** capped call item ids *)
+  qb_rids : int array;  (** capped region ids *)
+}
+
+let qb_item_cap = 140
+let qb_call_cap = 16
+let qb_rid_cap = 16
+let qb_reps = 6
+
+let qb_unit_of_entry (e : Hli_core.Tables.hli_entry) =
+  let cap k arr = Array.sub arr 0 (min k (Array.length arr)) in
+  let items = Array.of_list (Hli_core.Tables.all_items e) in
+  let calls =
+    List.concat_map
+      (fun (le : Hli_core.Tables.line_entry) ->
+        List.filter_map
+          (fun (it : Hli_core.Tables.item_entry) ->
+            if it.Hli_core.Tables.acc = Hli_core.Tables.Acc_call then
+              Some it.Hli_core.Tables.item_id
+            else None)
+          le.Hli_core.Tables.items)
+      e.Hli_core.Tables.line_table
+  in
+  let rids =
+    List.map
+      (fun (r : Hli_core.Tables.region_entry) -> r.Hli_core.Tables.region_id)
+      e.Hli_core.Tables.regions
+  in
+  {
+    qb_items = cap qb_item_cap items;
+    qb_calls = cap qb_call_cap (Array.of_list calls);
+    qb_rids = cap qb_rid_cap (Array.of_list rids);
+  }
+
+(* The replayed stream.  The pair-granularity queries (equiv, call
+   REF/MOD) are repeated [qb_reps] times — the back end re-asks the
+   same pairs across CSE/LICM/scheduling passes, which is the access
+   pattern the memo exists for; the remaining kinds (region-of, alias,
+   lcdd over a small class/item square per region) run once.  Returns
+   the number of queries issued.
+
+   The two run functions are textual copies (one per engine): calling
+   the engines through a closure record or functor would put an equal
+   indirect-call tax on both sides and blur the very difference being
+   measured. *)
+let qb_run_indexed (u : qb_unit) idx =
+  let q = ref 0 in
+  let n = Array.length u.qb_items in
+  for _rep = 1 to qb_reps do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        ignore (Hli_core.Query.get_equiv_acc idx u.qb_items.(i) u.qb_items.(j));
+        incr q
+      done
+    done;
+    Array.iter
+      (fun c ->
+        Array.iter
+          (fun m ->
+            ignore (Hli_core.Query.get_call_acc idx ~call:c ~mem:m);
+            incr q)
+          u.qb_items)
+      u.qb_calls
+  done;
+  for i = 0 to n - 1 do
+    ignore (Hli_core.Query.get_region_of_item idx u.qb_items.(i));
+    incr q
+  done;
+  Array.iter
+    (fun rid ->
+      let k = min n 8 in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          ignore (Hli_core.Query.get_alias idx ~rid i j);
+          incr q;
+          ignore
+            (Hli_core.Query.get_lcdd idx ~rid u.qb_items.(i) u.qb_items.(j));
+          incr q
+        done
+      done)
+    u.qb_rids;
+  !q
+
+let qb_run_ref (u : qb_unit) idx =
+  let q = ref 0 in
+  let n = Array.length u.qb_items in
+  for _rep = 1 to qb_reps do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        ignore
+          (Hli_core.Query_ref.get_equiv_acc idx u.qb_items.(i) u.qb_items.(j));
+        incr q
+      done
+    done;
+    Array.iter
+      (fun c ->
+        Array.iter
+          (fun m ->
+            ignore (Hli_core.Query_ref.get_call_acc idx ~call:c ~mem:m);
+            incr q)
+          u.qb_items)
+      u.qb_calls
+  done;
+  for i = 0 to n - 1 do
+    ignore (Hli_core.Query_ref.get_region_of_item idx u.qb_items.(i));
+    incr q
+  done;
+  Array.iter
+    (fun rid ->
+      let k = min n 8 in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          ignore (Hli_core.Query_ref.get_alias idx ~rid i j);
+          incr q;
+          ignore
+            (Hli_core.Query_ref.get_lcdd idx ~rid u.qb_items.(i) u.qb_items.(j));
+          incr q
+        done
+      done)
+    u.qb_rids;
+  !q
+
+type qb_result = {
+  qb_name : string;
+  qb_queries : int;
+  qb_build_ns : int64;
+  qb_indexed_ns : int64;
+  qb_ref_ns : int64;
+  qb_equiv_hit_rate : float;
+  qb_call_hit_rate : float;
+}
+
+let qps queries ns =
+  if Int64.compare ns 0L <= 0 then 0.0
+  else float_of_int queries /. (Int64.to_float ns /. 1e9)
+
+let qb_speedup (r : qb_result) =
+  if Int64.compare r.qb_indexed_ns 0L <= 0 then 0.0
+  else Int64.to_float r.qb_ref_ns /. Int64.to_float r.qb_indexed_ns
+
+let querybench_workload name : qb_result =
+  let w =
+    match Workloads.Registry.find name with
+    | Some w -> w
+    | None ->
+        Printf.eprintf "querybench: unknown workload %s\n" name;
+        exit 1
+  in
+  let prog = Srclang.Typecheck.program_of_string w.Workloads.Workload.source in
+  let entries = Harness.Pipeline.build_hli_entries prog in
+  let units = List.map qb_unit_of_entry entries in
+  let now = Harness.Telemetry.now_ns in
+  (* one warmup pass (cold caches), then take the fastest of a few
+     timed passes — the stream is sub-millisecond, so a single timing
+     is at the mercy of GC pauses and scheduling noise *)
+  (* indexed engine: one build per unit (timed) *)
+  let t0 = now () in
+  let idxs = List.map Hli_core.Query.build entries in
+  let build_ns = Int64.sub (now ()) t0 in
+  let run_indexed () =
+    List.fold_left2 (fun acc u idx -> acc + qb_run_indexed u idx) 0 units idxs
+  in
+  (* hit rates of one cold pass: how often the stream re-asks a pair *)
+  let cc0 = Hli_core.Query.cache_counters () in
+  let queries = run_indexed () in
+  let cc1 = Hli_core.Query.cache_counters () in
+  let delta k = List.assoc k cc1 - List.assoc k cc0 in
+  let rate h m = if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m) in
+  let equiv_hit_rate =
+    rate (delta "equiv_memo_hits") (delta "equiv_memo_misses")
+  in
+  let call_hit_rate = rate (delta "call_memo_hits") (delta "call_memo_misses") in
+  (* reference oracle: same stream, no precomputation to amortize *)
+  let refs = List.map Hli_core.Query_ref.build entries in
+  let run_ref () =
+    List.fold_left2 (fun acc u idx -> acc + qb_run_ref u idx) 0 units refs
+  in
+  let queries_ref = run_ref () in
+  assert (queries = queries_ref);
+  (* The streams are sub-millisecond, so a single timing is at the
+     mercy of GC pauses and container scheduling noise.  Interleave the
+     two engines' trials (so a noisy window hits both alike) and keep
+     the fastest pass of each. *)
+  let trials = 15 in
+  let indexed_best = ref Int64.max_int and ref_best = ref Int64.max_int in
+  let timed run best =
+    let t0 = now () in
+    ignore (run ());
+    let dt = Int64.sub (now ()) t0 in
+    if Int64.compare dt !best < 0 then best := dt
+  in
+  for _ = 1 to trials do
+    timed run_indexed indexed_best;
+    timed run_ref ref_best
+  done;
+  let indexed_ns = !indexed_best and ref_ns = !ref_best in
+  {
+    qb_name = name;
+    qb_queries = queries;
+    qb_build_ns = build_ns;
+    qb_indexed_ns = indexed_ns;
+    qb_ref_ns = ref_ns;
+    qb_equiv_hit_rate = equiv_hit_rate;
+    qb_call_hit_rate = call_hit_rate;
+  }
+
+let querybench cfg =
+  let names =
+    match cfg.workloads with
+    | Some ns -> ns
+    | None -> [ "103.su2cor"; "015.doduc" ]
+  in
+  let results = List.map querybench_workload names in
+  print_endline "== Query throughput: indexed engine vs Query_ref oracle ==";
+  Printf.printf "%-14s %10s %12s %12s %8s %9s %9s\n" "Benchmark" "queries"
+    "indexed q/s" "ref q/s" "speedup" "equiv-hit" "call-hit";
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %10d %12.0f %12.0f %7.1fx %8.1f%% %8.1f%%\n"
+        r.qb_name r.qb_queries
+        (qps r.qb_queries r.qb_indexed_ns)
+        (qps r.qb_queries r.qb_ref_ns)
+        (qb_speedup r)
+        (100.0 *. r.qb_equiv_hit_rate)
+        (100.0 *. r.qb_call_hit_rate))
+    results;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"schema\":\"hli-querybench-v1\",\"workloads\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"queries\":%d,\"build_ns\":%Ld,\"indexed\":{\"query_ns\":%Ld,\"qps\":%.1f},\"reference\":{\"query_ns\":%Ld,\"qps\":%.1f},\"speedup\":%.2f,\"equiv_hit_rate\":%.4f,\"call_hit_rate\":%.4f}"
+           (Harness.Telemetry.json_escape r.qb_name)
+           r.qb_queries r.qb_build_ns r.qb_indexed_ns
+           (qps r.qb_queries r.qb_indexed_ns)
+           r.qb_ref_ns
+           (qps r.qb_queries r.qb_ref_ns)
+           (qb_speedup r) r.qb_equiv_hit_rate r.qb_call_hit_rate))
+    results;
+  Buffer.add_string b "]}";
+  let json = Buffer.contents b in
+  (match Harness.Telemetry.validate_json json with
+  | Ok () -> ()
+  | Error (msg, pos) ->
+      Printf.eprintf "querybench: generated malformed JSON at byte %d: %s\n"
+        pos msg;
+      exit 1);
+  let oc =
+    try open_out_bin cfg.out
+    with Sys_error msg ->
+      Printf.eprintf "--out: %s\n" msg;
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Printf.eprintf "wrote %s\n" cfg.out
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -368,4 +663,5 @@ let () =
           ablation_passes ()
         end
       end;
-      if cfg.mode = "micro" || cfg.mode = "all" then micro ())
+      if cfg.mode = "micro" || cfg.mode = "all" then micro ();
+      if cfg.mode = "querybench" then querybench cfg)

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Structural check of the query-engine microbenchmark (dune alias
+# @querybench, also run by @smoke).
+#
+# Runs bench/main.exe in querybench mode on two workloads, then checks
+# that the emitted BENCH_queries.json
+#   1. is well-formed JSON (the harness's own structural validator), and
+#   2. carries every field EXPERIMENTS.md documents for the
+#      hli-querybench-v1 schema.
+# Speedups are NOT gated here: absolute timings depend on the machine,
+# and tiny CI workloads sit in the noise.  The committed BENCH_queries.json
+# at the repo root holds the su2cor/doduc numbers.
+set -eu
+
+# dune runs us inside _build with a relative exe path; make it invocable
+exe="$1"
+case "$exe" in
+  /*) ;;
+  *) exe="./$exe" ;;
+esac
+
+tmp="${TMPDIR:-/tmp}/hli-querybench-$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+out="$tmp/BENCH_queries.json"
+"$exe" querybench --workloads wc,129.compress --out "$out" > "$tmp/qb.out"
+
+"$exe" --validate-json "$out" > /dev/null \
+  || { echo "querybench: FAIL — malformed $out" >&2; exit 1; }
+
+for key in '"schema":"hli-querybench-v1"' '"workloads":' '"queries":' \
+           '"build_ns":' '"indexed":' '"reference":' '"query_ns":' \
+           '"qps":' '"speedup":' '"equiv_hit_rate":' '"call_hit_rate":'; do
+  grep -q -- "$key" "$out" \
+    || { echo "querybench: FAIL — $out lacks $key" >&2; exit 1; }
+done
+
+echo "querybench: OK (2 workloads benchmarked, JSON valid)"

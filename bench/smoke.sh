@@ -39,3 +39,9 @@ fi
   || { echo "smoke: FAIL — malformed parallel --stats-json" >&2; exit 1; }
 
 echo "smoke: OK (parallel == sequential, telemetry JSON valid)"
+
+# the query-engine microbench structural check rides along when its
+# script is passed (the @smoke dune rule does; @querybench runs it alone)
+if [ "$#" -ge 2 ]; then
+  sh "$2" "$1"
+fi

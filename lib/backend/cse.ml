@@ -102,10 +102,7 @@ let invalidate_store st (m : mem) (storer : insn) =
           let hli_independent =
             match (st.hli, e.litem, storer.item) with
             | Some h, Some li, Some si ->
-                ignore h;
-                Hli_core.Query.proves_independent
-                  (match st.hli with Some hh -> hh.Hli_import.index | None -> assert false)
-                  li si
+                Hli_core.Query.proves_independent h.Hli_import.index li si
             | _ -> false
           in
           if gcc && not hli_independent then Hashtbl.remove st.table k

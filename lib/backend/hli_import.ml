@@ -16,6 +16,9 @@ type t = {
   mapped : int;  (** how many items were attached to instructions *)
   unmapped_insns : int;  (** memory/call insns left without an item *)
   mismatched_lines : int list;
+  dup_items : int list;
+      (** item ids the front end emitted more than once (line table or
+          equivalence classes); the index kept the last occurrence *)
 }
 
 let insn_kind (i : insn) : Hli_core.Tables.access_type option =
@@ -80,6 +83,7 @@ let map_unit (entry : Hli_core.Tables.hli_entry) (fn : fn) : t =
     mapped = !mapped;
     unmapped_insns = !unmapped;
     mismatched_lines = List.sort_uniq compare !bad_lines;
+    dup_items = Hli_core.Query.duplicate_items index;
   }
 
 (* ------------------------------------------------------------------ *)

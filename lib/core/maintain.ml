@@ -9,9 +9,22 @@
 
 open Tables
 
-type t = { mutable entry : hli_entry }
+type t = {
+  mutable entry : hli_entry;
+  (* query indexes whose memo caches must be dropped whenever a
+     transaction edits the entry; registered with {!watch} *)
+  mutable watchers : Query.index list;
+}
 
-let start entry = { entry }
+let start entry = { entry; watchers = [] }
+
+(** Register [idx] so its memoized query answers are invalidated after
+    every maintenance transaction on [m].  Importers watch the index
+    they expose to optimization passes, guaranteeing no pass can observe
+    a cached answer that predates an HLI edit. *)
+let watch m idx = m.watchers <- idx :: m.watchers
+
+let invalidate_watchers m = List.iter Query.invalidate m.watchers
 
 let commit m = (m.entry, Query.build m.entry)
 
@@ -115,7 +128,8 @@ let delete_item m item =
             });
         drop_empties ()
   in
-  drop_empties ()
+  drop_empties ();
+  invalidate_watchers m
 
 (* ------------------------------------------------------------------ *)
 (* Generating and inheriting items                                     *)
@@ -158,6 +172,7 @@ let gen_item m ~like ~line =
                   r.eq_classes;
             })
   | None -> ());
+  invalidate_watchers m;
   id
 
 (** Make [item] a member of the class that represents it in [target_rid]
@@ -200,6 +215,7 @@ let move_item_outward m ~item ~target_rid =
                   r.eq_classes;
             }
           else r);
+      invalidate_watchers m;
       true
   | _ -> false
 
@@ -371,4 +387,5 @@ let unroll m ~rid ~factor =
           lcdds = List.rev !new_lcdds;
           aliases = widened_aliases;
         });
+  invalidate_watchers m;
   { copies; new_classes }

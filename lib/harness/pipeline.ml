@@ -18,6 +18,7 @@ type compiled = {
   rtl_hli_r10000 : Backend.Rtl.program;
   stats : Backend.Ddg.stats;  (** query counts from one scheduling pass *)
   map_unmapped : int;  (** memory refs the mapping could not cover *)
+  map_duplicates : int;  (** duplicate HLI item ids found while indexing *)
 }
 
 exception Compile_error of string
@@ -43,16 +44,18 @@ let lower_and_map ?tm prog entries =
   Telemetry.span ?tm "backend.hli_import" @@ fun () ->
   let maps = Hashtbl.create 16 in
   let unmapped = ref 0 in
+  let duplicates = ref 0 in
   List.iter
     (fun (e : Hli_core.Tables.hli_entry) ->
       match Backend.Rtl.find_fn rtl e.Hli_core.Tables.unit_name with
       | Some fn ->
           let m = Backend.Hli_import.map_unit e fn in
           unmapped := !unmapped + m.Backend.Hli_import.unmapped_insns;
+          duplicates := !duplicates + List.length m.Backend.Hli_import.dup_items;
           Hashtbl.replace maps e.Hli_core.Tables.unit_name m
       | None -> ())
     entries;
-  (rtl, maps, !unmapped)
+  (rtl, maps, !unmapped, !duplicates)
 
 let schedule ~mode ~maps ~md rtl =
   let hli_of_fn name = Hashtbl.find_opt maps name in
@@ -98,6 +101,12 @@ let run_passes ~passes ~use_hli (entries : Hli_core.Tables.hli_entry list)
                  entries)
           else None
         in
+        (* passes query through the imported index while transactions
+           edit the entry: watch it so its memos can never go stale *)
+        (match (mt, hli) with
+        | Some m, Some h ->
+            Hli_core.Maintain.watch m h.Backend.Hli_import.index
+        | _ -> ());
         if passes.p_cse then begin
           let s = Backend.Cse.run_fn ?hli ?maintain:mt fn in
           cse_stats.Backend.Cse.alu_eliminated <-
@@ -179,7 +188,7 @@ let compile ?(opts = Hligen.Tblconst.default_options) ?(passes = no_passes)
   in
   let mk (mode, md) =
     let use_hli = mode = Backend.Ddg.With_hli in
-    let rtl, maps, unmapped =
+    let rtl, maps, unmapped, duplicates =
       if use_hli then lower_and_map ?tm prog entries
       else
         (* baseline: no HLI import, no query index, empty maps *)
@@ -187,7 +196,7 @@ let compile ?(opts = Hligen.Tblconst.default_options) ?(passes = no_passes)
           Telemetry.span ?tm "backend.lower" (fun () ->
               Backend.Lower.lower_program prog)
         in
-        (rtl, Hashtbl.create 1, 0)
+        (rtl, Hashtbl.create 1, 0, 0)
     in
     let rtl, _ =
       Telemetry.span ?tm "backend.passes" (fun () ->
@@ -197,7 +206,7 @@ let compile ?(opts = Hligen.Tblconst.default_options) ?(passes = no_passes)
       Telemetry.span ?tm "backend.ddg_schedule" (fun () ->
           schedule ~mode ~maps ~md rtl)
     in
-    (rtl, stats, unmapped)
+    (rtl, stats, unmapped, duplicates)
   in
   match
     Pool.map_opt pool mk
@@ -209,10 +218,10 @@ let compile ?(opts = Hligen.Tblconst.default_options) ?(passes = no_passes)
       ]
   with
   | [
-   (rtl_gcc_r4600, _, _);
-   (rtl_hli_r4600, _, _);
-   (rtl_gcc_r10000, _, _);
-   (rtl_hli_r10000, stats, map_unmapped);
+   (rtl_gcc_r4600, _, _, _);
+   (rtl_hli_r4600, _, _, _);
+   (rtl_gcc_r10000, _, _, _);
+   (rtl_hli_r10000, stats, map_unmapped, map_duplicates);
   ] ->
       {
         prog;
@@ -224,6 +233,7 @@ let compile ?(opts = Hligen.Tblconst.default_options) ?(passes = no_passes)
         rtl_hli_r10000;
         stats;
         map_unmapped;
+        map_duplicates;
       }
   | _ -> assert false
 

@@ -16,6 +16,7 @@ type row = {
   sp_r10000 : float;
   dyn_insns : int;
   unmapped : int;  (** memory refs the HLI mapping could not cover *)
+  duplicates : int;  (** duplicate HLI item ids found while indexing *)
   failure : string option;
       (** [Some reason] when simulation aborted; speedups are then 1.0
           placeholders and excluded from the mean rows *)
@@ -36,6 +37,7 @@ let run_workload ?(fuel = 400_000_000) ?pool ?tm (w : Workloads.Workload.t) :
       sp_r10000 = 1.0;
       dyn_insns = 0;
       unmapped = c.Pipeline.map_unmapped;
+      duplicates = c.Pipeline.map_duplicates;
       failure = None;
       tm;
     }
@@ -90,9 +92,13 @@ let table1_row (r : row) =
     r.lines
     (float_of_int r.hli_bytes /. 1024.0)
     (float_of_int r.hli_bytes /. float_of_int (max 1 r.lines))
-    (if r.unmapped > 0 then
-       Printf.sprintf "  !! %d unmapped refs" r.unmapped
-     else "")
+    ((if r.unmapped > 0 then
+        Printf.sprintf "  !! %d unmapped refs" r.unmapped
+      else "")
+    ^
+    if r.duplicates > 0 then
+      Printf.sprintf "  !! %d duplicate HLI items" r.duplicates
+    else "")
 
 let table2_header =
   Printf.sprintf "%-14s %7s %9s %12s %12s %12s %6s %8s %8s" "Benchmark" "Tests"
@@ -213,20 +219,46 @@ let stats_table (rows : row list) =
   List.iter
     (fun (name, v) -> line (Printf.sprintf "%-16s %12d" name v))
     (Hli_core.Query.query_counters ());
+  line "";
+  line "== Telemetry: HLI query cache (process-wide) ==";
+  let cc = Hli_core.Query.cache_counters () in
+  let get k = try List.assoc k cc with Not_found -> 0 in
+  List.iter
+    (fun (name, v) -> line (Printf.sprintf "%-20s %12d" name v))
+    cc;
+  let rate hits misses =
+    let total = hits + misses in
+    if total = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int total
+  in
+  line
+    (Printf.sprintf "%-20s %11.1f%%" "equiv_hit_rate"
+       (rate (get "equiv_memo_hits") (get "equiv_memo_misses")));
+  line
+    (Printf.sprintf "%-20s %11.1f%%" "call_hit_rate"
+       (rate (get "call_memo_hits") (get "call_memo_misses")));
   Buffer.contents buf
 
-(** Machine-readable dump: schema [hli-telemetry-v1].  Per workload:
-    failure annotation, unmapped count, dependence-query stats, and the
-    {!Telemetry} spans/counters; plus the process-wide per-kind HLI
-    query counters. *)
+(** Machine-readable dump: schema {!Telemetry.schema_version}
+    ([hli-telemetry-v2]).  Per workload: failure annotation, unmapped
+    and duplicate counts, dependence-query stats, and the {!Telemetry}
+    spans/counters; plus the process-wide per-kind HLI query counters
+    and the [query_cache] hit/miss/invalidation counters added in v2. *)
 let stats_json (rows : row list) =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"hli-telemetry-v1\",\"hli_queries\":{";
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"%s\",\"hli_queries\":{"
+       Telemetry.schema_version);
   List.iteri
     (fun i (name, v) ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
     (Hli_core.Query.query_counters ());
+  Buffer.add_string b "},\"query_cache\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+    (Hli_core.Query.cache_counters ());
   Buffer.add_string b "},\"workloads\":[";
   List.iteri
     (fun i r ->
@@ -234,12 +266,12 @@ let stats_json (rows : row list) =
       let s = r.stats in
       Buffer.add_string b
         (Printf.sprintf
-           "{\"name\":\"%s\",\"failure\":%s,\"unmapped\":%d,\"dep_queries\":{\"total\":%d,\"gcc_yes\":%d,\"hli_yes\":%d,\"combined_yes\":%d},%s}"
+           "{\"name\":\"%s\",\"failure\":%s,\"unmapped\":%d,\"duplicates\":%d,\"dep_queries\":{\"total\":%d,\"gcc_yes\":%d,\"hli_yes\":%d,\"combined_yes\":%d},%s}"
            (Telemetry.json_escape r.w.Workloads.Workload.name)
            (match r.failure with
            | None -> "null"
            | Some f -> "\"" ^ Telemetry.json_escape f ^ "\"")
-           r.unmapped s.Backend.Ddg.total s.Backend.Ddg.gcc_yes
+           r.unmapped r.duplicates s.Backend.Ddg.total s.Backend.Ddg.gcc_yes
            s.Backend.Ddg.hli_yes s.Backend.Ddg.combined_yes
            (Telemetry.json_fragment r.tm)))
     rows;

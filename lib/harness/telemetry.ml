@@ -156,6 +156,62 @@ let json_fragment (t : t) =
 let to_json (t : t) = "{" ^ json_fragment t ^ "}"
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry dump schema version                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Schema tag of [--stats-json] dumps.  v2 added the process-wide
+    [query_cache] object and the per-workload [duplicates] count. *)
+let schema_version = "hli-telemetry-v2"
+
+(* first "schema" key in the dump (the emitters put it first) and its
+   string value, scanned tolerantly so a pretty-printed dump still
+   reports its version *)
+let schema_of_json (s : string) : string option =
+  let key = "\"schema\"" in
+  let n = String.length s and k = String.length key in
+  let rec find i =
+    if i + k > n then None
+    else if String.sub s i k = key then Some (i + k)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let rec skip_ws i =
+        if i < n && (s.[i] = ' ' || s.[i] = '\t' || s.[i] = '\n' || s.[i] = '\r')
+        then skip_ws (i + 1)
+        else i
+      in
+      let i = skip_ws i in
+      if i >= n || s.[i] <> ':' then None
+      else
+        let i = skip_ws (i + 1) in
+        if i >= n || s.[i] <> '"' then None
+        else
+          let j = try String.index_from s (i + 1) '"' with Not_found -> n in
+          if j >= n then None else Some (String.sub s (i + 1) (j - i - 1))
+
+(** Version gate for telemetry dumps: a dump that declares another
+    [hli-telemetry-*] schema (e.g. a v1 file from an older binary) is
+    rejected with a version-specific message, so stale dumps stay
+    diagnosable instead of failing generic validation.  JSON without a
+    telemetry schema tag (or with an unrelated schema) passes — the
+    caller's structural validation still applies. *)
+let check_schema (s : string) : (unit, string) result =
+  let prefix = "hli-telemetry-" in
+  match schema_of_json s with
+  | Some v
+    when String.length v >= String.length prefix
+         && String.sub v 0 (String.length prefix) = prefix
+         && v <> schema_version ->
+      Error
+        (Printf.sprintf
+           "telemetry schema mismatch: dump declares \"%s\" but this binary \
+            reads \"%s\"; regenerate the dump with --stats-json"
+           v schema_version)
+  | _ -> Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* JSON validation (for the smoke alias and tests: no external JSON    *)
 (* dependency is available in the container)                           *)
 (* ------------------------------------------------------------------ *)

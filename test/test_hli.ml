@@ -298,6 +298,67 @@ let maintain_tests =
         | _ -> Alcotest.fail "accepted factor 1");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Duplicate item detection                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A malformed entry a buggy front end could emit: item 5 appears on
+   two lines of the line table, and item 7 is a member of two
+   equivalence classes. *)
+let dup_entry () =
+  let item id acc = { T.item_id = id; acc } in
+  {
+    T.unit_name = "dup";
+    line_table =
+      [
+        { T.line_no = 1; items = [ item 5 T.Acc_load; item 6 T.Acc_store ] };
+        { T.line_no = 2; items = [ item 5 T.Acc_load; item 7 T.Acc_load ] };
+      ];
+    regions =
+      [
+        {
+          T.region_id = 1;
+          rtype = T.Region_unit;
+          parent = None;
+          first_line = 1;
+          last_line = 2;
+          eq_classes =
+            [
+              {
+                T.class_id = 100;
+                kind = T.Definitely;
+                members = [ T.Member_item 6; T.Member_item 7 ];
+                desc = "x";
+              };
+              {
+                T.class_id = 101;
+                kind = T.Maybe;
+                members = [ T.Member_item 7 ];
+                desc = "y";
+              };
+            ];
+          aliases = [];
+          lcdds = [];
+          callrefmods = [];
+        };
+      ];
+  }
+
+let duplicate_tests =
+  [
+    Alcotest.test_case "duplicated ids are reported sorted, once each" `Quick
+      (fun () ->
+        let idx = Hli_core.Query.build (dup_entry ()) in
+        Alcotest.(check (list int))
+          "dups" [ 5; 7 ]
+          (Hli_core.Query.duplicate_items idx));
+    Alcotest.test_case "well-formed entries report none" `Quick (fun () ->
+        let idx = Hli_core.Query.build (fig2_entry ()) in
+        Alcotest.(check (list int))
+          "no dups" []
+          (Hli_core.Query.duplicate_items idx));
+  ]
+
 let () =
   Alcotest.run "hli"
     [
@@ -305,4 +366,5 @@ let () =
       ("serialize", serialize_tests);
       ("serialize-props", List.map QCheck_alcotest.to_alcotest serialize_props);
       ("maintain", maintain_tests);
+      ("duplicates", duplicate_tests);
     ]

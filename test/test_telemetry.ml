@@ -100,9 +100,44 @@ let json_tests =
         | Ok () -> ()
         | Error (msg, pos) -> Alcotest.failf "invalid at %d: %s" pos msg);
         Alcotest.(check bool) "has schema" true
-          (has_sub json "\"schema\":\"hli-telemetry-v1\"");
+          (has_sub json
+             (Printf.sprintf "\"schema\":\"%s\""
+                Harness.Telemetry.schema_version));
+        Alcotest.(check bool) "schema is v2" true
+          (Harness.Telemetry.schema_version = "hli-telemetry-v2");
+        Alcotest.(check bool) "has query_cache" true
+          (has_sub json "\"query_cache\":{");
+        Alcotest.(check bool) "has duplicates" true
+          (has_sub json "\"duplicates\":0");
         Alcotest.(check bool) "has failure" true
           (has_sub json "\"failure\":\"out of fuel\""));
+    Alcotest.test_case "schema gate rejects a v1 dump specifically" `Quick
+      (fun () ->
+        let v1 = "{\"schema\":\"hli-telemetry-v1\",\"workloads\":[]}" in
+        (match Harness.Telemetry.check_schema v1 with
+        | Ok () -> Alcotest.fail "v1 dump accepted"
+        | Error msg ->
+            Alcotest.(check bool) "names the found version" true
+              (has_sub msg "hli-telemetry-v1");
+            Alcotest.(check bool) "names the expected version" true
+              (has_sub msg Harness.Telemetry.schema_version));
+        (* current dumps and non-telemetry JSON pass the gate *)
+        (match
+           Harness.Telemetry.check_schema
+             (Printf.sprintf "{\"schema\":\"%s\"}"
+                Harness.Telemetry.schema_version)
+         with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "v2 dump rejected: %s" msg);
+        (match
+           Harness.Telemetry.check_schema
+             "{\"schema\":\"hli-querybench-v1\",\"workloads\":[]}"
+         with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "querybench schema rejected: %s" msg);
+        match Harness.Telemetry.check_schema "{\"a\":1}" with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "schema-less JSON rejected: %s" msg);
   ]
 
 let query_counter_tests =
@@ -134,6 +169,43 @@ int main()
         List.iter
           (fun (name, v) -> Alcotest.(check int) name 0 v)
           (Hli_core.Query.query_counters ()));
+    Alcotest.test_case "cache counters track builds, hits and misses" `Quick
+      (fun () ->
+        let src =
+          {|
+double a[8];
+int main()
+{
+  a[0] = a[1] + a[2];
+  return 0;
+}
+|}
+        in
+        let prog = Srclang.Typecheck.program_of_string src in
+        let entries = Harness.Pipeline.build_hli_entries prog in
+        let e = List.hd entries in
+        Hli_core.Query.reset_cache_counters ();
+        let idx = Hli_core.Query.build e in
+        let get k = List.assoc k (Hli_core.Query.cache_counters ()) in
+        Alcotest.(check int) "one build counted" 1 (get "index_builds");
+        (match Hli_core.Tables.all_items e with
+        | a :: b :: _ ->
+            ignore (Hli_core.Query.get_equiv_acc idx a b);
+            Alcotest.(check int) "first ask misses" 1 (get "equiv_memo_misses");
+            Alcotest.(check int) "no hit yet" 0 (get "equiv_memo_hits");
+            (* swapped order must hit: the memo key is unordered *)
+            ignore (Hli_core.Query.get_equiv_acc idx b a);
+            Alcotest.(check int) "swapped ask hits" 1 (get "equiv_memo_hits");
+            Alcotest.(check int) "still one miss" 1 (get "equiv_memo_misses")
+        | _ -> Alcotest.fail "expected at least two items");
+        Hli_core.Query.invalidate idx;
+        Alcotest.(check int) "invalidation counted" 1
+          (get "memo_invalidations");
+        Alcotest.(check int) "memo emptied" 0 (Hli_core.Query.memo_size idx);
+        Hli_core.Query.reset_cache_counters ();
+        List.iter
+          (fun (name, v) -> Alcotest.(check int) name 0 v)
+          (Hli_core.Query.cache_counters ()));
   ]
 
 let () =
