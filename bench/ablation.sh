@@ -1,0 +1,44 @@
+#!/bin/sh
+# CI check for the DESIGN.md §5 ablation configs (dune alias @ablation).
+#
+# Runs one integer and one floating-point workload through
+# bench/main.exe under every ablation config (plus baseline), and
+# checks that
+#   1. each run completes and prints both tables, and
+#   2. its --stats-json telemetry dump is well-formed JSON of the
+#      current schema (validated with the harness's own structural
+#      checker, since the container has no external JSON tooling).
+set -eu
+
+# dune runs us inside _build with a relative exe path; make it invocable
+exe="$1"
+case "$exe" in
+  /*) ;;
+  *) exe="./$exe" ;;
+esac
+
+tmp="${TMPDIR:-/tmp}/hli-ablation-$$"
+mkdir -p "$tmp"
+trap 'rm -rf "$tmp"' EXIT
+
+WORKLOADS="wc,101.tomcatv"   # one int, one fp
+
+for ab in baseline merge-off routine-regions hli-only lsq-off; do
+  out="$tmp/$ab.out"
+  json="$tmp/$ab.json"
+  "$exe" tables --workloads "$WORKLOADS" --ablation "$ab" -j 2 \
+    --stats-json "$json" > "$out" 2>/dev/null \
+    || { echo "ablation: FAIL — $ab run exited nonzero" >&2; exit 1; }
+  grep -q "== Table 1:" "$out" && grep -q "== Table 2:" "$out" \
+    || { echo "ablation: FAIL — $ab printed no tables" >&2; exit 1; }
+  "$exe" --validate-json "$json" > /dev/null \
+    || { echo "ablation: FAIL — malformed --stats-json under $ab" >&2; exit 1; }
+done
+
+# an unknown ablation name must be rejected (driver diagnostic E1006)
+if "$exe" tables --workloads wc --ablation no-such-thing >/dev/null 2>&1; then
+  echo "ablation: FAIL — unknown ablation name accepted" >&2
+  exit 1
+fi
+
+echo "ablation: OK (5 configs x 2 workloads, telemetry JSON valid)"

@@ -28,14 +28,20 @@
                           also selects the querybench workloads)
      --fuel N             per-run simulation budget, 0 = unlimited
                           (exhaustion annotates the row, see Tables)
+     --passes SPEC        optional passes for every workload, e.g.
+                          cse,licm,unroll=4 (see --list-passes)
+     --ablation NAME      run under a DESIGN.md §5 ablation config
+                          (baseline, merge-off, routine-regions,
+                          hli-only, lsq-off)
+     --list-passes        list the registered passes and exit
      --stats              print the per-stage telemetry table
-     --stats-json PATH    write the hli-telemetry-v2 JSON dump ("-" for
+     --stats-json PATH    write the hli-telemetry-v3 JSON dump ("-" for
                           stdout)
      --validate-json PATH check a JSON dump: telemetry schema version
-                          first (an hli-telemetry-v1 dump is rejected
-                          with a version-specific message), then the
-                          structural JSON check; exit 1 on either
-                          (used by bench/smoke.sh)
+                          first (an hli-telemetry-v1/v2 dump is
+                          rejected with a version-specific message),
+                          then the structural JSON check; exit 1 on
+                          either (used by bench/smoke.sh)
      --out PATH           querybench output file
                           (default BENCH_queries.json)
 
@@ -53,14 +59,16 @@ type cfg = {
   stats : bool;
   stats_json : string option;
   workloads : string list option;
+  passes : string;
+  ablation : string;
   out : string;
 }
 
 let usage () =
   prerr_endline
     "usage: main.exe [tables|micro|querybench|all] [-j N] [--fuel N] \
-     [--workloads a,b,c] [--stats] [--stats-json PATH] [--validate-json PATH] \
-     [--out PATH]";
+     [--workloads a,b,c] [--passes SPEC] [--ablation NAME] [--list-passes] \
+     [--stats] [--stats-json PATH] [--validate-json PATH] [--out PATH]";
   exit 2
 
 let parse_args () =
@@ -73,6 +81,8 @@ let parse_args () =
         stats = false;
         stats_json = None;
         workloads = None;
+        passes = "";
+        ablation = "baseline";
         out = "BENCH_queries.json";
       }
   in
@@ -104,6 +114,15 @@ let parse_args () =
     | "--workloads" :: names :: rest ->
         cfg := { !cfg with workloads = Some (String.split_on_char ',' names) };
         loop rest
+    | "--passes" :: spec :: rest ->
+        cfg := { !cfg with passes = spec };
+        loop rest
+    | "--ablation" :: name :: rest ->
+        cfg := { !cfg with ablation = name };
+        loop rest
+    | "--list-passes" :: _ ->
+        print_string (Driver.Pass_manager.list_text ());
+        exit 0
     | "--out" :: path :: rest ->
         cfg := { !cfg with out = path };
         loop rest
@@ -143,7 +162,26 @@ let parse_args () =
 (* Table reproductions                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* resolve --passes/--ablation into a pipeline config; exits with the
+   diagnostic's code on a bad spec or name *)
+let pipeline_config cfg =
+  try
+    let ablation =
+      match Driver.Variant.find_ablation cfg.ablation with
+      | Some a -> a
+      | None ->
+          Diagnostics.error ~code:"E1006" ~phase:Diagnostics.Driver
+            "unknown ablation %S (known: %s)" cfg.ablation
+            (String.concat ", " ("baseline" :: Driver.Variant.ablation_names))
+    in
+    { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs cfg.passes;
+      ablation }
+  with Diagnostics.Diagnostic d ->
+    Fmt.epr "%a@." Diagnostics.pp d;
+    exit (Diagnostics.exit_code d)
+
 let reproduce_tables cfg pool =
+  let config = pipeline_config cfg in
   (* fail fast on an unwritable --stats-json path, before the (long) run *)
   let stats_oc =
     match cfg.stats_json with
@@ -167,8 +205,11 @@ let reproduce_tables cfg pool =
                 None)
           names
   in
+  if cfg.ablation <> "baseline" then
+    Fmt.epr "ablation: %s (%s)@." config.Harness.Pipeline.ablation.Driver.Variant.ab_name
+      config.Harness.Pipeline.ablation.Driver.Variant.ab_doc;
   let rows =
-    Harness.Tables.run_all ~fuel:cfg.fuel ?pool
+    Harness.Tables.run_all ~fuel:cfg.fuel ~config ?pool
       ~progress:(fun w -> Fmt.epr "running %s...@." w.Workloads.Workload.name)
       ws
   in
@@ -184,65 +225,58 @@ let reproduce_tables cfg pool =
   | _ -> ());
   rows
 
-(* Ablation 1 (DESIGN.md §5, item 1/2): turn off per-space merging when
-   propagating classes to parent regions — bigger HLI, finer classes. *)
-let ablation_merging () =
-  print_endline "\n== Ablation: class merging at region boundaries ==";
-  Printf.printf "%-14s %12s %12s %10s %10s\n" "Benchmark" "HLI(B) merge"
-    "HLI(B) keep" "red% merge" "red% keep";
-  let red (s : Backend.Ddg.stats) =
-    if s.Backend.Ddg.gcc_yes = 0 then 0.0
-    else
-      100.0
-      *. float_of_int (s.Backend.Ddg.gcc_yes - s.Backend.Ddg.combined_yes)
-      /. float_of_int s.Backend.Ddg.gcc_yes
-  in
+(* The DESIGN.md §5 ablations are {!Driver.Variant.ablations} configs;
+   a full-table run under any of them is `--ablation NAME`.  The
+   default run prints one compact comparison section per ablation on a
+   small workload subset: the compile-side knobs (merge-off,
+   routine-regions) move HLI size and edge reduction, the
+   simulation-side knobs (hli-only, lsq-off) move the speedups. *)
+
+let find_ablation name =
+  match Driver.Variant.find_ablation name with
+  | Some a -> a
+  | None -> invalid_arg ("find_ablation: " ^ name)
+
+let ablated_config name =
+  { Harness.Pipeline.default_config with ablation = find_ablation name }
+
+let ablation_compile_section pool name workloads =
+  let ab = find_ablation name in
+  Printf.printf "\n== Ablation: %s — %s ==\n" ab.Driver.Variant.ab_name
+    ab.Driver.Variant.ab_doc;
+  Printf.printf "%-14s %12s %12s %10s %10s\n" "Benchmark" "HLI(B) base"
+    "HLI(B) abl" "red% base" "red% abl";
+  let red s = 100.0 *. Harness.Tables.reduction s in
   List.iter
-    (fun name ->
-      let w = Option.get (Workloads.Registry.find name) in
+    (fun wname ->
+      let w = Option.get (Workloads.Registry.find wname) in
       let src = w.Workloads.Workload.source in
-      let c1 = Harness.Pipeline.compile src in
-      let c2 =
-        Harness.Pipeline.compile
-          ~opts:{ Hligen.Tblconst.merge_parent_classes = false }
-          src
-      in
-      Printf.printf "%-14s %12d %12d %9.0f%% %9.0f%%\n" name
+      let c1 = Harness.Pipeline.compile ?pool src in
+      let c2 = Harness.Pipeline.compile ~config:(ablated_config name) ?pool src in
+      Printf.printf "%-14s %12d %12d %9.0f%% %9.0f%%\n" wname
         c1.Harness.Pipeline.hli_bytes c2.Harness.Pipeline.hli_bytes
         (red c1.Harness.Pipeline.stats)
         (red c2.Harness.Pipeline.stats))
-    [ "101.tomcatv"; "102.swim"; "034.mdljdp2"; "129.compress" ]
+    workloads
 
-(* Ablation 2 (DESIGN.md §5, item 4): disable the R10000 LSQ blocking
-   rule; the HLI speedup on the OoO machine should collapse toward the
-   in-order line. *)
-let ablation_lsq () =
-  print_endline "\n== Ablation: R10000 LSQ load-blocking rule ==";
-  Printf.printf "%-14s %14s %14s\n" "Benchmark" "speedup w/LSQ" "speedup no-LSQ";
+let ablation_sim_section pool sim_fuel name workloads =
+  let ab = find_ablation name in
+  Printf.printf "\n== Ablation: %s — %s ==\n" ab.Driver.Variant.ab_name
+    ab.Driver.Variant.ab_doc;
+  Printf.printf "%-14s %12s %12s %12s %12s\n" "Benchmark" "R4600 base"
+    "R4600 abl" "R10000 base" "R10000 abl";
   List.iter
-    (fun name ->
-      let w = Option.get (Workloads.Registry.find name) in
-      let c = Harness.Pipeline.compile w.Workloads.Workload.source in
-      let cycles ~lsq prog =
-        let m = Machine.Ooo.make () in
-        let m =
-          if lsq then m
-          else
-            {
-              m with
-              Machine.Ooo.md =
-                { m.Machine.Ooo.md with Backend.Machdesc.lsq_blocking = false };
-            }
-        in
-        ignore (Machine.Exec.run ~fuel ~hook:(Machine.Ooo.hook m) prog);
-        float_of_int (Machine.Ooo.cycles m)
+    (fun wname ->
+      let w = Option.get (Workloads.Registry.find wname) in
+      let r1 = Harness.Tables.run_workload ~fuel:sim_fuel ?pool w in
+      let r2 =
+        Harness.Tables.run_workload ~fuel:sim_fuel
+          ~config:(ablated_config name) ?pool w
       in
-      let sp ~lsq =
-        cycles ~lsq c.Harness.Pipeline.rtl_gcc_r10000
-        /. cycles ~lsq c.Harness.Pipeline.rtl_hli_r10000
-      in
-      Printf.printf "%-14s %14.3f %14.3f\n" name (sp ~lsq:true) (sp ~lsq:false))
-    [ "034.mdljdp2"; "077.mdljsp2"; "102.swim" ]
+      Printf.printf "%-14s %12.3f %12.3f %12.3f %12.3f\n" wname
+        r1.Harness.Tables.sp_r4600 r2.Harness.Tables.sp_r4600
+        r1.Harness.Tables.sp_r10000 r2.Harness.Tables.sp_r10000)
+    workloads
 
 (* Ablation 3: the CSE and LICM passes with and without HLI (Figure 4
    and the loop-invariant-removal discussion of Section 3.2.2). *)
@@ -618,12 +652,12 @@ int main()
         (Staged.stage (fun () ->
              ignore
                (Machine.Simulate.run Machine.Simulate.R4600
-                  small.Harness.Pipeline.rtl_gcc_r4600)));
+                  (Harness.Pipeline.rtl_gcc_r4600 small))));
       Test.make ~name:"machine:r10000-sim-small"
         (Staged.stage (fun () ->
              ignore
                (Machine.Simulate.run Machine.Simulate.R10000
-                  small.Harness.Pipeline.rtl_gcc_r10000)));
+                  (Harness.Pipeline.rtl_gcc_r10000 small))));
     ]
   in
   print_endline "\n== Microbenchmarks (ns per run, OLS on monotonic clock) ==";
@@ -656,10 +690,17 @@ let () =
       if cfg.mode = "tables" || cfg.mode = "all" then begin
         ignore (reproduce_tables cfg pool);
         (* ablations use fixed workload subsets; skip them when the
-           run was narrowed with --workloads (e.g. the smoke alias) *)
-        if cfg.workloads = None then begin
-          ablation_merging ();
-          ablation_lsq ();
+           run was narrowed with --workloads (e.g. the smoke alias)
+           or is itself an ablated run *)
+        if cfg.workloads = None && cfg.ablation = "baseline" then begin
+          ablation_compile_section pool "merge-off"
+            [ "101.tomcatv"; "102.swim"; "034.mdljdp2"; "129.compress" ];
+          ablation_compile_section pool "routine-regions"
+            [ "101.tomcatv"; "102.swim"; "129.compress" ];
+          ablation_sim_section pool cfg.fuel "hli-only"
+            [ "101.tomcatv"; "034.mdljdp2" ];
+          ablation_sim_section pool cfg.fuel "lsq-off"
+            [ "034.mdljdp2"; "077.mdljsp2"; "102.swim" ];
           ablation_passes ()
         end
       end;

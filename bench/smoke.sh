@@ -40,8 +40,11 @@ fi
 
 echo "smoke: OK (parallel == sequential, telemetry JSON valid)"
 
-# the query-engine microbench structural check rides along when its
-# script is passed (the @smoke dune rule does; @querybench runs it alone)
-if [ "$#" -ge 2 ]; then
-  sh "$2" "$1"
-fi
+# the query-engine microbench and ablation-config checks ride along
+# when their scripts are passed (the @smoke dune rule passes both;
+# @querybench / @ablation run them alone)
+main="$1"
+shift
+for script in "$@"; do
+  sh "$script" "$main"
+done

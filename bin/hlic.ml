@@ -1,9 +1,14 @@
 (* hlic — the full compiler driver.
 
    Compiles a mini-C source file through the whole pipeline: front-end
-   analysis, HLI generation, GCC-like lowering, HLI import, optional
-   CSE/LICM/unrolling, basic-block scheduling, and (optionally)
-   execution on one of the simulated machines. *)
+   analysis, HLI generation, GCC-like lowering, HLI import, the
+   optional passes selected with --passes, basic-block scheduling, and
+   (optionally) execution on one of the simulated machines.
+
+   Errors are structured diagnostics: rendered as
+   file:line:col: severity[CODE]: message, with the process exit code
+   keyed to the failing phase (1 I/O, 2 lex/parse, 3 typecheck,
+   4 compile, 5 simulation, 6 driver misuse). *)
 
 open Cmdliner
 
@@ -13,94 +18,143 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run_hlic src_path use_hli machine run emit_hli dump_rtl cse licm unroll
-    jobs stats stats_json =
-  let pool = if jobs > 1 then Some (Harness.Pool.create ~jobs) else None in
-  let tm = Harness.Telemetry.create () in
-  Fun.protect ~finally:(fun () -> Option.iter Harness.Pool.shutdown pool)
-  @@ fun () ->
-  try
-    let src = read_file src_path in
-    let passes =
-      {
-        Harness.Pipeline.p_cse = cse;
-        p_licm = licm;
-        p_unroll = (if unroll >= 2 then Some unroll else None);
-      }
-    in
-    let c = Harness.Pipeline.compile ~passes ?pool ~tm src in
-    (match emit_hli with
-    | Some out ->
-        Hli_core.Serialize.write_file out c.Harness.Pipeline.hli;
-        Fmt.pr "wrote %s (%d bytes)@." out c.Harness.Pipeline.hli_bytes
-    | None -> ());
-    let md_is_4600 = machine = "r4600" in
-    let rtl =
-      match (use_hli, md_is_4600) with
-      | true, true -> c.Harness.Pipeline.rtl_hli_r4600
-      | true, false -> c.Harness.Pipeline.rtl_hli_r10000
-      | false, true -> c.Harness.Pipeline.rtl_gcc_r4600
-      | false, false -> c.Harness.Pipeline.rtl_gcc_r10000
-    in
-    if dump_rtl then
-      List.iter (fun fn -> Fmt.pr "%a@." Backend.Rtl.pp_fn fn) rtl.Backend.Rtl.fns;
-    let s = c.Harness.Pipeline.stats in
-    Fmt.pr "dependence queries: total=%d gcc_yes=%d hli_yes=%d combined_yes=%d@."
-      s.Backend.Ddg.total s.Backend.Ddg.gcc_yes s.Backend.Ddg.hli_yes
-      s.Backend.Ddg.combined_yes;
-    if run then begin
-      let m = if md_is_4600 then Machine.Simulate.R4600 else Machine.Simulate.R10000 in
-      let r =
-        Harness.Telemetry.span ~tm "machine.simulate" (fun () ->
-            Machine.Simulate.run m rtl)
-      in
-      Fmt.pr "%s" r.Machine.Simulate.output;
-      Fmt.pr "[%s] %d cycles, %d instructions, L1 %d/%d hits/misses@."
-        (Machine.Simulate.machine_name m)
-        r.Machine.Simulate.cycles r.Machine.Simulate.dyn_insns
-        r.Machine.Simulate.l1_hits r.Machine.Simulate.l1_misses
-    end;
-    if stats then begin
-      Fmt.pr "== per-stage telemetry ==@.%a" Harness.Telemetry.pp_table tm;
-      Fmt.pr "== HLI queries by kind ==@.";
-      List.iter
-        (fun (name, v) -> Fmt.pr "%-16s %12d@." name v)
-        (Hli_core.Query.query_counters ())
-    end;
-    (match stats_json with
-    | None -> ()
-    | Some path ->
-        let b = Buffer.create 512 in
-        Buffer.add_string b
-          (Printf.sprintf "{\"schema\":\"hli-telemetry-v1\",\"file\":\"%s\",\"hli_queries\":{"
-             (Harness.Telemetry.json_escape src_path));
-        List.iteri
-          (fun i (name, v) ->
-            if i > 0 then Buffer.add_char b ',';
-            Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
-          (Hli_core.Query.query_counters ());
-        Buffer.add_string b "},";
-        Buffer.add_string b (Harness.Telemetry.json_fragment tm);
-        Buffer.add_char b '}';
-        if path = "-" then print_endline (Buffer.contents b)
-        else begin
-          let oc = open_out_bin path in
-          Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () -> output_string oc (Buffer.contents b));
-          Fmt.pr "wrote telemetry to %s@." path
-        end);
+let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
+    list_passes jobs stats stats_json =
+  if list_passes then begin
+    print_string (Driver.Pass_manager.list_text ());
     0
-  with
-  | Harness.Pipeline.Compile_error msg ->
-      Fmt.epr "error: %s@." msg;
-      1
-  | Sys_error msg ->
-      Fmt.epr "error: %s@." msg;
-      1
+  end
+  else
+    match src_path with
+    | None ->
+        Fmt.epr "error[E1000]: no source file (see hlic --help)@.";
+        6
+    | Some src_path -> (
+        let pool = if jobs > 1 then Some (Harness.Pool.create ~jobs) else None in
+        let tm = Harness.Telemetry.create () in
+        Fun.protect ~finally:(fun () -> Option.iter Harness.Pool.shutdown pool)
+        @@ fun () ->
+        try
+          let src = read_file src_path in
+          let ablation =
+            match Driver.Variant.find_ablation ablation with
+            | Some a -> a
+            | None ->
+                Diagnostics.error ~code:"E1006" ~phase:Diagnostics.Driver
+                  "unknown ablation %S (known: %s)" ablation
+                  (String.concat ", "
+                     ("baseline" :: Driver.Variant.ablation_names))
+          in
+          let config =
+            {
+              Harness.Pipeline.specs = Driver.Pass_manager.parse_specs passes;
+              ablation;
+            }
+          in
+          let c =
+            Harness.Pipeline.compile ~config ~src_file:src_path ?pool ~tm src
+          in
+          (match emit_hli with
+          | Some out ->
+              Hli_core.Serialize.write_file out c.Harness.Pipeline.hli;
+              Fmt.pr "wrote %s (%d bytes)@." out c.Harness.Pipeline.hli_bytes
+          | None -> ());
+          let md_is_4600 = machine = "r4600" in
+          let rtl =
+            match (use_hli, md_is_4600) with
+            | true, true -> Harness.Pipeline.rtl_hli_r4600 c
+            | true, false -> Harness.Pipeline.rtl_hli_r10000 c
+            | false, true -> Harness.Pipeline.rtl_gcc_r4600 c
+            | false, false -> Harness.Pipeline.rtl_gcc_r10000 c
+          in
+          if dump_rtl then
+            List.iter
+              (fun fn -> Fmt.pr "%a@." Backend.Rtl.pp_fn fn)
+              rtl.Backend.Rtl.fns;
+          List.iter
+            (fun n ->
+              Fmt.pr "%s: %s@." n.Driver.Pass.n_pass n.Driver.Pass.n_text)
+            (Harness.Pipeline.pass_notes c);
+          if c.Harness.Pipeline.map_dropped > 0 then
+            Fmt.epr "warning[E0801]: %d HLI unit(s) had no RTL function@."
+              c.Harness.Pipeline.map_dropped;
+          let s = c.Harness.Pipeline.stats in
+          Fmt.pr
+            "dependence queries: total=%d gcc_yes=%d hli_yes=%d combined_yes=%d@."
+            s.Backend.Ddg.total s.Backend.Ddg.gcc_yes s.Backend.Ddg.hli_yes
+            s.Backend.Ddg.combined_yes;
+          if run then begin
+            let m =
+              if md_is_4600 then Machine.Simulate.R4600
+              else Machine.Simulate.R10000
+            in
+            let md = Driver.Variant.machdesc_of ablation
+                (Driver.Variant.{ alias = Backend.Ddg.Gcc_only;
+                                  machine = (if md_is_4600 then R4600 else R10000) })
+            in
+            let r =
+              Harness.Telemetry.span ~tm "machine.simulate" (fun () ->
+                  Machine.Simulate.run ~md m rtl)
+            in
+            Fmt.pr "%s" r.Machine.Simulate.output;
+            Fmt.pr "[%s] %d cycles, %d instructions, L1 %d/%d hits/misses@."
+              (Machine.Simulate.machine_name m)
+              r.Machine.Simulate.cycles r.Machine.Simulate.dyn_insns
+              r.Machine.Simulate.l1_hits r.Machine.Simulate.l1_misses
+          end;
+          if stats then begin
+            Fmt.pr "== per-stage telemetry ==@.%a" Harness.Telemetry.pp_table tm;
+            Fmt.pr "== HLI queries by kind ==@.";
+            List.iter
+              (fun (name, v) -> Fmt.pr "%-16s %12d@." name v)
+              (Hli_core.Query.query_counters ())
+          end;
+          (match stats_json with
+          | None -> ()
+          | Some path ->
+              let b = Buffer.create 512 in
+              Buffer.add_string b
+                (Printf.sprintf "{\"schema\":\"%s\",\"file\":\"%s\",\"hli_queries\":{"
+                   Harness.Telemetry.schema_version
+                   (Harness.Telemetry.json_escape src_path));
+              List.iteri
+                (fun i (name, v) ->
+                  if i > 0 then Buffer.add_char b ',';
+                  Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+                (Hli_core.Query.query_counters ());
+              Buffer.add_string b "},";
+              Buffer.add_string b (Harness.Telemetry.json_fragment tm);
+              Buffer.add_char b '}';
+              if path = "-" then print_endline (Buffer.contents b)
+              else begin
+                let oc = open_out_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc (Buffer.contents b));
+                Fmt.pr "wrote telemetry to %s@." path
+              end);
+          0
+        with
+        | Diagnostics.Diagnostic d ->
+            (* source-phase diagnostics get the file path; driver
+               misuse (bad --passes/--ablation) is not about the file *)
+            let d =
+              match (d.Diagnostics.file, d.Diagnostics.phase) with
+              | None, (Diagnostics.Driver | Diagnostics.Io) -> d
+              | None, _ -> Diagnostics.with_file src_path d
+              | Some _, _ -> d
+            in
+            Fmt.epr "%a@." Diagnostics.pp d;
+            Diagnostics.exit_code d
+        | Sys_error msg ->
+            Fmt.epr "error[E0001]: %s@." msg;
+            1)
 
 let src_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C source file")
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"mini-C source file")
 
 let hli_flag =
   Arg.(value & opt bool true & info [ "use-hli" ] ~doc:"use HLI in the scheduler (default true)")
@@ -116,11 +170,23 @@ let emit_arg =
 
 let dump_flag = Arg.(value & flag & info [ "dump-rtl" ] ~doc:"print the scheduled RTL")
 
-let cse_flag = Arg.(value & flag & info [ "cse" ] ~doc:"run local CSE")
-let licm_flag = Arg.(value & flag & info [ "licm" ] ~doc:"run loop-invariant code motion")
+let passes_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "passes" ] ~docv:"SPEC"
+        ~doc:
+          "comma-separated optional passes to run, in order, e.g. \
+           $(b,cse,licm,unroll=4); see $(b,--list-passes)")
 
-let unroll_arg =
-  Arg.(value & opt int 0 & info [ "unroll" ] ~docv:"K" ~doc:"unroll eligible loops by K")
+let ablation_arg =
+  Arg.(
+    value & opt string "baseline"
+    & info [ "ablation" ] ~docv:"NAME"
+        ~doc:"ablation configuration (baseline, merge-off, \
+              routine-regions, hli-only, lsq-off)")
+
+let list_passes_flag =
+  Arg.(value & flag & info [ "list-passes" ] ~doc:"list registered passes and exit")
 
 let jobs_arg =
   Arg.(
@@ -140,14 +206,14 @@ let stats_json_arg =
     value
     & opt (some string) None
     & info [ "stats-json" ] ~docv:"PATH"
-        ~doc:"write the hli-telemetry-v1 JSON dump to $(docv) (\"-\" for stdout)")
+        ~doc:"write the telemetry JSON dump to $(docv) (\"-\" for stdout)")
 
 let cmd =
   let doc = "compile mini-C with High-Level Information support" in
   Cmd.v (Cmd.info "hlic" ~doc)
     Term.(
       const run_hlic $ src_arg $ hli_flag $ machine_arg $ run_flag $ emit_arg
-      $ dump_flag $ cse_flag $ licm_flag $ unroll_arg $ jobs_arg $ stats_flag
-      $ stats_json_arg)
+      $ dump_flag $ passes_arg $ ablation_arg $ list_passes_flag $ jobs_arg
+      $ stats_flag $ stats_json_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -60,14 +60,14 @@ let () =
      identical. *)
   let m = Harness.Pipeline.measure c in
   Fmt.pr "program output: %s"
-    m.Harness.Pipeline.r4600_gcc.Machine.Simulate.output;
+    (Harness.Pipeline.r4600_gcc m).Machine.Simulate.output;
   Fmt.pr "R4600 : %7d cycles without HLI, %7d with  (speedup %.3f)@."
-    m.Harness.Pipeline.r4600_gcc.Machine.Simulate.cycles
-    m.Harness.Pipeline.r4600_hli.Machine.Simulate.cycles
-    (Harness.Pipeline.speedup ~base:m.Harness.Pipeline.r4600_gcc
-       ~opt:m.Harness.Pipeline.r4600_hli);
+    (Harness.Pipeline.r4600_gcc m).Machine.Simulate.cycles
+    (Harness.Pipeline.r4600_hli m).Machine.Simulate.cycles
+    (Harness.Pipeline.speedup ~base:(Harness.Pipeline.r4600_gcc m)
+       ~opt:(Harness.Pipeline.r4600_hli m));
   Fmt.pr "R10000: %7d cycles without HLI, %7d with  (speedup %.3f)@."
-    m.Harness.Pipeline.r10000_gcc.Machine.Simulate.cycles
-    m.Harness.Pipeline.r10000_hli.Machine.Simulate.cycles
-    (Harness.Pipeline.speedup ~base:m.Harness.Pipeline.r10000_gcc
-       ~opt:m.Harness.Pipeline.r10000_hli)
+    (Harness.Pipeline.r10000_gcc m).Machine.Simulate.cycles
+    (Harness.Pipeline.r10000_hli m).Machine.Simulate.cycles
+    (Harness.Pipeline.speedup ~base:(Harness.Pipeline.r10000_gcc m)
+       ~opt:(Harness.Pipeline.r10000_hli m))

@@ -23,5 +23,5 @@ let () =
       base.Machine.Simulate.lsq_stalls opt.Machine.Simulate.lsq_stalls
       base.Machine.Simulate.l1_misses opt.Machine.Simulate.l1_misses
   in
-  pr "R4600 " m.Harness.Pipeline.r4600_gcc m.Harness.Pipeline.r4600_hli;
-  pr "R10000" m.Harness.Pipeline.r10000_gcc m.Harness.Pipeline.r10000_hli
+  pr "R4600 " (Harness.Pipeline.r4600_gcc m) (Harness.Pipeline.r4600_hli m);
+  pr "R10000" (Harness.Pipeline.r10000_gcc m) (Harness.Pipeline.r10000_hli m)

@@ -38,9 +38,12 @@ type graph = {
   succs : (int * int) list array;
 }
 
-(* Memory-vs-memory dependence decision, with counting. *)
-let mem_pair_dependent ~mode ~(hli : Hli_import.t option) ~stats (a : insn)
-    (b : insn) : bool =
+(* Memory-vs-memory dependence decision, with counting.
+   [combine_gcc = false] is the "hli-only" ablation: the final decision
+   trusts the HLI answer alone instead of Figure 5's [gcc && hli]; the
+   counter stream is unchanged so Table 2 stays comparable. *)
+let mem_pair_dependent ~mode ?(combine_gcc = true) ~(hli : Hli_import.t option)
+    ~stats (a : insn) (b : insn) : bool =
   match (mem_of_insn a, mem_of_insn b) with
   | Some ma, Some mb ->
       let counted = is_store a || is_store b in
@@ -70,7 +73,7 @@ let mem_pair_dependent ~mode ~(hli : Hli_import.t option) ~stats (a : insn)
             if gcc_value && hli_value then
               stats.combined_yes <- stats.combined_yes + 1
           end;
-          gcc_value && hli_value)
+          if combine_gcc then gcc_value && hli_value else hli_value)
   | _ -> false
 
 (* Call-vs-memory decision (not counted in Table 2's query stream, which
@@ -92,8 +95,8 @@ let call_mem_dependent ~mode ~hli (call : insn) (mem : insn) : bool =
 
 (** Build the DDG of one block.  [stats] accumulates query counts across
     blocks. *)
-let build ~mode ~(hli : Hli_import.t option) ~(md : Machdesc.t) ~stats
-    (block_insns : insn list) : graph =
+let build ~mode ?(combine_gcc = true) ~(hli : Hli_import.t option)
+    ~(md : Machdesc.t) ~stats (block_insns : insn list) : graph =
   let insns = Array.of_list block_insns in
   let n = Array.length insns in
   let preds = Array.make n [] and succs = Array.make n [] in
@@ -144,7 +147,7 @@ let build ~mode ~(hli : Hli_import.t option) ~(md : Machdesc.t) ~stats
           Option.is_some (mem_of_insn a)
           && Option.is_some (mem_of_insn b)
           && (is_store a || is_store b)
-        then mem_pair_dependent ~mode ~hli ~stats a b
+        then mem_pair_dependent ~mode ~combine_gcc ~hli ~stats a b
         else false
       in
       if dependent then

@@ -16,6 +16,9 @@
 
 open Srclang
 
+(* internal lowering invariants, structured as diagnostics (E0501) *)
+let ierr fmt = Diagnostics.error ~code:"E0501" ~phase:Diagnostics.Lower fmt
+
 type storage =
   | Svreg of Rtl.reg
   | Sframe of int  (** frame offset *)
@@ -90,7 +93,7 @@ let addr_of_storage sym = function
   | Sframe off -> { abase = Rtl.Bframe; aoff = off; aidx = None; ascale = 1 }
   | Sglobal -> { abase = Rtl.Bsym sym; aoff = 0; aidx = None; ascale = 1 }
   | Sargin off -> { abase = Rtl.Bargin; aoff = off; aidx = None; ascale = 1 }
-  | Svreg _ -> invalid_arg "addr_of_storage: register-resident symbol"
+  | Svreg _ -> ierr "addr_of_storage: register-resident symbol"
 
 let mem_of_addr a ~size ~cls : Rtl.mem =
   {
@@ -117,7 +120,7 @@ let materialize env ~line a : Rtl.reg =
         emit env ~line (Rtl.Laf (d, 0));
         d
     | Rtl.Bargout | Rtl.Bargin ->
-        invalid_arg "materialize: ABI slot address"
+        ierr "materialize: ABI slot address"
   in
   let with_off =
     if a.aoff = 0 then base_reg
@@ -145,7 +148,7 @@ let materialize env ~line a : Rtl.reg =
 let add_index env ~line a (idx_op : Rtl.operand) ~scale =
   match idx_op with
   | Rtl.Imm n -> { a with aoff = a.aoff + (n * scale) }
-  | Rtl.Fimm _ -> invalid_arg "add_index: float index"
+  | Rtl.Fimm _ -> ierr "add_index: float index"
   | Rtl.Reg r -> (
       match a.aidx with
       | None -> { a with aidx = Some r; ascale = scale }
@@ -175,7 +178,7 @@ let alu_of_binop = function
   | Ast.Le -> Rtl.Sle
   | Ast.Eq -> Rtl.Seq
   | Ast.Ne -> Rtl.Sne
-  | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor -> invalid_arg "alu_of_binop"
+  | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor -> ierr "alu_of_binop: not an integer ALU operator"
 
 let falu_of_binop = function
   | Ast.Add -> Rtl.Fadd
@@ -186,7 +189,7 @@ let falu_of_binop = function
   | Ast.Le -> Rtl.Fsle
   | Ast.Eq -> Rtl.Fseq
   | Ast.Ne -> Rtl.Fsne
-  | _ -> invalid_arg "falu_of_binop"
+  | _ -> ierr "falu_of_binop: not a float ALU operator"
 
 let rec lower_expr env (e : Tast.expr) : Rtl.operand =
   let line = e.Tast.loc.Loc.line in
@@ -206,7 +209,7 @@ let rec lower_expr env (e : Tast.expr) : Rtl.operand =
         | Tast.Lvar s -> (
             match Hashtbl.find_opt env.storage s.Symbol.id with
             | Some (Svreg r) -> Rtl.Reg r
-            | _ -> invalid_arg "lower_expr: unexpected storage")
+            | _ -> ierr "lower_expr: unexpected storage")
         | Tast.Lindex _ | Tast.Lderef _ -> assert false
       end
   | Tast.Addr lv ->
@@ -383,7 +386,7 @@ and lower_lvalue_addr env (lv : Tast.lvalue) : addr * int * Rtl.rclass =
       | Some st -> (addr_of_storage s st, size, cls)
       | None ->
           if Symbol.is_global s then (addr_of_storage s Sglobal, size, cls)
-          else invalid_arg ("lower: no storage for " ^ s.Symbol.name))
+          else ierr "lower: no storage for %s" s.Symbol.name)
   | Tast.Lindex (base, idx) ->
       (* the index scale is the full element size — for a multi-dim
          array the element is itself an array (a whole row), which must
@@ -391,7 +394,7 @@ and lower_lvalue_addr env (lv : Tast.lvalue) : addr * int * Rtl.rclass =
       let elem_size =
         match Types.deref base.Tast.lty with
         | Some elem -> Types.size_of elem
-        | None -> invalid_arg "lower: subscript of non-indexable"
+        | None -> ierr "lower: subscript of non-indexable"
       in
       let base_addr =
         match base.Tast.lty with
@@ -410,7 +413,7 @@ and lower_lvalue_addr env (lv : Tast.lvalue) : addr * int * Rtl.rclass =
                   match Hashtbl.find_opt env.storage s.Symbol.id with
                   | Some (Svreg r) ->
                       { abase = Rtl.Breg r; aoff = 0; aidx = None; ascale = 1 }
-                  | _ -> invalid_arg "lower: pointer storage")
+                  | _ -> ierr "lower: pointer storage")
               | _ -> assert false
             end
         | _ ->
@@ -443,7 +446,7 @@ let rec lower_stmt env (st : Tast.stmt) : unit =
         | Tast.Lvar s -> (
             match Hashtbl.find_opt env.storage s.Symbol.id with
             | Some (Svreg r) -> emit env ~line (Rtl.Li (r, v))
-            | _ -> invalid_arg "lower: assign storage")
+            | _ -> ierr "lower: assign storage")
         | _ -> assert false
       end
   | Tast.Sif (cond, then_, else_) ->

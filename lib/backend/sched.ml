@@ -87,19 +87,20 @@ let schedule_block ~(md : Machdesc.t) (g : Ddg.graph) : insn list =
 
 (** Schedule every block of a function in place, building DDGs in the
     given mode and accumulating query statistics. *)
-let schedule_fn ~mode ~hli ~(md : Machdesc.t) ~(stats : Ddg.stats) (fn : fn) :
-    unit =
+let schedule_fn ~mode ?(combine_gcc = true) ~hli ~(md : Machdesc.t)
+    ~(stats : Ddg.stats) (fn : fn) : unit =
   Array.iter
     (fun (b : block) ->
-      let g = Ddg.build ~mode ~hli ~md ~stats b.insns in
+      let g = Ddg.build ~mode ~combine_gcc ~hli ~md ~stats b.insns in
       b.insns <- schedule_block ~md g)
     fn.blocks
 
 (** Schedule a whole program; returns the accumulated statistics. *)
-let schedule_program ~mode ~hli_of_fn ~(md : Machdesc.t) (p : program) :
-    Ddg.stats =
+let schedule_program ~mode ?(combine_gcc = true) ~hli_of_fn ~(md : Machdesc.t)
+    (p : program) : Ddg.stats =
   let stats = Ddg.fresh_stats () in
   List.iter
-    (fun fn -> schedule_fn ~mode ~hli:(hli_of_fn fn.fname) ~md ~stats fn)
+    (fun fn ->
+      schedule_fn ~mode ~combine_gcc ~hli:(hli_of_fn fn.fname) ~md ~stats fn)
     p.fns;
   stats

@@ -134,7 +134,10 @@ let run_fn ?maintain ~factor (fn : fn) : stats =
                         Hli_core.Maintain.unroll mt ~rid:c.c_loop.l_region ~factor
                       in
                       Some r.Hli_core.Maintain.copies
-                    with Invalid_argument _ -> None)
+                    with Diagnostics.Diagnostic _ ->
+                      (* no such HLI region: unroll the RTL anyway, the
+                         copies just carry no items *)
+                      None)
                 | None -> None
               in
               let item_copy orig k =

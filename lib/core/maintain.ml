@@ -236,12 +236,16 @@ type unroll_result = {
 }
 
 let unroll m ~rid ~factor =
-  if factor < 2 then invalid_arg "unroll: factor must be >= 2";
+  if factor < 2 then
+    Diagnostics.error ~code:"E0701" ~phase:(Diagnostics.Opt "unroll")
+      "unroll: factor must be >= 2 (got %d)" factor;
   let entry = m.entry in
   let r =
     match find_region entry rid with
     | Some r -> r
-    | None -> invalid_arg "unroll: no such region"
+    | None ->
+        Diagnostics.error ~code:"E0702" ~phase:(Diagnostics.Opt "unroll")
+          "unroll: no region %d in unit %s" rid entry.unit_name
   in
   let idx = Query.build entry in
   (* items directly in classes of this region (not via subclasses) *)

@@ -17,7 +17,9 @@ let magic = "HLI1"
 (* ------------------------------------------------------------------ *)
 
 let put_varint buf n =
-  if n < 0 then invalid_arg "put_varint: negative";
+  if n < 0 then
+    Diagnostics.error ~code:"E0601" ~phase:Diagnostics.Hligen
+      "put_varint: negative value %d" n;
   let rec go n =
     if n < 0x80 then Buffer.add_char buf (Char.chr n)
     else begin

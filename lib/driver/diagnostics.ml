@@ -1,0 +1,103 @@
+(** Structured compiler diagnostics.
+
+    Every error the pipeline can produce — lexing through simulation —
+    is a {!t}: an error code, a severity, a pipeline phase, an optional
+    source position and a message.  Layers raise {!Diagnostic} (via
+    {!error}) instead of [failwith]/[invalid_arg]/ad-hoc exceptions, so
+    drivers can render uniformly ([file:line:col: error[CODE]: msg]),
+    map phases to distinct exit codes, and the experiment harness can
+    downgrade a per-workload failure into an annotated partial row
+    instead of aborting the whole run.
+
+    Code ranges, one block per phase:
+    - [E01xx] lexing          - [E02xx] parsing
+    - [E03xx] type checking   - [E04xx] front-end analysis / HLI gen
+    - [E05xx] RTL lowering    - [E06xx] HLI serialization
+    - [E07xx] HLI maintenance / optimization passes
+    - [E08xx] scheduling      - [E09xx] simulation / runtime
+    - [E10xx] driver & pass-manager configuration *)
+
+type severity = Note | Warning | Error
+
+type phase =
+  | Lex
+  | Parse
+  | Typecheck
+  | Analysis  (** front-end analysis (points-to, REF/MOD, dependence) *)
+  | Hligen  (** ITEMGEN / TBLCONST / serialization *)
+  | Lower  (** GCC-like RTL lowering *)
+  | Import  (** HLI import / line mapping *)
+  | Opt of string  (** an optimization or maintenance pass, by name *)
+  | Sched
+  | Sim  (** machine simulation *)
+  | Driver  (** pipeline / pass-manager configuration *)
+  | Io
+
+type t = {
+  code : string;  (** e.g. ["E0301"] *)
+  severity : severity;
+  phase : phase;
+  file : string option;
+  line : int;  (** 1-based; 0 = no source position *)
+  col : int;
+  message : string;
+}
+
+exception Diagnostic of t
+
+let make ?file ?(line = 0) ?(col = 0) ~code ~phase ~severity message : t =
+  { code; severity; phase; file; line; col; message }
+
+(** Raise a [Diagnostic] of severity [Error], [Fmt.kstr]-style. *)
+let error ?file ?line ?col ~code ~phase fmt =
+  Fmt.kstr
+    (fun message ->
+      raise (Diagnostic (make ?file ?line ?col ~code ~phase ~severity:Error message)))
+    fmt
+
+(** Attach (or replace) the source file of a diagnostic — drivers know
+    the path, the layer that raised usually does not. *)
+let with_file file d = { d with file = Some file }
+
+let severity_name = function
+  | Note -> "note"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let phase_name = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Typecheck -> "typecheck"
+  | Analysis -> "analysis"
+  | Hligen -> "hligen"
+  | Lower -> "lower"
+  | Import -> "hli-import"
+  | Opt p -> "pass:" ^ p
+  | Sched -> "sched"
+  | Sim -> "sim"
+  | Driver -> "driver"
+  | Io -> "io"
+
+(** [file:line:col: severity[CODE]: message]; position segments are
+    omitted when unknown. *)
+let pp ppf (d : t) =
+  (match (d.file, d.line > 0) with
+  | Some f, true -> Fmt.pf ppf "%s:%d:%d: " f d.line d.col
+  | Some f, false -> Fmt.pf ppf "%s: " f
+  | None, true -> Fmt.pf ppf "%d:%d: " d.line d.col
+  | None, false -> ());
+  Fmt.pf ppf "%s[%s]: %s" (severity_name d.severity) d.code d.message
+
+let to_string (d : t) = Fmt.str "%a" pp d
+
+(** Distinct process exit codes per failure class, used by [bin/hlic]:
+    1 I/O, 2 lex/parse, 3 type, 4 compile (analysis through
+    scheduling), 5 simulation/runtime, 6 driver configuration. *)
+let exit_code (d : t) =
+  match d.phase with
+  | Io -> 1
+  | Lex | Parse -> 2
+  | Typecheck -> 3
+  | Analysis | Hligen | Lower | Import | Opt _ | Sched -> 4
+  | Sim -> 5
+  | Driver -> 6

@@ -1,0 +1,148 @@
+(** Typed compilation passes.
+
+    A pass is a named, registered stage with a typed payload.  The
+    payload chain mirrors the paper's Figure 3 pipeline:
+
+    {v
+    Source --parse_typecheck--> Tast --analysis--> Analyzed
+           --tblconst--> Hli --serialize--> Hli
+           --lower--> Mapped --hli_import--> Mapped
+           --cse/licm/unroll--> Mapped --ddg_schedule--> Scheduled
+           --simulate--> Simulated
+    v}
+
+    Stages are a GADT so a pipeline is checked — statically where the
+    pass list is literal, dynamically (with a {!Diagnostics} error, not
+    a [Match_failure]) where it is assembled from CLI specs.  The pass
+    manager derives each pass's telemetry span as
+    [prefix ^ "." ^ name], which is how the hand-maintained span
+    strings of the seed's [pipeline.ml] became derived data. *)
+
+type source = { src : string; src_file : string option }
+
+type analyzed = {
+  a_prog : Srclang.Tast.program;
+  a_ctx : Hligen.Tblconst.context;
+}
+
+type hli = {
+  h_prog : Srclang.Tast.program;
+  h_entries : Hli_core.Tables.hli_entry list;
+  h_bytes : int;  (** serialized size; 0 until the [serialize] pass runs *)
+}
+
+(** A human-readable per-pass result note (e.g. CSE elimination counts),
+    accumulated so drivers can report what the optional passes did. *)
+type note = { n_pass : string; n_text : string }
+
+type mapped = {
+  m_entries : Hli_core.Tables.hli_entry list;
+      (** current entries — maintenance passes replace edited ones *)
+  m_rtl : Backend.Rtl.program;
+  m_maps : (string, Backend.Hli_import.t) Hashtbl.t;  (** by unit name *)
+  m_unmapped : int;  (** memory refs the line mapping could not cover *)
+  m_duplicates : int;  (** duplicate HLI item ids found while indexing *)
+  m_dropped : int;  (** HLI entries whose unit has no RTL function *)
+  m_notes : note list;
+}
+
+type scheduled = {
+  s_rtl : Backend.Rtl.program;
+  s_stats : Backend.Ddg.stats;
+  s_unmapped : int;
+  s_duplicates : int;
+  s_dropped : int;
+  s_notes : note list;
+}
+
+type _ stage =
+  | Source : source stage
+  | Tast : Srclang.Tast.program stage
+  | Analyzed : analyzed stage
+  | Hli : hli stage
+  | Mapped : mapped stage
+  | Scheduled : scheduled stage
+  | Simulated : Machine.Simulate.report stage
+
+let stage_name : type a. a stage -> string = function
+  | Source -> "source"
+  | Tast -> "tast"
+  | Analyzed -> "analyzed"
+  | Hli -> "hli"
+  | Mapped -> "mapped"
+  | Scheduled -> "scheduled"
+  | Simulated -> "simulated"
+
+type (_, _) eq = Eq : ('a, 'a) eq
+
+let stage_eq : type a b. a stage -> b stage -> (a, b) eq option =
+ fun a b ->
+  match (a, b) with
+  | Source, Source -> Some Eq
+  | Tast, Tast -> Some Eq
+  | Analyzed, Analyzed -> Some Eq
+  | Hli, Hli -> Some Eq
+  | Mapped, Mapped -> Some Eq
+  | Scheduled, Scheduled -> Some Eq
+  | Simulated, Simulated -> Some Eq
+  | _ -> None
+
+(** Execution context threaded through every pass.  [spanf] is the
+    telemetry hook — the harness supplies [Telemetry.span], so the
+    driver layer never depends on the harness. *)
+type ctx = {
+  span : spanf;
+  variant : Variant.t option;
+      (** [None] while running the variant-independent front end *)
+  ablation : Variant.ablation;
+  fuel : int;  (** simulation fuel budget *)
+}
+
+and spanf = { spanf : 'a. string -> (unit -> 'a) -> 'a }
+
+let no_span = { spanf = (fun _ f -> f ()) }
+
+let ctx ?(spanf = no_span) ?variant ?(ablation = Variant.baseline)
+    ?(fuel = 400_000_000) () =
+  { span = spanf; variant; ablation; fuel }
+
+(** The variant of a backend-pipeline context; raises a driver
+    diagnostic if a variant-dependent pass runs in a front-end context
+    (an internal pipeline-assembly bug, not a user error). *)
+let the_variant c =
+  match c.variant with
+  | Some v -> v
+  | None ->
+      Diagnostics.error ~code:"E1010" ~phase:Diagnostics.Driver
+        "variant-dependent pass run without a variant context"
+
+type t =
+  | P : {
+      name : string;
+      prefix : string;  (** telemetry namespace; span = prefix ^ "." ^ name *)
+      doc : string;
+      structural : bool;
+          (** part of the fixed pipeline skeleton — always runs, not
+              selectable via [--passes] *)
+      takes_arg : bool;  (** accepts [name=N] in a pass spec *)
+      default_arg : int option;
+      after : string list;
+          (** passes that must run earlier when co-selected *)
+      maintains_hli : bool;
+          (** edits HLI entries through {!Hli_core.Maintain} *)
+      input : 'i stage;
+      output : 'o stage;
+      run : ctx -> arg:int option -> 'i -> 'o;
+    }
+      -> t
+
+let name (P p) = p.name
+let doc (P p) = p.doc
+let span_name (P p) = p.prefix ^ "." ^ p.name
+let is_structural (P p) = p.structural
+let takes_arg (P p) = p.takes_arg
+let default_arg (P p) = p.default_arg
+let after (P p) = p.after
+let maintains_hli (P p) = p.maintains_hli
+let input_stage_name (P p) = stage_name p.input
+let output_stage_name (P p) = stage_name p.output

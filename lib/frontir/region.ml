@@ -92,6 +92,16 @@ let lca a b =
   in
   go (ancestors a)
 
+(** Collapse a region tree to its unit region alone: every leaf
+    statement of every (transitive) sub-loop is re-attributed to the
+    routine region and the loop regions vanish.  This is the
+    "routine-only regions" ablation of DESIGN.md §5 — an HLI built on
+    the result has a single region per unit, hence no LCDD tables and
+    no per-loop equivalence refinement. *)
+let routine_only (root : t) : t =
+  let rec leaf_stmts r = r.stmts @ List.concat_map leaf_stmts r.subs in
+  { root with subs = []; stmts = leaf_stmts root }
+
 let pp ppf r =
   let kind =
     match r.kind with

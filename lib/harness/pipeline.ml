@@ -1,28 +1,80 @@
-(** The full compilation pipeline, front end to simulator.
+(** The full compilation pipeline, front end to simulator, assembled
+    from the registered passes of {!Driver.Pass_manager}.
 
-    [compile] mirrors Figure 3 of the paper: the source is parsed and
-    analyzed once, ITEMGEN+TBLCONST produce the HLI, the GCC-like back
-    end lowers the same source, imports the HLI by line mapping, and the
-    scheduler builds per-block DDGs querying both analyzers.  Every
-    configuration (±HLI × machine) is compiled from a fresh lowering so
-    schedules never contaminate each other. *)
+    [compile] mirrors Figure 3 of the paper: the front-end pipeline
+    (parse/typecheck → analysis → TBLCONST → serialize) runs once, then
+    the back-end pipeline (lower → [hli_import] → optional passes →
+    DDG scheduling) runs once per variant of {!Driver.Variant.matrix}.
+    Every variant lowers a fresh copy so schedules never contaminate
+    each other; with a {!Pool} the variants build concurrently.  Each
+    pass is automatically wrapped in its derived telemetry span.
+
+    Errors are {!Diagnostics.Diagnostic} values throughout — the table
+    harness turns them into annotated partial rows, [bin/hlic] renders
+    them with source locations and exits with a per-phase code. *)
+
+(** Per-run configuration: which optional passes run (in order, with
+    arguments) and which ablation knobs are flipped. *)
+type config = {
+  specs : Driver.Pass_manager.spec list;
+  ablation : Driver.Variant.ablation;
+}
+
+let default_config = { specs = []; ablation = Driver.Variant.baseline }
+
+(** [passes] shorthand: parse a [--passes] spec string into a config. *)
+let config_of_passes ?(ablation = Driver.Variant.baseline) passes =
+  { specs = Driver.Pass_manager.parse_specs passes; ablation }
 
 type compiled = {
   prog : Srclang.Tast.program;
   hli : Hli_core.Tables.hli_file;
   hli_bytes : int;
-  (* scheduled programs per (use_hli, machine) *)
-  rtl_gcc_r4600 : Backend.Rtl.program;
-  rtl_hli_r4600 : Backend.Rtl.program;
-  rtl_gcc_r10000 : Backend.Rtl.program;
-  rtl_hli_r10000 : Backend.Rtl.program;
-  stats : Backend.Ddg.stats;  (** query counts from one scheduling pass *)
+  config : config;
+  variants : (Driver.Variant.t * Driver.Pass.scheduled) list;
+      (** scheduled per variant, in {!Driver.Variant.matrix} order *)
+  stats : Backend.Ddg.stats;  (** query counts from the stats variant *)
   map_unmapped : int;  (** memory refs the mapping could not cover *)
   map_duplicates : int;  (** duplicate HLI item ids found while indexing *)
+  map_dropped : int;  (** HLI entries whose unit has no RTL function *)
 }
 
-exception Compile_error of string
+let scheduled_of (c : compiled) (v : Driver.Variant.t) : Driver.Pass.scheduled =
+  match List.assoc_opt v c.variants with
+  | Some s -> s
+  | None ->
+      Diagnostics.error ~code:"E1011" ~phase:Diagnostics.Driver
+        "no variant %s in this compilation" (Driver.Variant.name v)
 
+let rtl_of c v = (scheduled_of c v).Driver.Pass.s_rtl
+
+(* named accessors for the four paper variants (the seed's record
+   fields, now just points of the matrix) *)
+let variant ~alias ~machine = { Driver.Variant.alias; machine }
+
+let rtl_gcc_r4600 c =
+  rtl_of c (variant ~alias:Backend.Ddg.Gcc_only ~machine:Driver.Variant.R4600)
+
+let rtl_hli_r4600 c =
+  rtl_of c (variant ~alias:Backend.Ddg.With_hli ~machine:Driver.Variant.R4600)
+
+let rtl_gcc_r10000 c =
+  rtl_of c (variant ~alias:Backend.Ddg.Gcc_only ~machine:Driver.Variant.R10000)
+
+let rtl_hli_r10000 c =
+  rtl_of c (variant ~alias:Backend.Ddg.With_hli ~machine:Driver.Variant.R10000)
+
+(** Notes emitted by the optional passes of the stats variant (what CSE
+    eliminated, what LICM hoisted, ...). *)
+let pass_notes c =
+  (scheduled_of c Driver.Variant.stats_variant).Driver.Pass.s_notes
+
+let spanf ?tm () =
+  { Driver.Pass.spanf = (fun name f -> Telemetry.span ?tm name f) }
+
+(** Build the HLI entries of a program (front-end pipeline only, no
+    serialization) — used by benchmarks and tests that want entries
+    without a full compile. *)
 let build_hli_entries ?(opts = Hligen.Tblconst.default_options) ?tm prog =
   let ctx =
     Telemetry.span ?tm "frontend.analysis" (fun () ->
@@ -35,241 +87,94 @@ let build_hli_entries ?(opts = Hligen.Tblconst.default_options) ?tm prog =
           e)
         prog.Srclang.Tast.funcs)
 
-(* lower a fresh copy and attach HLI maps per function *)
-let lower_and_map ?tm prog entries =
-  let rtl =
-    Telemetry.span ?tm "backend.lower" (fun () ->
-        Backend.Lower.lower_program prog)
-  in
-  Telemetry.span ?tm "backend.hli_import" @@ fun () ->
-  let maps = Hashtbl.create 16 in
-  let unmapped = ref 0 in
-  let duplicates = ref 0 in
-  List.iter
-    (fun (e : Hli_core.Tables.hli_entry) ->
-      match Backend.Rtl.find_fn rtl e.Hli_core.Tables.unit_name with
-      | Some fn ->
-          let m = Backend.Hli_import.map_unit e fn in
-          unmapped := !unmapped + m.Backend.Hli_import.unmapped_insns;
-          duplicates := !duplicates + List.length m.Backend.Hli_import.dup_items;
-          Hashtbl.replace maps e.Hli_core.Tables.unit_name m
-      | None -> ())
-    entries;
-  (rtl, maps, !unmapped, !duplicates)
-
-let schedule ~mode ~maps ~md rtl =
-  let hli_of_fn name = Hashtbl.find_opt maps name in
-  Backend.Sched.schedule_program ~mode ~hli_of_fn ~md rtl
-
-(** Optional optimization passes run between HLI import and scheduling
-    (each exercises a maintenance scenario from Section 3.2.3). *)
-type passes = {
-  p_cse : bool;
-  p_licm : bool;
-  p_unroll : int option;  (** unroll factor for eligible loops *)
-}
-
-let no_passes = { p_cse = false; p_licm = false; p_unroll = None }
-
-type pass_stats = {
-  ps_cse : Backend.Cse.stats;
-  ps_licm : Backend.Licm.stats;
-  ps_unroll : Backend.Unroll.stats;
-}
-
-(* Run the optional passes over one function, with or without HLI.
-   When HLI is in play, a maintenance session keeps the entry in sync
-   and the refreshed map replaces the old one. *)
-let run_passes ~passes ~use_hli (entries : Hli_core.Tables.hli_entry list)
-    (rtl : Backend.Rtl.program) maps : Backend.Rtl.program * pass_stats =
-  let cse_stats = Backend.Cse.fresh_stats () in
-  let licm_stats = Backend.Licm.fresh_stats () in
-  let unroll_stats = Backend.Unroll.fresh_stats () in
-  let fns =
-    List.map
-      (fun fn ->
-        let name = fn.Backend.Rtl.fname in
-        let hli = if use_hli then Hashtbl.find_opt maps name else None in
-        (* a maintenance session is only needed when the HLI is in
-           play: non-HLI variants must not pay for Maintain.start *)
-        let mt =
-          if use_hli then
-            Option.map Hli_core.Maintain.start
-              (List.find_opt
-                 (fun (e : Hli_core.Tables.hli_entry) ->
-                   e.Hli_core.Tables.unit_name = name)
-                 entries)
-          else None
-        in
-        (* passes query through the imported index while transactions
-           edit the entry: watch it so its memos can never go stale *)
-        (match (mt, hli) with
-        | Some m, Some h ->
-            Hli_core.Maintain.watch m h.Backend.Hli_import.index
-        | _ -> ());
-        if passes.p_cse then begin
-          let s = Backend.Cse.run_fn ?hli ?maintain:mt fn in
-          cse_stats.Backend.Cse.alu_eliminated <-
-            cse_stats.Backend.Cse.alu_eliminated + s.Backend.Cse.alu_eliminated;
-          cse_stats.Backend.Cse.loads_eliminated <-
-            cse_stats.Backend.Cse.loads_eliminated + s.Backend.Cse.loads_eliminated;
-          cse_stats.Backend.Cse.call_purges <-
-            cse_stats.Backend.Cse.call_purges + s.Backend.Cse.call_purges;
-          cse_stats.Backend.Cse.call_survivals <-
-            cse_stats.Backend.Cse.call_survivals + s.Backend.Cse.call_survivals
-        end;
-        if passes.p_licm then begin
-          let s = Backend.Licm.run_fn ?hli ?maintain:mt fn in
-          licm_stats.Backend.Licm.hoisted_loads <-
-            licm_stats.Backend.Licm.hoisted_loads + s.Backend.Licm.hoisted_loads;
-          licm_stats.Backend.Licm.hoisted_alu <-
-            licm_stats.Backend.Licm.hoisted_alu + s.Backend.Licm.hoisted_alu;
-          licm_stats.Backend.Licm.blocked_by_alias <-
-            licm_stats.Backend.Licm.blocked_by_alias
-            + s.Backend.Licm.blocked_by_alias
-        end;
-        let fn =
-          match passes.p_unroll with
-          | Some factor when factor >= 2 ->
-              let s = Backend.Unroll.run_fn ?maintain:mt ~factor fn in
-              unroll_stats.Backend.Unroll.unrolled <-
-                unroll_stats.Backend.Unroll.unrolled + s.Backend.Unroll.unrolled;
-              unroll_stats.Backend.Unroll.copies_made <-
-                unroll_stats.Backend.Unroll.copies_made
-                + s.Backend.Unroll.copies_made;
-              Backend.Unroll.refresh fn
-          | _ -> fn
-        in
-        (* refresh the query index after maintenance *)
-        (match (mt, hli) with
-        | Some m, Some _ ->
-            let entry', _ = Hli_core.Maintain.commit m in
-            Hashtbl.replace maps name
-              {
-                (Hashtbl.find maps name) with
-                Backend.Hli_import.index = Hli_core.Query.build entry';
-              }
-        | _ -> ());
-        fn)
-      rtl.Backend.Rtl.fns
-  in
-  ( { rtl with Backend.Rtl.fns = fns },
-    { ps_cse = cse_stats; ps_licm = licm_stats; ps_unroll = unroll_stats } )
-
-(** Compile a source program into all four scheduled variants.
-    [passes] optionally interposes CSE/LICM/unrolling (with HLI
-    maintenance on the HLI variants) before scheduling.
-
-    The four variants are independent (each lowers a fresh copy), so
-    when [pool] is given they are built concurrently; [tm] charges
-    per-stage spans to a {!Telemetry} record.
+(** Compile a source program into all matrix variants.
 
     Only the [With_hli] variants import the HLI and issue (counted)
     queries — the [Gcc_only] baselines never touch HLI lookups, and
     Table 2's measurement stream comes from exactly one pass (the
-    With_hli/R10000 one, whose [stats] this record carries). *)
-let compile ?(opts = Hligen.Tblconst.default_options) ?(passes = no_passes)
-    ?pool ?tm (src : string) : compiled =
-  let prog =
-    Telemetry.span ?tm "frontend.parse_typecheck" @@ fun () ->
-    try Srclang.Typecheck.program_of_string src with
-    | Srclang.Typecheck.Error (msg, loc) ->
-        raise (Compile_error (Fmt.str "type error at %a: %s" Srclang.Loc.pp loc msg))
-    | Srclang.Parser.Error (msg, loc) ->
-        raise (Compile_error (Fmt.str "parse error at %a: %s" Srclang.Loc.pp loc msg))
-    | Srclang.Lexer.Error (msg, loc) ->
-        raise (Compile_error (Fmt.str "lex error at %a: %s" Srclang.Loc.pp loc msg))
+    {!Driver.Variant.stats_variant}, whose [stats] this record
+    carries). *)
+let compile ?(config = default_config) ?src_file ?pool ?tm (src : string) :
+    compiled =
+  let spanf = spanf ?tm () in
+  let fctx = Driver.Pass.ctx ~spanf ~ablation:config.ablation () in
+  let h =
+    Driver.Pass_manager.run_frontend fctx { Driver.Pass.src; src_file }
   in
-  let entries = build_hli_entries ~opts ?tm prog in
-  let hli = { Hli_core.Tables.entries } in
-  let hli_bytes =
-    Telemetry.span ?tm "hli.serialize" (fun () ->
-        Hli_core.Serialize.size_bytes hli)
+  let hli = { Hli_core.Tables.entries = h.Driver.Pass.h_entries } in
+  let mk v =
+    let ctx =
+      Driver.Pass.ctx ~spanf ~variant:v ~ablation:config.ablation ()
+    in
+    (v, Driver.Pass_manager.run_backend ctx config.specs h)
   in
-  let mk (mode, md) =
-    let use_hli = mode = Backend.Ddg.With_hli in
-    let rtl, maps, unmapped, duplicates =
-      if use_hli then lower_and_map ?tm prog entries
-      else
-        (* baseline: no HLI import, no query index, empty maps *)
-        let rtl =
-          Telemetry.span ?tm "backend.lower" (fun () ->
-              Backend.Lower.lower_program prog)
-        in
-        (rtl, Hashtbl.create 1, 0, 0)
-    in
-    let rtl, _ =
-      Telemetry.span ?tm "backend.passes" (fun () ->
-          run_passes ~passes ~use_hli entries rtl maps)
-    in
-    let stats =
-      Telemetry.span ?tm "backend.ddg_schedule" (fun () ->
-          schedule ~mode ~maps ~md rtl)
-    in
-    (rtl, stats, unmapped, duplicates)
+  let variants = Pool.map_opt pool mk Driver.Variant.matrix in
+  let stats_s =
+    match List.assoc_opt Driver.Variant.stats_variant variants with
+    | Some s -> s
+    | None -> assert false (* the matrix always contains the stats variant *)
   in
-  match
-    Pool.map_opt pool mk
-      [
-        (Backend.Ddg.Gcc_only, Backend.Machdesc.r4600);
-        (Backend.Ddg.With_hli, Backend.Machdesc.r4600);
-        (Backend.Ddg.Gcc_only, Backend.Machdesc.r10000);
-        (Backend.Ddg.With_hli, Backend.Machdesc.r10000);
-      ]
-  with
-  | [
-   (rtl_gcc_r4600, _, _, _);
-   (rtl_hli_r4600, _, _, _);
-   (rtl_gcc_r10000, _, _, _);
-   (rtl_hli_r10000, stats, map_unmapped, map_duplicates);
-  ] ->
-      {
-        prog;
-        hli;
-        hli_bytes;
-        rtl_gcc_r4600;
-        rtl_hli_r4600;
-        rtl_gcc_r10000;
-        rtl_hli_r10000;
-        stats;
-        map_unmapped;
-        map_duplicates;
-      }
-  | _ -> assert false
+  {
+    prog = h.Driver.Pass.h_prog;
+    hli;
+    hli_bytes = h.Driver.Pass.h_bytes;
+    config;
+    variants;
+    stats = stats_s.Driver.Pass.s_stats;
+    map_unmapped = stats_s.Driver.Pass.s_unmapped;
+    map_duplicates = stats_s.Driver.Pass.s_duplicates;
+    map_dropped = stats_s.Driver.Pass.s_dropped;
+  }
 
 type measured = {
-  r4600_gcc : Machine.Simulate.report;
-  r4600_hli : Machine.Simulate.report;
-  r10000_gcc : Machine.Simulate.report;
-  r10000_hli : Machine.Simulate.report;
+  reports : (Driver.Variant.t * Machine.Simulate.report) list;
+      (** in {!Driver.Variant.matrix} order *)
 }
 
-(** Run all four variants ([pool]: concurrently); checks that the
-    HLI-scheduled binaries produce byte-identical output (scheduling
-    must not change semantics). *)
+let report_of (m : measured) (v : Driver.Variant.t) : Machine.Simulate.report =
+  match List.assoc_opt v m.reports with
+  | Some r -> r
+  | None ->
+      Diagnostics.error ~code:"E1011" ~phase:Diagnostics.Driver
+        "no variant %s in this measurement" (Driver.Variant.name v)
+
+let r4600_gcc m =
+  report_of m (variant ~alias:Backend.Ddg.Gcc_only ~machine:Driver.Variant.R4600)
+
+let r4600_hli m =
+  report_of m (variant ~alias:Backend.Ddg.With_hli ~machine:Driver.Variant.R4600)
+
+let r10000_gcc m =
+  report_of m (variant ~alias:Backend.Ddg.Gcc_only ~machine:Driver.Variant.R10000)
+
+let r10000_hli m =
+  report_of m (variant ~alias:Backend.Ddg.With_hli ~machine:Driver.Variant.R10000)
+
+(** Run every variant through the [simulate] pass ([pool]:
+    concurrently); checks that the HLI-scheduled binaries produce
+    byte-identical output per machine (scheduling must not change
+    semantics). *)
 let measure ?(fuel = 400_000_000) ?pool ?tm (c : compiled) : measured =
-  let sim (machine, rtl) =
-    Telemetry.span ?tm "machine.simulate" (fun () ->
-        Machine.Simulate.run ~fuel machine rtl)
+  let spanf = spanf ?tm () in
+  let sim (v, s) =
+    let ctx =
+      Driver.Pass.ctx ~spanf ~variant:v ~ablation:c.config.ablation ~fuel ()
+    in
+    (v, Driver.Pass_manager.simulate ctx s)
   in
-  match
-    Pool.map_opt pool sim
-      [
-        (Machine.Simulate.R4600, c.rtl_gcc_r4600);
-        (Machine.Simulate.R4600, c.rtl_hli_r4600);
-        (Machine.Simulate.R10000, c.rtl_gcc_r10000);
-        (Machine.Simulate.R10000, c.rtl_hli_r10000);
-      ]
-  with
-  | [ r4600_gcc; r4600_hli; r10000_gcc; r10000_hli ] ->
-      if r4600_gcc.Machine.Simulate.output <> r4600_hli.Machine.Simulate.output
-      then raise (Compile_error "HLI schedule changed program output (R4600)");
-      if
-        r10000_gcc.Machine.Simulate.output
-        <> r10000_hli.Machine.Simulate.output
-      then raise (Compile_error "HLI schedule changed program output (R10000)");
-      { r4600_gcc; r4600_hli; r10000_gcc; r10000_hli }
-  | _ -> assert false
+  let reports = Pool.map_opt pool sim c.variants in
+  List.iter
+    (fun machine ->
+      let out alias =
+        (List.assoc { Driver.Variant.alias; machine } reports)
+          .Machine.Simulate.output
+      in
+      if out Backend.Ddg.Gcc_only <> out Backend.Ddg.With_hli then
+        Diagnostics.error ~code:"E0901" ~phase:Diagnostics.Sim
+          "HLI schedule changed program output (%s)"
+          (Driver.Variant.machine_name machine))
+    Driver.Variant.machines;
+  { reports }
 
 (** [base] cycles over [opt] cycles; a degenerate run on either side
     (0 cycles, e.g. after an aborted simulation) reports a neutral

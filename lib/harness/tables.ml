@@ -1,11 +1,13 @@
 (** Experiment drivers reproducing the paper's Table 1 and Table 2.
 
     {!run_workload} is robust: a workload whose simulation runs out of
-    fuel (or hits a runtime error) yields a partial row carrying a
-    failure annotation instead of aborting the whole reproduction run;
-    its compile-side columns are still valid.  {!run_all} fans the
-    workloads out across an optional {!Pool} — the row list (and thus
-    the printed tables) is byte-identical to a sequential run. *)
+    fuel (hits a runtime error, or raises a compile-phase
+    {!Diagnostics.Diagnostic}) yields a partial row carrying a failure
+    annotation instead of aborting the whole reproduction run; for a
+    simulation failure its compile-side columns are still valid.
+    {!run_all} fans the workloads out across an optional {!Pool} — the
+    row list (and thus the printed tables) is byte-identical to a
+    sequential run. *)
 
 type row = {
   w : Workloads.Workload.t;
@@ -17,57 +19,77 @@ type row = {
   dyn_insns : int;
   unmapped : int;  (** memory refs the HLI mapping could not cover *)
   duplicates : int;  (** duplicate HLI item ids found while indexing *)
+  dropped : int;  (** HLI entries whose unit has no RTL function *)
   failure : string option;
-      (** [Some reason] when simulation aborted; speedups are then 1.0
-          placeholders and excluded from the mean rows *)
+      (** [Some reason] when compilation or simulation aborted;
+          speedups are then 1.0 placeholders and excluded from the
+          mean rows *)
   tm : Telemetry.t;  (** per-stage spans/counters for this workload *)
 }
 
-let run_workload ?(fuel = 400_000_000) ?pool ?tm (w : Workloads.Workload.t) :
-    row =
+let run_workload ?(fuel = 400_000_000) ?(config = Pipeline.default_config)
+    ?pool ?tm (w : Workloads.Workload.t) : row =
   let tm = match tm with Some t -> t | None -> Telemetry.create () in
-  let c = Pipeline.compile ?pool ~tm w.Workloads.Workload.source in
   let base =
     {
       w;
       lines = Workloads.Workload.line_count w;
-      hli_bytes = c.Pipeline.hli_bytes;
-      stats = c.Pipeline.stats;
+      hli_bytes = 0;
+      stats = Backend.Ddg.fresh_stats ();
       sp_r4600 = 1.0;
       sp_r10000 = 1.0;
       dyn_insns = 0;
-      unmapped = c.Pipeline.map_unmapped;
-      duplicates = c.Pipeline.map_duplicates;
+      unmapped = 0;
+      duplicates = 0;
+      dropped = 0;
       failure = None;
       tm;
     }
   in
-  match Pipeline.measure ~fuel ?pool ~tm c with
-  | m ->
-      {
-        base with
-        sp_r4600 =
-          Pipeline.speedup ~base:m.Pipeline.r4600_gcc ~opt:m.Pipeline.r4600_hli;
-        sp_r10000 =
-          Pipeline.speedup ~base:m.Pipeline.r10000_gcc
-            ~opt:m.Pipeline.r10000_hli;
-        dyn_insns = m.Pipeline.r4600_gcc.Machine.Simulate.dyn_insns;
-      }
-  | exception Machine.Exec.Out_of_fuel ->
-      { base with failure = Some "out of fuel" }
-  | exception Machine.Exec.Runtime_error msg ->
-      { base with failure = Some ("runtime error: " ^ msg) }
+  match Pipeline.compile ~config ?pool ~tm w.Workloads.Workload.source with
+  | exception Diagnostics.Diagnostic d ->
+      { base with failure = Some (Diagnostics.to_string d) }
+  | c -> (
+      let base =
+        {
+          base with
+          hli_bytes = c.Pipeline.hli_bytes;
+          stats = c.Pipeline.stats;
+          unmapped = c.Pipeline.map_unmapped;
+          duplicates = c.Pipeline.map_duplicates;
+          dropped = c.Pipeline.map_dropped;
+        }
+      in
+      match Pipeline.measure ~fuel ?pool ~tm c with
+      | m ->
+          {
+            base with
+            sp_r4600 =
+              Pipeline.speedup ~base:(Pipeline.r4600_gcc m)
+                ~opt:(Pipeline.r4600_hli m);
+            sp_r10000 =
+              Pipeline.speedup ~base:(Pipeline.r10000_gcc m)
+                ~opt:(Pipeline.r10000_hli m);
+            dyn_insns = (Pipeline.r4600_gcc m).Machine.Simulate.dyn_insns;
+          }
+      | exception Machine.Exec.Out_of_fuel ->
+          { base with failure = Some "out of fuel" }
+      | exception Machine.Exec.Runtime_error msg ->
+          { base with failure = Some ("runtime error: " ^ msg) }
+      | exception Diagnostics.Diagnostic d ->
+          { base with failure = Some (Diagnostics.to_string d) })
 
 (** Run a list of workloads, optionally fanning them out across
     [pool]; results come back in input order.  [progress] is called as
     each workload starts (on the running domain, so under a pool the
     call order is nondeterministic — keep it on stderr). *)
-let run_all ?fuel ?pool ?(progress = fun (_ : Workloads.Workload.t) -> ())
+let run_all ?fuel ?config ?pool
+    ?(progress = fun (_ : Workloads.Workload.t) -> ())
     (ws : Workloads.Workload.t list) : row list =
   Pool.map_opt pool
     (fun w ->
       progress w;
-      run_workload ?fuel ?pool w)
+      run_workload ?fuel ?config ?pool w)
     ws
 
 let reduction (s : Backend.Ddg.stats) =
@@ -95,9 +117,12 @@ let table1_row (r : row) =
     ((if r.unmapped > 0 then
         Printf.sprintf "  !! %d unmapped refs" r.unmapped
       else "")
+    ^ (if r.duplicates > 0 then
+         Printf.sprintf "  !! %d duplicate HLI items" r.duplicates
+       else "")
     ^
-    if r.duplicates > 0 then
-      Printf.sprintf "  !! %d duplicate HLI items" r.duplicates
+    if r.dropped > 0 then
+      Printf.sprintf "  !! %d dropped HLI units" r.dropped
     else "")
 
 let table2_header =
@@ -239,10 +264,12 @@ let stats_table (rows : row list) =
   Buffer.contents buf
 
 (** Machine-readable dump: schema {!Telemetry.schema_version}
-    ([hli-telemetry-v2]).  Per workload: failure annotation, unmapped
-    and duplicate counts, dependence-query stats, and the {!Telemetry}
-    spans/counters; plus the process-wide per-kind HLI query counters
-    and the [query_cache] hit/miss/invalidation counters added in v2. *)
+    ([hli-telemetry-v3]).  Per workload: failure annotation, unmapped,
+    duplicate and dropped counts, dependence-query stats, and the
+    {!Telemetry} spans/counters; plus the process-wide per-kind HLI
+    query counters and the [query_cache] hit/miss/invalidation
+    counters added in v2.  v3 added the per-workload [dropped] count
+    and the per-pass backend spans. *)
 let stats_json (rows : row list) =
   let b = Buffer.create 4096 in
   Buffer.add_string b
@@ -266,12 +293,13 @@ let stats_json (rows : row list) =
       let s = r.stats in
       Buffer.add_string b
         (Printf.sprintf
-           "{\"name\":\"%s\",\"failure\":%s,\"unmapped\":%d,\"duplicates\":%d,\"dep_queries\":{\"total\":%d,\"gcc_yes\":%d,\"hli_yes\":%d,\"combined_yes\":%d},%s}"
+           "{\"name\":\"%s\",\"failure\":%s,\"unmapped\":%d,\"duplicates\":%d,\"dropped\":%d,\"dep_queries\":{\"total\":%d,\"gcc_yes\":%d,\"hli_yes\":%d,\"combined_yes\":%d},%s}"
            (Telemetry.json_escape r.w.Workloads.Workload.name)
            (match r.failure with
            | None -> "null"
            | Some f -> "\"" ^ Telemetry.json_escape f ^ "\"")
-           r.unmapped r.duplicates s.Backend.Ddg.total s.Backend.Ddg.gcc_yes
+           r.unmapped r.duplicates r.dropped s.Backend.Ddg.total
+           s.Backend.Ddg.gcc_yes
            s.Backend.Ddg.hli_yes s.Backend.Ddg.combined_yes
            (Telemetry.json_fragment r.tm)))
     rows;

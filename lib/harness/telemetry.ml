@@ -20,20 +20,10 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
 }
 
-(** Pipeline stage names, in pipeline order (ISSUE/DESIGN telemetry
-    schema). *)
-let stage_order =
-  [
-    "frontend.parse_typecheck";
-    "frontend.analysis";
-    "hligen.tblconst";
-    "hli.serialize";
-    "backend.lower";
-    "backend.hli_import";
-    "backend.passes";
-    "backend.ddg_schedule";
-    "machine.simulate";
-  ]
+(** Pipeline stage names, in pipeline order — derived from the pass
+    registry (each pass's span is [prefix ^ "." ^ name]), so a newly
+    registered pass shows up here without hand-maintenance. *)
+let stage_order = Driver.Pass_manager.span_names
 
 let create () : t =
   {
@@ -160,8 +150,11 @@ let to_json (t : t) = "{" ^ json_fragment t ^ "}"
 (* ------------------------------------------------------------------ *)
 
 (** Schema tag of [--stats-json] dumps.  v2 added the process-wide
-    [query_cache] object and the per-workload [duplicates] count. *)
-let schema_version = "hli-telemetry-v2"
+    [query_cache] object and the per-workload [duplicates] count; v3
+    added the per-workload [dropped] count (HLI entries whose unit has
+    no RTL function) and per-pass spans ([backend.cse]/[licm]/[unroll]
+    replace the aggregate [backend.passes]). *)
+let schema_version = "hli-telemetry-v3"
 
 (* first "schema" key in the dump (the emitters put it first) and its
    string value, scanned tolerantly so a pretty-printed dump still

@@ -11,15 +11,23 @@
     - [merge_parent_classes] (default true): merge same-variable classes
       when propagating to the parent region, which is what keeps the HLI
       small (Figure 2's single [b\[0..9\]] class in Region 1).  Turning
-      it off is the precision/size ablation of DESIGN.md. *)
+      it off is the precision/size ablation of DESIGN.md.
+    - [routine_only_regions] (default false): flatten each unit's region
+      tree to the routine region before building tables — no loop
+      regions, hence no LCDDs (DESIGN.md §5's region-granularity
+      ablation). *)
 
 open Srclang
 open Analysis
 module T = Hli_core.Tables
 
-type options = { merge_parent_classes : bool }
+type options = {
+  merge_parent_classes : bool;
+  routine_only_regions : bool;
+}
 
-let default_options = { merge_parent_classes = true }
+let default_options =
+  { merge_parent_classes = true; routine_only_regions = false }
 
 type context = {
   opts : options;
@@ -670,6 +678,10 @@ let line_table_of_items (u : Frontir.Itemgen.unit_items) : T.line_table =
 let build_unit (ctx : context) (f : Tast.func) : T.hli_entry * Frontir.Itemgen.unit_items * Frontir.Region.t =
   let u, next = Frontir.Itemgen.of_func f in
   let region = Frontir.Region.of_func f in
+  let region =
+    if ctx.opts.routine_only_regions then Frontir.Region.routine_only region
+    else region
+  in
   let next_id = ref next in
   let built = build_region ctx u next_id region in
   let regions =

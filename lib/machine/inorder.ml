@@ -17,9 +17,9 @@ type t = {
   mutable insns : int;
 }
 
-let make () =
+let make ?(md = Backend.Machdesc.r4600) () =
   {
-    md = Backend.Machdesc.r4600;
+    md;
     cache = Cache.r4600 ();
     reg_ready = Hashtbl.create 1024;
     last_issue = 0;

@@ -43,9 +43,9 @@ type t = {
 
 let window = 32
 
-let make () =
+let make ?(md = Backend.Machdesc.r10000) () =
   {
-    md = Backend.Machdesc.r10000;
+    md;
     cache = Cache.r10000 ();
     reg_ready = Hashtbl.create 1024;
     rob =

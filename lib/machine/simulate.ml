@@ -16,11 +16,14 @@ type report = {
 
 let machine_name = function R4600 -> "R4600" | R10000 -> "R10000"
 
-let run ?(fuel = 400_000_000) (machine : machine) (prog : Backend.Rtl.program) :
-    report =
+(** [md] overrides the machine description (default: the machine's own
+    — {!Backend.Machdesc.r4600}/[r10000]); ablations use it to flip
+    single knobs such as LSQ load blocking. *)
+let run ?(fuel = 400_000_000) ?md (machine : machine)
+    (prog : Backend.Rtl.program) : report =
   match machine with
   | R4600 ->
-      let m = Inorder.make () in
+      let m = Inorder.make ?md () in
       let res = Exec.run ~fuel ~hook:(Inorder.hook m) prog in
       let h, mi = Cache.l1_stats m.Inorder.cache in
       {
@@ -34,7 +37,7 @@ let run ?(fuel = 400_000_000) (machine : machine) (prog : Backend.Rtl.program) :
         lsq_stalls = 0;
       }
   | R10000 ->
-      let m = Ooo.make () in
+      let m = Ooo.make ?md () in
       let res = Exec.run ~fuel ~hook:(Ooo.hook m) prog in
       let h, mi = Cache.l1_stats m.Ooo.cache in
       {

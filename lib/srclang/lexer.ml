@@ -5,7 +5,10 @@
     comments are supported.  The lexer never backtracks more than one
     character. *)
 
-exception Error of string * Loc.t
+(* lexical errors are structured diagnostics, code E0101 *)
+let err (l : Loc.t) fmt =
+  Diagnostics.error ~line:l.Loc.line ~col:l.Loc.col ~code:"E0101"
+    ~phase:Diagnostics.Lex fmt
 
 type state = {
   src : string;
@@ -62,7 +65,7 @@ let rec skip_ws_and_comments st =
             | Some '*', Some '/' ->
                 advance st;
                 advance st
-            | None, _ -> raise (Error ("unterminated comment", start))
+            | None, _ -> err start "unterminated comment"
             | Some _, _ ->
                 advance st;
                 to_close ()
@@ -118,13 +121,13 @@ let lex_number st =
     let text = String.sub st.src start (st.pos - start) in
     match float_of_string_opt text with
     | Some f -> Token.FLOAT_LIT f
-    | None -> raise (Error ("bad float literal " ^ text, start_loc))
+    | None -> err start_loc "bad float literal %s" text
   end
   else
     let text = String.sub st.src start (st.pos - start) in
     match int_of_string_opt text with
     | Some n -> Token.INT_LIT n
-    | None -> raise (Error ("bad int literal " ^ text, start_loc))
+    | None -> err start_loc "bad int literal %s" text
 
 let lex_ident st =
   let start = st.pos in
@@ -187,7 +190,7 @@ let lex_op st c =
   | ']', _ -> one Token.RBRACKET
   | ';', _ -> one Token.SEMI
   | ',', _ -> one Token.COMMA
-  | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, l))
+  | _ -> err l "unexpected character %C" c
 
 let next_token st =
   skip_ws_and_comments st;

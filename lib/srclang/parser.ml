@@ -16,8 +16,6 @@
     Compound assignments and [++]/[--] are desugared into plain
     {!Ast.Sassign} so downstream passes see a single assignment form. *)
 
-exception Error of string * Loc.t
-
 type state = { toks : (Token.t * Loc.t) array; mutable cur : int }
 
 let make toks = { toks = Array.of_list toks; cur = 0 }
@@ -31,7 +29,11 @@ let peek_ahead st n =
 
 let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
 
-let err st msg = raise (Error (msg, peek_loc st))
+(* parse errors are structured diagnostics, code E0201 *)
+let err st msg =
+  let l = peek_loc st in
+  Diagnostics.error ~line:l.Loc.line ~col:l.Loc.col ~code:"E0201"
+    ~phase:Diagnostics.Parse "%s" msg
 
 let expect st tok =
   if Token.equal (peek st) tok then advance st
@@ -398,8 +400,8 @@ let parse_program st =
   in
   { Ast.tops = go [] }
 
-(** Parse a whole source string.  Raises {!Error} or {!Lexer.Error} on
-    malformed input. *)
+(** Parse a whole source string.  Raises {!Diagnostics.Diagnostic}
+    (codes E01xx/E02xx) on malformed input. *)
 let program_of_string src = parse_program (make (Lexer.tokenize src))
 
 (** Parse a single expression (used by tests). *)

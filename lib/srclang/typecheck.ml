@@ -11,9 +11,10 @@
     - record [addr_taken] on symbols whose address escapes, which is what
       the ITEMGEN rules use to decide pseudo-register promotion. *)
 
-exception Error of string * Loc.t
-
-let err loc fmt = Fmt.kstr (fun msg -> raise (Error (msg, loc))) fmt
+(* type errors are structured diagnostics, code E0301 *)
+let err (loc : Loc.t) fmt =
+  Diagnostics.error ~line:loc.Loc.line ~col:loc.Loc.col ~code:"E0301"
+    ~phase:Diagnostics.Typecheck fmt
 
 type fsig = { fs_ret : Types.t; fs_params : Types.t list }
 
@@ -30,7 +31,9 @@ let enter_scope env = env.scopes <- Hashtbl.create 16 :: env.scopes
 let leave_scope env =
   match env.scopes with
   | _ :: rest -> env.scopes <- rest
-  | [] -> invalid_arg "leave_scope: no open scope"
+  | [] ->
+      Diagnostics.error ~code:"E0302" ~phase:Diagnostics.Typecheck
+        "leave_scope: no open scope"
 
 let lookup_var env name =
   let rec go = function

@@ -294,7 +294,8 @@ let maintain_tests =
         let e = fig2_entry () in
         let m = Hli_core.Maintain.start e in
         match Hli_core.Maintain.unroll m ~rid:4 ~factor:1 with
-        | exception Invalid_argument _ -> ()
+        | exception Diagnostics.Diagnostic d ->
+            Alcotest.(check string) "code" "E0701" d.Diagnostics.code
         | _ -> Alcotest.fail "accepted factor 1");
   ]
 

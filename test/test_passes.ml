@@ -238,12 +238,10 @@ let integration_tests =
     (fun name ->
       Alcotest.test_case ("passes preserve " ^ name) `Slow (fun () ->
           let w = Option.get (Workloads.Registry.find name) in
-          let passes =
-            { Harness.Pipeline.p_cse = true; p_licm = true; p_unroll = Some 2 }
-          in
-          let c = Harness.Pipeline.compile ~passes w.Workloads.Workload.source in
-          let r1 = Machine.Exec.run c.Harness.Pipeline.rtl_gcc_r4600 in
-          let r2 = Machine.Exec.run c.Harness.Pipeline.rtl_hli_r10000 in
+          let config = Harness.Pipeline.config_of_passes "cse,licm,unroll=2" in
+          let c = Harness.Pipeline.compile ~config w.Workloads.Workload.source in
+          let r1 = Machine.Exec.run (Harness.Pipeline.rtl_gcc_r4600 c) in
+          let r2 = Machine.Exec.run (Harness.Pipeline.rtl_hli_r10000 c) in
           Alcotest.(check string) "output" r1.Machine.Exec.output
             r2.Machine.Exec.output))
     [ "101.tomcatv"; "129.compress"; "048.ora" ]

@@ -97,15 +97,15 @@ int main()
 
 let arb_program = QCheck.make ~print:(fun s -> s) gen_program
 
-let outputs_agree ?(passes = Harness.Pipeline.no_passes) src =
-  match Harness.Pipeline.compile ~passes src with
-  | exception Harness.Pipeline.Compile_error _ -> false
+let outputs_agree ?(config = Harness.Pipeline.default_config) src =
+  match Harness.Pipeline.compile ~config src with
+  | exception Diagnostics.Diagnostic _ -> false
   | c ->
       let out rtl = (Machine.Exec.run rtl).Machine.Exec.output in
-      let o1 = out c.Harness.Pipeline.rtl_gcc_r4600 in
-      out c.Harness.Pipeline.rtl_hli_r4600 = o1
-      && out c.Harness.Pipeline.rtl_gcc_r10000 = o1
-      && out c.Harness.Pipeline.rtl_hli_r10000 = o1
+      let o1 = out (Harness.Pipeline.rtl_gcc_r4600 c) in
+      out (Harness.Pipeline.rtl_hli_r4600 c) = o1
+      && out (Harness.Pipeline.rtl_gcc_r10000 c) = o1
+      && out (Harness.Pipeline.rtl_hli_r10000 c) = o1
 
 let props =
   [
@@ -114,12 +114,12 @@ let props =
     QCheck.Test.make ~count:25 ~name:"CSE+LICM+unroll never change output"
       arb_program (fun src ->
         outputs_agree
-          ~passes:{ Harness.Pipeline.p_cse = true; p_licm = true; p_unroll = Some 2 }
+          ~config:(Harness.Pipeline.config_of_passes "cse,licm,unroll=2")
           src);
     QCheck.Test.make ~count:40 ~name:"item mapping is always total" arb_program
       (fun src ->
         match Harness.Pipeline.compile src with
-        | exception Harness.Pipeline.Compile_error _ -> false
+        | exception Diagnostics.Diagnostic _ -> false
         | c -> c.Harness.Pipeline.map_unmapped = 0);
   ]
 

@@ -25,9 +25,12 @@ let lexer_tests =
         let lines = List.map (fun (_, l) -> l.Loc.line) toks in
         Alcotest.(check (list int)) "lines" [ 1; 2; 3; 3 ] lines);
     Alcotest.test_case "unterminated comment" `Quick (fun () ->
-        Alcotest.check_raises "raises"
-          (Lexer.Error ("unterminated comment", Loc.make ~line:1 ~col:1))
-          (fun () -> ignore (Lexer.tokenize "/* oops")));
+        match Lexer.tokenize "/* oops" with
+        | exception Diagnostics.Diagnostic d ->
+            Alcotest.(check string) "code" "E0101" d.Diagnostics.code;
+            Alcotest.(check int) "line" 1 d.Diagnostics.line;
+            Alcotest.(check int) "col" 1 d.Diagnostics.col
+        | _ -> Alcotest.fail "expected a lex diagnostic");
   ]
 
 let pp_expr ppf (e : Ast.expr) =
@@ -90,8 +93,9 @@ let parser_tests =
         | _ -> Alcotest.fail "param did not decay");
     Alcotest.test_case "parse error has location" `Quick (fun () ->
         match Parser.program_of_string "int f() { return + ; }" with
-        | exception Parser.Error (_, loc) ->
-            Alcotest.(check int) "line" 1 loc.Loc.line
+        | exception Diagnostics.Diagnostic d ->
+            Alcotest.(check string) "code" "E0201" d.Diagnostics.code;
+            Alcotest.(check int) "line" 1 d.Diagnostics.line
         | _ -> Alcotest.fail "expected error");
   ]
 
@@ -146,13 +150,14 @@ let typecheck_tests =
         | _ -> Alcotest.fail "shape");
     Alcotest.test_case "undeclared variable rejected" `Quick (fun () ->
         match Typecheck.program_of_string "int f() { return nope; }" with
-        | exception Typecheck.Error (_, _) -> ()
+        | exception Diagnostics.Diagnostic d ->
+            Alcotest.(check string) "code" "E0301" d.Diagnostics.code
         | _ -> Alcotest.fail "accepted bad program");
     Alcotest.test_case "bad arity rejected" `Quick (fun () ->
         match
           Typecheck.program_of_string "int g(int a) { return a; }\nint f() { return g(); }"
         with
-        | exception Typecheck.Error (_, _) -> ()
+        | exception Diagnostics.Diagnostic _ -> ()
         | _ -> Alcotest.fail "accepted bad call");
     Alcotest.test_case "global initializers" `Quick (fun () ->
         let p = Typecheck.program_of_string "int a = -3;\ndouble b = 2;\nint main() { return 0; }" in

@@ -103,12 +103,14 @@ let json_tests =
           (has_sub json
              (Printf.sprintf "\"schema\":\"%s\""
                 Harness.Telemetry.schema_version));
-        Alcotest.(check bool) "schema is v2" true
-          (Harness.Telemetry.schema_version = "hli-telemetry-v2");
+        Alcotest.(check bool) "schema is v3" true
+          (Harness.Telemetry.schema_version = "hli-telemetry-v3");
         Alcotest.(check bool) "has query_cache" true
           (has_sub json "\"query_cache\":{");
         Alcotest.(check bool) "has duplicates" true
           (has_sub json "\"duplicates\":0");
+        Alcotest.(check bool) "has dropped" true
+          (has_sub json "\"dropped\":0");
         Alcotest.(check bool) "has failure" true
           (has_sub json "\"failure\":\"out of fuel\""));
     Alcotest.test_case "schema gate rejects a v1 dump specifically" `Quick

@@ -22,11 +22,11 @@ let workload_case (w : Workloads.Workload.t) =
         (s.Backend.Ddg.combined_yes <= s.Backend.Ddg.hli_yes);
       (* all four scheduled variants agree on the program's output *)
       let out rtl = (Machine.Exec.run rtl).Machine.Exec.output in
-      let o1 = out c.Harness.Pipeline.rtl_gcc_r4600 in
+      let o1 = out (Harness.Pipeline.rtl_gcc_r4600 c) in
       Alcotest.(check bool) "produces output" true (String.length o1 > 0);
-      Alcotest.(check string) "hli r4600" o1 (out c.Harness.Pipeline.rtl_hli_r4600);
-      Alcotest.(check string) "gcc r10000" o1 (out c.Harness.Pipeline.rtl_gcc_r10000);
-      Alcotest.(check string) "hli r10000" o1 (out c.Harness.Pipeline.rtl_hli_r10000))
+      Alcotest.(check string) "hli r4600" o1 (out (Harness.Pipeline.rtl_hli_r4600 c));
+      Alcotest.(check string) "gcc r10000" o1 (out (Harness.Pipeline.rtl_gcc_r10000 c));
+      Alcotest.(check string) "hli r10000" o1 (out (Harness.Pipeline.rtl_hli_r10000 c)))
 
 let registry_tests =
   [
