@@ -19,6 +19,15 @@
              dune exec bench/main.exe -- micro   (microbenchmarks only)
              dune exec bench/main.exe -- querybench
                                                  (query-throughput bench)
+             dune exec bench/main.exe -- serbench
+                                                 (serialization throughput,
+                                                 HLI1-vs-HLI2 container
+                                                 overhead, and the on-disk
+                                                 HLI cache cold/warm runs)
+             dune exec bench/main.exe -- emit-hli
+                                                 (write each workload's HLI2
+                                                 file under --out DIR, for
+                                                 hli_dump --check sweeps)
 
    Flags (tables mode):
      -j N                 domain-pool size (default: HLI_JOBS env, else
@@ -34,16 +43,20 @@
                           (baseline, merge-off, routine-regions,
                           hli-only, lsq-off)
      --list-passes        list the registered passes and exit
+     --hli-cache DIR      on-disk HLI cache directory for the compile
+                          stage (default: HLI_CACHE env; unset disables
+                          caching; also the serbench cache directory)
      --stats              print the per-stage telemetry table
-     --stats-json PATH    write the hli-telemetry-v3 JSON dump ("-" for
+     --stats-json PATH    write the hli-telemetry-v4 JSON dump ("-" for
                           stdout)
      --validate-json PATH check a JSON dump: telemetry schema version
                           first (an hli-telemetry-v1/v2 dump is
                           rejected with a version-specific message),
                           then the structural JSON check; exit 1 on
                           either (used by bench/smoke.sh)
-     --out PATH           querybench output file
-                          (default BENCH_queries.json)
+     --out PATH           querybench output file (default
+                          BENCH_queries.json) / emit-hli output
+                          directory (default _hli)
 
    querybench replays a deterministic query stream over the selected
    workloads' HLI entries against both the indexed Query engine and the
@@ -61,14 +74,16 @@ type cfg = {
   workloads : string list option;
   passes : string;
   ablation : string;
-  out : string;
+  out : string option;
+  hli_cache : string option;
 }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [tables|micro|querybench|all] [-j N] [--fuel N] \
-     [--workloads a,b,c] [--passes SPEC] [--ablation NAME] [--list-passes] \
-     [--stats] [--stats-json PATH] [--validate-json PATH] [--out PATH]";
+    "usage: main.exe [tables|micro|querybench|serbench|emit-hli|all] [-j N] \
+     [--fuel N] [--workloads a,b,c] [--passes SPEC] [--ablation NAME] \
+     [--list-passes] [--stats] [--stats-json PATH] [--validate-json PATH] \
+     [--hli-cache DIR] [--out PATH]";
   exit 2
 
 let parse_args () =
@@ -83,12 +98,14 @@ let parse_args () =
         workloads = None;
         passes = "";
         ablation = "baseline";
-        out = "BENCH_queries.json";
+        out = None;
+        hli_cache = Harness.Pipeline.hli_cache_env ();
       }
   in
   let rec loop = function
     | [] -> ()
-    | ("tables" | "micro" | "all" | "querybench") as m :: rest ->
+    | ("tables" | "micro" | "all" | "querybench" | "serbench" | "emit-hli") as m
+      :: rest ->
         cfg := { !cfg with mode = m };
         loop rest
     | "-j" :: n :: rest -> (
@@ -124,7 +141,10 @@ let parse_args () =
         print_string (Driver.Pass_manager.list_text ());
         exit 0
     | "--out" :: path :: rest ->
-        cfg := { !cfg with out = path };
+        cfg := { !cfg with out = Some path };
+        loop rest
+    | "--hli-cache" :: dir :: rest ->
+        cfg := { !cfg with hli_cache = (if dir = "" then None else Some dir) };
         loop rest
     | "--validate-json" :: path :: _ ->
         let ic =
@@ -175,7 +195,8 @@ let pipeline_config cfg =
             (String.concat ", " ("baseline" :: Driver.Variant.ablation_names))
     in
     { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs cfg.passes;
-      ablation }
+      ablation;
+      hli_cache = cfg.hli_cache }
   with Diagnostics.Diagnostic d ->
     Fmt.epr "%a@." Diagnostics.pp d;
     exit (Diagnostics.exit_code d)
@@ -570,8 +591,9 @@ let querybench cfg =
       Printf.eprintf "querybench: generated malformed JSON at byte %d: %s\n"
         pos msg;
       exit 1);
+  let out = Option.value ~default:"BENCH_queries.json" cfg.out in
   let oc =
-    try open_out_bin cfg.out
+    try open_out_bin out
     with Sys_error msg ->
       Printf.eprintf "--out: %s\n" msg;
       exit 1
@@ -579,7 +601,155 @@ let querybench cfg =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc json);
-  Printf.eprintf "wrote %s\n" cfg.out
+  Printf.eprintf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
+(* Serialization throughput + HLI cache benchmark (serbench)           *)
+(* ------------------------------------------------------------------ *)
+
+let workload_of_name ~mode name =
+  match Workloads.Registry.find name with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "%s: unknown workload %s\n" mode name;
+      exit 1
+
+(* Every workload's HLI through both encoders: the HLI1 payload bytes
+   (the paper's Table 1 metric) against the HLI2 container (explicit
+   option tags + per-entry length and CRC32), with encode/decode
+   throughput over the HLI2 bytes and a mandatory round-trip check. *)
+let serbench_sizes cfg =
+  let names =
+    match cfg.workloads with
+    | Some ns -> ns
+    | None -> List.map (fun w -> w.Workloads.Workload.name) Workloads.Registry.all
+  in
+  print_endline "== Serialization: HLI1 payload vs HLI2 container ==";
+  Printf.printf "%-14s %9s %9s %9s %11s %11s\n" "Benchmark" "HLI1(B)"
+    "HLI2(B)" "overhead" "enc MB/s" "dec MB/s";
+  let now = Harness.Telemetry.now_ns in
+  let t1 = ref 0 and t2 = ref 0 in
+  List.iter
+    (fun name ->
+      let w = workload_of_name ~mode:"serbench" name in
+      let prog =
+        Srclang.Typecheck.program_of_string w.Workloads.Workload.source
+      in
+      let entries = Harness.Pipeline.build_hli_entries prog in
+      let f = { Hli_core.Tables.entries } in
+      let v1 = Hli_core.Serialize.size_bytes f in
+      let bytes = Hli_core.Serialize.to_bytes f in
+      let v2 = String.length bytes in
+      if Hli_core.Serialize.of_bytes bytes <> f then begin
+        Printf.eprintf "serbench: %s: HLI2 round-trip mismatch\n" name;
+        exit 1
+      end;
+      t1 := !t1 + v1;
+      t2 := !t2 + v2;
+      let reps = 200 in
+      let time repf =
+        let t0 = now () in
+        for _ = 1 to reps do
+          repf ()
+        done;
+        Int64.sub (now ()) t0
+      in
+      let enc_ns = time (fun () -> ignore (Hli_core.Serialize.to_bytes f)) in
+      let dec_ns =
+        time (fun () -> ignore (Hli_core.Serialize.of_bytes bytes))
+      in
+      let mbps ns =
+        if Int64.compare ns 0L <= 0 then 0.0
+        else float_of_int (v2 * reps) /. (Int64.to_float ns /. 1e9) /. 1e6
+      in
+      Printf.printf "%-14s %9d %9d %8.1f%% %11.1f %11.1f\n" name v1 v2
+        (100.0 *. float_of_int (v2 - v1) /. float_of_int (max 1 v1))
+        (mbps enc_ns) (mbps dec_ns))
+    names;
+  Printf.printf "%-14s %9d %9d %8.1f%%\n" "total" !t1 !t2
+    (100.0 *. float_of_int (!t2 - !t1) /. float_of_int (max 1 !t1))
+
+(* Cold/warm compiles through the on-disk HLI cache: the cold run pays
+   analysis + TBLCONST and stores, the warm run replays the HLI2 file.
+   The two compiles must agree on the HLI (byte-identical tables are
+   the acceptance bar); hit/miss counts come from the per-run
+   telemetry. *)
+let serbench_cache cfg pool =
+  let dir =
+    match cfg.hli_cache with
+    | Some d -> d
+    | None -> Filename.concat (Filename.get_temp_dir_name ()) "hli-serbench-cache"
+  in
+  let names =
+    match cfg.workloads with
+    | Some ns -> ns
+    | None -> [ "101.tomcatv"; "015.doduc"; "129.compress" ]
+  in
+  Printf.printf "\n== On-disk HLI cache (dir: %s) ==\n" dir;
+  Printf.printf "%-14s %10s %10s %8s %5s %5s\n" "Benchmark" "cold ms"
+    "warm ms" "speedup" "hits" "miss";
+  let now = Harness.Telemetry.now_ns in
+  List.iter
+    (fun name ->
+      let w = workload_of_name ~mode:"serbench" name in
+      let src = w.Workloads.Workload.source in
+      let config =
+        { Harness.Pipeline.default_config with hli_cache = Some dir }
+      in
+      (* drop any stale entry so the first compile is genuinely cold *)
+      let path =
+        Harness.Pipeline.cache_path dir
+          ~ablation:config.Harness.Pipeline.ablation src
+      in
+      (try Sys.remove path with Sys_error _ -> ());
+      let timed () =
+        let tm = Harness.Telemetry.create () in
+        let t0 = now () in
+        let c = Harness.Pipeline.compile ~config ?pool ~tm src in
+        (c, Int64.sub (now ()) t0, tm)
+      in
+      let c1, cold_ns, tm1 = timed () in
+      let c2, warm_ns, tm2 = timed () in
+      if c1.Harness.Pipeline.hli <> c2.Harness.Pipeline.hli then begin
+        Printf.eprintf "serbench: %s: warm-cache HLI differs from cold\n" name;
+        exit 1
+      end;
+      let ms ns = Int64.to_float ns /. 1e6 in
+      Printf.printf "%-14s %10.2f %10.2f %7.2fx %5d %5d\n" name (ms cold_ns)
+        (ms warm_ns)
+        (if Int64.compare warm_ns 0L <= 0 then 0.0
+         else Int64.to_float cold_ns /. Int64.to_float warm_ns)
+        (Harness.Telemetry.counter tm2 "hli_cache_hits")
+        (Harness.Telemetry.counter tm1 "hli_cache_misses"))
+    names
+
+let serbench cfg pool =
+  serbench_sizes cfg;
+  serbench_cache cfg pool
+
+(* ------------------------------------------------------------------ *)
+(* emit-hli: one HLI2 file per workload (for hli_dump --check sweeps)  *)
+(* ------------------------------------------------------------------ *)
+
+let emit_hli cfg =
+  let dir = Option.value ~default:"_hli" cfg.out in
+  Harness.Pipeline.mkdir_p dir;
+  let ws =
+    match cfg.workloads with
+    | None -> Workloads.Registry.all
+    | Some names -> List.map (workload_of_name ~mode:"emit-hli") names
+  in
+  List.iter
+    (fun w ->
+      let prog =
+        Srclang.Typecheck.program_of_string w.Workloads.Workload.source
+      in
+      let entries = Harness.Pipeline.build_hli_entries prog in
+      let f = { Hli_core.Tables.entries } in
+      let path = Filename.concat dir (w.Workloads.Workload.name ^ ".hli") in
+      Hli_core.Serialize.write_file path f;
+      Printf.printf "%s\n" path)
+    ws
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                     *)
@@ -705,4 +875,6 @@ let () =
         end
       end;
       if cfg.mode = "micro" || cfg.mode = "all" then micro ();
-      if cfg.mode = "querybench" then querybench cfg)
+      if cfg.mode = "querybench" then querybench cfg;
+      if cfg.mode = "serbench" then serbench cfg pool;
+      if cfg.mode = "emit-hli" then emit_hli cfg)

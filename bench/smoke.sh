@@ -3,17 +3,27 @@
 #
 # Runs two small workloads through bench/main.exe both sequentially
 # (-j 1) and on a 4-domain pool, then checks that
-#   1. the Table 1/2 output is byte-identical between the two runs, and
+#   1. the Table 1/2 output is byte-identical between the two runs,
 #   2. the --stats-json telemetry dump is well-formed JSON
 #      (validated with the harness's own structural checker, since the
-#      container has no external JSON tooling).
+#      container has no external JSON tooling),
+#   3. every workload's emitted HLI2 file passes hli_dump --check
+#      (decode + structural validator), and
+#   4. a cold and a warm run through the on-disk HLI cache
+#      (--hli-cache) produce tables byte-identical to the uncached run,
+#      with the expected hit/miss counters in the telemetry dump.
 set -eu
 
-# dune runs us inside _build with a relative exe path; make it invocable
+# dune runs us inside _build with relative exe paths; make them invocable
 exe="$1"
 case "$exe" in
   /*) ;;
   *) exe="./$exe" ;;
+esac
+dump="$2"
+case "$dump" in
+  /*) ;;
+  *) dump="./$dump" ;;
 esac
 
 tmp="${TMPDIR:-/tmp}/hli-smoke-$$"
@@ -40,11 +50,44 @@ fi
 
 echo "smoke: OK (parallel == sequential, telemetry JSON valid)"
 
+# every workload's HLI2 file must decode and pass the structural
+# validator (the same checks hlic --lint-hli runs)
+"$exe" emit-hli --out "$tmp/hli" > /dev/null
+for f in "$tmp/hli"/*.hli; do
+  "$dump" --check "$f" > /dev/null \
+    || { echo "smoke: FAIL — hli_dump --check rejected $f" >&2; exit 1; }
+done
+echo "smoke: OK (hli_dump --check over all workloads)"
+
+# on-disk HLI cache: cold fills, warm replays; both runs' tables must
+# be byte-identical to the uncached run
+"$exe" tables --workloads "$WORKLOADS" -j 1 --hli-cache "$tmp/cache" \
+  --stats-json "$tmp/cold.json" > "$tmp/cold.out" 2>/dev/null
+"$exe" tables --workloads "$WORKLOADS" -j 1 --hli-cache "$tmp/cache" \
+  --stats-json "$tmp/warm.json" > "$tmp/warm.out" 2>/dev/null
+
+for run in cold warm; do
+  if ! cmp -s "$tmp/seq.out" "$tmp/$run.out"; then
+    echo "smoke: FAIL — $run-cache tables differ from the uncached run" >&2
+    diff "$tmp/seq.out" "$tmp/$run.out" >&2 || true
+    exit 1
+  fi
+  "$exe" --validate-json "$tmp/$run.json" > /dev/null \
+    || { echo "smoke: FAIL — malformed $run-cache --stats-json" >&2; exit 1; }
+done
+
+grep -q '"hli_cache":{"hits":0,"misses":2}' "$tmp/cold.json" \
+  || { echo "smoke: FAIL — cold run should report 0 hits / 2 misses" >&2; exit 1; }
+grep -q '"hli_cache":{"hits":2,"misses":0}' "$tmp/warm.json" \
+  || { echo "smoke: FAIL — warm run should report 2 hits / 0 misses" >&2; exit 1; }
+
+echo "smoke: OK (HLI cache cold/warm byte-identical, counters present)"
+
 # the query-engine microbench and ablation-config checks ride along
 # when their scripts are passed (the @smoke dune rule passes both;
 # @querybench / @ablation run them alone)
 main="$1"
-shift
+shift 2
 for script in "$@"; do
   sh "$script" "$main"
 done

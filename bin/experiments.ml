@@ -29,7 +29,8 @@ let run_tables only quick passes ablation list_passes =
       in
       let config =
         { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs passes;
-          ablation }
+          ablation;
+          hli_cache = Harness.Pipeline.hli_cache_env () }
       in
       let fuel = if quick then 20_000_000 else 400_000_000 in
       let rows =

@@ -1,27 +1,57 @@
-(* hli_dump — inspect a serialized HLI file.
+(* hli_dump — inspect a serialized HLI file (HLI1 or HLI2 container).
 
-   Prints the line table and region tables of every program unit, and
-   verifies the binary round-trip. *)
+   Prints the line table and region tables of every program unit;
+   --verify checks the binary round-trip, --check runs the structural
+   validator (lib/core/validate.ml) and reports every issue instead of
+   dumping.  Decode failures (bad magic, truncation, CRC mismatch, ...)
+   are structured diagnostics with E06xx codes. *)
 
 open Cmdliner
 
-let run path verify =
+let run path verify check =
   try
-    let f = Hli_core.Serialize.read_file path in
-    print_string (Hli_core.Serialize.to_text f);
-    if verify then begin
-      let bytes = Hli_core.Serialize.to_bytes f in
-      let f2 = Hli_core.Serialize.of_bytes bytes in
-      if f = f2 then Fmt.pr "round-trip: OK (%d bytes)@." (String.length bytes)
-      else begin
-        Fmt.epr "round-trip: MISMATCH@.";
-        exit 2
-      end
-    end;
-    0
+    (* --check reports the full issue list itself, so read without the
+       on-load validator (which stops at the first issue) *)
+    let f = Hli_core.Serialize.read_file ~validate:(not check) path in
+    if check then begin
+      match Hli_core.Validate.check_file f with
+      | [] ->
+          Fmt.pr "%s: OK (%d unit(s), %d region(s), %d container bytes)@."
+            path
+            (List.length f.Hli_core.Tables.entries)
+            (List.fold_left
+               (fun acc e -> acc + List.length e.Hli_core.Tables.regions)
+               0 f.Hli_core.Tables.entries)
+            (Hli_core.Serialize.container_bytes f);
+          0
+      | issues ->
+          List.iter
+            (fun i ->
+              Fmt.epr "%s: error%s@." path
+                (Hli_core.Validate.issue_to_string i))
+            issues;
+          Fmt.epr "%s: %d structural issue(s)@." path (List.length issues);
+          2
+    end
+    else begin
+      print_string (Hli_core.Serialize.to_text f);
+      if verify then begin
+        let bytes = Hli_core.Serialize.to_bytes f in
+        let f2 = Hli_core.Serialize.of_bytes bytes in
+        if f = f2 then Fmt.pr "round-trip: OK (%d bytes)@." (String.length bytes)
+        else begin
+          Fmt.epr "round-trip: MISMATCH@.";
+          exit 2
+        end
+      end;
+      0
+    end
   with
-  | Hli_core.Serialize.Corrupt msg ->
-      Fmt.epr "corrupt HLI file: %s@." msg;
+  | Diagnostics.Diagnostic d ->
+      Fmt.epr "%a@." Diagnostics.pp d;
+      1
+  | Hli_core.Serialize.Corrupt c ->
+      Fmt.epr "corrupt HLI file: %s@." (Hli_core.Serialize.corruption_to_string c);
       1
   | Sys_error msg ->
       Fmt.epr "error: %s@." msg;
@@ -33,8 +63,17 @@ let path_arg =
 let verify_flag =
   Arg.(value & flag & info [ "verify" ] ~doc:"check binary round-trip")
 
+let check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "run the structural validator and report every issue instead of \
+           dumping; exits 2 when issues are found")
+
 let cmd =
   let doc = "dump a High-Level Information file" in
-  Cmd.v (Cmd.info "hli_dump" ~doc) Term.(const run $ path_arg $ verify_flag)
+  Cmd.v (Cmd.info "hli_dump" ~doc)
+    Term.(const run $ path_arg $ verify_flag $ check_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,13 +18,46 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* --lint-hli: decode an HLI file and print every structural issue the
+   validator finds (hli_dump --check is the same checker from the dump
+   side).  Exit 0 clean, 4 on issues, per-phase code on decode errors. *)
+let lint_hli path =
+  match Hli_core.Serialize.read_file ~validate:false path with
+  | exception Diagnostics.Diagnostic d ->
+      Fmt.epr "%a@." Diagnostics.pp d;
+      Diagnostics.exit_code d
+  | exception Sys_error msg ->
+      Fmt.epr "error[E0001]: %s@." msg;
+      1
+  | f -> (
+      match Hli_core.Validate.check_file f with
+      | [] ->
+          Fmt.pr "%s: OK (%d unit(s), %d region(s))@." path
+            (List.length f.Hli_core.Tables.entries)
+            (List.fold_left
+               (fun acc e ->
+                 acc + List.length e.Hli_core.Tables.regions)
+               0 f.Hli_core.Tables.entries);
+          0
+      | issues ->
+          List.iter
+            (fun i ->
+              Fmt.epr "%s: error%s@." path
+                (Hli_core.Validate.issue_to_string i))
+            issues;
+          Fmt.epr "%s: %d structural issue(s)@." path (List.length issues);
+          4)
+
 let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
-    list_passes jobs stats stats_json =
+    list_passes jobs stats stats_json lint hli_cache =
   if list_passes then begin
     print_string (Driver.Pass_manager.list_text ());
     0
   end
   else
+    match lint with
+    | Some path -> lint_hli path
+    | None -> (
     match src_path with
     | None ->
         Fmt.epr "error[E1000]: no source file (see hlic --help)@.";
@@ -49,6 +82,10 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
             {
               Harness.Pipeline.specs = Driver.Pass_manager.parse_specs passes;
               ablation;
+              hli_cache =
+                (match hli_cache with
+                | Some dir -> Some dir
+                | None -> Harness.Pipeline.hli_cache_env ());
             }
           in
           let c =
@@ -148,7 +185,7 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
             Diagnostics.exit_code d
         | Sys_error msg ->
             Fmt.epr "error[E0001]: %s@." msg;
-            1)
+            1))
 
 let src_arg =
   Arg.(
@@ -208,12 +245,31 @@ let stats_json_arg =
     & info [ "stats-json" ] ~docv:"PATH"
         ~doc:"write the telemetry JSON dump to $(docv) (\"-\" for stdout)")
 
+let lint_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "lint-hli" ] ~docv:"FILE"
+        ~doc:
+          "decode $(docv) and run the structural HLI validator instead of \
+           compiling; exits 4 when issues are found")
+
+let hli_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "hli-cache" ] ~docv:"DIR"
+        ~doc:
+          "cache serialized front-end HLI output under $(docv) keyed by \
+           source hash, ablation and format version (default: \
+           \\$(b,HLI_CACHE) env; unset disables caching)")
+
 let cmd =
   let doc = "compile mini-C with High-Level Information support" in
   Cmd.v (Cmd.info "hlic" ~doc)
     Term.(
       const run_hlic $ src_arg $ hli_flag $ machine_arg $ run_flag $ emit_arg
       $ dump_flag $ passes_arg $ ablation_arg $ list_passes_flag $ jobs_arg
-      $ stats_flag $ stats_json_arg)
+      $ stats_flag $ stats_json_arg $ lint_arg $ hli_cache_arg)
 
 let () = exit (Cmd.eval' cmd)

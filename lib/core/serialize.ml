@@ -1,19 +1,96 @@
 (** Binary (de)serialization of HLI files.
 
     The paper defines the logical layout (its Figure 1) but not a byte
-    format; this module provides a compact one so that Table 1's "HLI
-    size (KB)" column is measurable.  Integers are LEB128 varints;
-    strings are length-prefixed.  [of_bytes (to_bytes f) = f] holds for
-    every well-formed file (round-trip is property-tested). *)
+    format; this module provides two:
+
+    {b HLI1} — the original compact payload encoding.  Integers are
+    LEB128 varints; strings are length-prefixed.  It is {e lossy} at two
+    points: [lcdd_distance = Some 0] and [parent = Some 0] are encoded
+    as the varint [0] and come back as [None].  The encoding is kept as
+    the legacy reader (old files stay loadable), as the differential
+    oracle of the fuzz harness, and as the {b Table 1 size metric}: the
+    paper measures the information payload, not container overhead, so
+    {!size_bytes} is defined over HLI1 and is stable across container
+    revisions.
+
+    {b HLI2} — the validated container {!to_bytes} writes and
+    {!of_bytes} prefers.  Differences from HLI1, all motivated by the
+    file being a front-end/back-end {e interface} that must not trust
+    its producer:
+
+    - option fields carry an explicit tag byte (0 = [None], 1 =
+      [Some]), so [Some 0] survives the round-trip;
+    - booleans and all constructor tags reject bytes outside their
+      range;
+    - varints are bounded: at most 9 bytes, and the final byte may not
+      push the value past 62 bits ([max_int] on 64-bit OCaml);
+    - every list length is checked against the remaining input before
+      anything is allocated;
+    - each entry is length-prefixed and followed by a CRC32 of its
+      payload, so truncation and bit-rot are reported per entry instead
+      of decoding into garbage tables.
+
+    [of_bytes (to_bytes f) = f] holds for {e every} value of
+    {!Tables.hli_file} (property-tested, including [Some 0] boundary
+    values).  All decode failures raise {!Corrupt} carrying a precise
+    E06xx code; {!read_file} re-raises them as {!Diagnostics} (and runs
+    the {!Validate} structural checks on the decoded file). *)
 
 open Tables
 
-exception Corrupt of string
+(** Why a decode was rejected.  [c_code] is a [Diagnostics] E06xx code
+    (see the table in [lib/driver/diagnostics.ml]); [c_at] is the byte
+    offset in the input, [-1] when unknown. *)
+type corruption = { c_code : string; c_at : int; c_msg : string }
 
-let magic = "HLI1"
+exception Corrupt of corruption
+
+let corrupt ?(at = -1) ~code fmt =
+  Fmt.kstr (fun m -> raise (Corrupt { c_code = code; c_at = at; c_msg = m })) fmt
+
+let corruption_to_string c =
+  if c.c_at >= 0 then Printf.sprintf "[%s] byte %d: %s" c.c_code c.c_at c.c_msg
+  else Printf.sprintf "[%s] %s" c.c_code c.c_msg
+
+(** Re-raise a {!Corrupt} as a structured diagnostic (the file-level
+    entry points do this so drivers render [file: error[E06xx]: ...]). *)
+let diagnostic_of_corruption ?file c =
+  Diagnostics.make ?file ~code:c.c_code ~phase:Diagnostics.Hligen
+    ~severity:Diagnostics.Error
+    (if c.c_at >= 0 then Printf.sprintf "%s (at byte %d)" c.c_msg c.c_at
+     else c.c_msg)
+
+let magic_v1 = "HLI1"
+let magic_v2 = "HLI2"
+
+(** Version tag of the container {!to_bytes} writes; part of the HLI
+    cache key so a format revision invalidates stale cache entries. *)
+let format_version = magic_v2
 
 (* ------------------------------------------------------------------ *)
-(* Writer                                                              *)
+(* CRC32 (IEEE 802.3, reflected)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(** CRC32 of [s.[ofs .. ofs+len-1]]. *)
+let crc32 s ofs len =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  for i = ofs to ofs + len - 1 do
+    c := tbl.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+(* ------------------------------------------------------------------ *)
+(* Writer primitives                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let put_varint buf n =
@@ -36,6 +113,26 @@ let put_string buf s =
 let put_list buf f l =
   put_varint buf (List.length l);
   List.iter (f buf) l
+
+let put_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+(* explicit option tag: the HLI2 fix for the Some 0 <-> None collapse *)
+let put_opt buf f = function
+  | None -> Buffer.add_char buf '\000'
+  | Some v ->
+      Buffer.add_char buf '\001';
+      f buf v
+
+let put_crc32 buf s =
+  let c = crc32 s 0 (String.length s) in
+  Buffer.add_char buf (Char.chr (c land 0xff));
+  Buffer.add_char buf (Char.chr ((c lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((c lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((c lsr 24) land 0xff))
+
+(* ------------------------------------------------------------------ *)
+(* Shared writer pieces (identical in HLI1 and HLI2)                   *)
+(* ------------------------------------------------------------------ *)
 
 let put_acc buf = function
   | Acc_load -> Buffer.add_char buf '\000'
@@ -67,12 +164,6 @@ let put_class buf c =
 
 let put_alias buf a = put_list buf (fun b x -> put_varint b x) a.alias_classes
 
-let put_lcdd buf l =
-  put_varint buf l.lcdd_src;
-  put_varint buf l.lcdd_dst;
-  Buffer.add_char buf (match l.lcdd_dep with Dep_definite -> '\000' | Dep_maybe -> '\001');
-  put_varint buf (match l.lcdd_distance with None -> 0 | Some d -> d)
-
 let put_callrefmod buf e =
   (match e.call_key with
   | Key_call_item id ->
@@ -81,11 +172,22 @@ let put_callrefmod buf e =
   | Key_sub_region r ->
       Buffer.add_char buf '\001';
       put_varint buf r);
-  Buffer.add_char buf (if e.refmod_all then '\001' else '\000');
+  put_bool buf e.refmod_all;
   put_list buf (fun b x -> put_varint b x) e.ref_classes;
   put_list buf (fun b x -> put_varint b x) e.mod_classes
 
-let put_region buf r =
+(* ------------------------------------------------------------------ *)
+(* HLI1 writer (legacy payload; Table 1's size metric)                 *)
+(* ------------------------------------------------------------------ *)
+
+let put_lcdd_v1 buf l =
+  put_varint buf l.lcdd_src;
+  put_varint buf l.lcdd_dst;
+  Buffer.add_char buf (match l.lcdd_dep with Dep_definite -> '\000' | Dep_maybe -> '\001');
+  (* lossy: Some 0 collapses onto the None encoding *)
+  put_varint buf (match l.lcdd_distance with None -> 0 | Some d -> d)
+
+let put_region_v1 buf r =
   put_varint buf r.region_id;
   Buffer.add_char buf (match r.rtype with Region_unit -> '\000' | Region_loop -> '\001');
   put_varint buf (match r.parent with None -> 0 | Some p -> p);
@@ -93,38 +195,103 @@ let put_region buf r =
   put_varint buf r.last_line;
   put_list buf put_class r.eq_classes;
   put_list buf put_alias r.aliases;
-  put_list buf put_lcdd r.lcdds;
+  put_list buf put_lcdd_v1 r.lcdds;
   put_list buf put_callrefmod r.callrefmods
 
-let put_entry buf e =
+let put_entry_v1 buf e =
   put_string buf e.unit_name;
   put_list buf put_line e.line_table;
-  put_list buf put_region e.regions
+  put_list buf put_region_v1 e.regions
 
-let to_bytes (f : hli_file) : string =
+(** Legacy HLI1 encoder.  Lossy on [Some 0] option fields — kept for
+    golden-fixture tests and as the fuzz harness's differential oracle,
+    and because {!size_bytes} is defined over it. *)
+let to_bytes_v1 (f : hli_file) : string =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
-  put_list buf put_entry f.entries;
+  Buffer.add_string buf magic_v1;
+  put_list buf put_entry_v1 f.entries;
   Buffer.contents buf
 
-(** Serialized size in bytes: the paper's Table 1 metric. *)
-let size_bytes f = String.length (to_bytes f)
+(** Serialized payload size in bytes: the paper's Table 1 metric.
+    Defined over the HLI1 payload encoding so the column is stable
+    across container revisions (HLI2 adds per-entry length, CRC and
+    option-tag overhead; the bench serialization section reports it). *)
+let size_bytes f = String.length (to_bytes_v1 f)
 
 (* ------------------------------------------------------------------ *)
-(* Reader                                                              *)
+(* HLI2 writer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let put_lcdd_v2 buf l =
+  put_varint buf l.lcdd_src;
+  put_varint buf l.lcdd_dst;
+  Buffer.add_char buf (match l.lcdd_dep with Dep_definite -> '\000' | Dep_maybe -> '\001');
+  put_opt buf put_varint l.lcdd_distance
+
+let put_region_v2 buf r =
+  put_varint buf r.region_id;
+  Buffer.add_char buf (match r.rtype with Region_unit -> '\000' | Region_loop -> '\001');
+  put_opt buf put_varint r.parent;
+  put_varint buf r.first_line;
+  put_varint buf r.last_line;
+  put_list buf put_class r.eq_classes;
+  put_list buf put_alias r.aliases;
+  put_list buf put_lcdd_v2 r.lcdds;
+  put_list buf put_callrefmod r.callrefmods
+
+let put_entry_v2 buf e =
+  put_string buf e.unit_name;
+  put_list buf put_line e.line_table;
+  put_list buf put_region_v2 e.regions
+
+(** Encode as an HLI2 container: magic, entry count, then one
+    length-prefixed, CRC32-trailed payload per entry. *)
+let to_bytes (f : hli_file) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic_v2;
+  put_varint buf (List.length f.entries);
+  let ebuf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.clear ebuf;
+      put_entry_v2 ebuf e;
+      let payload = Buffer.contents ebuf in
+      put_varint buf (String.length payload);
+      Buffer.add_string buf payload;
+      put_crc32 buf payload)
+    f.entries;
+  Buffer.contents buf
+
+(** On-disk size of the HLI2 container (payload + option tags + entry
+    framing + CRCs); compare with {!size_bytes}. *)
+let container_bytes f = String.length (to_bytes f)
+
+(* ------------------------------------------------------------------ *)
+(* Reader primitives                                                   *)
 (* ------------------------------------------------------------------ *)
 
 type cursor = { data : string; mutable pos : int }
 
+let remaining cur = String.length cur.data - cur.pos
+
 let byte cur =
-  if cur.pos >= String.length cur.data then raise (Corrupt "truncated");
+  if cur.pos >= String.length cur.data then
+    corrupt ~at:cur.pos ~code:"E0611" "truncated input";
   let c = Char.code cur.data.[cur.pos] in
   cur.pos <- cur.pos + 1;
   c
 
+(* Bounded LEB128: at most 9 bytes (shifts 0..56), and the 9th byte may
+   not carry a continuation bit or push the value past 62 bits — a
+   crafted run of continuation bytes must not be able to loop past sane
+   limits or overflow the OCaml int. *)
 let get_varint cur =
+  let start = cur.pos in
   let rec go shift acc =
     let b = byte cur in
+    if shift = 56 && (b land 0x80 <> 0 || b > 0x3f) then
+      corrupt ~at:start ~code:"E0612"
+        "varint exceeds 9 bytes / 62 bits (byte %#x at shift %d)" b shift;
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 <> 0 then go (shift + 7) acc else acc
   in
@@ -132,21 +299,54 @@ let get_varint cur =
 
 let get_string cur =
   let n = get_varint cur in
-  if cur.pos + n > String.length cur.data then raise (Corrupt "truncated string");
+  if n > remaining cur then
+    corrupt ~at:cur.pos ~code:"E0613"
+      "string length %d exceeds the %d remaining bytes" n (remaining cur);
   let s = String.sub cur.data cur.pos n in
   cur.pos <- cur.pos + n;
   s
 
+(* Every element encodes to at least one byte, so a decoded element
+   count larger than the remaining input is corrupt by construction —
+   checked before List.init so a 5-byte file cannot demand a multi-GB
+   allocation. *)
 let get_list cur f =
   let n = get_varint cur in
+  if n > remaining cur then
+    corrupt ~at:cur.pos ~code:"E0613"
+      "list length %d exceeds the %d remaining bytes" n (remaining cur);
   List.init n (fun _ -> f cur)
+
+let get_bool cur =
+  match byte cur with
+  | 0 -> false
+  | 1 -> true
+  | n -> corrupt ~at:(cur.pos - 1) ~code:"E0614" "bad bool tag %d" n
+
+let get_opt cur f =
+  match byte cur with
+  | 0 -> None
+  | 1 -> Some (f cur)
+  | n -> corrupt ~at:(cur.pos - 1) ~code:"E0614" "bad option tag %d" n
+
+let get_crc32 cur =
+  if remaining cur < 4 then
+    corrupt ~at:cur.pos ~code:"E0611" "truncated CRC32";
+  let b i = Char.code cur.data.[cur.pos + i] in
+  let c = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  cur.pos <- cur.pos + 4;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Shared reader pieces                                                *)
+(* ------------------------------------------------------------------ *)
 
 let get_acc cur =
   match byte cur with
   | 0 -> Acc_load
   | 1 -> Acc_store
   | 2 -> Acc_call
-  | n -> raise (Corrupt (Printf.sprintf "bad access type %d" n))
+  | n -> corrupt ~at:(cur.pos - 1) ~code:"E0614" "bad access type %d" n
 
 let get_item cur =
   let item_id = get_varint cur in
@@ -162,7 +362,7 @@ let get_member cur =
   | 1 ->
       let sub_region = get_varint cur in
       Member_subclass { sub_region; cls = get_varint cur }
-  | n -> raise (Corrupt (Printf.sprintf "bad member tag %d" n))
+  | n -> corrupt ~at:(cur.pos - 1) ~code:"E0614" "bad member tag %d" n
 
 let get_class cur =
   let class_id = get_varint cur in
@@ -170,67 +370,150 @@ let get_class cur =
     match byte cur with
     | 0 -> Definitely
     | 1 -> Maybe
-    | n -> raise (Corrupt (Printf.sprintf "bad equiv kind %d" n))
+    | n -> corrupt ~at:(cur.pos - 1) ~code:"E0614" "bad equiv kind %d" n
   in
   let desc = get_string cur in
   { class_id; kind; desc; members = get_list cur get_member }
 
 let get_alias cur = { alias_classes = get_list cur get_varint }
 
-let get_lcdd cur =
-  let lcdd_src = get_varint cur in
-  let lcdd_dst = get_varint cur in
-  let lcdd_dep =
-    match byte cur with
-    | 0 -> Dep_definite
-    | 1 -> Dep_maybe
-    | n -> raise (Corrupt (Printf.sprintf "bad dep type %d" n))
-  in
-  let d = get_varint cur in
-  { lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance = (if d = 0 then None else Some d) }
+let get_dep cur =
+  match byte cur with
+  | 0 -> Dep_definite
+  | 1 -> Dep_maybe
+  | n -> corrupt ~at:(cur.pos - 1) ~code:"E0614" "bad dep type %d" n
+
+let get_call_key cur =
+  match byte cur with
+  | 0 -> Key_call_item (get_varint cur)
+  | 1 -> Key_sub_region (get_varint cur)
+  | n -> corrupt ~at:(cur.pos - 1) ~code:"E0614" "bad call key %d" n
 
 let get_callrefmod cur =
-  let call_key =
-    match byte cur with
-    | 0 -> Key_call_item (get_varint cur)
-    | 1 -> Key_sub_region (get_varint cur)
-    | n -> raise (Corrupt (Printf.sprintf "bad call key %d" n))
-  in
-  let refmod_all = byte cur = 1 in
+  let call_key = get_call_key cur in
+  let refmod_all = get_bool cur in
   let ref_classes = get_list cur get_varint in
   let mod_classes = get_list cur get_varint in
   { call_key; ref_classes; mod_classes; refmod_all }
 
-let get_region cur =
+let get_rtype cur =
+  match byte cur with
+  | 0 -> Region_unit
+  | 1 -> Region_loop
+  | n -> corrupt ~at:(cur.pos - 1) ~code:"E0614" "bad region type %d" n
+
+(* ------------------------------------------------------------------ *)
+(* HLI1 reader (legacy)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let get_lcdd_v1 cur =
+  let lcdd_src = get_varint cur in
+  let lcdd_dst = get_varint cur in
+  let lcdd_dep = get_dep cur in
+  let d = get_varint cur in
+  { lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance = (if d = 0 then None else Some d) }
+
+let get_region_v1 cur =
   let region_id = get_varint cur in
-  let rtype =
-    match byte cur with
-    | 0 -> Region_unit
-    | 1 -> Region_loop
-    | n -> raise (Corrupt (Printf.sprintf "bad region type %d" n))
-  in
+  let rtype = get_rtype cur in
   let parent = match get_varint cur with 0 -> None | p -> Some p in
   let first_line = get_varint cur in
   let last_line = get_varint cur in
   let eq_classes = get_list cur get_class in
   let aliases = get_list cur get_alias in
-  let lcdds = get_list cur get_lcdd in
+  let lcdds = get_list cur get_lcdd_v1 in
   let callrefmods = get_list cur get_callrefmod in
   { region_id; rtype; parent; first_line; last_line; eq_classes; aliases; lcdds; callrefmods }
 
-let get_entry cur =
+let get_entry_v1 cur =
   let unit_name = get_string cur in
   let line_table = get_list cur get_line in
-  let regions = get_list cur get_region in
+  let regions = get_list cur get_region_v1 in
   { unit_name; line_table; regions }
 
-let of_bytes (s : string) : hli_file =
-  if String.length s < 4 || String.sub s 0 4 <> magic then
-    raise (Corrupt "bad magic");
+(** Decode a legacy HLI1 payload (without dispatching on the magic) —
+    exposed for the differential fuzz oracle. *)
+let of_bytes_v1 (s : string) : hli_file =
+  if String.length s < 4 || String.sub s 0 4 <> magic_v1 then
+    corrupt ~at:0 ~code:"E0610" "bad magic (want %s)" magic_v1;
   let cur = { data = s; pos = 4 } in
-  let entries = get_list cur get_entry in
-  if cur.pos <> String.length s then raise (Corrupt "trailing bytes");
+  let entries = get_list cur get_entry_v1 in
+  if cur.pos <> String.length s then
+    corrupt ~at:cur.pos ~code:"E0616" "%d trailing bytes" (remaining cur);
   { entries }
+
+(* ------------------------------------------------------------------ *)
+(* HLI2 reader                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let get_lcdd_v2 cur =
+  let lcdd_src = get_varint cur in
+  let lcdd_dst = get_varint cur in
+  let lcdd_dep = get_dep cur in
+  let lcdd_distance = get_opt cur get_varint in
+  { lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance }
+
+let get_region_v2 cur =
+  let region_id = get_varint cur in
+  let rtype = get_rtype cur in
+  let parent = get_opt cur get_varint in
+  let first_line = get_varint cur in
+  let last_line = get_varint cur in
+  let eq_classes = get_list cur get_class in
+  let aliases = get_list cur get_alias in
+  let lcdds = get_list cur get_lcdd_v2 in
+  let callrefmods = get_list cur get_callrefmod in
+  { region_id; rtype; parent; first_line; last_line; eq_classes; aliases; lcdds; callrefmods }
+
+let get_entry_v2 cur =
+  let unit_name = get_string cur in
+  let line_table = get_list cur get_line in
+  let regions = get_list cur get_region_v2 in
+  { unit_name; line_table; regions }
+
+let of_bytes_v2 (s : string) : hli_file =
+  let cur = { data = s; pos = 4 } in
+  let n_entries = get_varint cur in
+  if n_entries > remaining cur then
+    corrupt ~at:cur.pos ~code:"E0613"
+      "entry count %d exceeds the %d remaining bytes" n_entries (remaining cur);
+  let entries =
+    List.init n_entries (fun i ->
+        let len = get_varint cur in
+        if len > remaining cur then
+          corrupt ~at:cur.pos ~code:"E0613"
+            "entry %d: payload length %d exceeds the %d remaining bytes" i len
+            (remaining cur);
+        let payload_ofs = cur.pos in
+        let payload = String.sub s payload_ofs len in
+        cur.pos <- cur.pos + len;
+        let stored = get_crc32 cur in
+        let computed = crc32 s payload_ofs len in
+        if stored <> computed then
+          corrupt ~at:payload_ofs ~code:"E0615"
+            "entry %d: CRC32 mismatch (stored %08x, computed %08x)" i stored
+            computed;
+        let sub = { data = payload; pos = 0 } in
+        let e = get_entry_v2 sub in
+        if sub.pos <> len then
+          corrupt ~at:(payload_ofs + sub.pos) ~code:"E0616"
+            "entry %d: %d bytes of payload left undecoded" i (len - sub.pos);
+        e)
+  in
+  if cur.pos <> String.length s then
+    corrupt ~at:cur.pos ~code:"E0616" "%d trailing bytes" (remaining cur);
+  { entries }
+
+(** Decode either container revision, dispatching on the magic. *)
+let of_bytes (s : string) : hli_file =
+  if String.length s < 4 then
+    corrupt ~at:0 ~code:"E0610" "input shorter than a magic number";
+  match String.sub s 0 4 with
+  | m when m = magic_v2 -> of_bytes_v2 s
+  | m when m = magic_v1 -> of_bytes_v1 s
+  | m ->
+      corrupt ~at:0 ~code:"E0610" "bad magic %S (want %s or %s)" m magic_v2
+        magic_v1
 
 (* ------------------------------------------------------------------ *)
 (* File I/O and text dump                                              *)
@@ -242,11 +525,24 @@ let write_file path f =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_bytes f))
 
-let read_file path =
+(** Read and decode an HLI file (either container revision).  Decode
+    failures and — unless [validate] is [false] — structural-validation
+    failures are raised as {!Diagnostics.Diagnostic} values carrying the
+    file path and a precise E06xx code. *)
+let read_file ?(validate = true) path =
   let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_bytes (really_input_string ic (in_channel_length ic)))
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let f =
+    try of_bytes s
+    with Corrupt c ->
+      raise (Diagnostics.Diagnostic (diagnostic_of_corruption ~file:path c))
+  in
+  if validate then Validate.validate ~file:path f;
+  f
 
 let to_text (f : hli_file) : string =
   Fmt.str "@[<v>%a@]@." Fmt.(list ~sep:cut pp_entry) f.entries

@@ -15,7 +15,18 @@
     - [E05xx] RTL lowering    - [E06xx] HLI serialization
     - [E07xx] HLI maintenance / optimization passes
     - [E08xx] scheduling      - [E09xx] simulation / runtime
-    - [E10xx] driver & pass-manager configuration *)
+    - [E10xx] driver & pass-manager configuration
+
+    The serialization block [E06xx] is subdivided (see
+    [lib/core/serialize.ml] and [lib/core/validate.ml]):
+    - [E0601] encoder misuse (negative varint)
+    - [E0610] bad magic / unknown container revision
+    - [E0611] truncated input         - [E0612] varint over 9 bytes / 62 bits
+    - [E0613] length field exceeds remaining input
+    - [E0614] out-of-range tag byte   - [E0615] per-entry CRC32 mismatch
+    - [E0616] trailing / undecoded bytes
+    - [E0621]..[E0629] structural validation (line-table order, region
+      tree, class/alias/LCDD/REF-MOD id resolution, duplicate units) *)
 
 type severity = Note | Warning | Error
 

@@ -579,6 +579,16 @@ let run_frontend ctx (s : source) : hli =
     raise (Diagnostics.Diagnostic
              (Diagnostics.with_file (Option.get s.src_file) d))
 
+(** Run only the parse/typecheck pass.  The warm-start path of the
+    harness's on-disk HLI cache needs the TAST (the back end lowers it)
+    without re-running analysis + TBLCONST. *)
+let run_parse_typecheck ctx (s : source) : Srclang.Tast.program =
+  try expect Tast (run_pipeline ctx [ step "parse_typecheck" ] (B (Source, s)))
+  with Diagnostics.Diagnostic d
+    when s.src_file <> None && d.Diagnostics.file = None ->
+    raise (Diagnostics.Diagnostic
+             (Diagnostics.with_file (Option.get s.src_file) d))
+
 (** Run the back half for the context's variant. *)
 let run_backend ctx (specs : spec list) (h : hli) : scheduled =
   let v = the_variant ctx in

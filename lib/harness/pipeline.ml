@@ -14,17 +14,99 @@
     them with source locations and exits with a per-phase code. *)
 
 (** Per-run configuration: which optional passes run (in order, with
-    arguments) and which ablation knobs are flipped. *)
+    arguments), which ablation knobs are flipped, and where (if
+    anywhere) front-end HLI output is cached on disk. *)
 type config = {
   specs : Driver.Pass_manager.spec list;
   ablation : Driver.Variant.ablation;
+  hli_cache : string option;
+      (** cache directory ([--hli-cache] / [HLI_CACHE]); [None]
+          disables caching *)
 }
 
-let default_config = { specs = []; ablation = Driver.Variant.baseline }
+(** Default cache directory: the [HLI_CACHE] environment variable (an
+    empty value disables it, like an absent one). *)
+let hli_cache_env () =
+  match Sys.getenv_opt "HLI_CACHE" with
+  | None | Some "" -> None
+  | Some dir -> Some dir
+
+let default_config =
+  { specs = []; ablation = Driver.Variant.baseline; hli_cache = hli_cache_env () }
 
 (** [passes] shorthand: parse a [--passes] spec string into a config. *)
 let config_of_passes ?(ablation = Driver.Variant.baseline) passes =
-  { specs = Driver.Pass_manager.parse_specs passes; ablation }
+  { default_config with specs = Driver.Pass_manager.parse_specs passes; ablation }
+
+(* ------------------------------------------------------------------ *)
+(* On-disk HLI cache                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The front-end pipeline is a pure function of the source text and the
+   ablation's TBLCONST options, so its serialized output can be keyed
+   by a content hash of exactly those inputs plus the container format
+   revision (a format bump must invalidate every old entry).  Entries
+   are whole HLI2 files: a hit replays Serialize.read_file (including
+   the structural validator) instead of analysis + TBLCONST. *)
+
+let cache_key ~(ablation : Driver.Variant.ablation) (src : string) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            Hli_core.Serialize.format_version;
+            ablation.Driver.Variant.ab_name;
+            src;
+          ]))
+
+let cache_path dir ~ablation src =
+  Filename.concat dir (cache_key ~ablation src ^ ".hli")
+
+let rec mkdir_p dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* A hit must decode and validate cleanly; anything else (stale format,
+   truncation, bit-rot, races with a concurrent writer) is a miss that
+   regeneration will overwrite.  Counted per compilation into the
+   workload's telemetry record ([hli_cache_hits]/[hli_cache_misses],
+   surfaced by --stats and the hli-telemetry-v4 JSON dump). *)
+let cache_lookup ?tm dir ~ablation src =
+  match dir with
+  | None -> None
+  | Some dir -> (
+      let path = cache_path dir ~ablation src in
+      match
+        if Sys.file_exists path then
+          match Hli_core.Serialize.read_file path with
+          | f -> Some f.Hli_core.Tables.entries
+          | exception (Diagnostics.Diagnostic _ | Sys_error _) -> None
+        else None
+      with
+      | Some entries ->
+          Telemetry.count ?tm "hli_cache_hits";
+          Some entries
+      | None ->
+          Telemetry.count ?tm "hli_cache_misses";
+          None)
+
+(* Best-effort store: written to a temp file then renamed, so readers
+   (including pool domains compiling concurrently) never observe a torn
+   file; any I/O failure just means the next run regenerates. *)
+let cache_store dir ~ablation src entries =
+  match dir with
+  | None -> ()
+  | Some dir -> (
+      try
+        mkdir_p dir;
+        let path = cache_path dir ~ablation src in
+        let tmp = Filename.temp_file ~temp_dir:dir "hli-cache" ".tmp" in
+        Hli_core.Serialize.write_file tmp { Hli_core.Tables.entries };
+        Sys.rename tmp path
+      with Sys_error _ -> ())
 
 type compiled = {
   prog : Srclang.Tast.program;
@@ -98,8 +180,32 @@ let compile ?(config = default_config) ?src_file ?pool ?tm (src : string) :
     compiled =
   let spanf = spanf ?tm () in
   let fctx = Driver.Pass.ctx ~spanf ~ablation:config.ablation () in
+  let ablation = config.ablation in
   let h =
-    Driver.Pass_manager.run_frontend fctx { Driver.Pass.src; src_file }
+    match
+      spanf.Driver.Pass.spanf "hli.cache" (fun () ->
+          cache_lookup ?tm config.hli_cache ~ablation src)
+    with
+    | Some entries ->
+        (* warm start: parse/typecheck still runs (the back end lowers
+           the TAST), but analysis + TBLCONST are replayed from disk.
+           h_bytes is recomputed from the identical entries, so Table 1
+           is byte-identical to a cold run. *)
+        let prog =
+          Driver.Pass_manager.run_parse_typecheck fctx
+            { Driver.Pass.src; src_file }
+        in
+        let h_bytes =
+          spanf.Driver.Pass.spanf "hli.serialize" (fun () ->
+              Hli_core.Serialize.size_bytes { Hli_core.Tables.entries })
+        in
+        { Driver.Pass.h_prog = prog; h_entries = entries; h_bytes }
+    | None ->
+        let h =
+          Driver.Pass_manager.run_frontend fctx { Driver.Pass.src; src_file }
+        in
+        cache_store config.hli_cache ~ablation src h.Driver.Pass.h_entries;
+        h
   in
   let hli = { Hli_core.Tables.entries = h.Driver.Pass.h_entries } in
   let mk v =

@@ -261,15 +261,24 @@ let stats_table (rows : row list) =
   line
     (Printf.sprintf "%-20s %11.1f%%" "call_hit_rate"
        (rate (get "call_memo_hits") (get "call_memo_misses")));
+  line "";
+  line "== Telemetry: on-disk HLI cache ==";
+  let sum name =
+    List.fold_left (fun acc r -> acc + Telemetry.counter r.tm name) 0 rows
+  in
+  line (Printf.sprintf "%-20s %12d" "hli_cache_hits" (sum "hli_cache_hits"));
+  line (Printf.sprintf "%-20s %12d" "hli_cache_misses" (sum "hli_cache_misses"));
   Buffer.contents buf
 
 (** Machine-readable dump: schema {!Telemetry.schema_version}
-    ([hli-telemetry-v3]).  Per workload: failure annotation, unmapped,
+    ([hli-telemetry-v4]).  Per workload: failure annotation, unmapped,
     duplicate and dropped counts, dependence-query stats, and the
     {!Telemetry} spans/counters; plus the process-wide per-kind HLI
     query counters and the [query_cache] hit/miss/invalidation
     counters added in v2.  v3 added the per-workload [dropped] count
-    and the per-pass backend spans. *)
+    and the per-pass backend spans; v4 added the aggregate [hli_cache]
+    hit/miss object for the on-disk HLI cache (zeros when no cache
+    directory is configured). *)
 let stats_json (rows : row list) =
   let b = Buffer.create 4096 in
   Buffer.add_string b
@@ -286,6 +295,12 @@ let stats_json (rows : row list) =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
     (Hli_core.Query.cache_counters ());
+  let sum name =
+    List.fold_left (fun acc r -> acc + Telemetry.counter r.tm name) 0 rows
+  in
+  Buffer.add_string b
+    (Printf.sprintf "},\"hli_cache\":{\"hits\":%d,\"misses\":%d"
+       (sum "hli_cache_hits") (sum "hli_cache_misses"));
   Buffer.add_string b "},\"workloads\":[";
   List.iteri
     (fun i r ->

@@ -153,8 +153,12 @@ let to_json (t : t) = "{" ^ json_fragment t ^ "}"
     [query_cache] object and the per-workload [duplicates] count; v3
     added the per-workload [dropped] count (HLI entries whose unit has
     no RTL function) and per-pass spans ([backend.cse]/[licm]/[unroll]
-    replace the aggregate [backend.passes]). *)
-let schema_version = "hli-telemetry-v3"
+    replace the aggregate [backend.passes]); v4 added the top-level
+    [hli_cache] hit/miss object (the on-disk HLI cache of
+    [--hli-cache]/[HLI_CACHE]), the per-workload
+    [hli_cache_hits]/[hli_cache_misses] counters and the [hli.cache]
+    span. *)
+let schema_version = "hli-telemetry-v4"
 
 (* first "schema" key in the dump (the emitters put it first) and its
    string value, scanned tolerantly so a pretty-printed dump still

@@ -100,94 +100,20 @@ let query_tests =
 (* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let gen_file : T.hli_file QCheck.Gen.t =
-  QCheck.Gen.(
-    let gen_acc = oneofl [ T.Acc_load; T.Acc_store; T.Acc_call ] in
-    let gen_item =
-      int_range 1 500 >>= fun id ->
-      gen_acc >>= fun acc -> return { T.item_id = id; acc }
-    in
-    let gen_line =
-      int_range 1 200 >>= fun line_no ->
-      list_size (int_range 0 5) gen_item >>= fun items ->
-      return { T.line_no; items }
-    in
-    let gen_member =
-      oneof
-        [
-          map (fun i -> T.Member_item i) (int_range 1 500);
-          (int_range 1 20 >>= fun sub_region ->
-           int_range 1 500 >>= fun cls ->
-           return (T.Member_subclass { sub_region; cls }));
-        ]
-    in
-    let gen_class =
-      int_range 1 500 >>= fun class_id ->
-      oneofl [ T.Definitely; T.Maybe ] >>= fun kind ->
-      string_size ~gen:(char_range 'a' 'z') (int_range 0 8) >>= fun desc ->
-      list_size (int_range 0 4) gen_member >>= fun members ->
-      return { T.class_id; kind; desc; members }
-    in
-    let gen_lcdd =
-      int_range 1 500 >>= fun lcdd_src ->
-      int_range 1 500 >>= fun lcdd_dst ->
-      oneofl [ T.Dep_definite; T.Dep_maybe ] >>= fun lcdd_dep ->
-      opt (int_range 1 64) >>= fun lcdd_distance ->
-      return { T.lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance }
-    in
-    let gen_callrefmod =
-      oneof
-        [
-          map (fun i -> T.Key_call_item i) (int_range 1 500);
-          map (fun r -> T.Key_sub_region r) (int_range 1 20);
-        ]
-      >>= fun call_key ->
-      bool >>= fun refmod_all ->
-      list_size (int_range 0 3) (int_range 1 500) >>= fun ref_classes ->
-      list_size (int_range 0 3) (int_range 1 500) >>= fun mod_classes ->
-      return { T.call_key; ref_classes; mod_classes; refmod_all }
-    in
-    let gen_region =
-      int_range 1 20 >>= fun region_id ->
-      oneofl [ T.Region_unit; T.Region_loop ] >>= fun rtype ->
-      opt (int_range 1 20) >>= fun parent ->
-      int_range 1 100 >>= fun first_line ->
-      int_range 1 100 >>= fun d ->
-      list_size (int_range 0 4) gen_class >>= fun eq_classes ->
-      list_size (int_range 0 2)
-        (list_size (int_range 2 4) (int_range 1 500)
-        >>= fun alias_classes -> return { T.alias_classes })
-      >>= fun aliases ->
-      list_size (int_range 0 4) gen_lcdd >>= fun lcdds ->
-      list_size (int_range 0 2) gen_callrefmod >>= fun callrefmods ->
-      return
-        {
-          T.region_id;
-          rtype;
-          parent;
-          first_line;
-          last_line = first_line + d;
-          eq_classes;
-          aliases;
-          lcdds;
-          callrefmods;
-        }
-    in
-    let gen_entry =
-      string_size ~gen:(char_range 'a' 'z') (int_range 1 10) >>= fun unit_name ->
-      list_size (int_range 0 8) gen_line >>= fun line_table ->
-      list_size (int_range 0 4) gen_region >>= fun regions ->
-      return { T.unit_name; line_table; regions }
-    in
-    list_size (int_range 0 4) gen_entry >>= fun entries -> return { T.entries })
-
+(* random files come from the shared generator (test/testgen.ml), which
+   the fuzz harness also uses; ~allow_zero adds the Some 0 boundary
+   values only HLI2 can represent *)
 let serialize_props =
   [
-    QCheck.Test.make ~count:200 ~name:"binary round-trip"
-      (QCheck.make gen_file) (fun f ->
+    QCheck.Test.make ~count:200 ~name:"HLI2 round-trip (incl. Some 0)"
+      (QCheck.make (Testgen.gen_file ~allow_zero:true ())) (fun f ->
         Hli_core.Serialize.of_bytes (Hli_core.Serialize.to_bytes f) = f);
+    QCheck.Test.make ~count:200 ~name:"HLI1 pair agrees with v1_normalize"
+      (QCheck.make (Testgen.gen_file ~allow_zero:true ())) (fun f ->
+        Hli_core.Serialize.of_bytes_v1 (Hli_core.Serialize.to_bytes_v1 f)
+        = Testgen.v1_normalize f);
     QCheck.Test.make ~count:100 ~name:"size is deterministic"
-      (QCheck.make gen_file) (fun f ->
+      (QCheck.make (Testgen.gen_file ())) (fun f ->
         Hli_core.Serialize.size_bytes f = Hli_core.Serialize.size_bytes f);
   ]
 
@@ -214,6 +140,232 @@ let serialize_tests =
         let f = { T.entries = [ fig2_entry () ] } in
         Alcotest.(check bool) "eq" true
           (Hli_core.Serialize.of_bytes (Hli_core.Serialize.to_bytes f) = f));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serialization boundaries (HLI2 hardening)                           *)
+(* ------------------------------------------------------------------ *)
+
+let corrupt_code f =
+  match f () with
+  | exception Hli_core.Serialize.Corrupt c -> c.Hli_core.Serialize.c_code
+  | _ -> "no-error"
+
+(* a minimal region, for building targeted fixtures *)
+let region ?(parent = None) ?(lcdds = []) id =
+  {
+    T.region_id = id;
+    rtype = T.Region_loop;
+    parent;
+    first_line = 1;
+    last_line = 9;
+    eq_classes = [];
+    aliases = [];
+    lcdds;
+    callrefmods = [];
+  }
+
+let boundary_tests =
+  [
+    Alcotest.test_case "varint boundaries round-trip" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            let b = Buffer.create 10 in
+            Hli_core.Serialize.put_varint b v;
+            let cur = { Hli_core.Serialize.data = Buffer.contents b; pos = 0 } in
+            Alcotest.(check int)
+              (Printf.sprintf "varint %d" v)
+              v
+              (Hli_core.Serialize.get_varint cur);
+            Alcotest.(check int) "fully consumed" (Buffer.length b)
+              cur.Hli_core.Serialize.pos)
+          [ 0; 1; 127; 128; 16383; 16384; (1 lsl 62) - 1 ]);
+    Alcotest.test_case "oversized varints rejected as E0612" `Quick (fun () ->
+        (* 9 continuation bytes: may not loop to a 10th *)
+        Alcotest.(check string) "all-continuation" "E0612"
+          (corrupt_code (fun () ->
+               Hli_core.Serialize.get_varint
+                 { Hli_core.Serialize.data = String.make 9 '\xff'; pos = 0 }));
+        (* 9th byte would push the value past 62 bits *)
+        Alcotest.(check string) "63rd bit" "E0612"
+          (corrupt_code (fun () ->
+               Hli_core.Serialize.get_varint
+                 {
+                   Hli_core.Serialize.data = String.make 8 '\xff' ^ "\x40";
+                   pos = 0;
+                 }));
+        (* ... while the largest representable value still decodes *)
+        Alcotest.(check int) "max_int ok" max_int
+          (Hli_core.Serialize.get_varint
+             { Hli_core.Serialize.data = String.make 8 '\xff' ^ "\x3f"; pos = 0 }));
+    Alcotest.test_case "absurd list/entry counts rejected as E0613" `Quick
+      (fun () ->
+        let huge =
+          let b = Buffer.create 16 in
+          Hli_core.Serialize.put_varint b max_int;
+          Buffer.contents b
+        in
+        Alcotest.(check string) "HLI1" "E0613"
+          (corrupt_code (fun () ->
+               Hli_core.Serialize.of_bytes ("HLI1" ^ huge)));
+        Alcotest.(check string) "HLI2" "E0613"
+          (corrupt_code (fun () ->
+               Hli_core.Serialize.of_bytes ("HLI2" ^ huge))));
+    Alcotest.test_case "callrefmod bool tag > 1 rejected as E0614" `Quick
+      (fun () ->
+        let b = Buffer.create 8 in
+        Buffer.add_char b '\000' (* Key_call_item *);
+        Hli_core.Serialize.put_varint b 5;
+        Buffer.add_char b '\002' (* invalid refmod_all *);
+        Alcotest.(check string) "tag 2" "E0614"
+          (corrupt_code (fun () ->
+               Hli_core.Serialize.get_callrefmod
+                 { Hli_core.Serialize.data = Buffer.contents b; pos = 0 })));
+    Alcotest.test_case "CRC32 protects entry payloads (E0615)" `Quick (fun () ->
+        let f = { T.entries = [ fig2_entry () ] } in
+        let b = Bytes.of_string (Hli_core.Serialize.to_bytes f) in
+        (* flip one payload bit, well past the magic + counts *)
+        Bytes.set b 40 (Char.chr (Char.code (Bytes.get b 40) lxor 0x10));
+        Alcotest.(check string) "flip" "E0615"
+          (corrupt_code (fun () ->
+               Hli_core.Serialize.of_bytes (Bytes.to_string b))));
+    Alcotest.test_case "Some 0 survives HLI2, collapses in HLI1" `Quick
+      (fun () ->
+        let lcdd =
+          {
+            T.lcdd_src = 1;
+            lcdd_dst = 1;
+            lcdd_dep = T.Dep_definite;
+            lcdd_distance = Some 0;
+          }
+        in
+        let f =
+          {
+            T.entries =
+              [
+                {
+                  T.unit_name = "z";
+                  line_table = [];
+                  regions =
+                    [ region 1; region ~parent:(Some 0) ~lcdds:[ lcdd ] 2 ];
+                };
+              ];
+          }
+        in
+        (* lossless through the HLI2 container *)
+        let f2 = Hli_core.Serialize.of_bytes (Hli_core.Serialize.to_bytes f) in
+        Alcotest.(check bool) "HLI2 preserves" true (f = f2);
+        let r2 = List.nth (List.hd f2.T.entries).T.regions 1 in
+        Alcotest.(check (option int)) "parent Some 0" (Some 0) r2.T.parent;
+        Alcotest.(check (option int)) "distance Some 0" (Some 0)
+          (List.hd r2.T.lcdds).T.lcdd_distance;
+        (* the legacy payload encoding documents its loss *)
+        let f1 =
+          Hli_core.Serialize.of_bytes_v1 (Hli_core.Serialize.to_bytes_v1 f)
+        in
+        let r1 = List.nth (List.hd f1.T.entries).T.regions 1 in
+        Alcotest.(check (option int)) "HLI1 parent collapses" None r1.T.parent;
+        Alcotest.(check (option int)) "HLI1 distance collapses" None
+          (List.hd r1.T.lcdds).T.lcdd_distance);
+    Alcotest.test_case "empty file and empty tables round-trip" `Quick
+      (fun () ->
+        List.iter
+          (fun f ->
+            Alcotest.(check bool) "rt" true
+              (Hli_core.Serialize.of_bytes (Hli_core.Serialize.to_bytes f) = f))
+          [
+            { T.entries = [] };
+            { T.entries = [ { T.unit_name = "e"; line_table = []; regions = [] } ] };
+            { T.entries = [ { T.unit_name = "r"; line_table = []; regions = [ region 1 ] } ] };
+          ]);
+    Alcotest.test_case "golden HLI1 fixture decodes (reader compat)" `Quick
+      (fun () ->
+        (* one unit, one line with one store, one region with a class,
+           an unknown-distance LCDD and a sub-region REF/MOD entry —
+           byte-for-byte the output of the original HLI1 writer *)
+        let golden =
+          "HLI1" ^ "\x01" (* 1 entry *) ^ "\x01u" (* unit name *)
+          ^ "\x01\x03\x01\x01\x01" (* line 3: item 1, store *)
+          ^ "\x01" (* 1 region *)
+          ^ "\x01\x00\x00\x01\x09" (* id 1, unit, no parent, lines 1-9 *)
+          ^ "\x01\x02\x01\x01a\x01\x00\x01" (* class 2, maybe, "a", item 1 *)
+          ^ "\x00" (* no aliases *)
+          ^ "\x01\x02\x02\x01\x00" (* lcdd 2->2 maybe, distance None *)
+          ^ "\x01\x01\x04\x01\x01\x02\x00" (* refmod: sub-region 4, all,
+                                              ref [2], mod [] *)
+        in
+        let expected =
+          {
+            T.entries =
+              [
+                {
+                  T.unit_name = "u";
+                  line_table =
+                    [
+                      {
+                        T.line_no = 3;
+                        items = [ { T.item_id = 1; acc = T.Acc_store } ];
+                      };
+                    ];
+                  regions =
+                    [
+                      {
+                        T.region_id = 1;
+                        rtype = T.Region_unit;
+                        parent = None;
+                        first_line = 1;
+                        last_line = 9;
+                        eq_classes =
+                          [
+                            {
+                              T.class_id = 2;
+                              kind = T.Maybe;
+                              desc = "a";
+                              members = [ T.Member_item 1 ];
+                            };
+                          ];
+                        aliases = [];
+                        lcdds =
+                          [
+                            {
+                              T.lcdd_src = 2;
+                              lcdd_dst = 2;
+                              lcdd_dep = T.Dep_maybe;
+                              lcdd_distance = None;
+                            };
+                          ];
+                        callrefmods =
+                          [
+                            {
+                              T.call_key = T.Key_sub_region 4;
+                              ref_classes = [ 2 ];
+                              mod_classes = [];
+                              refmod_all = true;
+                            };
+                          ];
+                      };
+                    ];
+                };
+              ];
+          }
+        in
+        (* the magic dispatch routes old files to the legacy reader *)
+        Alcotest.(check bool) "decodes" true
+          (Hli_core.Serialize.of_bytes golden = expected);
+        (* and the legacy writer still emits exactly these bytes *)
+        Alcotest.(check string) "writer stable" golden
+          (Hli_core.Serialize.to_bytes_v1 expected));
+    Alcotest.test_case "post-unroll=4 entry round-trips losslessly" `Quick
+      (fun () ->
+        let e = fig2_entry () in
+        let m = Hli_core.Maintain.start e in
+        ignore (Hli_core.Maintain.unroll m ~rid:4 ~factor:4);
+        let e', _ = Hli_core.Maintain.commit m in
+        let f = { T.entries = [ e' ] } in
+        Alcotest.(check bool) "HLI2 round-trip" true
+          (Hli_core.Serialize.of_bytes (Hli_core.Serialize.to_bytes f) = f);
+        Alcotest.(check bool) "HLI1 size still defined" true
+          (Hli_core.Serialize.size_bytes f > 0));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -365,6 +517,7 @@ let () =
     [
       ("query", query_tests);
       ("serialize", serialize_tests);
+      ("serialize-boundary", boundary_tests);
       ("serialize-props", List.map QCheck_alcotest.to_alcotest serialize_props);
       ("maintain", maintain_tests);
       ("duplicates", duplicate_tests);

@@ -1,0 +1,150 @@
+(* Fuzz/differential harness for the HLI serializer.
+
+   Three corpora, one rule: the reader must either return a value or
+   raise [Serialize.Corrupt] — any other exception, or accepting bytes
+   it cannot faithfully re-encode, is a bug.
+
+   1. Random HLI files from the shared generator (test/testgen.ml),
+      including the Some-0 boundary values only HLI2 represents: the
+      HLI2 pair must round-trip exactly, and the legacy HLI1
+      writer/reader pair must agree with [Testgen.v1_normalize] (the
+      differential oracle).
+   2. Truncations of every workload's encoded file (both containers) at
+      every prefix length: a strict prefix can never decode.
+   3. Deterministic single-byte mutations of the same files: a mutant
+      that decodes must re-encode to a value equal to itself, and the
+      structural validator must not crash on it.
+
+   Runs under dune runtest with a modest default budget; the @fuzz
+   alias (pulled into @smoke) raises it via FUZZ_ITERS.  FUZZ_SEED
+   varies the deterministic stream. *)
+
+module T = Hli_core.Tables
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let iters = env_int "FUZZ_ITERS" 100
+let seed = env_int "FUZZ_SEED" 0x484c49 (* "HLI" *)
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      incr failures;
+      prerr_endline ("FAIL: " ^ m))
+    fmt
+
+(* deterministic 48-bit LCG so a failing run reproduces exactly *)
+let rng = ref seed
+
+let rand_int bound =
+  rng := ((!rng * 25214903917) + 11) land 0xffffffffffff;
+  (!rng lsr 16) mod bound
+
+type outcome = Decoded of T.hli_file | Rejected | Crashed of exn
+
+let decode b =
+  match Hli_core.Serialize.of_bytes b with
+  | f -> Decoded f
+  | exception Hli_core.Serialize.Corrupt _ -> Rejected
+  | exception e -> Crashed e
+
+(* phase 1: randomized generation, both encoders *)
+let random_files () =
+  let rand = Random.State.make [| seed |] in
+  let n = max 50 iters in
+  for _ = 1 to n do
+    let f = QCheck.Gen.generate1 ~rand (Testgen.gen_file ~allow_zero:true ()) in
+    (match decode (Hli_core.Serialize.to_bytes f) with
+    | Decoded f' when f' = f -> ()
+    | Decoded _ -> fail "random file: HLI2 round-trip mismatch"
+    | Rejected -> fail "random file: HLI2 encoding rejected"
+    | Crashed e ->
+        fail "random file: decoder crashed: %s" (Printexc.to_string e));
+    match
+      Hli_core.Serialize.of_bytes_v1 (Hli_core.Serialize.to_bytes_v1 f)
+    with
+    | f1 ->
+        if f1 <> Testgen.v1_normalize f then
+          fail "random file: HLI1 pair disagrees with v1_normalize"
+    | exception e ->
+        fail "random file: HLI1 pair crashed: %s" (Printexc.to_string e)
+  done;
+  Printf.printf "fuzz: %d random files (HLI2 round-trip + HLI1 oracle)\n" n
+
+(* phases 2+3: truncation and mutation over the workload corpus *)
+let corpus () =
+  List.map
+    (fun w ->
+      let prog =
+        Srclang.Typecheck.program_of_string w.Workloads.Workload.source
+      in
+      let entries = Harness.Pipeline.build_hli_entries prog in
+      (w.Workloads.Workload.name, { T.entries }))
+    Workloads.Registry.all
+
+let truncations name bytes counter =
+  for len = 0 to String.length bytes - 1 do
+    incr counter;
+    match decode (String.sub bytes 0 len) with
+    | Rejected -> ()
+    | Decoded _ -> fail "%s: strict prefix of length %d decoded" name len
+    | Crashed e ->
+        fail "%s: truncation at %d crashed: %s" name len (Printexc.to_string e)
+  done
+
+let mutations name bytes ~muts ~survivors =
+  let n = String.length bytes in
+  for _ = 1 to iters do
+    incr muts;
+    let pos = rand_int n in
+    let x = 1 + rand_int 255 in
+    let b = Bytes.of_string bytes in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor x));
+    match decode (Bytes.to_string b) with
+    | Rejected -> ()
+    | Crashed e ->
+        fail "%s: mutation at byte %d (xor %#x) crashed: %s" name pos x
+          (Printexc.to_string e)
+    | Decoded f' -> (
+        incr survivors;
+        (match decode (Hli_core.Serialize.to_bytes f') with
+        | Decoded f'' when f'' = f' -> ()
+        | _ -> fail "%s: surviving mutant at byte %d fails re-round-trip" name pos);
+        match Hli_core.Validate.check_file f' with
+        | _issues -> () (* issues are fine; crashing is not *)
+        | exception e ->
+            fail "%s: validator crashed on mutant: %s" name
+              (Printexc.to_string e))
+  done
+
+let () =
+  random_files ();
+  let corpus = corpus () in
+  let truncs = ref 0 and muts = ref 0 and survivors = ref 0 in
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun (tag, bytes) ->
+          let name = name ^ "/" ^ tag in
+          truncations name bytes truncs;
+          mutations name bytes ~muts ~survivors)
+        [
+          ("hli2", Hli_core.Serialize.to_bytes f);
+          ("hli1", Hli_core.Serialize.to_bytes_v1 f);
+        ])
+    corpus;
+  Printf.printf
+    "fuzz: %d workloads x {HLI2,HLI1}: %d truncations, %d mutations (%d \
+     mutants decoded, all re-round-tripped)\n"
+    (List.length corpus) !truncs !muts !survivors;
+  if !failures > 0 then begin
+    Printf.eprintf "fuzz: %d failure(s) (FUZZ_SEED=%d FUZZ_ITERS=%d)\n"
+      !failures seed iters;
+    exit 1
+  end

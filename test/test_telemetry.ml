@@ -103,10 +103,12 @@ let json_tests =
           (has_sub json
              (Printf.sprintf "\"schema\":\"%s\""
                 Harness.Telemetry.schema_version));
-        Alcotest.(check bool) "schema is v3" true
-          (Harness.Telemetry.schema_version = "hli-telemetry-v3");
+        Alcotest.(check bool) "schema is v4" true
+          (Harness.Telemetry.schema_version = "hli-telemetry-v4");
         Alcotest.(check bool) "has query_cache" true
           (has_sub json "\"query_cache\":{");
+        Alcotest.(check bool) "has hli_cache" true
+          (has_sub json "\"hli_cache\":{\"hits\":");
         Alcotest.(check bool) "has duplicates" true
           (has_sub json "\"duplicates\":0");
         Alcotest.(check bool) "has dropped" true

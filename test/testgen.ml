@@ -1,0 +1,112 @@
+(* Shared QCheck generators for random HLI files, used by the
+   serializer property tests (test_hli.ml) and the fuzz/differential
+   harness (test_serialize_fuzz.ml).
+
+   [~allow_zero:true] additionally generates the HLI2-only boundary
+   values — [Some 0] LCDD distances and [Some 0] region parents — which
+   the legacy HLI1 payload encoding collapses to [None] (its optional
+   fields are bare varints with 0 meaning "absent").  Keep it [false]
+   when the property under test includes the HLI1 writer/reader pair. *)
+
+module T = Hli_core.Tables
+
+let gen_file ?(allow_zero = false) () : T.hli_file QCheck.Gen.t =
+  QCheck.Gen.(
+    let opt_floor = if allow_zero then 0 else 1 in
+    let gen_acc = oneofl [ T.Acc_load; T.Acc_store; T.Acc_call ] in
+    let gen_item =
+      int_range 1 500 >>= fun id ->
+      gen_acc >>= fun acc -> return { T.item_id = id; acc }
+    in
+    let gen_line =
+      int_range 1 200 >>= fun line_no ->
+      list_size (int_range 0 5) gen_item >>= fun items ->
+      return { T.line_no; items }
+    in
+    let gen_member =
+      oneof
+        [
+          map (fun i -> T.Member_item i) (int_range 1 500);
+          (int_range 1 20 >>= fun sub_region ->
+           int_range 1 500 >>= fun cls ->
+           return (T.Member_subclass { sub_region; cls }));
+        ]
+    in
+    let gen_class =
+      int_range 1 500 >>= fun class_id ->
+      oneofl [ T.Definitely; T.Maybe ] >>= fun kind ->
+      string_size ~gen:(char_range 'a' 'z') (int_range 0 8) >>= fun desc ->
+      list_size (int_range 0 4) gen_member >>= fun members ->
+      return { T.class_id; kind; desc; members }
+    in
+    let gen_lcdd =
+      int_range 1 500 >>= fun lcdd_src ->
+      int_range 1 500 >>= fun lcdd_dst ->
+      oneofl [ T.Dep_definite; T.Dep_maybe ] >>= fun lcdd_dep ->
+      opt (int_range opt_floor 64) >>= fun lcdd_distance ->
+      return { T.lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance }
+    in
+    let gen_callrefmod =
+      oneof
+        [
+          map (fun i -> T.Key_call_item i) (int_range 1 500);
+          map (fun r -> T.Key_sub_region r) (int_range 1 20);
+        ]
+      >>= fun call_key ->
+      bool >>= fun refmod_all ->
+      list_size (int_range 0 3) (int_range 1 500) >>= fun ref_classes ->
+      list_size (int_range 0 3) (int_range 1 500) >>= fun mod_classes ->
+      return { T.call_key; ref_classes; mod_classes; refmod_all }
+    in
+    let gen_region =
+      int_range 1 20 >>= fun region_id ->
+      oneofl [ T.Region_unit; T.Region_loop ] >>= fun rtype ->
+      opt (int_range opt_floor 20) >>= fun parent ->
+      int_range 1 100 >>= fun first_line ->
+      int_range 1 100 >>= fun d ->
+      list_size (int_range 0 4) gen_class >>= fun eq_classes ->
+      list_size (int_range 0 2)
+        (list_size (int_range 2 4) (int_range 1 500)
+        >>= fun alias_classes -> return { T.alias_classes })
+      >>= fun aliases ->
+      list_size (int_range 0 4) gen_lcdd >>= fun lcdds ->
+      list_size (int_range 0 2) gen_callrefmod >>= fun callrefmods ->
+      return
+        {
+          T.region_id;
+          rtype;
+          parent;
+          first_line;
+          last_line = first_line + d;
+          eq_classes;
+          aliases;
+          lcdds;
+          callrefmods;
+        }
+    in
+    let gen_entry =
+      string_size ~gen:(char_range 'a' 'z') (int_range 1 10) >>= fun unit_name ->
+      list_size (int_range 0 8) gen_line >>= fun line_table ->
+      list_size (int_range 0 4) gen_region >>= fun regions ->
+      return { T.unit_name; line_table; regions }
+    in
+    list_size (int_range 0 4) gen_entry >>= fun entries -> return { T.entries })
+
+(* The HLI1 payload encoding's normalization: what a lossless value
+   becomes after a v1 write/read cycle (optional zeros collapse).  The
+   differential oracle compares against this. *)
+let v1_normalize (f : T.hli_file) : T.hli_file =
+  let norm_lcdd l =
+    { l with T.lcdd_distance = (match l.T.lcdd_distance with
+                                | Some 0 -> None
+                                | d -> d) }
+  in
+  let norm_region r =
+    {
+      r with
+      T.parent = (match r.T.parent with Some 0 -> None | p -> p);
+      lcdds = List.map norm_lcdd r.T.lcdds;
+    }
+  in
+  let norm_entry e = { e with T.regions = List.map norm_region e.T.regions } in
+  { T.entries = List.map norm_entry f.T.entries }
