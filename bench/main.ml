@@ -47,8 +47,12 @@
                           stage (default: HLI_CACHE env; unset disables
                           caching; also the serbench cache directory)
      --stats              print the per-stage telemetry table
-     --stats-json PATH    write the hli-telemetry-v4 JSON dump ("-" for
+     --stats-json PATH    write the hli-telemetry-v5 JSON dump ("-" for
                           stdout)
+     --remote SOCKET      hlid socket: With_hli variants import, query
+                          and maintain HLI over the wire (tables stay
+                          byte-identical to the in-process run); also
+                          the server for servbench / remote-probe
      --validate-json PATH check a JSON dump: telemetry schema version
                           first (an hli-telemetry-v1/v2 dump is
                           rejected with a version-specific message),
@@ -76,22 +80,69 @@ type cfg = {
   ablation : string;
   out : string option;
   hli_cache : string option;
+  remote : string option;  (** hlid socket for --remote / servbench *)
 }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [tables|micro|querybench|serbench|emit-hli|all] [-j N] \
-     [--fuel N] [--workloads a,b,c] [--passes SPEC] [--ablation NAME] \
+    "usage: main.exe \
+     [tables|micro|querybench|serbench|servbench|remote-probe|emit-hli|all] \
+     [-j N] [--fuel N] [--workloads a,b,c] [--passes SPEC] [--ablation NAME] \
      [--list-passes] [--stats] [--stats-json PATH] [--validate-json PATH] \
-     [--hli-cache DIR] [--out PATH]";
+     [--hli-cache DIR] [--out PATH] [--remote SOCKET]";
   exit 2
+
+(* --------------------------------------------------------------- *)
+(* Interrupt handling: SIGINT/SIGTERM remove partially-written      *)
+(* artifacts (a half-dumped --stats-json, a servbench socket) so an  *)
+(* interrupted run never leaves corrupt telemetry behind, then exit  *)
+(* with the conventional 128+signal code.                           *)
+(* --------------------------------------------------------------- *)
+
+let cleanup_mutex = Mutex.create ()
+let cleanup_files : string list ref = ref []
+let cleanup_hooks : (unit -> unit) list ref = ref []
+
+let with_cleanup_lock f =
+  Mutex.lock cleanup_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cleanup_mutex) f
+
+let register_cleanup p = with_cleanup_lock (fun () -> cleanup_files := p :: !cleanup_files)
+
+let unregister_cleanup p =
+  with_cleanup_lock (fun () ->
+      cleanup_files := List.filter (fun q -> q <> p) !cleanup_files)
+
+let register_cleanup_hook h =
+  with_cleanup_lock (fun () -> cleanup_hooks := h :: !cleanup_hooks)
+
+let run_cleanups () =
+  let files, hooks =
+    with_cleanup_lock (fun () ->
+        let r = (!cleanup_files, !cleanup_hooks) in
+        cleanup_files := [];
+        cleanup_hooks := [];
+        r)
+  in
+  List.iter (fun h -> try h () with _ -> ()) hooks;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) files
+
+let install_signal_handlers () =
+  let handle signum _ =
+    run_cleanups ();
+    Stdlib.exit (128 + signum)
+  in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle (handle 2))
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm (Sys.Signal_handle (handle 15))
+  with Invalid_argument _ | Sys_error _ -> ()
 
 let parse_args () =
   let cfg =
     ref
       {
         mode = "all";
-        jobs = Harness.Pool.default_jobs ();
+        jobs = Pool.default_jobs ();
         fuel;
         stats = false;
         stats_json = None;
@@ -100,11 +151,13 @@ let parse_args () =
         ablation = "baseline";
         out = None;
         hli_cache = Harness.Pipeline.hli_cache_env ();
+        remote = None;
       }
   in
   let rec loop = function
     | [] -> ()
-    | ("tables" | "micro" | "all" | "querybench" | "serbench" | "emit-hli") as m
+    | ( "tables" | "micro" | "all" | "querybench" | "serbench" | "servbench"
+      | "remote-probe" | "emit-hli" ) as m
       :: rest ->
         cfg := { !cfg with mode = m };
         loop rest
@@ -145,6 +198,9 @@ let parse_args () =
         loop rest
     | "--hli-cache" :: dir :: rest ->
         cfg := { !cfg with hli_cache = (if dir = "" then None else Some dir) };
+        loop rest
+    | "--remote" :: sock :: rest ->
+        cfg := { !cfg with remote = Some sock };
         loop rest
     | "--validate-json" :: path :: _ ->
         let ic =
@@ -196,7 +252,8 @@ let pipeline_config cfg =
     in
     { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs cfg.passes;
       ablation;
-      hli_cache = cfg.hli_cache }
+      hli_cache = cfg.hli_cache;
+      remote = cfg.remote }
   with Diagnostics.Diagnostic d ->
     Fmt.epr "%a@." Diagnostics.pp d;
     exit (Diagnostics.exit_code d)
@@ -208,7 +265,11 @@ let reproduce_tables cfg pool =
     match cfg.stats_json with
     | None | Some "-" -> None
     | Some path -> (
-        try Some (open_out_bin path)
+        try
+          let oc = open_out_bin path in
+          (* interruption must not leave a half-written dump behind *)
+          register_cleanup path;
+          Some oc
         with Sys_error msg ->
           Printf.eprintf "--stats-json: %s\n" msg;
           exit 1)
@@ -236,12 +297,26 @@ let reproduce_tables cfg pool =
   in
   print_string (Harness.Tables.print_tables rows);
   if cfg.stats then print_string ("\n" ^ Harness.Tables.stats_table rows);
+  (* a --remote run embeds the server's own telemetry (v5 "server"
+     object) in the dump, fetched over a short dedicated session *)
+  let server =
+    match (cfg.stats_json, cfg.remote) with
+    | Some _, Some sock -> (
+        try
+          let cl = Hli_server.Client.connect sock in
+          Fun.protect
+            ~finally:(fun () -> Hli_server.Client.close cl)
+            (fun () -> Some (Hli_server.Client.server_stats cl))
+        with Diagnostics.Diagnostic _ -> None)
+    | _ -> None
+  in
   (match (cfg.stats_json, stats_oc) with
-  | Some "-", _ -> print_endline (Harness.Tables.stats_json rows)
+  | Some "-", _ -> print_endline (Harness.Tables.stats_json ?server rows)
   | Some path, Some oc ->
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Harness.Tables.stats_json rows));
+        (fun () -> output_string oc (Harness.Tables.stats_json ?server rows));
+      unregister_cleanup path;
       Fmt.epr "wrote telemetry to %s@." path
   | _ -> ());
   rows
@@ -752,6 +827,241 @@ let emit_hli cfg =
     ws
 
 (* ------------------------------------------------------------------ *)
+(* Server benchmark (servbench) and the remote-probe fault client      *)
+(* ------------------------------------------------------------------ *)
+
+module SP = Hli_server.Protocol
+
+(* A deterministic batched query stream over one unit, modeled on the
+   querybench stream but sized for round-trips: every query crosses
+   the wire, so the quadratic parts are capped harder. *)
+let sb_item_cap = 40
+
+let sb_queries_of_entry (e : Hli_core.Tables.hli_entry) : SP.query list =
+  let u = e.Hli_core.Tables.unit_name in
+  let qb = qb_unit_of_entry e in
+  let items =
+    Array.sub qb.qb_items 0 (min sb_item_cap (Array.length qb.qb_items))
+  in
+  let n = Array.length items in
+  let qs = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      qs := SP.Q_equiv { u; a = items.(i); b = items.(j) } :: !qs
+    done
+  done;
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun m -> qs := SP.Q_call { u; call = c; mem = m } :: !qs)
+        items)
+    qb.qb_calls;
+  for i = 0 to n - 1 do
+    qs := SP.Q_region_of { u; item = items.(i) } :: !qs
+  done;
+  Array.iter
+    (fun rid ->
+      let k = min n 8 in
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          qs := SP.Q_alias { u; rid; ca = i; cb = j } :: !qs;
+          qs := SP.Q_lcdd { u; rid; a = items.(i); b = items.(j) } :: !qs
+        done
+      done)
+    qb.qb_rids;
+  List.rev !qs
+
+let rec sb_batches b = function
+  | [] -> []
+  | qs ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | q :: rest -> take (k - 1) (q :: acc) rest
+      in
+      let batch, rest = take b [] qs in
+      batch :: sb_batches b rest
+
+(* in-process baseline: the same stream against a local index *)
+let sb_local_run idxs (qs : SP.query list) =
+  let idx_of u = List.assoc u idxs in
+  List.iter
+    (fun q ->
+      match q with
+      | SP.Q_equiv { u; a; b } ->
+          ignore (Hli_core.Query.get_equiv_acc (idx_of u) a b)
+      | SP.Q_alias { u; rid; ca; cb } ->
+          ignore (Hli_core.Query.get_alias (idx_of u) ~rid ca cb)
+      | SP.Q_lcdd { u; rid; a; b } ->
+          ignore (Hli_core.Query.get_lcdd (idx_of u) ~rid a b)
+      | SP.Q_call { u; call; mem } ->
+          ignore (Hli_core.Query.get_call_acc (idx_of u) ~call ~mem)
+      | SP.Q_region_of { u; item } ->
+          ignore (Hli_core.Query.get_region_of_item (idx_of u) item)
+      | SP.Q_hoist_target _ -> ())
+    qs
+
+let sb_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+(* one client session: replay the batches, timing each frame *)
+let sb_client socket bytes batches =
+  let cl = Hli_server.Client.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Hli_server.Client.close cl)
+    (fun () ->
+      ignore (Hli_server.Client.open_hli_bytes cl bytes);
+      let now = Harness.Telemetry.now_ns in
+      let lats =
+        List.map
+          (fun batch ->
+            let t0 = now () in
+            ignore (Hli_server.Client.query_batch cl batch);
+            Int64.to_float (Int64.sub (now ()) t0))
+          batches
+      in
+      Array.of_list lats)
+
+(* servbench: queries/sec and frame latency for 1..8 concurrent client
+   sessions at several batch sizes, against the in-process baseline.
+   Uses --remote SOCKET when given; otherwise starts an in-process
+   server on a temp socket. *)
+let servbench cfg =
+  let names =
+    match cfg.workloads with
+    | Some ns -> ns
+    | None -> [ "101.tomcatv"; "015.doduc" ]
+  in
+  let entries =
+    (* qualify unit names by workload: different workloads may both
+       define e.g. [main], and the combined file must keep them apart *)
+    List.concat_map
+      (fun name ->
+        let w = workload_of_name ~mode:"servbench" name in
+        let prog =
+          Srclang.Typecheck.program_of_string w.Workloads.Workload.source
+        in
+        List.map
+          (fun (e : Hli_core.Tables.hli_entry) ->
+            { e with
+              Hli_core.Tables.unit_name =
+                name ^ "/" ^ e.Hli_core.Tables.unit_name })
+          (Harness.Pipeline.build_hli_entries prog))
+      names
+  in
+  let bytes = Hli_core.Serialize.to_bytes { Hli_core.Tables.entries } in
+  let queries = List.concat_map sb_queries_of_entry entries in
+  let nq = List.length queries in
+  (* server: external via --remote, or in-process on a temp socket *)
+  let socket, shutdown =
+    match cfg.remote with
+    | Some s -> (s, fun () -> ())
+    | None ->
+        let path =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "hli-servbench-%d.sock" (Unix.getpid ()))
+        in
+        let srv =
+          Hli_server.Server.create
+            { (Hli_server.Server.default_config ~socket_path:path) with
+              jobs = 10 }
+        in
+        register_cleanup path;
+        let d = Domain.spawn (fun () -> Hli_server.Server.run srv) in
+        register_cleanup_hook (fun () ->
+            Hli_server.Server.initiate_shutdown srv);
+        ( path,
+          fun () ->
+            Hli_server.Server.initiate_shutdown srv;
+            Domain.join d;
+            unregister_cleanup path )
+  in
+  Fun.protect ~finally:shutdown @@ fun () ->
+  (* in-process baseline: same stream, local indexes, no wire *)
+  let idxs =
+    List.map
+      (fun (e : Hli_core.Tables.hli_entry) ->
+        (e.Hli_core.Tables.unit_name, Hli_core.Query.build e))
+      entries
+  in
+  let now = Harness.Telemetry.now_ns in
+  let t0 = now () in
+  sb_local_run idxs queries;
+  let local_ns = Int64.to_float (Int64.sub (now ()) t0) in
+  Printf.printf "== servbench: hlid over %s ==\n" socket;
+  Printf.printf "%d queries per client session (%s)\n" nq
+    (String.concat ", " names);
+  Printf.printf "in-process baseline: %.0f q/s\n"
+    (if local_ns <= 0.0 then 0.0 else float_of_int nq /. (local_ns /. 1e9));
+  Printf.printf "%8s %6s %12s %12s %12s\n" "clients" "batch" "q/s"
+    "p50 (us)" "p99 (us)";
+  List.iter
+    (fun batch ->
+      let batches = sb_batches batch queries in
+      List.iter
+        (fun clients ->
+          let t0 = now () in
+          let doms =
+            Array.init clients (fun _ ->
+                Domain.spawn (fun () -> sb_client socket bytes batches))
+          in
+          let lats = Array.concat (Array.to_list (Array.map Domain.join doms)) in
+          let wall_ns = Int64.to_float (Int64.sub (now ()) t0) in
+          Array.sort compare lats;
+          let qps =
+            if wall_ns <= 0.0 then 0.0
+            else float_of_int (clients * nq) /. (wall_ns /. 1e9)
+          in
+          Printf.printf "%8d %6d %12.0f %12.1f %12.1f\n" clients batch qps
+            (sb_percentile lats 0.50 /. 1e3)
+            (sb_percentile lats 0.99 /. 1e3))
+        [ 1; 2; 4; 8 ])
+    [ 1; 8; 64 ];
+  if cfg.stats then begin
+    try
+      let cl = Hli_server.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Hli_server.Client.close cl)
+        (fun () ->
+          Printf.printf "server telemetry: %s\n"
+            (Hli_server.Client.server_stats cl))
+    with Diagnostics.Diagnostic _ -> ()
+  end
+
+(* remote-probe: loop batched queries against --remote SOCKET until a
+   protocol fault surfaces, then exit through the diagnostic path.
+   servbench.sh kills the server mid-probe and asserts that the client
+   reports a precise E11xx code and a nonzero exit instead of hanging. *)
+let remote_probe cfg =
+  let socket =
+    match cfg.remote with
+    | Some s -> s
+    | None ->
+        prerr_endline "remote-probe: --remote SOCKET is required";
+        exit 2
+  in
+  let w = workload_of_name ~mode:"remote-probe" "101.tomcatv" in
+  let prog = Srclang.Typecheck.program_of_string w.Workloads.Workload.source in
+  let entries = Harness.Pipeline.build_hli_entries prog in
+  let bytes = Hli_core.Serialize.to_bytes { Hli_core.Tables.entries } in
+  let batches =
+    sb_batches 16 (List.concat_map sb_queries_of_entry entries)
+  in
+  try
+    let cl = Hli_server.Client.connect socket in
+    ignore (Hli_server.Client.open_hli_bytes cl bytes);
+    prerr_endline "remote-probe: session open, querying";
+    while true do
+      List.iter (fun b -> ignore (Hli_server.Client.query_batch cl b)) batches
+    done
+  with Diagnostics.Diagnostic d ->
+    Fmt.epr "%a@." Diagnostics.pp d;
+    exit (Diagnostics.exit_code d)
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -772,7 +1082,11 @@ let micro () =
       entries
   in
   let map = Backend.Hli_import.map_unit entry fn in
-  let idx = map.Backend.Hli_import.index in
+  let idx =
+    match map.Backend.Hli_import.source with
+    | Backend.Hli_import.Local idx -> idx
+    | Backend.Hli_import.Remote _ -> assert false (* map_unit is local *)
+  in
   let item_arr = Array.of_list (Hli_core.Tables.all_items entry) in
   let small_src =
     {|
@@ -851,11 +1165,12 @@ int main()
 
 let () =
   let cfg = parse_args () in
+  install_signal_handlers ();
   let pool =
-    if cfg.jobs > 1 then Some (Harness.Pool.create ~jobs:cfg.jobs) else None
+    if cfg.jobs > 1 then Some (Pool.create ~jobs:cfg.jobs) else None
   in
   Fun.protect
-    ~finally:(fun () -> Option.iter Harness.Pool.shutdown pool)
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
     (fun () ->
       if cfg.mode = "tables" || cfg.mode = "all" then begin
         ignore (reproduce_tables cfg pool);
@@ -877,4 +1192,6 @@ let () =
       if cfg.mode = "micro" || cfg.mode = "all" then micro ();
       if cfg.mode = "querybench" then querybench cfg;
       if cfg.mode = "serbench" then serbench cfg pool;
+      if cfg.mode = "servbench" then servbench cfg;
+      if cfg.mode = "remote-probe" then remote_probe cfg;
       if cfg.mode = "emit-hli" then emit_hli cfg)

@@ -1,0 +1,99 @@
+#!/bin/sh
+# CI check for the hlid remote back-end (dune alias @servbench).
+#
+#   1. starts hlid on a private socket;
+#   2. runs a workload subset through bench tables both in-process and
+#      --remote, requiring byte-identical Tables 1/2 and a well-formed
+#      hli-telemetry-v5 dump carrying the "server" object;
+#   3. runs a quick in-process servbench (concurrent client domains
+#      against a Domain-spawned server);
+#   4. kills the server with SIGKILL mid-probe and requires the client
+#      to exit nonzero with a precise E11xx code, without hanging.
+set -eu
+
+exe="$1"
+case "$exe" in
+  /*) ;;
+  *) exe="./$exe" ;;
+esac
+hlid="$2"
+case "$hlid" in
+  /*) ;;
+  *) hlid="./$hlid" ;;
+esac
+
+tmp="${TMPDIR:-/tmp}/hli-servbench-$$"
+mkdir -p "$tmp"
+sock="$tmp/hlid.sock"
+hlid_pid=""
+cleanup() {
+  [ -n "$hlid_pid" ] && kill -9 "$hlid_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+WORKLOADS="wc,129.compress,101.tomcatv,034.mdljdp2"
+FUEL=500000
+
+"$hlid" --socket "$sock" -j 8 2>"$tmp/hlid.log" &
+hlid_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 50 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -S "$sock" ] || { echo "servbench: FAIL — hlid did not come up" >&2; exit 1; }
+
+# 1+2: the wire service must be invisible in the tables
+"$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
+  > "$tmp/local.out" 2>/dev/null
+"$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
+  --remote "$sock" --stats-json "$tmp/remote.json" \
+  > "$tmp/remote.out" 2>/dev/null
+
+if ! cmp -s "$tmp/local.out" "$tmp/remote.out"; then
+  echo "servbench: FAIL — remote tables differ from the in-process run" >&2
+  diff "$tmp/local.out" "$tmp/remote.out" >&2 || true
+  exit 1
+fi
+"$exe" --validate-json "$tmp/remote.json" > /dev/null \
+  || { echo "servbench: FAIL — malformed remote --stats-json" >&2; exit 1; }
+grep -q '"server":{' "$tmp/remote.json" \
+  || { echo "servbench: FAIL — remote dump lacks the server object" >&2; exit 1; }
+echo "servbench: OK (remote tables byte-identical, server telemetry present)"
+
+# 3: quick in-process benchmark (also exercises concurrent sessions)
+"$exe" servbench --workloads wc > "$tmp/bench.out" 2>/dev/null
+grep -q "q/s" "$tmp/bench.out" \
+  || { echo "servbench: FAIL — no benchmark output" >&2; exit 1; }
+echo "servbench: OK (in-process servbench ran)"
+
+# 4: kill the server mid-session; the probe must exit on its own,
+# nonzero, with a protocol E-code on stderr — bounded, never a hang
+(
+  set +e
+  "$exe" remote-probe --remote "$sock" > /dev/null 2>"$tmp/probe.err"
+  echo $? > "$tmp/probe.code"
+) &
+probe_sh=$!
+sleep 2
+kill -9 "$hlid_pid" 2>/dev/null || true
+hlid_pid=""
+i=0
+while [ ! -f "$tmp/probe.code" ] && [ $i -lt 200 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ ! -f "$tmp/probe.code" ]; then
+  kill -9 "$probe_sh" 2>/dev/null || true
+  echo "servbench: FAIL — probe hung after the server was killed" >&2
+  exit 1
+fi
+wait "$probe_sh" 2>/dev/null || true
+code=$(cat "$tmp/probe.code")
+[ "$code" -ne 0 ] \
+  || { echo "servbench: FAIL — probe exited 0 after server kill" >&2; exit 1; }
+grep -q 'E11' "$tmp/probe.err" \
+  || { echo "servbench: FAIL — probe stderr lacks an E11xx code" >&2
+       cat "$tmp/probe.err" >&2; exit 1; }
+echo "servbench: OK (server killed mid-session => probe exit $code, $(grep -o 'E11[0-9][0-9]' "$tmp/probe.err" | head -1))"

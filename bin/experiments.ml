@@ -30,7 +30,8 @@ let run_tables only quick passes ablation list_passes =
       let config =
         { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs passes;
           ablation;
-          hli_cache = Harness.Pipeline.hli_cache_env () }
+          hli_cache = Harness.Pipeline.hli_cache_env ();
+          remote = None }
       in
       let fuel = if quick then 20_000_000 else 400_000_000 in
       let rows =

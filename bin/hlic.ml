@@ -49,7 +49,7 @@ let lint_hli path =
           4)
 
 let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
-    list_passes jobs stats stats_json lint hli_cache =
+    list_passes jobs stats stats_json lint hli_cache remote =
   if list_passes then begin
     print_string (Driver.Pass_manager.list_text ());
     0
@@ -63,9 +63,9 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
         Fmt.epr "error[E1000]: no source file (see hlic --help)@.";
         6
     | Some src_path -> (
-        let pool = if jobs > 1 then Some (Harness.Pool.create ~jobs) else None in
+        let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
         let tm = Harness.Telemetry.create () in
-        Fun.protect ~finally:(fun () -> Option.iter Harness.Pool.shutdown pool)
+        Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool)
         @@ fun () ->
         try
           let src = read_file src_path in
@@ -86,6 +86,7 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
                 (match hli_cache with
                 | Some dir -> Some dir
                 | None -> Harness.Pipeline.hli_cache_env ());
+              remote;
             }
           in
           let c =
@@ -177,7 +178,8 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
                misuse (bad --passes/--ablation) is not about the file *)
             let d =
               match (d.Diagnostics.file, d.Diagnostics.phase) with
-              | None, (Diagnostics.Driver | Diagnostics.Io) -> d
+              | None, (Diagnostics.Driver | Diagnostics.Io | Diagnostics.Net) ->
+                  d
               | None, _ -> Diagnostics.with_file src_path d
               | Some _, _ -> d
             in
@@ -228,7 +230,7 @@ let list_passes_flag =
 let jobs_arg =
   Arg.(
     value
-    & opt int (Harness.Pool.default_jobs ())
+    & opt int (Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "domain-pool size for the four pipeline variants (default: \
@@ -254,6 +256,16 @@ let lint_arg =
           "decode $(docv) and run the structural HLI validator instead of \
            compiling; exits 4 when issues are found")
 
+let remote_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"SOCKET"
+        ~doc:
+          "hlid Unix-domain socket; With_hli variants import, query and \
+           maintain HLI over the wire instead of in-process (tables stay \
+           byte-identical)")
+
 let hli_cache_arg =
   Arg.(
     value
@@ -270,6 +282,6 @@ let cmd =
     Term.(
       const run_hlic $ src_arg $ hli_flag $ machine_arg $ run_flag $ emit_arg
       $ dump_flag $ passes_arg $ ablation_arg $ list_passes_flag $ jobs_arg
-      $ stats_flag $ stats_json_arg $ lint_arg $ hli_cache_arg)
+      $ stats_flag $ stats_json_arg $ lint_arg $ hli_cache_arg $ remote_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,110 @@
+(* hlid — the persistent HLI query daemon.
+
+   Loads nothing at startup: each client session ships (Open_hli) or
+   names (Open_path) a validated HLI2 file, then issues dependence /
+   alias / REF-MOD queries and maintenance notifications over the
+   framed wire protocol (lib/server/protocol.ml; DESIGN.md has the
+   byte-level spec).  SIGINT/SIGTERM shut down gracefully: in-flight
+   sessions drain, telemetry is flushed, and the socket file is
+   removed.  Exit codes follow the diagnostics scheme (7 = net). *)
+
+open Cmdliner
+
+(* Keep in sync with Harness.Telemetry.schema_version; hlid links only
+   the server stack, not the harness, so the string is repeated here
+   (test_telemetry pins the constant). *)
+let schema_version = "hli-telemetry-v5"
+
+let run_hlid socket jobs max_frame timeout stats stats_json =
+  let cfg =
+    {
+      (Hli_server.Server.default_config ~socket_path:socket) with
+      jobs;
+      max_frame;
+      request_timeout = timeout;
+    }
+  in
+  match Hli_server.Server.create cfg with
+  | exception Diagnostics.Diagnostic d ->
+      Fmt.epr "%a@." Diagnostics.pp d;
+      Diagnostics.exit_code d
+  | srv ->
+      let shutdown _ = Hli_server.Server.initiate_shutdown srv in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+      Fmt.epr "hlid: listening on %s (%d jobs)@." socket jobs;
+      Hli_server.Server.run srv;
+      let json = Hli_server.Server.stats_json srv in
+      if stats then Fmt.pr "== hlid server telemetry ==@.%s@." json;
+      (match stats_json with
+      | None -> ()
+      | Some path ->
+          let payload =
+            Printf.sprintf "{\"schema\":\"%s\",\"server\":%s}" schema_version
+              json
+          in
+          if path = "-" then print_endline payload
+          else begin
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc payload);
+            Fmt.epr "hlid: wrote telemetry to %s@." path
+          end);
+      0
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to listen on (stale files are removed)")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (max 8 (Pool.default_jobs ()))
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "domain-pool size; $(docv) - 1 worker domains bound the number of \
+           concurrent client sessions (default: at least 8)")
+
+let max_frame_arg =
+  Arg.(
+    value
+    & opt int Hli_server.Protocol.default_max_frame
+    & info [ "max-frame" ] ~docv:"BYTES"
+        ~doc:
+          "largest accepted request payload; oversized frames are rejected \
+           with E1104 before allocation")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt float Hli_server.Protocol.default_timeout
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"per-request progress timeout; a stalled frame answers E1109")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"print server telemetry at shutdown")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"PATH"
+        ~doc:
+          "write the hli-telemetry-v5 server telemetry to $(docv) at \
+           shutdown (\"-\" for stdout)")
+
+let cmd =
+  let doc = "persistent HLI query service over a Unix-domain socket" in
+  Cmd.v
+    (Cmd.info "hlid" ~doc)
+    Term.(
+      const run_hlid $ socket_arg $ jobs_arg $ max_frame_arg $ timeout_arg
+      $ stats_flag $ stats_json_arg)
+
+let () = exit (Cmd.eval' cmd)

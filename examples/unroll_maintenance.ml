@@ -57,7 +57,11 @@ let () =
   let fn = Option.get (Backend.Rtl.find_fn rtl "recur") in
   ignore (Backend.Hli_import.map_unit entry fn);
   let mt = Hli_core.Maintain.start entry in
-  let stats = Backend.Unroll.run_fn ~maintain:mt ~factor:4 fn in
+  let stats =
+    Backend.Unroll.run_fn
+      ~maintain:(Backend.Hli_import.local_maint mt)
+      ~factor:4 fn
+  in
   Fmt.pr "unrolled %d loop(s), made %d body copies@."
     stats.Backend.Unroll.unrolled stats.Backend.Unroll.copies_made;
   let entry', _ = Hli_core.Maintain.commit mt in

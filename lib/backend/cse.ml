@@ -59,7 +59,7 @@ type state = {
   table : (ekey, entry) Hashtbl.t;
   stats : stats;
   hli : Hli_import.t option;
-  maintain : Hli_core.Maintain.t option;
+  maintain : Hli_import.maint option;
 }
 
 let vn_of_reg st r =
@@ -102,7 +102,7 @@ let invalidate_store st (m : mem) (storer : insn) =
           let hli_independent =
             match (st.hli, e.litem, storer.item) with
             | Some h, Some li, Some si ->
-                Hli_core.Query.proves_independent h.Hli_import.index li si
+                Hli_import.item_proves_independent h li si
             | _ -> false
           in
           if gcc && not hli_independent then Hashtbl.remove st.table k
@@ -123,7 +123,7 @@ let invalidate_call st (call : insn) =
           | Some h -> (
               match (e.litem, call.item) with
               | Some li, Some ci -> (
-                  match Hli_core.Query.get_call_acc h.Hli_import.index ~call:ci ~mem:li with
+                  match Hli_import.item_call_acc h ~call:ci ~mem:li with
                   | Hli_core.Query.Call_none | Hli_core.Query.Call_ref ->
                       st.stats.call_survivals <- st.stats.call_survivals + 1
                   | Hli_core.Query.Call_mod | Hli_core.Query.Call_refmod
@@ -245,7 +245,7 @@ let process_block (st : state) (insns : insn list) : insn list =
               set_reg_vn st d e.vn;
               (* the load disappears: delete its HLI item *)
               (match (st.maintain, i.item) with
-              | Some mt, Some it -> Hli_core.Maintain.delete_item mt it
+              | Some mt, Some it -> mt.Hli_import.mn_delete_item it
               | _ -> ());
               emit { i with desc = Li (d, Reg e.holder); item = None }
           | _ ->

@@ -7,12 +7,32 @@
     mapping for that line — the remaining references stay unmapped and
     all queries about them answer "unknown", exactly the graceful
     degradation the paper describes for unconsidered code-generation
-    rules. *)
+    rules.
+
+    The query side is abstracted over {!backend_kind}: [Local] holds
+    an in-process {!Hli_core.Query.index}; [Remote] holds a
+    {!query_source} of closures answering over the hlid wire protocol.
+    The optimisation passes only ever see the item-level adapters, so
+    they are oblivious to which side of the process boundary the HLI
+    lives on — the boundary is exactly the paper's front-end/back-end
+    interface. *)
 
 open Rtl
 
+(** Item-level query closures; the [Remote] back end routes these to a
+    hlid session. *)
+type query_source = {
+  qs_equiv_acc : int -> int -> Hli_core.Query.equiv_result;
+  qs_call_acc : call:int -> mem:int -> Hli_core.Query.call_acc_result;
+  qs_region_of_item : int -> int option;
+}
+
+type backend_kind =
+  | Local of Hli_core.Query.index
+  | Remote of query_source
+
 type t = {
-  index : Hli_core.Query.index;
+  source : backend_kind;
   mapped : int;  (** how many items were attached to instructions *)
   unmapped_insns : int;  (** memory/call insns left without an item *)
   mismatched_lines : int list;
@@ -28,10 +48,17 @@ let insn_kind (i : insn) : Hli_core.Tables.access_type option =
   | Call _ -> Some Hli_core.Tables.Acc_call
   | _ -> None
 
-(** Attach HLI items to the instructions of [fn].  [entry] must be the
-    HLI entry of the same unit. *)
-let map_unit (entry : Hli_core.Tables.hli_entry) (fn : fn) : t =
-  let index = Hli_core.Query.build entry in
+(** Attach HLI items to the instructions of [fn] from a bare line
+    table.  This is the whole import algorithm; it deliberately needs
+    nothing but the line table, so a remote back end can run it after
+    fetching the table over the wire. *)
+let map_unit_lines ~(source : backend_kind) ~(dups : int list)
+    ~(line_table : Hli_core.Tables.line_table) (fn : fn) : t =
+  (* items_of_line only consults the line table, so a synthetic entry
+     carries it without the region tables *)
+  let lookup =
+    { Hli_core.Tables.unit_name = fn.fname; line_table; regions = [] }
+  in
   (* collect mappable instructions per line, in textual block order *)
   let by_line : (int, insn list ref) Hashtbl.t = Hashtbl.create 64 in
   Array.iter
@@ -56,7 +83,7 @@ let map_unit (entry : Hli_core.Tables.hli_entry) (fn : fn) : t =
   Hashtbl.iter
     (fun line cell ->
       let insns = List.rev !cell in
-      let items = Hli_core.Tables.items_of_line entry line in
+      let items = Hli_core.Tables.items_of_line lookup line in
       let rec go insns items ok =
         match (insns, items) with
         | [], _ -> ()
@@ -79,12 +106,45 @@ let map_unit (entry : Hli_core.Tables.hli_entry) (fn : fn) : t =
       go insns items true)
     by_line;
   {
-    index;
+    source;
     mapped = !mapped;
     unmapped_insns = !unmapped;
     mismatched_lines = List.sort_uniq compare !bad_lines;
-    dup_items = Hli_core.Query.duplicate_items index;
+    dup_items = dups;
   }
+
+(** Attach HLI items to the instructions of [fn].  [entry] must be the
+    HLI entry of the same unit; the resulting back end is [Local] over
+    a freshly built index. *)
+let map_unit (entry : Hli_core.Tables.hli_entry) (fn : fn) : t =
+  let index = Hli_core.Query.build entry in
+  map_unit_lines ~source:(Local index)
+    ~dups:(Hli_core.Query.duplicate_items index)
+    ~line_table:entry.Hli_core.Tables.line_table fn
+
+(* ------------------------------------------------------------------ *)
+(* Query adapters over items                                           *)
+(* ------------------------------------------------------------------ *)
+
+let item_equiv_acc (t : t) ia ib : Hli_core.Query.equiv_result =
+  match t.source with
+  | Local index -> Hli_core.Query.get_equiv_acc index ia ib
+  | Remote qs -> qs.qs_equiv_acc ia ib
+
+let item_proves_independent (t : t) ia ib : bool =
+  match item_equiv_acc t ia ib with
+  | Hli_core.Query.Equiv_none -> true
+  | _ -> false
+
+let item_call_acc (t : t) ~call ~mem : Hli_core.Query.call_acc_result =
+  match t.source with
+  | Local index -> Hli_core.Query.get_call_acc index ~call ~mem
+  | Remote qs -> qs.qs_call_acc ~call ~mem
+
+let item_region_of (t : t) item : int option =
+  match t.source with
+  | Local index -> Hli_core.Query.get_region_of_item index item
+  | Remote qs -> qs.qs_region_of_item item
 
 (* ------------------------------------------------------------------ *)
 (* Query adapters over instructions                                    *)
@@ -95,7 +155,7 @@ let map_unit (entry : Hli_core.Tables.hli_entry) (fn : fn) : t =
     [Equiv_unknown]. *)
 let equiv_acc (t : t) (a : insn) (b : insn) : Hli_core.Query.equiv_result =
   match (a.item, b.item) with
-  | Some ia, Some ib -> Hli_core.Query.get_equiv_acc t.index ia ib
+  | Some ia, Some ib -> item_equiv_acc t ia ib
   | _ -> Hli_core.Query.Equiv_unknown
 
 (** Does the HLI prove these two references independent (no edge
@@ -109,7 +169,7 @@ let proves_independent (t : t) (a : insn) (b : insn) : bool =
     instruction. *)
 let call_acc (t : t) ~(call : insn) ~(mem : insn) : Hli_core.Query.call_acc_result =
   match (call.item, mem.item) with
-  | Some ci, Some mi -> Hli_core.Query.get_call_acc t.index ~call:ci ~mem:mi
+  | Some ci, Some mi -> item_call_acc t ~call:ci ~mem:mi
   | _ -> Hli_core.Query.Call_unknown
 
 (** May the call disturb (or observe, for stores) the memory reference?
@@ -123,3 +183,40 @@ let call_conflicts (t : t) ~(call : insn) ~(mem : insn) : bool =
   | Hli_core.Query.Call_mod | Hli_core.Query.Call_refmod
   | Hli_core.Query.Call_unknown ->
       true
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance hooks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Maintenance operations as closures, so a pass mutating the HLI is
+    equally oblivious to the process boundary: [local_maint] wraps an
+    in-process {!Hli_core.Maintain.t}; the remote pipeline wires these
+    to Notify_* frames. *)
+type maint = {
+  mn_delete_item : int -> unit;
+  mn_gen_item : like:int -> line:int -> int;
+  mn_move_item_outward : item:int -> target_rid:int -> bool;
+  mn_unroll : rid:int -> factor:int -> Hli_core.Maintain.unroll_result;
+  mn_hoist_target : int -> int option;
+      (** commit the maintained entry and answer the parent region of
+          the item's region — the LICM hoist decision *)
+}
+
+let local_maint (mt : Hli_core.Maintain.t) : maint =
+  {
+    mn_delete_item = (fun item -> Hli_core.Maintain.delete_item mt item);
+    mn_gen_item = (fun ~like ~line -> Hli_core.Maintain.gen_item mt ~like ~line);
+    mn_move_item_outward =
+      (fun ~item ~target_rid ->
+        Hli_core.Maintain.move_item_outward mt ~item ~target_rid);
+    mn_unroll = (fun ~rid ~factor -> Hli_core.Maintain.unroll mt ~rid ~factor);
+    mn_hoist_target =
+      (fun item ->
+        let entry, idx = Hli_core.Maintain.commit mt in
+        match Hli_core.Query.get_region_of_item idx item with
+        | Some rid -> (
+            match Hli_core.Tables.find_region entry rid with
+            | Some r -> r.Hli_core.Tables.parent
+            | None -> None)
+        | None -> None);
+  }

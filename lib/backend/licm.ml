@@ -12,7 +12,8 @@
     definition to the preheader can never expose a stale value.
 
     Hoisted items are moved to the enclosing region through the
-    maintenance API ({!Hli_core.Maintain.move_item_outward}). *)
+    maintenance hooks ({!Hli_import.maint}), which wrap either a local
+    {!Hli_core.Maintain.t} or a remote hlid session. *)
 
 open Rtl
 
@@ -206,19 +207,12 @@ let run_fn ?hli ?maintain (fn : fn) : stats =
             | Load _ -> (
                 stats.hoisted_loads <- stats.hoisted_loads + 1;
                 match (maintain, i.item) with
-                | Some mt, Some it ->
-                    let entry, idx = Hli_core.Maintain.commit mt in
-                    (match Hli_core.Query.get_region_of_item idx it with
-                    | Some rid -> (
-                        match Hli_core.Tables.find_region entry rid with
-                        | Some r -> (
-                            match r.Hli_core.Tables.parent with
-                            | Some p ->
-                                ignore
-                                  (Hli_core.Maintain.move_item_outward mt
-                                     ~item:it ~target_rid:p)
-                            | None -> ())
-                        | None -> ())
+                | Some (mt : Hli_import.maint), Some it -> (
+                    match mt.Hli_import.mn_hoist_target it with
+                    | Some p ->
+                        ignore
+                          (mt.Hli_import.mn_move_item_outward ~item:it
+                             ~target_rid:p)
                     | None -> ())
                 | _ -> ())
             | _ -> stats.hoisted_alu <- stats.hoisted_alu + 1)

@@ -128,10 +128,10 @@ let run_fn ?maintain ~factor (fn : fn) : stats =
               (* HLI-side duplication first: gives us per-copy item ids *)
               let item_copies =
                 match maintain with
-                | Some mt -> (
+                | Some (mt : Hli_import.maint) -> (
                     try
                       let r =
-                        Hli_core.Maintain.unroll mt ~rid:c.c_loop.l_region ~factor
+                        mt.Hli_import.mn_unroll ~rid:c.c_loop.l_region ~factor
                       in
                       Some r.Hli_core.Maintain.copies
                     with Diagnostics.Diagnostic _ ->

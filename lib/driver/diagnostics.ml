@@ -16,6 +16,7 @@
     - [E07xx] HLI maintenance / optimization passes
     - [E08xx] scheduling      - [E09xx] simulation / runtime
     - [E10xx] driver & pass-manager configuration
+    - [E11xx] hlid wire protocol / remote query service
 
     The serialization block [E06xx] is subdivided (see
     [lib/core/serialize.ml] and [lib/core/validate.ml]):
@@ -26,7 +27,22 @@
     - [E0614] out-of-range tag byte   - [E0615] per-entry CRC32 mismatch
     - [E0616] trailing / undecoded bytes
     - [E0621]..[E0629] structural validation (line-table order, region
-      tree, class/alias/LCDD/REF-MOD id resolution, duplicate units) *)
+      tree, class/alias/LCDD/REF-MOD id resolution, duplicate units)
+
+    The wire-protocol block [E11xx] is subdivided (see
+    [lib/server/protocol.ml]; DESIGN.md has the byte-level spec):
+    - [E1101] unknown frame tag       - [E1102] truncated frame
+    - [E1103] frame CRC32 mismatch    - [E1104] frame exceeds size bound
+    - [E1105] malformed frame payload
+    - [E1106] protocol state violation (query before open, double open)
+    - [E1107] unknown unit name       - [E1108] relayed server-side error
+    - [E1109] request/response timeout
+    - [E1110] connection closed / server shutting down
+    - [E1111] protocol version mismatch
+    - [E1112] socket setup failure
+
+    [E1012] (driver block) flags a malformed [HLI_JOBS] value whose
+    silent fallback used to hide typos (see [Pool.default_jobs]). *)
 
 type severity = Note | Warning | Error
 
@@ -43,6 +59,7 @@ type phase =
   | Sim  (** machine simulation *)
   | Driver  (** pipeline / pass-manager configuration *)
   | Io
+  | Net  (** hlid wire protocol / remote query service *)
 
 type t = {
   code : string;  (** e.g. ["E0301"] *)
@@ -88,6 +105,7 @@ let phase_name = function
   | Sim -> "sim"
   | Driver -> "driver"
   | Io -> "io"
+  | Net -> "net"
 
 (** [file:line:col: severity[CODE]: message]; position segments are
     omitted when unknown. *)
@@ -103,7 +121,8 @@ let to_string (d : t) = Fmt.str "%a" pp d
 
 (** Distinct process exit codes per failure class, used by [bin/hlic]:
     1 I/O, 2 lex/parse, 3 type, 4 compile (analysis through
-    scheduling), 5 simulation/runtime, 6 driver configuration. *)
+    scheduling), 5 simulation/runtime, 6 driver configuration,
+    7 wire protocol / remote service. *)
 let exit_code (d : t) =
   match d.phase with
   | Io -> 1
@@ -112,3 +131,4 @@ let exit_code (d : t) =
   | Analysis | Hligen | Lower | Import | Opt _ | Sched -> 4
   | Sim -> 5
   | Driver -> 6
+  | Net -> 7

@@ -87,6 +87,24 @@ let stage_eq : type a b. a stage -> b stage -> (a, b) eq option =
   | Simulated, Simulated -> Some Eq
   | _ -> None
 
+(** Hooks giving the back end a remote HLI session (hlid) for one
+    unit.  The closures route to Batch/Notify_* wire frames; the
+    driver layer stays ignorant of the protocol. *)
+type remote_unit = {
+  ru_source : Backend.Hli_import.query_source;
+  ru_maint : Backend.Hli_import.maint;
+  ru_refresh : unit -> unit;
+      (** end-of-pass barrier: the server replays [Maintain.commit]'s
+          index replacement so the next pass queries fresh structure *)
+  ru_line_table : unit -> Hli_core.Tables.line_table;
+  ru_dups : int list;  (** duplicate item ids, from the server's open *)
+}
+
+(** A remote HLI back end: [remote_unit] answers [None] when the
+    server session has no such unit (the import falls back to the
+    local entry). *)
+type remote = { remote_unit : string -> remote_unit option }
+
 (** Execution context threaded through every pass.  [spanf] is the
     telemetry hook — the harness supplies [Telemetry.span], so the
     driver layer never depends on the harness. *)
@@ -96,6 +114,9 @@ type ctx = {
       (** [None] while running the variant-independent front end *)
   ablation : Variant.ablation;
   fuel : int;  (** simulation fuel budget *)
+  remote : remote option;
+      (** when set, With_hli variants import/query/maintain HLI over a
+          hlid session instead of in-process indexes *)
 }
 
 and spanf = { spanf : 'a. string -> (unit -> 'a) -> 'a }
@@ -103,8 +124,8 @@ and spanf = { spanf : 'a. string -> (unit -> 'a) -> 'a }
 let no_span = { spanf = (fun _ f -> f ()) }
 
 let ctx ?(spanf = no_span) ?variant ?(ablation = Variant.baseline)
-    ?(fuel = 400_000_000) () =
-  { span = spanf; variant; ablation; fuel }
+    ?(fuel = 400_000_000) ?remote () =
+  { span = spanf; variant; ablation; fuel; remote }
 
 (** The variant of a backend-pipeline context; raises a driver
     diagnostic if a variant-dependent pass runs in a front-end context

@@ -46,13 +46,27 @@ let run_lower _ctx ~arg:_ (h : hli) : mapped =
     m_notes = [];
   }
 
-let run_hli_import _ctx ~arg:_ (m : mapped) : mapped =
+let run_hli_import ctx ~arg:_ (m : mapped) : mapped =
   let unmapped = ref 0 and duplicates = ref 0 and dropped = ref 0 in
   List.iter
     (fun (e : Hli_core.Tables.hli_entry) ->
       match Backend.Rtl.find_fn m.m_rtl e.Hli_core.Tables.unit_name with
       | Some fn ->
-          let mp = Backend.Hli_import.map_unit e fn in
+          let mp =
+            match
+              Option.bind ctx.remote (fun r ->
+                  r.remote_unit e.Hli_core.Tables.unit_name)
+            with
+            | Some ru ->
+                (* remote back end: the line table and duplicate list
+                   come over the wire; queries route to the session *)
+                Backend.Hli_import.map_unit_lines
+                  ~source:(Backend.Hli_import.Remote ru.ru_source)
+                  ~dups:ru.ru_dups
+                  ~line_table:(ru.ru_line_table ())
+                  fn
+            | None -> Backend.Hli_import.map_unit e fn
+          in
           unmapped := !unmapped + mp.Backend.Hli_import.unmapped_insns;
           duplicates := !duplicates + List.length mp.Backend.Hli_import.dup_items;
           Hashtbl.replace m.m_maps e.Hli_core.Tables.unit_name mp
@@ -68,11 +82,16 @@ let run_hli_import _ctx ~arg:_ (m : mapped) : mapped =
    index (so no pass can observe a stale memoized answer), and after
    the step the committed entry and its fresh index replace the old
    ones — both in the map table and in the payload's entry list, so a
-   later pass maintains the already-edited entry, not the original. *)
+   later pass maintains the already-edited entry, not the original.
+
+   On a remote back end the server owns all of that state: the pass
+   sees the session's maintenance hooks, and the end-of-step commit
+   becomes a Refresh barrier (the server rebuilds the unit's index
+   from the maintained entry). *)
 let fold_maintained ctx (m : mapped)
     (apply :
       hli:Backend.Hli_import.t option ->
-      maintain:Hli_core.Maintain.t option ->
+      maintain:Backend.Hli_import.maint option ->
       Backend.Rtl.fn ->
       Backend.Rtl.fn) : mapped =
   let use_hli =
@@ -84,35 +103,54 @@ let fold_maintained ctx (m : mapped)
       (fun (fn : Backend.Rtl.fn) ->
         let fname = fn.Backend.Rtl.fname in
         let hli = if use_hli then Hashtbl.find_opt m.m_maps fname else None in
-        let maintain =
+        let remote =
           if use_hli then
-            Option.map Hli_core.Maintain.start
-              (List.find_opt
-                 (fun (e : Hli_core.Tables.hli_entry) ->
-                   e.Hli_core.Tables.unit_name = fname)
-                 !entries)
+            Option.bind ctx.remote (fun r -> r.remote_unit fname)
           else None
         in
-        (match (maintain, hli) with
-        | Some mt, Some h ->
-            Hli_core.Maintain.watch mt h.Backend.Hli_import.index
-        | _ -> ());
-        let fn = apply ~hli ~maintain fn in
-        (match maintain with
-        | Some mt ->
-            let entry', index = Hli_core.Maintain.commit mt in
-            (match Hashtbl.find_opt m.m_maps fname with
-            | Some mp ->
-                Hashtbl.replace m.m_maps fname
-                  { mp with Backend.Hli_import.index }
+        match remote with
+        | Some ru ->
+            let fn = apply ~hli ~maintain:(Some ru.ru_maint) fn in
+            ru.ru_refresh ();
+            fn
+        | None ->
+            let maintain =
+              if use_hli then
+                Option.map Hli_core.Maintain.start
+                  (List.find_opt
+                     (fun (e : Hli_core.Tables.hli_entry) ->
+                       e.Hli_core.Tables.unit_name = fname)
+                     !entries)
+              else None
+            in
+            (match (maintain, hli) with
+            | Some mt, Some { Backend.Hli_import.source = Local index; _ } ->
+                Hli_core.Maintain.watch mt index
+            | _ -> ());
+            let fn =
+              apply ~hli
+                ~maintain:(Option.map Backend.Hli_import.local_maint maintain)
+                fn
+            in
+            (match maintain with
+            | Some mt ->
+                let entry', index = Hli_core.Maintain.commit mt in
+                (match Hashtbl.find_opt m.m_maps fname with
+                | Some mp ->
+                    Hashtbl.replace m.m_maps fname
+                      {
+                        mp with
+                        Backend.Hli_import.source =
+                          Backend.Hli_import.Local index;
+                      }
+                | None -> ());
+                entries :=
+                  List.map
+                    (fun (e : Hli_core.Tables.hli_entry) ->
+                      if e.Hli_core.Tables.unit_name = fname then entry' else e)
+                    !entries
             | None -> ());
-            entries :=
-              List.map
-                (fun (e : Hli_core.Tables.hli_entry) ->
-                  if e.Hli_core.Tables.unit_name = fname then entry' else e)
-                !entries
-        | None -> ());
-        fn)
+            fn)
       m.m_rtl.Backend.Rtl.fns
   in
   { m with m_rtl = { m.m_rtl with Backend.Rtl.fns = fns }; m_entries = !entries }

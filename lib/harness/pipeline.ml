@@ -22,6 +22,10 @@ type config = {
   hli_cache : string option;
       (** cache directory ([--hli-cache] / [HLI_CACHE]); [None]
           disables caching *)
+  remote : string option;
+      (** hlid socket path; when set, every [With_hli] variant opens
+          its own server session and imports/queries/maintains HLI
+          over the wire instead of in-process *)
 }
 
 (** Default cache directory: the [HLI_CACHE] environment variable (an
@@ -32,7 +36,12 @@ let hli_cache_env () =
   | Some dir -> Some dir
 
 let default_config =
-  { specs = []; ablation = Driver.Variant.baseline; hli_cache = hli_cache_env () }
+  {
+    specs = [];
+    ablation = Driver.Variant.baseline;
+    hli_cache = hli_cache_env ();
+    remote = None;
+  }
 
 (** [passes] shorthand: parse a [--passes] spec string into a config. *)
 let config_of_passes ?(ablation = Driver.Variant.baseline) passes =
@@ -73,7 +82,7 @@ let rec mkdir_p dir =
    truncation, bit-rot, races with a concurrent writer) is a miss that
    regeneration will overwrite.  Counted per compilation into the
    workload's telemetry record ([hli_cache_hits]/[hli_cache_misses],
-   surfaced by --stats and the hli-telemetry-v4 JSON dump). *)
+   surfaced by --stats and the hli-telemetry-v5 JSON dump). *)
 let cache_lookup ?tm dir ~ablation src =
   match dir with
   | None -> None
@@ -208,11 +217,30 @@ let compile ?(config = default_config) ?src_file ?pool ?tm (src : string) :
         h
   in
   let hli = { Hli_core.Tables.entries = h.Driver.Pass.h_entries } in
+  (* remote mode ships the locally produced container inline, so the
+     server answers over exactly the bytes Table 1 measures *)
+  let hli_wire = lazy (Hli_core.Serialize.to_bytes hli) in
   let mk v =
-    let ctx =
-      Driver.Pass.ctx ~spanf ~variant:v ~ablation:config.ablation ()
-    in
-    (v, Driver.Pass_manager.run_backend ctx config.specs h)
+    match config.remote with
+    | Some socket when Driver.Variant.use_hli v ->
+        let cl = Hli_server.Client.connect socket in
+        Fun.protect
+          ~finally:(fun () -> Hli_server.Client.close cl)
+          (fun () ->
+            let opened =
+              Hli_server.Client.open_hli_bytes cl (Lazy.force hli_wire)
+            in
+            let remote = Remote.hooks_of_client cl opened in
+            let ctx =
+              Driver.Pass.ctx ~spanf ~variant:v ~ablation:config.ablation
+                ~remote ()
+            in
+            (v, Driver.Pass_manager.run_backend ctx config.specs h))
+    | _ ->
+        let ctx =
+          Driver.Pass.ctx ~spanf ~variant:v ~ablation:config.ablation ()
+        in
+        (v, Driver.Pass_manager.run_backend ctx config.specs h)
   in
   let variants = Pool.map_opt pool mk Driver.Variant.matrix in
   let stats_s =

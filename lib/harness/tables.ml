@@ -271,19 +271,22 @@ let stats_table (rows : row list) =
   Buffer.contents buf
 
 (** Machine-readable dump: schema {!Telemetry.schema_version}
-    ([hli-telemetry-v4]).  Per workload: failure annotation, unmapped,
+    ([hli-telemetry-v5]).  Per workload: failure annotation, unmapped,
     duplicate and dropped counts, dependence-query stats, and the
     {!Telemetry} spans/counters; plus the process-wide per-kind HLI
     query counters and the [query_cache] hit/miss/invalidation
     counters added in v2.  v3 added the per-workload [dropped] count
     and the per-pass backend spans; v4 added the aggregate [hli_cache]
     hit/miss object for the on-disk HLI cache (zeros when no cache
-    directory is configured). *)
-let stats_json (rows : row list) =
+    directory is configured); v5 added the [server] object —
+    [?server] carries the hlid telemetry JSON of a [--remote] run
+    ([null] otherwise). *)
+let stats_json ?server (rows : row list) =
   let b = Buffer.create 4096 in
   Buffer.add_string b
-    (Printf.sprintf "{\"schema\":\"%s\",\"hli_queries\":{"
-       Telemetry.schema_version);
+    (Printf.sprintf "{\"schema\":\"%s\",\"server\":%s,\"hli_queries\":{"
+       Telemetry.schema_version
+       (match server with Some s -> s | None -> "null"));
   List.iteri
     (fun i (name, v) ->
       if i > 0 then Buffer.add_char b ',';

@@ -157,8 +157,11 @@ let to_json (t : t) = "{" ^ json_fragment t ^ "}"
     [hli_cache] hit/miss object (the on-disk HLI cache of
     [--hli-cache]/[HLI_CACHE]), the per-workload
     [hli_cache_hits]/[hli_cache_misses] counters and the [hli.cache]
-    span. *)
-let schema_version = "hli-telemetry-v4"
+    span; v5 added the top-level [server] object (hlid wire-service
+    telemetry: per-session query counts, batch sizes, p50/p99 service
+    latency, rejected/timed-out frames — [null] for purely in-process
+    runs). *)
+let schema_version = "hli-telemetry-v5"
 
 (* first "schema" key in the dump (the emitters put it first) and its
    string value, scanned tolerantly so a pretty-printed dump still

@@ -32,14 +32,36 @@ type t = {
 }
 
 (** Worker count for [-j]/[HLI_JOBS]: the env var (a positive integer)
-    wins, else [Domain.recommended_domain_count ()]. *)
-let default_jobs () =
+    wins, else [Domain.recommended_domain_count ()].  A malformed value
+    ([HLI_JOBS=0], [HLI_JOBS=abc]) still falls back, but the fallback
+    is reported: [default_jobs_checked] returns the E1012 warning
+    alongside the count, and [default_jobs] prints it to stderr. *)
+let default_jobs_checked () =
   match Sys.getenv_opt "HLI_JOBS" with
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+      | Some n when n >= 1 -> (n, None)
+      | Some _ | None when String.trim s = "" ->
+          (* unset-by-convention: empty string is how callers clear the
+             variable (Unix.putenv cannot remove it), not a typo *)
+          (Domain.recommended_domain_count (), None)
+      | Some _ | None ->
+          let d =
+            Diagnostics.make ~code:"E1012" ~phase:Diagnostics.Driver
+              ~severity:Diagnostics.Warning
+              (Printf.sprintf
+                 "HLI_JOBS=%S is not a positive integer; using the \
+                  recommended domain count (%d)"
+                 s
+                 (Domain.recommended_domain_count ()))
+          in
+          (Domain.recommended_domain_count (), Some d))
+  | None -> (Domain.recommended_domain_count (), None)
+
+let default_jobs () =
+  let jobs, warning = default_jobs_checked () in
+  Option.iter (fun d -> Fmt.epr "%a@." Diagnostics.pp d) warning;
+  jobs
 
 let rec worker_loop t =
   Mutex.lock t.mutex;
@@ -57,7 +79,9 @@ let rec worker_loop t =
   match j with
   | None -> ()
   | Some j ->
-      j ();
+      (* a raising job must not kill the worker: [map] tasks catch
+         their own exceptions, and [submit] jobs are fire-and-forget *)
+      (try j () with _ -> ());
       worker_loop t
 
 let create ~jobs =
@@ -75,6 +99,20 @@ let create ~jobs =
   t
 
 let size t = 1 + List.length t.workers
+
+(** [submit t job] hands one fire-and-forget task to the pool.  With no
+    worker domains ([~jobs:1]) the task runs inline, preserving the
+    sequential reference semantics.  The caller is responsible for any
+    completion signalling; an exception escaping [job] is dropped by
+    the worker loop, so jobs that care must catch their own. *)
+let submit t (job : job) =
+  if t.workers = [] then job ()
+  else begin
+    Mutex.lock t.mutex;
+    Queue.add job t.queue;
+    Condition.signal t.cond;
+    Mutex.unlock t.mutex
+  end
 
 (** Stop the workers and join them.  Pending tasks of an in-flight
     {!map} are still drained by their submitter, so only call this once

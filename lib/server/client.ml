@@ -1,0 +1,211 @@
+(** Blocking hlid client.
+
+    One {!t} is one server session (one socket, one opened HLI file).
+    Single-query conveniences memoize locally — the client-side image
+    of the query engine's memo tables — and every maintenance
+    notification conservatively resets all memo tables, exactly as
+    [Maintain]'s watch edge invalidates local indexes.  Memoization is
+    invisible to table output: Table 2 query counts are computed from
+    back-end DDG statistics, not the query engine's counters.
+
+    All failures are {!Diagnostics.Diagnostic}: protocol faults carry
+    their E11xx code (phase [Net]), and server-relayed errors
+    ([R_error]) re-raise under the server's original code, so e.g. a
+    relayed E0701 bad-unroll-factor behaves like the local call. *)
+
+module P = Protocol
+module S = Hli_core.Serialize
+module T = Hli_core.Tables
+module Q = Hli_core.Query
+
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  timeout : float;
+  (* memo tables, keyed by (unit, args); reset on any notify *)
+  memo_equiv : (string * int * int, Q.equiv_result) Hashtbl.t;
+  memo_alias : (string * int * int * int, bool) Hashtbl.t;
+  memo_lcdd : (string * int * int * int, T.lcdd_entry list option) Hashtbl.t;
+  memo_call : (string * int * int, Q.call_acc_result) Hashtbl.t;
+  memo_region : (string * int, int option) Hashtbl.t;
+}
+
+let net_raise ?at code fmt =
+  Fmt.kstr
+    (fun m ->
+      let m =
+        match at with
+        | Some at when at >= 0 -> Printf.sprintf "%s (at byte %d)" m at
+        | _ -> m
+      in
+      raise
+        (Diagnostics.Diagnostic
+           (Diagnostics.make ~code ~phase:Diagnostics.Net
+              ~severity:Diagnostics.Error m)))
+    fmt
+
+let rpc cl (req : P.request) : P.response =
+  match
+    P.send_request cl.fd req;
+    P.recv_response ~max_frame:cl.max_frame ~timeout:cl.timeout cl.fd
+  with
+  | P.R_error { e_code; e_msg } -> net_raise e_code "%s" e_msg
+  | resp -> resp
+  | exception S.Corrupt c ->
+      raise (Diagnostics.Diagnostic (P.diagnostic_of_fault c))
+
+let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
+    path : t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     net_raise "E1112" "cannot connect to %s: %s" path (Unix.error_message e));
+  let cl =
+    {
+      fd;
+      max_frame;
+      timeout;
+      memo_equiv = Hashtbl.create 256;
+      memo_alias = Hashtbl.create 64;
+      memo_lcdd = Hashtbl.create 64;
+      memo_call = Hashtbl.create 64;
+      memo_region = Hashtbl.create 64;
+    }
+  in
+  (match rpc cl (P.Hello { version = P.protocol_version }) with
+  | P.R_hello { version } when version = P.protocol_version -> ()
+  | P.R_hello { version } ->
+      net_raise "E1111" "protocol version mismatch: client %d, server %d"
+        P.protocol_version version
+  | _ -> net_raise "E1105" "unexpected response to Hello");
+  cl
+
+let close cl =
+  (* best-effort goodbye; the server also handles a plain EOF *)
+  (try
+     P.send_request cl.fd P.Close;
+     ignore (P.recv_response ~max_frame:cl.max_frame ~timeout:1.0 cl.fd)
+   with _ -> ());
+  try Unix.close cl.fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Session setup                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let expect_opened = function
+  | P.R_opened l -> l
+  | _ -> net_raise "E1105" "unexpected response to Open"
+
+let open_hli_bytes cl bytes = expect_opened (rpc cl (P.Open_hli bytes))
+let open_path cl path = expect_opened (rpc cl (P.Open_path path))
+
+let line_table cl u =
+  match rpc cl (P.Line_table u) with
+  | P.R_line_table lt -> lt
+  | _ -> net_raise "E1105" "unexpected response to Line_table"
+
+let server_stats cl =
+  match rpc cl P.Stats with
+  | P.R_stats s -> s
+  | _ -> net_raise "E1105" "unexpected response to Stats"
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let query_batch cl (qs : P.query list) : P.answer list =
+  match rpc cl (P.Batch qs) with
+  | P.R_results l when List.length l = List.length qs -> l
+  | P.R_results _ -> net_raise "E1105" "batch answer count mismatch"
+  | _ -> net_raise "E1105" "unexpected response to Batch"
+
+let one cl q =
+  match query_batch cl [ q ] with [ a ] -> a | _ -> assert false
+
+let memoized tbl key fetch =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = fetch () in
+      Hashtbl.replace tbl key v;
+      v
+
+let equiv_acc cl ~u a b =
+  memoized cl.memo_equiv (u, a, b) @@ fun () ->
+  match one cl (P.Q_equiv { u; a; b }) with
+  | P.A_equiv r -> r
+  | _ -> net_raise "E1105" "answer kind mismatch (equiv)"
+
+let alias cl ~u ~rid ca cb =
+  memoized cl.memo_alias (u, rid, ca, cb) @@ fun () ->
+  match one cl (P.Q_alias { u; rid; ca; cb }) with
+  | P.A_alias r -> r
+  | _ -> net_raise "E1105" "answer kind mismatch (alias)"
+
+let lcdd cl ~u ~rid a b =
+  memoized cl.memo_lcdd (u, rid, a, b) @@ fun () ->
+  match one cl (P.Q_lcdd { u; rid; a; b }) with
+  | P.A_lcdd r -> r
+  | _ -> net_raise "E1105" "answer kind mismatch (lcdd)"
+
+let call_acc cl ~u ~call ~mem =
+  memoized cl.memo_call (u, call, mem) @@ fun () ->
+  match one cl (P.Q_call { u; call; mem }) with
+  | P.A_call r -> r
+  | _ -> net_raise "E1105" "answer kind mismatch (call)"
+
+let region_of_item cl ~u item =
+  memoized cl.memo_region (u, item) @@ fun () ->
+  match one cl (P.Q_region_of { u; item }) with
+  | P.A_region_of r -> r
+  | _ -> net_raise "E1105" "answer kind mismatch (region_of)"
+
+let hoist_target cl ~u item =
+  (* not memoized: the answer depends on maintained state committed
+     server-side, mirroring the local commit-then-query sequence *)
+  match one cl (P.Q_hoist_target { u; item }) with
+  | P.A_hoist_target r -> r
+  | _ -> net_raise "E1105" "answer kind mismatch (hoist_target)"
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reset_memo cl =
+  Hashtbl.reset cl.memo_equiv;
+  Hashtbl.reset cl.memo_alias;
+  Hashtbl.reset cl.memo_lcdd;
+  Hashtbl.reset cl.memo_call;
+  Hashtbl.reset cl.memo_region
+
+let expect_ack what = function
+  | P.R_ack -> ()
+  | _ -> net_raise "E1105" "unexpected response to %s" what
+
+let notify_delete cl ~u item =
+  reset_memo cl;
+  expect_ack "Notify_delete" (rpc cl (P.Notify_delete { u; item }))
+
+let notify_gen cl ~u ~like ~line =
+  reset_memo cl;
+  match rpc cl (P.Notify_gen { u; like; line }) with
+  | P.R_gen id -> id
+  | _ -> net_raise "E1105" "unexpected response to Notify_gen"
+
+let notify_move cl ~u ~item ~target_rid =
+  reset_memo cl;
+  match rpc cl (P.Notify_move { u; item; target_rid }) with
+  | P.R_moved moved -> moved
+  | _ -> net_raise "E1105" "unexpected response to Notify_move"
+
+let notify_unroll cl ~u ~rid ~factor =
+  reset_memo cl;
+  match rpc cl (P.Notify_unroll { u; rid; factor }) with
+  | P.R_unrolled r -> r
+  | _ -> net_raise "E1105" "unexpected response to Notify_unroll"
+
+let refresh cl ~u =
+  reset_memo cl;
+  expect_ack "Refresh" (rpc cl (P.Refresh u))

@@ -1,0 +1,72 @@
+(** Blocking hlid client: one value is one server session.
+
+    Single-query conveniences memoize answers locally; every
+    maintenance notification resets all memo tables (the client-side
+    image of [Maintain]'s watch-edge invalidation), so answers always
+    match what the in-process engine would return.
+
+    Every failure raises {!Diagnostics.Diagnostic}: protocol faults
+    carry their E11xx code under phase [Net]; server-relayed errors
+    re-raise under the server's original code (a relayed E0701 behaves
+    like the local bad-unroll-factor). *)
+
+type t
+
+val connect : ?timeout:float -> ?max_frame:int -> string -> t
+(** Connect to a hlid socket path and perform the Hello handshake.
+    Raises E1112 if the socket is unreachable, E1111 on a protocol
+    version mismatch. *)
+
+val close : t -> unit
+(** Best-effort [Close] round-trip, then closes the socket.  Never
+    raises. *)
+
+val open_hli_bytes : t -> string -> (string * int list) list
+(** Ship HLI2 container bytes inline; the server validates and opens
+    them.  Returns, per unit, its name and duplicate item ids. *)
+
+val open_path : t -> string -> (string * int list) list
+(** Have the server load and validate an HLI2 file from its own
+    filesystem. *)
+
+val line_table : t -> string -> Hli_core.Tables.line_entry list
+(** The named unit's line table (drives remote instruction mapping). *)
+
+val server_stats : t -> string
+(** Server telemetry JSON (see {!Server.stats_json}). *)
+
+(** {2 Queries} *)
+
+val query_batch : t -> Protocol.query list -> Protocol.answer list
+(** One frame carrying N queries; answers are positional.  Bypasses
+    the memo tables (servbench uses this directly). *)
+
+val equiv_acc : t -> u:string -> int -> int -> Hli_core.Query.equiv_result
+val alias : t -> u:string -> rid:int -> int -> int -> bool
+
+val lcdd :
+  t -> u:string -> rid:int -> int -> int ->
+  Hli_core.Tables.lcdd_entry list option
+
+val call_acc :
+  t -> u:string -> call:int -> mem:int -> Hli_core.Query.call_acc_result
+
+val region_of_item : t -> u:string -> int -> int option
+
+val hoist_target : t -> u:string -> int -> int option
+(** Server-side commit-then-query for the LICM hoist decision; not
+    memoized because the answer tracks maintained state. *)
+
+(** {2 Maintenance notifications} — each resets the memo tables. *)
+
+val notify_delete : t -> u:string -> int -> unit
+val notify_gen : t -> u:string -> like:int -> line:int -> int
+val notify_move : t -> u:string -> item:int -> target_rid:int -> bool
+
+val notify_unroll :
+  t -> u:string -> rid:int -> factor:int -> Hli_core.Maintain.unroll_result
+
+val refresh : t -> u:string -> unit
+(** End-of-pass barrier: the server rebuilds the unit's query index
+    from the maintained entry ([Maintain.commit]'s index
+    replacement). *)

@@ -1,0 +1,587 @@
+(** hlid wire protocol: length-framed, CRC-checked request/response
+    frames over a Unix-domain socket.
+
+    Every frame is
+
+    {v tag:u8 | len:varint | payload (len bytes) | CRC32(payload):u32le v}
+
+    reusing the HLI2 container's primitives (bounded LEB128 varints,
+    explicit option/bool tags, IEEE CRC32) from {!Hli_core.Serialize},
+    so the wire format inherits the same hostile-input posture: every
+    decode failure raises {!Hli_core.Serialize.Corrupt} with a precise
+    E11xx code (see the table in [lib/driver/diagnostics.ml]) —
+
+    - E1101 unknown frame tag        - E1102 truncated frame
+    - E1103 frame CRC32 mismatch     - E1104 frame exceeds size bound
+    - E1105 malformed frame payload  - E1106 protocol state violation
+    - E1107 unknown unit name        - E1108 relayed server-side error
+    - E1109 timeout                  - E1110 connection closed
+    - E1111 protocol version mismatch
+    - E1112 socket setup failure
+
+    The exchange is strictly synchronous: one request frame in, one
+    response frame out.  A {!Batch} request carries N queries in one
+    frame; {!R_results} answers them positionally.  DESIGN.md has the
+    byte-level layout of every payload. *)
+
+module S = Hli_core.Serialize
+module T = Hli_core.Tables
+module Q = Hli_core.Query
+
+let protocol_version = 1
+
+(** Bound on a frame's payload length, checked {e before} the payload
+    is read or allocated. *)
+let default_max_frame = 16 * 1024 * 1024
+
+let default_timeout = 30.0
+
+let err ?at code fmt = S.corrupt ?at ~code fmt
+
+(* ------------------------------------------------------------------ *)
+(* Frame types                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type query =
+  | Q_equiv of { u : string; a : int; b : int }
+  | Q_alias of { u : string; rid : int; ca : int; cb : int }
+  | Q_lcdd of { u : string; rid : int; a : int; b : int }
+  | Q_call of { u : string; call : int; mem : int }
+  | Q_region_of of { u : string; item : int }
+  | Q_hoist_target of { u : string; item : int }
+      (** LICM's hoist decision: the parent region of the item's
+          region under the {e committed} entry, queried server-side so
+          the commit/fresh-index step happens where the tables live *)
+
+type answer =
+  | A_equiv of Q.equiv_result
+  | A_alias of bool
+  | A_lcdd of T.lcdd_entry list option
+  | A_call of Q.call_acc_result
+  | A_region_of of int option
+  | A_hoist_target of int option
+
+type request =
+  | Hello of { version : int }
+  | Open_hli of string  (** HLI2 container bytes, shipped inline *)
+  | Open_path of string  (** HLI2 file path readable by the server *)
+  | Batch of query list
+  | Notify_delete of { u : string; item : int }
+  | Notify_gen of { u : string; like : int; line : int }
+  | Notify_move of { u : string; item : int; target_rid : int }
+  | Notify_unroll of { u : string; rid : int; factor : int }
+  | Refresh of string
+      (** end-of-pass barrier: rebuild the unit's query index from the
+          current (maintained) entry, mirroring the local pipeline's
+          per-pass [Maintain.commit] index replacement *)
+  | Line_table of string
+  | Stats
+  | Close
+
+type response =
+  | R_hello of { version : int }
+  | R_opened of (string * int list) list
+      (** per opened unit: name and duplicate item ids *)
+  | R_results of answer list
+  | R_ack
+  | R_gen of int
+  | R_moved of bool
+  | R_unrolled of Hli_core.Maintain.unroll_result
+  | R_line_table of T.line_entry list
+  | R_stats of string  (** server telemetry as a JSON object *)
+  | R_closing
+  | R_error of { e_code : string; e_msg : string }
+
+(* ------------------------------------------------------------------ *)
+(* Payload encoders                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let put_query buf = function
+  | Q_equiv { u; a; b } ->
+      Buffer.add_char buf '\000';
+      S.put_string buf u;
+      S.put_varint buf a;
+      S.put_varint buf b
+  | Q_alias { u; rid; ca; cb } ->
+      Buffer.add_char buf '\001';
+      S.put_string buf u;
+      S.put_varint buf rid;
+      S.put_varint buf ca;
+      S.put_varint buf cb
+  | Q_lcdd { u; rid; a; b } ->
+      Buffer.add_char buf '\002';
+      S.put_string buf u;
+      S.put_varint buf rid;
+      S.put_varint buf a;
+      S.put_varint buf b
+  | Q_call { u; call; mem } ->
+      Buffer.add_char buf '\003';
+      S.put_string buf u;
+      S.put_varint buf call;
+      S.put_varint buf mem
+  | Q_region_of { u; item } ->
+      Buffer.add_char buf '\004';
+      S.put_string buf u;
+      S.put_varint buf item
+  | Q_hoist_target { u; item } ->
+      Buffer.add_char buf '\005';
+      S.put_string buf u;
+      S.put_varint buf item
+
+let put_equiv buf (r : Q.equiv_result) =
+  Buffer.add_char buf
+    (match r with
+    | Q.Equiv_none -> '\000'
+    | Q.Equiv_same T.Definitely -> '\001'
+    | Q.Equiv_same T.Maybe -> '\002'
+    | Q.Equiv_alias -> '\003'
+    | Q.Equiv_unknown -> '\004')
+
+let put_call buf (r : Q.call_acc_result) =
+  Buffer.add_char buf
+    (match r with
+    | Q.Call_none -> '\000'
+    | Q.Call_ref -> '\001'
+    | Q.Call_mod -> '\002'
+    | Q.Call_refmod -> '\003'
+    | Q.Call_unknown -> '\004')
+
+let put_answer buf = function
+  | A_equiv r ->
+      Buffer.add_char buf '\000';
+      put_equiv buf r
+  | A_alias b ->
+      Buffer.add_char buf '\001';
+      S.put_bool buf b
+  | A_lcdd o ->
+      Buffer.add_char buf '\002';
+      S.put_opt buf (fun b l -> S.put_list b S.put_lcdd_v2 l) o
+  | A_call r ->
+      Buffer.add_char buf '\003';
+      put_call buf r
+  | A_region_of o ->
+      Buffer.add_char buf '\004';
+      S.put_opt buf S.put_varint o
+  | A_hoist_target o ->
+      Buffer.add_char buf '\005';
+      S.put_opt buf S.put_varint o
+
+(* (id, per-copy ids) pairs of Maintain.unroll_result *)
+let put_ipairs buf l =
+  S.put_list buf
+    (fun b (id, arr) ->
+      S.put_varint b id;
+      S.put_list b (fun b x -> S.put_varint b x) (Array.to_list arr))
+    l
+
+let request_tag = function
+  | Hello _ -> 0x01
+  | Open_hli _ -> 0x02
+  | Open_path _ -> 0x03
+  | Batch _ -> 0x04
+  | Notify_delete _ -> 0x05
+  | Notify_gen _ -> 0x06
+  | Notify_move _ -> 0x07
+  | Notify_unroll _ -> 0x08
+  | Refresh _ -> 0x09
+  | Line_table _ -> 0x0a
+  | Stats -> 0x0b
+  | Close -> 0x0c
+
+let is_request_tag t = t >= 0x01 && t <= 0x0c
+
+let response_tag = function
+  | R_hello _ -> 0x81
+  | R_opened _ -> 0x82
+  | R_results _ -> 0x83
+  | R_ack -> 0x84
+  | R_gen _ -> 0x85
+  | R_moved _ -> 0x86
+  | R_unrolled _ -> 0x87
+  | R_line_table _ -> 0x88
+  | R_stats _ -> 0x89
+  | R_closing -> 0x8a
+  | R_error _ -> 0xff
+
+let is_response_tag t = (t >= 0x81 && t <= 0x8a) || t = 0xff
+
+let frame tag payload =
+  let buf = Buffer.create (String.length payload + 12) in
+  Buffer.add_char buf (Char.chr tag);
+  S.put_varint buf (String.length payload);
+  Buffer.add_string buf payload;
+  S.put_crc32 buf payload;
+  Buffer.contents buf
+
+let request_to_string (r : request) : string =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Hello { version } -> S.put_varint buf version
+  | Open_hli bytes -> S.put_string buf bytes
+  | Open_path p -> S.put_string buf p
+  | Batch qs -> S.put_list buf put_query qs
+  | Notify_delete { u; item } ->
+      S.put_string buf u;
+      S.put_varint buf item
+  | Notify_gen { u; like; line } ->
+      S.put_string buf u;
+      S.put_varint buf like;
+      S.put_varint buf line
+  | Notify_move { u; item; target_rid } ->
+      S.put_string buf u;
+      S.put_varint buf item;
+      S.put_varint buf target_rid
+  | Notify_unroll { u; rid; factor } ->
+      S.put_string buf u;
+      S.put_varint buf rid;
+      S.put_varint buf factor
+  | Refresh u | Line_table u -> S.put_string buf u
+  | Stats | Close -> ());
+  frame (request_tag r) (Buffer.contents buf)
+
+let response_to_string (r : response) : string =
+  let buf = Buffer.create 64 in
+  (match r with
+  | R_hello { version } -> S.put_varint buf version
+  | R_opened units ->
+      S.put_list buf
+        (fun b (name, dups) ->
+          S.put_string b name;
+          S.put_list b (fun b x -> S.put_varint b x) dups)
+        units
+  | R_results answers -> S.put_list buf put_answer answers
+  | R_ack | R_closing -> ()
+  | R_gen id -> S.put_varint buf id
+  | R_moved b -> S.put_bool buf b
+  | R_unrolled { Hli_core.Maintain.copies; new_classes } ->
+      put_ipairs buf copies;
+      put_ipairs buf new_classes
+  | R_line_table lt -> S.put_list buf S.put_line lt
+  | R_stats json -> S.put_string buf json
+  | R_error { e_code; e_msg } ->
+      S.put_string buf e_code;
+      S.put_string buf e_msg);
+  frame (response_tag r) (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Payload decoders                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let get_query cur =
+  match S.byte cur with
+  | 0 ->
+      let u = S.get_string cur in
+      let a = S.get_varint cur in
+      let b = S.get_varint cur in
+      Q_equiv { u; a; b }
+  | 1 ->
+      let u = S.get_string cur in
+      let rid = S.get_varint cur in
+      let ca = S.get_varint cur in
+      let cb = S.get_varint cur in
+      Q_alias { u; rid; ca; cb }
+  | 2 ->
+      let u = S.get_string cur in
+      let rid = S.get_varint cur in
+      let a = S.get_varint cur in
+      let b = S.get_varint cur in
+      Q_lcdd { u; rid; a; b }
+  | 3 ->
+      let u = S.get_string cur in
+      let call = S.get_varint cur in
+      let mem = S.get_varint cur in
+      Q_call { u; call; mem }
+  | 4 ->
+      let u = S.get_string cur in
+      let item = S.get_varint cur in
+      Q_region_of { u; item }
+  | 5 ->
+      let u = S.get_string cur in
+      let item = S.get_varint cur in
+      Q_hoist_target { u; item }
+  | n -> err ~at:(cur.S.pos - 1) "E1105" "bad query tag %d" n
+
+let get_equiv cur : Q.equiv_result =
+  match S.byte cur with
+  | 0 -> Q.Equiv_none
+  | 1 -> Q.Equiv_same T.Definitely
+  | 2 -> Q.Equiv_same T.Maybe
+  | 3 -> Q.Equiv_alias
+  | 4 -> Q.Equiv_unknown
+  | n -> err ~at:(cur.S.pos - 1) "E1105" "bad equiv result %d" n
+
+let get_call cur : Q.call_acc_result =
+  match S.byte cur with
+  | 0 -> Q.Call_none
+  | 1 -> Q.Call_ref
+  | 2 -> Q.Call_mod
+  | 3 -> Q.Call_refmod
+  | 4 -> Q.Call_unknown
+  | n -> err ~at:(cur.S.pos - 1) "E1105" "bad call result %d" n
+
+let get_answer cur =
+  match S.byte cur with
+  | 0 -> A_equiv (get_equiv cur)
+  | 1 -> A_alias (S.get_bool cur)
+  | 2 -> A_lcdd (S.get_opt cur (fun cur -> S.get_list cur S.get_lcdd_v2))
+  | 3 -> A_call (get_call cur)
+  | 4 -> A_region_of (S.get_opt cur S.get_varint)
+  | 5 -> A_hoist_target (S.get_opt cur S.get_varint)
+  | n -> err ~at:(cur.S.pos - 1) "E1105" "bad answer tag %d" n
+
+let get_ipairs cur =
+  S.get_list cur (fun cur ->
+      let id = S.get_varint cur in
+      let l = S.get_list cur S.get_varint in
+      (id, Array.of_list l))
+
+let decode_request_payload tag cur : request =
+  match tag with
+  | 0x01 -> Hello { version = S.get_varint cur }
+  | 0x02 -> Open_hli (S.get_string cur)
+  | 0x03 -> Open_path (S.get_string cur)
+  | 0x04 -> Batch (S.get_list cur get_query)
+  | 0x05 ->
+      let u = S.get_string cur in
+      Notify_delete { u; item = S.get_varint cur }
+  | 0x06 ->
+      let u = S.get_string cur in
+      let like = S.get_varint cur in
+      Notify_gen { u; like; line = S.get_varint cur }
+  | 0x07 ->
+      let u = S.get_string cur in
+      let item = S.get_varint cur in
+      Notify_move { u; item; target_rid = S.get_varint cur }
+  | 0x08 ->
+      let u = S.get_string cur in
+      let rid = S.get_varint cur in
+      Notify_unroll { u; rid; factor = S.get_varint cur }
+  | 0x09 -> Refresh (S.get_string cur)
+  | 0x0a -> Line_table (S.get_string cur)
+  | 0x0b -> Stats
+  | 0x0c -> Close
+  | _ -> assert false (* tag validated by the framing layer *)
+
+let decode_response_payload tag cur : response =
+  match tag with
+  | 0x81 -> R_hello { version = S.get_varint cur }
+  | 0x82 ->
+      R_opened
+        (S.get_list cur (fun cur ->
+             let name = S.get_string cur in
+             (name, S.get_list cur S.get_varint)))
+  | 0x83 -> R_results (S.get_list cur get_answer)
+  | 0x84 -> R_ack
+  | 0x85 -> R_gen (S.get_varint cur)
+  | 0x86 -> R_moved (S.get_bool cur)
+  | 0x87 ->
+      let copies = get_ipairs cur in
+      let new_classes = get_ipairs cur in
+      R_unrolled { Hli_core.Maintain.copies; new_classes }
+  | 0x88 -> R_line_table (S.get_list cur S.get_line)
+  | 0x89 -> R_stats (S.get_string cur)
+  | 0x8a -> R_closing
+  | 0xff ->
+      let e_code = S.get_string cur in
+      R_error { e_code; e_msg = S.get_string cur }
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Framing layer (pure: operates on strings)                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_protocol_code c = String.length c >= 3 && String.sub c 0 3 = "E11"
+
+(* A payload decoder uses the E06xx serializer primitives; any fault it
+   raises is, at this layer, one thing: a malformed payload. *)
+let remap_payload_fault f cur =
+  try f cur
+  with S.Corrupt c when not (is_protocol_code c.c_code) ->
+    err ~at:c.c_at "E1105" "malformed frame payload: %s" c.c_msg
+
+(* Split a complete frame into (tag, payload), enforcing tag validity,
+   the size bound, CRC integrity and exact length. *)
+let split_frame ?(max_frame = default_max_frame) ~kind ~known (s : string) :
+    int * string =
+  if String.length s = 0 then err ~at:0 "E1102" "empty %s frame" kind;
+  let tag = Char.code s.[0] in
+  if not (known tag) then err ~at:0 "E1101" "unknown %s frame tag %#x" kind tag;
+  let cur = { S.data = s; S.pos = 1 } in
+  let len =
+    try S.get_varint cur with
+    | S.Corrupt c when c.c_code = "E0611" ->
+        err ~at:c.c_at "E1102" "truncated frame length"
+    | S.Corrupt c -> err ~at:c.c_at "E1105" "malformed frame length: %s" c.c_msg
+  in
+  if len > max_frame then
+    err ~at:1 "E1104" "frame payload of %d bytes exceeds the %d-byte bound" len
+      max_frame;
+  if len + 4 > String.length s - cur.S.pos then
+    err ~at:cur.S.pos "E1102"
+      "truncated frame: payload+CRC need %d bytes, %d remain" (len + 4)
+      (String.length s - cur.S.pos);
+  let payload_ofs = cur.S.pos in
+  let payload = String.sub s payload_ofs len in
+  cur.S.pos <- payload_ofs + len;
+  let stored = S.get_crc32 cur in
+  let computed = S.crc32 s payload_ofs len in
+  if stored <> computed then
+    err ~at:payload_ofs "E1103"
+      "frame CRC32 mismatch (stored %08x, computed %08x)" stored computed;
+  if cur.S.pos <> String.length s then
+    err ~at:cur.S.pos "E1105" "%d trailing bytes after frame"
+      (String.length s - cur.S.pos);
+  (tag, payload)
+
+let decode_with ~kind ~known decode ?max_frame (s : string) =
+  let tag, payload = split_frame ?max_frame ~kind ~known s in
+  let cur = { S.data = payload; S.pos = 0 } in
+  let v = remap_payload_fault (decode tag) cur in
+  if cur.S.pos <> String.length payload then
+    err ~at:cur.S.pos "E1105" "%d undecoded payload bytes"
+      (String.length payload - cur.S.pos);
+  v
+
+let request_of_string ?max_frame s : request =
+  decode_with ~kind:"request" ~known:is_request_tag decode_request_payload
+    ?max_frame s
+
+let response_of_string ?max_frame s : response =
+  decode_with ~kind:"response" ~known:is_response_tag decode_response_payload
+    ?max_frame s
+
+(* ------------------------------------------------------------------ *)
+(* Socket I/O                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type 'a recv = Got of 'a | Idle | Closed
+
+let now = Unix.gettimeofday
+
+(* true iff [fd] becomes readable before [deadline] *)
+let wait_readable fd deadline =
+  let rec go () =
+    let left = deadline -. now () in
+    if left <= 0.0 then false
+    else
+      match Unix.select [ fd ] [] [] left with
+      | [], _, _ -> go ()
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let read_exact fd n ~deadline ~what =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  while !got < n do
+    if not (wait_readable fd deadline) then
+      err "E1109" "timed out mid-frame reading %s" what;
+    match Unix.read fd b !got (n - !got) with
+    | 0 -> err "E1102" "connection closed mid-frame (reading %s)" what
+    | k -> got := !got + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        err "E1110" "read failed: %s" (Unix.error_message e)
+  done;
+  Bytes.unsafe_to_string b
+
+(* Receive one frame.  [idle_timeout], when given, bounds only the wait
+   for the {e first} byte and expiry yields [Idle] — the server's poll
+   point for its shutdown flag.  Once a frame has started, [timeout]
+   bounds progress and expiry raises E1109.  EOF before the first byte
+   is [Closed]; EOF mid-frame is E1102. *)
+let recv_with ~kind ~known decode ?(max_frame = default_max_frame)
+    ?idle_timeout ?(timeout = default_timeout) fd : 'a recv =
+  let first_deadline =
+    now () +. match idle_timeout with Some t -> t | None -> timeout
+  in
+  if not (wait_readable fd first_deadline) then (
+    match idle_timeout with
+    | Some _ -> Idle
+    | None -> err "E1109" "timed out waiting for a %s frame" kind)
+  else begin
+    let b = Bytes.create 1 in
+    let rec read_first () =
+      match Unix.read fd b 0 1 with
+      | 0 -> None
+      | _ -> Some (Char.code (Bytes.get b 0))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_first ()
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> None
+      | exception Unix.Unix_error (e, _, _) ->
+          err "E1110" "read failed: %s" (Unix.error_message e)
+    in
+    match read_first () with
+    | None -> Closed
+    | Some tag ->
+        if not (known tag) then err ~at:0 "E1101" "unknown %s frame tag %#x" kind tag;
+        let deadline = now () +. timeout in
+        (* length varint, byte by byte, bounded like the serializer's *)
+        let lenbuf = Buffer.create 9 in
+        let rec read_len n =
+          if n > 9 then err "E1105" "frame length varint exceeds 9 bytes";
+          let s = read_exact fd 1 ~deadline ~what:"frame length" in
+          Buffer.add_string lenbuf s;
+          if Char.code s.[0] land 0x80 <> 0 then read_len (n + 1)
+        in
+        read_len 1;
+        let lenbytes = Buffer.contents lenbuf in
+        let len =
+          let cur = { S.data = lenbytes; S.pos = 0 } in
+          try S.get_varint cur
+          with S.Corrupt c ->
+            err ~at:c.c_at "E1105" "malformed frame length: %s" c.c_msg
+        in
+        if len > max_frame then
+          err "E1104" "frame payload of %d bytes exceeds the %d-byte bound" len
+            max_frame;
+        let rest = read_exact fd (len + 4) ~deadline ~what:"frame payload" in
+        (* re-assemble and run the one validated decode path *)
+        let full =
+          let buf = Buffer.create (len + 14) in
+          Buffer.add_char buf (Char.chr tag);
+          Buffer.add_string buf lenbytes;
+          Buffer.add_string buf rest;
+          Buffer.contents buf
+        in
+        Got (decode_with ~kind ~known decode ~max_frame full)
+  end
+
+let recv_request ?max_frame ?idle_timeout ?timeout fd : request recv =
+  recv_with ~kind:"request" ~known:is_request_tag decode_request_payload
+    ?max_frame ?idle_timeout ?timeout fd
+
+(** Clients have no idle state: EOF means the server went away
+    (E1110), and a quiet line past [timeout] is E1109. *)
+let recv_response ?max_frame ?timeout fd : response =
+  match
+    recv_with ~kind:"response" ~known:is_response_tag decode_response_payload
+      ?max_frame ?timeout fd
+  with
+  | Got r -> r
+  | Closed -> err "E1110" "connection closed by server"
+  | Idle -> assert false (* no idle_timeout passed *)
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go ofs =
+    if ofs < n then
+      match Unix.write fd b ofs (n - ofs) with
+      | k -> go (ofs + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+      | exception Unix.Unix_error (e, _, _) ->
+          err "E1110" "write failed: %s" (Unix.error_message e)
+  in
+  go 0
+
+let send_request fd r = write_all fd (request_to_string r)
+let send_response fd r = write_all fd (response_to_string r)
+
+(** Render a protocol fault as a structured diagnostic (phase [Net],
+    process exit code 7). *)
+let diagnostic_of_fault ?file (c : S.corruption) =
+  Diagnostics.make ?file ~code:c.c_code ~phase:Diagnostics.Net
+    ~severity:Diagnostics.Error
+    (if c.c_at >= 0 then Printf.sprintf "%s (at byte %d)" c.c_msg c.c_at
+     else c.c_msg)

@@ -1,0 +1,110 @@
+(** hlid wire protocol: length-framed, CRC-checked binary frames.
+
+    Frame layout (DESIGN.md has the full byte-level spec):
+
+    {v tag:u8 | len:varint | payload (len bytes) | CRC32(payload):u32le v}
+
+    All decode failures raise {!Hli_core.Serialize.Corrupt} with a
+    precise E11xx code: E1101 unknown tag, E1102 truncated frame,
+    E1103 CRC mismatch, E1104 size bound exceeded, E1105 malformed
+    payload, E1109 timeout, E1110 connection closed. *)
+
+val protocol_version : int
+
+val default_max_frame : int
+(** Default payload size bound (16 MiB), enforced before allocation. *)
+
+val default_timeout : float
+(** Default per-frame progress timeout, seconds. *)
+
+(** One query of a {!Batch}; [u] names the opened unit. *)
+type query =
+  | Q_equiv of { u : string; a : int; b : int }
+  | Q_alias of { u : string; rid : int; ca : int; cb : int }
+  | Q_lcdd of { u : string; rid : int; a : int; b : int }
+  | Q_call of { u : string; call : int; mem : int }
+  | Q_region_of of { u : string; item : int }
+  | Q_hoist_target of { u : string; item : int }
+
+(** Positional answers of an {!R_results}, mirroring {!query}. *)
+type answer =
+  | A_equiv of Hli_core.Query.equiv_result
+  | A_alias of bool
+  | A_lcdd of Hli_core.Tables.lcdd_entry list option
+  | A_call of Hli_core.Query.call_acc_result
+  | A_region_of of int option
+  | A_hoist_target of int option
+
+type request =
+  | Hello of { version : int }
+  | Open_hli of string  (** HLI2 container bytes, shipped inline *)
+  | Open_path of string  (** HLI2 file path readable by the server *)
+  | Batch of query list
+  | Notify_delete of { u : string; item : int }
+  | Notify_gen of { u : string; like : int; line : int }
+  | Notify_move of { u : string; item : int; target_rid : int }
+  | Notify_unroll of { u : string; rid : int; factor : int }
+  | Refresh of string
+      (** end-of-pass barrier: rebuild the unit's query index from the
+          maintained entry (the local pipeline's per-pass
+          [Maintain.commit] index replacement) *)
+  | Line_table of string
+  | Stats
+  | Close
+
+type response =
+  | R_hello of { version : int }
+  | R_opened of (string * int list) list
+      (** per opened unit: name and duplicate item ids *)
+  | R_results of answer list
+  | R_ack
+  | R_gen of int
+  | R_moved of bool
+  | R_unrolled of Hli_core.Maintain.unroll_result
+  | R_line_table of Hli_core.Tables.line_entry list
+  | R_stats of string  (** server telemetry as a JSON object *)
+  | R_closing
+  | R_error of { e_code : string; e_msg : string }
+
+(** {2 Pure frame codec} — used directly by the fuzz harness. *)
+
+val request_to_string : request -> string
+val response_to_string : response -> string
+
+val request_of_string : ?max_frame:int -> string -> request
+(** Decode one complete request frame; raises
+    {!Hli_core.Serialize.Corrupt} with an E11xx code on any fault. *)
+
+val response_of_string : ?max_frame:int -> string -> response
+
+val is_protocol_code : string -> bool
+(** [true] on E11xx codes. *)
+
+(** {2 Socket I/O} *)
+
+(** [Idle]: the optional [idle_timeout] expired before any byte of a
+    frame arrived (the server's shutdown-flag poll point).  [Closed]:
+    EOF before any byte. *)
+type 'a recv = Got of 'a | Idle | Closed
+
+val recv_request :
+  ?max_frame:int ->
+  ?idle_timeout:float ->
+  ?timeout:float ->
+  Unix.file_descr ->
+  request recv
+(** Blocking read of one request frame.  Once a frame has started,
+    [timeout] bounds progress (expiry raises E1109); EOF mid-frame
+    raises E1102. *)
+
+val recv_response : ?max_frame:int -> ?timeout:float -> Unix.file_descr -> response
+(** Blocking read of one response frame.  EOF raises E1110; a quiet
+    line past [timeout] raises E1109. *)
+
+val send_request : Unix.file_descr -> request -> unit
+val send_response : Unix.file_descr -> response -> unit
+(** Both raise [Corrupt] E1110 when the peer is gone. *)
+
+val diagnostic_of_fault :
+  ?file:string -> Hli_core.Serialize.corruption -> Diagnostics.t
+(** Render a protocol fault as a phase-[Net] diagnostic (exit code 7). *)

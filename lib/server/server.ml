@@ -1,0 +1,471 @@
+(** hlid server core: accept loop, concurrent sessions, telemetry.
+
+    One listening Unix-domain socket; each accepted connection becomes
+    a {e session} running on a {!Pool} worker domain.  A session owns
+    its HLI data outright — {!Protocol.Open_hli}/[Open_path] loads a
+    validated file into per-unit {!Hli_core.Maintain} transactions,
+    each watching an eagerly built {!Hli_core.Query} index — so
+    sessions share no query state and need no locking; only the
+    telemetry record is shared (mutex-protected).
+
+    The semantics mirror the in-process pipeline exactly (the remote
+    differential suite depends on it):
+    - queries answer from the session's current index, whose memo
+      tables are invalidated by every maintenance op (the [watch]
+      edge), but whose structure is only rebuilt at a {!Protocol.Refresh}
+      — the wire image of the local per-pass [Maintain.commit];
+    - [Q_hoist_target] commits and asks the fresh index, which is
+      verbatim what the local LICM hoist decision does.
+
+    Shutdown is graceful: {!initiate_shutdown} flips a flag and closes
+    the listening socket; sessions notice at their idle poll, answer
+    in-flight work, send an E1110 error frame and drain.  {!run}
+    bounds the drain and force-closes stragglers. *)
+
+module P = Protocol
+module S = Hli_core.Serialize
+module T = Hli_core.Tables
+module Q = Hli_core.Query
+module M = Hli_core.Maintain
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** pool size; [jobs - 1] workers bound concurrent sessions *)
+  max_frame : int;
+  idle_timeout : float;  (** session poll interval (shutdown latency) *)
+  request_timeout : float;  (** mid-frame progress bound *)
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    (* sessions are held for a connection's lifetime, so the pool is
+       sized for concurrency, not CPU count *)
+    jobs = max 8 (Pool.default_jobs ());
+    max_frame = P.default_max_frame;
+    idle_timeout = 0.2;
+    request_timeout = P.default_timeout;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry (hli-telemetry-v5 "server" object)                        *)
+(* ------------------------------------------------------------------ *)
+
+let lat_cap = 8192
+let per_session_cap = 32
+
+type stats = {
+  mutable st_sessions : int;
+  mutable st_active : int;
+  mutable st_frames : int;
+  mutable st_batches : int;
+  mutable st_queries : int;
+  mutable st_batch_max : int;
+  mutable st_q_equiv : int;
+  mutable st_q_alias : int;
+  mutable st_q_lcdd : int;
+  mutable st_q_call : int;
+  mutable st_q_region : int;
+  mutable st_q_hoist : int;
+  mutable st_maintenance : int;
+  mutable st_rejected : int;
+  mutable st_timeouts : int;
+  st_lat : float array;  (** service latencies, seconds; ring buffer *)
+  mutable st_lat_n : int;  (** total recorded (may exceed the cap) *)
+  mutable st_per_session : (int * int * int) list;
+      (** (session id, frames, queries), newest first, capped *)
+}
+
+let fresh_stats () =
+  {
+    st_sessions = 0;
+    st_active = 0;
+    st_frames = 0;
+    st_batches = 0;
+    st_queries = 0;
+    st_batch_max = 0;
+    st_q_equiv = 0;
+    st_q_alias = 0;
+    st_q_lcdd = 0;
+    st_q_call = 0;
+    st_q_region = 0;
+    st_q_hoist = 0;
+    st_maintenance = 0;
+    st_rejected = 0;
+    st_timeouts = 0;
+    st_lat = Array.make lat_cap 0.0;
+    st_lat_n = 0;
+    st_per_session = [];
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  stop : bool Atomic.t;
+  pool : Pool.t;
+  active : int Atomic.t;
+  mutex : Mutex.t;  (** guards [st] and [conns] *)
+  st : stats;
+  mutable conns : Unix.file_descr list;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record_latency t dt =
+  t.st.st_lat.(t.st.st_lat_n mod lat_cap) <- dt;
+  t.st.st_lat_n <- t.st.st_lat_n + 1
+
+let percentile_ns sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let i = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
+    int_of_float (sorted.(max 0 i) *. 1e9)
+
+(** The server-side telemetry object embedded as the ["server"] field
+    of an hli-telemetry-v5 dump (and answered to a [Stats] frame). *)
+let stats_json t =
+  locked t @@ fun () ->
+  let s = t.st in
+  let sorted =
+    Array.sub s.st_lat 0 (min s.st_lat_n lat_cap)
+  in
+  Array.sort compare sorted;
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"sessions\":%d,\"active\":%d,\"frames\":%d,\"rejected_frames\":%d,\
+        \"timed_out_frames\":%d,\"batches\":%d,\"batch_max\":%d,\
+        \"maintenance_ops\":%d,\"queries\":{\"total\":%d,\"equiv_acc\":%d,\
+        \"alias\":%d,\"lcdd\":%d,\"call_acc\":%d,\"region_of_item\":%d,\
+        \"hoist_target\":%d},\"latency_ns\":{\"samples\":%d,\"p50\":%d,\
+        \"p99\":%d},\"per_session\":["
+       s.st_sessions s.st_active s.st_frames s.st_rejected s.st_timeouts
+       s.st_batches s.st_batch_max s.st_maintenance s.st_queries s.st_q_equiv
+       s.st_q_alias s.st_q_lcdd s.st_q_call s.st_q_region s.st_q_hoist
+       s.st_lat_n
+       (percentile_ns sorted 0.50)
+       (percentile_ns sorted 0.99));
+  List.iteri
+    (fun i (id, frames, queries) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"session\":%d,\"frames\":%d,\"queries\":%d}" id
+           frames queries))
+    (List.rev s.st_per_session);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type unit_state = {
+  us_mt : M.t;
+  mutable us_idx : Q.index;  (** replaced at [Refresh], like a commit *)
+}
+
+let q_unit = function
+  | P.Q_equiv { u; _ }
+  | P.Q_alias { u; _ }
+  | P.Q_lcdd { u; _ }
+  | P.Q_call { u; _ }
+  | P.Q_region_of { u; _ }
+  | P.Q_hoist_target { u; _ } ->
+      u
+
+exception Reply_error of string * string  (* code, message *)
+
+let reply_error code fmt = Fmt.kstr (fun m -> raise (Reply_error (code, m))) fmt
+
+let find_unit units u =
+  if Hashtbl.length units = 0 then
+    reply_error "E1106" "no HLI opened on this session";
+  match Hashtbl.find_opt units u with
+  | Some us -> us
+  | None -> reply_error "E1107" "unknown unit %S" u
+
+let answer_query units q : P.answer =
+  let us = find_unit units (q_unit q) in
+  match q with
+  | P.Q_equiv { a; b; _ } -> P.A_equiv (Q.get_equiv_acc us.us_idx a b)
+  | P.Q_alias { rid; ca; cb; _ } -> P.A_alias (Q.get_alias us.us_idx ~rid ca cb)
+  | P.Q_lcdd { rid; a; b; _ } -> P.A_lcdd (Q.get_lcdd us.us_idx ~rid a b)
+  | P.Q_call { call; mem; _ } ->
+      P.A_call (Q.get_call_acc us.us_idx ~call ~mem)
+  | P.Q_region_of { item; _ } ->
+      P.A_region_of (Q.get_region_of_item us.us_idx item)
+  | P.Q_hoist_target { item; _ } ->
+      (* verbatim the local LICM hoist decision: commit, then ask the
+         fresh index and walk to the region's parent *)
+      let entry, idx = M.commit us.us_mt in
+      P.A_hoist_target
+        (match Q.get_region_of_item idx item with
+        | Some rid -> (
+            match T.find_region entry rid with
+            | Some r -> r.T.parent
+            | None -> None)
+        | None -> None)
+
+let open_file units (f : T.hli_file) : P.response =
+  if Hashtbl.length units > 0 then
+    reply_error "E1106" "session already has an HLI open";
+  let opened =
+    List.map
+      (fun (e : T.hli_entry) ->
+        let mt = M.start e in
+        let idx = Q.build e in
+        M.watch mt idx;
+        Hashtbl.replace units e.T.unit_name { us_mt = mt; us_idx = idx };
+        (e.T.unit_name, Q.duplicate_items idx))
+      f.T.entries
+  in
+  P.R_opened opened
+
+let bump_query_kind st = function
+  | P.Q_equiv _ -> st.st_q_equiv <- st.st_q_equiv + 1
+  | P.Q_alias _ -> st.st_q_alias <- st.st_q_alias + 1
+  | P.Q_lcdd _ -> st.st_q_lcdd <- st.st_q_lcdd + 1
+  | P.Q_call _ -> st.st_q_call <- st.st_q_call + 1
+  | P.Q_region_of _ -> st.st_q_region <- st.st_q_region + 1
+  | P.Q_hoist_target _ -> st.st_q_hoist <- st.st_q_hoist + 1
+
+(* handle one request; returns (response, keep_session_open) *)
+let handle t units (req : P.request) : P.response * bool =
+  match req with
+  | P.Hello { version } ->
+      if version <> P.protocol_version then
+        ( P.R_error
+            {
+              e_code = "E1111";
+              e_msg =
+                Printf.sprintf "protocol version mismatch: client %d, server %d"
+                  version P.protocol_version;
+            },
+          false )
+      else (P.R_hello { version = P.protocol_version }, true)
+  | P.Open_hli bytes -> (
+      match S.of_bytes bytes with
+      | exception S.Corrupt c ->
+          (P.R_error { e_code = c.S.c_code; e_msg = S.corruption_to_string c }, true)
+      | f -> (
+          match Hli_core.Validate.validate f with
+          | () -> (open_file units f, true)
+          | exception Diagnostics.Diagnostic d ->
+              ( P.R_error
+                  { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
+                true )))
+  | P.Open_path path -> (
+      match S.read_file path with
+      | f -> (open_file units f, true)
+      | exception Diagnostics.Diagnostic d ->
+          (P.R_error { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message }, true)
+      | exception Sys_error msg ->
+          (P.R_error { e_code = "E0001"; e_msg = msg }, true))
+  | P.Batch qs ->
+      let answers = List.map (answer_query units) qs in
+      locked t (fun () ->
+          let st = t.st in
+          st.st_batches <- st.st_batches + 1;
+          let n = List.length qs in
+          st.st_queries <- st.st_queries + n;
+          if n > st.st_batch_max then st.st_batch_max <- n;
+          List.iter (bump_query_kind st) qs);
+      (P.R_results answers, true)
+  | P.Notify_delete { u; item } ->
+      let us = find_unit units u in
+      M.delete_item us.us_mt item;
+      locked t (fun () -> t.st.st_maintenance <- t.st.st_maintenance + 1);
+      (P.R_ack, true)
+  | P.Notify_gen { u; like; line } ->
+      let us = find_unit units u in
+      let id = M.gen_item us.us_mt ~like ~line in
+      locked t (fun () -> t.st.st_maintenance <- t.st.st_maintenance + 1);
+      (P.R_gen id, true)
+  | P.Notify_move { u; item; target_rid } ->
+      let us = find_unit units u in
+      let moved = M.move_item_outward us.us_mt ~item ~target_rid in
+      locked t (fun () -> t.st.st_maintenance <- t.st.st_maintenance + 1);
+      (P.R_moved moved, true)
+  | P.Notify_unroll { u; rid; factor } -> (
+      let us = find_unit units u in
+      locked t (fun () -> t.st.st_maintenance <- t.st.st_maintenance + 1);
+      match M.unroll us.us_mt ~rid ~factor with
+      | r -> (P.R_unrolled r, true)
+      | exception Diagnostics.Diagnostic d ->
+          (P.R_error { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message }, true))
+  | P.Refresh u ->
+      let us = find_unit units u in
+      let _entry, idx = M.commit us.us_mt in
+      us.us_idx <- idx;
+      M.watch us.us_mt idx;
+      (P.R_ack, true)
+  | P.Line_table u ->
+      let us = find_unit units u in
+      (P.R_line_table us.us_mt.M.entry.T.line_table, true)
+  | P.Stats -> (P.R_stats (stats_json t), true)
+  | P.Close -> (P.R_closing, false)
+
+let session t fd id =
+  let units : (string, unit_state) Hashtbl.t = Hashtbl.create 8 in
+  let frames = ref 0 and queries = ref 0 in
+  let send r = P.send_response fd r in
+  let rec loop () =
+    if Atomic.get t.stop then
+      (* graceful shutdown: in-flight requests were answered; tell the
+         client we are going away rather than silently hanging up *)
+      try send (P.R_error { e_code = "E1110"; e_msg = "server shutting down" })
+      with _ -> ()
+    else
+      match
+        P.recv_request ~max_frame:t.cfg.max_frame
+          ~idle_timeout:t.cfg.idle_timeout ~timeout:t.cfg.request_timeout fd
+      with
+      | P.Idle -> loop ()
+      | P.Closed -> ()
+      | P.Got req ->
+          let t0 = Unix.gettimeofday () in
+          let resp, keep =
+            try handle t units req with
+            | Reply_error (e_code, e_msg) ->
+                (P.R_error { e_code; e_msg }, true)
+            | Diagnostics.Diagnostic d ->
+                ( P.R_error
+                    { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
+                  true )
+          in
+          send resp;
+          incr frames;
+          (match req with P.Batch qs -> queries := !queries + List.length qs | _ -> ());
+          locked t (fun () ->
+              t.st.st_frames <- t.st.st_frames + 1;
+              record_latency t (Unix.gettimeofday () -. t0));
+          if keep then loop ()
+      | exception S.Corrupt c ->
+          (* a framing fault is unrecoverable: answer with its precise
+             E-code, then drop the connection *)
+          locked t (fun () ->
+              if c.S.c_code = "E1109" then t.st.st_timeouts <- t.st.st_timeouts + 1
+              else t.st.st_rejected <- t.st.st_rejected + 1);
+          (try
+             send
+               (P.R_error
+                  { e_code = c.S.c_code; e_msg = S.corruption_to_string c })
+           with _ -> ())
+  in
+  (try loop () with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  locked t (fun () ->
+      t.conns <- List.filter (fun c -> c != fd) t.conns;
+      t.st.st_active <- t.st.st_active - 1;
+      t.st.st_per_session <-
+        (let l = (id, !frames, !queries) :: t.st.st_per_session in
+         if List.length l > per_session_cap then
+           List.filteri (fun i _ -> i < per_session_cap) l
+         else l));
+  Atomic.decr t.active
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let net_error code fmt =
+  Fmt.kstr
+    (fun m ->
+      raise
+        (Diagnostics.Diagnostic
+           (Diagnostics.make ~code ~phase:Diagnostics.Net
+              ~severity:Diagnostics.Error m)))
+    fmt
+
+(** Bind and listen on [cfg.socket_path] (removing a stale socket
+    file); raises a phase-[Net] E1112 diagnostic on failure. *)
+let create (cfg : config) : t =
+  (* a dying client must surface as a write error, not kill the server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path
+   with Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen fd 64
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     net_error "E1112" "cannot listen on %s: %s" cfg.socket_path
+       (Unix.error_message e));
+  {
+    cfg = { cfg with jobs = max 2 cfg.jobs };
+    listen_fd = fd;
+    stop = Atomic.make false;
+    pool = Pool.create ~jobs:(max 2 cfg.jobs);
+    active = Atomic.make 0;
+    mutex = Mutex.create ();
+    st = fresh_stats ();
+    conns = [];
+  }
+
+(** Flip the stop flag and close the listening socket.  Callable from
+    a signal handler; {!run} then drains and returns. *)
+let initiate_shutdown t =
+  if not (Atomic.exchange t.stop true) then
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+let sleepf s = try Unix.sleepf s with Unix.Unix_error _ -> ()
+
+(** Accept loop; returns once {!initiate_shutdown} has been called and
+    every session has drained (bounded: stragglers are force-closed
+    after a grace period). *)
+let run t =
+  (* Never block indefinitely in accept: closing the listening socket
+     from another domain (initiate_shutdown without a signal) does not
+     wake a blocked accept(2), so poll with select at the idle
+     interval and re-check the stop flag between waits.  A select or
+     accept on the closed descriptor errors out, which is also a
+     shutdown signal. *)
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then
+      match Unix.select [ t.listen_fd ] [] [] t.cfg.idle_timeout with
+      | [], _, _ -> accept_loop ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              Atomic.incr t.active;
+              let id =
+                locked t (fun () ->
+                    t.st.st_sessions <- t.st.st_sessions + 1;
+                    t.st.st_active <- t.st.st_active + 1;
+                    t.conns <- fd :: t.conns;
+                    t.st.st_sessions)
+              in
+              Pool.submit t.pool (fun () -> session t fd id);
+              accept_loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | exception Unix.Unix_error _ ->
+              (* listening socket closed by initiate_shutdown *)
+              ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  accept_loop ();
+  (* drain: sessions notice the stop flag at their idle poll *)
+  let deadline = Unix.gettimeofday () +. (2.0 *. t.cfg.idle_timeout) +. 1.0 in
+  while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
+    sleepf 0.02
+  done;
+  if Atomic.get t.active > 0 then begin
+    (* force stragglers out: their blocking reads fail immediately *)
+    locked t (fun () ->
+        List.iter
+          (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.conns);
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
+      sleepf 0.02
+    done
+  end;
+  Pool.shutdown t.pool;
+  try Sys.remove t.cfg.socket_path with Sys_error _ -> ()
+
+let socket_path t = t.cfg.socket_path

@@ -1,0 +1,52 @@
+(** hlid server core: listening socket, concurrent sessions, telemetry.
+
+    Each accepted connection becomes an isolated session on a {!Pool}
+    worker domain: it opens one validated HLI file into per-unit
+    {!Hli_core.Maintain} transactions and answers
+    {!Protocol.request} frames until [Close], EOF, a framing fault, or
+    server shutdown.  Query/maintenance semantics mirror the
+    in-process pipeline exactly (the remote differential suite checks
+    Tables 1/2 byte-identity against it). *)
+
+type config = {
+  socket_path : string;
+  jobs : int;
+      (** pool size; [jobs - 1] worker domains bound the number of
+          concurrent sessions (clamped to at least 2) *)
+  max_frame : int;  (** request payload size bound, bytes *)
+  idle_timeout : float;
+      (** session poll interval in seconds — bounds shutdown latency *)
+  request_timeout : float;
+      (** per-frame progress bound; expiry answers E1109 *)
+}
+
+val default_config : socket_path:string -> config
+(** [jobs = max 8 (Pool.default_jobs ())],
+    [max_frame = Protocol.default_max_frame], 0.2s idle poll, 30s
+    request timeout. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen on [socket_path] (removing a stale socket file
+    first).  Raises a phase-[Net] E1112 {!Diagnostics.Diagnostic} if
+    the socket cannot be set up. *)
+
+val run : t -> unit
+(** Accept loop.  Returns only after {!initiate_shutdown}: in-flight
+    sessions are drained (each answers an E1110 error frame at its
+    next poll), stragglers are force-closed after a grace period, the
+    worker pool is shut down and the socket file removed. *)
+
+val initiate_shutdown : t -> unit
+(** Flip the stop flag and close the listening socket.  Idempotent and
+    async-signal-safe enough for a [Sys.Signal_handle]. *)
+
+val stats_json : t -> string
+(** Server telemetry as a JSON object: session/frame/batch counters,
+    per-query-kind counts, maintenance ops, rejected and timed-out
+    frames, p50/p99 service latency (ns), capped per-session
+    summaries.  Embedded as the ["server"] field of an
+    hli-telemetry-v5 dump, and answered to a [Stats] frame. *)
+
+val socket_path : t -> string

@@ -86,7 +86,11 @@ let cse_tests =
         let entry, m = List.assoc "work" maps in
         let before = List.length (Hli_core.Tables.all_items entry) in
         let mt = Hli_core.Maintain.start entry in
-        let s = Backend.Cse.run_fn ~hli:m ~maintain:mt fn in
+        let s =
+          Backend.Cse.run_fn ~hli:m
+            ~maintain:(Backend.Hli_import.local_maint mt)
+            fn
+        in
         let entry', _ = Hli_core.Maintain.commit mt in
         let after = List.length (Hli_core.Tables.all_items entry') in
         Alcotest.(check int) "items deleted"

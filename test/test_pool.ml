@@ -4,8 +4,8 @@
    equality of a table row. *)
 
 let with_pool jobs f =
-  let p = Harness.Pool.create ~jobs in
-  Fun.protect ~finally:(fun () -> Harness.Pool.shutdown p) (fun () -> f p)
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
 
 let ints = Alcotest.(list int)
 
@@ -16,21 +16,21 @@ let pool_tests =
             let xs = List.init 100 Fun.id in
             let expected = List.map (fun i -> i * i) xs in
             Alcotest.check ints "ordered" expected
-              (Harness.Pool.map p (fun i -> i * i) xs)));
+              (Pool.map p (fun i -> i * i) xs)));
     Alcotest.test_case "map is deterministic across runs" `Quick (fun () ->
         with_pool 4 (fun p ->
             let xs = List.init 64 Fun.id in
             let f i = (i * 7919) mod 101 in
-            let r1 = Harness.Pool.map p f xs in
-            let r2 = Harness.Pool.map p f xs in
+            let r1 = Pool.map p f xs in
+            let r2 = Pool.map p f xs in
             Alcotest.check ints "same" r1 r2;
             Alcotest.check ints "matches List.map" (List.map f xs) r1));
     Alcotest.test_case "jobs=1 runs strictly sequentially" `Quick (fun () ->
         with_pool 1 (fun p ->
-            Alcotest.(check int) "no extra domains" 1 (Harness.Pool.size p);
+            Alcotest.(check int) "no extra domains" 1 (Pool.size p);
             let order = ref [] in
             let r =
-              Harness.Pool.map p
+              Pool.map p
                 (fun i ->
                   order := i :: !order;
                   i + 1)
@@ -43,15 +43,15 @@ let pool_tests =
     Alcotest.test_case "jobs=1 equals parallel results" `Quick (fun () ->
         let xs = List.init 50 (fun i -> i - 25) in
         let f i = (i * i) - (3 * i) in
-        let seq = with_pool 1 (fun p -> Harness.Pool.map p f xs) in
-        let par = with_pool 6 (fun p -> Harness.Pool.map p f xs) in
+        let seq = with_pool 1 (fun p -> Pool.map p f xs) in
+        let par = with_pool 6 (fun p -> Pool.map p f xs) in
         Alcotest.check ints "equal" seq par);
     Alcotest.test_case "exception propagates to the submitter" `Quick
       (fun () ->
         with_pool 4 (fun p ->
             Alcotest.check_raises "boom" (Failure "boom") (fun () ->
                 ignore
-                  (Harness.Pool.map p
+                  (Pool.map p
                      (fun i -> if i = 37 then failwith "boom" else i)
                      (List.init 64 Fun.id)))));
     Alcotest.test_case "first exception (submission order) wins" `Quick
@@ -59,7 +59,7 @@ let pool_tests =
         with_pool 4 (fun p ->
             Alcotest.check_raises "first" (Failure "first") (fun () ->
                 ignore
-                  (Harness.Pool.map p
+                  (Pool.map p
                      (fun i ->
                        if i = 5 then failwith "first"
                        else if i = 40 then failwith "second"
@@ -70,7 +70,7 @@ let pool_tests =
             let ran = Atomic.make 0 in
             (try
                ignore
-                 (Harness.Pool.map p
+                 (Pool.map p
                     (fun i ->
                       Atomic.incr ran;
                       if i = 0 then failwith "boom")
@@ -80,10 +80,10 @@ let pool_tests =
     Alcotest.test_case "nested maps do not deadlock" `Quick (fun () ->
         with_pool 2 (fun p ->
             let outer =
-              Harness.Pool.map p
+              Pool.map p
                 (fun i ->
                   let inner =
-                    Harness.Pool.map p (fun j -> (i * 10) + j)
+                    Pool.map p (fun j -> (i * 10) + j)
                       (List.init 4 Fun.id)
                   in
                   List.fold_left ( + ) 0 inner)
@@ -92,14 +92,64 @@ let pool_tests =
             Alcotest.check ints "sums" [ 6; 46; 86; 126 ] outer));
     Alcotest.test_case "map_opt None is List.map" `Quick (fun () ->
         Alcotest.check ints "plain" [ 2; 4; 6 ]
-          (Harness.Pool.map_opt None (fun i -> 2 * i) [ 1; 2; 3 ]));
+          (Pool.map_opt None (fun i -> 2 * i) [ 1; 2; 3 ]));
     Alcotest.test_case "HLI_JOBS drives default_jobs" `Quick (fun () ->
         Unix.putenv "HLI_JOBS" "3";
-        Alcotest.(check int) "env wins" 3 (Harness.Pool.default_jobs ());
+        Alcotest.(check int) "env wins" 3 (Pool.default_jobs ());
         Unix.putenv "HLI_JOBS" "not-a-number";
         Alcotest.(check bool) "garbage falls back" true
-          (Harness.Pool.default_jobs () >= 1);
+          (Pool.default_jobs () >= 1);
         Unix.putenv "HLI_JOBS" "");
+    Alcotest.test_case "malformed HLI_JOBS warns with E1012" `Quick (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Unix.putenv "HLI_JOBS" "")
+          (fun () ->
+            Unix.putenv "HLI_JOBS" "not-a-number";
+            let jobs, warning = Pool.default_jobs_checked () in
+            Alcotest.(check bool) "usable fallback" true (jobs >= 1);
+            (match warning with
+            | Some d ->
+                Alcotest.(check string) "code" "E1012" d.Diagnostics.code;
+                Alcotest.(check bool)
+                  "warning severity" true
+                  (d.Diagnostics.severity = Diagnostics.Warning)
+            | None -> Alcotest.fail "expected an E1012 warning");
+            Unix.putenv "HLI_JOBS" "0";
+            (match Pool.default_jobs_checked () with
+            | _, Some d ->
+                Alcotest.(check string) "zero warns" "E1012" d.Diagnostics.code
+            | _, None -> Alcotest.fail "HLI_JOBS=0 should warn");
+            (* well-formed and empty (unset-by-convention) stay silent *)
+            Unix.putenv "HLI_JOBS" "4";
+            Alcotest.(check bool)
+              "valid is silent" true
+              (Pool.default_jobs_checked () = (4, None));
+            Unix.putenv "HLI_JOBS" "";
+            Alcotest.(check bool)
+              "empty is silent" true
+              (snd (Pool.default_jobs_checked ()) = None)));
+    Alcotest.test_case "submit runs fire-and-forget jobs" `Quick (fun () ->
+        (* jobs=1: inline, synchronous *)
+        with_pool 1 (fun p ->
+            let hit = ref false in
+            Pool.submit p (fun () -> hit := true);
+            Alcotest.(check bool) "inline" true !hit);
+        (* jobs>1: all jobs run, and a raising job kills neither the
+           worker nor its siblings *)
+        with_pool 4 (fun p ->
+            let ran = Atomic.make 0 in
+            let done_ = Atomic.make 0 in
+            for i = 0 to 31 do
+              Pool.submit p (fun () ->
+                  Atomic.incr ran;
+                  Atomic.incr done_;
+                  if i mod 7 = 0 then failwith "dropped")
+            done;
+            let deadline = Unix.gettimeofday () +. 5.0 in
+            while Atomic.get done_ < 32 && Unix.gettimeofday () < deadline do
+              Domain.cpu_relax ()
+            done;
+            Alcotest.(check int) "all ran" 32 (Atomic.get ran)));
   ]
 
 (* The acceptance property at workload granularity: a row computed

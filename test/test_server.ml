@@ -1,0 +1,369 @@
+(* End-to-end tests for the hlid server (lib/server): a real listening
+   socket served from a spawned domain, exercised by real client
+   sessions.
+
+   - differential: every query kind answered over the wire equals the
+     in-process engine on the same entries;
+   - maintenance parity: notify/refresh replays Maintain edits with
+     identical generated ids and post-edit answers;
+   - concurrency: >= 5 simultaneous sessions each get in-process
+     answers;
+   - faults: every injected protocol violation (garbage tag, flipped
+     CRC, oversized frame, query-before-open, unknown unit, version
+     mismatch, shutdown mid-session, bad unroll factor) surfaces as
+     its precise E-code, with no hang. *)
+
+module P = Hli_server.Protocol
+module C = Hli_server.Client
+module T = Hli_core.Tables
+module Q = Hli_core.Query
+module M = Hli_core.Maintain
+
+let equiv_result = Alcotest.testable Q.pp_equiv_result ( = )
+let call_acc = Alcotest.testable Q.pp_call_acc ( = )
+
+let socket_counter = ref 0
+
+let fresh_socket () =
+  incr socket_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hli-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+
+(* Spawn a server on its own domain, run [f path], always shut down. *)
+let with_server ?(jobs = 10) ?max_frame f =
+  let path = fresh_socket () in
+  let cfg = Hli_server.Server.default_config ~socket_path:path in
+  let cfg =
+    {
+      cfg with
+      Hli_server.Server.jobs;
+      idle_timeout = 0.005;
+      max_frame = Option.value max_frame ~default:cfg.Hli_server.Server.max_frame;
+    }
+  in
+  let srv = Hli_server.Server.create cfg in
+  let d = Domain.spawn (fun () -> Hli_server.Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Hli_server.Server.initiate_shutdown srv;
+      Domain.join d;
+      (try Sys.remove path with Sys_error _ -> ()))
+    (fun () -> f path srv)
+
+let with_client path f =
+  let cl = C.connect ~timeout:10.0 path in
+  Fun.protect ~finally:(fun () -> C.close cl) (fun () -> f cl)
+
+(* Corpus: the real pipeline's HLI for a small workload. *)
+let entries_of_workload name =
+  let w = Option.get (Workloads.Registry.find name) in
+  let prog = Srclang.Typecheck.program_of_string w.Workloads.Workload.source in
+  Harness.Pipeline.build_hli_entries prog
+
+let wire_of entries = Hli_core.Serialize.to_bytes { T.entries }
+
+let items_of_entry (e : T.hli_entry) =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun le -> List.map (fun it -> it.T.item_id) le.T.items)
+       e.T.line_table)
+
+let rids_of_entry (e : T.hli_entry) =
+  List.map (fun r -> r.T.region_id) e.T.regions
+
+let take n xs =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n xs
+
+(* Check every query kind over the wire against a local index. *)
+let check_unit_against_local cl (e : T.hli_entry) =
+  let u = e.T.unit_name in
+  let idx = Q.build e in
+  let items = take 12 (items_of_entry e) in
+  let rids = take 4 (rids_of_entry e) in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.check equiv_result
+            (Printf.sprintf "%s equiv %d %d" u a b)
+            (Q.get_equiv_acc idx a b)
+            (C.equiv_acc cl ~u a b);
+          Alcotest.check call_acc
+            (Printf.sprintf "%s call %d %d" u a b)
+            (Q.get_call_acc idx ~call:a ~mem:b)
+            (C.call_acc cl ~u ~call:a ~mem:b))
+        items)
+    items;
+  List.iter
+    (fun item ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "%s region_of %d" u item)
+        (Q.get_region_of_item idx item)
+        (C.region_of_item cl ~u item))
+    items;
+  List.iter
+    (fun rid ->
+      for ca = 0 to 3 do
+        for cb = 0 to 3 do
+          Alcotest.(check bool)
+            (Printf.sprintf "%s alias r%d %d %d" u rid ca cb)
+            (Q.get_alias idx ~rid ca cb)
+            (C.alias cl ~u ~rid ca cb)
+        done
+      done;
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s lcdd r%d %d %d" u rid a b)
+                (Q.get_lcdd idx ~rid a b = None)
+                (C.lcdd cl ~u ~rid a b = None))
+            (take 5 items))
+        (take 5 items))
+    rids
+
+let expect_code code f =
+  match f () with
+  | _ -> Alcotest.failf "expected a %s diagnostic" code
+  | exception Diagnostics.Diagnostic d ->
+      Alcotest.(check string) "code" code d.Diagnostics.code
+
+(* ------------------------------------------------------------------ *)
+(* Differential + maintenance + concurrency                            *)
+(* ------------------------------------------------------------------ *)
+
+let wc_entries = lazy (entries_of_workload "wc")
+
+let differential_tests =
+  [
+    Alcotest.test_case "wire answers equal the in-process engine" `Quick
+      (fun () ->
+        let entries = Lazy.force wc_entries in
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                let opened = C.open_hli_bytes cl (wire_of entries) in
+                Alcotest.(check int)
+                  "all units opened" (List.length entries) (List.length opened);
+                List.iter
+                  (fun (e : T.hli_entry) ->
+                    (* reported duplicates match the local index's *)
+                    let idx = Q.build e in
+                    Alcotest.(check (list int))
+                      "duplicates"
+                      (Q.duplicate_items idx)
+                      (List.assoc e.T.unit_name opened);
+                    check_unit_against_local cl e)
+                  entries)));
+    Alcotest.test_case "line table survives the wire" `Quick (fun () ->
+        let entries = Lazy.force wc_entries in
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                List.iter
+                  (fun (e : T.hli_entry) ->
+                    Alcotest.(check bool)
+                      "line table equal" true
+                      (C.line_table cl e.T.unit_name = e.T.line_table))
+                  entries)));
+    Alcotest.test_case "maintenance notifications replay Maintain" `Quick
+      (fun () ->
+        let entries = Lazy.force wc_entries in
+        let e =
+          List.find (fun e -> items_of_entry e <> []) entries
+        in
+        let u = e.T.unit_name in
+        match items_of_entry e with
+        | i0 :: rest ->
+            let like = match rest with i :: _ -> i | [] -> i0 in
+            (* local replay *)
+            let mt = M.start e in
+            M.delete_item mt i0;
+            let gid = M.gen_item mt ~like ~line:5 in
+            let _entry', idx' = M.commit mt in
+            with_server (fun path _srv ->
+                with_client path (fun cl ->
+                    ignore (C.open_hli_bytes cl (wire_of [ e ]));
+                    C.notify_delete cl ~u i0;
+                    let gid_r = C.notify_gen cl ~u ~like ~line:5 in
+                    Alcotest.(check int) "generated id" gid gid_r;
+                    C.refresh cl ~u;
+                    (* post-edit answers equal the committed local index *)
+                    List.iter
+                      (fun a ->
+                        List.iter
+                          (fun b ->
+                            Alcotest.check equiv_result
+                              (Printf.sprintf "post-edit equiv %d %d" a b)
+                              (Q.get_equiv_acc idx' a b)
+                              (C.equiv_acc cl ~u a b))
+                          (take 8 (gid :: items_of_entry e)))
+                      (take 8 (gid :: items_of_entry e));
+                    Alcotest.(check (option int))
+                      "deleted item unmapped"
+                      (Q.get_region_of_item idx' i0)
+                      (C.region_of_item cl ~u i0)))
+        | [] -> Alcotest.fail "workload has no items");
+    Alcotest.test_case "5 concurrent sessions all get local answers" `Quick
+      (fun () ->
+        let entries = Lazy.force wc_entries in
+        let bytes = wire_of entries in
+        (* precompute the oracle once, outside the domains *)
+        let e = List.hd entries in
+        let idx = Q.build e in
+        let items = take 10 (items_of_entry e) in
+        let oracle =
+          List.concat_map
+            (fun a -> List.map (fun b -> Q.get_equiv_acc idx a b) items)
+            items
+        in
+        with_server ~jobs:10 (fun path _srv ->
+            let doms =
+              List.init 5 (fun _ ->
+                  Domain.spawn (fun () ->
+                      with_client path (fun cl ->
+                          ignore (C.open_hli_bytes cl bytes);
+                          List.concat_map
+                            (fun a ->
+                              List.map
+                                (fun b ->
+                                  C.equiv_acc cl ~u:e.T.unit_name a b)
+                                items)
+                            items)))
+            in
+            List.iteri
+              (fun i d ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "session %d matches oracle" i)
+                  true
+                  (Domain.join d = oracle))
+              doms));
+    Alcotest.test_case "server telemetry is valid JSON with sessions" `Quick
+      (fun () ->
+        let entries = Lazy.force wc_entries in
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                ignore (C.equiv_acc cl ~u:(List.hd entries).T.unit_name 1 1);
+                let js = C.server_stats cl in
+                (match Harness.Telemetry.validate_json js with
+                | Ok () -> ()
+                | Error (m, pos) ->
+                    Alcotest.failf "bad stats JSON at %d: %s" pos m);
+                Alcotest.(check bool)
+                  "mentions sessions" true
+                  (Harness.Telemetry.schema_of_json js = None
+                  && String.length js > 2))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+(* Write raw bytes, expect one R_error frame with [code]. *)
+let expect_raw_error path bytes code =
+  let fd = raw_connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      ignore (Unix.write_substring fd bytes 0 (String.length bytes));
+      match P.recv_response ~timeout:10.0 fd with
+      | P.R_error { e_code; _ } ->
+          Alcotest.(check string) "error code" code e_code
+      | _ -> Alcotest.failf "expected an R_error %s frame" code)
+
+let flip_last s =
+  let b = Bytes.of_string s in
+  let i = Bytes.length b - 1 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  Bytes.to_string b
+
+let fault_tests =
+  [
+    Alcotest.test_case "garbage tag answers E1101" `Quick (fun () ->
+        with_server (fun path _srv -> expect_raw_error path "\xee" "E1101"));
+    Alcotest.test_case "flipped CRC answers E1103" `Quick (fun () ->
+        with_server (fun path _srv ->
+            let frame =
+              P.request_to_string (P.Hello { version = P.protocol_version })
+            in
+            expect_raw_error path (flip_last frame) "E1103"));
+    Alcotest.test_case "oversized frame answers E1104" `Quick (fun () ->
+        with_server ~max_frame:1024 (fun path _srv ->
+            let frame =
+              P.request_to_string (P.Open_hli (String.make 4096 'x'))
+            in
+            expect_raw_error path frame "E1104"));
+    Alcotest.test_case "version mismatch answers E1111" `Quick (fun () ->
+        with_server (fun path _srv ->
+            expect_raw_error path
+              (P.request_to_string (P.Hello { version = 999 }))
+              "E1111"));
+    Alcotest.test_case "query before open raises E1106" `Quick (fun () ->
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                expect_code "E1106" (fun () -> C.equiv_acc cl ~u:"u" 1 2))));
+    Alcotest.test_case "unknown unit raises E1107" `Quick (fun () ->
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of (Lazy.force wc_entries)));
+                expect_code "E1107" (fun () ->
+                    C.equiv_acc cl ~u:"no-such-unit" 1 2))));
+    Alcotest.test_case "corrupt HLI payload relays its E06xx code" `Quick
+      (fun () ->
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                expect_code "E0610" (fun () ->
+                    C.open_hli_bytes cl "not an HLI2 container"))));
+    Alcotest.test_case "bad unroll factor relays E0701" `Quick (fun () ->
+        let entries = Lazy.force wc_entries in
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                expect_code "E0701" (fun () ->
+                    C.notify_unroll cl
+                      ~u:(List.hd entries).T.unit_name
+                      ~rid:1 ~factor:1))));
+    Alcotest.test_case "shutdown mid-session answers E1110" `Quick (fun () ->
+        let entries = Lazy.force wc_entries in
+        with_server (fun path srv ->
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                let u = (List.hd entries).T.unit_name in
+                Hli_server.Server.initiate_shutdown srv;
+                (* the session notices the flag at its next idle poll;
+                   keep querying (bounded) until the E1110 arrives *)
+                let rec poke n =
+                  if n = 0 then
+                    Alcotest.fail "no E1110 after shutdown"
+                  else
+                    match
+                      C.query_batch cl [ P.Q_region_of { u; item = 1 } ]
+                    with
+                    | _ ->
+                        Unix.sleepf 0.02;
+                        poke (n - 1)
+                    | exception Diagnostics.Diagnostic d ->
+                        Alcotest.(check string)
+                          "code" "E1110" d.Diagnostics.code
+                in
+                poke 200)));
+    Alcotest.test_case "connect to a dead socket raises E1112" `Quick
+      (fun () ->
+        expect_code "E1112" (fun () ->
+            C.connect ~timeout:2.0 (fresh_socket ())));
+  ]
+
+let () =
+  Alcotest.run "server"
+    [ ("differential", differential_tests); ("faults", fault_tests) ]

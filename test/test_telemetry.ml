@@ -103,8 +103,11 @@ let json_tests =
           (has_sub json
              (Printf.sprintf "\"schema\":\"%s\""
                 Harness.Telemetry.schema_version));
-        Alcotest.(check bool) "schema is v4" true
-          (Harness.Telemetry.schema_version = "hli-telemetry-v4");
+        Alcotest.(check bool) "schema is v5" true
+          (Harness.Telemetry.schema_version = "hli-telemetry-v5");
+        (* v5: the server object is present, null for in-process runs *)
+        Alcotest.(check bool) "has null server" true
+          (has_sub json "\"server\":null");
         Alcotest.(check bool) "has query_cache" true
           (has_sub json "\"query_cache\":{");
         Alcotest.(check bool) "has hli_cache" true

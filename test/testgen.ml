@@ -110,3 +110,62 @@ let v1_normalize (f : T.hli_file) : T.hli_file =
   in
   let norm_entry e = { e with T.regions = List.map norm_region e.T.regions } in
   { T.entries = List.map norm_entry f.T.entries }
+
+(* ------------------------------------------------------------------ *)
+(* hlid wire-protocol frame generators, used by the protocol fuzz      *)
+(* harness (test_protocol_fuzz.ml) and the server tests.               *)
+(* ------------------------------------------------------------------ *)
+
+module P = Hli_server.Protocol
+
+let gen_unit_name = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+
+let gen_query : P.query QCheck.Gen.t =
+  QCheck.Gen.(
+    gen_unit_name >>= fun u ->
+    oneof
+      [
+        (int_range 0 500 >>= fun a ->
+         int_range 0 500 >>= fun b -> return (P.Q_equiv { u; a; b }));
+        (int_range 1 20 >>= fun rid ->
+         int_range 0 8 >>= fun ca ->
+         int_range 0 8 >>= fun cb -> return (P.Q_alias { u; rid; ca; cb }));
+        (int_range 1 20 >>= fun rid ->
+         int_range 0 500 >>= fun a ->
+         int_range 0 500 >>= fun b -> return (P.Q_lcdd { u; rid; a; b }));
+        (int_range 0 500 >>= fun call ->
+         int_range 0 500 >>= fun mem -> return (P.Q_call { u; call; mem }));
+        map (fun item -> P.Q_region_of { u; item }) (int_range 0 500);
+        map (fun item -> P.Q_hoist_target { u; item }) (int_range 0 500);
+      ])
+
+(* Every request constructor is reachable so the fuzz sweep exercises
+   each frame kind's decoder. *)
+let gen_request : P.request QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        return (P.Hello { version = P.protocol_version });
+        map
+          (fun f -> P.Open_hli (Hli_core.Serialize.to_bytes f))
+          (gen_file ~allow_zero:true ());
+        map (fun s -> P.Open_path s) gen_unit_name;
+        map (fun qs -> P.Batch qs) (list_size (int_range 0 12) gen_query);
+        (gen_unit_name >>= fun u ->
+         int_range 0 500 >>= fun item -> return (P.Notify_delete { u; item }));
+        (gen_unit_name >>= fun u ->
+         int_range 0 500 >>= fun like ->
+         int_range 1 200 >>= fun line -> return (P.Notify_gen { u; like; line }));
+        (gen_unit_name >>= fun u ->
+         int_range 0 500 >>= fun item ->
+         int_range 1 20 >>= fun target_rid ->
+         return (P.Notify_move { u; item; target_rid }));
+        (gen_unit_name >>= fun u ->
+         int_range 1 20 >>= fun rid ->
+         int_range 2 8 >>= fun factor ->
+         return (P.Notify_unroll { u; rid; factor }));
+        map (fun u -> P.Refresh u) gen_unit_name;
+        map (fun u -> P.Line_table u) gen_unit_name;
+        return P.Stats;
+        return P.Close;
+      ])
