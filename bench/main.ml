@@ -53,14 +53,19 @@
                           and maintain HLI over the wire (tables stay
                           byte-identical to the in-process run); also
                           the server for servbench / remote-probe
+     --pipeline N         remote-session frame window: keep up to N
+                          request frames in flight per hlid session
+                          (1 = strict request/reply); also adds the
+                          pipelined rows to the servbench matrix
      --validate-json PATH check a JSON dump: telemetry schema version
                           first (an hli-telemetry-v1/v2 dump is
                           rejected with a version-specific message),
                           then the structural JSON check; exit 1 on
                           either (used by bench/smoke.sh)
      --out PATH           querybench output file (default
-                          BENCH_queries.json) / emit-hli output
-                          directory (default _hli)
+                          BENCH_queries.json) / servbench output file
+                          (default BENCH_servbench.json) / emit-hli
+                          output directory (default _hli)
 
    querybench replays a deterministic query stream over the selected
    workloads' HLI entries against both the indexed Query engine and the
@@ -81,6 +86,9 @@ type cfg = {
   out : string option;
   hli_cache : string option;
   remote : string option;  (** hlid socket for --remote / servbench *)
+  pipeline : int;  (** remote-session frame window (--pipeline) *)
+  batch : int;  (** queries per frame (servbench-child only) *)
+  repeat : int;  (** stream replay count (servbench-child only) *)
 }
 
 let usage () =
@@ -89,7 +97,7 @@ let usage () =
      [tables|micro|querybench|serbench|servbench|remote-probe|emit-hli|all] \
      [-j N] [--fuel N] [--workloads a,b,c] [--passes SPEC] [--ablation NAME] \
      [--list-passes] [--stats] [--stats-json PATH] [--validate-json PATH] \
-     [--hli-cache DIR] [--out PATH] [--remote SOCKET]";
+     [--hli-cache DIR] [--out PATH] [--remote SOCKET] [--pipeline N]";
   exit 2
 
 (* --------------------------------------------------------------- *)
@@ -152,12 +160,15 @@ let parse_args () =
         out = None;
         hli_cache = Harness.Pipeline.hli_cache_env ();
         remote = None;
+        pipeline = 1;
+        batch = 64;
+        repeat = 1;
       }
   in
   let rec loop = function
     | [] -> ()
     | ( "tables" | "micro" | "all" | "querybench" | "serbench" | "servbench"
-      | "remote-probe" | "emit-hli" ) as m
+      | "servbench-child" | "remote-probe" | "emit-hli" ) as m
       :: rest ->
         cfg := { !cfg with mode = m };
         loop rest
@@ -202,6 +213,28 @@ let parse_args () =
     | "--remote" :: sock :: rest ->
         cfg := { !cfg with remote = Some sock };
         loop rest
+    | "--batch" :: n :: rest -> (
+        (* servbench-child only: queries per Batch frame *)
+        match int_of_string_opt n with
+        | Some b when b >= 1 ->
+            cfg := { !cfg with batch = b };
+            loop rest
+        | _ -> usage ())
+    | "--repeat" :: n :: rest -> (
+        (* servbench-child only: replay the query stream N times, so a
+           cell's wall time is tens of milliseconds and not at the
+           mercy of process wake-up skew *)
+        match int_of_string_opt n with
+        | Some r when r >= 1 ->
+            cfg := { !cfg with repeat = r };
+            loop rest
+        | _ -> usage ())
+    | "--pipeline" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some p when p >= 1 ->
+            cfg := { !cfg with pipeline = p };
+            loop rest
+        | _ -> usage ())
     | "--validate-json" :: path :: _ ->
         let ic =
           try open_in_bin path
@@ -253,7 +286,8 @@ let pipeline_config cfg =
     { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs cfg.passes;
       ablation;
       hli_cache = cfg.hli_cache;
-      remote = cfg.remote }
+      remote = cfg.remote;
+      pipeline = cfg.pipeline }
   with Diagnostics.Diagnostic d ->
     Fmt.epr "%a@." Diagnostics.pp d;
     exit (Diagnostics.exit_code d)
@@ -906,29 +940,56 @@ let sb_percentile sorted p =
   if n = 0 then 0.0
   else sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
 
-(* one client session: replay the batches, timing each frame *)
-let sb_client socket bytes batches =
-  let cl = Hli_server.Client.connect socket in
+(* one client session: replay the batches, timing each frame.  With
+   [pipeline > 1] frames are sent in windows of that size and the
+   per-frame latency is amortized over the window (individual frames
+   overlap on the wire, so only the window wall time is observable).
+   [barrier] is called once the session is open, so the harness can
+   line every client up and time only the query phase — domain spawn
+   and session setup cost milliseconds, which would otherwise dominate
+   a multi-client wall at these rates.  Returns the frame latencies
+   and the timestamp of the last collected reply. *)
+let sb_client ?(pipeline = 1) ?(barrier = fun () -> ()) socket bytes batches =
+  let cl = Hli_server.Client.connect ~pipeline socket in
   Fun.protect
     ~finally:(fun () -> Hli_server.Client.close cl)
     (fun () ->
       ignore (Hli_server.Client.open_hli_bytes cl bytes);
+      barrier ();
       let now = Harness.Telemetry.now_ns in
       let lats =
-        List.map
-          (fun batch ->
-            let t0 = now () in
-            ignore (Hli_server.Client.query_batch cl batch);
-            Int64.to_float (Int64.sub (now ()) t0))
-          batches
+        if pipeline <= 1 then
+          Array.of_list
+            (List.map
+               (fun batch ->
+                 let t0 = now () in
+                 ignore (Hli_server.Client.query_batch cl batch);
+                 Int64.to_float (Int64.sub (now ()) t0))
+               batches)
+        else begin
+          let lats = ref [] in
+          List.iter
+            (fun window ->
+              let k = List.length window in
+              let t0 = now () in
+              ignore (Hli_server.Client.query_batches cl window);
+              let per =
+                Int64.to_float (Int64.sub (now ()) t0) /. float_of_int k
+              in
+              for _ = 1 to k do
+                lats := per :: !lats
+              done)
+            (sb_batches pipeline batches);
+          Array.of_list !lats
+        end
       in
-      Array.of_list lats)
+      (lats, now ()))
 
-(* servbench: queries/sec and frame latency for 1..8 concurrent client
-   sessions at several batch sizes, against the in-process baseline.
-   Uses --remote SOCKET when given; otherwise starts an in-process
-   server on a temp socket. *)
-let servbench cfg =
+(* Workload setup shared by the servbench parent and its client
+   children: names, HLI entries/bytes and the deterministic query
+   stream.  Children rebuild it from the workload names, so parent and
+   child streams are identical by construction. *)
+let sb_setup cfg =
   let names =
     match cfg.workloads with
     | Some ns -> ns
@@ -953,6 +1014,169 @@ let servbench cfg =
   in
   let bytes = Hli_core.Serialize.to_bytes { Hli_core.Tables.entries } in
   let queries = List.concat_map sb_queries_of_entry entries in
+  (names, entries, bytes, queries)
+
+(* servbench-child: one real client process for the servbench matrix.
+   A domain-per-client harness shares the server's OCaml runtime, so
+   every client participates in its stop-the-world pauses and the
+   multi-client rows measure GC barrier scaling, not the server.  Real
+   hlid clients are separate processes; so are these.  Protocol on
+   stdio: print READY once the session is open, start on GO, then
+   report "END <last-reply-ns>" and the frame latencies. *)
+let sb_child cfg =
+  let socket =
+    match cfg.remote with
+    | Some s -> s
+    | None ->
+        prerr_endline "servbench-child: --remote SOCKET is required";
+        exit 2
+  in
+  let _, _, bytes, queries = sb_setup cfg in
+  let batches =
+    List.concat (List.init cfg.repeat (fun _ -> sb_batches cfg.batch queries))
+  in
+  let cpu0 = ref 0.0 in
+  let lats, t_end =
+    sb_client ~pipeline:cfg.pipeline
+      ~barrier:(fun () ->
+        (* shed the compile-phase garbage: the measured phase should
+           touch only the session buffers and the query stream, not
+           drag a dead compiler heap through the cache on every
+           context switch *)
+        Gc.compact ();
+        print_string "READY\n";
+        flush Stdlib.stdout;
+        match input_line Stdlib.stdin with
+        | "GO" ->
+            let t = Unix.times () in
+            cpu0 := t.Unix.tms_utime +. t.Unix.tms_stime
+        | _ | (exception End_of_file) -> exit 2)
+      socket bytes batches
+  in
+  (if Sys.getenv_opt "SB_DEBUG_CPU" <> None then
+     let t = Unix.times () in
+     Printf.eprintf "child cpu %.1fms\n%!"
+       ((t.Unix.tms_utime +. t.Unix.tms_stime -. !cpu0) *. 1000.));
+  Printf.printf "END %Ld\n" t_end;
+  Array.iter (fun l -> Printf.printf "%.1f " l) lats;
+  print_newline ();
+  exit 0
+
+(* [clients] concurrent sessions against [socket]: spawn one child
+   process per session, wait until every session is open, release them
+   together, and time from the release to the last session's final
+   reply (CLOCK_MONOTONIC is comparable across processes). *)
+let sb_run ~clients ~pipeline ~batch ~names ~nqueries socket =
+  let prog = Sys.executable_name in
+  (* replay the stream until each child sends ~2000 frames: the raw
+     stream is only ~66 frames at batch 64, a wall of a couple of
+     milliseconds where scheduler wake-up skew across the children is
+     a double-digit share of the measurement *)
+  let repeat = max 1 (min 64 (2000 * batch / max 1 nqueries)) in
+  (* children get a deliberately small minor heap: the server wants a
+     large one (OCAMLRUNPARAM=s=... on the parent), but N clients each
+     inheriting it would cycle N oversized nurseries through the
+     shared cache and measure memory pressure instead of the server *)
+  let child_env =
+    let keep =
+      Array.to_list (Unix.environment ())
+      |> List.filter (fun kv ->
+             not (String.length kv >= 13
+                  && String.sub kv 0 13 = "OCAMLRUNPARAM"))
+    in
+    Array.of_list (keep @ [ "OCAMLRUNPARAM=s=256k" ])
+  in
+  let spawn () =
+    let gi, go_w = Unix.pipe () in
+    let out_r, oo = Unix.pipe () in
+    let pid =
+      Unix.create_process_env prog
+        [|
+          prog; "servbench-child"; "--remote"; socket;
+          "--batch"; string_of_int batch;
+          "--pipeline"; string_of_int pipeline;
+          "--repeat"; string_of_int repeat;
+          "--workloads"; String.concat "," names;
+        |]
+        child_env gi oo Unix.stderr
+    in
+    Unix.close gi;
+    Unix.close oo;
+    (pid, Unix.out_channel_of_descr go_w, Unix.in_channel_of_descr out_r)
+  in
+  let kids = Array.init clients (fun _ -> spawn ()) in
+  let fail : 'a. string -> 'a = fun msg ->
+    Array.iter (fun (pid, _, _) -> try Unix.kill pid Sys.sigkill with _ -> ())
+      kids;
+    Printf.eprintf "servbench: %s\n" msg;
+    exit 1
+  in
+  Array.iter
+    (fun (_, _, ic) ->
+      match input_line ic with
+      | "READY" -> ()
+      | l -> fail ("child sent " ^ String.escaped l ^ " instead of READY")
+      | exception End_of_file -> fail "child died before READY")
+    kids;
+  let now = Harness.Telemetry.now_ns in
+  let cpu0 =
+    let t = Unix.times () in
+    t.Unix.tms_utime +. t.Unix.tms_stime
+  in
+  let t0 = now () in
+  Array.iter
+    (fun (_, oc, _) ->
+      output_string oc "GO\n";
+      flush oc)
+    kids;
+  let parts =
+    Array.map
+      (fun (pid, oc, ic) ->
+        let result =
+          match input_line ic with
+          | exception End_of_file -> Error "child died before END"
+          | endl -> (
+              match Scanf.sscanf_opt endl "END %Ld" (fun x -> x) with
+              | None -> Error ("child sent " ^ String.escaped endl)
+              | Some t_end -> (
+                  match input_line ic with
+                  | exception End_of_file -> Error "child died mid-report"
+                  | line ->
+                      let lats =
+                        String.split_on_char ' ' line
+                        |> List.filter (fun s -> s <> "")
+                        |> List.map float_of_string
+                        |> Array.of_list
+                      in
+                      Ok (lats, t_end)))
+        in
+        close_out_noerr oc;
+        close_in_noerr ic;
+        (match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _ -> fail "child exited abnormally");
+        match result with Ok r -> r | Error msg -> fail msg)
+      kids
+  in
+  let t_end =
+    Array.fold_left (fun acc (_, e) -> max acc e) Int64.min_int parts
+  in
+  (if Sys.getenv_opt "SB_DEBUG_CPU" <> None then
+     let t = Unix.times () in
+     Printf.eprintf "cell %dx%dx%d: wall %.1fms server-cpu %.1fms\n%!"
+       clients batch pipeline
+       (Int64.to_float (Int64.sub t_end t0) /. 1e6)
+       ((t.Unix.tms_utime +. t.Unix.tms_stime -. cpu0) *. 1000.));
+  let lats = Array.concat (Array.to_list (Array.map fst parts)) in
+  (lats, Int64.to_float (Int64.sub t_end t0), repeat)
+
+(* servbench: queries/sec and frame latency for 1..8 concurrent client
+   sessions at several batch sizes, against the in-process baseline.
+   Uses --remote SOCKET when given; otherwise starts an in-process
+   server on a temp socket. *)
+let servbench cfg =
+  let names, entries, bytes, queries = sb_setup cfg in
+  ignore bytes;
   let nq = List.length queries in
   (* server: external via --remote, or in-process on a temp socket *)
   let socket, shutdown =
@@ -967,7 +1191,12 @@ let servbench cfg =
         let srv =
           Hli_server.Server.create
             { (Hli_server.Server.default_config ~socket_path:path) with
-              jobs = 10 }
+              (* size the worker pool to the machine: on a small box
+                 extra domains only add context switches between the
+                 poller, the workers, and the client domains.  A
+                 single-core host gets poller-inline mode (jobs = 1),
+                 which skips the cross-domain handoff entirely. *)
+              jobs = Pool.default_jobs () }
         in
         register_cleanup path;
         let d = Domain.spawn (fun () -> Hli_server.Server.run srv) in
@@ -994,32 +1223,72 @@ let servbench cfg =
   Printf.printf "== servbench: hlid over %s ==\n" socket;
   Printf.printf "%d queries per client session (%s)\n" nq
     (String.concat ", " names);
-  Printf.printf "in-process baseline: %.0f q/s\n"
-    (if local_ns <= 0.0 then 0.0 else float_of_int nq /. (local_ns /. 1e9));
-  Printf.printf "%8s %6s %12s %12s %12s\n" "clients" "batch" "q/s"
-    "p50 (us)" "p99 (us)";
+  let local_qps =
+    if local_ns <= 0.0 then 0.0 else float_of_int nq /. (local_ns /. 1e9)
+  in
+  Printf.printf "in-process baseline: %.0f q/s\n" local_qps;
+  Printf.printf "%8s %6s %9s %12s %12s %12s\n" "clients" "batch" "pipeline"
+    "q/s" "p50 (us)" "p99 (us)";
+  let rows = ref [] in
   List.iter
-    (fun batch ->
-      let batches = sb_batches batch queries in
+    (fun pipeline ->
       List.iter
-        (fun clients ->
-          let t0 = now () in
-          let doms =
-            Array.init clients (fun _ ->
-                Domain.spawn (fun () -> sb_client socket bytes batches))
-          in
-          let lats = Array.concat (Array.to_list (Array.map Domain.join doms)) in
-          let wall_ns = Int64.to_float (Int64.sub (now ()) t0) in
-          Array.sort compare lats;
-          let qps =
-            if wall_ns <= 0.0 then 0.0
-            else float_of_int (clients * nq) /. (wall_ns /. 1e9)
-          in
-          Printf.printf "%8d %6d %12.0f %12.1f %12.1f\n" clients batch qps
-            (sb_percentile lats 0.50 /. 1e3)
-            (sb_percentile lats 0.99 /. 1e3))
-        [ 1; 2; 4; 8 ])
-    [ 1; 8; 64 ];
+        (fun batch ->
+          List.iter
+            (fun clients ->
+              let lats, wall_ns, repeat =
+                sb_run ~clients ~pipeline ~batch ~names ~nqueries:nq socket
+              in
+              Array.sort compare lats;
+              let qps =
+                if wall_ns <= 0.0 then 0.0
+                else float_of_int (clients * nq * repeat) /. (wall_ns /. 1e9)
+              in
+              let p50 = sb_percentile lats 0.50 /. 1e3
+              and p99 = sb_percentile lats 0.99 /. 1e3 in
+              rows := (clients, batch, pipeline, qps, p50, p99) :: !rows;
+              Printf.printf "%8d %6d %9d %12.0f %12.1f %12.1f\n" clients batch
+                pipeline qps p50 p99)
+            [ 1; 2; 4; 8 ])
+        [ 1; 8; 64 ])
+    (List.sort_uniq compare [ 1; 8; max 1 cfg.pipeline ]);
+  (* the bench trajectory artifact: one row per matrix cell *)
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"hli-servbench-v1\",\"workloads\":[%s],\
+        \"queries_per_session\":%d,\"local_qps\":%.0f,\"rows\":["
+       (String.concat ","
+          (List.map
+             (fun n -> "\"" ^ Harness.Telemetry.json_escape n ^ "\"")
+             names))
+       nq local_qps);
+  List.iteri
+    (fun i (clients, batch, pipeline, qps, p50, p99) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"clients\":%d,\"batch\":%d,\"pipeline\":%d,\"qps\":%.0f,\
+            \"p50_us\":%.1f,\"p99_us\":%.1f}"
+           clients batch pipeline qps p50 p99))
+    (List.rev !rows);
+  Buffer.add_string b "]}";
+  let json = Buffer.contents b in
+  (match Harness.Telemetry.validate_json json with
+  | Ok () -> ()
+  | Error (msg, pos) ->
+      Printf.eprintf "servbench: generated malformed JSON at byte %d: %s\n"
+        pos msg;
+      exit 1);
+  let out = Option.value ~default:"BENCH_servbench.json" cfg.out in
+  let oc =
+    try open_out_bin out
+    with Sys_error msg ->
+      Printf.eprintf "--out: %s\n" msg;
+      exit 1
+  in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.eprintf "wrote %s\n" out;
   if cfg.stats then begin
     try
       let cl = Hli_server.Client.connect socket in
@@ -1193,5 +1462,6 @@ let () =
       if cfg.mode = "querybench" then querybench cfg;
       if cfg.mode = "serbench" then serbench cfg pool;
       if cfg.mode = "servbench" then servbench cfg;
+      if cfg.mode = "servbench-child" then sb_child cfg;
       if cfg.mode = "remote-probe" then remote_probe cfg;
       if cfg.mode = "emit-hli" then emit_hli cfg)

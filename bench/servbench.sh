@@ -2,11 +2,16 @@
 # CI check for the hlid remote back-end (dune alias @servbench).
 #
 #   1. starts hlid on a private socket;
-#   2. runs a workload subset through bench tables both in-process and
-#      --remote, requiring byte-identical Tables 1/2 and a well-formed
-#      hli-telemetry-v5 dump carrying the "server" object;
-#   3. runs a quick in-process servbench (concurrent client domains
-#      against a Domain-spawned server);
+#   2. runs a workload subset through bench tables in-process, --remote,
+#      and --remote --pipeline 8, requiring byte-identical Tables 1/2
+#      and a well-formed hli-telemetry-v5 dump carrying the "server"
+#      object;
+#   3. runs a quick servbench (client subprocesses against a
+#      Domain-spawned server), validates the emitted
+#      hli-servbench-v1 JSON, and enforces a batched-throughput floor
+#      ($SERVBENCH_FLOOR q/s, default 530000 — 10x the PR 5 unbatched
+#      rate, well under the recorded batched numbers so box noise
+#      cannot flake the gate);
 #   4. kills the server with SIGKILL mid-probe and requires the client
 #      to exit nonzero with a precise E11xx code, without hanging.
 set -eu
@@ -44,29 +49,54 @@ while [ ! -S "$sock" ] && [ $i -lt 50 ]; do
 done
 [ -S "$sock" ] || { echo "servbench: FAIL — hlid did not come up" >&2; exit 1; }
 
-# 1+2: the wire service must be invisible in the tables
+# 1+2: the wire service must be invisible in the tables — unpipelined
+# and pipelined alike (pipelining changes scheduling, never answers)
 "$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
   > "$tmp/local.out" 2>/dev/null
 "$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
   --remote "$sock" --stats-json "$tmp/remote.json" \
   > "$tmp/remote.out" 2>/dev/null
+"$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
+  --remote "$sock" --pipeline 8 \
+  > "$tmp/remote-p8.out" 2>/dev/null
 
 if ! cmp -s "$tmp/local.out" "$tmp/remote.out"; then
   echo "servbench: FAIL — remote tables differ from the in-process run" >&2
   diff "$tmp/local.out" "$tmp/remote.out" >&2 || true
   exit 1
 fi
+if ! cmp -s "$tmp/local.out" "$tmp/remote-p8.out"; then
+  echo "servbench: FAIL — pipelined remote tables differ from the in-process run" >&2
+  diff "$tmp/local.out" "$tmp/remote-p8.out" >&2 || true
+  exit 1
+fi
 "$exe" --validate-json "$tmp/remote.json" > /dev/null \
   || { echo "servbench: FAIL — malformed remote --stats-json" >&2; exit 1; }
 grep -q '"server":{' "$tmp/remote.json" \
   || { echo "servbench: FAIL — remote dump lacks the server object" >&2; exit 1; }
-echo "servbench: OK (remote tables byte-identical, server telemetry present)"
+echo "servbench: OK (remote tables byte-identical, plain and pipelined)"
 
-# 3: quick in-process benchmark (also exercises concurrent sessions)
-"$exe" servbench --workloads wc > "$tmp/bench.out" 2>/dev/null
+# 3: quick benchmark (concurrent client subprocesses), with the bench
+# artifact validated and a floor on batched remote throughput.  The
+# server gets a roomy minor heap, as the recorded runs do.
+OCAMLRUNPARAM="s=2M${OCAMLRUNPARAM:+,$OCAMLRUNPARAM}" \
+  "$exe" servbench --workloads wc --pipeline 8 --out "$tmp/bench.json" \
+  > "$tmp/bench.out" 2>/dev/null
 grep -q "q/s" "$tmp/bench.out" \
   || { echo "servbench: FAIL — no benchmark output" >&2; exit 1; }
-echo "servbench: OK (in-process servbench ran)"
+"$exe" --validate-json "$tmp/bench.json" > /dev/null \
+  || { echo "servbench: FAIL — malformed servbench JSON" >&2; exit 1; }
+grep -q '"schema":"hli-servbench-v1"' "$tmp/bench.json" \
+  || { echo "servbench: FAIL — bench JSON lacks the hli-servbench-v1 schema" >&2
+       exit 1; }
+floor="${SERVBENCH_FLOOR:-530000}"
+best=$(awk '$2 == 64 && $4 > m { m = $4 } END { printf "%d", m }' "$tmp/bench.out")
+if [ "${best:-0}" -lt "$floor" ]; then
+  echo "servbench: FAIL — best batched remote throughput ${best:-0} q/s is under the $floor q/s floor" >&2
+  cat "$tmp/bench.out" >&2
+  exit 1
+fi
+echo "servbench: OK (servbench ran, JSON valid, best batched $best q/s >= $floor)"
 
 # 4: kill the server mid-session; the probe must exit on its own,
 # nonzero, with a protocol E-code on stderr — bounded, never a hang

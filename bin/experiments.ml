@@ -31,7 +31,8 @@ let run_tables only quick passes ablation list_passes =
         { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs passes;
           ablation;
           hli_cache = Harness.Pipeline.hli_cache_env ();
-          remote = None }
+          remote = None;
+          pipeline = 1 }
       in
       let fuel = if quick then 20_000_000 else 400_000_000 in
       let rows =

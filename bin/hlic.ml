@@ -49,7 +49,7 @@ let lint_hli path =
           4)
 
 let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
-    list_passes jobs stats stats_json lint hli_cache remote =
+    list_passes jobs stats stats_json lint hli_cache remote pipeline =
   if list_passes then begin
     print_string (Driver.Pass_manager.list_text ());
     0
@@ -87,6 +87,7 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
                 | Some dir -> Some dir
                 | None -> Harness.Pipeline.hli_cache_env ());
               remote;
+              pipeline = max 1 pipeline;
             }
           in
           let c =
@@ -266,6 +267,16 @@ let remote_arg =
            maintain HLI over the wire instead of in-process (tables stay \
            byte-identical)")
 
+let pipeline_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "pipeline" ] ~docv:"N"
+        ~doc:
+          "with $(b,--remote): keep up to $(docv) request frames in flight \
+           per server session (1 = strict request/reply); answers stay \
+           byte-identical, round-trips overlap")
+
 let hli_cache_arg =
   Arg.(
     value
@@ -282,6 +293,7 @@ let cmd =
     Term.(
       const run_hlic $ src_arg $ hli_flag $ machine_arg $ run_flag $ emit_arg
       $ dump_flag $ passes_arg $ ablation_arg $ list_passes_flag $ jobs_arg
-      $ stats_flag $ stats_json_arg $ lint_arg $ hli_cache_arg $ remote_arg)
+      $ stats_flag $ stats_json_arg $ lint_arg $ hli_cache_arg $ remote_arg
+      $ pipeline_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,9 +4,13 @@
    names (Open_path) a validated HLI2 file, then issues dependence /
    alias / REF-MOD queries and maintenance notifications over the
    framed wire protocol (lib/server/protocol.ml; DESIGN.md has the
-   byte-level spec).  SIGINT/SIGTERM shut down gracefully: in-flight
-   sessions drain, telemetry is flushed, and the socket file is
-   removed.  Exit codes follow the diagnostics scheme (7 = net). *)
+   byte-level spec).  The server is event-driven: one poller domain
+   reads and decodes frames in place over per-connection reused
+   buffers and dispatches requests to a worker pool, so any number of
+   (possibly pipelined) sessions share -j worker domains.
+   SIGINT/SIGTERM shut down gracefully: in-flight sessions drain,
+   telemetry is flushed, and the socket file is removed.  Exit codes
+   follow the diagnostics scheme (7 = net). *)
 
 open Cmdliner
 
@@ -66,8 +70,9 @@ let jobs_arg =
     & opt int (max 8 (Pool.default_jobs ()))
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "domain-pool size; $(docv) - 1 worker domains bound the number of \
-           concurrent client sessions (default: at least 8)")
+          "worker-pool size; $(docv) - 1 worker domains run request \
+           handlers for the event loop — size for CPU parallelism, not \
+           for a session cap (default: at least 8)")
 
 let max_frame_arg =
   Arg.(

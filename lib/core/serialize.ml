@@ -71,21 +71,73 @@ let format_version = magic_v2
 (* CRC32 (IEEE 802.3, reflected)                                       *)
 (* ------------------------------------------------------------------ *)
 
-let crc_table =
+(* Slicing-by-8: tables.(k).(b) is the CRC of byte [b] followed by [k]
+   zero bytes, so eight table lookups advance the state by eight input
+   bytes at once.  The wire protocol checksums every frame payload in
+   both directions, which makes this loop hot enough to matter. *)
+let crc_tables =
   lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+    (let t0 =
+       Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c :=
+               if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c)
+     in
+     let t = Array.make 8 t0 in
+     for k = 1 to 7 do
+       t.(k) <-
+         Array.init 256 (fun n ->
+             let c = t.(k - 1).(n) in
+             t0.(c land 0xff) lxor (c lsr 8))
+     done;
+     t)
 
-(** CRC32 of [s.[ofs .. ofs+len-1]]. *)
+(** CRC32 (IEEE 802.3, reflected) of [s.[ofs .. ofs+len-1]]. *)
 let crc32 s ofs len =
-  let tbl = Lazy.force crc_table in
+  if ofs < 0 || len < 0 || ofs > String.length s - len then
+    invalid_arg "Serialize.crc32";
+  let t = Lazy.force crc_tables in
+  let t0 = t.(0)
+  and t1 = t.(1)
+  and t2 = t.(2)
+  and t3 = t.(3)
+  and t4 = t.(4)
+  and t5 = t.(5)
+  and t6 = t.(6)
+  and t7 = t.(7) in
+  (* bounds are established above; unsafe reads keep the inner loop
+     branch-free *)
+  let b i = Char.code (String.unsafe_get s i) in
   let c = ref 0xffffffff in
-  for i = ofs to ofs + len - 1 do
-    c := tbl.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  let i = ref ofs in
+  let stop = ofs + len in
+  while stop - !i >= 8 do
+    let p = !i in
+    let lo =
+      !c lxor (b p lor (b (p + 1) lsl 8) lor (b (p + 2) lsl 16)
+               lor (b (p + 3) lsl 24))
+    in
+    let hi =
+      b (p + 4) lor (b (p + 5) lsl 8) lor (b (p + 6) lsl 16)
+      lor (b (p + 7) lsl 24)
+    in
+    c :=
+      Array.unsafe_get t7 (lo land 0xff)
+      lxor Array.unsafe_get t6 ((lo lsr 8) land 0xff)
+      lxor Array.unsafe_get t5 ((lo lsr 16) land 0xff)
+      lxor Array.unsafe_get t4 (lo lsr 24)
+      lxor Array.unsafe_get t3 (hi land 0xff)
+      lxor Array.unsafe_get t2 ((hi lsr 8) land 0xff)
+      lxor Array.unsafe_get t1 ((hi lsr 16) land 0xff)
+      lxor Array.unsafe_get t0 (hi lsr 24);
+    i := p + 8
+  done;
+  while !i < stop do
+    c := Array.unsafe_get t0 ((!c lxor b !i) land 0xff) lxor (!c lsr 8);
+    incr i
   done;
   !c lxor 0xffffffff
 
@@ -285,7 +337,7 @@ let byte cur =
    not carry a continuation bit or push the value past 62 bits — a
    crafted run of continuation bytes must not be able to loop past sane
    limits or overflow the OCaml int. *)
-let get_varint cur =
+let get_varint_slow cur =
   let start = cur.pos in
   let rec go shift acc =
     let b = byte cur in
@@ -296,6 +348,20 @@ let get_varint cur =
     if b land 0x80 <> 0 then go (shift + 7) acc else acc
   in
   go 0 0
+
+let get_varint cur =
+  (* fast path: single-byte value, by far the common case on the wire
+     (tags, small ids, short string lengths) *)
+  let pos = cur.pos in
+  if pos < String.length cur.data then begin
+    let b = Char.code (String.unsafe_get cur.data pos) in
+    if b < 0x80 then begin
+      cur.pos <- pos + 1;
+      b
+    end
+    else get_varint_slow cur
+  end
+  else get_varint_slow cur (* re-raises the truncation corrupt *)
 
 let get_string cur =
   let n = get_varint cur in

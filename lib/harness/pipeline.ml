@@ -26,6 +26,10 @@ type config = {
       (** hlid socket path; when set, every [With_hli] variant opens
           its own server session and imports/queries/maintains HLI
           over the wire instead of in-process *)
+  pipeline : int;
+      (** remote-session frame window ([--pipeline]); 1 = strict
+          request/reply, >1 lets the client keep that many frames in
+          flight (deferred maintenance acks, overlapped batches) *)
 }
 
 (** Default cache directory: the [HLI_CACHE] environment variable (an
@@ -41,6 +45,7 @@ let default_config =
     ablation = Driver.Variant.baseline;
     hli_cache = hli_cache_env ();
     remote = None;
+    pipeline = 1;
   }
 
 (** [passes] shorthand: parse a [--passes] spec string into a config. *)
@@ -223,7 +228,7 @@ let compile ?(config = default_config) ?src_file ?pool ?tm (src : string) :
   let mk v =
     match config.remote with
     | Some socket when Driver.Variant.use_hli v ->
-        let cl = Hli_server.Client.connect socket in
+        let cl = Hli_server.Client.connect ~pipeline:config.pipeline socket in
         Fun.protect
           ~finally:(fun () -> Hli_server.Client.close cl)
           (fun () ->

@@ -104,7 +104,13 @@ let size t = 1 + List.length t.workers
     worker domains ([~jobs:1]) the task runs inline, preserving the
     sequential reference semantics.  The caller is responsible for any
     completion signalling; an exception escaping [job] is dropped by
-    the worker loop, so jobs that care must catch their own. *)
+    the worker loop, so jobs that care must catch their own.
+
+    This is the hlid event loop's dispatch edge: the poller submits
+    per-connection queue drains here, so a slow job occupies one
+    worker, never the poller.  Such jobs must not call {!map} on the
+    same pool (a worker that helps its own batch is fine, but a
+    [submit]ted job awaiting another batch could starve the queue). *)
 let submit t (job : job) =
   if t.workers = [] then job ()
   else begin

@@ -1,4 +1,4 @@
-(** Blocking hlid client.
+(** Blocking hlid client, with optional request pipelining.
 
     One {!t} is one server session (one socket, one opened HLI file).
     Single-query conveniences memoize locally — the client-side image
@@ -7,6 +7,18 @@
     [Maintain]'s watch edge invalidates local indexes.  Memoization is
     invisible to table output: Table 2 query counts are computed from
     back-end DDG statistics, not the query engine's counters.
+
+    Pipelining rides on the server's ordering guarantee: replies come
+    back strictly in request order, one per request, so correlation is
+    positional — an expectation FIFO records what each in-flight frame
+    must be answered with, and a reply that does not match the
+    head-of-line expectation is rejected as out-of-sequence (E1105).
+    With a window of [pipeline] frames, {!query_batches} keeps up to
+    that many [Batch] frames in flight, and the unit-returning
+    notifications ([notify_delete], [refresh]) defer their acks — sent
+    immediately, collected lazily before the next reply-bearing call.
+    Sends drain ready replies first, so both sides can never be
+    blocked writing into full socket buffers at once.
 
     All failures are {!Diagnostics.Diagnostic}: protocol faults carry
     their E11xx code (phase [Net]), and server-relayed errors
@@ -18,10 +30,16 @@ module S = Hli_core.Serialize
 module T = Hli_core.Tables
 module Q = Hli_core.Query
 
+(* what the head-of-line in-flight request must be answered with *)
+type expected = E_ack of string | E_results of int
+
 type t = {
   fd : Unix.file_descr;
+  rd : P.reader;
   max_frame : int;
   timeout : float;
+  pipeline : int;  (** max in-flight frames; 1 = strict request/reply *)
+  expect : expected Queue.t;  (** in-flight expectations, send order *)
   (* memo tables, keyed by (unit, args); reset on any notify *)
   memo_equiv : (string * int * int, Q.equiv_result) Hashtbl.t;
   memo_alias : (string * int * int * int, bool) Hashtbl.t;
@@ -44,18 +62,58 @@ let net_raise ?at code fmt =
               ~severity:Diagnostics.Error m)))
     fmt
 
-let rpc cl (req : P.request) : P.response =
+let send cl (req : P.request) =
   match
-    P.send_request cl.fd req;
-    P.recv_response ~max_frame:cl.max_frame ~timeout:cl.timeout cl.fd
+    P.send_request ~deadline:(Unix.gettimeofday () +. cl.timeout) cl.fd req
   with
+  | () -> ()
+  | exception S.Corrupt c ->
+      raise (Diagnostics.Diagnostic (P.diagnostic_of_fault c))
+
+let recv_reply cl : P.response =
+  match P.recv_response ~max_frame:cl.max_frame ~timeout:cl.timeout cl.rd with
   | P.R_error { e_code; e_msg } -> net_raise e_code "%s" e_msg
   | resp -> resp
   | exception S.Corrupt c ->
       raise (Diagnostics.Diagnostic (P.diagnostic_of_fault c))
 
+(* collect the reply for the oldest in-flight request and check it
+   against its expectation; a mismatch means the server answered out
+   of sequence (or not at all) and the stream can't be trusted *)
+let collect_one cl : P.answer list option =
+  match Queue.take_opt cl.expect with
+  | None -> net_raise "E1105" "reply collected with no request in flight"
+  | Some exp -> (
+      let resp = recv_reply cl in
+      match (exp, resp) with
+      | E_ack _, P.R_ack -> None
+      | E_results n, P.R_results l when List.length l = n -> Some l
+      | E_results n, P.R_results l ->
+          net_raise "E1105"
+            "out-of-sequence reply: %d answers to a %d-query batch"
+            (List.length l) n
+      | E_ack what, _ ->
+          net_raise "E1105" "out-of-sequence reply to pipelined %s" what
+      | E_results _, _ -> net_raise "E1105" "out-of-sequence reply to Batch")
+
+let in_flight cl = Queue.length cl.expect
+
+(* drain every outstanding expectation (deferred acks and any
+   leftover results); every reply-bearing operation starts here so
+   the request/reply stream below it is strictly synchronous *)
+let drain cl =
+  while in_flight cl > 0 do
+    ignore (collect_one cl)
+  done
+
+let rpc cl (req : P.request) : P.response =
+  drain cl;
+  send cl req;
+  recv_reply cl
+
 let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
-    path : t =
+    ?(pipeline = 1) path : t =
+  if pipeline < 1 then invalid_arg "Client.connect: pipeline must be >= 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX path)
@@ -65,8 +123,11 @@ let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
   let cl =
     {
       fd;
+      rd = P.reader fd;
       max_frame;
       timeout;
+      pipeline;
+      expect = Queue.create ();
       memo_equiv = Hashtbl.create 256;
       memo_alias = Hashtbl.create 64;
       memo_lcdd = Hashtbl.create 64;
@@ -85,8 +146,9 @@ let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
 let close cl =
   (* best-effort goodbye; the server also handles a plain EOF *)
   (try
+     drain cl;
      P.send_request cl.fd P.Close;
-     ignore (P.recv_response ~max_frame:cl.max_frame ~timeout:1.0 cl.fd)
+     ignore (P.recv_response ~max_frame:cl.max_frame ~timeout:1.0 cl.rd)
    with _ -> ());
   try Unix.close cl.fd with Unix.Unix_error _ -> ()
 
@@ -115,11 +177,78 @@ let server_stats cl =
 (* Queries                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Pipelined fan-out: keep up to [pipeline] Batch frames in flight;
+   replies land positionally (the server answers in request order).
+   Frames are encoded into a local buffer and flushed in groups of
+   half the window, so a window costs a couple of write syscalls, not
+   one per frame.  Before blocking on the window: flush, then drain
+   whatever replies are already readable — the send path can then
+   never deadlock against a server blocked writing replies we aren't
+   reading. *)
+let query_batches cl (batches : P.query list list) : P.answer list list =
+  drain cl;
+  let n = List.length batches in
+  let results = Array.make n [] in
+  let next = ref 0 in
+  let collect () =
+    (match collect_one cl with
+    | Some l -> results.(!next) <- l
+    | None -> net_raise "E1105" "out-of-sequence reply (ack for a Batch)");
+    incr next
+  in
+  let buf = Buffer.create 4096 in
+  let buffered = ref 0 in
+  let pending_exp = ref [] in
+  let flush_send () =
+    if Buffer.length buf > 0 then begin
+      (* drain replies already readable before pushing more bytes, so
+         both sides can't end up blocked writing into full buffers *)
+      while in_flight cl > 0 && P.readable cl.rd do
+        collect ()
+      done;
+      (match
+         P.write_all
+           ~deadline:(Unix.gettimeofday () +. cl.timeout)
+           cl.fd (Buffer.contents buf)
+       with
+      | () -> ()
+      | exception S.Corrupt c ->
+          raise (Diagnostics.Diagnostic (P.diagnostic_of_fault c)));
+      List.iter (fun e -> Queue.add e cl.expect) (List.rev !pending_exp);
+      pending_exp := [];
+      buffered := 0;
+      Buffer.clear buf
+    end
+  in
+  (* full-window bursts: one write carries the whole window, and the
+     reply drain empties it before the next burst.  Splitting the
+     window into smaller writes would overlap client encode with
+     server compute, but costs proportionally more syscalls — and the
+     amortized syscall wins more than the overlap, decisively so on a
+     single-core host. *)
+  let group = cl.pipeline in
+  List.iter
+    (fun qs ->
+      (* window full: collect replies until a slot opens.  Collecting
+         (not flushing) keeps the steady state at [group] frames per
+         write — flushing here would degenerate to one frame per
+         syscall once the window first fills. *)
+      while in_flight cl + !buffered >= cl.pipeline do
+        if in_flight cl = 0 then flush_send () else collect ()
+      done;
+      P.encode_request_into buf (P.Batch qs);
+      pending_exp := E_results (List.length qs) :: !pending_exp;
+      incr buffered;
+      if !buffered >= group then flush_send ())
+    batches;
+  flush_send ();
+  while in_flight cl > 0 do
+    collect ()
+  done;
+  Array.to_list results
+
 let query_batch cl (qs : P.query list) : P.answer list =
-  match rpc cl (P.Batch qs) with
-  | P.R_results l when List.length l = List.length qs -> l
-  | P.R_results _ -> net_raise "E1105" "batch answer count mismatch"
-  | _ -> net_raise "E1105" "unexpected response to Batch"
+  match query_batches cl [ qs ] with [ l ] -> l | _ -> assert false
 
 let one cl q =
   match query_batch cl [ q ] with [ a ] -> a | _ -> assert false
@@ -184,9 +313,25 @@ let expect_ack what = function
   | P.R_ack -> ()
   | _ -> net_raise "E1105" "unexpected response to %s" what
 
+(* the two unit-returning notifications can defer their acks: send
+   now, expect the R_ack later (the expectation FIFO keeps it
+   correlated), but never let more than the window build up *)
+let deferred_ack cl what req =
+  if cl.pipeline > 1 then begin
+    while in_flight cl >= cl.pipeline do
+      ignore (collect_one cl)
+    done;
+    while in_flight cl > 0 && P.readable cl.rd do
+      ignore (collect_one cl)
+    done;
+    send cl req;
+    Queue.add (E_ack what) cl.expect
+  end
+  else expect_ack what (rpc cl req)
+
 let notify_delete cl ~u item =
   reset_memo cl;
-  expect_ack "Notify_delete" (rpc cl (P.Notify_delete { u; item }))
+  deferred_ack cl "Notify_delete" (P.Notify_delete { u; item })
 
 let notify_gen cl ~u ~like ~line =
   reset_memo cl;
@@ -208,4 +353,7 @@ let notify_unroll cl ~u ~rid ~factor =
 
 let refresh cl ~u =
   reset_memo cl;
-  expect_ack "Refresh" (rpc cl (P.Refresh u))
+  deferred_ack cl "Refresh" (P.Refresh u)
+
+let flush cl = drain cl
+let pending cl = in_flight cl

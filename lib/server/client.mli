@@ -5,6 +5,15 @@
     image of [Maintain]'s watch-edge invalidation), so answers always
     match what the in-process engine would return.
 
+    With [~pipeline:n] (n > 1) the client keeps up to [n] frames in
+    flight: {!query_batches} overlaps batches, and {!notify_delete}/
+    {!refresh} defer their acks.  Correlation is positional — the
+    server answers strictly in request order, the client keeps an
+    expectation FIFO, and any reply that does not match the
+    head-of-line expectation raises an out-of-sequence E1105.  With
+    the default [pipeline = 1] the session is strict request/reply,
+    wire-identical to PR 5 clients.
+
     Every failure raises {!Diagnostics.Diagnostic}: protocol faults
     carry their E11xx code under phase [Net]; server-relayed errors
     re-raise under the server's original code (a relayed E0701 behaves
@@ -12,14 +21,22 @@
 
 type t
 
-val connect : ?timeout:float -> ?max_frame:int -> string -> t
+val connect : ?timeout:float -> ?max_frame:int -> ?pipeline:int -> string -> t
 (** Connect to a hlid socket path and perform the Hello handshake.
-    Raises E1112 if the socket is unreachable, E1111 on a protocol
-    version mismatch. *)
+    [pipeline] (default 1) is the max in-flight frame window.  Raises
+    E1112 if the socket is unreachable, E1111 on a protocol version
+    mismatch, [Invalid_argument] if [pipeline < 1]. *)
 
 val close : t -> unit
-(** Best-effort [Close] round-trip, then closes the socket.  Never
-    raises. *)
+(** Drain in-flight replies, best-effort [Close] round-trip, then
+    closes the socket.  Never raises. *)
+
+val flush : t -> unit
+(** Collect every in-flight reply (deferred acks included).  Raises
+    like the operation that deferred them would have. *)
+
+val pending : t -> int
+(** In-flight frames awaiting replies (0 unless pipelining). *)
 
 val open_hli_bytes : t -> string -> (string * int list) list
 (** Ship HLI2 container bytes inline; the server validates and opens
@@ -41,6 +58,13 @@ val query_batch : t -> Protocol.query list -> Protocol.answer list
 (** One frame carrying N queries; answers are positional.  Bypasses
     the memo tables (servbench uses this directly). *)
 
+val query_batches : t -> Protocol.query list list -> Protocol.answer list list
+(** Pipelined fan-out: up to [pipeline] [Batch] frames in flight at
+    once, answers correlated positionally.  Sends drain ready replies
+    first, so the call cannot deadlock against a full socket buffer.
+    Equivalent to mapping {!query_batch} but overlapping the wire
+    round-trips. *)
+
 val equiv_acc : t -> u:string -> int -> int -> Hli_core.Query.equiv_result
 val alias : t -> u:string -> rid:int -> int -> int -> bool
 
@@ -60,6 +84,9 @@ val hoist_target : t -> u:string -> int -> int option
 (** {2 Maintenance notifications} — each resets the memo tables. *)
 
 val notify_delete : t -> u:string -> int -> unit
+(** With [pipeline > 1] the ack is deferred: collected by the next
+    reply-bearing call (or {!flush}/{!close}). *)
+
 val notify_gen : t -> u:string -> like:int -> line:int -> int
 val notify_move : t -> u:string -> item:int -> target_rid:int -> bool
 
@@ -69,4 +96,5 @@ val notify_unroll :
 val refresh : t -> u:string -> unit
 (** End-of-pass barrier: the server rebuilds the unit's query index
     from the maintained entry ([Maintain.commit]'s index
-    replacement). *)
+    replacement).  Ack deferred like {!notify_delete} when
+    pipelining. *)

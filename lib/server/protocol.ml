@@ -19,10 +19,13 @@
     - E1111 protocol version mismatch
     - E1112 socket setup failure
 
-    The exchange is strictly synchronous: one request frame in, one
-    response frame out.  A {!Batch} request carries N queries in one
-    frame; {!R_results} answers them positionally.  DESIGN.md has the
-    byte-level layout of every payload. *)
+    The exchange is one response frame per request frame, answered
+    {e strictly in request order} — which is what makes pipelining
+    sound: a client may send N request frames back-to-back and
+    correlate the N replies by sequence position alone (DESIGN.md §7
+    has the correlation rules).  A {!Batch} request carries N queries
+    in one frame; {!R_results} answers them positionally.  DESIGN.md
+    has the byte-level layout of every payload. *)
 
 module S = Hli_core.Serialize
 module T = Hli_core.Tables
@@ -213,7 +216,7 @@ let frame tag payload =
   S.put_crc32 buf payload;
   Buffer.contents buf
 
-let request_to_string (r : request) : string =
+let request_payload (r : request) : string =
   let buf = Buffer.create 64 in
   (match r with
   | Hello { version } -> S.put_varint buf version
@@ -237,9 +240,23 @@ let request_to_string (r : request) : string =
       S.put_varint buf factor
   | Refresh u | Line_table u -> S.put_string buf u
   | Stats | Close -> ());
-  frame (request_tag r) (Buffer.contents buf)
+  Buffer.contents buf
 
-let response_to_string (r : response) : string =
+(* append the framed request to [buf] without building the
+   intermediate frame string — the hot path for pipelined sends *)
+let frame_into buf tag payload =
+  Buffer.add_char buf (Char.chr tag);
+  S.put_varint buf (String.length payload);
+  Buffer.add_string buf payload;
+  S.put_crc32 buf payload
+
+let encode_request_into buf (r : request) =
+  frame_into buf (request_tag r) (request_payload r)
+
+let request_to_string (r : request) : string =
+  frame (request_tag r) (request_payload r)
+
+let response_payload (r : response) : string =
   let buf = Buffer.create 64 in
   (match r with
   | R_hello { version } -> S.put_varint buf version
@@ -261,45 +278,86 @@ let response_to_string (r : response) : string =
   | R_error { e_code; e_msg } ->
       S.put_string buf e_code;
       S.put_string buf e_msg);
-  frame (response_tag r) (Buffer.contents buf)
+  Buffer.contents buf
+
+let encode_response_into buf (r : response) =
+  frame_into buf (response_tag r) (response_payload r)
+
+let response_to_string (r : response) : string =
+  frame (response_tag r) (response_payload r)
 
 (* ------------------------------------------------------------------ *)
 (* Payload decoders                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let get_query cur =
+let get_query ?(get_u = S.get_string) cur =
   match S.byte cur with
   | 0 ->
-      let u = S.get_string cur in
+      let u = get_u cur in
       let a = S.get_varint cur in
       let b = S.get_varint cur in
       Q_equiv { u; a; b }
   | 1 ->
-      let u = S.get_string cur in
+      let u = get_u cur in
       let rid = S.get_varint cur in
       let ca = S.get_varint cur in
       let cb = S.get_varint cur in
       Q_alias { u; rid; ca; cb }
   | 2 ->
-      let u = S.get_string cur in
+      let u = get_u cur in
       let rid = S.get_varint cur in
       let a = S.get_varint cur in
       let b = S.get_varint cur in
       Q_lcdd { u; rid; a; b }
   | 3 ->
-      let u = S.get_string cur in
+      let u = get_u cur in
       let call = S.get_varint cur in
       let mem = S.get_varint cur in
       Q_call { u; call; mem }
   | 4 ->
-      let u = S.get_string cur in
+      let u = get_u cur in
       let item = S.get_varint cur in
       Q_region_of { u; item }
   | 5 ->
-      let u = S.get_string cur in
+      let u = get_u cur in
       let item = S.get_varint cur in
       Q_hoist_target { u; item }
   | n -> err ~at:(cur.S.pos - 1) "E1105" "bad query tag %d" n
+
+(* A Batch almost always repeats one unit name across every query;
+   reusing the previous string when the bytes match skips the
+   per-query allocation AND hands the server physically-equal keys, so
+   its own per-batch unit memoization is a pointer compare. *)
+let get_batch cur =
+  let last = ref "" in
+  let get_u cur =
+    let n = S.get_varint cur in
+    if n > S.remaining cur then
+      err ~at:cur.S.pos "E1105" "string length %d exceeds the %d remaining bytes"
+        n (S.remaining cur);
+    let l = !last in
+    let pos = cur.S.pos in
+    if
+      String.length l = n
+      &&
+      let rec eq i =
+        i = n
+        || String.unsafe_get l i = String.unsafe_get cur.S.data (pos + i)
+           && eq (i + 1)
+      in
+      eq 0
+    then begin
+      cur.S.pos <- pos + n;
+      l
+    end
+    else begin
+      let s = String.sub cur.S.data pos n in
+      cur.S.pos <- pos + n;
+      last := s;
+      s
+    end
+  in
+  S.get_list cur (get_query ~get_u)
 
 let get_equiv cur : Q.equiv_result =
   match S.byte cur with
@@ -340,7 +398,7 @@ let decode_request_payload tag cur : request =
   | 0x01 -> Hello { version = S.get_varint cur }
   | 0x02 -> Open_hli (S.get_string cur)
   | 0x03 -> Open_path (S.get_string cur)
-  | 0x04 -> Batch (S.get_list cur get_query)
+  | 0x04 -> Batch (get_batch cur)
   | 0x05 ->
       let u = S.get_string cur in
       Notify_delete { u; item = S.get_varint cur }
@@ -387,7 +445,7 @@ let decode_response_payload tag cur : response =
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
-(* Framing layer (pure: operates on strings)                           *)
+(* Framing layer: a streaming, zero-copy parser                        *)
 (* ------------------------------------------------------------------ *)
 
 let is_protocol_code c = String.length c >= 3 && String.sub c 0 3 = "E11"
@@ -399,48 +457,105 @@ let remap_payload_fault f cur =
   with S.Corrupt c when not (is_protocol_code c.c_code) ->
     err ~at:c.c_at "E1105" "malformed frame payload: %s" c.c_msg
 
-(* Split a complete frame into (tag, payload), enforcing tag validity,
-   the size bound, CRC integrity and exact length. *)
-let split_frame ?(max_frame = default_max_frame) ~kind ~known (s : string) :
-    int * string =
-  if String.length s = 0 then err ~at:0 "E1102" "empty %s frame" kind;
-  let tag = Char.code s.[0] in
-  if not (known tag) then err ~at:0 "E1101" "unknown %s frame tag %#x" kind tag;
-  let cur = { S.data = s; S.pos = 1 } in
-  let len =
-    try S.get_varint cur with
-    | S.Corrupt c when c.c_code = "E0611" ->
-        err ~at:c.c_at "E1102" "truncated frame length"
-    | S.Corrupt c -> err ~at:c.c_at "E1105" "malformed frame length: %s" c.c_msg
-  in
-  if len > max_frame then
-    err ~at:1 "E1104" "frame payload of %d bytes exceeds the %d-byte bound" len
-      max_frame;
-  if len + 4 > String.length s - cur.S.pos then
-    err ~at:cur.S.pos "E1102"
-      "truncated frame: payload+CRC need %d bytes, %d remain" (len + 4)
-      (String.length s - cur.S.pos);
-  let payload_ofs = cur.S.pos in
-  let payload = String.sub s payload_ofs len in
-  cur.S.pos <- payload_ofs + len;
-  let stored = S.get_crc32 cur in
-  let computed = S.crc32 s payload_ofs len in
-  if stored <> computed then
-    err ~at:payload_ofs "E1103"
-      "frame CRC32 mismatch (stored %08x, computed %08x)" stored computed;
-  if cur.S.pos <> String.length s then
-    err ~at:cur.S.pos "E1105" "%d trailing bytes after frame"
-      (String.length s - cur.S.pos);
-  (tag, payload)
+type frame_info = {
+  f_tag : int;
+  f_payload_ofs : int;  (** absolute offset of the payload in the buffer *)
+  f_payload_len : int;
+  f_end : int;  (** offset just past the CRC — where the next frame starts *)
+}
 
-let decode_with ~kind ~known decode ?max_frame (s : string) =
-  let tag, payload = split_frame ?max_frame ~kind ~known s in
-  let cur = { S.data = payload; S.pos = 0 } in
-  let v = remap_payload_fault (decode tag) cur in
-  if cur.S.pos <> String.length payload then
+(* [parse_frame buf ~ofs ~len] examines the [len] valid bytes starting
+   at [ofs] for one frame.  [None] means the frame is incomplete — feed
+   more bytes and retry.  Malformations that are already decidable from
+   a prefix (unknown tag, oversized or overlong length varint, CRC
+   mismatch once the whole frame is present) raise eagerly, so a
+   hostile peer is rejected before its payload is ever buffered.  The
+   frame is never copied: the caller decodes it in place with
+   {!decode_request_at}/{!decode_response_at}. *)
+let parse_frame ?(max_frame = default_max_frame) ~kind ~known (buf : Bytes.t)
+    ~ofs ~len : frame_info option =
+  if len <= 0 then None
+  else begin
+    let tag = Char.code (Bytes.get buf ofs) in
+    if not (known tag) then
+      err ~at:0 "E1101" "unknown %s frame tag %#x" kind tag;
+    (* length varint: scan for its last byte, bounded like the
+       serializer's (9 bytes), without committing a cursor yet *)
+    let rec scan i =
+      if i >= 9 then err "E1105" "frame length varint exceeds 9 bytes"
+      else if 1 + i >= len then None
+      else if Char.code (Bytes.get buf (ofs + 1 + i)) land 0x80 <> 0 then
+        scan (i + 1)
+      else Some ()
+    in
+    match scan 0 with
+    | None -> None
+    | Some () ->
+        (* the cursor below stays within the scanned varint bytes, all
+           inside the valid region, so the whole-buffer view is safe *)
+        let cur = { S.data = Bytes.unsafe_to_string buf; S.pos = ofs + 1 } in
+        let plen =
+          try S.get_varint cur
+          with S.Corrupt c ->
+            err ~at:c.c_at "E1105" "malformed frame length: %s" c.c_msg
+        in
+        if plen > max_frame then
+          err ~at:(ofs + 1) "E1104"
+            "frame payload of %d bytes exceeds the %d-byte bound" plen
+            max_frame;
+        let payload_ofs = cur.S.pos in
+        if payload_ofs - ofs + plen + 4 > len then None
+        else begin
+          cur.S.pos <- payload_ofs + plen;
+          let stored = S.get_crc32 cur in
+          let computed = S.crc32 (Bytes.unsafe_to_string buf) payload_ofs plen in
+          if stored <> computed then
+            err ~at:payload_ofs "E1103"
+              "frame CRC32 mismatch (stored %08x, computed %08x)" stored
+              computed;
+          Some
+            {
+              f_tag = tag;
+              f_payload_ofs = payload_ofs;
+              f_payload_len = plen;
+              f_end = payload_ofs + plen + 4;
+            }
+        end
+  end
+
+(* Decode a parsed frame's payload in place.  The cursor ranges over
+   the whole buffer, but [parse_frame] guaranteed the payload bytes are
+   valid and CRC-checked; a decoder that strays outside them cannot
+   land back exactly on the payload end (positions only advance), so
+   the final exact-length check subsumes the per-payload bound. *)
+let decode_payload_at decode (buf : Bytes.t) (fi : frame_info) =
+  let cur = { S.data = Bytes.unsafe_to_string buf; S.pos = fi.f_payload_ofs } in
+  let v = remap_payload_fault (decode fi.f_tag) cur in
+  if cur.S.pos <> fi.f_payload_ofs + fi.f_payload_len then
     err ~at:cur.S.pos "E1105" "%d undecoded payload bytes"
-      (String.length payload - cur.S.pos);
+      (fi.f_payload_ofs + fi.f_payload_len - cur.S.pos);
   v
+
+let decode_request_at buf fi : request =
+  decode_payload_at decode_request_payload buf fi
+
+let decode_response_at buf fi : response =
+  decode_payload_at decode_response_payload buf fi
+
+(* The pure string path (fuzz harness, tests) runs through the same
+   streaming parser the server and client use, so the harness exercises
+   exactly the production decode path. *)
+let decode_with ~kind ~known decode ?max_frame (s : string) =
+  let len = String.length s in
+  if len = 0 then err ~at:0 "E1102" "empty %s frame" kind;
+  let buf = Bytes.unsafe_of_string s in
+  match parse_frame ?max_frame ~kind ~known buf ~ofs:0 ~len with
+  | None -> err ~at:len "E1102" "truncated %s frame" kind
+  | Some fi ->
+      if fi.f_end <> len then
+        err ~at:fi.f_end "E1105" "%d trailing bytes after frame"
+          (len - fi.f_end);
+      decode_payload_at decode buf fi
 
 let request_of_string ?max_frame s : request =
   decode_with ~kind:"request" ~known:is_request_tag decode_request_payload
@@ -458,125 +573,195 @@ type 'a recv = Got of 'a | Idle | Closed
 
 let now = Unix.gettimeofday
 
-(* true iff [fd] becomes readable before [deadline] *)
-let wait_readable fd deadline =
+(* true iff [fd] becomes ready before [deadline] ([None] = wait
+   forever).  EINTR recomputes the {e remaining} time — an interrupted
+   wait must never restart the full budget. *)
+let wait_fd ~for_read fd deadline =
   let rec go () =
-    let left = deadline -. now () in
-    if left <= 0.0 then false
+    let left =
+      match deadline with
+      | None -> -1.0 (* negative timeout: block until ready *)
+      | Some d -> d -. now ()
+    in
+    if (match deadline with Some _ -> left <= 0.0 | None -> false) then false
     else
-      match Unix.select [ fd ] [] [] left with
-      | [], _, _ -> go ()
+      let r, w = if for_read then ([ fd ], []) else ([], [ fd ]) in
+      match Unix.select r w [] left with
+      | [], [], _ -> go ()
       | _ -> true
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
   in
   go ()
 
-let read_exact fd n ~deadline ~what =
-  let b = Bytes.create n in
-  let got = ref 0 in
-  while !got < n do
-    if not (wait_readable fd deadline) then
-      err "E1109" "timed out mid-frame reading %s" what;
-    match Unix.read fd b !got (n - !got) with
-    | 0 -> err "E1102" "connection closed mid-frame (reading %s)" what
-    | k -> got := !got + k
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (e, _, _) ->
-        err "E1110" "read failed: %s" (Unix.error_message e)
-  done;
-  Bytes.unsafe_to_string b
+let wait_readable fd deadline = wait_fd ~for_read:true fd (Some deadline)
 
-(* Receive one frame.  [idle_timeout], when given, bounds only the wait
-   for the {e first} byte and expiry yields [Idle] — the server's poll
-   point for its shutdown flag.  Once a frame has started, [timeout]
-   bounds progress and expiry raises E1109.  EOF before the first byte
-   is [Closed]; EOF mid-frame is E1102. *)
-let recv_with ~kind ~known decode ?(max_frame = default_max_frame)
-    ?idle_timeout ?(timeout = default_timeout) fd : 'a recv =
-  let first_deadline =
-    now () +. match idle_timeout with Some t -> t | None -> timeout
+(* ------------------------------------------------------------------ *)
+(* Buffered reader: per-connection reused buffer with pushback         *)
+(* ------------------------------------------------------------------ *)
+
+(* One [reader] owns one fd's inbound byte stream.  Reads pull as many
+   bytes as the kernel has ready into a grow-once scratch buffer;
+   frames are parsed and decoded in place and surplus bytes (the start
+   of the next frame of a pipelined train) simply stay buffered for
+   the next receive — no per-frame allocation, no one-byte syscalls. *)
+type reader = {
+  rd_fd : Unix.file_descr;
+  mutable rd_buf : Bytes.t;
+  mutable rd_ofs : int;  (** start of unconsumed bytes *)
+  mutable rd_len : int;  (** end of valid bytes *)
+}
+
+let reader ?(initial = 64 * 1024) fd =
+  { rd_fd = fd; rd_buf = Bytes.create (max 16 initial); rd_ofs = 0; rd_len = 0 }
+
+let reader_buffered rd = rd.rd_len - rd.rd_ofs
+
+(* a reply may already be buffered, or bytes may be ready to read;
+   this is a poll (zero-timeout select), never a wait *)
+let readable rd =
+  reader_buffered rd > 0
+  ||
+  let rec poll () =
+    match Unix.select [ rd.rd_fd ] [] [] 0.0 with
+    | [], _, _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll ()
   in
-  if not (wait_readable fd first_deadline) then (
-    match idle_timeout with
-    | Some _ -> Idle
-    | None -> err "E1109" "timed out waiting for a %s frame" kind)
-  else begin
-    let b = Bytes.create 1 in
-    let rec read_first () =
-      match Unix.read fd b 0 1 with
-      | 0 -> None
-      | _ -> Some (Char.code (Bytes.get b 0))
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_first ()
-      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> None
-      | exception Unix.Unix_error (e, _, _) ->
-          err "E1110" "read failed: %s" (Unix.error_message e)
-    in
-    match read_first () with
-    | None -> Closed
-    | Some tag ->
-        if not (known tag) then err ~at:0 "E1101" "unknown %s frame tag %#x" kind tag;
-        let deadline = now () +. timeout in
-        (* length varint, byte by byte, bounded like the serializer's *)
-        let lenbuf = Buffer.create 9 in
-        let rec read_len n =
-          if n > 9 then err "E1105" "frame length varint exceeds 9 bytes";
-          let s = read_exact fd 1 ~deadline ~what:"frame length" in
-          Buffer.add_string lenbuf s;
-          if Char.code s.[0] land 0x80 <> 0 then read_len (n + 1)
-        in
-        read_len 1;
-        let lenbytes = Buffer.contents lenbuf in
-        let len =
-          let cur = { S.data = lenbytes; S.pos = 0 } in
-          try S.get_varint cur
-          with S.Corrupt c ->
-            err ~at:c.c_at "E1105" "malformed frame length: %s" c.c_msg
-        in
-        if len > max_frame then
-          err "E1104" "frame payload of %d bytes exceeds the %d-byte bound" len
-            max_frame;
-        let rest = read_exact fd (len + 4) ~deadline ~what:"frame payload" in
-        (* re-assemble and run the one validated decode path *)
-        let full =
-          let buf = Buffer.create (len + 14) in
-          Buffer.add_char buf (Char.chr tag);
-          Buffer.add_string buf lenbytes;
-          Buffer.add_string buf rest;
-          Buffer.contents buf
-        in
-        Got (decode_with ~kind ~known decode ~max_frame full)
-  end
+  poll ()
 
-let recv_request ?max_frame ?idle_timeout ?timeout fd : request recv =
-  recv_with ~kind:"request" ~known:is_request_tag decode_request_payload
-    ?max_frame ?idle_timeout ?timeout fd
+(* make room to read: compact (cheap, reuses the buffer) before
+   growing (only when one frame outgrows the current buffer) *)
+let rd_make_room rd =
+  if rd.rd_len = Bytes.length rd.rd_buf then
+    if rd.rd_ofs > 0 then begin
+      Bytes.blit rd.rd_buf rd.rd_ofs rd.rd_buf 0 (rd.rd_len - rd.rd_ofs);
+      rd.rd_len <- rd.rd_len - rd.rd_ofs;
+      rd.rd_ofs <- 0
+    end
+    else begin
+      let nb = Bytes.create (2 * Bytes.length rd.rd_buf) in
+      Bytes.blit rd.rd_buf 0 nb 0 rd.rd_len;
+      rd.rd_buf <- nb
+    end
+
+(* pull whatever the kernel has ready; never blocks longer than one
+   [read] on a blocking fd that [select] reported readable *)
+let rd_refill rd =
+  rd_make_room rd;
+  match
+    Unix.read rd.rd_fd rd.rd_buf rd.rd_len (Bytes.length rd.rd_buf - rd.rd_len)
+  with
+  | 0 -> `Eof
+  | k ->
+      rd.rd_len <- rd.rd_len + k;
+      `Data
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Again
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Again
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Eof
+  | exception Unix.Unix_error (e, _, _) ->
+      err "E1110" "read failed: %s" (Unix.error_message e)
+
+(* Receive one frame through [rd].  [idle_timeout], when given, bounds
+   only the wait for the {e first} byte of a frame and expiry yields
+   [Idle].  Once a frame has started (including pushed-back bytes from
+   a previous read), [timeout] bounds the whole frame and expiry raises
+   E1109.  EOF before the first byte is [Closed]; EOF mid-frame is
+   E1102. *)
+let recv_with ~kind ~known decode ?(max_frame = default_max_frame)
+    ?idle_timeout ?(timeout = default_timeout) rd : 'a recv =
+  let try_parse () =
+    match
+      parse_frame ~max_frame ~kind ~known rd.rd_buf ~ofs:rd.rd_ofs
+        ~len:(reader_buffered rd)
+    with
+    | None -> None
+    | Some fi ->
+        let v = decode rd.rd_buf fi in
+        rd.rd_ofs <- fi.f_end;
+        if rd.rd_ofs = rd.rd_len then begin
+          rd.rd_ofs <- 0;
+          rd.rd_len <- 0
+        end;
+        Some v
+  in
+  match try_parse () with
+  | Some v -> Got v
+  | None ->
+      let started () = reader_buffered rd > 0 in
+      let budget =
+        if started () then timeout
+        else match idle_timeout with Some t -> t | None -> timeout
+      in
+      let rec go deadline =
+        if not (wait_readable rd.rd_fd deadline) then
+          if started () then err "E1109" "timed out mid-frame reading a %s" kind
+          else
+            match idle_timeout with
+            | Some _ -> Idle
+            | None -> err "E1109" "timed out waiting for a %s frame" kind
+        else begin
+          let was_started = started () in
+          match rd_refill rd with
+          | `Eof ->
+              if started () then
+                err "E1102" "connection closed mid-frame (reading a %s)" kind
+              else Closed
+          | `Again -> go deadline
+          | `Data -> (
+              match try_parse () with
+              | Some v -> Got v
+              | None ->
+                  (* the first byte of a frame switches the budget from
+                     the idle wait to the per-frame [timeout] *)
+                  let deadline =
+                    if was_started then deadline else now () +. timeout
+                  in
+                  go deadline)
+        end
+      in
+      go (now () +. budget)
+
+let recv_request ?max_frame ?idle_timeout ?timeout rd : request recv =
+  recv_with ~kind:"request" ~known:is_request_tag decode_request_at ?max_frame
+    ?idle_timeout ?timeout rd
 
 (** Clients have no idle state: EOF means the server went away
     (E1110), and a quiet line past [timeout] is E1109. *)
-let recv_response ?max_frame ?timeout fd : response =
+let recv_response ?max_frame ?timeout rd : response =
   match
-    recv_with ~kind:"response" ~known:is_response_tag decode_response_payload
-      ?max_frame ?timeout fd
+    recv_with ~kind:"response" ~known:is_response_tag decode_response_at
+      ?max_frame ?timeout rd
   with
   | Got r -> r
   | Closed -> err "E1110" "connection closed by server"
   | Idle -> assert false (* no idle_timeout passed *)
 
-let write_all fd s =
+(* Write the whole frame, surviving partial writes, EINTR, and
+   EAGAIN/0-byte writes on non-blocking fds: no progress means wait
+   for writability (never a busy-loop, never a dropped frame tail).
+   [deadline] bounds the whole write; expiry raises E1109. *)
+let write_all ?deadline fd s =
   let n = String.length s in
   let b = Bytes.unsafe_of_string s in
   let rec go ofs =
     if ofs < n then
       match Unix.write fd b ofs (n - ofs) with
+      | 0 -> await ofs
       | k -> go (ofs + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          await ofs
       | exception Unix.Unix_error (e, _, _) ->
           err "E1110" "write failed: %s" (Unix.error_message e)
+  and await ofs =
+    if wait_fd ~for_read:false fd deadline then go ofs
+    else err "E1109" "timed out writing a frame (%d of %d bytes sent)" ofs n
   in
   go 0
 
-let send_request fd r = write_all fd (request_to_string r)
-let send_response fd r = write_all fd (response_to_string r)
+let send_request ?deadline fd r = write_all ?deadline fd (request_to_string r)
+let send_response ?deadline fd r = write_all ?deadline fd (response_to_string r)
 
 (** Render a protocol fault as a structured diagnostic (phase [Net],
     process exit code 7). *)

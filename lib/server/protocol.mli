@@ -71,6 +71,13 @@ type response =
 val request_to_string : request -> string
 val response_to_string : response -> string
 
+val encode_request_into : Buffer.t -> request -> unit
+(** Append the framed request to the buffer without building the
+    intermediate frame string — the hot path for pipelined sends. *)
+
+val encode_response_into : Buffer.t -> response -> unit
+(** Same, for coalesced response bursts. *)
+
 val request_of_string : ?max_frame:int -> string -> request
 (** Decode one complete request frame; raises
     {!Hli_core.Serialize.Corrupt} with an E11xx code on any fault. *)
@@ -80,29 +87,87 @@ val response_of_string : ?max_frame:int -> string -> response
 val is_protocol_code : string -> bool
 (** [true] on E11xx codes. *)
 
+val is_request_tag : int -> bool
+val is_response_tag : int -> bool
+
+(** {2 Streaming zero-copy framing}
+
+    The event-driven server and the pipelined client parse frames in
+    place over a reused buffer: {!parse_frame} finds one frame's
+    boundaries among the valid bytes (eagerly rejecting malformations
+    decidable from a prefix), then {!decode_request_at}/
+    {!decode_response_at} decode the CRC-checked payload without
+    copying it out. *)
+
+type frame_info = {
+  f_tag : int;
+  f_payload_ofs : int;  (** absolute offset of the payload in the buffer *)
+  f_payload_len : int;
+  f_end : int;  (** offset just past the CRC — where the next frame starts *)
+}
+
+val parse_frame :
+  ?max_frame:int ->
+  kind:string ->
+  known:(int -> bool) ->
+  Bytes.t ->
+  ofs:int ->
+  len:int ->
+  frame_info option
+(** [None] = incomplete, feed more bytes.  Raises E1101/E1103/E1104/
+    E1105 as soon as the fault is decidable. *)
+
+val decode_request_at : Bytes.t -> frame_info -> request
+(** Decode a frame found by [parse_frame] with [known:is_request_tag];
+    raises E1105 on a malformed payload. *)
+
+val decode_response_at : Bytes.t -> frame_info -> response
+
 (** {2 Socket I/O} *)
 
+(** A buffered frame reader over one fd: bytes are pulled in bulk into
+    a grow-once scratch buffer, frames decoded in place, and surplus
+    bytes of a pipelined train pushed back for the next receive. *)
+type reader
+
+val reader : ?initial:int -> Unix.file_descr -> reader
+(** Wrap [fd] ([initial] is the scratch-buffer size, default 64 KiB).
+    All reads from the fd must go through the reader from then on. *)
+
+val reader_buffered : reader -> int
+(** Bytes received but not yet consumed (pushed-back surplus). *)
+
+val readable : reader -> bool
+(** [true] iff a receive can make progress without blocking: surplus
+    bytes are buffered, or the fd is readable right now. *)
+
 (** [Idle]: the optional [idle_timeout] expired before any byte of a
-    frame arrived (the server's shutdown-flag poll point).  [Closed]:
-    EOF before any byte. *)
+    frame arrived.  [Closed]: EOF before any byte. *)
 type 'a recv = Got of 'a | Idle | Closed
 
 val recv_request :
   ?max_frame:int ->
   ?idle_timeout:float ->
   ?timeout:float ->
-  Unix.file_descr ->
+  reader ->
   request recv
 (** Blocking read of one request frame.  Once a frame has started,
-    [timeout] bounds progress (expiry raises E1109); EOF mid-frame
-    raises E1102. *)
+    [timeout] bounds the rest of it (expiry raises E1109, recomputed —
+    not restarted — across EINTR); EOF mid-frame raises E1102. *)
 
-val recv_response : ?max_frame:int -> ?timeout:float -> Unix.file_descr -> response
+val recv_response : ?max_frame:int -> ?timeout:float -> reader -> response
 (** Blocking read of one response frame.  EOF raises E1110; a quiet
     line past [timeout] raises E1109. *)
 
-val send_request : Unix.file_descr -> request -> unit
-val send_response : Unix.file_descr -> response -> unit
+val write_all : ?deadline:float -> Unix.file_descr -> string -> unit
+(** Write the whole string, surviving partial writes, EINTR and
+    EAGAIN/0-byte writes on non-blocking fds (waits for writability,
+    never busy-loops, never drops the tail).  [deadline] (absolute,
+    [Unix.gettimeofday] clock) bounds the whole write — expiry raises
+    E1109; a vanished peer raises E1110. *)
+
+val send_request : ?deadline:float -> Unix.file_descr -> request -> unit
+val send_response : ?deadline:float -> Unix.file_descr -> response -> unit
 (** Both raise [Corrupt] E1110 when the peer is gone. *)
 
 val diagnostic_of_fault :

@@ -1,26 +1,37 @@
-(** hlid server core: accept loop, concurrent sessions, telemetry.
+(** hlid server core: event-driven accept/read loop, worker pool,
+    telemetry.
 
-    One listening Unix-domain socket; each accepted connection becomes
-    a {e session} running on a {!Pool} worker domain.  A session owns
-    its HLI data outright — {!Protocol.Open_hli}/[Open_path] loads a
-    validated file into per-unit {!Hli_core.Maintain} transactions,
-    each watching an eagerly built {!Hli_core.Query} index — so
-    sessions share no query state and need no locking; only the
-    telemetry record is shared (mutex-protected).
+    One poller (the domain that calls {!run}) owns every socket: it
+    accepts connections, pulls ready bytes into per-connection reused
+    buffers, parses and decodes frames {e in place}
+    ({!Protocol.parse_frame}), and hands decoded requests to a
+    fixed-size {!Pool} of worker domains.  Each connection carries a
+    work queue drained by {e at most one} worker at a time, so
 
-    The semantics mirror the in-process pipeline exactly (the remote
-    differential suite depends on it):
-    - queries answer from the session's current index, whose memo
-      tables are invalidated by every maintenance op (the [watch]
-      edge), but whose structure is only rebuilt at a {!Protocol.Refresh}
-      — the wire image of the local per-pass [Maintain.commit];
-    - [Q_hoist_target] commits and asks the fresh index, which is
-      verbatim what the local LICM hoist decision does.
+    - requests on one connection are handled strictly in arrival
+      order and answered in that order (the invariant pipelined
+      clients correlate replies by);
+    - a connection's session state (its per-unit
+      {!Hli_core.Maintain} transactions and {!Hli_core.Query}
+      indexes) is only ever touched by the worker currently holding
+      its queue — no locking around HLI state;
+    - a slow or heavily pipelined connection occupies one worker,
+      never the poller: other connections keep being read and served.
 
-    Shutdown is graceful: {!initiate_shutdown} flips a flag and closes
-    the listening socket; sessions notice at their idle poll, answer
-    in-flight work, send an E1110 error frame and drain.  {!run}
-    bounds the drain and force-closes stragglers. *)
+    Only the telemetry record and the connection table are shared
+    (mutex-protected).  The semantics mirror the in-process pipeline
+    exactly (the remote differential suite depends on it): queries
+    answer from the connection's current index, maintenance ops
+    invalidate its memo tables via the [watch] edge, and the index
+    structure is only rebuilt at a {!Protocol.Refresh} — the wire
+    image of the local per-pass [Maintain.commit].
+
+    Shutdown is graceful: {!initiate_shutdown} flips a flag, closes
+    the listening socket and wakes the poller through a self-pipe; the
+    poller queues a shutdown notice behind each connection's in-flight
+    work, so every client gets its pending answers, then an E1110
+    error frame, then EOF.  {!run} bounds the drain and force-closes
+    stragglers. *)
 
 module P = Protocol
 module S = Hli_core.Serialize
@@ -30,17 +41,18 @@ module M = Hli_core.Maintain
 
 type config = {
   socket_path : string;
-  jobs : int;  (** pool size; [jobs - 1] workers bound concurrent sessions *)
+  jobs : int;
+      (** worker-pool size; [jobs - 1] worker domains execute request
+          handlers (sessions no longer pin a worker for their
+          lifetime, so this sizes for CPU, not connection count) *)
   max_frame : int;
-  idle_timeout : float;  (** session poll interval (shutdown latency) *)
+  idle_timeout : float;  (** poller wakeup cap (shutdown/deadline latency) *)
   request_timeout : float;  (** mid-frame progress bound *)
 }
 
 let default_config ~socket_path =
   {
     socket_path;
-    (* sessions are held for a connection's lifetime, so the pool is
-       sized for concurrency, not CPU count *)
     jobs = max 8 (Pool.default_jobs ());
     max_frame = P.default_max_frame;
     idle_timeout = 0.2;
@@ -98,20 +110,69 @@ let fresh_stats () =
     st_per_session = [];
   }
 
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type unit_state = {
+  us_mt : M.t;
+  mutable us_idx : Q.index;  (** replaced at [Refresh], like a commit *)
+}
+
+(* Work items flow poller -> per-connection queue -> one worker.  The
+   queue preserves arrival order; [W_fault]/[W_shutdown]/[W_close]
+   always terminate the connection after any queued requests. *)
+type work =
+  | W_req of P.request
+  | W_fault of S.corruption  (** framing fault: answer its code, close *)
+  | W_shutdown  (** graceful drain: answer E1110, close *)
+  | W_close  (** peer vanished: close silently *)
+
+(* Alive: the poller reads it.  Draining: no more reads; queued work
+   (ending in a terminating item) is still being answered.  Dead: the
+   worker is done; the poller reaps fd + bookkeeping. *)
+type conn_state = Alive | Draining | Dead
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  mutable c_buf : Bytes.t;  (** inbound scratch, grow-once, reused *)
+  mutable c_ofs : int;  (** parse offset *)
+  mutable c_len : int;  (** end of valid bytes *)
+  mutable c_frame_since : float;
+      (** when the first byte of the current partial frame arrived;
+          0.0 = no partial frame pending *)
+  c_units : (string, unit_state) Hashtbl.t;  (** worker-only *)
+  c_lock : Mutex.t;  (** guards c_work / c_scheduled / c_state *)
+  c_work : work Queue.t;
+  mutable c_scheduled : bool;  (** a worker owns the queue right now *)
+  mutable c_state : conn_state;
+  mutable c_frames : int;  (** worker-only counters, read at reap *)
+  mutable c_queries : int;
+}
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   stop : bool Atomic.t;
   pool : Pool.t;
-  active : int Atomic.t;
+  active : int Atomic.t;  (** un-reaped connections *)
   mutex : Mutex.t;  (** guards [st] and [conns] *)
   st : stats;
-  mutable conns : Unix.file_descr list;
+  mutable conns : conn list;
+  wake_r : Unix.file_descr;  (** self-pipe: workers/signals wake the poller *)
+  wake_w : Unix.file_descr;
 }
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let wake t =
+  (* best-effort, async-signal-safe enough: a full pipe already means
+     a wakeup is pending *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
 
 let record_latency t dt =
   t.st.st_lat.(t.st.st_lat_n mod lat_cap) <- dt;
@@ -129,9 +190,7 @@ let percentile_ns sorted p =
 let stats_json t =
   locked t @@ fun () ->
   let s = t.st in
-  let sorted =
-    Array.sub s.st_lat 0 (min s.st_lat_n lat_cap)
-  in
+  let sorted = Array.sub s.st_lat 0 (min s.st_lat_n lat_cap) in
   Array.sort compare sorted;
   let b = Buffer.create 512 in
   Buffer.add_string b
@@ -159,13 +218,8 @@ let stats_json t =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
-(* Sessions                                                            *)
+(* Request handling (worker side)                                      *)
 (* ------------------------------------------------------------------ *)
-
-type unit_state = {
-  us_mt : M.t;
-  mutable us_idx : Q.index;  (** replaced at [Refresh], like a commit *)
-}
 
 let q_unit = function
   | P.Q_equiv { u; _ }
@@ -187,14 +241,12 @@ let find_unit units u =
   | Some us -> us
   | None -> reply_error "E1107" "unknown unit %S" u
 
-let answer_query units q : P.answer =
-  let us = find_unit units (q_unit q) in
+let answer_query_in us q : P.answer =
   match q with
   | P.Q_equiv { a; b; _ } -> P.A_equiv (Q.get_equiv_acc us.us_idx a b)
   | P.Q_alias { rid; ca; cb; _ } -> P.A_alias (Q.get_alias us.us_idx ~rid ca cb)
   | P.Q_lcdd { rid; a; b; _ } -> P.A_lcdd (Q.get_lcdd us.us_idx ~rid a b)
-  | P.Q_call { call; mem; _ } ->
-      P.A_call (Q.get_call_acc us.us_idx ~call ~mem)
+  | P.Q_call { call; mem; _ } -> P.A_call (Q.get_call_acc us.us_idx ~call ~mem)
   | P.Q_region_of { item; _ } ->
       P.A_region_of (Q.get_region_of_item us.us_idx item)
   | P.Q_hoist_target { item; _ } ->
@@ -232,7 +284,7 @@ let bump_query_kind st = function
   | P.Q_region_of _ -> st.st_q_region <- st.st_q_region + 1
   | P.Q_hoist_target _ -> st.st_q_hoist <- st.st_q_hoist + 1
 
-(* handle one request; returns (response, keep_session_open) *)
+(* handle one request; returns (response, keep_connection_open) *)
 let handle t units (req : P.request) : P.response * bool =
   match req with
   | P.Hello { version } ->
@@ -249,7 +301,8 @@ let handle t units (req : P.request) : P.response * bool =
   | P.Open_hli bytes -> (
       match S.of_bytes bytes with
       | exception S.Corrupt c ->
-          (P.R_error { e_code = c.S.c_code; e_msg = S.corruption_to_string c }, true)
+          ( P.R_error { e_code = c.S.c_code; e_msg = S.corruption_to_string c },
+            true )
       | f -> (
           match Hli_core.Validate.validate f with
           | () -> (open_file units f, true)
@@ -261,11 +314,32 @@ let handle t units (req : P.request) : P.response * bool =
       match S.read_file path with
       | f -> (open_file units f, true)
       | exception Diagnostics.Diagnostic d ->
-          (P.R_error { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message }, true)
+          ( P.R_error
+              { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
+            true )
       | exception Sys_error msg ->
           (P.R_error { e_code = "E0001"; e_msg = msg }, true))
   | P.Batch qs ->
-      let answers = List.map (answer_query units) qs in
+      (* a batch almost always stays on one unit, and the decoder
+         interns repeated names, so the memo usually hits on the
+         pointer compare before ever touching the hashtable *)
+      let memo_u = ref "" and memo_us = ref None in
+      let answers =
+        List.map
+          (fun q ->
+            let u = q_unit q in
+            let us =
+              match !memo_us with
+              | Some us when !memo_u == u || String.equal !memo_u u -> us
+              | _ ->
+                  let us = find_unit units u in
+                  memo_u := u;
+                  memo_us := Some us;
+                  us
+            in
+            answer_query_in us q)
+          qs
+      in
       locked t (fun () ->
           let st = t.st in
           st.st_batches <- st.st_batches + 1;
@@ -295,7 +369,9 @@ let handle t units (req : P.request) : P.response * bool =
       match M.unroll us.us_mt ~rid ~factor with
       | r -> (P.R_unrolled r, true)
       | exception Diagnostics.Diagnostic d ->
-          (P.R_error { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message }, true))
+          ( P.R_error
+              { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
+            true ))
   | P.Refresh u ->
       let us = find_unit units u in
       let _entry, idx = M.commit us.us_mt in
@@ -308,64 +384,213 @@ let handle t units (req : P.request) : P.response * bool =
   | P.Stats -> (P.R_stats (stats_json t), true)
   | P.Close -> (P.R_closing, false)
 
-let session t fd id =
-  let units : (string, unit_state) Hashtbl.t = Hashtbl.create 8 in
-  let frames = ref 0 and queries = ref 0 in
-  let send r = P.send_response fd r in
-  let rec loop () =
-    if Atomic.get t.stop then
-      (* graceful shutdown: in-flight requests were answered; tell the
-         client we are going away rather than silently hanging up *)
-      try send (P.R_error { e_code = "E1110"; e_msg = "server shutting down" })
-      with _ -> ()
-    else
-      match
-        P.recv_request ~max_frame:t.cfg.max_frame
-          ~idle_timeout:t.cfg.idle_timeout ~timeout:t.cfg.request_timeout fd
-      with
-      | P.Idle -> loop ()
-      | P.Closed -> ()
-      | P.Got req ->
-          let t0 = Unix.gettimeofday () in
-          let resp, keep =
-            try handle t units req with
-            | Reply_error (e_code, e_msg) ->
-                (P.R_error { e_code; e_msg }, true)
-            | Diagnostics.Diagnostic d ->
-                ( P.R_error
-                    { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
-                  true )
-          in
-          send resp;
-          incr frames;
-          (match req with P.Batch qs -> queries := !queries + List.length qs | _ -> ());
-          locked t (fun () ->
-              t.st.st_frames <- t.st.st_frames + 1;
-              record_latency t (Unix.gettimeofday () -. t0));
-          if keep then loop ()
-      | exception S.Corrupt c ->
-          (* a framing fault is unrecoverable: answer with its precise
-             E-code, then drop the connection *)
-          locked t (fun () ->
-              if c.S.c_code = "E1109" then t.st.st_timeouts <- t.st.st_timeouts + 1
-              else t.st.st_rejected <- t.st.st_rejected + 1);
-          (try
-             send
-               (P.R_error
-                  { e_code = c.S.c_code; e_msg = S.corruption_to_string c })
-           with _ -> ())
+(* ------------------------------------------------------------------ *)
+(* Worker: drain one connection's queue                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Handle one work item; responses are {e encoded} into [out], not
+   written — the drain loop flushes the whole burst in one write, so a
+   pipelined train of N requests costs one syscall, not N.  Returns
+   true to keep the connection, false to terminate it. *)
+let handle_work t c out = function
+  | W_req req ->
+      let t0 = Unix.gettimeofday () in
+      let resp, keep =
+        try handle t c.c_units req with
+        | Reply_error (e_code, e_msg) -> (P.R_error { e_code; e_msg }, true)
+        | Diagnostics.Diagnostic d ->
+            ( P.R_error
+                { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
+              true )
+      in
+      P.encode_response_into out resp;
+      c.c_frames <- c.c_frames + 1;
+      (match req with
+      | P.Batch qs -> c.c_queries <- c.c_queries + List.length qs
+      | _ -> ());
+      locked t (fun () ->
+          t.st.st_frames <- t.st.st_frames + 1;
+          record_latency t (Unix.gettimeofday () -. t0));
+      keep
+  | W_fault cor ->
+      (* a framing fault is unrecoverable: answer with its precise
+         E-code, then drop the connection *)
+      locked t (fun () ->
+          if cor.S.c_code = "E1109" then t.st.st_timeouts <- t.st.st_timeouts + 1
+          else t.st.st_rejected <- t.st.st_rejected + 1);
+      P.encode_response_into out
+        (P.R_error
+           { e_code = cor.S.c_code; e_msg = S.corruption_to_string cor });
+      false
+  | W_shutdown ->
+      (* graceful shutdown: in-flight requests were answered above;
+         tell the client we are going away rather than silently
+         hanging up *)
+      P.encode_response_into out
+        (P.R_error { e_code = "E1110"; e_msg = "server shutting down" });
+      false
+  | W_close -> false
+
+(* cap on buffered responses before an intermediate flush: bounds
+   worker memory against a huge pipelined train of large answers *)
+let flush_watermark = 256 * 1024
+
+let process t c =
+  let out = Buffer.create 1024 in
+  (* the flush is bounded: a client that stops reading its responses
+     costs one E1109 after request_timeout, not a wedged worker *)
+  let flush () =
+    if Buffer.length out > 0 then begin
+      let s = Buffer.contents out in
+      Buffer.clear out;
+      P.write_all
+        ~deadline:(Unix.gettimeofday () +. t.cfg.request_timeout)
+        c.c_fd s
+    end
   in
-  (try loop () with _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  locked t (fun () ->
-      t.conns <- List.filter (fun c -> c != fd) t.conns;
-      t.st.st_active <- t.st.st_active - 1;
-      t.st.st_per_session <-
-        (let l = (id, !frames, !queries) :: t.st.st_per_session in
-         if List.length l > per_session_cap then
-           List.filteri (fun i _ -> i < per_session_cap) l
-         else l));
-  Atomic.decr t.active
+  let die () =
+    (* best-effort parting frames (fault codes, shutdown notice) *)
+    (try flush () with _ -> ());
+    Mutex.lock c.c_lock;
+    Queue.clear c.c_work;
+    c.c_scheduled <- false;
+    c.c_state <- Dead;
+    Mutex.unlock c.c_lock;
+    wake t
+  in
+  let rec drain () =
+    let item =
+      Mutex.lock c.c_lock;
+      let i = Queue.take_opt c.c_work in
+      Mutex.unlock c.c_lock;
+      i
+    in
+    match item with
+    | Some w -> (
+        match handle_work t c out w with
+        | true ->
+            if Buffer.length out > flush_watermark then flush ();
+            drain ()
+        | false -> die ()
+        | exception _ -> die ())
+    | None -> (
+        (* queue looks empty: flush the burst {e before} releasing the
+           scheduled flag, so another worker can't interleave writes;
+           then re-check — new work may have arrived while writing *)
+        match flush () with
+        | () ->
+            Mutex.lock c.c_lock;
+            let empty = Queue.is_empty c.c_work in
+            if empty then c.c_scheduled <- false;
+            Mutex.unlock c.c_lock;
+            if not empty then drain ()
+        | exception _ -> die ())
+  in
+  drain ()
+
+(* queue one work item without waking a worker; [terminal] also stops
+   further reads.  Callers follow up with {!kick} once the whole burst
+   is queued — submitting per frame would make a worker (or, in
+   poller-inline mode, the poller itself) answer frame by frame, and
+   the response coalescing in {!process} would never see a burst. *)
+let push t c ?(terminal = false) w =
+  ignore t;
+  Mutex.lock c.c_lock;
+  if c.c_state <> Dead then begin
+    Queue.add w c.c_work;
+    if terminal && c.c_state = Alive then c.c_state <- Draining
+  end;
+  Mutex.unlock c.c_lock
+
+(* make sure exactly one worker owns the queue *)
+let kick t c =
+  Mutex.lock c.c_lock;
+  let submit =
+    c.c_state <> Dead && (not c.c_scheduled) && not (Queue.is_empty c.c_work)
+  in
+  if submit then c.c_scheduled <- true;
+  Mutex.unlock c.c_lock;
+  if submit then Pool.submit t.pool (fun () -> process t c)
+
+let enqueue t c ?terminal w =
+  push t c ?terminal w;
+  kick t c
+
+(* ------------------------------------------------------------------ *)
+(* Poller: accept, read, parse, dispatch                               *)
+(* ------------------------------------------------------------------ *)
+
+let conn_state c =
+  Mutex.lock c.c_lock;
+  let s = c.c_state in
+  Mutex.unlock c.c_lock;
+  s
+
+(* grow-once scratch management: compact before growing, grow
+   geometrically; [parse_frame]'s eager E1104 bounds any single frame,
+   so the buffer never exceeds ~2x max_frame *)
+let conn_make_room c =
+  if c.c_len = Bytes.length c.c_buf then
+    if c.c_ofs > 0 then begin
+      Bytes.blit c.c_buf c.c_ofs c.c_buf 0 (c.c_len - c.c_ofs);
+      c.c_len <- c.c_len - c.c_ofs;
+      c.c_ofs <- 0
+    end
+    else begin
+      let nb = Bytes.create (2 * Bytes.length c.c_buf) in
+      Bytes.blit c.c_buf 0 nb 0 c.c_len;
+      c.c_buf <- nb
+    end
+
+(* parse every complete frame out of the buffer; decoded requests go
+   to the connection's queue in arrival order *)
+let parse_conn t c =
+  let fault cor = push t c ~terminal:true (W_fault cor) in
+  let rec go () =
+    match
+      P.parse_frame ~max_frame:t.cfg.max_frame ~kind:"request"
+        ~known:P.is_request_tag c.c_buf ~ofs:c.c_ofs
+        ~len:(c.c_len - c.c_ofs)
+    with
+    | exception S.Corrupt cor -> fault cor
+    | None ->
+        if c.c_ofs = c.c_len then begin
+          (* everything consumed: rewind so the next read starts at 0 *)
+          c.c_ofs <- 0;
+          c.c_len <- 0;
+          c.c_frame_since <- 0.0
+        end
+        else if c.c_frame_since = 0.0 then
+          c.c_frame_since <- Unix.gettimeofday ()
+    | Some fi -> (
+        match P.decode_request_at c.c_buf fi with
+        | exception S.Corrupt cor -> fault cor
+        | req ->
+            c.c_ofs <- fi.P.f_end;
+            c.c_frame_since <- 0.0;
+            push t c (W_req req);
+            go ())
+  in
+  go ();
+  (* one kick for the whole burst: the worker drains every frame this
+     read produced and answers them with one coalesced write *)
+  kick t c
+
+let on_gone t c =
+  (* EOF or a dead socket: close silently once queued work is done *)
+  if conn_state c = Alive then enqueue t c ~terminal:true W_close
+
+let read_conn t c =
+  conn_make_room c;
+  match Unix.read c.c_fd c.c_buf c.c_len (Bytes.length c.c_buf - c.c_len) with
+  | 0 -> on_gone t c
+  | k ->
+      c.c_len <- c.c_len + k;
+      parse_conn t c
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
+  | exception Unix.Unix_error _ -> on_gone t c
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -384,88 +609,216 @@ let net_error code fmt =
     file); raises a phase-[Net] E1112 diagnostic on failure. *)
 let create (cfg : config) : t =
   (* a dying client must surface as a write error, not kill the server *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   (try if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path
    with Sys_error _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen fd 64
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
    with Unix.Unix_error (e, _, _) ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      net_error "E1112" "cannot listen on %s: %s" cfg.socket_path
        (Unix.error_message e));
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   {
-    cfg = { cfg with jobs = max 2 cfg.jobs };
+    (* jobs = 1 is poller-inline mode: Pool.submit with no worker
+       domains runs the job synchronously, so request handling happens
+       on the poller domain itself.  On a single-core host that saves
+       the cross-domain handoff per burst; the cost is that one slow
+       request stalls every session, so it is opt-in, never the
+       default. *)
+    cfg = { cfg with jobs = max 1 cfg.jobs };
     listen_fd = fd;
     stop = Atomic.make false;
-    pool = Pool.create ~jobs:(max 2 cfg.jobs);
+    pool = Pool.create ~jobs:(max 1 cfg.jobs);
     active = Atomic.make 0;
     mutex = Mutex.create ();
     st = fresh_stats ();
     conns = [];
+    wake_r;
+    wake_w;
   }
 
-(** Flip the stop flag and close the listening socket.  Callable from
-    a signal handler; {!run} then drains and returns. *)
+(** Flip the stop flag, close the listening socket and wake the
+    poller.  Callable from a signal handler; {!run} then drains and
+    returns. *)
 let initiate_shutdown t =
-  if not (Atomic.exchange t.stop true) then
-    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  if not (Atomic.exchange t.stop true) then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    wake t
+  end
+
+let conn_counter = ref 0
+
+let accept_loop t =
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+        incr conn_counter;
+        let c =
+          {
+            c_id = !conn_counter;
+            c_fd = fd;
+            c_buf = Bytes.create (64 * 1024);
+            c_ofs = 0;
+            c_len = 0;
+            c_frame_since = 0.0;
+            c_units = Hashtbl.create 8;
+            c_lock = Mutex.create ();
+            c_work = Queue.create ();
+            c_scheduled = false;
+            c_state = Alive;
+            c_frames = 0;
+            c_queries = 0;
+          }
+        in
+        Atomic.incr t.active;
+        locked t (fun () ->
+            t.st.st_sessions <- t.st.st_sessions + 1;
+            t.st.st_active <- t.st.st_active + 1;
+            t.conns <- c :: t.conns);
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> () (* closed by initiate_shutdown *)
+  in
+  go ()
+
+let drain_wake_pipe t =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r b 0 64 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+(* reap Dead connections: close the fd (only the poller ever does)
+   and fold the worker-side counters into telemetry *)
+let reap t =
+  let dead, live =
+    locked t (fun () ->
+        let dead, live = List.partition (fun c -> conn_state c = Dead) t.conns in
+        t.conns <- live;
+        (dead, live))
+  in
+  List.iter
+    (fun c ->
+      (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+      Atomic.decr t.active;
+      locked t (fun () ->
+          t.st.st_active <- t.st.st_active - 1;
+          t.st.st_per_session <-
+            (let l = (c.c_id, c.c_frames, c.c_queries) :: t.st.st_per_session in
+             if List.length l > per_session_cap then
+               List.filteri (fun i _ -> i < per_session_cap) l
+             else l)))
+    dead;
+  live
+
+(* expire connections stuck mid-frame past the request timeout *)
+let check_frame_deadlines t live =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun c ->
+      if
+        conn_state c = Alive
+        && c.c_frame_since > 0.0
+        && now -. c.c_frame_since > t.cfg.request_timeout
+      then
+        enqueue t c ~terminal:true
+          (W_fault
+             {
+               S.c_code = "E1109";
+               c_at = -1;
+               c_msg =
+                 Printf.sprintf "timed out mid-frame after %.1fs"
+                   t.cfg.request_timeout;
+             }))
+    live
+
+(* the poller sleeps until the next fd event, but never past the idle
+   interval or the earliest mid-frame deadline *)
+let select_timeout t live =
+  let now = Unix.gettimeofday () in
+  List.fold_left
+    (fun acc c ->
+      if c.c_frame_since > 0.0 then
+        min acc (max 0.0 (c.c_frame_since +. t.cfg.request_timeout -. now))
+      else acc)
+    t.cfg.idle_timeout live
 
 let sleepf s = try Unix.sleepf s with Unix.Unix_error _ -> ()
 
-(** Accept loop; returns once {!initiate_shutdown} has been called and
-    every session has drained (bounded: stragglers are force-closed
+(** Event loop; returns once {!initiate_shutdown} has been called and
+    every connection has drained (bounded: stragglers are force-closed
     after a grace period). *)
 let run t =
-  (* Never block indefinitely in accept: closing the listening socket
-     from another domain (initiate_shutdown without a signal) does not
-     wake a blocked accept(2), so poll with select at the idle
-     interval and re-check the stop flag between waits.  A select or
-     accept on the closed descriptor errors out, which is also a
-     shutdown signal. *)
-  let rec accept_loop () =
-    if not (Atomic.get t.stop) then
-      match Unix.select [ t.listen_fd ] [] [] t.cfg.idle_timeout with
-      | [], _, _ -> accept_loop ()
-      | _ -> (
-          match Unix.accept t.listen_fd with
-          | fd, _ ->
-              Atomic.incr t.active;
-              let id =
-                locked t (fun () ->
-                    t.st.st_sessions <- t.st.st_sessions + 1;
-                    t.st.st_active <- t.st.st_active + 1;
-                    t.conns <- fd :: t.conns;
-                    t.st.st_sessions)
-              in
-              Pool.submit t.pool (fun () -> session t fd id);
-              accept_loop ()
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-          | exception Unix.Unix_error _ ->
-              (* listening socket closed by initiate_shutdown *)
-              ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-      | exception Unix.Unix_error _ -> ()
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      let live = reap t in
+      check_frame_deadlines t live;
+      let readable =
+        List.filter_map
+          (fun c -> if conn_state c = Alive then Some c.c_fd else None)
+          live
+      in
+      (match
+         Unix.select
+           (t.wake_r :: t.listen_fd :: readable)
+           [] [] (select_timeout t live)
+       with
+      | ready, _, _ ->
+          if List.memq t.wake_r ready then drain_wake_pipe t;
+          if List.memq t.listen_fd ready then accept_loop t;
+          List.iter
+            (fun c ->
+              if List.memq c.c_fd ready && conn_state c = Alive then
+                read_conn t c)
+            live
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+          (* the listening fd was closed under us: shutdown signal *)
+          ());
+      loop ()
+    end
   in
-  accept_loop ();
-  (* drain: sessions notice the stop flag at their idle poll *)
+  loop ();
+  (* graceful drain: every connection gets its queued answers, then an
+     E1110 notice, then EOF *)
+  let live = reap t in
+  List.iter (fun c -> enqueue t c ~terminal:true W_shutdown) live;
   let deadline = Unix.gettimeofday () +. (2.0 *. t.cfg.idle_timeout) +. 1.0 in
   while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
+    ignore (reap t);
     sleepf 0.02
   done;
   if Atomic.get t.active > 0 then begin
-    (* force stragglers out: their blocking reads fail immediately *)
+    (* force stragglers out: a worker blocked writing to a client that
+       stopped reading fails immediately once the socket is shut down *)
     locked t (fun () ->
         List.iter
-          (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-        t.conns);
+          (fun c ->
+            try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          t.conns);
     let deadline = Unix.gettimeofday () +. 2.0 in
     while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
+      ignore (reap t);
       sleepf 0.02
     done
   end;
+  ignore (reap t);
   Pool.shutdown t.pool;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   try Sys.remove t.cfg.socket_path with Sys_error _ -> ()
 
 let socket_path t = t.cfg.socket_path

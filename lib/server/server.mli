@@ -1,21 +1,32 @@
-(** hlid server core: listening socket, concurrent sessions, telemetry.
+(** hlid server core: event-driven accept/read loop, worker pool,
+    telemetry.
 
-    Each accepted connection becomes an isolated session on a {!Pool}
-    worker domain: it opens one validated HLI file into per-unit
-    {!Hli_core.Maintain} transactions and answers
-    {!Protocol.request} frames until [Close], EOF, a framing fault, or
-    server shutdown.  Query/maintenance semantics mirror the
+    One poller domain ({!run}) owns every socket: it accepts
+    connections, reads ready bytes into per-connection reused buffers,
+    parses/decodes frames in place and dispatches decoded requests to
+    a {!Pool} of worker domains.  Each connection's queue is drained
+    by at most one worker at a time, so requests are answered strictly
+    in arrival order — the invariant pipelined clients correlate by —
+    and session state needs no locking.  A session opens one validated
+    HLI file into per-unit {!Hli_core.Maintain} transactions and
+    answers {!Protocol.request} frames until [Close], EOF, a framing
+    fault, or server shutdown.  Query/maintenance semantics mirror the
     in-process pipeline exactly (the remote differential suite checks
     Tables 1/2 byte-identity against it). *)
 
 type config = {
   socket_path : string;
   jobs : int;
-      (** pool size; [jobs - 1] worker domains bound the number of
-          concurrent sessions (clamped to at least 2) *)
+      (** worker-pool size; [jobs - 1] worker domains run request
+          handlers.  Sessions no longer pin a worker for their
+          lifetime, so this sizes for CPU parallelism, not for a
+          connection-count cap.  [jobs = 1] is poller-inline mode:
+          requests are handled synchronously on the poller domain —
+          fastest on a single-core host, but one slow request then
+          stalls every session. *)
   max_frame : int;  (** request payload size bound, bytes *)
   idle_timeout : float;
-      (** session poll interval in seconds — bounds shutdown latency *)
+      (** poller wakeup cap in seconds — bounds shutdown latency *)
   request_timeout : float;
       (** per-frame progress bound; expiry answers E1109 *)
 }
@@ -33,14 +44,15 @@ val create : config -> t
     the socket cannot be set up. *)
 
 val run : t -> unit
-(** Accept loop.  Returns only after {!initiate_shutdown}: in-flight
-    sessions are drained (each answers an E1110 error frame at its
-    next poll), stragglers are force-closed after a grace period, the
-    worker pool is shut down and the socket file removed. *)
+(** Event loop (poller).  Returns only after {!initiate_shutdown}:
+    every connection gets its queued answers, then an E1110 error
+    frame, then EOF; stragglers are force-closed after a grace period,
+    the worker pool is shut down and the socket file removed. *)
 
 val initiate_shutdown : t -> unit
-(** Flip the stop flag and close the listening socket.  Idempotent and
-    async-signal-safe enough for a [Sys.Signal_handle]. *)
+(** Flip the stop flag, close the listening socket and wake the
+    poller through its self-pipe.  Idempotent and async-signal-safe
+    enough for a [Sys.Signal_handle]. *)
 
 val stats_json : t -> string
 (** Server telemetry as a JSON object: session/frame/batch counters,

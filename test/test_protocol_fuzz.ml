@@ -16,6 +16,11 @@
       rejects with E11xx or decodes to a frame that re-encodes and
       re-decodes consistently (a tag flip can legally turn one
       single-string frame into another).
+   4. Frame trains: pipelined concatenations of random frames decode
+      positionally through the streaming parser
+      ([parse_frame]/[decode_request_at]), and every random cut point
+      leaves the parser waiting for more bytes (never a spurious
+      accept or reject of a partial tail).
 
    Runs under dune runtest with a modest default budget; the
    @protocol-fuzz alias (pulled into @smoke) raises it via FUZZ_ITERS.
@@ -245,11 +250,62 @@ let () =
           | _ -> fail "%s: surviving mutant fails re-round-trip" name)
     done
   done;
+  (* pipelined frame trains through the streaming parser *)
+  let trains = ref 0 and cuts = ref 0 in
+  let n_trains = max 10 (iters / 10) in
+  for t = 1 to n_trains do
+    incr trains;
+    let name = Printf.sprintf "train-%d" t in
+    let k = 2 + rand_int 6 in
+    let reqs =
+      List.init k (fun _ -> QCheck.Gen.generate1 ~rand Testgen.gen_request)
+    in
+    let train = String.concat "" (List.map P.request_to_string reqs) in
+    let buf = Bytes.of_string train in
+    (* walk [buf.[0..len)] frame by frame; returns the decoded prefix
+       and whether the tail is a clean "need more bytes" *)
+    let walk len =
+      let rec go ofs acc =
+        if ofs = len then (List.rev acc, true)
+        else
+          match
+            P.parse_frame ~kind:"request" ~known:P.is_request_tag buf ~ofs
+              ~len:(len - ofs)
+          with
+          | None -> (List.rev acc, false)
+          | Some fi -> go fi.P.f_end (P.decode_request_at buf fi :: acc)
+      in
+      go 0 []
+    in
+    (match walk (String.length train) with
+    | decoded, true when decoded = reqs -> ()
+    | decoded, complete ->
+        fail "%s: %d-frame train decoded %d frames (complete=%b)" name k
+          (List.length decoded) complete
+    | exception e -> fail "%s: train walk crashed: %s" name (Printexc.to_string e));
+    (* random cut points: a partial tail must leave the parser waiting *)
+    for _ = 1 to 32 do
+      incr cuts;
+      let len = rand_int (String.length train + 1) in
+      match walk len with
+      | decoded, _ ->
+          (* every fully-contained frame must decode to its original *)
+          let m = List.length decoded in
+          if decoded <> List.filteri (fun i _ -> i < m) reqs then
+            fail "%s: cut at %d mis-decoded a complete frame" name len
+      | exception S.Corrupt c when P.is_protocol_code c.S.c_code ->
+          fail "%s: cut at %d rejected (%s) instead of waiting" name len
+            c.S.c_code
+      | exception e ->
+          fail "%s: cut at %d crashed: %s" name len (Printexc.to_string e)
+    done
+  done;
   Printf.printf
     "protocol fuzz: %d exemplar frames + %d random requests: %d truncations, \
-     %d mutations (%d mutants decoded, all re-round-tripped)\n"
+     %d mutations (%d mutants decoded, all re-round-tripped), %d frame \
+     trains (%d cut points)\n"
     (List.length exemplar_requests + List.length exemplar_responses)
-    n !truncs !muts !survivors;
+    n !truncs !muts !survivors !trains !cuts;
   if !failures > 0 then begin
     Printf.eprintf "protocol fuzz: %d failure(s) (FUZZ_SEED=%d FUZZ_ITERS=%d)\n"
       !failures seed iters;

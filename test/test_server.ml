@@ -11,13 +11,21 @@
    - faults: every injected protocol violation (garbage tag, flipped
      CRC, oversized frame, query-before-open, unknown unit, version
      mismatch, shutdown mid-session, bad unroll factor) surfaces as
-     its precise E-code, with no hang. *)
+     its precise E-code, with no hang;
+   - pipelining: N-in-flight batches correlate positionally against
+     the oracle, out-of-sequence replies are rejected (E1105), a
+     server killed mid-pipeline fails fast with E1110 — no hang, no
+     wrong answers;
+   - wire I/O: write_all survives tiny socket buffers / partial
+     writes / a jammed peer, and an EINTR signal storm does not kill
+     a session. *)
 
 module P = Hli_server.Protocol
 module C = Hli_server.Client
 module T = Hli_core.Tables
 module Q = Hli_core.Query
 module M = Hli_core.Maintain
+module S = Hli_core.Serialize
 
 let equiv_result = Alcotest.testable Q.pp_equiv_result ( = )
 let call_acc = Alcotest.testable Q.pp_call_acc ( = )
@@ -277,7 +285,7 @@ let expect_raw_error path bytes code =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       ignore (Unix.write_substring fd bytes 0 (String.length bytes));
-      match P.recv_response ~timeout:10.0 fd with
+      match P.recv_response ~timeout:10.0 (P.reader fd) with
       | P.R_error { e_code; _ } ->
           Alcotest.(check string) "error code" code e_code
       | _ -> Alcotest.failf "expected an R_error %s frame" code)
@@ -364,6 +372,238 @@ let fault_tests =
             C.connect ~timeout:2.0 (fresh_socket ())));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Pipelining                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let chunks n l =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: r ->
+        if k = n then go (List.rev cur :: acc) [ x ] 1 r
+        else go acc (x :: cur) (k + 1) r
+  in
+  go [] [] 0 l
+
+let with_pipelined_client ?(pipeline = 8) path f =
+  let cl = C.connect ~timeout:10.0 ~pipeline path in
+  Fun.protect ~finally:(fun () -> C.close cl) (fun () -> f cl)
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "8-in-flight batches correlate against the oracle"
+      `Quick (fun () ->
+        let entries = Lazy.force wc_entries in
+        let e = List.hd entries in
+        let u = e.T.unit_name in
+        let idx = Q.build e in
+        let items = take 10 (items_of_entry e) in
+        let pairs =
+          List.concat_map (fun a -> List.map (fun b -> (a, b)) items) items
+        in
+        (* uneven batch sizes so a shifted reply can't count-match *)
+        let batches =
+          List.mapi
+            (fun i c ->
+              List.map (fun (a, b) -> P.Q_equiv { u; a; b }) (take (1 + (i mod 3)) c))
+            (chunks 3 pairs)
+        in
+        let oracle =
+          List.map
+            (List.map (function
+              | P.Q_equiv { a; b; _ } -> P.A_equiv (Q.get_equiv_acc idx a b)
+              | _ -> assert false))
+            batches
+        in
+        with_server (fun path _srv ->
+            with_pipelined_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                let answers = C.query_batches cl batches in
+                Alcotest.(check bool)
+                  "pipelined answers positionally equal the oracle" true
+                  (answers = oracle))));
+    Alcotest.test_case "pipelined maintenance defers and correlates acks"
+      `Quick (fun () ->
+        let entries = Lazy.force wc_entries in
+        let e = List.find (fun e -> items_of_entry e <> []) entries in
+        let u = e.T.unit_name in
+        match items_of_entry e with
+        | i0 :: rest ->
+            let like = match rest with i :: _ -> i | [] -> i0 in
+            let mt = M.start e in
+            M.delete_item mt i0;
+            let gid = M.gen_item mt ~like ~line:5 in
+            let _entry', idx' = M.commit mt in
+            with_server (fun path _srv ->
+                with_pipelined_client path (fun cl ->
+                    ignore (C.open_hli_bytes cl (wire_of [ e ]));
+                    C.notify_delete cl ~u i0;
+                    Alcotest.(check bool)
+                      "delete ack deferred" true
+                      (C.pending cl > 0);
+                    (* a reply-bearing op must first drain the ack *)
+                    let gid_r = C.notify_gen cl ~u ~like ~line:5 in
+                    Alcotest.(check int) "generated id" gid gid_r;
+                    Alcotest.(check int) "acks drained by sync op" 0
+                      (C.pending cl);
+                    C.refresh cl ~u;
+                    C.flush cl;
+                    Alcotest.(check int) "flush drains" 0 (C.pending cl);
+                    List.iter
+                      (fun a ->
+                        Alcotest.check equiv_result
+                          (Printf.sprintf "post-edit equiv %d" a)
+                          (Q.get_equiv_acc idx' a gid)
+                          (C.equiv_acc cl ~u a gid))
+                      (take 8 (gid :: items_of_entry e))))
+        | [] -> Alcotest.fail "workload has no items");
+    Alcotest.test_case "out-of-sequence reply is rejected with E1105" `Quick
+      (fun () ->
+        (* a rogue server that handshakes honestly, then answers the
+           Batch with an R_ack: the client must refuse to mis-correlate *)
+        let path = fresh_socket () in
+        let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind listen (Unix.ADDR_UNIX path);
+        Unix.listen listen 1;
+        let d =
+          Domain.spawn (fun () ->
+              let fd, _ = Unix.accept listen in
+              let rd = P.reader fd in
+              (match P.recv_request ~timeout:10.0 rd with
+              | P.Got (P.Hello _) ->
+                  P.send_response fd
+                    (P.R_hello { version = P.protocol_version })
+              | _ -> ());
+              (match P.recv_request ~timeout:10.0 rd with
+              | P.Got (P.Batch _) -> P.send_response fd P.R_ack
+              | _ -> ());
+              (* linger long enough for the client to read the bogus
+                 reply, then vanish *)
+              (try ignore (P.recv_request ~timeout:2.0 rd) with _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ())
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Domain.join d;
+            (try Unix.close listen with Unix.Unix_error _ -> ());
+            try Sys.remove path with Sys_error _ -> ())
+          (fun () ->
+            let cl = C.connect ~timeout:5.0 ~pipeline:4 path in
+            expect_code "E1105" (fun () ->
+                C.query_batch cl [ P.Q_region_of { u = "u"; item = 1 } ]);
+            C.close cl));
+    Alcotest.test_case "server shutdown mid-pipeline fails fast with E1110"
+      `Quick (fun () ->
+        let entries = Lazy.force wc_entries in
+        with_server (fun path srv ->
+            with_pipelined_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                let u = (List.hd entries).T.unit_name in
+                Hli_server.Server.initiate_shutdown srv;
+                let batches =
+                  List.init 64 (fun i -> [ P.Q_region_of { u; item = i } ])
+                in
+                let rec poke n =
+                  if n = 0 then Alcotest.fail "no E1110 after shutdown"
+                  else
+                    match C.query_batches cl batches with
+                    | _ ->
+                        Unix.sleepf 0.01;
+                        poke (n - 1)
+                    | exception Diagnostics.Diagnostic d ->
+                        Alcotest.(check bool)
+                          (Printf.sprintf "fault code %s" d.Diagnostics.code)
+                          true
+                          (List.mem d.Diagnostics.code [ "E1110"; "E1112" ])
+                in
+                poke 200)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire I/O: partial writes, jammed peers, EINTR                       *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_buffered_socketpair () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* as small as the kernel will let us: forces many partial writes *)
+  Unix.setsockopt_int a Unix.SO_SNDBUF 4096;
+  Unix.setsockopt_int b Unix.SO_RCVBUF 4096;
+  Unix.set_nonblock a;
+  (a, b)
+
+let wire_io_tests =
+  [
+    Alcotest.test_case
+      "write_all survives tiny buffers and partial writes intact" `Quick
+      (fun () ->
+        let a, b = tiny_buffered_socketpair () in
+        let payload = String.init 262144 (fun i -> Char.chr (i land 0xff)) in
+        let frame = P.response_to_string (P.R_stats payload) in
+        let reader_d =
+          Domain.spawn (fun () ->
+              let rd = P.reader b in
+              let r = P.recv_response ~timeout:10.0 rd in
+              (try Unix.close b with Unix.Unix_error _ -> ());
+              r)
+        in
+        P.write_all ~deadline:(Unix.gettimeofday () +. 10.0) a frame;
+        let got = Domain.join reader_d in
+        (try Unix.close a with Unix.Unix_error _ -> ());
+        Alcotest.(check bool)
+          "no dropped tail, no corruption" true
+          (got = P.R_stats payload));
+    Alcotest.test_case "write_all against a jammed peer raises E1109" `Quick
+      (fun () ->
+        let a, b = tiny_buffered_socketpair () in
+        let frame = P.response_to_string (P.R_stats (String.make 1048576 'x')) in
+        (match
+           P.write_all ~deadline:(Unix.gettimeofday () +. 0.2) a frame
+         with
+        | () -> Alcotest.fail "expected E1109 on a never-read socket"
+        | exception S.Corrupt c ->
+            Alcotest.(check string) "code" "E1109" c.S.c_code);
+        (try Unix.close a with Unix.Unix_error _ -> ());
+        try Unix.close b with Unix.Unix_error _ -> ());
+    Alcotest.test_case "wire session survives an EINTR signal storm" `Quick
+      (fun () ->
+        let entries = Lazy.force wc_entries in
+        let ticks = ref 0 in
+        let old =
+          Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr ticks))
+        in
+        let storm = { Unix.it_interval = 0.001; it_value = 0.001 } in
+        ignore (Unix.setitimer Unix.ITIMER_REAL storm);
+        Fun.protect
+          ~finally:(fun () ->
+            ignore
+              (Unix.setitimer Unix.ITIMER_REAL
+                 { Unix.it_interval = 0.0; it_value = 0.0 });
+            ignore (Sys.signal Sys.sigalrm old))
+          (fun () ->
+            with_server (fun path _srv ->
+                with_client path (fun cl ->
+                    ignore (C.open_hli_bytes cl (wire_of entries));
+                    let e = List.hd entries in
+                    let idx = Q.build e in
+                    let items = take 8 (items_of_entry e) in
+                    List.iter
+                      (fun a ->
+                        List.iter
+                          (fun b ->
+                            Alcotest.check equiv_result
+                              (Printf.sprintf "equiv %d %d under signals" a b)
+                              (Q.get_equiv_acc idx a b)
+                              (C.equiv_acc cl ~u:e.T.unit_name a b))
+                          items)
+                      items)));
+        Alcotest.(check bool) "the storm actually fired" true (!ticks > 0));
+  ]
+
 let () =
   Alcotest.run "server"
-    [ ("differential", differential_tests); ("faults", fault_tests) ]
+    [
+      ("differential", differential_tests);
+      ("faults", fault_tests);
+      ("pipelining", pipeline_tests);
+      ("wire-io", wire_io_tests);
+    ]
