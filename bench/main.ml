@@ -47,7 +47,7 @@
                           stage (default: HLI_CACHE env; unset disables
                           caching; also the serbench cache directory)
      --stats              print the per-stage telemetry table
-     --stats-json PATH    write the hli-telemetry-v5 JSON dump ("-" for
+     --stats-json PATH    write the hli-telemetry-v6 JSON dump ("-" for
                           stdout)
      --remote SOCKET      hlid socket: With_hli variants import, query
                           and maintain HLI over the wire (tables stay
@@ -57,6 +57,14 @@
                           request frames in flight per hlid session
                           (1 = strict request/reply); also adds the
                           pipelined rows to the servbench matrix
+     --shm                with --remote: map the HLIX index segments a
+                          co-located hlid (--shm-dir) publishes and
+                          answer read-only queries from shared memory,
+                          falling back to the wire per query when a
+                          segment is missing, mid-rebuild or a
+                          maintenance transaction is open (tables stay
+                          byte-identical); servbench additionally runs
+                          an shm copy of the matrix (path column)
      --validate-json PATH check a JSON dump: telemetry schema version
                           first (an hli-telemetry-v1/v2 dump is
                           rejected with a version-specific message),
@@ -87,6 +95,7 @@ type cfg = {
   hli_cache : string option;
   remote : string option;  (** hlid socket for --remote / servbench *)
   pipeline : int;  (** remote-session frame window (--pipeline) *)
+  shm : bool;  (** map published HLIX segments (--shm) *)
   batch : int;  (** queries per frame (servbench-child only) *)
   repeat : int;  (** stream replay count (servbench-child only) *)
 }
@@ -97,7 +106,7 @@ let usage () =
      [tables|micro|querybench|serbench|servbench|remote-probe|emit-hli|all] \
      [-j N] [--fuel N] [--workloads a,b,c] [--passes SPEC] [--ablation NAME] \
      [--list-passes] [--stats] [--stats-json PATH] [--validate-json PATH] \
-     [--hli-cache DIR] [--out PATH] [--remote SOCKET] [--pipeline N]";
+     [--hli-cache DIR] [--out PATH] [--remote SOCKET] [--pipeline N] [--shm]";
   exit 2
 
 (* --------------------------------------------------------------- *)
@@ -161,6 +170,7 @@ let parse_args () =
         hli_cache = Harness.Pipeline.hli_cache_env ();
         remote = None;
         pipeline = 1;
+        shm = false;
         batch = 64;
         repeat = 1;
       }
@@ -212,6 +222,9 @@ let parse_args () =
         loop rest
     | "--remote" :: sock :: rest ->
         cfg := { !cfg with remote = Some sock };
+        loop rest
+    | "--shm" :: rest ->
+        cfg := { !cfg with shm = true };
         loop rest
     | "--batch" :: n :: rest -> (
         (* servbench-child only: queries per Batch frame *)
@@ -287,7 +300,8 @@ let pipeline_config cfg =
       ablation;
       hli_cache = cfg.hli_cache;
       remote = cfg.remote;
-      pipeline = cfg.pipeline }
+      pipeline = cfg.pipeline;
+      shm = cfg.shm }
   with Diagnostics.Diagnostic d ->
     Fmt.epr "%a@." Diagnostics.pp d;
     exit (Diagnostics.exit_code d)
@@ -332,7 +346,9 @@ let reproduce_tables cfg pool =
   print_string (Harness.Tables.print_tables rows);
   if cfg.stats then print_string ("\n" ^ Harness.Tables.stats_table rows);
   (* a --remote run embeds the server's own telemetry (v5 "server"
-     object) in the dump, fetched over a short dedicated session *)
+     object) in the dump, fetched over a short dedicated session; a
+     --shm run additionally embeds the client-side shm counters (v6
+     "shm" object) accumulated across the run's sessions *)
   let server =
     match (cfg.stats_json, cfg.remote) with
     | Some _, Some sock -> (
@@ -344,12 +360,16 @@ let reproduce_tables cfg pool =
         with Diagnostics.Diagnostic _ -> None)
     | _ -> None
   in
+  let shm =
+    if cfg.shm then Some (Hli_server.Client.shm_stats_json ()) else None
+  in
   (match (cfg.stats_json, stats_oc) with
-  | Some "-", _ -> print_endline (Harness.Tables.stats_json ?server rows)
+  | Some "-", _ -> print_endline (Harness.Tables.stats_json ?server ?shm rows)
   | Some path, Some oc ->
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Harness.Tables.stats_json ?server rows));
+        (fun () ->
+          output_string oc (Harness.Tables.stats_json ?server ?shm rows));
       unregister_cleanup path;
       Fmt.epr "wrote telemetry to %s@." path
   | _ -> ());
@@ -944,13 +964,18 @@ let sb_percentile sorted p =
    [pipeline > 1] frames are sent in windows of that size and the
    per-frame latency is amortized over the window (individual frames
    overlap on the wire, so only the window wall time is observable).
-   [barrier] is called once the session is open, so the harness can
-   line every client up and time only the query phase — domain spawn
-   and session setup cost milliseconds, which would otherwise dominate
-   a multi-client wall at these rates.  Returns the frame latencies
-   and the timestamp of the last collected reply. *)
-let sb_client ?(pipeline = 1) ?(barrier = fun () -> ()) socket bytes batches =
-  let cl = Hli_server.Client.connect ~pipeline socket in
+   With [shm] each query of a frame is answered off the unit's mapped
+   HLIX segment, and the frame's misses (lcdd/hoist kinds, torn
+   windows) go over the wire as one remainder batch — the wire window
+   never applies, shm lookups are synchronous loads.  [barrier] is
+   called once the session is open, so the harness can line every
+   client up and time only the query phase — domain spawn and session
+   setup cost milliseconds, which would otherwise dominate a
+   multi-client wall at these rates.  Returns the frame latencies and
+   the timestamp of the last collected reply. *)
+let sb_client ?(pipeline = 1) ?(shm = false) ?(barrier = fun () -> ()) socket
+    bytes batches =
+  let cl = Hli_server.Client.connect ~pipeline ~shm socket in
   Fun.protect
     ~finally:(fun () -> Hli_server.Client.close cl)
     (fun () ->
@@ -958,7 +983,23 @@ let sb_client ?(pipeline = 1) ?(barrier = fun () -> ()) socket bytes batches =
       barrier ();
       let now = Harness.Telemetry.now_ns in
       let lats =
-        if pipeline <= 1 then
+        if shm then
+          Array.of_list
+            (List.map
+               (fun batch ->
+                 let t0 = now () in
+                 let misses =
+                   List.filter
+                     (fun q ->
+                       Option.is_none (Hli_server.Client.shm_query cl q))
+                     batch
+                 in
+                 (match misses with
+                 | [] -> ()
+                 | ms -> ignore (Hli_server.Client.query_batch cl ms));
+                 Int64.to_float (Int64.sub (now ()) t0))
+               batches)
+        else if pipeline <= 1 then
           Array.of_list
             (List.map
                (fun batch ->
@@ -1037,7 +1078,7 @@ let sb_child cfg =
   in
   let cpu0 = ref 0.0 in
   let lats, t_end =
-    sb_client ~pipeline:cfg.pipeline
+    sb_client ~pipeline:cfg.pipeline ~shm:cfg.shm
       ~barrier:(fun () ->
         (* shed the compile-phase garbage: the measured phase should
            touch only the session buffers and the query stream, not
@@ -1065,14 +1106,13 @@ let sb_child cfg =
 (* [clients] concurrent sessions against [socket]: spawn one child
    process per session, wait until every session is open, release them
    together, and time from the release to the last session's final
-   reply (CLOCK_MONOTONIC is comparable across processes). *)
-let sb_run ~clients ~pipeline ~batch ~names ~nqueries socket =
+   reply (CLOCK_MONOTONIC is comparable across processes).  [repeat]
+   comes from the caller's per-cell wall-time calibration (see
+   [sb_calibrate]): the raw stream is only ~66 frames at batch 64, a
+   wall of a couple of milliseconds where scheduler wake-up skew
+   across the children is a double-digit share of the measurement. *)
+let sb_run ~clients ~pipeline ~batch ~shm ~repeat ~names socket =
   let prog = Sys.executable_name in
-  (* replay the stream until each child sends ~2000 frames: the raw
-     stream is only ~66 frames at batch 64, a wall of a couple of
-     milliseconds where scheduler wake-up skew across the children is
-     a double-digit share of the measurement *)
-  let repeat = max 1 (min 64 (2000 * batch / max 1 nqueries)) in
   (* children get a deliberately small minor heap: the server wants a
      large one (OCAMLRUNPARAM=s=... on the parent), but N clients each
      inheriting it would cycle N oversized nurseries through the
@@ -1089,16 +1129,19 @@ let sb_run ~clients ~pipeline ~batch ~names ~nqueries socket =
   let spawn () =
     let gi, go_w = Unix.pipe () in
     let out_r, oo = Unix.pipe () in
+    let argv =
+      [
+        prog; "servbench-child"; "--remote"; socket;
+        "--batch"; string_of_int batch;
+        "--pipeline"; string_of_int pipeline;
+        "--repeat"; string_of_int repeat;
+        "--workloads"; String.concat "," names;
+      ]
+      @ (if shm then [ "--shm" ] else [])
+    in
     let pid =
-      Unix.create_process_env prog
-        [|
-          prog; "servbench-child"; "--remote"; socket;
-          "--batch"; string_of_int batch;
-          "--pipeline"; string_of_int pipeline;
-          "--repeat"; string_of_int repeat;
-          "--workloads"; String.concat "," names;
-        |]
-        child_env gi oo Unix.stderr
+      Unix.create_process_env prog (Array.of_list argv) child_env gi oo
+        Unix.stderr
     in
     Unix.close gi;
     Unix.close oo;
@@ -1168,15 +1211,45 @@ let sb_run ~clients ~pipeline ~batch ~names ~nqueries socket =
        (Int64.to_float (Int64.sub t_end t0) /. 1e6)
        ((t.Unix.tms_utime +. t.Unix.tms_stime -. cpu0) *. 1000.));
   let lats = Array.concat (Array.to_list (Array.map fst parts)) in
-  (lats, Int64.to_float (Int64.sub t_end t0), repeat)
+  (lats, Int64.to_float (Int64.sub t_end t0))
+
+(* per-cell wall-time target (satellite of the shm work): every matrix
+   cell replays the stream enough times that its wall clock approaches
+   SERVBENCH_CELL_MS (default 100 ms), calibrated per (path, pipeline,
+   batch) with one in-process probe session.  A fixed frame count
+   can't serve both paths: at shm rates it is over in a couple of
+   milliseconds (scheduler skew dominates), at batch-1 wire rates it
+   would take seconds per cell. *)
+let sb_target_cell_ns () =
+  let ms =
+    match Sys.getenv_opt "SERVBENCH_CELL_MS" with
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some f when f > 0.0 -> f
+        | _ -> 100.0)
+    | None -> 100.0
+  in
+  ms *. 1e6
+
+let sb_calibrate ~pipeline ~shm ~batch socket bytes queries =
+  let batches = sb_batches batch queries in
+  let t0 = ref 0L in
+  let _, t_end =
+    sb_client ~pipeline ~shm
+      ~barrier:(fun () -> t0 := Harness.Telemetry.now_ns ())
+      socket bytes batches
+  in
+  let wall = Int64.to_float (Int64.sub t_end !t0) in
+  max 1 (min 512 (int_of_float (ceil (sb_target_cell_ns () /. max 1.0 wall))))
 
 (* servbench: queries/sec and frame latency for 1..8 concurrent client
    sessions at several batch sizes, against the in-process baseline.
    Uses --remote SOCKET when given; otherwise starts an in-process
-   server on a temp socket. *)
+   server on a temp socket.  With --shm the whole matrix runs twice —
+   once over the wire, once answering off the published HLIX segments
+   (the "path" column) — against the same server. *)
 let servbench cfg =
   let names, entries, bytes, queries = sb_setup cfg in
-  ignore bytes;
   let nq = List.length queries in
   (* server: external via --remote, or in-process on a temp socket *)
   let socket, shutdown =
@@ -1188,6 +1261,14 @@ let servbench cfg =
             (Filename.get_temp_dir_name ())
             (Printf.sprintf "hli-servbench-%d.sock" (Unix.getpid ()))
         in
+        let shm_dir =
+          if cfg.shm then
+            Some
+              (Filename.concat
+                 (Filename.get_temp_dir_name ())
+                 (Printf.sprintf "hli-servbench-shm-%d" (Unix.getpid ())))
+          else None
+        in
         let srv =
           Hli_server.Server.create
             { (Hli_server.Server.default_config ~socket_path:path) with
@@ -1196,7 +1277,8 @@ let servbench cfg =
                  poller, the workers, and the client domains.  A
                  single-core host gets poller-inline mode (jobs = 1),
                  which skips the cross-domain handoff entirely. *)
-              jobs = Pool.default_jobs () }
+              jobs = Pool.default_jobs ();
+              shm_dir }
         in
         register_cleanup path;
         let d = Domain.spawn (fun () -> Hli_server.Server.run srv) in
@@ -1206,6 +1288,7 @@ let servbench cfg =
           fun () ->
             Hli_server.Server.initiate_shutdown srv;
             Domain.join d;
+            Option.iter (fun dir -> try Unix.rmdir dir with Unix.Unix_error _ -> ()) shm_dir;
             unregister_cleanup path )
   in
   Fun.protect ~finally:shutdown @@ fun () ->
@@ -1227,36 +1310,52 @@ let servbench cfg =
     if local_ns <= 0.0 then 0.0 else float_of_int nq /. (local_ns /. 1e9)
   in
   Printf.printf "in-process baseline: %.0f q/s\n" local_qps;
-  Printf.printf "%8s %6s %9s %12s %12s %12s\n" "clients" "batch" "pipeline"
-    "q/s" "p50 (us)" "p99 (us)";
+  Printf.printf "%6s %8s %6s %9s %12s %12s %12s\n" "path" "clients" "batch"
+    "pipeline" "q/s" "p50 (us)" "p99 (us)";
   let rows = ref [] in
+  let paths = if cfg.shm then [ "wire"; "shm" ] else [ "wire" ] in
   List.iter
-    (fun pipeline ->
+    (fun path ->
+      let shm = String.equal path "shm" in
       List.iter
-        (fun batch ->
+        (fun pipeline ->
           List.iter
-            (fun clients ->
-              let lats, wall_ns, repeat =
-                sb_run ~clients ~pipeline ~batch ~names ~nqueries:nq socket
+            (fun batch ->
+              let repeat =
+                sb_calibrate ~pipeline ~shm ~batch socket bytes queries
               in
-              Array.sort compare lats;
-              let qps =
-                if wall_ns <= 0.0 then 0.0
-                else float_of_int (clients * nq * repeat) /. (wall_ns /. 1e9)
-              in
-              let p50 = sb_percentile lats 0.50 /. 1e3
-              and p99 = sb_percentile lats 0.99 /. 1e3 in
-              rows := (clients, batch, pipeline, qps, p50, p99) :: !rows;
-              Printf.printf "%8d %6d %9d %12.0f %12.1f %12.1f\n" clients batch
-                pipeline qps p50 p99)
-            [ 1; 2; 4; 8 ])
-        [ 1; 8; 64 ])
-    (List.sort_uniq compare [ 1; 8; max 1 cfg.pipeline ]);
-  (* the bench trajectory artifact: one row per matrix cell *)
+              if shm && (Hli_server.Client.shm_stats ()).Hli_server.Client.maps = 0
+              then
+                Printf.eprintf
+                  "servbench: warning: --shm but no segment was mapped (is \
+                   the server running with --shm-dir?)\n%!";
+              List.iter
+                (fun clients ->
+                  let lats, wall_ns =
+                    sb_run ~clients ~pipeline ~batch ~shm ~repeat ~names
+                      socket
+                  in
+                  Array.sort compare lats;
+                  let qps =
+                    if wall_ns <= 0.0 then 0.0
+                    else
+                      float_of_int (clients * nq * repeat) /. (wall_ns /. 1e9)
+                  in
+                  let p50 = sb_percentile lats 0.50 /. 1e3
+                  and p99 = sb_percentile lats 0.99 /. 1e3 in
+                  rows := (path, clients, batch, pipeline, qps, p50, p99) :: !rows;
+                  Printf.printf "%6s %8d %6d %9d %12.0f %12.1f %12.1f\n" path
+                    clients batch pipeline qps p50 p99)
+                [ 1; 2; 4; 8 ])
+            [ 1; 8; 64 ])
+        (List.sort_uniq compare [ 1; 8; max 1 cfg.pipeline ]))
+    paths;
+  (* the bench trajectory artifact: one row per matrix cell (v2 added
+     the per-row "path": "wire" | "shm") *)
   let b = Buffer.create 1024 in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"schema\":\"hli-servbench-v1\",\"workloads\":[%s],\
+       "{\"schema\":\"hli-servbench-v2\",\"workloads\":[%s],\
         \"queries_per_session\":%d,\"local_qps\":%.0f,\"rows\":["
        (String.concat ","
           (List.map
@@ -1264,13 +1363,13 @@ let servbench cfg =
              names))
        nq local_qps);
   List.iteri
-    (fun i (clients, batch, pipeline, qps, p50, p99) ->
+    (fun i (path, clients, batch, pipeline, qps, p50, p99) ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Printf.sprintf
-           "{\"clients\":%d,\"batch\":%d,\"pipeline\":%d,\"qps\":%.0f,\
-            \"p50_us\":%.1f,\"p99_us\":%.1f}"
-           clients batch pipeline qps p50 p99))
+           "{\"path\":\"%s\",\"clients\":%d,\"batch\":%d,\"pipeline\":%d,\
+            \"qps\":%.0f,\"p50_us\":%.1f,\"p99_us\":%.1f}"
+           path clients batch pipeline qps p50 p99))
     (List.rev !rows);
   Buffer.add_string b "]}";
   let json = Buffer.contents b in

@@ -32,7 +32,8 @@ let run_tables only quick passes ablation list_passes =
           ablation;
           hli_cache = Harness.Pipeline.hli_cache_env ();
           remote = None;
-          pipeline = 1 }
+          pipeline = 1;
+          shm = false }
       in
       let fuel = if quick then 20_000_000 else 400_000_000 in
       let rows =

@@ -49,7 +49,7 @@ let lint_hli path =
           4)
 
 let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
-    list_passes jobs stats stats_json lint hli_cache remote pipeline =
+    list_passes jobs stats stats_json lint hli_cache remote pipeline shm =
   if list_passes then begin
     print_string (Driver.Pass_manager.list_text ());
     0
@@ -88,6 +88,7 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
                 | None -> Harness.Pipeline.hli_cache_env ());
               remote;
               pipeline = max 1 pipeline;
+              shm;
             }
           in
           let c =
@@ -152,10 +153,15 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
           | None -> ()
           | Some path ->
               let b = Buffer.create 512 in
+              let shm_json =
+                if shm then Hli_server.Client.shm_stats_json () else "null"
+              in
               Buffer.add_string b
-                (Printf.sprintf "{\"schema\":\"%s\",\"file\":\"%s\",\"hli_queries\":{"
+                (Printf.sprintf
+                   "{\"schema\":\"%s\",\"file\":\"%s\",\"shm\":%s,\"hli_queries\":{"
                    Harness.Telemetry.schema_version
-                   (Harness.Telemetry.json_escape src_path));
+                   (Harness.Telemetry.json_escape src_path)
+                   shm_json);
               List.iteri
                 (fun i (name, v) ->
                   if i > 0 then Buffer.add_char b ',';
@@ -277,6 +283,17 @@ let pipeline_arg =
            per server session (1 = strict request/reply); answers stay \
            byte-identical, round-trips overlap")
 
+let shm_flag =
+  Arg.(
+    value & flag
+    & info [ "shm" ]
+        ~doc:
+          "with $(b,--remote): map the HLIX index segments the server \
+           publishes (hlid $(b,--shm-dir)) and answer read-only queries \
+           from shared memory, falling back to the wire per query when a \
+           segment is missing, mid-rebuild or a maintenance transaction \
+           is open; tables stay byte-identical")
+
 let hli_cache_arg =
   Arg.(
     value
@@ -294,6 +311,6 @@ let cmd =
       const run_hlic $ src_arg $ hli_flag $ machine_arg $ run_flag $ emit_arg
       $ dump_flag $ passes_arg $ ablation_arg $ list_passes_flag $ jobs_arg
       $ stats_flag $ stats_json_arg $ lint_arg $ hli_cache_arg $ remote_arg
-      $ pipeline_arg)
+      $ pipeline_arg $ shm_flag)
 
 let () = exit (Cmd.eval' cmd)

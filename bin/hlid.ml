@@ -17,15 +17,16 @@ open Cmdliner
 (* Keep in sync with Harness.Telemetry.schema_version; hlid links only
    the server stack, not the harness, so the string is repeated here
    (test_telemetry pins the constant). *)
-let schema_version = "hli-telemetry-v5"
+let schema_version = "hli-telemetry-v6"
 
-let run_hlid socket jobs max_frame timeout stats stats_json =
+let run_hlid socket jobs max_frame timeout shm_dir stats stats_json =
   let cfg =
     {
       (Hli_server.Server.default_config ~socket_path:socket) with
       jobs;
       max_frame;
       request_timeout = timeout;
+      shm_dir;
     }
   in
   match Hli_server.Server.create cfg with
@@ -36,6 +37,9 @@ let run_hlid socket jobs max_frame timeout stats stats_json =
       let shutdown _ = Hli_server.Server.initiate_shutdown srv in
       Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
       Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+      (match shm_dir with
+      | Some d -> Fmt.epr "hlid: publishing HLIX segments under %s@." d
+      | None -> ());
       Fmt.epr "hlid: listening on %s (%d jobs)@." socket jobs;
       Hli_server.Server.run srv;
       let json = Hli_server.Server.stats_json srv in
@@ -90,6 +94,19 @@ let timeout_arg =
     & info [ "timeout" ] ~docv:"SECONDS"
         ~doc:"per-request progress timeout; a stalled frame answers E1109")
 
+let shm_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shm-dir" ] ~docv:"DIR"
+        ~doc:
+          "enable the shared-memory fast path: publish one mmap-able HLIX \
+           index segment per opened unit under $(docv)/sess-<id>/, \
+           advertised to clients in the Hello response and rebuilt under \
+           the seqlock protocol at every Refresh barrier; co-located \
+           clients connecting with --shm answer read-only queries \
+           straight off the mapping")
+
 let stats_flag =
   Arg.(
     value & flag
@@ -101,7 +118,7 @@ let stats_json_arg =
     & opt (some string) None
     & info [ "stats-json" ] ~docv:"PATH"
         ~doc:
-          "write the hli-telemetry-v5 server telemetry to $(docv) at \
+          "write the hli-telemetry-v6 server telemetry to $(docv) at \
            shutdown (\"-\" for stdout)")
 
 let cmd =
@@ -110,6 +127,6 @@ let cmd =
     (Cmd.info "hlid" ~doc)
     Term.(
       const run_hlid $ socket_arg $ jobs_arg $ max_frame_arg $ timeout_arg
-      $ stats_flag $ stats_json_arg)
+      $ shm_dir_arg $ stats_flag $ stats_json_arg)
 
 let () = exit (Cmd.eval' cmd)

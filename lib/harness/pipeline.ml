@@ -30,6 +30,11 @@ type config = {
       (** remote-session frame window ([--pipeline]); 1 = strict
           request/reply, >1 lets the client keep that many frames in
           flight (deferred maintenance acks, overlapped batches) *)
+  shm : bool;
+      (** with [remote]: map the server's published HLIX segments
+          ([--shm]) and answer read-only queries from shared memory,
+          falling back to the wire per query when a segment is
+          unavailable or mid-rebuild *)
 }
 
 (** Default cache directory: the [HLI_CACHE] environment variable (an
@@ -46,6 +51,7 @@ let default_config =
     hli_cache = hli_cache_env ();
     remote = None;
     pipeline = 1;
+    shm = false;
   }
 
 (** [passes] shorthand: parse a [--passes] spec string into a config. *)
@@ -87,7 +93,7 @@ let rec mkdir_p dir =
    truncation, bit-rot, races with a concurrent writer) is a miss that
    regeneration will overwrite.  Counted per compilation into the
    workload's telemetry record ([hli_cache_hits]/[hli_cache_misses],
-   surfaced by --stats and the hli-telemetry-v5 JSON dump). *)
+   surfaced by --stats and the hli-telemetry-v6 JSON dump). *)
 let cache_lookup ?tm dir ~ablation src =
   match dir with
   | None -> None
@@ -228,7 +234,10 @@ let compile ?(config = default_config) ?src_file ?pool ?tm (src : string) :
   let mk v =
     match config.remote with
     | Some socket when Driver.Variant.use_hli v ->
-        let cl = Hli_server.Client.connect ~pipeline:config.pipeline socket in
+        let cl =
+          Hli_server.Client.connect ~pipeline:config.pipeline ~shm:config.shm
+            socket
+        in
         Fun.protect
           ~finally:(fun () -> Hli_server.Client.close cl)
           (fun () ->

@@ -280,13 +280,16 @@ let stats_table (rows : row list) =
     hit/miss object for the on-disk HLI cache (zeros when no cache
     directory is configured); v5 added the [server] object —
     [?server] carries the hlid telemetry JSON of a [--remote] run
-    ([null] otherwise). *)
-let stats_json ?server (rows : row list) =
+    ([null] otherwise); v6 added the [shm] object — [?shm] carries
+    the shared-memory fast-path counters of a [--shm] run as a
+    preformatted JSON object ([null] otherwise). *)
+let stats_json ?server ?shm (rows : row list) =
   let b = Buffer.create 4096 in
   Buffer.add_string b
-    (Printf.sprintf "{\"schema\":\"%s\",\"server\":%s,\"hli_queries\":{"
+    (Printf.sprintf "{\"schema\":\"%s\",\"server\":%s,\"shm\":%s,\"hli_queries\":{"
        Telemetry.schema_version
-       (match server with Some s -> s | None -> "null"));
+       (match server with Some s -> s | None -> "null")
+       (match shm with Some s -> s | None -> "null"));
   List.iteri
     (fun i (name, v) ->
       if i > 0 then Buffer.add_char b ',';

@@ -160,8 +160,11 @@ let to_json (t : t) = "{" ^ json_fragment t ^ "}"
     span; v5 added the top-level [server] object (hlid wire-service
     telemetry: per-session query counts, batch sizes, p50/p99 service
     latency, rejected/timed-out frames — [null] for purely in-process
-    runs). *)
-let schema_version = "hli-telemetry-v5"
+    runs); v6 added the top-level [shm] object (shared-memory fast
+    path: segment maps, seqlock generation retries, wire fallbacks,
+    mapped segment bytes — [null] unless a co-located [--shm] session
+    ran) and, inside [server], the [shm] publish/rebuild counters. *)
+let schema_version = "hli-telemetry-v6"
 
 (* first "schema" key in the dump (the emitters put it first) and its
    string value, scanned tolerantly so a pretty-printed dump still

@@ -29,9 +29,25 @@ module P = Protocol
 module S = Hli_core.Serialize
 module T = Hli_core.Tables
 module Q = Hli_core.Query
+module F = Hli_core.Flatindex
 
 (* what the head-of-line in-flight request must be answered with *)
 type expected = E_ack of string | E_results of int
+
+(* One advertised HLIX segment, mapped lazily on first lookup.  The fd
+   stays open for the session: a rebuild that outgrows the file is
+   detected by [total_len] exceeding the mapping and answered by
+   remapping the same (still-open) fd. *)
+type shm_unit = {
+  su_path : string;
+  mutable su_fd : Unix.file_descr option;
+  mutable su_map : F.seg option;
+  mutable su_vgen : int;
+      (** generation at the last successful full validation; a lookup
+          under any other generation revalidates (CRC + content hash)
+          before trusting the image *)
+  mutable su_ok : bool;  (** false: segment failed validation, never retried *)
+}
 
 type t = {
   fd : Unix.file_descr;
@@ -39,14 +55,60 @@ type t = {
   max_frame : int;
   timeout : float;
   pipeline : int;  (** max in-flight frames; 1 = strict request/reply *)
+  shm : bool;  (** shared-memory fast path requested *)
+  mutable shm_dir : string option;  (** advertised by the server's Hello *)
+  mutable shm_hash : string;  (** digest of the opened HLI2; "" = unknown *)
+  shm_units : (string, shm_unit) Hashtbl.t;
+  mutable shm_last_u : string;
+      (** single-entry lookup cache over [shm_units], hit by physical
+          equality: query streams reuse one unit-name string for runs
+          of queries, and the per-query string hash is measurable at
+          shm rates.  Reset to a fresh sentinel whenever [shm_units]
+          changes *)
+  mutable shm_last_su : shm_unit option;
+  maint_open : (string, unit) Hashtbl.t;
+      (** units with uncommitted maintenance: shm lookups fall back to
+          the wire until the next [refresh] barrier *)
   expect : expected Queue.t;  (** in-flight expectations, send order *)
-  (* memo tables, keyed by (unit, args); reset on any notify *)
+  (* memo tables, keyed by (unit, args); invalidated per unit on notify *)
   memo_equiv : (string * int * int, Q.equiv_result) Hashtbl.t;
   memo_alias : (string * int * int * int, bool) Hashtbl.t;
   memo_lcdd : (string * int * int * int, T.lcdd_entry list option) Hashtbl.t;
   memo_call : (string * int * int, Q.call_acc_result) Hashtbl.t;
   memo_region : (string * int, int option) Hashtbl.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Shm counters (the telemetry "shm" object)                           *)
+(* ------------------------------------------------------------------ *)
+
+type shm_stats = {
+  maps : int;  (** segment mappings established (remaps included) *)
+  generation_retries : int;  (** lookups retried under the seqlock *)
+  wire_fallbacks : int;  (** shm-eligible lookups answered on the wire *)
+  segment_bytes : int;  (** bytes currently mapped across segments *)
+}
+
+let sc_maps = Atomic.make 0
+let sc_retries = Atomic.make 0
+let sc_fallbacks = Atomic.make 0
+let sc_bytes = Atomic.make 0
+
+let shm_stats () =
+  {
+    maps = Atomic.get sc_maps;
+    generation_retries = Atomic.get sc_retries;
+    wire_fallbacks = Atomic.get sc_fallbacks;
+    segment_bytes = Atomic.get sc_bytes;
+  }
+
+(* canonical rendering of the telemetry "shm" object (hli-telemetry-v6) *)
+let shm_stats_json () =
+  let s = shm_stats () in
+  Printf.sprintf
+    "{\"maps\":%d,\"generation_retries\":%d,\"wire_fallbacks\":%d,\
+     \"segment_bytes\":%d}"
+    s.maps s.generation_retries s.wire_fallbacks s.segment_bytes
 
 let net_raise ?at code fmt =
   Fmt.kstr
@@ -112,7 +174,7 @@ let rpc cl (req : P.request) : P.response =
   recv_reply cl
 
 let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
-    ?(pipeline = 1) path : t =
+    ?(pipeline = 1) ?(shm = false) path : t =
   if pipeline < 1 then invalid_arg "Client.connect: pipeline must be >= 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -127,6 +189,13 @@ let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
       max_frame;
       timeout;
       pipeline;
+      shm;
+      shm_dir = None;
+      shm_hash = "";
+      shm_units = Hashtbl.create 8;
+      shm_last_u = Bytes.unsafe_to_string (Bytes.create 0);
+      shm_last_su = None;
+      maint_open = Hashtbl.create 8;
       expect = Queue.create ();
       memo_equiv = Hashtbl.create 256;
       memo_alias = Hashtbl.create 64;
@@ -136,14 +205,31 @@ let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
     }
   in
   (match rpc cl (P.Hello { version = P.protocol_version }) with
-  | P.R_hello { version } when version = P.protocol_version -> ()
-  | P.R_hello { version } ->
+  | P.R_hello { version; shm_dir } when version = P.protocol_version ->
+      if shm then cl.shm_dir <- shm_dir
+  | P.R_hello { version; _ } ->
       net_raise "E1111" "protocol version mismatch: client %d, server %d"
         P.protocol_version version
   | _ -> net_raise "E1105" "unexpected response to Hello");
   cl
 
+let drop_shm_unit su =
+  (match su.su_map with
+  | Some seg ->
+      Atomic.fetch_and_add sc_bytes (-Bigarray.Array1.dim seg) |> ignore;
+      su.su_map <- None
+  | None -> ());
+  match su.su_fd with
+  | Some fd ->
+      su.su_fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
 let close cl =
+  Hashtbl.iter (fun _ su -> drop_shm_unit su) cl.shm_units;
+  Hashtbl.reset cl.shm_units;
+  cl.shm_last_u <- Bytes.unsafe_to_string (Bytes.create 0);
+  cl.shm_last_su <- None;
   (* best-effort goodbye; the server also handles a plain EOF *)
   (try
      drain cl;
@@ -160,8 +246,41 @@ let expect_opened = function
   | P.R_opened l -> l
   | _ -> net_raise "E1105" "unexpected response to Open"
 
-let open_hli_bytes cl bytes = expect_opened (rpc cl (P.Open_hli bytes))
-let open_path cl path = expect_opened (rpc cl (P.Open_path path))
+(* After an open in shm mode: learn which segments the server
+   published for this session.  Mapping is lazy (first lookup). *)
+let fetch_shm_list cl =
+  if cl.shm && cl.shm_dir <> None then begin
+    Hashtbl.iter (fun _ su -> drop_shm_unit su) cl.shm_units;
+    Hashtbl.reset cl.shm_units;
+    cl.shm_last_u <- Bytes.unsafe_to_string (Bytes.create 0);
+    cl.shm_last_su <- None;
+    match rpc cl P.Shm_list with
+    | P.R_shm_list segs ->
+        List.iter
+          (fun (u, path) ->
+            Hashtbl.replace cl.shm_units u
+              {
+                su_path = path;
+                su_fd = None;
+                su_map = None;
+                su_vgen = -1;
+                su_ok = true;
+              })
+          segs
+    | _ -> net_raise "E1105" "unexpected response to Shm_list"
+  end
+
+let open_hli_bytes cl bytes =
+  let opened = expect_opened (rpc cl (P.Open_hli bytes)) in
+  cl.shm_hash <- Digest.string bytes;
+  fetch_shm_list cl;
+  opened
+
+let open_path cl path =
+  let opened = expect_opened (rpc cl (P.Open_path path)) in
+  (cl.shm_hash <- (try Digest.file path with Sys_error _ -> ""));
+  fetch_shm_list cl;
+  opened
 
 let line_table cl u =
   match rpc cl (P.Line_table u) with
@@ -253,6 +372,164 @@ let query_batch cl (qs : P.query list) : P.answer list =
 let one cl q =
   match query_batch cl [ q ] with [ a ] -> a | _ -> assert false
 
+(* ------------------------------------------------------------------ *)
+(* Shared-memory fast path                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Map (or remap, after a grow) the unit's segment.  The mapping must
+   be MAP_SHARED so the server's in-place seqlock rebuilds are
+   visible through it, which requires an O_RDWR fd; the client never
+   writes. *)
+let su_seg su : F.seg =
+  match su.su_map with
+  | Some seg -> seg
+  | None ->
+      let fd =
+        match su.su_fd with
+        | Some fd -> fd
+        | None ->
+            let fd = Unix.openfile su.su_path [ Unix.O_RDWR ] 0 in
+            su.su_fd <- Some fd;
+            fd
+      in
+      let cap = (Unix.fstat fd).Unix.st_size in
+      let seg =
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd Bigarray.int8_unsigned Bigarray.c_layout true
+             [| cap |])
+      in
+      su.su_map <- Some seg;
+      Atomic.incr sc_maps;
+      Atomic.fetch_and_add sc_bytes cap |> ignore;
+      seg
+
+let shm_attempts = 3
+
+(* Answer [f seg] off the unit's mapped segment under the seqlock
+   protocol, or [None] to fall back to the wire.  A lookup is accepted
+   only when the generation word is even and unchanged across it; a
+   generation that moved (or torn bytes raising {!F.Torn}) retries up
+   to {!shm_attempts} times.  The image is fully revalidated (CRC +
+   content hash) whenever the generation differs from the last
+   validated one; a segment that fails validation under a {e stable}
+   generation is corrupt and permanently withdrawn. *)
+let with_seg cl u (f : F.seg -> 'a) : 'a option =
+  if not cl.shm then None
+  else
+    let su_opt =
+      if cl.shm_last_u == u then cl.shm_last_su
+      else begin
+        let r = Hashtbl.find_opt cl.shm_units u in
+        cl.shm_last_u <- u;
+        cl.shm_last_su <- r;
+        r
+      end
+    in
+    match su_opt with
+    | None -> None (* nothing advertised for this unit: plain wire *)
+    | Some su ->
+        if
+          (not su.su_ok)
+          || (Hashtbl.length cl.maint_open > 0 && Hashtbl.mem cl.maint_open u)
+        then begin
+          Atomic.incr sc_fallbacks;
+          None
+        end
+        else begin
+          let fallback () =
+            Atomic.incr sc_fallbacks;
+            None
+          in
+          let rec go tries =
+            if tries = 0 then fallback ()
+            else
+              let retry () =
+                Atomic.incr sc_retries;
+                go (tries - 1)
+              in
+              match su_seg su with
+              | exception (Unix.Unix_error _ | Sys_error _) ->
+                  (* segment gone (session reaped, dir cleaned) *)
+                  su.su_ok <- false;
+                  fallback ()
+              | seg -> (
+                  match F.generation seg with
+                  | exception F.Torn ->
+                      su.su_ok <- false;
+                      fallback ()
+                  | g1 when g1 land 1 = 1 -> retry ()
+                  | g1 -> (
+                      match
+                        if F.total_len seg > Bigarray.Array1.dim seg then begin
+                          (* the file grew under a rebuild: remap it *)
+                          Atomic.fetch_and_add sc_bytes
+                            (-Bigarray.Array1.dim seg)
+                          |> ignore;
+                          su.su_map <- None;
+                          `Retry
+                        end
+                        else if g1 <> su.su_vgen then begin
+                          let expect_hash =
+                            if cl.shm_hash = "" then None else Some cl.shm_hash
+                          in
+                          match F.validate ?expect_hash seg with
+                          | () ->
+                              if F.generation seg = g1 then begin
+                                su.su_vgen <- g1;
+                                `Go
+                              end
+                              else `Retry
+                          | exception (S.Corrupt _ | F.Torn) ->
+                              if F.generation seg <> g1 then `Retry
+                              else begin
+                                (* corrupt under a stable generation *)
+                                su.su_ok <- false;
+                                `Dead
+                              end
+                        end
+                        else `Go
+                      with
+                      | `Retry -> retry ()
+                      | `Dead -> fallback ()
+                      | `Go -> (
+                          match f seg with
+                          | v ->
+                              if F.generation seg = g1 then Some v
+                              else retry ()
+                          | exception F.Torn -> retry ())))
+          in
+          go shm_attempts
+        end
+
+(** Answer one read-only query off the mapped segment, [None] = use
+    the wire.  Hoist queries always use the wire: hoist tracks
+    maintained state server-side. *)
+let shm_query cl (q : P.query) : P.answer option =
+  match q with
+  | P.Q_equiv { u; a; b } ->
+      Option.map
+        (fun r -> P.A_equiv r)
+        (with_seg cl u (fun seg -> F.get_equiv_acc seg a b))
+  | P.Q_alias { u; rid; ca; cb } ->
+      Option.map
+        (fun r -> P.A_alias r)
+        (with_seg cl u (fun seg -> F.get_alias seg ~rid ca cb))
+  | P.Q_call { u; call; mem } ->
+      Option.map
+        (fun r -> P.A_call r)
+        (with_seg cl u (fun seg -> F.get_call_acc seg ~call ~mem))
+  | P.Q_region_of { u; item } ->
+      Option.map
+        (fun r -> P.A_region_of r)
+        (with_seg cl u (fun seg -> F.get_region_of_item seg item))
+  | P.Q_lcdd { u; rid; a; b } ->
+      Option.map
+        (fun r -> P.A_lcdd r)
+        (with_seg cl u (fun seg -> F.get_lcdd seg ~rid a b))
+  | P.Q_hoist_target _ -> None
+
+let shm_active cl u = cl.shm && Hashtbl.mem cl.shm_units u
+
 let memoized tbl key fetch =
   match Hashtbl.find_opt tbl key with
   | Some v -> v
@@ -263,33 +540,48 @@ let memoized tbl key fetch =
 
 let equiv_acc cl ~u a b =
   memoized cl.memo_equiv (u, a, b) @@ fun () ->
-  match one cl (P.Q_equiv { u; a; b }) with
-  | P.A_equiv r -> r
-  | _ -> net_raise "E1105" "answer kind mismatch (equiv)"
+  match with_seg cl u (fun seg -> F.get_equiv_acc seg a b) with
+  | Some r -> r
+  | None -> (
+      match one cl (P.Q_equiv { u; a; b }) with
+      | P.A_equiv r -> r
+      | _ -> net_raise "E1105" "answer kind mismatch (equiv)")
 
 let alias cl ~u ~rid ca cb =
   memoized cl.memo_alias (u, rid, ca, cb) @@ fun () ->
-  match one cl (P.Q_alias { u; rid; ca; cb }) with
-  | P.A_alias r -> r
-  | _ -> net_raise "E1105" "answer kind mismatch (alias)"
+  match with_seg cl u (fun seg -> F.get_alias seg ~rid ca cb) with
+  | Some r -> r
+  | None -> (
+      match one cl (P.Q_alias { u; rid; ca; cb }) with
+      | P.A_alias r -> r
+      | _ -> net_raise "E1105" "answer kind mismatch (alias)")
 
 let lcdd cl ~u ~rid a b =
   memoized cl.memo_lcdd (u, rid, a, b) @@ fun () ->
-  match one cl (P.Q_lcdd { u; rid; a; b }) with
-  | P.A_lcdd r -> r
-  | _ -> net_raise "E1105" "answer kind mismatch (lcdd)"
+  match with_seg cl u (fun seg -> F.get_lcdd seg ~rid a b) with
+  | Some r -> r
+  | None -> (
+      match one cl (P.Q_lcdd { u; rid; a; b }) with
+      | P.A_lcdd r -> r
+      | _ -> net_raise "E1105" "answer kind mismatch (lcdd)")
 
 let call_acc cl ~u ~call ~mem =
   memoized cl.memo_call (u, call, mem) @@ fun () ->
-  match one cl (P.Q_call { u; call; mem }) with
-  | P.A_call r -> r
-  | _ -> net_raise "E1105" "answer kind mismatch (call)"
+  match with_seg cl u (fun seg -> F.get_call_acc seg ~call ~mem) with
+  | Some r -> r
+  | None -> (
+      match one cl (P.Q_call { u; call; mem }) with
+      | P.A_call r -> r
+      | _ -> net_raise "E1105" "answer kind mismatch (call)")
 
 let region_of_item cl ~u item =
   memoized cl.memo_region (u, item) @@ fun () ->
-  match one cl (P.Q_region_of { u; item }) with
-  | P.A_region_of r -> r
-  | _ -> net_raise "E1105" "answer kind mismatch (region_of)"
+  match with_seg cl u (fun seg -> F.get_region_of_item seg item) with
+  | Some r -> r
+  | None -> (
+      match one cl (P.Q_region_of { u; item }) with
+      | P.A_region_of r -> r
+      | _ -> net_raise "E1105" "answer kind mismatch (region_of)")
 
 let hoist_target cl ~u item =
   (* not memoized: the answer depends on maintained state committed
@@ -302,12 +594,23 @@ let hoist_target cl ~u item =
 (* Maintenance                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let reset_memo cl =
-  Hashtbl.reset cl.memo_equiv;
-  Hashtbl.reset cl.memo_alias;
-  Hashtbl.reset cl.memo_lcdd;
-  Hashtbl.reset cl.memo_call;
-  Hashtbl.reset cl.memo_region
+(* Invalidation is scoped to the unit the notify names: memos for
+   untouched units stay warm across another unit's maintenance (the
+   watch edge only invalidates the maintained unit's index locally
+   too).  The notify also opens the unit's maintenance window — shm
+   lookups fall back to the wire until the next [refresh] barrier. *)
+let invalidate_unit cl u =
+  let drop proj tbl =
+    Hashtbl.filter_map_inplace
+      (fun k v -> if String.equal (proj k) u then None else Some v)
+      tbl
+  in
+  drop (fun (u', _, _) -> u') cl.memo_equiv;
+  drop (fun (u', _, _, _) -> u') cl.memo_alias;
+  drop (fun (u', _, _, _) -> u') cl.memo_lcdd;
+  drop (fun (u', _, _) -> u') cl.memo_call;
+  drop (fun (u', _) -> u') cl.memo_region;
+  Hashtbl.replace cl.maint_open u ()
 
 let expect_ack what = function
   | P.R_ack -> ()
@@ -330,30 +633,42 @@ let deferred_ack cl what req =
   else expect_ack what (rpc cl req)
 
 let notify_delete cl ~u item =
-  reset_memo cl;
+  invalidate_unit cl u;
   deferred_ack cl "Notify_delete" (P.Notify_delete { u; item })
 
 let notify_gen cl ~u ~like ~line =
-  reset_memo cl;
+  invalidate_unit cl u;
   match rpc cl (P.Notify_gen { u; like; line }) with
   | P.R_gen id -> id
   | _ -> net_raise "E1105" "unexpected response to Notify_gen"
 
 let notify_move cl ~u ~item ~target_rid =
-  reset_memo cl;
+  invalidate_unit cl u;
   match rpc cl (P.Notify_move { u; item; target_rid }) with
   | P.R_moved moved -> moved
   | _ -> net_raise "E1105" "unexpected response to Notify_move"
 
 let notify_unroll cl ~u ~rid ~factor =
-  reset_memo cl;
+  invalidate_unit cl u;
   match rpc cl (P.Notify_unroll { u; rid; factor }) with
   | P.R_unrolled r -> r
   | _ -> net_raise "E1105" "unexpected response to Notify_unroll"
 
 let refresh cl ~u =
-  reset_memo cl;
-  deferred_ack cl "Refresh" (P.Refresh u)
+  invalidate_unit cl u;
+  if shm_active cl u then begin
+    (* the barrier must be synchronous when the unit is served off
+       shm: only once the server has acked the Refresh is the segment
+       rebuilt to the committed index, so a deferred ack would let an
+       shm read race ahead of the rebuild and answer from the
+       pre-commit image *)
+    expect_ack "Refresh" (rpc cl (P.Refresh u));
+    Hashtbl.remove cl.maint_open u
+  end
+  else begin
+    deferred_ack cl "Refresh" (P.Refresh u);
+    Hashtbl.remove cl.maint_open u
+  end
 
 let flush cl = drain cl
 let pending cl = in_flight cl

@@ -21,11 +21,19 @@
 
 type t
 
-val connect : ?timeout:float -> ?max_frame:int -> ?pipeline:int -> string -> t
+val connect :
+  ?timeout:float -> ?max_frame:int -> ?pipeline:int -> ?shm:bool -> string -> t
 (** Connect to a hlid socket path and perform the Hello handshake.
-    [pipeline] (default 1) is the max in-flight frame window.  Raises
-    E1112 if the socket is unreachable, E1111 on a protocol version
-    mismatch, [Invalid_argument] if [pipeline < 1]. *)
+    [pipeline] (default 1) is the max in-flight frame window.  With
+    [~shm:true], the shared-memory fast path is enabled: the HLIX
+    segments the server publishes for this session are mapped
+    read-only and the single-query conveniences answer equiv/alias/
+    call/region-of queries straight off the mapping under the seqlock
+    protocol, transparently falling back to the wire when the
+    generation is odd or moved mid-read, the segment is missing or
+    corrupt, or the unit has uncommitted maintenance (DESIGN.md §8).
+    Raises E1112 if the socket is unreachable, E1111 on a protocol
+    version mismatch, [Invalid_argument] if [pipeline < 1]. *)
 
 val close : t -> unit
 (** Drain in-flight replies, best-effort [Close] round-trip, then
@@ -81,7 +89,39 @@ val hoist_target : t -> u:string -> int -> int option
 (** Server-side commit-then-query for the LICM hoist decision; not
     memoized because the answer tracks maintained state. *)
 
-(** {2 Maintenance notifications} — each resets the memo tables. *)
+(** {2 Shared-memory fast path} *)
+
+val shm_query : t -> Protocol.query -> Protocol.answer option
+(** Answer one read-only query off the unit's mapped HLIX segment,
+    [None] = not answerable off shm (shm off, no segment, seqlock
+    retries exhausted, or an uncommitted maintenance window) — send it
+    over the wire instead.  Hoist queries always return [None].
+    Never returns a wrong answer: lookups are accepted only under an
+    even, unchanged generation, and images are CRC/content-hash
+    revalidated whenever the generation moves. *)
+
+val shm_active : t -> string -> bool
+(** [true] iff shm mode is on and the named unit has an advertised
+    segment (mapped lazily on first lookup). *)
+
+(** Process-wide shm counters (the telemetry v6 ["shm"] object). *)
+type shm_stats = {
+  maps : int;  (** segment mappings established (remaps included) *)
+  generation_retries : int;  (** lookups retried under the seqlock *)
+  wire_fallbacks : int;  (** shm-eligible lookups answered on the wire *)
+  segment_bytes : int;  (** bytes currently mapped across segments *)
+}
+
+val shm_stats : unit -> shm_stats
+
+val shm_stats_json : unit -> string
+(** The counters rendered as the canonical hli-telemetry-v6 ["shm"]
+    JSON object. *)
+
+(** {2 Maintenance notifications} — each invalidates the named unit's
+    memo entries (other units' memos stay warm) and opens its
+    maintenance window, during which shm lookups fall back to the
+    wire. *)
 
 val notify_delete : t -> u:string -> int -> unit
 (** With [pipeline > 1] the ack is deferred: collected by the next
@@ -95,6 +135,10 @@ val notify_unroll :
 
 val refresh : t -> u:string -> unit
 (** End-of-pass barrier: the server rebuilds the unit's query index
-    from the maintained entry ([Maintain.commit]'s index
-    replacement).  Ack deferred like {!notify_delete} when
-    pipelining. *)
+    from the maintained entry ([Maintain.commit]'s index replacement)
+    and, in shm mode, rebuilds the unit's HLIX segment under the
+    seqlock.  Ack deferred like {!notify_delete} when pipelining —
+    except when the unit is served off shm, where the barrier is
+    synchronous (a deferred ack would let an shm read race the
+    server's rebuild and answer from the pre-commit image).  Closes
+    the unit's maintenance window. *)

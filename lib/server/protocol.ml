@@ -31,7 +31,11 @@ module S = Hli_core.Serialize
 module T = Hli_core.Tables
 module Q = Hli_core.Query
 
-let protocol_version = 1
+(* v2: R_hello advertises the session's shm segment directory and the
+   Shm_list/R_shm_list frame pair enumerates published HLIX segments
+   (the co-located shared-memory fast path).  v1 peers are rejected
+   with E1111 as before — the version is checked first on both ends. *)
+let protocol_version = 2
 
 (** Bound on a frame's payload length, checked {e before} the payload
     is read or allocated. *)
@@ -80,9 +84,14 @@ type request =
   | Line_table of string
   | Stats
   | Close
+  | Shm_list
+      (** enumerate the HLIX segments published for this session's
+          opened units (shared-memory fast path; DESIGN.md §8) *)
 
 type response =
-  | R_hello of { version : int }
+  | R_hello of { version : int; shm_dir : string option }
+      (** [shm_dir]: the per-session directory where the server
+          publishes HLIX segments, when the shm fast path is enabled *)
   | R_opened of (string * int list) list
       (** per opened unit: name and duplicate item ids *)
   | R_results of answer list
@@ -93,6 +102,8 @@ type response =
   | R_line_table of T.line_entry list
   | R_stats of string  (** server telemetry as a JSON object *)
   | R_closing
+  | R_shm_list of (string * string) list
+      (** per published unit: name and HLIX segment path *)
   | R_error of { e_code : string; e_msg : string }
 
 (* ------------------------------------------------------------------ *)
@@ -190,8 +201,9 @@ let request_tag = function
   | Line_table _ -> 0x0a
   | Stats -> 0x0b
   | Close -> 0x0c
+  | Shm_list -> 0x0d
 
-let is_request_tag t = t >= 0x01 && t <= 0x0c
+let is_request_tag t = t >= 0x01 && t <= 0x0d
 
 let response_tag = function
   | R_hello _ -> 0x81
@@ -204,9 +216,10 @@ let response_tag = function
   | R_line_table _ -> 0x88
   | R_stats _ -> 0x89
   | R_closing -> 0x8a
+  | R_shm_list _ -> 0x8b
   | R_error _ -> 0xff
 
-let is_response_tag t = (t >= 0x81 && t <= 0x8a) || t = 0xff
+let is_response_tag t = (t >= 0x81 && t <= 0x8b) || t = 0xff
 
 let frame tag payload =
   let buf = Buffer.create (String.length payload + 12) in
@@ -239,7 +252,7 @@ let request_payload (r : request) : string =
       S.put_varint buf rid;
       S.put_varint buf factor
   | Refresh u | Line_table u -> S.put_string buf u
-  | Stats | Close -> ());
+  | Stats | Close | Shm_list -> ());
   Buffer.contents buf
 
 (* append the framed request to [buf] without building the
@@ -259,7 +272,9 @@ let request_to_string (r : request) : string =
 let response_payload (r : response) : string =
   let buf = Buffer.create 64 in
   (match r with
-  | R_hello { version } -> S.put_varint buf version
+  | R_hello { version; shm_dir } ->
+      S.put_varint buf version;
+      S.put_opt buf S.put_string shm_dir
   | R_opened units ->
       S.put_list buf
         (fun b (name, dups) ->
@@ -275,6 +290,12 @@ let response_payload (r : response) : string =
       put_ipairs buf new_classes
   | R_line_table lt -> S.put_list buf S.put_line lt
   | R_stats json -> S.put_string buf json
+  | R_shm_list segs ->
+      S.put_list buf
+        (fun b (name, path) ->
+          S.put_string b name;
+          S.put_string b path)
+        segs
   | R_error { e_code; e_msg } ->
       S.put_string buf e_code;
       S.put_string buf e_msg);
@@ -418,11 +439,14 @@ let decode_request_payload tag cur : request =
   | 0x0a -> Line_table (S.get_string cur)
   | 0x0b -> Stats
   | 0x0c -> Close
+  | 0x0d -> Shm_list
   | _ -> assert false (* tag validated by the framing layer *)
 
 let decode_response_payload tag cur : response =
   match tag with
-  | 0x81 -> R_hello { version = S.get_varint cur }
+  | 0x81 ->
+      let version = S.get_varint cur in
+      R_hello { version; shm_dir = S.get_opt cur S.get_string }
   | 0x82 ->
       R_opened
         (S.get_list cur (fun cur ->
@@ -439,6 +463,11 @@ let decode_response_payload tag cur : response =
   | 0x88 -> R_line_table (S.get_list cur S.get_line)
   | 0x89 -> R_stats (S.get_string cur)
   | 0x8a -> R_closing
+  | 0x8b ->
+      R_shm_list
+        (S.get_list cur (fun cur ->
+             let name = S.get_string cur in
+             (name, S.get_string cur)))
   | 0xff ->
       let e_code = S.get_string cur in
       R_error { e_code; e_msg = S.get_string cur }

@@ -51,9 +51,14 @@ type request =
   | Line_table of string
   | Stats
   | Close
+  | Shm_list
+      (** enumerate the HLIX segments published for this session's
+          opened units (shared-memory fast path; DESIGN.md §8) *)
 
 type response =
-  | R_hello of { version : int }
+  | R_hello of { version : int; shm_dir : string option }
+      (** [shm_dir]: the per-session directory where the server
+          publishes HLIX segments, when the shm fast path is enabled *)
   | R_opened of (string * int list) list
       (** per opened unit: name and duplicate item ids *)
   | R_results of answer list
@@ -64,6 +69,8 @@ type response =
   | R_line_table of Hli_core.Tables.line_entry list
   | R_stats of string  (** server telemetry as a JSON object *)
   | R_closing
+  | R_shm_list of (string * string) list
+      (** per published unit: name and HLIX segment path *)
   | R_error of { e_code : string; e_msg : string }
 
 (** {2 Pure frame codec} — used directly by the fuzz harness. *)

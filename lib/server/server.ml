@@ -48,6 +48,10 @@ type config = {
   max_frame : int;
   idle_timeout : float;  (** poller wakeup cap (shutdown/deadline latency) *)
   request_timeout : float;  (** mid-frame progress bound *)
+  shm_dir : string option;
+      (** when set, publish one HLIX segment per opened unit under
+          [shm_dir]/sess-<id>/ so co-located clients can answer
+          read-only queries straight off an mmap (DESIGN.md §8) *)
 }
 
 let default_config ~socket_path =
@@ -57,10 +61,11 @@ let default_config ~socket_path =
     max_frame = P.default_max_frame;
     idle_timeout = 0.2;
     request_timeout = P.default_timeout;
+    shm_dir = None;
   }
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry (hli-telemetry-v5 "server" object)                        *)
+(* Telemetry (hli-telemetry-v6 "server" object)                        *)
 (* ------------------------------------------------------------------ *)
 
 let lat_cap = 8192
@@ -82,6 +87,8 @@ type stats = {
   mutable st_maintenance : int;
   mutable st_rejected : int;
   mutable st_timeouts : int;
+  mutable st_shm_publishes : int;
+  mutable st_shm_rebuilds : int;
   st_lat : float array;  (** service latencies, seconds; ring buffer *)
   mutable st_lat_n : int;  (** total recorded (may exceed the cap) *)
   mutable st_per_session : (int * int * int) list;
@@ -105,6 +112,8 @@ let fresh_stats () =
     st_maintenance = 0;
     st_rejected = 0;
     st_timeouts = 0;
+    st_shm_publishes = 0;
+    st_shm_rebuilds = 0;
     st_lat = Array.make lat_cap 0.0;
     st_lat_n = 0;
     st_per_session = [];
@@ -117,6 +126,8 @@ let fresh_stats () =
 type unit_state = {
   us_mt : M.t;
   mutable us_idx : Q.index;  (** replaced at [Refresh], like a commit *)
+  us_hash : string;  (** 16-byte digest of the source HLI2 container *)
+  mutable us_pub : Shm.pub option;  (** published HLIX segment, if any *)
 }
 
 (* Work items flow poller -> per-connection queue -> one worker.  The
@@ -186,7 +197,7 @@ let percentile_ns sorted p =
     int_of_float (sorted.(max 0 i) *. 1e9)
 
 (** The server-side telemetry object embedded as the ["server"] field
-    of an hli-telemetry-v5 dump (and answered to a [Stats] frame). *)
+    of an hli-telemetry-v6 dump (and answered to a [Stats] frame). *)
 let stats_json t =
   locked t @@ fun () ->
   let s = t.st in
@@ -200,13 +211,15 @@ let stats_json t =
         \"maintenance_ops\":%d,\"queries\":{\"total\":%d,\"equiv_acc\":%d,\
         \"alias\":%d,\"lcdd\":%d,\"call_acc\":%d,\"region_of_item\":%d,\
         \"hoist_target\":%d},\"latency_ns\":{\"samples\":%d,\"p50\":%d,\
-        \"p99\":%d},\"per_session\":["
+        \"p99\":%d},\"shm\":{\"publishes\":%d,\"rebuilds\":%d},\
+        \"per_session\":["
        s.st_sessions s.st_active s.st_frames s.st_rejected s.st_timeouts
        s.st_batches s.st_batch_max s.st_maintenance s.st_queries s.st_q_equiv
        s.st_q_alias s.st_q_lcdd s.st_q_call s.st_q_region s.st_q_hoist
        s.st_lat_n
        (percentile_ns sorted 0.50)
-       (percentile_ns sorted 0.99));
+       (percentile_ns sorted 0.99)
+       s.st_shm_publishes s.st_shm_rebuilds);
   List.iteri
     (fun i (id, frames, queries) ->
       if i > 0 then Buffer.add_char b ',';
@@ -261,16 +274,49 @@ let answer_query_in us q : P.answer =
             | None -> None)
         | None -> None)
 
-let open_file units (f : T.hli_file) : P.response =
+(** The per-session directory where this connection's HLIX segments
+    live; advertised to the client in the Hello response. *)
+let session_shm_dir t (c : conn) =
+  Option.map
+    (fun d -> Filename.concat d (Printf.sprintf "sess-%d" c.c_id))
+    t.cfg.shm_dir
+
+(* Publish one unit's HLIX segment, or skip on any filesystem trouble:
+   the fast path is an optimization — the wire path stays
+   authoritative, so shm failure must never fail the open. *)
+let try_publish t dir name ~hash idx =
+  match Shm.publish ~dir ~name:(Digest.to_hex (Digest.string name)) ~hash idx with
+  | pub ->
+      locked t (fun () -> t.st.st_shm_publishes <- t.st.st_shm_publishes + 1);
+      Some pub
+  | exception _ -> None
+
+let open_file t (c : conn) ~hash (f : T.hli_file) : P.response =
+  let units = c.c_units in
   if Hashtbl.length units > 0 then
     reply_error "E1106" "session already has an HLI open";
+  let dir =
+    match session_shm_dir t c with
+    | Some d when hash <> "" ->
+        (try
+           if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+           Some d
+         with Unix.Unix_error _ | Sys_error _ -> None)
+    | _ -> None
+  in
   let opened =
     List.map
       (fun (e : T.hli_entry) ->
         let mt = M.start e in
         let idx = Q.build e in
         M.watch mt idx;
-        Hashtbl.replace units e.T.unit_name { us_mt = mt; us_idx = idx };
+        let pub =
+          match dir with
+          | Some d -> try_publish t d e.T.unit_name ~hash idx
+          | None -> None
+        in
+        Hashtbl.replace units e.T.unit_name
+          { us_mt = mt; us_idx = idx; us_hash = hash; us_pub = pub };
         (e.T.unit_name, Q.duplicate_items idx))
       f.T.entries
   in
@@ -285,7 +331,8 @@ let bump_query_kind st = function
   | P.Q_hoist_target _ -> st.st_q_hoist <- st.st_q_hoist + 1
 
 (* handle one request; returns (response, keep_connection_open) *)
-let handle t units (req : P.request) : P.response * bool =
+let handle t (c : conn) (req : P.request) : P.response * bool =
+  let units = c.c_units in
   match req with
   | P.Hello { version } ->
       if version <> P.protocol_version then
@@ -297,7 +344,10 @@ let handle t units (req : P.request) : P.response * bool =
                   version P.protocol_version;
             },
           false )
-      else (P.R_hello { version = P.protocol_version }, true)
+      else
+        ( P.R_hello
+            { version = P.protocol_version; shm_dir = session_shm_dir t c },
+          true )
   | P.Open_hli bytes -> (
       match S.of_bytes bytes with
       | exception S.Corrupt c ->
@@ -305,14 +355,16 @@ let handle t units (req : P.request) : P.response * bool =
             true )
       | f -> (
           match Hli_core.Validate.validate f with
-          | () -> (open_file units f, true)
+          | () -> (open_file t c ~hash:(Digest.string bytes) f, true)
           | exception Diagnostics.Diagnostic d ->
               ( P.R_error
                   { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
                 true )))
   | P.Open_path path -> (
       match S.read_file path with
-      | f -> (open_file units f, true)
+      | f ->
+          let hash = try Digest.file path with Sys_error _ -> "" in
+          (open_file t c ~hash f, true)
       | exception Diagnostics.Diagnostic d ->
           ( P.R_error
               { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
@@ -377,11 +429,34 @@ let handle t units (req : P.request) : P.response * bool =
       let _entry, idx = M.commit us.us_mt in
       us.us_idx <- idx;
       M.watch us.us_mt idx;
+      (match us.us_pub with
+      | Some pub -> (
+          (* seqlock in-place rebuild; on any failure the segment is
+             withdrawn and the client's generation check turns its
+             next lookup into a wire fallback *)
+          try
+            Shm.rebuild pub ~hash:us.us_hash idx;
+            locked t (fun () ->
+                t.st.st_shm_rebuilds <- t.st.st_shm_rebuilds + 1)
+          with _ ->
+            Shm.unpublish pub;
+            us.us_pub <- None)
+      | None -> ());
       (P.R_ack, true)
   | P.Line_table u ->
       let us = find_unit units u in
       (P.R_line_table us.us_mt.M.entry.T.line_table, true)
   | P.Stats -> (P.R_stats (stats_json t), true)
+  | P.Shm_list ->
+      let segs =
+        Hashtbl.fold
+          (fun name us acc ->
+            match us.us_pub with
+            | Some pub -> (name, pub.Shm.p_path) :: acc
+            | None -> acc)
+          units []
+      in
+      (P.R_shm_list segs, true)
   | P.Close -> (P.R_closing, false)
 
 (* ------------------------------------------------------------------ *)
@@ -396,7 +471,7 @@ let handle_work t c out = function
   | W_req req ->
       let t0 = Unix.gettimeofday () in
       let resp, keep =
-        try handle t c.c_units req with
+        try handle t c req with
         | Reply_error (e_code, e_msg) -> (P.R_error { e_code; e_msg }, true)
         | Diagnostics.Diagnostic d ->
             ( P.R_error
@@ -625,6 +700,11 @@ let create (cfg : config) : t =
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  (match cfg.shm_dir with
+  | Some d -> (
+      try if not (Sys.file_exists d) then Unix.mkdir d 0o755
+      with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ());
   {
     (* jobs = 1 is poller-inline mode: Pool.submit with no worker
        domains runs the job synchronously, so request handling happens
@@ -712,6 +792,19 @@ let reap t =
   List.iter
     (fun c ->
       (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+      (* the worker is done with a Dead conn, so its units are safe to
+         touch here: withdraw the session's segments and directory *)
+      Hashtbl.iter
+        (fun _ us ->
+          match us.us_pub with
+          | Some pub ->
+              Shm.unpublish pub;
+              us.us_pub <- None
+          | None -> ())
+        c.c_units;
+      (match session_shm_dir t c with
+      | Some d -> ( try Unix.rmdir d with Unix.Unix_error _ -> ())
+      | None -> ());
       Atomic.decr t.active;
       locked t (fun () ->
           t.st.st_active <- t.st.st_active - 1;

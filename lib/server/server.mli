@@ -29,12 +29,18 @@ type config = {
       (** poller wakeup cap in seconds — bounds shutdown latency *)
   request_timeout : float;
       (** per-frame progress bound; expiry answers E1109 *)
+  shm_dir : string option;
+      (** when set, the shared-memory fast path is on: one HLIX
+          segment per opened unit is published under
+          [shm_dir]/sess-<id>/, advertised in the Hello response, and
+          rebuilt under the seqlock protocol at every [Refresh]
+          barrier (DESIGN.md §8) *)
 }
 
 val default_config : socket_path:string -> config
 (** [jobs = max 8 (Pool.default_jobs ())],
     [max_frame = Protocol.default_max_frame], 0.2s idle poll, 30s
-    request timeout. *)
+    request timeout, no shm dir. *)
 
 type t
 
@@ -59,6 +65,6 @@ val stats_json : t -> string
     per-query-kind counts, maintenance ops, rejected and timed-out
     frames, p50/p99 service latency (ns), capped per-session
     summaries.  Embedded as the ["server"] field of an
-    hli-telemetry-v5 dump, and answered to a [Stats] frame. *)
+    hli-telemetry-v6 dump, and answered to a [Stats] frame. *)
 
 val socket_path : t -> string

@@ -107,11 +107,14 @@ let exemplar_requests : (string * P.request) list =
     ("line_table", P.Line_table "u");
     ("stats", P.Stats);
     ("close", P.Close);
+    ("shm_list", P.Shm_list);
   ]
 
 let exemplar_responses : (string * P.response) list =
   [
-    ("r_hello", P.R_hello { version = P.protocol_version });
+    ("r_hello", P.R_hello { version = P.protocol_version; shm_dir = None });
+    ( "r_hello_shm",
+      P.R_hello { version = P.protocol_version; shm_dir = Some "/tmp/hlid-shm/sess-1" } );
     ("r_opened", P.R_opened [ ("u", [ 1; 2 ]); ("v", []) ]);
     ( "r_results",
       P.R_results
@@ -146,6 +149,10 @@ let exemplar_responses : (string * P.response) list =
     ("r_line_table", P.R_line_table sample_entry.Hli_core.Tables.line_table);
     ("r_stats", P.R_stats "{\"sessions\":1}");
     ("r_closing", P.R_closing);
+    ( "r_shm_list",
+      P.R_shm_list
+        [ ("u", "/tmp/hlid-shm/sess-1/aa.hlix"); ("v", "/tmp/x.hlix") ] );
+    ("r_shm_list_empty", P.R_shm_list []);
     ("r_error", P.R_error { e_code = "E1107"; e_msg = "unknown unit" });
   ]
 

@@ -39,7 +39,7 @@ let fresh_socket () =
     (Printf.sprintf "hli-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
 
 (* Spawn a server on its own domain, run [f path], always shut down. *)
-let with_server ?(jobs = 10) ?max_frame f =
+let with_server ?(jobs = 10) ?max_frame ?shm_dir f =
   let path = fresh_socket () in
   let cfg = Hli_server.Server.default_config ~socket_path:path in
   let cfg =
@@ -48,6 +48,7 @@ let with_server ?(jobs = 10) ?max_frame f =
       Hli_server.Server.jobs;
       idle_timeout = 0.005;
       max_frame = Option.value max_frame ~default:cfg.Hli_server.Server.max_frame;
+      shm_dir;
     }
   in
   let srv = Hli_server.Server.create cfg in
@@ -59,8 +60,8 @@ let with_server ?(jobs = 10) ?max_frame f =
       (try Sys.remove path with Sys_error _ -> ()))
     (fun () -> f path srv)
 
-let with_client path f =
-  let cl = C.connect ~timeout:10.0 path in
+let with_client ?(shm = false) path f =
+  let cl = C.connect ~timeout:10.0 ~shm path in
   Fun.protect ~finally:(fun () -> C.close cl) (fun () -> f cl)
 
 (* Corpus: the real pipeline's HLI for a small workload. *)
@@ -270,6 +271,145 @@ let differential_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Shared-memory fast path                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+    Unix.rmdir p
+  end
+  else Sys.remove p
+
+let with_shm_dir f =
+  let dir = Filename.temp_file "hli-shm-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ()) (fun () -> f dir)
+
+let rec hlix_files p =
+  if Sys.is_directory p then
+    List.concat_map
+      (fun f -> hlix_files (Filename.concat p f))
+      (Array.to_list (Sys.readdir p))
+  else if Filename.check_suffix p ".hlix" then [ p ]
+  else []
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  let b = Bytes.create 1 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let shm_tests =
+  [
+    Alcotest.test_case "shm answers equal the engine, no wire fallbacks"
+      `Quick (fun () ->
+        let entries = Lazy.force wc_entries in
+        with_shm_dir (fun dir ->
+            with_server ~shm_dir:dir (fun path _srv ->
+                with_client ~shm:true path (fun cl ->
+                    ignore (C.open_hli_bytes cl (wire_of entries));
+                    let before = C.shm_stats () in
+                    List.iter
+                      (fun (e : T.hli_entry) ->
+                        Alcotest.(check bool)
+                          (e.T.unit_name ^ " has a segment")
+                          true
+                          (C.shm_active cl e.T.unit_name);
+                        check_unit_against_local cl e)
+                      entries;
+                    let after = C.shm_stats () in
+                    Alcotest.(check bool)
+                      "segments were mapped" true
+                      (after.C.maps > before.C.maps);
+                    Alcotest.(check int)
+                      "no wire fallbacks" before.C.wire_fallbacks
+                      after.C.wire_fallbacks))));
+    Alcotest.test_case "maintenance window diverts to the wire, refresh\
+                        reconverges off shm" `Quick (fun () ->
+        let entries = Lazy.force wc_entries in
+        let e = List.find (fun e -> items_of_entry e <> []) entries in
+        let u = e.T.unit_name in
+        match items_of_entry e with
+        | i0 :: rest ->
+            let like = match rest with i :: _ -> i | [] -> i0 in
+            (* local replay, watched like the server's session state *)
+            let mt = M.start e in
+            let idx0 = Q.build e in
+            M.watch mt idx0;
+            M.delete_item mt i0;
+            let gid = M.gen_item mt ~like ~line:5 in
+            let _entry', idx' = M.commit mt in
+            let probes = take 8 (gid :: items_of_entry e) in
+            with_shm_dir (fun dir ->
+                with_server ~shm_dir:dir (fun path _srv ->
+                    with_client ~shm:true path (fun cl ->
+                        ignore (C.open_hli_bytes cl (wire_of [ e ]));
+                        C.notify_delete cl ~u i0;
+                        Alcotest.(check int)
+                          "generated id" gid
+                          (C.notify_gen cl ~u ~like ~line:5);
+                        (* window open: answers come from the watched
+                           wire index, counted as fallbacks *)
+                        let before = C.shm_stats () in
+                        List.iter
+                          (fun a ->
+                            Alcotest.check equiv_result
+                              (Printf.sprintf "mid-window equiv %d" a)
+                              (Q.get_equiv_acc idx0 a i0)
+                              (C.equiv_acc cl ~u a i0))
+                          probes;
+                        let mid = C.shm_stats () in
+                        Alcotest.(check bool)
+                          "window lookups fell back" true
+                          (mid.C.wire_fallbacks > before.C.wire_fallbacks);
+                        C.refresh cl ~u;
+                        (* window closed: the rebuilt segment answers,
+                           equal to the committed engine *)
+                        List.iter
+                          (fun a ->
+                            List.iter
+                              (fun b ->
+                                Alcotest.check equiv_result
+                                  (Printf.sprintf "post-refresh equiv %d %d"
+                                     a b)
+                                  (Q.get_equiv_acc idx' a b)
+                                  (C.equiv_acc cl ~u a b))
+                              probes)
+                          probes;
+                        let after = C.shm_stats () in
+                        Alcotest.(check int)
+                          "post-refresh lookups served off shm"
+                          mid.C.wire_fallbacks after.C.wire_fallbacks)))
+        | [] -> Alcotest.fail "workload has no items");
+    Alcotest.test_case "corrupt segment falls back to the wire" `Quick
+      (fun () ->
+        let entries = Lazy.force wc_entries in
+        with_shm_dir (fun dir ->
+            with_server ~shm_dir:dir (fun path _srv ->
+                with_client ~shm:true path (fun cl ->
+                    ignore (C.open_hli_bytes cl (wire_of entries));
+                    (* corrupt every published segment before the lazy
+                       first-lookup mapping: flip a CRC-covered body
+                       byte just past the header *)
+                    let files = hlix_files dir in
+                    Alcotest.(check bool)
+                      "segments were published" true (files <> []);
+                    List.iter (fun p -> flip_byte p 97) files;
+                    let before = C.shm_stats () in
+                    List.iter (check_unit_against_local cl) entries;
+                    let after = C.shm_stats () in
+                    Alcotest.(check bool)
+                      "lookups fell back to the wire" true
+                      (after.C.wire_fallbacks > before.C.wire_fallbacks)))));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -472,7 +612,7 @@ let pipeline_tests =
               (match P.recv_request ~timeout:10.0 rd with
               | P.Got (P.Hello _) ->
                   P.send_response fd
-                    (P.R_hello { version = P.protocol_version })
+                    (P.R_hello { version = P.protocol_version; shm_dir = None })
               | _ -> ());
               (match P.recv_request ~timeout:10.0 rd with
               | P.Got (P.Batch _) -> P.send_response fd P.R_ack
@@ -603,6 +743,7 @@ let () =
   Alcotest.run "server"
     [
       ("differential", differential_tests);
+      ("shm", shm_tests);
       ("faults", fault_tests);
       ("pipelining", pipeline_tests);
       ("wire-io", wire_io_tests);

@@ -103,11 +103,14 @@ let json_tests =
           (has_sub json
              (Printf.sprintf "\"schema\":\"%s\""
                 Harness.Telemetry.schema_version));
-        Alcotest.(check bool) "schema is v5" true
-          (Harness.Telemetry.schema_version = "hli-telemetry-v5");
+        Alcotest.(check bool) "schema is v6" true
+          (Harness.Telemetry.schema_version = "hli-telemetry-v6");
         (* v5: the server object is present, null for in-process runs *)
         Alcotest.(check bool) "has null server" true
           (has_sub json "\"server\":null");
+        (* v6: the shm object is present, null for non-shm runs *)
+        Alcotest.(check bool) "has null shm" true
+          (has_sub json "\"shm\":null");
         Alcotest.(check bool) "has query_cache" true
           (has_sub json "\"query_cache\":{");
         Alcotest.(check bool) "has hli_cache" true
