@@ -28,6 +28,13 @@
                                                  (write each workload's HLI2
                                                  file under --out DIR, for
                                                  hli_dump --check sweeps)
+             dune exec bench/main.exe -- editstorm
+                                                 (mutate a fraction of the
+                                                 suite's functions, recompile
+                                                 through a warm per-function
+                                                 HLI cache; the incremental
+                                                 recompile curve,
+                                                 BENCH_editstorm.json)
 
    Flags (tables mode):
      -j N                 domain-pool size (default: HLI_JOBS env, else
@@ -47,7 +54,7 @@
                           stage (default: HLI_CACHE env; unset disables
                           caching; also the serbench cache directory)
      --stats              print the per-stage telemetry table
-     --stats-json PATH    write the hli-telemetry-v6 JSON dump ("-" for
+     --stats-json PATH    write the hli-telemetry-v7 JSON dump ("-" for
                           stdout)
      --remote SOCKET      hlid socket: With_hli variants import, query
                           and maintain HLI over the wire (tables stay
@@ -93,6 +100,7 @@ type cfg = {
   ablation : string;
   out : string option;
   hli_cache : string option;
+  hli_cache_max : int option;  (** cache size cap (--hli-cache-max-bytes) *)
   remote : string option;  (** hlid socket for --remote / servbench *)
   pipeline : int;  (** remote-session frame window (--pipeline) *)
   shm : bool;  (** map published HLIX segments (--shm) *)
@@ -103,7 +111,7 @@ type cfg = {
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [tables|micro|querybench|serbench|servbench|remote-probe|emit-hli|all] \
+     [tables|micro|querybench|serbench|servbench|remote-probe|emit-hli|editstorm|all] \
      [-j N] [--fuel N] [--workloads a,b,c] [--passes SPEC] [--ablation NAME] \
      [--list-passes] [--stats] [--stats-json PATH] [--validate-json PATH] \
      [--hli-cache DIR] [--out PATH] [--remote SOCKET] [--pipeline N] [--shm]";
@@ -168,6 +176,7 @@ let parse_args () =
         ablation = "baseline";
         out = None;
         hli_cache = Harness.Pipeline.hli_cache_env ();
+        hli_cache_max = Harness.Pipeline.hli_cache_max_env ();
         remote = None;
         pipeline = 1;
         shm = false;
@@ -178,7 +187,7 @@ let parse_args () =
   let rec loop = function
     | [] -> ()
     | ( "tables" | "micro" | "all" | "querybench" | "serbench" | "servbench"
-      | "servbench-child" | "remote-probe" | "emit-hli" ) as m
+      | "servbench-child" | "remote-probe" | "emit-hli" | "editstorm" ) as m
       :: rest ->
         cfg := { !cfg with mode = m };
         loop rest
@@ -220,6 +229,12 @@ let parse_args () =
     | "--hli-cache" :: dir :: rest ->
         cfg := { !cfg with hli_cache = (if dir = "" then None else Some dir) };
         loop rest
+    | "--hli-cache-max-bytes" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some b ->
+            cfg := { !cfg with hli_cache_max = (if b > 0 then Some b else None) };
+            loop rest
+        | _ -> usage ())
     | "--remote" :: sock :: rest ->
         cfg := { !cfg with remote = Some sock };
         loop rest
@@ -299,6 +314,7 @@ let pipeline_config cfg =
     { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs cfg.passes;
       ablation;
       hli_cache = cfg.hli_cache;
+      hli_cache_max = cfg.hli_cache_max;
       remote = cfg.remote;
       pipeline = cfg.pipeline;
       shm = cfg.shm }
@@ -825,12 +841,16 @@ let serbench_cache cfg pool =
       let config =
         { Harness.Pipeline.default_config with hli_cache = Some dir }
       in
-      (* drop any stale entry so the first compile is genuinely cold *)
-      let path =
-        Harness.Pipeline.cache_path dir
-          ~ablation:config.Harness.Pipeline.ablation src
-      in
-      (try Sys.remove path with Sys_error _ -> ());
+      (* drop every cached entry so the first compile is genuinely cold
+         (the cache is per-function now — there is no single path to
+         remove for a workload) *)
+      (try
+         Array.iter
+           (fun f ->
+             if Filename.check_suffix f ".hlie" then
+               Sys.remove (Filename.concat dir f))
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
       let timed () =
         let tm = Harness.Telemetry.create () in
         let t0 = now () in
@@ -879,6 +899,418 @@ let emit_hli cfg =
       Hli_core.Serialize.write_file path f;
       Printf.printf "%s\n" path)
     ws
+
+(* ------------------------------------------------------------------ *)
+(* Edit storm (BENCH_editstorm.json)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The incremental-compile headline: mutate a fraction of the suite's
+   functions, then re-run the HLI-production phase of every workload
+   through a warm per-function cache.  Mutations are in-place
+   integer-constant tweaks — they change no line numbers, no pointer
+   constraints and no access skeleton, so only the edited function's
+   fingerprint moves and callers replay from cache.  Only the touched
+   functions should miss, and the recompile wall time should scale
+   roughly linearly with the touched fraction.  Emits
+   BENCH_editstorm.json (hli-editstorm-v1); EDITSTORM_FLOOR (set by
+   bench/editstorm.sh) gates the smallest fraction's cold/edit
+   speedup. *)
+
+let es_fractions = [ 0.01; 0.05; 0.25; 1.0 ]
+
+(* Top-level function body spans of a mini-C source: (name, lo, hi)
+   byte ranges in source order.  The workloads are written in Allman
+   style ('{' alone on its line), which is all this scanner supports;
+   [editstorm] cross-checks the scan against the typechecked AST and
+   aborts on any disagreement rather than silently skewing the
+   selection. *)
+let es_function_spans (src : string) : (string * int * int) list =
+  let is_id c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let name_of_header h =
+    match String.index_opt h '(' with
+    | None -> None
+    | Some p ->
+        let e = ref p in
+        while !e > 0 && not (is_id h.[!e - 1]) do
+          decr e
+        done;
+        let s = ref !e in
+        while !s > 0 && is_id h.[!s - 1] do
+          decr s
+        done;
+        if !s < !e then Some (String.sub h !s (!e - !s)) else None
+  in
+  let spans = ref [] in
+  let depth = ref 0 in
+  let header = ref "" in
+  let cur = ref None in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    let j =
+      match String.index_from_opt src !i '\n' with Some j -> j | None -> n
+    in
+    let line = String.sub src !i (j - !i) in
+    let t = String.trim line in
+    if !depth = 0 && t = "{" then
+      Option.iter (fun f -> cur := Some (f, !i)) (name_of_header !header);
+    String.iter
+      (fun c ->
+        if c = '{' then incr depth
+        else if c = '}' then begin
+          decr depth;
+          if !depth = 0 then
+            Option.iter
+              (fun (f, lo) ->
+                spans := (f, lo, j) :: !spans;
+                cur := None)
+              !cur
+        end)
+      line;
+    if !depth = 0 && t <> "" && t <> "{" then header := t;
+    i := j + 1
+  done;
+  List.rev !spans
+
+(* Candidate mutation points inside [lo, hi): the last digit of each
+   integer literal (not an identifier tail, not adjacent to a '.'),
+   then — for float-only function bodies — the last fractional digit
+   of each float literal.  Mutating bumps that digit in place — same
+   byte length, so every span and every line number survives. *)
+let es_candidates src lo hi =
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_idc c = is_digit c || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let ints = ref [] and fracs = ref [] in
+  let i = ref lo in
+  while !i < hi do
+    if is_digit src.[!i] && (!i = 0 || not (is_idc src.[!i - 1])) then begin
+      let from_dot = !i > 0 && src.[!i - 1] = '.' in
+      let e = ref !i in
+      while !e < hi && is_digit src.[!e] do
+        incr e
+      done;
+      let trailing_idc = !e < String.length src && is_idc src.[!e] in
+      let into_dot = !e < String.length src && src.[!e] = '.' in
+      if not trailing_idc then
+        if from_dot then fracs := (!e - 1) :: !fracs
+        else if not into_dot then ints := (!e - 1) :: !ints;
+      i := !e
+    end
+    else incr i
+  done;
+  List.rev !ints @ List.rev !fracs
+
+let es_apply src pos =
+  let b = Bytes.of_string src in
+  let c = Bytes.get b pos in
+  Bytes.set b pos (if c = '9' then '8' else Char.chr (Char.code c + 1));
+  Bytes.to_string b
+
+(* (function name, interprocedural fingerprint) for every function of
+   [src], or None if the mutated text no longer typechecks. *)
+let es_fp_table src =
+  match Srclang.Typecheck.program_of_string src with
+  | exception _ -> None
+  | prog ->
+      let fps = Analysis.Fingerprint.of_program prog in
+      Some
+        (List.map
+           (fun (f : Srclang.Tast.func) ->
+             ( f.Srclang.Tast.name,
+               Analysis.Fingerprint.func fps f.Srclang.Tast.name ))
+           prog.Srclang.Tast.funcs)
+
+(* Apply one verified tweak to [fname]: a candidate is kept only if the
+   program still typechecks and exactly [fname]'s fingerprint differs
+   from [src]'s — a tweak with caller fan-in is rejected and the next
+   literal is tried.  [None] = the body holds no mutable constant at
+   all (e.g. a one-line wrapper), and the storm substitutes another
+   function. *)
+let es_mutate src (spans : (string * int * int) list) fname : string option =
+  let base =
+    match es_fp_table src with
+    | Some t -> t
+    | None -> failwith "editstorm: base source does not typecheck"
+  in
+  match List.find_opt (fun (n, _, _) -> n = fname) spans with
+  | None -> None
+  | Some (_, lo, hi) ->
+      let rec try_cands = function
+        | [] -> None
+        | pos :: rest -> (
+            let trial = es_apply src pos in
+            match es_fp_table trial with
+            | None -> try_cands rest
+            | Some fps ->
+                let changed =
+                  List.filter_map
+                    (fun (n, d) ->
+                      match List.assoc_opt n base with
+                      | Some d0 when d0 <> d -> Some n
+                      | _ -> None)
+                    fps
+                in
+                if changed = [ fname ] then Some trial else try_cands rest)
+      in
+      try_cands (es_candidates src lo hi)
+
+let es_fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "editstorm: FAIL — %s\n" msg;
+      exit 1)
+    fmt
+
+let editstorm cfg =
+  let names =
+    match cfg.workloads with
+    | Some ns -> ns
+    | None ->
+        List.map (fun w -> w.Workloads.Workload.name) Workloads.Registry.all
+  in
+  (* per workload: source, function spans, AST-confirmed function list *)
+  let wls =
+    List.map
+      (fun name ->
+        let w = workload_of_name ~mode:"editstorm" name in
+        let src = w.Workloads.Workload.source in
+        let spans = es_function_spans src in
+        let funcs =
+          match es_fp_table src with
+          | Some t -> List.map fst t
+          | None -> es_fail "%s does not typecheck" name
+        in
+        if List.sort compare (List.map (fun (n, _, _) -> n) spans)
+           <> List.sort compare funcs
+        then
+          es_fail "%s: span scanner found [%s] but the AST has [%s]" name
+            (String.concat " " (List.map (fun (n, _, _) -> n) spans))
+            (String.concat " " funcs);
+        (name, src, spans, funcs))
+      names
+  in
+  let universe =
+    List.concat_map (fun (w, _, _, funcs) -> List.map (fun f -> (w, f)) funcs) wls
+  in
+  let total = List.length universe in
+  let base_dir =
+    match cfg.hli_cache with
+    | Some d -> d
+    | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "hli-editstorm-%d" (Unix.getpid ()))
+  in
+  let now = Harness.Telemetry.now_ns in
+  Printf.printf "== Edit storm: %d workloads, %d functions ==\n"
+    (List.length wls) total;
+  Printf.printf "%9s %8s %11s %9s %9s %9s %9s\n" "fraction" "mutated"
+    "reanalyzed" "cold ms" "warm ms" "edit ms" "speedup";
+  let rows =
+    List.map
+      (fun frac ->
+        (* a fresh cache per fraction: stale entries from an earlier
+           fraction's identical tweaks would turn planned misses into
+           hits *)
+        let dir =
+          Filename.concat base_dir
+            (Printf.sprintf "f%04d" (int_of_float (frac *. 1000.)))
+        in
+        (try
+           Array.iter
+             (fun f ->
+               if Filename.check_suffix f ".hlie" then
+                 Sys.remove (Filename.concat dir f))
+             (Sys.readdir dir)
+         with Sys_error _ -> ());
+        let config =
+          { Harness.Pipeline.default_config with
+            hli_cache = Some dir;
+            hli_cache_max = cfg.hli_cache_max }
+        in
+        let k =
+          min total
+            (max 1 (int_of_float (Float.round (frac *. float_of_int total))))
+        in
+        (* spread the k targets evenly over the suite; a function with
+           no mutable constant (a bare wrapper) is substituted by the
+           next unselected one, so the storm always touches exactly k *)
+        let targets = List.init k (fun i -> List.nth universe (i * total / k)) in
+        let attempts =
+          targets @ List.filter (fun wf -> not (List.mem wf targets)) universe
+        in
+        let cur_srcs = Hashtbl.create 16 in
+        let cur_mutated = Hashtbl.create 16 in
+        List.iter
+          (fun (name, src, _, _) ->
+            Hashtbl.replace cur_srcs name src;
+            Hashtbl.replace cur_mutated name [])
+          wls;
+        let successes = ref 0 in
+        List.iter
+          (fun (w, f) ->
+            if !successes < k then
+              let _, _, spans, _ =
+                List.find (fun (n, _, _, _) -> n = w) wls
+              in
+              match es_mutate (Hashtbl.find cur_srcs w) spans f with
+              | None -> ()
+              | Some src' ->
+                  Hashtbl.replace cur_srcs w src';
+                  Hashtbl.replace cur_mutated w
+                    (f :: Hashtbl.find cur_mutated w);
+                  incr successes)
+          attempts;
+        let mutated_total = !successes in
+        if mutated_total = 0 then es_fail "no storm target could be mutated";
+        if mutated_total < k then
+          (* only reachable when the fallback exhausted the whole
+             universe, i.e. k approaches the count of functions that
+             hold any constant at all *)
+          Printf.eprintf
+            "editstorm: note: %d of %d targets mutable (constant-free \
+             bodies skipped)\n"
+            mutated_total k;
+        let storm =
+          List.map
+            (fun (name, src, _, _) ->
+              ( name,
+                src,
+                Hashtbl.find cur_srcs name,
+                List.rev (Hashtbl.find cur_mutated name) ))
+            wls
+        in
+        let run srcs =
+          let tm = Harness.Telemetry.create () in
+          let t0 = now () in
+          List.iter
+            (fun src ->
+              ignore (Harness.Pipeline.frontend ~config ~tm src))
+            srcs;
+          let wall = Int64.sub (now ()) t0 in
+          ( wall,
+            Harness.Telemetry.counter tm "hli_cache_hits",
+            Harness.Telemetry.counter tm "hli_cache_misses",
+            Harness.Telemetry.counter tm "hli_cache_partial_hits" )
+        in
+        let cold_ns, h0, m0, _ = run (List.map (fun (_, s, _, _) -> s) storm) in
+        if h0 <> 0 || m0 <> total then
+          es_fail "cold run expected 0/%d hits/misses, got %d/%d" total h0 m0;
+        let warm_ns, h1, m1, _ = run (List.map (fun (_, s, _, _) -> s) storm) in
+        if h1 <> total || m1 <> 0 then
+          es_fail "warm run expected %d/0 hits/misses, got %d/%d" total h1 m1;
+        (* the edit recompile pays only for files the storm touched — an
+           unchanged file is skipped by its content hash before any
+           parse, as in any build system — and, within a touched file,
+           re-analyzes only the functions whose fingerprints moved *)
+        let touched = List.filter (fun (_, s, s', _) -> s' <> s) storm in
+        let touched_funcs =
+          List.fold_left
+            (fun acc (name, _, _, _) ->
+              acc
+              + List.length
+                  (List.filter (fun (w, _) -> w = name) universe))
+            0 touched
+        in
+        let edit_ns, h2, m2, p2 =
+          run (List.map (fun (_, _, s', _) -> s') touched)
+        in
+        if m2 <> mutated_total then
+          es_fail "%d functions mutated but %d re-analyzed" mutated_total m2;
+        if h2 <> touched_funcs - mutated_total then
+          es_fail "edit run expected %d hits, got %d"
+            (touched_funcs - mutated_total) h2;
+        (* byte-identity: the spliced-cache HLI of every edited workload
+           must match an uncached compile of the same mutated source *)
+        List.iter
+          (fun (name, _, src', mutated) ->
+            if mutated <> [] then begin
+              let cached = Harness.Pipeline.frontend ~config src' in
+              let fresh =
+                Harness.Pipeline.frontend
+                  ~config:{ config with Harness.Pipeline.hli_cache = None }
+                  src'
+              in
+              if
+                Hli_core.Serialize.to_bytes
+                  { Hli_core.Tables.entries = cached.Driver.Pass.h_entries }
+                <> Hli_core.Serialize.to_bytes
+                     { Hli_core.Tables.entries = fresh.Driver.Pass.h_entries }
+              then es_fail "%s: warm-spliced HLI differs from a cold build" name
+            end)
+          storm;
+        let ms ns = Int64.to_float ns /. 1e6 in
+        let speedup =
+          if Int64.compare edit_ns 0L <= 0 then 0.0
+          else Int64.to_float cold_ns /. Int64.to_float edit_ns
+        in
+        Printf.printf "%8.1f%% %8d %11d %9.2f %9.2f %9.2f %8.2fx\n"
+          (100.0 *. frac) mutated_total m2 (ms cold_ns) (ms warm_ns)
+          (ms edit_ns) speedup;
+        (frac, mutated_total, m2, p2, cold_ns, warm_ns, edit_ns, speedup))
+      es_fractions
+  in
+  (* acceptance: a ~1% storm must not re-analyze more than 5% of the
+     suite, and must beat the cold build by EDITSTORM_FLOOR when the
+     gate is armed (bench/editstorm.sh sets it) *)
+  (match rows with
+  | (frac, _, re, _, _, _, _, speedup) :: _ ->
+      if frac <= 0.011 && re * 20 > total then
+        es_fail "a %.0f%% storm re-analyzed %d/%d functions (> 5%%)"
+          (100.0 *. frac) re total;
+      (match Sys.getenv_opt "EDITSTORM_FLOOR" with
+      | Some s -> (
+          match float_of_string_opt s with
+          | Some floor when floor > 0.0 ->
+              if speedup < floor then
+                es_fail "1%% storm speedup %.2fx is under the %.1fx floor"
+                  speedup floor
+          | _ -> es_fail "EDITSTORM_FLOOR=%S is not a positive number" s)
+      | None -> ())
+  | [] -> ());
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"hli-editstorm-v1\",\"workloads\":[%s],\"functions\":%d,\
+        \"rows\":["
+       (String.concat ","
+          (List.map
+             (fun (n, _, _, _) ->
+               "\"" ^ Harness.Telemetry.json_escape n ^ "\"")
+             wls))
+       total);
+  List.iteri
+    (fun i (frac, mutated, re, partial, cold_ns, warm_ns, edit_ns, speedup) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"fraction\":%.3f,\"mutated\":%d,\"reanalyzed\":%d,\
+            \"partial_hits\":%d,\"cold_ns\":%Ld,\"warm_ns\":%Ld,\
+            \"edit_ns\":%Ld,\"speedup\":%.2f}"
+           frac mutated re partial cold_ns warm_ns edit_ns speedup))
+    rows;
+  Buffer.add_string b "]}";
+  let json = Buffer.contents b in
+  (match Harness.Telemetry.validate_json json with
+  | Ok () -> ()
+  | Error (msg, pos) ->
+      Printf.eprintf "editstorm: generated malformed JSON at byte %d: %s\n" pos
+        msg;
+      exit 1);
+  let out = Option.value ~default:"BENCH_editstorm.json" cfg.out in
+  let oc =
+    try open_out_bin out
+    with Sys_error msg ->
+      Printf.eprintf "--out: %s\n" msg;
+      exit 1
+  in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.eprintf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
 (* Server benchmark (servbench) and the remote-probe fault client      *)
@@ -1563,4 +1995,5 @@ let () =
       if cfg.mode = "servbench" then servbench cfg;
       if cfg.mode = "servbench-child" then sb_child cfg;
       if cfg.mode = "remote-probe" then remote_probe cfg;
-      if cfg.mode = "emit-hli" then emit_hli cfg)
+      if cfg.mode = "emit-hli" then emit_hli cfg;
+      if cfg.mode = "editstorm" then editstorm cfg)

@@ -76,10 +76,14 @@ for run in cold warm; do
     || { echo "smoke: FAIL — malformed $run-cache --stats-json" >&2; exit 1; }
 done
 
-grep -q '"hli_cache":{"hits":0,"misses":2}' "$tmp/cold.json" \
-  || { echo "smoke: FAIL — cold run should report 0 hits / 2 misses" >&2; exit 1; }
-grep -q '"hli_cache":{"hits":2,"misses":0}' "$tmp/warm.json" \
-  || { echo "smoke: FAIL — warm run should report 2 hits / 0 misses" >&2; exit 1; }
+# the cache is per-function: a cold run misses once per function of
+# the two workloads, a warm run hits the same count
+grep -q '"hli_cache":{"hits":0,"misses":[1-9][0-9]*,"partial_hits":0,"trims":0}' \
+  "$tmp/cold.json" \
+  || { echo "smoke: FAIL — cold run should report 0 hits / all misses" >&2; exit 1; }
+grep -q '"hli_cache":{"hits":[1-9][0-9]*,"misses":0,"partial_hits":0,"trims":0}' \
+  "$tmp/warm.json" \
+  || { echo "smoke: FAIL — warm run should report all hits / 0 misses" >&2; exit 1; }
 
 echo "smoke: OK (HLI cache cold/warm byte-identical, counters present)"
 

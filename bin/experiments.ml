@@ -31,6 +31,7 @@ let run_tables only quick passes ablation list_passes =
         { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs passes;
           ablation;
           hli_cache = Harness.Pipeline.hli_cache_env ();
+          hli_cache_max = Harness.Pipeline.hli_cache_max_env ();
           remote = None;
           pipeline = 1;
           shm = false }

@@ -3,16 +3,56 @@
    Prints the line table and region tables of every program unit;
    --verify checks the binary round-trip, --check runs the structural
    validator (lib/core/validate.ml) and reports every issue instead of
-   dumping.  Decode failures (bad magic, truncation, CRC mismatch, ...)
+   dumping.  --entry NAME narrows either mode to one function's entry
+   and also prints its content hash — the per-entry digest the HLI
+   cache and the delta-upload protocol key on, for debugging cache
+   misses.  Decode failures (bad magic, truncation, CRC mismatch, ...)
    are structured diagnostics with E06xx codes. *)
 
 open Cmdliner
 
-let run path verify check =
+let run path verify check entry =
   try
     (* --check reports the full issue list itself, so read without the
        on-load validator (which stops at the first issue) *)
     let f = Hli_core.Serialize.read_file ~validate:(not check) path in
+    match entry with
+    | Some name -> begin
+        match Hli_core.Tables.find_entry f name with
+        | None ->
+            Fmt.epr "%s: no unit named %s (has: %s)@." path name
+              (String.concat ", "
+                 (List.map
+                    (fun e -> e.Hli_core.Tables.unit_name)
+                    f.Hli_core.Tables.entries));
+            1
+        | Some e ->
+            let hash = Digest.to_hex (Hli_core.Serialize.entry_hash e) in
+            if check then begin
+              match Hli_core.Validate.check_entry e with
+              | [] ->
+                  Fmt.pr "%s: %s: OK (%d region(s), entry hash %s)@." path
+                    name
+                    (List.length e.Hli_core.Tables.regions)
+                    hash;
+                  0
+              | issues ->
+                  List.iter
+                    (fun i ->
+                      Fmt.epr "%s: error%s@." path
+                        (Hli_core.Validate.issue_to_string i))
+                    issues;
+                  Fmt.epr "%s: %s: %d structural issue(s)@." path name
+                    (List.length issues);
+                  2
+            end
+            else begin
+              Fmt.pr "%a@." Hli_core.Tables.pp_entry e;
+              Fmt.pr "entry hash: %s@." hash;
+              0
+            end
+      end
+    | None ->
     if check then begin
       match Hli_core.Validate.check_file f with
       | [] ->
@@ -71,9 +111,19 @@ let check_flag =
           "run the structural validator and report every issue instead of \
            dumping; exits 2 when issues are found")
 
+let entry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "entry" ] ~docv:"NAME"
+        ~doc:
+          "restrict to the named function's entry: dump (or, with \
+           $(b,--check), validate) just that entry and print its content \
+           hash — the digest the HLI cache and delta uploads key on")
+
 let cmd =
   let doc = "dump a High-Level Information file" in
   Cmd.v (Cmd.info "hli_dump" ~doc)
-    Term.(const run $ path_arg $ verify_flag $ check_flag)
+    Term.(const run $ path_arg $ verify_flag $ check_flag $ entry_arg)
 
 let () = exit (Cmd.eval' cmd)

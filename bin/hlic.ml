@@ -49,7 +49,8 @@ let lint_hli path =
           4)
 
 let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
-    list_passes jobs stats stats_json lint hli_cache remote pipeline shm =
+    list_passes jobs stats stats_json lint hli_cache hli_cache_max remote
+    pipeline shm =
   if list_passes then begin
     print_string (Driver.Pass_manager.list_text ());
     0
@@ -86,6 +87,11 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
                 (match hli_cache with
                 | Some dir -> Some dir
                 | None -> Harness.Pipeline.hli_cache_env ());
+              hli_cache_max =
+                (match hli_cache_max with
+                | Some n when n > 0 -> Some n
+                | Some _ -> None
+                | None -> Harness.Pipeline.hli_cache_max_env ());
               remote;
               pipeline = max 1 pipeline;
               shm;
@@ -304,13 +310,24 @@ let hli_cache_arg =
            source hash, ablation and format version (default: \
            \\$(b,HLI_CACHE) env; unset disables caching)")
 
+let hli_cache_max_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hli-cache-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "size cap for the $(b,--hli-cache) directory: after each store, \
+           least-recently-used entries (by mtime) are trimmed until the \
+           cache fits $(docv) bytes (default: \\$(b,HLI_CACHE_MAX) env; \
+           unset or non-positive means unbounded)")
+
 let cmd =
   let doc = "compile mini-C with High-Level Information support" in
   Cmd.v (Cmd.info "hlic" ~doc)
     Term.(
       const run_hlic $ src_arg $ hli_flag $ machine_arg $ run_flag $ emit_arg
       $ dump_flag $ passes_arg $ ablation_arg $ list_passes_flag $ jobs_arg
-      $ stats_flag $ stats_json_arg $ lint_arg $ hli_cache_arg $ remote_arg
-      $ pipeline_arg $ shm_flag)
+      $ stats_flag $ stats_json_arg $ lint_arg $ hli_cache_arg
+      $ hli_cache_max_arg $ remote_arg $ pipeline_arg $ shm_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -17,9 +17,9 @@ open Cmdliner
 (* Keep in sync with Harness.Telemetry.schema_version; hlid links only
    the server stack, not the harness, so the string is repeated here
    (test_telemetry pins the constant). *)
-let schema_version = "hli-telemetry-v6"
+let schema_version = "hli-telemetry-v7"
 
-let run_hlid socket jobs max_frame timeout shm_dir stats stats_json =
+let run_hlid socket jobs max_frame timeout shm_dir store_cap stats stats_json =
   let cfg =
     {
       (Hli_server.Server.default_config ~socket_path:socket) with
@@ -27,6 +27,7 @@ let run_hlid socket jobs max_frame timeout shm_dir stats stats_json =
       max_frame;
       request_timeout = timeout;
       shm_dir;
+      store_cap;
     }
   in
   match Hli_server.Server.create cfg with
@@ -107,6 +108,17 @@ let shm_dir_arg =
            clients connecting with --shm answer read-only queries \
            straight off the mapping")
 
+let store_cap_arg =
+  Arg.(
+    value
+    & opt int (Hli_server.Server.default_config ~socket_path:"").store_cap
+    & info [ "store-cap" ] ~docv:"BYTES"
+        ~doc:
+          "byte bound on the cross-session entry store backing delta \
+           uploads (protocol v3): a session re-opening after an edit \
+           ships only the entries the store lacks; oldest entries are \
+           evicted past $(docv) (default 256 MiB)")
+
 let stats_flag =
   Arg.(
     value & flag
@@ -118,7 +130,7 @@ let stats_json_arg =
     & opt (some string) None
     & info [ "stats-json" ] ~docv:"PATH"
         ~doc:
-          "write the hli-telemetry-v6 server telemetry to $(docv) at \
+          "write the hli-telemetry-v7 server telemetry to $(docv) at \
            shutdown (\"-\" for stdout)")
 
 let cmd =
@@ -127,6 +139,6 @@ let cmd =
     (Cmd.info "hlid" ~doc)
     Term.(
       const run_hlid $ socket_arg $ jobs_arg $ max_frame_arg $ timeout_arg
-      $ shm_dir_arg $ stats_flag $ stats_json_arg)
+      $ shm_dir_arg $ store_cap_arg $ stats_flag $ stats_json_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -45,6 +45,26 @@ let callers t name = Option.value ~default:[] (Hashtbl.find_opt t.callers name)
 let builtins_called t name =
   Option.value ~default:[] (Hashtbl.find_opt t.builtin_calls name)
 
+(** Every user function reachable from [name] through calls, sorted by
+    name ([name] itself included only when it is recursive).  This is
+    the propagation set of the per-function HLI fingerprint: an edit to
+    any transitive callee must invalidate [name]'s cached entry,
+    because the callee's REF/MOD summary folds into [name]'s call
+    tables through the {!Refmod} fixpoint. *)
+let transitive_callees t name =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.replace seen c ();
+          go c
+        end)
+      (callees t n)
+  in
+  go name;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
 (** Is [callee] reachable from [caller] through user calls (including
     transitively)?  Used to detect recursion. *)
 let reaches t ~from ~target =

@@ -1,0 +1,270 @@
+(** Interprocedural per-function fingerprints.
+
+    The on-disk HLI cache and the edit-storm workflow need a key that
+    changes exactly when a function's HLI entry could change.  A
+    function's entry ({!Hligen.Tblconst.build_unit}) is determined by:
+
+    - its own typed body (statements, symbols, line numbers — the line
+      table is part of the entry);
+    - the REF/MOD summaries of the functions it calls, transitively
+      (the {!Refmod} fixpoint folds callee effects into caller call
+      tables, so a callee edit must invalidate its callers);
+    - the whole-program points-to result (flow-insensitive: a pointer
+      constraint added {e anywhere} can widen alias sets everywhere).
+
+    The fingerprint over-approximates each dependency {e syntactically},
+    so it can be computed from the TAST alone — no points-to or REF/MOD
+    fixpoint needs to run on a fully warm compile:
+
+    - [body]: structural digest of the function (all constructors,
+      operator names, symbol name/type/storage/addr-taken, line/col) —
+      never symbol ids, which are allocation-order and shift when
+      unrelated code changes;
+    - per transitive callee: its name and
+      {!Refmod.direct_fingerprint} (the access skeleton that determines
+      its direct REF/MOD effects), via {!Callgraph.transitive_callees};
+    - [ptr]: a digest of the program's pointer-constraint system (what
+      {!Pointsto.gather_program} extracts) — unchanged by edits that
+      touch no pointer assignment, argument, return or escape.
+
+    Equal fingerprints (plus equal TBLCONST options, keyed separately)
+    imply byte-identical entries; an inequality merely forces a
+    rebuild. *)
+
+open Srclang
+
+(* ------------------------------------------------------------------ *)
+(* Structural body digest                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_int b n =
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b ';'
+
+let add_str b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let add_ty b ty =
+  Types.digest_into b ty;
+  Buffer.add_char b ';'
+
+let add_loc b (l : Loc.t) =
+  add_int b l.Loc.line;
+  add_int b l.Loc.col
+
+let add_sym b (s : Symbol.t) =
+  add_str b s.Symbol.name;
+  add_ty b s.Symbol.ty;
+  Buffer.add_char b
+    (match s.Symbol.storage with
+    | Symbol.Global -> 'g'
+    | Symbol.Local -> 'l'
+    | Symbol.Param -> 'p');
+  Buffer.add_char b (if s.Symbol.addr_taken then '&' else '.')
+
+let rec add_expr b (e : Tast.expr) =
+  add_ty b e.Tast.ty;
+  add_loc b e.Tast.loc;
+  match e.Tast.desc with
+  | Tast.Const_int n ->
+      Buffer.add_char b 'i';
+      add_int b n
+  | Tast.Const_float f ->
+      Buffer.add_char b 'f';
+      add_str b (Printf.sprintf "%h" f)
+  | Tast.Lval lv ->
+      Buffer.add_char b 'v';
+      add_lvalue b lv
+  | Tast.Addr lv ->
+      Buffer.add_char b '&';
+      add_lvalue b lv
+  | Tast.Binop (op, x, y) ->
+      Buffer.add_char b 'b';
+      add_str b (Ast.binop_to_string op);
+      add_expr b x;
+      add_expr b y
+  | Tast.Unop (op, x) ->
+      Buffer.add_char b 'u';
+      add_str b (Ast.unop_to_string op);
+      add_expr b x
+  | Tast.Call (name, args) ->
+      Buffer.add_char b 'c';
+      add_str b name;
+      add_int b (List.length args);
+      List.iter (add_expr b) args
+  | Tast.Cast (ty, x) ->
+      Buffer.add_char b 't';
+      add_ty b ty;
+      add_expr b x
+
+and add_lvalue b (lv : Tast.lvalue) =
+  add_ty b lv.Tast.lty;
+  add_loc b lv.Tast.lloc;
+  match lv.Tast.ldesc with
+  | Tast.Lvar s ->
+      Buffer.add_char b 's';
+      add_sym b s
+  | Tast.Lindex (base, idx) ->
+      Buffer.add_char b 'x';
+      add_lvalue b base;
+      add_expr b idx
+  | Tast.Lderef e ->
+      Buffer.add_char b 'd';
+      add_expr b e
+
+let rec add_stmt b (st : Tast.stmt) =
+  add_loc b st.Tast.sloc;
+  match st.Tast.sdesc with
+  | Tast.Sexpr e ->
+      Buffer.add_char b 'E';
+      add_expr b e
+  | Tast.Sassign (lv, e) ->
+      Buffer.add_char b 'A';
+      add_lvalue b lv;
+      add_expr b e
+  | Tast.Sif (c, a, z) ->
+      Buffer.add_char b 'I';
+      add_expr b c;
+      add_stmts b a;
+      add_stmts b z
+  | Tast.Swhile (c, body) ->
+      Buffer.add_char b 'W';
+      add_expr b c;
+      add_stmts b body
+  | Tast.Sfor (init, cond, step, body) ->
+      Buffer.add_char b 'F';
+      add_opt b add_stmt init;
+      add_opt b add_expr cond;
+      add_opt b add_stmt step;
+      add_stmts b body
+  | Tast.Sreturn e ->
+      Buffer.add_char b 'R';
+      add_opt b add_expr e
+  | Tast.Sblock body ->
+      Buffer.add_char b 'B';
+      add_stmts b body
+
+and add_stmts b l =
+  add_int b (List.length l);
+  List.iter (add_stmt b) l
+
+and add_opt : 'a. Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit =
+ fun b f -> function
+  | None -> Buffer.add_char b '0'
+  | Some v ->
+      Buffer.add_char b '1';
+      f b v
+
+(** Structural digest of one function's typed body (including line
+    numbers — the HLI line table depends on them). *)
+let body_digest (f : Tast.func) : Digest.t =
+  let b = Buffer.create 1024 in
+  add_str b f.Tast.name;
+  add_ty b f.Tast.ret;
+  add_loc b f.Tast.loc;
+  add_int b (List.length f.Tast.params);
+  List.iter (add_sym b) f.Tast.params;
+  add_int b (List.length f.Tast.locals);
+  List.iter (add_sym b) f.Tast.locals;
+  add_stmts b f.Tast.body;
+  Digest.string (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program pointer-constraint digest                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Digest of the program's points-to constraint system: the inclusion
+    constraints {!Pointsto.gather_program} derives (in its
+    deterministic gathering order) plus the escaped-symbol set (sorted
+    by name).  Equal digests imply an identical points-to result. *)
+let ptr_digest (prog : Tast.program) : Digest.t =
+  let constrs, escaped = Pointsto.gather_program prog in
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (c : Pointsto.constr) ->
+      match c with
+      | Pointsto.Cbase (p, s) ->
+          Buffer.add_char b 'B';
+          add_sym b p;
+          add_sym b s
+      | Pointsto.Ccopy (p, q) ->
+          Buffer.add_char b 'C';
+          add_sym b p;
+          add_sym b q
+      | Pointsto.Cret (p, g) ->
+          Buffer.add_char b 'R';
+          add_sym b p;
+          add_str b g
+      | Pointsto.Cuniv p ->
+          Buffer.add_char b 'U';
+          add_sym b p
+      | Pointsto.Cret_base (g, s) ->
+          Buffer.add_char b 'b';
+          add_str b g;
+          add_sym b s
+      | Pointsto.Cret_copy (g, q) ->
+          Buffer.add_char b 'c';
+          add_str b g;
+          add_sym b q
+      | Pointsto.Cret_univ g ->
+          Buffer.add_char b 'u';
+          add_str b g)
+    constrs;
+  Buffer.add_char b '|';
+  List.iter
+    (fun (s : Symbol.t) -> add_sym b s)
+    (List.sort
+       (fun (a : Symbol.t) (z : Symbol.t) -> compare a.Symbol.name z.Symbol.name)
+       (Symbol.Set.elements escaped));
+  Digest.string (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Program fingerprints                                                *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  cg : Callgraph.t;
+  ptr : Digest.t;
+  bodies : (string, Digest.t) Hashtbl.t;  (** per-function body digest *)
+  refmods : (string, Digest.t) Hashtbl.t;
+      (** per-function {!Refmod.direct_fingerprint} *)
+  fps : (string, Digest.t) Hashtbl.t;  (** memoized combined fingerprints *)
+}
+
+(** Prepare fingerprints for a whole program.  Purely syntactic: builds
+    the call graph and per-function digests but runs no fixpoint. *)
+let of_program (prog : Tast.program) : t =
+  let cg = Callgraph.build prog in
+  let bodies = Hashtbl.create 16 and refmods = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Tast.func) ->
+      Hashtbl.replace bodies f.Tast.name (body_digest f);
+      Hashtbl.replace refmods f.Tast.name (Refmod.direct_fingerprint f))
+    prog.Tast.funcs;
+  { cg; ptr = ptr_digest prog; bodies; refmods; fps = Hashtbl.create 16 }
+
+(** The interprocedural fingerprint of function [name]: digest of its
+    body digest, the program pointer-constraint digest, and each
+    transitive callee's name + REF/MOD fingerprint. *)
+let func (t : t) (name : string) : Digest.t =
+  match Hashtbl.find_opt t.fps name with
+  | Some d -> d
+  | None ->
+      let b = Buffer.create 256 in
+      (match Hashtbl.find_opt t.bodies name with
+      | Some d -> Buffer.add_string b d
+      | None -> add_str b name);
+      Buffer.add_string b t.ptr;
+      List.iter
+        (fun callee ->
+          add_str b callee;
+          match Hashtbl.find_opt t.refmods callee with
+          | Some d -> Buffer.add_string b d
+          | None -> Buffer.add_char b '?')
+        (Callgraph.transitive_callees t.cg name);
+      let d = Digest.string (Buffer.contents b) in
+      Hashtbl.replace t.fps name d;
+      d
+
+let func_hex t name = Digest.to_hex (func t name)

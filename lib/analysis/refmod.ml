@@ -111,6 +111,61 @@ let call_effect (t : t) name : summary =
       if Builtins.is_builtin name then empty_summary
       else { refs = All; mods = All }
 
+(* ------------------------------------------------------------------ *)
+(* REF/MOD fingerprints                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A syntactic digest of exactly what [direct_effects] consumes from a
+   function: its memory-access skeleton (base of each access, and
+   whether it stores) plus the builtin/unknown names it calls.  Two
+   functions with equal digests have equal direct REF/MOD effects under
+   any fixed points-to result, so a caller's cached HLI entry can
+   survive callee edits that leave this digest unchanged (e.g. a
+   constant tweak in straight-line arithmetic).  Lines and subscripts
+   are deliberately excluded — they do not feed the summary.  Symbols
+   are encoded by name/type/storage (never by id: ids are allocation
+   order and shift when unrelated functions change). *)
+
+let add_sym b (s : Symbol.t) =
+  Buffer.add_string b s.Symbol.name;
+  Buffer.add_char b ':';
+  Types.digest_into b s.Symbol.ty;
+  Buffer.add_char b
+    (match s.Symbol.storage with
+    | Symbol.Global -> 'g'
+    | Symbol.Local -> 'l'
+    | Symbol.Param -> 'p');
+  Buffer.add_char b (if s.Symbol.addr_taken then '&' else '.');
+  Buffer.add_char b ';'
+
+(** Digest of a function's direct REF/MOD-relevant structure (see
+    above); the per-callee component of {!Fingerprint}. *)
+let direct_fingerprint (f : Tast.func) : Digest.t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun { Frontir.Memwalk.event; _ } ->
+      match event with
+      | Frontir.Memwalk.Callsite name ->
+          Buffer.add_string b "c|";
+          Buffer.add_string b name;
+          Buffer.add_char b ';'
+      | Frontir.Memwalk.Mem a ->
+          Buffer.add_string b (if a.Frontir.Access.is_store then "st|" else "ld|");
+          (match a.Frontir.Access.base with
+          | Frontir.Access.Direct s ->
+              Buffer.add_char b 'd';
+              add_sym b s
+          | Frontir.Access.Through_ptr p ->
+              Buffer.add_char b '*';
+              add_sym b p
+          | Frontir.Access.Unknown_ptr -> Buffer.add_string b "?;"
+          | Frontir.Access.Stack_arg (g, i) ->
+              Buffer.add_string b (Printf.sprintf "sa|%s|%d;" g i)
+          | Frontir.Access.Incoming_arg (g, i) ->
+              Buffer.add_string b (Printf.sprintf "ia|%s|%d;" g i)))
+    (Frontir.Memwalk.func_events f);
+  Digest.string (Buffer.contents b)
+
 (** Convenience classification mirroring the paper's
     [HLI_GetCallAcc] result values. *)
 type call_acc = Acc_none | Acc_ref | Acc_mod | Acc_refmod

@@ -74,32 +74,33 @@ let format_version = magic_v2
 (* Slicing-by-8: tables.(k).(b) is the CRC of byte [b] followed by [k]
    zero bytes, so eight table lookups advance the state by eight input
    bytes at once.  The wire protocol checksums every frame payload in
-   both directions, which makes this loop hot enough to matter. *)
+   both directions, which makes this loop hot enough to matter.  Built
+   eagerly at module init: pool domains all checksum frames, and a
+   [lazy] forced from two domains at once raises
+   [CamlinternalLazy.Undefined]. *)
 let crc_tables =
-  lazy
-    (let t0 =
-       Array.init 256 (fun n ->
-           let c = ref n in
-           for _ = 0 to 7 do
-             c :=
-               if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
-           done;
-           !c)
-     in
-     let t = Array.make 8 t0 in
-     for k = 1 to 7 do
-       t.(k) <-
-         Array.init 256 (fun n ->
-             let c = t.(k - 1).(n) in
-             t0.(c land 0xff) lxor (c lsr 8))
-     done;
-     t)
+  let t0 =
+    Array.init 256 (fun n ->
+        let c = ref n in
+        for _ = 0 to 7 do
+          c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+        done;
+        !c)
+  in
+  let t = Array.make 8 t0 in
+  for k = 1 to 7 do
+    t.(k) <-
+      Array.init 256 (fun n ->
+          let c = t.(k - 1).(n) in
+          t0.(c land 0xff) lxor (c lsr 8))
+  done;
+  t
 
 (** CRC32 (IEEE 802.3, reflected) of [s.[ofs .. ofs+len-1]]. *)
 let crc32 s ofs len =
   if ofs < 0 || len < 0 || ofs > String.length s - len then
     invalid_arg "Serialize.crc32";
-  let t = Lazy.force crc_tables in
+  let t = crc_tables in
   let t0 = t.(0)
   and t1 = t.(1)
   and t2 = t.(2)
@@ -569,6 +570,94 @@ let of_bytes_v2 (s : string) : hli_file =
   if cur.pos <> String.length s then
     corrupt ~at:cur.pos ~code:"E0616" "%d trailing bytes" (remaining cur);
   { entries }
+
+(* ------------------------------------------------------------------ *)
+(* Per-entry payloads and content hashes                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each HLI2 entry is already a self-contained length+CRC framed
+   payload, which makes the function the natural unit of storage and
+   transfer: the per-function disk cache keys single-entry payloads by
+   fingerprint, and the hlid delta-upload path ships/references entries
+   by content hash instead of re-shipping whole containers. *)
+
+(** Encode one entry as its bare HLI2 payload (no length/CRC framing —
+    callers that need framing add it, exactly as {!to_bytes} does). *)
+let entry_to_bytes (e : hli_entry) : string =
+  let buf = Buffer.create 1024 in
+  put_entry_v2 buf e;
+  Buffer.contents buf
+
+(** Decode one bare HLI2 entry payload; raises {!Corrupt} (E06xx) on
+    any malformation, including undecoded trailing bytes. *)
+let entry_of_bytes (s : string) : hli_entry =
+  let cur = { data = s; pos = 0 } in
+  let e = get_entry_v2 cur in
+  if cur.pos <> String.length s then
+    corrupt ~at:cur.pos ~code:"E0616" "%d trailing bytes after entry"
+      (remaining cur);
+  e
+
+(** Content hash of an entry: MD5 over its HLI2 payload bytes.  Stable
+    across container framing, so the same value names an entry in the
+    disk cache, on the wire (delta uploads) and in [hli_dump]. *)
+let entry_hash_of_payload (payload : string) : Digest.t =
+  Digest.string payload
+
+let entry_hash (e : hli_entry) : Digest.t =
+  entry_hash_of_payload (entry_to_bytes e)
+
+(** Split an HLI2 container into its per-entry payloads, in order, with
+    each CRC verified — [(unit_name, payload)] per entry.  The payload
+    is {e not} decoded beyond the leading unit name, so this is the
+    cheap way to content-address a container's entries. *)
+let split_container (s : string) : (string * string) list =
+  if String.length s < 4 || String.sub s 0 4 <> magic_v2 then
+    corrupt ~at:0 ~code:"E0610" "bad magic (want %s)" magic_v2;
+  let cur = { data = s; pos = 4 } in
+  let n_entries = get_varint cur in
+  if n_entries > remaining cur then
+    corrupt ~at:cur.pos ~code:"E0613"
+      "entry count %d exceeds the %d remaining bytes" n_entries (remaining cur);
+  let entries =
+    List.init n_entries (fun i ->
+        let len = get_varint cur in
+        if len > remaining cur then
+          corrupt ~at:cur.pos ~code:"E0613"
+            "entry %d: payload length %d exceeds the %d remaining bytes" i len
+            (remaining cur);
+        let payload_ofs = cur.pos in
+        let payload = String.sub s payload_ofs len in
+        cur.pos <- cur.pos + len;
+        let stored = get_crc32 cur in
+        let computed = crc32 s payload_ofs len in
+        if stored <> computed then
+          corrupt ~at:payload_ofs ~code:"E0615"
+            "entry %d: CRC32 mismatch (stored %08x, computed %08x)" i stored
+            computed;
+        let sub = { data = payload; pos = 0 } in
+        (get_string sub, payload))
+  in
+  if cur.pos <> String.length s then
+    corrupt ~at:cur.pos ~code:"E0616" "%d trailing bytes" (remaining cur);
+  entries
+
+(** Reassemble an HLI2 container from per-entry payloads, in order.
+    Inverse of {!split_container}: byte-identical to {!to_bytes} over
+    the same entries, so a receiver that collected payloads by content
+    hash recovers the exact container (and its whole-container
+    digest). *)
+let container_of_payloads (payloads : string list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic_v2;
+  put_varint buf (List.length payloads);
+  List.iter
+    (fun payload ->
+      put_varint buf (String.length payload);
+      Buffer.add_string buf payload;
+      put_crc32 buf payload)
+    payloads;
+  Buffer.contents buf
 
 (** Decode either container revision, dispatching on the magic. *)
 let of_bytes (s : string) : hli_file =

@@ -22,6 +22,11 @@ type config = {
   hli_cache : string option;
       (** cache directory ([--hli-cache] / [HLI_CACHE]); [None]
           disables caching *)
+  hli_cache_max : int option;
+      (** size cap in bytes for the cache directory
+          ([--hli-cache-max-bytes] / [HLI_CACHE_MAX]); least-recently
+          used entries (by mtime) are trimmed on write; [None] means
+          unbounded *)
   remote : string option;
       (** hlid socket path; when set, every [With_hli] variant opens
           its own server session and imports/queries/maintains HLI
@@ -44,11 +49,22 @@ let hli_cache_env () =
   | None | Some "" -> None
   | Some dir -> Some dir
 
+(** Default cache size cap: the [HLI_CACHE_MAX] environment variable,
+    in bytes (absent, empty or non-positive values mean unbounded). *)
+let hli_cache_max_env () =
+  match Sys.getenv_opt "HLI_CACHE_MAX" with
+  | None | Some "" -> None
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n > 0 -> Some n
+      | _ -> None)
+
 let default_config =
   {
     specs = [];
     ablation = Driver.Variant.baseline;
     hli_cache = hli_cache_env ();
+    hli_cache_max = hli_cache_max_env ();
     remote = None;
     pipeline = 1;
     shm = false;
@@ -62,25 +78,36 @@ let config_of_passes ?(ablation = Driver.Variant.baseline) passes =
 (* On-disk HLI cache                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* The front-end pipeline is a pure function of the source text and the
-   ablation's TBLCONST options, so its serialized output can be keyed
-   by a content hash of exactly those inputs plus the container format
-   revision (a format bump must invalidate every old entry).  Entries
-   are whole HLI2 files: a hit replays Serialize.read_file (including
-   the structural validator) instead of analysis + TBLCONST. *)
+(* The cache is per {e function}: each entry is a single-entry HLI2
+   container keyed by the function's interprocedural fingerprint
+   ({!Analysis.Fingerprint} — body digest + transitive-callee REF/MOD
+   fingerprints + the program's pointer-constraint digest) plus the
+   TBLCONST options (ablation name) and the container format revision
+   (a format bump must invalidate every old entry).  An edit to one
+   function therefore re-analyzes only that function and the callers
+   whose fingerprints it feeds; every other function's entry is spliced
+   back from disk byte-identically.
 
-let cache_key ~(ablation : Driver.Variant.ablation) (src : string) =
+   The optional-pass spec ([--passes]) is deliberately NOT part of the
+   key: every selectable pass is a back-end pass (structural front-end
+   passes are rejected by [parse_specs]), runs strictly after the
+   cached front-end output is produced, and mutates only per-variant
+   copies of the entries — so two configurations differing only in
+   [--passes] share cache entries by construction.  [test_hli.ml]
+   holds a regression test pinning this. *)
+
+let cache_key ~(ablation : Driver.Variant.ablation) (fp : Digest.t) =
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
           [
             Hli_core.Serialize.format_version;
             ablation.Driver.Variant.ab_name;
-            src;
+            fp;
           ]))
 
-let cache_path dir ~ablation src =
-  Filename.concat dir (cache_key ~ablation src ^ ".hli")
+let cache_path dir ~ablation fp =
+  Filename.concat dir (cache_key ~ablation fp ^ ".hlie")
 
 let rec mkdir_p dir =
   if dir <> "" && not (Sys.file_exists dir) then begin
@@ -89,43 +116,86 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
-(* A hit must decode and validate cleanly; anything else (stale format,
-   truncation, bit-rot, races with a concurrent writer) is a miss that
-   regeneration will overwrite.  Counted per compilation into the
-   workload's telemetry record ([hli_cache_hits]/[hli_cache_misses],
-   surfaced by --stats and the hli-telemetry-v6 JSON dump). *)
-let cache_lookup ?tm dir ~ablation src =
-  match dir with
-  | None -> None
-  | Some dir -> (
-      let path = cache_path dir ~ablation src in
-      match
-        if Sys.file_exists path then
-          match Hli_core.Serialize.read_file path with
-          | f -> Some f.Hli_core.Tables.entries
-          | exception (Diagnostics.Diagnostic _ | Sys_error _) -> None
-        else None
-      with
-      | Some entries ->
-          Telemetry.count ?tm "hli_cache_hits";
-          Some entries
-      | None ->
-          Telemetry.count ?tm "hli_cache_misses";
-          None)
+(* A hit must decode and validate cleanly and carry exactly the one
+   unit it was keyed for; anything else (stale format, truncation,
+   bit-rot, races with a concurrent writer) is a miss that regeneration
+   will overwrite.  Hits are touched (mtime) so the size-cap trim below
+   evicts least-recently-used entries rather than oldest-written.
+   Counted per function into the workload's telemetry record
+   ([hli_cache_hits]/[hli_cache_misses], surfaced by --stats and the
+   hli-telemetry-v7 JSON dump). *)
+let cache_lookup ?tm dir ~ablation ~unit_name fp =
+  let path = cache_path dir ~ablation fp in
+  match
+    if Sys.file_exists path then
+      match Hli_core.Serialize.read_file path with
+      | { Hli_core.Tables.entries = [ e ] }
+        when e.Hli_core.Tables.unit_name = unit_name ->
+          (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+          Some e
+      | _ -> None
+      | exception (Diagnostics.Diagnostic _ | Sys_error _) -> None
+    else None
+  with
+  | Some e ->
+      Telemetry.count ?tm "hli_cache_hits";
+      Some e
+  | None ->
+      Telemetry.count ?tm "hli_cache_misses";
+      None
 
 (* Best-effort store: written to a temp file then renamed, so readers
    (including pool domains compiling concurrently) never observe a torn
    file; any I/O failure just means the next run regenerates. *)
-let cache_store dir ~ablation src entries =
-  match dir with
+let cache_store dir ~ablation fp entry =
+  try
+    mkdir_p dir;
+    let path = cache_path dir ~ablation fp in
+    let tmp = Filename.temp_file ~temp_dir:dir "hli-cache" ".tmp" in
+    Hli_core.Serialize.write_file tmp { Hli_core.Tables.entries = [ entry ] };
+    Sys.rename tmp path
+  with Sys_error _ -> ()
+
+(* Size cap: after a compile stores new entries, evict cache files by
+   ascending mtime until the directory fits the cap.  Freshly written
+   and freshly hit entries carry the newest mtimes, so a trim removes
+   the least-recently-used fingerprints — the ones an ongoing edit
+   storm has moved past.  Evictions are counted ([hli_cache_trims]).
+   Legacy whole-file [.hli] entries from the pre-per-function cache
+   count toward (and are trimmed under) the same cap. *)
+let cache_trim ?tm dir ~max_bytes =
+  match max_bytes with
   | None -> ()
-  | Some dir -> (
+  | Some cap -> (
       try
-        mkdir_p dir;
-        let path = cache_path dir ~ablation src in
-        let tmp = Filename.temp_file ~temp_dir:dir "hli-cache" ".tmp" in
-        Hli_core.Serialize.write_file tmp { Hli_core.Tables.entries };
-        Sys.rename tmp path
+        let files =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f ->
+                 Filename.check_suffix f ".hlie" || Filename.check_suffix f ".hli")
+          |> List.filter_map (fun f ->
+                 let path = Filename.concat dir f in
+                 match Unix.stat path with
+                 | { Unix.st_kind = Unix.S_REG; st_mtime; st_size; _ } ->
+                     Some (path, st_mtime, st_size)
+                 | _ -> None
+                 | exception Unix.Unix_error _ -> None)
+          |> List.sort (fun (_, ma, _) (_, mb, _) -> compare ma mb)
+        in
+        let total =
+          List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 files
+        in
+        ignore
+          (List.fold_left
+             (fun total (path, _, sz) ->
+               if total > cap then begin
+                 (try
+                    Sys.remove path;
+                    Telemetry.count ?tm "hli_cache_trims"
+                  with Sys_error _ -> ());
+                 total - sz
+               end
+               else total)
+             total files)
       with Sys_error _ -> ())
 
 type compiled = {
@@ -196,41 +266,93 @@ let build_hli_entries ?(opts = Hligen.Tblconst.default_options) ?tm prog =
     Table 2's measurement stream comes from exactly one pass (the
     {!Driver.Variant.stats_variant}, whose [stats] this record
     carries). *)
-let compile ?(config = default_config) ?src_file ?pool ?tm (src : string) :
-    compiled =
+(* The HLI-production phase on its own: parse/typecheck through
+   TBLCONST and serialization sizing, with the per-function cache in
+   front when [config.hli_cache] is set.  This is what an incremental
+   recompile pays per edited file — the back-end matrix consumes the
+   result identically whether it was replayed or rebuilt — so the
+   edit-storm benchmark times exactly this function. *)
+let frontend ?(config = default_config) ?src_file ?tm (src : string) :
+    Driver.Pass.hli =
   let spanf = spanf ?tm () in
   let fctx = Driver.Pass.ctx ~spanf ~ablation:config.ablation () in
   let ablation = config.ablation in
-  let h =
-    match
-      spanf.Driver.Pass.spanf "hli.cache" (fun () ->
-          cache_lookup ?tm config.hli_cache ~ablation src)
-    with
-    | Some entries ->
-        (* warm start: parse/typecheck still runs (the back end lowers
-           the TAST), but analysis + TBLCONST are replayed from disk.
-           h_bytes is recomputed from the identical entries, so Table 1
-           is byte-identical to a cold run. *)
+  match config.hli_cache with
+  | None -> Driver.Pass_manager.run_frontend fctx { Driver.Pass.src; src_file }
+  | Some dir ->
+        (* Per-function warm start: parse/typecheck always runs (the
+           back end lowers the TAST, and fingerprints are computed over
+           it), then each function's entry is either replayed from disk
+           (fingerprint hit) or rebuilt.  A fully warm compile skips
+           the analysis fixpoints entirely; a partial hit runs them
+           once and re-runs TBLCONST only for the stale functions,
+           splicing cached entries back in program order.  h_bytes is
+           recomputed from the identical entries, so Table 1 is
+           byte-identical to a cold run. *)
         let prog =
           Driver.Pass_manager.run_parse_typecheck fctx
             { Driver.Pass.src; src_file }
         in
+        let fps =
+          spanf.Driver.Pass.spanf "hli.fingerprint" (fun () ->
+              Analysis.Fingerprint.of_program prog)
+        in
+        let lookups =
+          spanf.Driver.Pass.spanf "hli.cache" (fun () ->
+              List.map
+                (fun (f : Srclang.Tast.func) ->
+                  let fp = Analysis.Fingerprint.func fps f.Srclang.Tast.name in
+                  ( f,
+                    fp,
+                    cache_lookup ?tm dir ~ablation
+                      ~unit_name:f.Srclang.Tast.name fp ))
+                prog.Srclang.Tast.funcs)
+        in
+        let missing = List.exists (fun (_, _, e) -> e = None) lookups in
+        if missing && List.exists (fun (_, _, e) -> e <> None) lookups then
+          Telemetry.count ?tm "hli_cache_partial_hits";
+        let entries =
+          if not missing then List.map (fun (_, _, e) -> Option.get e) lookups
+          else begin
+            let opts = Driver.Variant.tblconst_options ablation in
+            let tctx =
+              spanf.Driver.Pass.spanf "frontend.analysis" (fun () ->
+                  Hligen.Tblconst.make_context ~opts prog)
+            in
+            spanf.Driver.Pass.spanf "hligen.tblconst" (fun () ->
+                List.map
+                  (fun (f, fp, cached) ->
+                    match cached with
+                    | Some e -> e
+                    | None ->
+                        let e, _, _ = Hligen.Tblconst.build_unit tctx f in
+                        cache_store dir ~ablation fp e;
+                        e)
+                  lookups)
+          end
+        in
+        if missing then cache_trim ?tm dir ~max_bytes:config.hli_cache_max;
         let h_bytes =
           spanf.Driver.Pass.spanf "hli.serialize" (fun () ->
               Hli_core.Serialize.size_bytes { Hli_core.Tables.entries })
         in
         { Driver.Pass.h_prog = prog; h_entries = entries; h_bytes }
-    | None ->
-        let h =
-          Driver.Pass_manager.run_frontend fctx { Driver.Pass.src; src_file }
-        in
-        cache_store config.hli_cache ~ablation src h.Driver.Pass.h_entries;
-        h
-  in
+
+let compile ?(config = default_config) ?src_file ?pool ?tm (src : string) :
+    compiled =
+  let spanf = spanf ?tm () in
+  let h = frontend ~config ?src_file ?tm src in
   let hli = { Hli_core.Tables.entries = h.Driver.Pass.h_entries } in
   (* remote mode ships the locally produced container inline, so the
-     server answers over exactly the bytes Table 1 measures *)
-  let hli_wire = lazy (Hli_core.Serialize.to_bytes hli) in
+     server answers over exactly the bytes Table 1 measures.  Serialized
+     up front rather than under [lazy]: every remote variant reads it
+     from its own pool domain, and concurrently forcing one lazy from
+     two domains raises [CamlinternalLazy.Undefined]. *)
+  let hli_wire =
+    match config.remote with
+    | Some _ -> Hli_core.Serialize.to_bytes hli
+    | None -> ""
+  in
   let mk v =
     match config.remote with
     | Some socket when Driver.Variant.use_hli v ->
@@ -242,7 +364,7 @@ let compile ?(config = default_config) ?src_file ?pool ?tm (src : string) :
           ~finally:(fun () -> Hli_server.Client.close cl)
           (fun () ->
             let opened =
-              Hli_server.Client.open_hli_bytes cl (Lazy.force hli_wire)
+              Hli_server.Client.open_hli_bytes cl hli_wire
             in
             let remote = Remote.hooks_of_client cl opened in
             let ctx =

@@ -268,6 +268,10 @@ let stats_table (rows : row list) =
   in
   line (Printf.sprintf "%-20s %12d" "hli_cache_hits" (sum "hli_cache_hits"));
   line (Printf.sprintf "%-20s %12d" "hli_cache_misses" (sum "hli_cache_misses"));
+  line
+    (Printf.sprintf "%-20s %12d" "hli_cache_partial"
+       (sum "hli_cache_partial_hits"));
+  line (Printf.sprintf "%-20s %12d" "hli_cache_trims" (sum "hli_cache_trims"));
   Buffer.contents buf
 
 (** Machine-readable dump: schema {!Telemetry.schema_version}
@@ -282,7 +286,9 @@ let stats_table (rows : row list) =
     [?server] carries the hlid telemetry JSON of a [--remote] run
     ([null] otherwise); v6 added the [shm] object — [?shm] carries
     the shared-memory fast-path counters of a [--shm] run as a
-    preformatted JSON object ([null] otherwise). *)
+    preformatted JSON object ([null] otherwise); v7 made the
+    [hli_cache] counters per-function and added its
+    [partial_hits]/[trims] fields. *)
 let stats_json ?server ?shm (rows : row list) =
   let b = Buffer.create 4096 in
   Buffer.add_string b
@@ -305,8 +311,10 @@ let stats_json ?server ?shm (rows : row list) =
     List.fold_left (fun acc r -> acc + Telemetry.counter r.tm name) 0 rows
   in
   Buffer.add_string b
-    (Printf.sprintf "},\"hli_cache\":{\"hits\":%d,\"misses\":%d"
-       (sum "hli_cache_hits") (sum "hli_cache_misses"));
+    (Printf.sprintf
+       "},\"hli_cache\":{\"hits\":%d,\"misses\":%d,\"partial_hits\":%d,\"trims\":%d"
+       (sum "hli_cache_hits") (sum "hli_cache_misses")
+       (sum "hli_cache_partial_hits") (sum "hli_cache_trims"));
   Buffer.add_string b "},\"workloads\":[";
   List.iteri
     (fun i r ->

@@ -163,8 +163,13 @@ let to_json (t : t) = "{" ^ json_fragment t ^ "}"
     runs); v6 added the top-level [shm] object (shared-memory fast
     path: segment maps, seqlock generation retries, wire fallbacks,
     mapped segment bytes — [null] unless a co-located [--shm] session
-    ran) and, inside [server], the [shm] publish/rebuild counters. *)
-let schema_version = "hli-telemetry-v6"
+    ran) and, inside [server], the [shm] publish/rebuild counters; v7
+    made the HLI cache per-function — [hli_cache_hits]/[hli_cache_misses]
+    now count function entries rather than whole files — and added the
+    [hli_cache_partial_hits] (compiles that mixed hits and misses) and
+    [hli_cache_trims] (entries evicted by [--hli-cache-max-bytes])
+    counters plus the [hli.fingerprint] span. *)
+let schema_version = "hli-telemetry-v7"
 
 (* first "schema" key in the dump (the emitters put it first) and its
    string value, scanned tolerantly so a pretty-printed dump still

@@ -102,7 +102,7 @@ let shm_stats () =
     segment_bytes = Atomic.get sc_bytes;
   }
 
-(* canonical rendering of the telemetry "shm" object (hli-telemetry-v6) *)
+(* canonical rendering of the telemetry "shm" object (hli-telemetry-v7) *)
 let shm_stats_json () =
   let s = shm_stats () in
   Printf.sprintf
@@ -270,8 +270,56 @@ let fetch_shm_list cl =
     | _ -> net_raise "E1105" "unexpected response to Shm_list"
   end
 
+(* like [rpc] but hands back R_error frames instead of raising, so the
+   delta open below can tell a clean in-sequence rejection (safe to
+   resync over the same socket) from a transport fault (not safe) *)
+let rpc_raw cl (req : P.request) : P.response =
+  drain cl;
+  send cl req;
+  match P.recv_response ~max_frame:cl.max_frame ~timeout:cl.timeout cl.rd with
+  | resp -> resp
+  | exception S.Corrupt c ->
+      raise (Diagnostics.Diagnostic (P.diagnostic_of_fault c))
+
+(* Delta open: reference every entry by content hash, ship only what
+   the server's cross-session store lacks.  Returns [None] when the
+   exchange was answered cleanly but unsuccessfully (an R_error or an
+   unexpected reply type) — the reply stream is still aligned, so the
+   caller resyncs with a full upload over the same session and the
+   answer is never wrong, only slower.  Transport faults (corrupt
+   frame, EOF, timeout) raise as usual: the socket can't be trusted
+   for a resync. *)
+let try_open_delta cl bytes : (string * int list) list option =
+  match S.split_container bytes with
+  | exception S.Corrupt _ ->
+      (* not a splittable HLI2 container: ship it whole and let the
+         server answer authoritatively (its R_error carries the precise
+         E06xx code the caller expects) *)
+      None
+  | split -> (
+  let refs =
+    List.map (fun (name, p) -> (name, S.entry_hash_of_payload p)) split
+  in
+  match rpc_raw cl (P.Open_delta refs) with
+  | P.R_opened l -> Some l
+  | P.R_delta_need idxs -> (
+      let payloads = Array.of_list (List.map snd split) in
+      let n = Array.length payloads in
+      if List.exists (fun i -> i < 0 || i >= n) idxs then None
+      else
+        match
+          rpc_raw cl (P.Delta_fill (List.map (Array.get payloads) idxs))
+        with
+        | P.R_opened l -> Some l
+        | _ -> None)
+  | _ -> None)
+
 let open_hli_bytes cl bytes =
-  let opened = expect_opened (rpc cl (P.Open_hli bytes)) in
+  let opened =
+    match try_open_delta cl bytes with
+    | Some l -> l
+    | None -> expect_opened (rpc cl (P.Open_hli bytes))
+  in
   cl.shm_hash <- Digest.string bytes;
   fetch_shm_list cl;
   opened

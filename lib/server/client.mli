@@ -47,8 +47,14 @@ val pending : t -> int
 (** In-flight frames awaiting replies (0 unless pipelining). *)
 
 val open_hli_bytes : t -> string -> (string * int list) list
-(** Ship HLI2 container bytes inline; the server validates and opens
-    them.  Returns, per unit, its name and duplicate item ids. *)
+(** Open an HLI2 container on the session, shipping as little as
+    possible: entries are referenced by content hash ([Open_delta])
+    and only the ones the server's cross-session store lacks are
+    uploaded ([Delta_fill]).  A delta exchange the server answers
+    cleanly but unsuccessfully is resynced with a full [Open_hli]
+    upload over the same session — never a wrong answer, only a
+    slower one; transport faults raise as usual.  Returns, per unit,
+    its name and duplicate item ids. *)
 
 val open_path : t -> string -> (string * int list) list
 (** Have the server load and validate an HLI2 file from its own
@@ -104,7 +110,7 @@ val shm_active : t -> string -> bool
 (** [true] iff shm mode is on and the named unit has an advertised
     segment (mapped lazily on first lookup). *)
 
-(** Process-wide shm counters (the telemetry v6 ["shm"] object). *)
+(** Process-wide shm counters (the telemetry ["shm"] object). *)
 type shm_stats = {
   maps : int;  (** segment mappings established (remaps included) *)
   generation_retries : int;  (** lookups retried under the seqlock *)
@@ -115,7 +121,7 @@ type shm_stats = {
 val shm_stats : unit -> shm_stats
 
 val shm_stats_json : unit -> string
-(** The counters rendered as the canonical hli-telemetry-v6 ["shm"]
+(** The counters rendered as the canonical hli-telemetry-v7 ["shm"]
     JSON object. *)
 
 (** {2 Maintenance notifications} — each invalidates the named unit's

@@ -33,9 +33,14 @@ module Q = Hli_core.Query
 
 (* v2: R_hello advertises the session's shm segment directory and the
    Shm_list/R_shm_list frame pair enumerates published HLIX segments
-   (the co-located shared-memory fast path).  v1 peers are rejected
-   with E1111 as before — the version is checked first on both ends. *)
-let protocol_version = 2
+   (the co-located shared-memory fast path).  v3: delta uploads — an
+   Open_delta frame references per-function entries by content hash
+   against the server's cross-session entry store, R_delta_need lists
+   the hashes the server lacks, and Delta_fill ships exactly those
+   payloads; a session re-opening an edited program uploads only the
+   entries that changed.  Older peers are rejected with E1111 as
+   before — the version is checked first on both ends. *)
+let protocol_version = 3
 
 (** Bound on a frame's payload length, checked {e before} the payload
     is read or allocated. *)
@@ -87,6 +92,15 @@ type request =
   | Shm_list
       (** enumerate the HLIX segments published for this session's
           opened units (shared-memory fast path; DESIGN.md §8) *)
+  | Open_delta of (string * string) list
+      (** open by reference: per entry, its unit name and the 16-byte
+          content hash of its HLI2 payload ({!S.entry_hash}).  Entries
+          the server already holds (from any prior session) are reused;
+          the rest are requested back via {!R_delta_need} and shipped
+          with {!Delta_fill} *)
+  | Delta_fill of string list
+      (** the entry payloads an {!R_delta_need} asked for, in the
+          listed order; only valid while its [Open_delta] is pending *)
 
 type response =
   | R_hello of { version : int; shm_dir : string option }
@@ -104,6 +118,10 @@ type response =
   | R_closing
   | R_shm_list of (string * string) list
       (** per published unit: name and HLIX segment path *)
+  | R_delta_need of int list
+      (** positions (into the [Open_delta] list) of the entries the
+          server's store lacks; empty never occurs — a fully known
+          delta open is answered with {!R_opened} directly *)
   | R_error of { e_code : string; e_msg : string }
 
 (* ------------------------------------------------------------------ *)
@@ -202,8 +220,10 @@ let request_tag = function
   | Stats -> 0x0b
   | Close -> 0x0c
   | Shm_list -> 0x0d
+  | Open_delta _ -> 0x0e
+  | Delta_fill _ -> 0x0f
 
-let is_request_tag t = t >= 0x01 && t <= 0x0d
+let is_request_tag t = t >= 0x01 && t <= 0x0f
 
 let response_tag = function
   | R_hello _ -> 0x81
@@ -217,9 +237,10 @@ let response_tag = function
   | R_stats _ -> 0x89
   | R_closing -> 0x8a
   | R_shm_list _ -> 0x8b
+  | R_delta_need _ -> 0x8c
   | R_error _ -> 0xff
 
-let is_response_tag t = (t >= 0x81 && t <= 0x8b) || t = 0xff
+let is_response_tag t = (t >= 0x81 && t <= 0x8c) || t = 0xff
 
 let frame tag payload =
   let buf = Buffer.create (String.length payload + 12) in
@@ -252,7 +273,14 @@ let request_payload (r : request) : string =
       S.put_varint buf rid;
       S.put_varint buf factor
   | Refresh u | Line_table u -> S.put_string buf u
-  | Stats | Close | Shm_list -> ());
+  | Stats | Close | Shm_list -> ()
+  | Open_delta refs ->
+      S.put_list buf
+        (fun b (name, hash) ->
+          S.put_string b name;
+          S.put_string b hash)
+        refs
+  | Delta_fill payloads -> S.put_list buf S.put_string payloads);
   Buffer.contents buf
 
 (* append the framed request to [buf] without building the
@@ -296,6 +324,7 @@ let response_payload (r : response) : string =
           S.put_string b name;
           S.put_string b path)
         segs
+  | R_delta_need idxs -> S.put_list buf S.put_varint idxs
   | R_error { e_code; e_msg } ->
       S.put_string buf e_code;
       S.put_string buf e_msg);
@@ -440,6 +469,17 @@ let decode_request_payload tag cur : request =
   | 0x0b -> Stats
   | 0x0c -> Close
   | 0x0d -> Shm_list
+  | 0x0e ->
+      Open_delta
+        (S.get_list cur (fun cur ->
+             let name = S.get_string cur in
+             let hash = S.get_string cur in
+             if String.length hash <> 16 then
+               err ~at:cur.S.pos "E1105"
+                 "entry hash of %d bytes (want 16, an MD5 digest)"
+                 (String.length hash);
+             (name, hash)))
+  | 0x0f -> Delta_fill (S.get_list cur S.get_string)
   | _ -> assert false (* tag validated by the framing layer *)
 
 let decode_response_payload tag cur : response =
@@ -468,6 +508,7 @@ let decode_response_payload tag cur : response =
         (S.get_list cur (fun cur ->
              let name = S.get_string cur in
              (name, S.get_string cur)))
+  | 0x8c -> R_delta_need (S.get_list cur S.get_varint)
   | 0xff ->
       let e_code = S.get_string cur in
       R_error { e_code; e_msg = S.get_string cur }

@@ -54,6 +54,14 @@ type request =
   | Shm_list
       (** enumerate the HLIX segments published for this session's
           opened units (shared-memory fast path; DESIGN.md §8) *)
+  | Open_delta of (string * string) list
+      (** open by reference: per entry, its unit name and the 16-byte
+          content hash of its HLI2 payload.  Known entries are reused
+          from the server's cross-session store; missing ones are
+          requested via [R_delta_need] and shipped with [Delta_fill] *)
+  | Delta_fill of string list
+      (** the entry payloads an [R_delta_need] asked for, in the listed
+          order; only valid while its [Open_delta] is pending *)
 
 type response =
   | R_hello of { version : int; shm_dir : string option }
@@ -71,6 +79,9 @@ type response =
   | R_closing
   | R_shm_list of (string * string) list
       (** per published unit: name and HLIX segment path *)
+  | R_delta_need of int list
+      (** positions (into the [Open_delta] list) of the entries the
+          server's store lacks *)
   | R_error of { e_code : string; e_msg : string }
 
 (** {2 Pure frame codec} — used directly by the fuzz harness. *)

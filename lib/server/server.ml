@@ -52,6 +52,9 @@ type config = {
       (** when set, publish one HLIX segment per opened unit under
           [shm_dir]/sess-<id>/ so co-located clients can answer
           read-only queries straight off an mmap (DESIGN.md §8) *)
+  store_cap : int;
+      (** byte bound on the cross-session entry store (delta uploads);
+          oldest-inserted entries are evicted past it *)
 }
 
 let default_config ~socket_path =
@@ -62,10 +65,11 @@ let default_config ~socket_path =
     idle_timeout = 0.2;
     request_timeout = P.default_timeout;
     shm_dir = None;
+    store_cap = 256 * 1024 * 1024;
   }
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry (hli-telemetry-v6 "server" object)                        *)
+(* Telemetry (hli-telemetry-v7 "server" object)                        *)
 (* ------------------------------------------------------------------ *)
 
 let lat_cap = 8192
@@ -89,6 +93,10 @@ type stats = {
   mutable st_timeouts : int;
   mutable st_shm_publishes : int;
   mutable st_shm_rebuilds : int;
+  mutable st_delta_opens : int;
+  mutable st_delta_reused : int;  (** entries served from the store *)
+  mutable st_delta_filled : int;  (** entries shipped by Delta_fill *)
+  mutable st_refresh_skips : int;  (** Refresh barriers on clean units *)
   st_lat : float array;  (** service latencies, seconds; ring buffer *)
   mutable st_lat_n : int;  (** total recorded (may exceed the cap) *)
   mutable st_per_session : (int * int * int) list;
@@ -114,6 +122,10 @@ let fresh_stats () =
     st_timeouts = 0;
     st_shm_publishes = 0;
     st_shm_rebuilds = 0;
+    st_delta_opens = 0;
+    st_delta_reused = 0;
+    st_delta_filled = 0;
+    st_refresh_skips = 0;
     st_lat = Array.make lat_cap 0.0;
     st_lat_n = 0;
     st_per_session = [];
@@ -128,6 +140,11 @@ type unit_state = {
   mutable us_idx : Q.index;  (** replaced at [Refresh], like a commit *)
   us_hash : string;  (** 16-byte digest of the source HLI2 container *)
   mutable us_pub : Shm.pub option;  (** published HLIX segment, if any *)
+  mutable us_dirty : bool;
+      (** maintenance ops since the last commit; a [Refresh] on a
+          clean unit skips the commit, index rebuild and shm rebuild
+          entirely, leaving the published segment byte-identical
+          (generation word included) *)
 }
 
 (* Work items flow poller -> per-connection queue -> one worker.  The
@@ -154,6 +171,12 @@ type conn = {
       (** when the first byte of the current partial frame arrived;
           0.0 = no partial frame pending *)
   c_units : (string, unit_state) Hashtbl.t;  (** worker-only *)
+  mutable c_delta : ((string * string) array * int list) option;
+      (** pending [Open_delta] (the (name, hash) refs and the missing
+          positions an [R_delta_need] listed), awaiting its
+          [Delta_fill]; cleared by any other request (the client
+          abandoned the delta — e.g. resynced with a full upload).
+          Worker-only. *)
   c_lock : Mutex.t;  (** guards c_work / c_scheduled / c_state *)
   c_work : work Queue.t;
   mutable c_scheduled : bool;  (** a worker owns the queue right now *)
@@ -168,9 +191,19 @@ type t = {
   stop : bool Atomic.t;
   pool : Pool.t;
   active : int Atomic.t;  (** un-reaped connections *)
-  mutex : Mutex.t;  (** guards [st] and [conns] *)
+  mutex : Mutex.t;  (** guards [st], [conns] and the entry store *)
   st : stats;
   mutable conns : conn list;
+  (* Cross-session content-addressed entry store backing delta
+     uploads: entry payload keyed by its 16-byte content hash.  Every
+     successful open (full or delta) feeds it, so a session re-opening
+     an edited program only ships the entries whose hashes the store
+     has never seen.  Bounded: oldest-inserted entries are evicted
+     once [entry_store_cap] bytes accumulate (a miss only costs the
+     client a re-upload). *)
+  store : (string, string) Hashtbl.t;
+  store_q : string Queue.t;  (** insertion order, for eviction *)
+  mutable store_bytes : int;
   wake_r : Unix.file_descr;  (** self-pipe: workers/signals wake the poller *)
   wake_w : Unix.file_descr;
 }
@@ -185,6 +218,26 @@ let wake t =
   try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
   with Unix.Unix_error _ -> ()
 
+(* the table and queue move together under [t.mutex]: a hash is in the
+   table iff it appears exactly once in the queue *)
+let store_put t hash payload =
+  locked t @@ fun () ->
+  if not (Hashtbl.mem t.store hash) then begin
+    Hashtbl.replace t.store hash payload;
+    Queue.add hash t.store_q;
+    t.store_bytes <- t.store_bytes + String.length payload;
+    while t.store_bytes > t.cfg.store_cap && not (Queue.is_empty t.store_q) do
+      let h = Queue.pop t.store_q in
+      match Hashtbl.find_opt t.store h with
+      | Some p ->
+          Hashtbl.remove t.store h;
+          t.store_bytes <- t.store_bytes - String.length p
+      | None -> ()
+    done
+  end
+
+let store_get t hash = locked t @@ fun () -> Hashtbl.find_opt t.store hash
+
 let record_latency t dt =
   t.st.st_lat.(t.st.st_lat_n mod lat_cap) <- dt;
   t.st.st_lat_n <- t.st.st_lat_n + 1
@@ -197,7 +250,7 @@ let percentile_ns sorted p =
     int_of_float (sorted.(max 0 i) *. 1e9)
 
 (** The server-side telemetry object embedded as the ["server"] field
-    of an hli-telemetry-v6 dump (and answered to a [Stats] frame). *)
+    of an hli-telemetry-v7 dump (and answered to a [Stats] frame). *)
 let stats_json t =
   locked t @@ fun () ->
   let s = t.st in
@@ -212,6 +265,8 @@ let stats_json t =
         \"alias\":%d,\"lcdd\":%d,\"call_acc\":%d,\"region_of_item\":%d,\
         \"hoist_target\":%d},\"latency_ns\":{\"samples\":%d,\"p50\":%d,\
         \"p99\":%d},\"shm\":{\"publishes\":%d,\"rebuilds\":%d},\
+        \"delta\":{\"opens\":%d,\"entries_reused\":%d,\
+        \"entries_filled\":%d},\"refresh_skips\":%d,\
         \"per_session\":["
        s.st_sessions s.st_active s.st_frames s.st_rejected s.st_timeouts
        s.st_batches s.st_batch_max s.st_maintenance s.st_queries s.st_q_equiv
@@ -219,7 +274,8 @@ let stats_json t =
        s.st_lat_n
        (percentile_ns sorted 0.50)
        (percentile_ns sorted 0.99)
-       s.st_shm_publishes s.st_shm_rebuilds);
+       s.st_shm_publishes s.st_shm_rebuilds s.st_delta_opens s.st_delta_reused
+       s.st_delta_filled s.st_refresh_skips);
   List.iteri
     (fun i (id, frames, queries) ->
       if i > 0 then Buffer.add_char b ',';
@@ -316,7 +372,13 @@ let open_file t (c : conn) ~hash (f : T.hli_file) : P.response =
           | None -> None
         in
         Hashtbl.replace units e.T.unit_name
-          { us_mt = mt; us_idx = idx; us_hash = hash; us_pub = pub };
+          {
+            us_mt = mt;
+            us_idx = idx;
+            us_hash = hash;
+            us_pub = pub;
+            us_dirty = false;
+          };
         (e.T.unit_name, Q.duplicate_items idx))
       f.T.entries
   in
@@ -330,9 +392,46 @@ let bump_query_kind st = function
   | P.Q_region_of _ -> st.st_q_region <- st.st_q_region + 1
   | P.Q_hoist_target _ -> st.st_q_hoist <- st.st_q_hoist + 1
 
+(* decode + validate + open a full HLI2 container, and seed the entry
+   store so later sessions can delta-open against these entries *)
+let open_container_bytes t (c : conn) bytes : P.response =
+  match S.of_bytes bytes with
+  | exception S.Corrupt cor ->
+      P.R_error { e_code = cor.S.c_code; e_msg = S.corruption_to_string cor }
+  | f -> (
+      match Hli_core.Validate.validate f with
+      | () ->
+          let resp = open_file t c ~hash:(Digest.string bytes) f in
+          (try
+             List.iter
+               (fun (_, p) -> store_put t (S.entry_hash_of_payload p) p)
+               (S.split_container bytes)
+           with S.Corrupt _ -> ());
+          resp
+      | exception Diagnostics.Diagnostic d ->
+          P.R_error
+            { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message })
+
+(* resolve every referenced entry out of the store; a reference
+   evicted since the scan is a state error the client answers with a
+   full-upload resync *)
+let delta_payloads t (refs : (string * string) array) : string list =
+  Array.to_list
+    (Array.map
+       (fun (name, h) ->
+         match store_get t h with
+         | Some p -> p
+         | None ->
+             reply_error "E1106" "entry %S evicted mid-open; resend in full"
+               name)
+       refs)
+
 (* handle one request; returns (response, keep_connection_open) *)
 let handle t (c : conn) (req : P.request) : P.response * bool =
   let units = c.c_units in
+  (* any request other than the fill abandons a pending delta open
+     (the client fell back to a full upload, or gave up) *)
+  (match req with P.Delta_fill _ -> () | _ -> c.c_delta <- None);
   match req with
   | P.Hello { version } ->
       if version <> P.protocol_version then
@@ -348,18 +447,54 @@ let handle t (c : conn) (req : P.request) : P.response * bool =
         ( P.R_hello
             { version = P.protocol_version; shm_dir = session_shm_dir t c },
           true )
-  | P.Open_hli bytes -> (
-      match S.of_bytes bytes with
-      | exception S.Corrupt c ->
-          ( P.R_error { e_code = c.S.c_code; e_msg = S.corruption_to_string c },
-            true )
-      | f -> (
-          match Hli_core.Validate.validate f with
-          | () -> (open_file t c ~hash:(Digest.string bytes) f, true)
-          | exception Diagnostics.Diagnostic d ->
-              ( P.R_error
-                  { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
-                true )))
+  | P.Open_hli bytes -> (open_container_bytes t c bytes, true)
+  | P.Open_delta refs ->
+      if Hashtbl.length units > 0 then
+        reply_error "E1106" "session already has an HLI open";
+      let arr = Array.of_list refs in
+      let missing = ref [] in
+      Array.iteri
+        (fun i (_, h) -> if store_get t h = None then missing := i :: !missing)
+        arr;
+      let missing = List.rev !missing in
+      locked t (fun () ->
+          let st = t.st in
+          st.st_delta_opens <- st.st_delta_opens + 1;
+          st.st_delta_reused <-
+            st.st_delta_reused + (Array.length arr - List.length missing));
+      if missing = [] then
+        (open_container_bytes t c (S.container_of_payloads (delta_payloads t arr)),
+         true)
+      else begin
+        c.c_delta <- Some (arr, missing);
+        (P.R_delta_need missing, true)
+      end
+  | P.Delta_fill payloads -> (
+      match c.c_delta with
+      | None -> reply_error "E1106" "Delta_fill without a pending Open_delta"
+      | Some (arr, missing) ->
+          c.c_delta <- None;
+          let n_miss = List.length missing
+          and n_got = List.length payloads in
+          if n_miss <> n_got then
+            reply_error "E1106"
+              "Delta_fill carries %d payloads for %d missing entries" n_got
+              n_miss;
+          List.iter2
+            (fun i p ->
+              let name, claimed = arr.(i) in
+              if S.entry_hash_of_payload p <> claimed then
+                reply_error "E1105"
+                  "entry %S: payload hash differs from its Open_delta \
+                   reference"
+                  name;
+              store_put t claimed p)
+            missing payloads;
+          locked t (fun () ->
+              t.st.st_delta_filled <- t.st.st_delta_filled + n_got);
+          ( open_container_bytes t c
+              (S.container_of_payloads (delta_payloads t arr)),
+            true ))
   | P.Open_path path -> (
       match S.read_file path with
       | f ->
@@ -402,21 +537,25 @@ let handle t (c : conn) (req : P.request) : P.response * bool =
       (P.R_results answers, true)
   | P.Notify_delete { u; item } ->
       let us = find_unit units u in
+      us.us_dirty <- true;
       M.delete_item us.us_mt item;
       locked t (fun () -> t.st.st_maintenance <- t.st.st_maintenance + 1);
       (P.R_ack, true)
   | P.Notify_gen { u; like; line } ->
       let us = find_unit units u in
+      us.us_dirty <- true;
       let id = M.gen_item us.us_mt ~like ~line in
       locked t (fun () -> t.st.st_maintenance <- t.st.st_maintenance + 1);
       (P.R_gen id, true)
   | P.Notify_move { u; item; target_rid } ->
       let us = find_unit units u in
+      us.us_dirty <- true;
       let moved = M.move_item_outward us.us_mt ~item ~target_rid in
       locked t (fun () -> t.st.st_maintenance <- t.st.st_maintenance + 1);
       (P.R_moved moved, true)
   | P.Notify_unroll { u; rid; factor } -> (
       let us = find_unit units u in
+      us.us_dirty <- true;
       locked t (fun () -> t.st.st_maintenance <- t.st.st_maintenance + 1);
       match M.unroll us.us_mt ~rid ~factor with
       | r -> (P.R_unrolled r, true)
@@ -426,6 +565,17 @@ let handle t (c : conn) (req : P.request) : P.response * bool =
             true ))
   | P.Refresh u ->
       let us = find_unit units u in
+      if not us.us_dirty then begin
+        (* clean unit: the committed state cannot have changed, so the
+           barrier is a no-op — the index stays, and the published shm
+           segment is left byte-identical (its generation word never
+           moves, which co-located readers rely on to skip
+           revalidation) *)
+        locked t (fun () -> t.st.st_refresh_skips <- t.st.st_refresh_skips + 1);
+        (P.R_ack, true)
+      end
+      else begin
+      us.us_dirty <- false;
       let _entry, idx = M.commit us.us_mt in
       us.us_idx <- idx;
       M.watch us.us_mt idx;
@@ -443,6 +593,7 @@ let handle t (c : conn) (req : P.request) : P.response * bool =
             us.us_pub <- None)
       | None -> ());
       (P.R_ack, true)
+      end
   | P.Line_table u ->
       let us = find_unit units u in
       (P.R_line_table us.us_mt.M.entry.T.line_table, true)
@@ -720,6 +871,9 @@ let create (cfg : config) : t =
     mutex = Mutex.create ();
     st = fresh_stats ();
     conns = [];
+    store = Hashtbl.create 256;
+    store_q = Queue.create ();
+    store_bytes = 0;
     wake_r;
     wake_w;
   }
@@ -750,6 +904,7 @@ let accept_loop t =
             c_len = 0;
             c_frame_since = 0.0;
             c_units = Hashtbl.create 8;
+            c_delta = None;
             c_lock = Mutex.create ();
             c_work = Queue.create ();
             c_scheduled = false;

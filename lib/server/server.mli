@@ -35,12 +35,16 @@ type config = {
           [shm_dir]/sess-<id>/, advertised in the Hello response, and
           rebuilt under the seqlock protocol at every [Refresh]
           barrier (DESIGN.md §8) *)
+  store_cap : int;
+      (** byte bound on the cross-session content-addressed entry
+          store backing delta uploads; oldest-inserted entries are
+          evicted past it (a miss only costs a client a re-upload) *)
 }
 
 val default_config : socket_path:string -> config
 (** [jobs = max 8 (Pool.default_jobs ())],
     [max_frame = Protocol.default_max_frame], 0.2s idle poll, 30s
-    request timeout, no shm dir. *)
+    request timeout, no shm dir, 256 MiB entry store. *)
 
 type t
 
@@ -65,6 +69,6 @@ val stats_json : t -> string
     per-query-kind counts, maintenance ops, rejected and timed-out
     frames, p50/p99 service latency (ns), capped per-session
     summaries.  Embedded as the ["server"] field of an
-    hli-telemetry-v6 dump, and answered to a [Stats] frame. *)
+    hli-telemetry-v7 dump, and answered to a [Stats] frame. *)
 
 val socket_path : t -> string

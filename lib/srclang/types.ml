@@ -64,3 +64,21 @@ let rec pp ppf = function
   | Tarray (t, n) -> Fmt.pf ppf "%a[%d]" pp t n
 
 let to_string t = Fmt.str "%a" pp t
+
+(** Append a compact structural encoding of the type to [b].  Injective
+    like [to_string] but allocation-free — fingerprint walks
+    ({!Analysis.Fingerprint}, {!Analysis.Refmod}) run it on every AST
+    node, where a formatter round-trip per node dominates the whole
+    digest. *)
+let rec digest_into b = function
+  | Tvoid -> Buffer.add_char b 'V'
+  | Tint -> Buffer.add_char b 'I'
+  | Tdouble -> Buffer.add_char b 'D'
+  | Tptr t ->
+      Buffer.add_char b 'P';
+      digest_into b t
+  | Tarray (t, n) ->
+      Buffer.add_char b 'A';
+      Buffer.add_string b (string_of_int n);
+      Buffer.add_char b ':';
+      digest_into b t

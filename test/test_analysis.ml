@@ -380,6 +380,67 @@ let pointsto_tests =
           (Pointsto.points_to pt psym = Pointsto.Universe));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Interprocedural fingerprints (the HLI cache key)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* leaf's REF/MOD skeleton is a global write; caller calls leaf; lone
+   is unrelated.  The edits below probe exactly the propagation rules
+   the per-function cache relies on. *)
+let fp_src body =
+  "int g;\n"
+  ^ Printf.sprintf "int leaf(int n) { %s }\n" body
+  ^ "int caller(int n) { return leaf(n + 1); }\n"
+  ^ "int lone(int n) { return n * 3; }\n"
+  ^ "int main() { return caller(2) + lone(1); }\n"
+
+let fps_of body =
+  Fingerprint.of_program (Typecheck.program_of_string (fp_src body))
+
+let fingerprint_tests =
+  [
+    Alcotest.test_case "deterministic across identical programs" `Quick
+      (fun () ->
+        let a = fps_of "g = n; return n + 1;" in
+        let b = fps_of "g = n; return n + 1;" in
+        List.iter
+          (fun f ->
+            Alcotest.(check string)
+              f
+              (Fingerprint.func_hex a f)
+              (Fingerprint.func_hex b f))
+          [ "leaf"; "caller"; "lone"; "main" ]);
+    Alcotest.test_case "constant edit stays intraprocedural" `Quick (fun () ->
+        (* a body tweak that leaves leaf's access skeleton alone must
+           invalidate leaf and nothing else — this is the fan-in bound
+           the edit-storm numbers depend on *)
+        let a = fps_of "g = n; return n + 1;" in
+        let b = fps_of "g = n; return n + 2;" in
+        Alcotest.(check bool) "leaf changes" false
+          (Fingerprint.func_hex a "leaf" = Fingerprint.func_hex b "leaf");
+        Alcotest.(check string) "caller stable"
+          (Fingerprint.func_hex a "caller")
+          (Fingerprint.func_hex b "caller");
+        Alcotest.(check string) "lone stable"
+          (Fingerprint.func_hex a "lone")
+          (Fingerprint.func_hex b "lone"));
+    Alcotest.test_case "callee REF/MOD edit invalidates the caller" `Quick
+      (fun () ->
+        (* dropping the global write changes leaf's direct REF/MOD
+           skeleton, which feeds every transitive caller's key *)
+        let a = fps_of "g = n; return n + 1;" in
+        let b = fps_of "return n + 1;" in
+        Alcotest.(check bool) "leaf changes" false
+          (Fingerprint.func_hex a "leaf" = Fingerprint.func_hex b "leaf");
+        Alcotest.(check bool) "caller changes" false
+          (Fingerprint.func_hex a "caller" = Fingerprint.func_hex b "caller");
+        Alcotest.(check bool) "main changes transitively" false
+          (Fingerprint.func_hex a "main" = Fingerprint.func_hex b "main");
+        Alcotest.(check string) "lone stable"
+          (Fingerprint.func_hex a "lone")
+          (Fingerprint.func_hex b "lone"));
+  ]
+
 let () =
   Alcotest.run "analysis"
     [
@@ -388,4 +449,5 @@ let () =
       ("deptest", deptest_tests);
       ("section", section_tests);
       ("interprocedural", pointsto_tests);
+      ("fingerprint", fingerprint_tests);
     ]

@@ -512,6 +512,137 @@ let duplicate_tests =
           (Hli_core.Query.duplicate_items idx));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The per-function on-disk cache (Harness.Pipeline)                   *)
+(* ------------------------------------------------------------------ *)
+
+let cache_src mid =
+  "int g;\n"
+  ^ Printf.sprintf "int leaf(int n) { g = g + n; return n + %d; }\n" mid
+  ^ "int caller(int n) { return leaf(n) + 1; }\n"
+  ^ "int lone(int n) { return n * 7; }\n"
+  ^ "int main() { return caller(2) + lone(3); }\n"
+
+let with_cache_dir f =
+  let dir =
+    Filename.temp_file "hli-cache-test" ""
+  in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let cache_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".hlie")
+  |> List.sort compare
+
+let frontend_bytes ?config src =
+  let h = Harness.Pipeline.frontend ?config src in
+  Hli_core.Serialize.to_bytes { T.entries = h.Driver.Pass.h_entries }
+
+let cache_config ?(max = None) dir =
+  { Harness.Pipeline.default_config with hli_cache = Some dir; hli_cache_max = max }
+
+let cache_tests =
+  [
+    Alcotest.test_case "warm replay is byte-identical, entry-per-function"
+      `Quick (fun () ->
+        with_cache_dir (fun dir ->
+            let config = cache_config dir in
+            let uncached = frontend_bytes (cache_src 1) in
+            let cold = frontend_bytes ~config (cache_src 1) in
+            Alcotest.(check int) "one entry file per function" 4
+              (List.length (cache_files dir));
+            let warm = frontend_bytes ~config (cache_src 1) in
+            Alcotest.(check bool) "cold == uncached" true (cold = uncached);
+            Alcotest.(check bool) "warm == uncached" true (warm = uncached);
+            Alcotest.(check int) "warm writes nothing" 4
+              (List.length (cache_files dir))));
+    Alcotest.test_case "a one-function edit rebuilds one entry" `Quick
+      (fun () ->
+        with_cache_dir (fun dir ->
+            let config = cache_config dir in
+            ignore (frontend_bytes ~config (cache_src 1));
+            let before = cache_files dir in
+            (* leaf's constant changes; its REF/MOD skeleton doesn't, so
+               caller/lone/main replay from the same entries *)
+            let edited = frontend_bytes ~config (cache_src 2) in
+            Alcotest.(check bool) "edited == uncached rebuild" true
+              (edited = frontend_bytes (cache_src 2));
+            let after = cache_files dir in
+            Alcotest.(check int) "exactly one new entry"
+              (List.length before + 1)
+              (List.length after);
+            Alcotest.(check bool) "old entries still present" true
+              (List.for_all (fun f -> List.mem f after) before)));
+    Alcotest.test_case "--passes configs share front-end entries" `Quick
+      (fun () ->
+        (* regression for the cache-key audit: the optional-pass spec is
+           back-end-only and deliberately outside the key — a run with
+           --passes must hit the entries a pass-less run stored (and
+           vice versa), never alias to wrong ones *)
+        with_cache_dir (fun dir ->
+            ignore (frontend_bytes ~config:(cache_config dir) (cache_src 1));
+            let before = cache_files dir in
+            let passes_config =
+              {
+                (Harness.Pipeline.config_of_passes "cse,licm,unroll=2") with
+                hli_cache = Some dir;
+              }
+            in
+            let h = frontend_bytes ~config:passes_config (cache_src 1) in
+            Alcotest.(check bool) "same front-end product" true
+              (h = frontend_bytes (cache_src 1));
+            Alcotest.(check (list string)) "no new entries written" before
+              (cache_files dir);
+            let c =
+              Harness.Pipeline.compile ~config:passes_config (cache_src 1)
+            in
+            let fresh =
+              Harness.Pipeline.compile
+                ~config:(Harness.Pipeline.config_of_passes "cse,licm,unroll=2")
+                (cache_src 1)
+            in
+            Alcotest.(check string) "cached+passes == fresh+passes"
+              (Hli_core.Serialize.to_text fresh.Harness.Pipeline.hli)
+              (Hli_core.Serialize.to_text c.Harness.Pipeline.hli)));
+    Alcotest.test_case "ablation is part of the key" `Quick (fun () ->
+        with_cache_dir (fun dir ->
+            ignore (frontend_bytes ~config:(cache_config dir) (cache_src 1));
+            let n = List.length (cache_files dir) in
+            let ab =
+              List.find
+                (fun a -> a.Driver.Variant.ab_name = "merge-off")
+                Driver.Variant.ablations
+            in
+            let config =
+              { (cache_config dir) with Harness.Pipeline.ablation = ab }
+            in
+            ignore (frontend_bytes ~config (cache_src 1));
+            Alcotest.(check int) "ablated run stores its own entries" (2 * n)
+              (List.length (cache_files dir))));
+    Alcotest.test_case "size cap trims the oldest entries" `Quick (fun () ->
+        with_cache_dir (fun dir ->
+            (* cap of 1 byte: every miss-filling compile trims the
+               directory back down to (at most) its newest entry *)
+            let config = cache_config ~max:(Some 1) dir in
+            ignore (frontend_bytes ~config (cache_src 1));
+            (* every entry is bigger than the cap, so the post-write trim
+               drains the directory completely *)
+            Alcotest.(check (list string)) "trim drained the cache" []
+              (cache_files dir);
+            (* a capped cache still compiles correctly *)
+            Alcotest.(check bool) "capped warm run still correct" true
+              (frontend_bytes ~config (cache_src 1)
+              = frontend_bytes (cache_src 1))))
+  ]
+
 let () =
   Alcotest.run "hli"
     [
@@ -521,4 +652,5 @@ let () =
       ("serialize-props", List.map QCheck_alcotest.to_alcotest serialize_props);
       ("maintain", maintain_tests);
       ("duplicates", duplicate_tests);
+      ("hli-cache", cache_tests);
     ]

@@ -108,6 +108,15 @@ let exemplar_requests : (string * P.request) list =
     ("stats", P.Stats);
     ("close", P.Close);
     ("shm_list", P.Shm_list);
+    ( "open_delta",
+      P.Open_delta
+        [
+          ("u", Digest.string "u's entry payload");
+          ("v", Digest.string "v's entry payload");
+        ] );
+    ("open_delta_empty", P.Open_delta []);
+    ( "delta_fill",
+      P.Delta_fill [ S.entry_to_bytes sample_entry; "second payload" ] );
   ]
 
 let exemplar_responses : (string * P.response) list =
@@ -153,6 +162,8 @@ let exemplar_responses : (string * P.response) list =
       P.R_shm_list
         [ ("u", "/tmp/hlid-shm/sess-1/aa.hlix"); ("v", "/tmp/x.hlix") ] );
     ("r_shm_list_empty", P.R_shm_list []);
+    ("r_delta_need", P.R_delta_need [ 0; 3; 17 ]);
+    ("r_delta_need_none", P.R_delta_need []);
     ("r_error", P.R_error { e_code = "E1107"; e_msg = "unknown unit" });
   ]
 

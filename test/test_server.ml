@@ -39,7 +39,7 @@ let fresh_socket () =
     (Printf.sprintf "hli-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
 
 (* Spawn a server on its own domain, run [f path], always shut down. *)
-let with_server ?(jobs = 10) ?max_frame ?shm_dir f =
+let with_server ?(jobs = 10) ?max_frame ?shm_dir ?store_cap f =
   let path = fresh_socket () in
   let cfg = Hli_server.Server.default_config ~socket_path:path in
   let cfg =
@@ -49,6 +49,7 @@ let with_server ?(jobs = 10) ?max_frame ?shm_dir f =
       idle_timeout = 0.005;
       max_frame = Option.value max_frame ~default:cfg.Hli_server.Server.max_frame;
       shm_dir;
+      store_cap = Option.value store_cap ~default:cfg.Hli_server.Server.store_cap;
     }
   in
   let srv = Hli_server.Server.create cfg in
@@ -739,6 +740,249 @@ let wire_io_tests =
         Alcotest.(check bool) "the storm actually fired" true (!ticks > 0));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Delta uploads (protocol v3)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Pull the three delta counters out of the server stats JSON. *)
+let delta_counters json =
+  let key = "\"delta\":{\"opens\":" in
+  let klen = String.length key and n = String.length json in
+  let rec find i =
+    if i + klen > n then Alcotest.fail "stats JSON lacks the delta object"
+    else if String.sub json i klen = key then i + klen
+    else find (i + 1)
+  in
+  let start = find 0 in
+  Scanf.sscanf
+    (String.sub json start (min 80 (n - start)))
+    "%d,\"entries_reused\":%d,\"entries_filled\":%d"
+    (fun opens reused filled -> (opens, reused, filled))
+
+let stats_of path =
+  with_client path (fun cl -> delta_counters (C.server_stats cl))
+
+(* Two programs, one array subscript apart in [leaf] (the offset lands
+   in its section/class strings, so leaf's HLI entry really differs —
+   a plain constant edit wouldn't change the entry at all): every
+   other entry is byte-identical, which is exactly what the delta
+   upload is supposed to exploit. *)
+let delta_src mid =
+  "int g;\nint a[10];\n"
+  ^ Printf.sprintf "int leaf(int n) { a[n + %d] = n; return g + n; }\n" mid
+  ^ "int caller(int n) { return leaf(n) + 1; }\n"
+  ^ "int lone(int n) { return n * 7; }\n"
+  ^ "int main() { return caller(2) + lone(3); }\n"
+
+let delta_entries mid =
+  Harness.Pipeline.build_hli_entries
+    (Srclang.Typecheck.program_of_string (delta_src mid))
+
+let delta_tests =
+  [
+    Alcotest.test_case "a re-opened session reuses the entry store" `Quick
+      (fun () ->
+        let entries = delta_entries 1 in
+        let n = List.length entries in
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries)));
+            let o1, r1, f1 = stats_of path in
+            Alcotest.(check (pair int int)) "cold open fills everything"
+              (0, n) (r1, f1);
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                List.iter (check_unit_against_local cl) entries);
+            let o2, r2, f2 = stats_of path in
+            Alcotest.(check int) "both opens were deltas" (o1 + 1) o2;
+            Alcotest.(check (pair int int)) "warm open ships nothing"
+              (n, f1) (r2 - r1, f2)));
+    Alcotest.test_case "an edited function ships only its entry" `Quick
+      (fun () ->
+        let before = delta_entries 1 and after = delta_entries 2 in
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of before)));
+            let _, _, f1 = stats_of path in
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of after));
+                List.iter (check_unit_against_local cl) after);
+            let _, r2, f2 = stats_of path in
+            Alcotest.(check int) "one entry crossed the wire" (f1 + 1) f2;
+            Alcotest.(check int) "the rest replayed from the store"
+              (List.length after - 1) r2));
+    Alcotest.test_case "eviction under store-cap refills, never misanswers"
+      `Quick (fun () ->
+        let entries = delta_entries 1 in
+        let n = List.length entries in
+        (* a 1-byte store keeps nothing, so every open must ship every
+           entry again — correctness must not depend on reuse *)
+        with_server ~store_cap:1 (fun path _srv ->
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries)));
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                List.iter (check_unit_against_local cl) entries);
+            let _, reused, filled = stats_of path in
+            Alcotest.(check (pair int int)) "no reuse, all refilled" (0, 2 * n)
+              (reused, filled)));
+    Alcotest.test_case "Delta_fill without a pending open answers E1106"
+      `Quick (fun () ->
+        with_server (fun path _srv ->
+            let fd = raw_connect path in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let rd = P.reader fd in
+                let send r =
+                  let b = P.request_to_string r in
+                  ignore (Unix.write_substring fd b 0 (String.length b))
+                in
+                send (P.Hello { version = P.protocol_version });
+                (match P.recv_response ~timeout:10.0 rd with
+                | P.R_hello _ -> ()
+                | _ -> Alcotest.fail "expected R_hello");
+                send (P.Delta_fill [ "junk" ]);
+                match P.recv_response ~timeout:10.0 rd with
+                | P.R_error { e_code; _ } ->
+                    Alcotest.(check string) "code" "E1106" e_code
+                | _ -> Alcotest.fail "expected R_error E1106")));
+    Alcotest.test_case "abandoned negotiation: fresh session resyncs clean"
+      `Quick (fun () ->
+        let entries = delta_entries 1 in
+        with_server (fun path _srv ->
+            (* a raw peer opens a delta, is told what to fill, and dies
+               mid-negotiation without sending the fill *)
+            let fd = raw_connect path in
+            (let rd = P.reader fd in
+             let refs =
+               List.map
+                 (fun (name, p) -> (name, S.entry_hash_of_payload p))
+                 (S.split_container (wire_of entries))
+             in
+             let b = P.request_to_string (P.Hello { version = P.protocol_version }) in
+             ignore (Unix.write_substring fd b 0 (String.length b));
+             (match P.recv_response ~timeout:10.0 rd with
+             | P.R_hello _ -> ()
+             | _ -> Alcotest.fail "expected R_hello");
+             let b = P.request_to_string (P.Open_delta refs) in
+             ignore (Unix.write_substring fd b 0 (String.length b));
+             match P.recv_response ~timeout:10.0 rd with
+             | P.R_delta_need missing ->
+                 Alcotest.(check bool) "server asked for the entries" true
+                   (missing <> [])
+             | _ -> Alcotest.fail "expected R_delta_need");
+            Unix.close fd;
+            (* the store was never fed, yet a fresh session must come up
+               with correct answers (delta negotiation + fill) *)
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                List.iter (check_unit_against_local cl) entries)));
+    Alcotest.test_case "any other request abandons the pending delta" `Quick
+      (fun () ->
+        let entries = delta_entries 1 in
+        with_server (fun path _srv ->
+            let fd = raw_connect path in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let rd = P.reader fd in
+                let send r =
+                  let b = P.request_to_string r in
+                  ignore (Unix.write_substring fd b 0 (String.length b))
+                in
+                let recv () = P.recv_response ~timeout:10.0 rd in
+                send (P.Hello { version = P.protocol_version });
+                (match recv () with
+                | P.R_hello _ -> ()
+                | _ -> Alcotest.fail "expected R_hello");
+                let split = S.split_container (wire_of entries) in
+                let refs =
+                  List.map
+                    (fun (name, p) -> (name, S.entry_hash_of_payload p))
+                    split
+                in
+                send (P.Open_delta refs);
+                (match recv () with
+                | P.R_delta_need _ -> ()
+                | _ -> Alcotest.fail "expected R_delta_need");
+                (* an interleaved request voids the negotiation... *)
+                send P.Stats;
+                (match recv () with
+                | P.R_stats _ -> ()
+                | _ -> Alcotest.fail "expected R_stats");
+                (* ...so the fill that follows is a state violation *)
+                send (P.Delta_fill (List.map snd split));
+                match recv () with
+                | P.R_error { e_code; _ } ->
+                    Alcotest.(check string) "code" "E1106" e_code
+                | _ -> Alcotest.fail "expected R_error E1106")));
+    Alcotest.test_case "refresh only rebuilds dirty units' segments" `Quick
+      (fun () ->
+        let entries = delta_entries 1 in
+        let read_bytes p =
+          In_channel.with_open_bin p In_channel.input_all
+        in
+        let seg_of dir u =
+          let base = Digest.to_hex (Digest.string u) ^ ".hlix" in
+          match
+            List.find_opt (fun p -> Filename.basename p = base)
+              (hlix_files dir)
+          with
+          | Some p -> p
+          | None -> Alcotest.failf "no segment for %s" u
+        in
+        let skips json =
+          let key = "\"refresh_skips\":" in
+          let klen = String.length key and n = String.length json in
+          let rec find i =
+            if i + klen > n then Alcotest.fail "stats lack refresh_skips"
+            else if String.sub json i klen = key then i + klen
+            else find (i + 1)
+          in
+          Scanf.sscanf (String.sub json (find 0) 12) "%d" Fun.id
+        in
+        let e = List.find (fun e -> items_of_entry e <> []) entries in
+        let touched = e.T.unit_name in
+        with_shm_dir (fun dir ->
+            with_server ~shm_dir:dir (fun path _srv ->
+                with_client ~shm:true path (fun cl ->
+                    ignore (C.open_hli_bytes cl (wire_of entries));
+                    let before =
+                      List.map
+                        (fun (e : T.hli_entry) ->
+                          let p = seg_of dir e.T.unit_name in
+                          (e.T.unit_name, p, read_bytes p))
+                        entries
+                    in
+                    let skips0 = skips (C.server_stats cl) in
+                    C.notify_delete cl ~u:touched
+                      (List.hd (items_of_entry e));
+                    (* an end-of-pass barrier sweeps every unit, but
+                       only the edited one may be rebuilt *)
+                    List.iter
+                      (fun (e : T.hli_entry) -> C.refresh cl ~u:e.T.unit_name)
+                      entries;
+                    List.iter
+                      (fun (u, p, old) ->
+                        if u = touched then
+                          Alcotest.(check bool)
+                            (u ^ " segment was rebuilt") false
+                            (read_bytes p = old)
+                        else
+                          Alcotest.(check bool)
+                            (u ^ " segment byte-identical, generation \
+                              word included")
+                            true
+                            (read_bytes p = old))
+                      before;
+                    Alcotest.(check int) "clean units were skipped"
+                      (skips0 + List.length entries - 1)
+                      (skips (C.server_stats cl))))));
+  ]
+
 let () =
   Alcotest.run "server"
     [
@@ -747,4 +991,5 @@ let () =
       ("faults", fault_tests);
       ("pipelining", pipeline_tests);
       ("wire-io", wire_io_tests);
+      ("delta", delta_tests);
     ]

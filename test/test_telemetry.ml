@@ -104,7 +104,7 @@ let json_tests =
              (Printf.sprintf "\"schema\":\"%s\""
                 Harness.Telemetry.schema_version));
         Alcotest.(check bool) "schema is v6" true
-          (Harness.Telemetry.schema_version = "hli-telemetry-v6");
+          (Harness.Telemetry.schema_version = "hli-telemetry-v7");
         (* v5: the server object is present, null for in-process runs *)
         Alcotest.(check bool) "has null server" true
           (has_sub json "\"server\":null");

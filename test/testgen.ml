@@ -168,4 +168,21 @@ let gen_request : P.request QCheck.Gen.t =
         map (fun u -> P.Line_table u) gen_unit_name;
         return P.Stats;
         return P.Close;
+        (* delta-upload pair (protocol v3): hash refs and fill payloads
+           are arbitrary bytes at the codec layer — semantic checks
+           (hash agreement, pending-open state) live in the server *)
+        map
+          (fun refs ->
+            P.Open_delta
+              (List.map (fun u -> (u, Digest.string u)) refs))
+          (list_size (int_range 0 8) gen_unit_name);
+        map
+          (fun payloads -> P.Delta_fill payloads)
+          (list_size (int_range 0 4)
+             (map
+                (fun f ->
+                  match f.Hli_core.Tables.entries with
+                  | e :: _ -> Hli_core.Serialize.entry_to_bytes e
+                  | [] -> "")
+                (gen_file ~allow_zero:true ())));
       ])
