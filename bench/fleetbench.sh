@@ -1,0 +1,173 @@
+#!/bin/sh
+# CI check for the hlid fleet router (dune alias @fleetbench).
+#
+#   1. starts three hlid backends on private sockets;
+#   2. runs a workload subset through bench tables in-process, against
+#      a single backend, against the three-shard fleet (plain and
+#      --pipeline 8), and through a process-mode router
+#      (hlid --router), requiring byte-identical Tables 1/2 on every
+#      path;
+#   3. chaos: while the fleet tables run repeats, a background loop
+#      SIGKILLs a rotating shard and restarts it on the same socket —
+#      the run must exit 0 with output still byte-identical, riding on
+#      the router's re-handshake + replay failover;
+#   4. runs a quick fleetbench (instances x clients x batch x
+#      pipeline), validates the emitted hli-fleetbench-v1 JSON, and
+#      requires the best three-shard row to reach at least
+#      $FLEETBENCH_FLOOR of the best single-instance row (default
+#      0.85 — the fleet must not tax co-located clients, with a margin
+#      for box noise on single-core runners).
+set -eu
+
+exe="$1"
+case "$exe" in
+  /*) ;;
+  *) exe="./$exe" ;;
+esac
+hlid="$2"
+case "$hlid" in
+  /*) ;;
+  *) hlid="./$hlid" ;;
+esac
+
+tmp="${TMPDIR:-/tmp}/hli-fleetbench-$$"
+mkdir -p "$tmp"
+router_pid=""
+chaos_pid=""
+cleanup() {
+  [ -n "$chaos_pid" ] && kill "$chaos_pid" 2>/dev/null || true
+  [ -n "$router_pid" ] && kill -9 "$router_pid" 2>/dev/null || true
+  for i in 0 1 2; do
+    [ -f "$tmp/shard$i.pid" ] && kill -9 "$(cat "$tmp/shard$i.pid")" 2>/dev/null || true
+  done
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+WORKLOADS="wc,129.compress,101.tomcatv,034.mdljdp2"
+FUEL=500000
+
+start_shard() { # $1 = index; records the pid in $tmp/shard$1.pid
+  "$hlid" --socket "$tmp/shard$1.sock" -j 2 2>>"$tmp/shard$1.log" &
+  echo $! > "$tmp/shard$1.pid"
+}
+wait_socket() { # $1 = path
+  i=0
+  while [ ! -S "$1" ] && [ $i -lt 50 ]; do
+    sleep 0.1
+    i=$((i + 1))
+  done
+  [ -S "$1" ] || { echo "fleetbench: FAIL — $1 did not come up" >&2; exit 1; }
+}
+
+for i in 0 1 2; do start_shard $i; done
+for i in 0 1 2; do wait_socket "$tmp/shard$i.sock"; done
+fleet="$tmp/shard0.sock,$tmp/shard1.sock,$tmp/shard2.sock"
+
+# 1+2: sharding must be invisible in the tables — single backend,
+# library fleet (plain and pipelined) and process-mode router alike
+"$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
+  > "$tmp/local.out" 2>/dev/null
+"$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
+  --remote "$tmp/shard0.sock" \
+  > "$tmp/single.out" 2>/dev/null
+"$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
+  --remote "$fleet" --stats-json "$tmp/fleet.json" \
+  > "$tmp/fleet.out" 2>/dev/null
+"$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
+  --remote "$fleet" --pipeline 8 \
+  > "$tmp/fleet-p8.out" 2>/dev/null
+
+"$hlid" --socket "$tmp/router.sock" --router "$fleet" 2>"$tmp/router.log" &
+router_pid=$!
+wait_socket "$tmp/router.sock"
+"$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
+  --remote "$tmp/router.sock" \
+  > "$tmp/proxied.out" 2>/dev/null
+kill "$router_pid" 2>/dev/null || true
+wait "$router_pid" 2>/dev/null || true
+router_pid=""
+
+for out in single fleet fleet-p8 proxied; do
+  if ! cmp -s "$tmp/local.out" "$tmp/$out.out"; then
+    echo "fleetbench: FAIL — $out tables differ from the in-process run" >&2
+    diff "$tmp/local.out" "$tmp/$out.out" >&2 || true
+    exit 1
+  fi
+done
+"$exe" --validate-json "$tmp/fleet.json" > /dev/null \
+  || { echo "fleetbench: FAIL — malformed fleet --stats-json" >&2; exit 1; }
+grep -q '"router":{' "$tmp/fleet.json" \
+  || { echo "fleetbench: FAIL — fleet dump lacks the router object" >&2; exit 1; }
+echo "fleetbench: OK (fleet tables byte-identical: single, 3-shard, pipelined and proxied)"
+
+# 3: chaos — SIGKILL a rotating shard every second and restart it on
+# the same socket while the fleet run repeats; failover (reconnect,
+# re-open, replay) must keep the output byte-identical
+(
+  v=0
+  while :; do
+    sleep 1
+    kill -9 "$(cat "$tmp/shard$v.pid")" 2>/dev/null || true
+    start_shard $v
+    v=$(((v + 1) % 3))
+  done
+) &
+chaos_pid=$!
+chaos_ok=1
+for rep in 1 2; do
+  if ! "$exe" tables --workloads "$WORKLOADS" --fuel $FUEL -j 2 \
+    --remote "$fleet" --pipeline 8 \
+    > "$tmp/chaos$rep.out" 2>"$tmp/chaos$rep.err"; then
+    chaos_ok=0
+    break
+  fi
+done
+kill "$chaos_pid" 2>/dev/null || true
+wait "$chaos_pid" 2>/dev/null || true
+chaos_pid=""
+[ "$chaos_ok" -eq 1 ] \
+  || { echo "fleetbench: FAIL — fleet run died under shard SIGKILLs" >&2
+       cat "$tmp/chaos1.err" "$tmp/chaos2.err" >&2 2>/dev/null || true
+       exit 1; }
+for rep in 1 2; do
+  if ! cmp -s "$tmp/local.out" "$tmp/chaos$rep.out"; then
+    echo "fleetbench: FAIL — chaos run $rep tables differ from the in-process run" >&2
+    diff "$tmp/local.out" "$tmp/chaos$rep.out" >&2 || true
+    exit 1
+  fi
+done
+echo "fleetbench: OK (2 fleet runs under rotating shard SIGKILLs, tables byte-identical)"
+
+# 4: quick fleet benchmark (in-process backends), JSON validated and a
+# relative floor: sharding must not tax co-located clients
+OCAMLRUNPARAM="s=2M${OCAMLRUNPARAM:+,$OCAMLRUNPARAM}" \
+  "$exe" fleetbench --workloads wc --out "$tmp/bench.json" \
+  > "$tmp/bench.out" 2>/dev/null
+grep -q "q/s" "$tmp/bench.out" \
+  || { echo "fleetbench: FAIL — no benchmark output" >&2; exit 1; }
+"$exe" --validate-json "$tmp/bench.json" > /dev/null \
+  || { echo "fleetbench: FAIL — malformed fleetbench JSON" >&2; exit 1; }
+grep -q '"schema":"hli-fleetbench-v1"' "$tmp/bench.json" \
+  || { echo "fleetbench: FAIL — bench JSON lacks the hli-fleetbench-v1 schema" >&2
+       exit 1; }
+# rows: instances clients batch pipeline qps p50 p99.  Join the
+# 3-shard rows against the single-instance rows cell-by-cell (equal
+# clients, batch and pipeline) and take the best ratio: the fleet
+# passes if at least one matched cell keeps $FLEETBENCH_FLOOR of the
+# single-instance rate.
+floor="${FLEETBENCH_FLOOR:-0.9}"
+ratio=$(awk '
+  $1 == 1 { single[$2 " " $3 " " $4] = $5 }
+  $1 == 3 && single[$2 " " $3 " " $4] > 0 {
+    r = $5 / single[$2 " " $3 " " $4]
+    if (r > best) best = r
+  }
+  END { printf "%.3f", best }' "$tmp/bench.out")
+ok=$(awk -v r="${ratio:-0}" -v f="$floor" 'BEGIN { print (r >= f) ? 1 : 0 }')
+if [ "$ok" -ne 1 ]; then
+  echo "fleetbench: FAIL — best 3-shard/single-instance ratio ${ratio:-0} at equal clients is under the $floor floor" >&2
+  cat "$tmp/bench.out" >&2
+  exit 1
+fi
+echo "fleetbench: OK (fleetbench ran, JSON valid, best 3-shard/single ratio $ratio at equal clients >= $floor)"

@@ -19,7 +19,37 @@ open Cmdliner
    (test_telemetry pins the constant). *)
 let schema_version = "hli-telemetry-v7"
 
-let run_hlid socket jobs max_frame timeout shm_dir store_cap stats stats_json =
+(* --router: proxy mode.  Listen on --socket, shard every session's
+   units across the backend fleet by consistent hash of unit name,
+   with epoch-propagated Refresh barriers and bounded-retry failover
+   (lib/server/router.ml; DESIGN.md §9). *)
+let run_router socket backends timeout max_frame =
+  let stop = Atomic.make false in
+  let shutdown _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+  Fmt.epr "hlid: routing %s across %d shards (%s)@." socket
+    (List.length backends)
+    (String.concat ", " backends);
+  match
+    Hli_server.Router.serve ~timeout ~max_frame ~backends ~socket_path:socket
+      ~stop ()
+  with
+  | () -> 0
+  | exception Diagnostics.Diagnostic d ->
+      Fmt.epr "%a@." Diagnostics.pp d;
+      Diagnostics.exit_code d
+
+let run_hlid socket router jobs max_frame timeout shm_dir store_cap stats
+    stats_json =
+  match router with
+  | Some backends ->
+      run_router socket
+        (String.split_on_char ',' backends
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> ""))
+        timeout max_frame
+  | None ->
   let cfg =
     {
       (Hli_server.Server.default_config ~socket_path:socket) with
@@ -68,6 +98,20 @@ let socket_arg =
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH"
         ~doc:"Unix-domain socket path to listen on (stale files are removed)")
+
+let router_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "router" ] ~docv:"SOCK1,SOCK2,..."
+        ~doc:
+          "run as a fleet router instead of a daemon: listen on \
+           $(b,--socket) and shard each session's HLI units across the \
+           listed backend hlid sockets by consistent hash of unit name, \
+           splitting batched query trains per shard and merging replies \
+           positionally; Refresh barriers drain every shard (epoch \
+           propagation) and a backend dying mid-session is re-handshaken \
+           and retried, never answered wrongly")
 
 let jobs_arg =
   Arg.(
@@ -138,7 +182,8 @@ let cmd =
   Cmd.v
     (Cmd.info "hlid" ~doc)
     Term.(
-      const run_hlid $ socket_arg $ jobs_arg $ max_frame_arg $ timeout_arg
-      $ shm_dir_arg $ store_cap_arg $ stats_flag $ stats_json_arg)
+      const run_hlid $ socket_arg $ router_arg $ jobs_arg $ max_frame_arg
+      $ timeout_arg $ shm_dir_arg $ store_cap_arg $ stats_flag
+      $ stats_json_arg)
 
 let () = exit (Cmd.eval' cmd)

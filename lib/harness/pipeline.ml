@@ -30,7 +30,10 @@ type config = {
   remote : string option;
       (** hlid socket path; when set, every [With_hli] variant opens
           its own server session and imports/queries/maintains HLI
-          over the wire instead of in-process *)
+          over the wire instead of in-process.  A comma-separated list
+          ([--remote sock1,sock2,...]) is a sharded fleet: units hash
+          across the listed hlid instances behind the client-library
+          router (DESIGN.md §9) *)
   pipeline : int;
       (** remote-session frame window ([--pipeline]); 1 = strict
           request/reply, >1 lets the client keep that many frames in
@@ -160,9 +163,16 @@ let cache_store dir ~ablation fp entry =
    ascending mtime until the directory fits the cap.  Freshly written
    and freshly hit entries carry the newest mtimes, so a trim removes
    the least-recently-used fingerprints — the ones an ongoing edit
-   storm has moved past.  Evictions are counted ([hli_cache_trims]).
-   Legacy whole-file [.hli] entries from the pre-per-function cache
-   count toward (and are trimmed under) the same cap. *)
+   storm has moved past.  mtime has 1s granularity on some
+   filesystems, so an edit storm's worth of entries tie; ties break on
+   the path (ascending) so eviction order is deterministic, not
+   whatever readdir happened to return.  Concurrent trims over the
+   same directory race stat/unlink: a file another trim already
+   removed still counts as freed space (it is gone either way) but not
+   as an eviction of ours.  Evictions are counted
+   ([hli_cache_trims]).  Legacy whole-file [.hli] entries from the
+   pre-per-function cache count toward (and are trimmed under) the
+   same cap. *)
 let cache_trim ?tm dir ~max_bytes =
   match max_bytes with
   | None -> ()
@@ -179,7 +189,8 @@ let cache_trim ?tm dir ~max_bytes =
                      Some (path, st_mtime, st_size)
                  | _ -> None
                  | exception Unix.Unix_error _ -> None)
-          |> List.sort (fun (_, ma, _) (_, mb, _) -> compare ma mb)
+          |> List.sort (fun (pa, ma, _) (pb, mb, _) ->
+                 match compare ma mb with 0 -> compare pa pb | c -> c)
         in
         let total =
           List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 files
@@ -188,10 +199,9 @@ let cache_trim ?tm dir ~max_bytes =
           (List.fold_left
              (fun total (path, _, sz) ->
                if total > cap then begin
-                 (try
-                    Sys.remove path;
-                    Telemetry.count ?tm "hli_cache_trims"
-                  with Sys_error _ -> ());
+                 (match Unix.unlink path with
+                 | () -> Telemetry.count ?tm "hli_cache_trims"
+                 | exception Unix.Unix_error _ -> ());
                  total - sz
                end
                else total)
@@ -355,23 +365,37 @@ let compile ?(config = default_config) ?src_file ?pool ?tm (src : string) :
   in
   let mk v =
     match config.remote with
-    | Some socket when Driver.Variant.use_hli v ->
-        let cl =
-          Hli_server.Client.connect ~pipeline:config.pipeline ~shm:config.shm
-            socket
+    | Some socket when Driver.Variant.use_hli v -> (
+        let run_with remote =
+          let ctx =
+            Driver.Pass.ctx ~spanf ~variant:v ~ablation:config.ablation
+              ~remote ()
+          in
+          (v, Driver.Pass_manager.run_backend ctx config.specs h)
         in
-        Fun.protect
-          ~finally:(fun () -> Hli_server.Client.close cl)
-          (fun () ->
-            let opened =
-              Hli_server.Client.open_hli_bytes cl hli_wire
+        match Remote.socket_list socket with
+        | [] | [ _ ] ->
+            let cl =
+              Hli_server.Client.connect ~pipeline:config.pipeline
+                ~shm:config.shm socket
             in
-            let remote = Remote.hooks_of_client cl opened in
-            let ctx =
-              Driver.Pass.ctx ~spanf ~variant:v ~ablation:config.ablation
-                ~remote ()
+            Fun.protect
+              ~finally:(fun () -> Hli_server.Client.close cl)
+              (fun () ->
+                let opened = Hli_server.Client.open_hli_bytes cl hli_wire in
+                run_with (Remote.hooks_of_client cl opened))
+        | socks ->
+            (* --remote sock1,sock2,...: a sharded fleet behind the
+               client-library router *)
+            let rt =
+              Hli_server.Router.connect ~pipeline:config.pipeline
+                ~shm:config.shm socks
             in
-            (v, Driver.Pass_manager.run_backend ctx config.specs h))
+            Fun.protect
+              ~finally:(fun () -> Hli_server.Router.close rt)
+              (fun () ->
+                let opened = Hli_server.Router.open_hli_bytes rt hli_wire in
+                run_with (Remote.hooks_of_router rt opened)))
     | _ ->
         let ctx =
           Driver.Pass.ctx ~spanf ~variant:v ~ablation:config.ablation ()

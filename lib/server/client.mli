@@ -46,6 +46,11 @@ val flush : t -> unit
 val pending : t -> int
 (** In-flight frames awaiting replies (0 unless pipelining). *)
 
+val shard_map : t -> string list
+(** The fleet's shard map from the server's Hello (v4): socket paths
+    of the hlid instances HLI units are sharded across, in ring
+    order.  [] when the peer is a standalone daemon. *)
+
 val open_hli_bytes : t -> string -> (string * int list) list
 (** Open an HLI2 container on the session, shipping as little as
     possible: entries are referenced by content hash ([Open_delta])
@@ -78,6 +83,16 @@ val query_batches : t -> Protocol.query list list -> Protocol.answer list list
     first, so the call cannot deadlock against a full socket buffer.
     Equivalent to mapping {!query_batch} but overlapping the wire
     round-trips. *)
+
+val query_batches_send :
+  t -> Protocol.query list list -> unit -> Protocol.answer list list
+(** {!query_batches} split in two: the call puts the whole train on
+    the wire (draining replies that become readable between bursts)
+    and returns a closure that blocks for the answers.  Lets one
+    thread keep several servers busy at once — the fleet router sends
+    every shard's sub-train before collecting from any shard.  No
+    other operation may run on this session between the send and the
+    collect. *)
 
 val equiv_acc : t -> u:string -> int -> int -> Hli_core.Query.equiv_result
 val alias : t -> u:string -> rid:int -> int -> int -> bool

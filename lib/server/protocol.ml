@@ -38,9 +38,12 @@ module Q = Hli_core.Query
    against the server's cross-session entry store, R_delta_need lists
    the hashes the server lacks, and Delta_fill ships exactly those
    payloads; a session re-opening an edited program uploads only the
-   entries that changed.  Older peers are rejected with E1111 as
-   before — the version is checked first on both ends. *)
-let protocol_version = 3
+   entries that changed.  v4: R_hello carries the serving fleet's shard
+   map — the socket paths of the hlid instances units are sharded
+   across (empty for a standalone daemon) — so a client that lands on
+   a router can discover the backends.  Older peers are rejected with
+   E1111 as before — the version is checked first on both ends. *)
+let protocol_version = 4
 
 (** Bound on a frame's payload length, checked {e before} the payload
     is read or allocated. *)
@@ -103,9 +106,16 @@ type request =
           listed order; only valid while its [Open_delta] is pending *)
 
 type response =
-  | R_hello of { version : int; shm_dir : string option }
+  | R_hello of {
+      version : int;
+      shm_dir : string option;
+      shards : string list;
+    }
       (** [shm_dir]: the per-session directory where the server
-          publishes HLIX segments, when the shm fast path is enabled *)
+          publishes HLIX segments, when the shm fast path is enabled.
+          [shards]: the fleet's shard map — socket paths of the hlid
+          instances HLI units are sharded across, in ring order; empty
+          when the peer is a standalone daemon (v4) *)
   | R_opened of (string * int list) list
       (** per opened unit: name and duplicate item ids *)
   | R_results of answer list
@@ -300,9 +310,10 @@ let request_to_string (r : request) : string =
 let response_payload (r : response) : string =
   let buf = Buffer.create 64 in
   (match r with
-  | R_hello { version; shm_dir } ->
+  | R_hello { version; shm_dir; shards } ->
       S.put_varint buf version;
-      S.put_opt buf S.put_string shm_dir
+      S.put_opt buf S.put_string shm_dir;
+      S.put_list buf S.put_string shards
   | R_opened units ->
       S.put_list buf
         (fun b (name, dups) ->
@@ -486,7 +497,9 @@ let decode_response_payload tag cur : response =
   match tag with
   | 0x81 ->
       let version = S.get_varint cur in
-      R_hello { version; shm_dir = S.get_opt cur S.get_string }
+      let shm_dir = S.get_opt cur S.get_string in
+      let shards = S.get_list cur S.get_string in
+      R_hello { version; shm_dir; shards }
   | 0x82 ->
       R_opened
         (S.get_list cur (fun cur ->
@@ -641,7 +654,12 @@ let response_of_string ?max_frame s : response =
 
 type 'a recv = Got of 'a | Idle | Closed
 
-let now = Unix.gettimeofday
+(* Deadline clock for every wire timeout: CLOCK_MONOTONIC, in seconds.
+   Wall time (gettimeofday) steps under NTP, which would fire or starve
+   request deadlines; all deadlines passed to [wait_fd]/[write_all]/
+   [recv_with] must be computed as [now () +. budget] from this same
+   clock. *)
+let now () : float = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
 
 (* true iff [fd] becomes ready before [deadline] ([None] = wait
    forever).  EINTR recomputes the {e remaining} time — an interrupted

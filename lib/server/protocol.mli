@@ -64,9 +64,16 @@ type request =
           order; only valid while its [Open_delta] is pending *)
 
 type response =
-  | R_hello of { version : int; shm_dir : string option }
+  | R_hello of {
+      version : int;
+      shm_dir : string option;
+      shards : string list;
+    }
       (** [shm_dir]: the per-session directory where the server
-          publishes HLIX segments, when the shm fast path is enabled *)
+          publishes HLIX segments, when the shm fast path is enabled.
+          [shards]: the fleet's shard map (v4) — socket paths of the
+          hlid instances units are sharded across, in ring order;
+          empty for a standalone daemon *)
   | R_opened of (string * int list) list
       (** per opened unit: name and duplicate item ids *)
   | R_results of answer list
@@ -143,6 +150,12 @@ val decode_response_at : Bytes.t -> frame_info -> response
 
 (** {2 Socket I/O} *)
 
+val now : unit -> float
+(** The deadline clock: CLOCK_MONOTONIC, in seconds.  Every absolute
+    [deadline] below is interpreted against this clock — compute them
+    as [now () +. budget], never from [Unix.gettimeofday] (an NTP step
+    would fire or starve the wait). *)
+
 (** A buffered frame reader over one fd: bytes are pulled in bulk into
     a grow-once scratch buffer, frames decoded in place, and surplus
     bytes of a pipelined train pushed back for the next receive. *)
@@ -181,8 +194,8 @@ val write_all : ?deadline:float -> Unix.file_descr -> string -> unit
 (** Write the whole string, surviving partial writes, EINTR and
     EAGAIN/0-byte writes on non-blocking fds (waits for writability,
     never busy-loops, never drops the tail).  [deadline] (absolute,
-    [Unix.gettimeofday] clock) bounds the whole write — expiry raises
-    E1109; a vanished peer raises E1110. *)
+    {!now} clock) bounds the whole write — expiry raises E1109; a
+    vanished peer raises E1110. *)
 
 val send_request : ?deadline:float -> Unix.file_descr -> request -> unit
 val send_response : ?deadline:float -> Unix.file_descr -> response -> unit

@@ -1,0 +1,880 @@
+(** hlid fleet router: shard HLI units across N hlid instances by
+    consistent hash of unit name, behind the single-session client
+    surface.
+
+    One {!t} is one logical session over a fleet: it opens each unit
+    on the shard that owns it, splits batched/pipelined query trains
+    per shard, fans the sub-trains out concurrently (one worker domain
+    per shard, unless the host is single-core where the handoff costs
+    more than the overlap buys), and merges the replies back into
+    positional order — callers cannot tell a fleet from one daemon,
+    except that it survives a shard dying.
+
+    {b Epochs.}  A {!refresh} is a barrier: before the owning shard is
+    told, every shard's in-flight replies are drained, so an answer
+    computed before the barrier can never be collected after it — the
+    router never mixes pre- and post-refresh answers across shards.
+    Each barrier advances the session epoch (reported in
+    {!stats_json}).
+
+    {b Failover.}  A shard dying mid-session (connection closed,
+    truncated frame, timeout — E1110/E1102/E1109/E1112) triggers
+    re-handshake and bounded retry, generalizing the single-client
+    kill-socket machinery: the router reconnects (waiting for a
+    restarted instance if need be), re-opens the shard's unit subset
+    from the retained sub-container, replays the shard's maintenance
+    log in order — Maintain is deterministic, and the replay {e
+    verifies} each replayed op reproduces the recorded result, raising
+    E1105 on divergence rather than ever serving from diverged state —
+    then re-runs the failed operation.  Queries are idempotent, so a
+    retried train is safe; clients see retried answers, never wrong
+    ones.
+
+    {!serve} is the [hlid --router] process mode: the same machinery
+    behind a listening socket speaking the ordinary wire protocol, its
+    Hello advertising the backend shard map (protocol v4). *)
+
+module P = Protocol
+module C = Client
+module S = Hli_core.Serialize
+
+let net_raise code fmt =
+  Fmt.kstr
+    (fun m ->
+      raise
+        (Diagnostics.Diagnostic
+           (Diagnostics.make ~code ~phase:Diagnostics.Net
+              ~severity:Diagnostics.Error m)))
+    fmt
+
+(* The faults that mean "the shard (or its connection) died", as
+   opposed to a semantic error the caller must see: connection closed,
+   truncated frame (EOF mid-frame), stalled line, connect refusal.
+   Everything else — unknown unit, validation failures, relayed
+   E-codes — propagates untouched. *)
+let retryable code =
+  code = "E1110" || code = "E1102" || code = "E1109" || code = "E1112"
+
+(* ------------------------------------------------------------------ *)
+(* Consistent hash ring                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Classic ring: each shard contributes [vnodes] points keyed by its
+   {e index} (not its socket path, so placement depends only on fleet
+   size and order — the same unit lands on the same shard no matter
+   where the sockets live); a unit belongs to the first point at or
+   after its own hash, wrapping.  MD5's first 8 bytes are plenty. *)
+let vnodes = 64
+
+let hash8 s = String.get_int64_be (Digest.string s) 0
+
+let make_ring n : (int64 * int) array =
+  let pts =
+    Array.init (n * vnodes) (fun k ->
+        let shard = k / vnodes and v = k mod vnodes in
+        (hash8 (Printf.sprintf "shard:%d:%d" shard v), shard))
+  in
+  Array.sort compare pts;
+  pts
+
+let ring_lookup ring h =
+  let n = Array.length ring in
+  (* first point with key >= h, else wrap to point 0 *)
+  let rec bs lo hi = (* invariant: answer in [lo, hi] or = n *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst ring.(mid) < h then bs (mid + 1) hi else bs lo mid
+  in
+  let i = bs 0 n in
+  snd ring.(if i = n then 0 else i)
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance log (replayed on failover)                              *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Op_delete of string * int
+  | Op_gen of string * int * int  (** unit, like, line *)
+  | Op_move of string * int * int  (** unit, item, target_rid *)
+  | Op_unroll of string * int * int  (** unit, rid, factor *)
+  | Op_refresh of string
+
+type op_result =
+  | Res_unit
+  | Res_int of int
+  | Res_bool of bool
+  | Res_unroll of Hli_core.Maintain.unroll_result
+
+let apply_op cl : op -> op_result = function
+  | Op_delete (u, item) ->
+      C.notify_delete cl ~u item;
+      Res_unit
+  | Op_gen (u, like, line) -> Res_int (C.notify_gen cl ~u ~like ~line)
+  | Op_move (u, item, target_rid) ->
+      Res_bool (C.notify_move cl ~u ~item ~target_rid)
+  | Op_unroll (u, rid, factor) ->
+      Res_unroll (C.notify_unroll cl ~u ~rid ~factor)
+  | Op_refresh u ->
+      C.refresh cl ~u;
+      Res_unit
+
+let op_unit = function
+  | Op_delete (u, _)
+  | Op_gen (u, _, _)
+  | Op_move (u, _, _)
+  | Op_unroll (u, _, _)
+  | Op_refresh u ->
+      u
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard worker domains                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One worker serializes every operation on its shard's client (the
+   client is not thread-safe) while letting different shards run
+   concurrently.  In inline mode (single-core hosts, or the process
+   router's per-connection sessions) jobs run on the caller — same
+   serialization, no handoff. *)
+type worker = {
+  w_mutex : Mutex.t;
+  w_cond : Condition.t;
+  w_jobs : (unit -> unit) Queue.t;
+  mutable w_stop : bool;
+  mutable w_domain : unit Domain.t option;
+}
+
+let worker_loop w =
+  let rec go () =
+    Mutex.lock w.w_mutex;
+    while Queue.is_empty w.w_jobs && not w.w_stop do
+      Condition.wait w.w_cond w.w_mutex
+    done;
+    match Queue.take_opt w.w_jobs with
+    | Some job ->
+        Mutex.unlock w.w_mutex;
+        job ();
+        go ()
+    | None -> Mutex.unlock w.w_mutex (* stopped, queue drained *)
+  in
+  go ()
+
+let make_worker () =
+  let w =
+    {
+      w_mutex = Mutex.create ();
+      w_cond = Condition.create ();
+      w_jobs = Queue.create ();
+      w_stop = false;
+      w_domain = None;
+    }
+  in
+  w.w_domain <- Some (Domain.spawn (fun () -> worker_loop w));
+  w
+
+let stop_worker w =
+  Mutex.lock w.w_mutex;
+  w.w_stop <- true;
+  Condition.broadcast w.w_cond;
+  Mutex.unlock w.w_mutex;
+  match w.w_domain with
+  | Some d ->
+      w.w_domain <- None;
+      Domain.join d
+  | None -> ()
+
+type 'a outcome = Pending | Ok_ of 'a | Exn of exn * Printexc.raw_backtrace
+
+(* ------------------------------------------------------------------ *)
+(* Session state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type shard = {
+  sk_path : string;
+  mutable sk_cl : C.t option;  (** live connection; None = needs (re)connect *)
+  mutable sk_bytes : string option;
+      (** this shard's sub-container, retained for failover re-open *)
+  mutable sk_opened : (string * int list) list option;
+      (** open result on the {e current} connection (cleared on
+          reconnect so retried opens don't double-open the session) *)
+  mutable sk_log : (op * op_result option ref) list;
+      (** applied maintenance, newest first; the ref is filled once
+          the op's result is known (possibly during a replay) *)
+}
+
+type t = {
+  shards : shard array;
+  ring : (int64 * int) array;
+  workers : worker option array;  (** None = inline *)
+  timeout : float;
+  max_frame : int;
+  pipeline : int;
+  shm : bool;
+  retry_attempts : int;  (** reconnect attempts per recovery *)
+  retry_delay : float;  (** pause between reconnect attempts *)
+  op_retries : int;  (** full recover+retry cycles per operation *)
+  mutable epoch : int;  (** refresh barriers completed *)
+  failovers : int Atomic.t;  (** successful shard recoveries *)
+  owners : (string, int) Hashtbl.t;
+      (** unit -> ring owner memo: the ring never changes over a
+          session, and an MD5 per query would dominate batched
+          routing.  Only touched from the session's driving thread
+          (splits happen before dispatch). *)
+  mutable last_u : string;  (** last unit routed (query streams are *)
+  mutable last_owner : int;  (** runs of one unit) *)
+  mutable closed : bool;
+}
+
+let shard_of t u =
+  if t.last_owner >= 0 && (t.last_u == u || String.equal t.last_u u) then
+    t.last_owner
+  else begin
+    let i =
+      match Hashtbl.find_opt t.owners u with
+      | Some i -> i
+      | None ->
+          let i = ring_lookup t.ring (hash8 ("unit:" ^ u)) in
+          Hashtbl.add t.owners u i;
+          i
+    in
+    t.last_u <- u;
+    t.last_owner <- i;
+    i
+  end
+let shard_paths t = Array.to_list (Array.map (fun s -> s.sk_path) t.shards)
+let epoch t = t.epoch
+let failovers t = Atomic.get t.failovers
+
+let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
+    ?(pipeline = 1) ?(shm = false) ?fanout ?(retry_attempts = 25)
+    ?(retry_delay = 0.2) paths : t =
+  (match paths with
+  | [] -> invalid_arg "Router.connect: no shard sockets"
+  | _ -> ());
+  let n = List.length paths in
+  let fanout =
+    match fanout with
+    | Some b -> b
+    | None -> n > 1 && Domain.recommended_domain_count () > 1
+  in
+  let shards =
+    Array.of_list
+      (List.map
+         (fun p ->
+           {
+             sk_path = p;
+             sk_cl = None;
+             sk_bytes = None;
+             sk_opened = None;
+             sk_log = [];
+           })
+         paths)
+  in
+  let t =
+    {
+      shards;
+      ring = make_ring n;
+      workers =
+        Array.init n (fun _ -> if fanout then Some (make_worker ()) else None);
+      timeout;
+      max_frame;
+      pipeline;
+      shm;
+      retry_attempts;
+      retry_delay;
+      op_retries = 4;
+      epoch = 0;
+      failovers = Atomic.make 0;
+      owners = Hashtbl.create 64;
+      last_u = "";
+      last_owner = -1;
+      closed = false;
+    }
+  in
+  (* connect every shard up front, waiting out a restart-in-progress
+     with the same bounded policy as a recovery: a genuinely dead
+     instance still surfaces at session setup (E1112), exactly like
+     the single-socket client, but a shard mid-restart (chaos, rolling
+     upgrade) does not kill sessions that merely started at the wrong
+     moment *)
+  Array.iter
+    (fun sk ->
+      let rec conn attempt =
+        match C.connect ~timeout ~max_frame ~pipeline ~shm sk.sk_path with
+        | cl -> cl
+        | exception Diagnostics.Diagnostic d
+          when retryable d.Diagnostics.code && attempt < retry_attempts ->
+            Unix.sleepf retry_delay;
+            conn (attempt + 1)
+      in
+      sk.sk_cl <- Some (conn 1))
+    t.shards;
+  t
+
+(* run [f] on shard [i]'s worker (or inline) and wait; exceptions
+   re-raise in the caller *)
+let dispatch t i (f : unit -> 'a) : unit -> 'a =
+  match t.workers.(i) with
+  | None ->
+      let r = match f () with v -> Ok_ v | exception e -> Exn (e, Printexc.get_raw_backtrace ()) in
+      fun () ->
+        (match r with
+        | Ok_ v -> v
+        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending -> assert false)
+  | Some w ->
+      let m = Mutex.create () in
+      let c = Condition.create () in
+      let cell = ref Pending in
+      let job () =
+        let r =
+          match f () with
+          | v -> Ok_ v
+          | exception e -> Exn (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock m;
+        cell := r;
+        Condition.signal c;
+        Mutex.unlock m
+      in
+      Mutex.lock w.w_mutex;
+      Queue.add job w.w_jobs;
+      Condition.signal w.w_cond;
+      Mutex.unlock w.w_mutex;
+      fun () ->
+        Mutex.lock m;
+        while (match !cell with Pending -> true | _ -> false) do
+          Condition.wait c m
+        done;
+        Mutex.unlock m;
+        (match !cell with
+        | Ok_ v -> v
+        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending -> assert false)
+
+let run_on t i f = dispatch t i f ()
+
+(* ------------------------------------------------------------------ *)
+(* Failover                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Reconnect to a dead shard — waiting out a restart-in-progress with
+   bounded attempts — then rebuild the exact session state: re-open
+   the retained sub-container and replay the maintenance log in order,
+   verifying every replayed op reproduces its recorded result (the
+   engine is deterministic; a divergence means the replacement is not
+   answering from equivalent state and must not be trusted). *)
+let recover t sk : C.t =
+  let rec conn attempt =
+    match
+      C.connect ~timeout:t.timeout ~max_frame:t.max_frame
+        ~pipeline:t.pipeline ~shm:t.shm sk.sk_path
+    with
+    | cl -> cl
+    | exception Diagnostics.Diagnostic d
+      when retryable d.Diagnostics.code && attempt < t.retry_attempts ->
+        Unix.sleepf t.retry_delay;
+        conn (attempt + 1)
+  in
+  let cl = conn 1 in
+  sk.sk_cl <- Some cl;
+  sk.sk_opened <- None;
+  (match sk.sk_bytes with
+  | Some b -> sk.sk_opened <- Some (C.open_hli_bytes cl b)
+  | None -> ());
+  List.iter
+    (fun (op, cell) ->
+      let r = apply_op cl op in
+      match !cell with
+      | Some recorded when recorded <> r ->
+          net_raise "E1105"
+            "failover replay diverged on %s (unit %S): the replacement \
+             shard is not equivalent"
+            sk.sk_path (op_unit op)
+      | _ -> cell := Some r)
+    (List.rev sk.sk_log);
+  Atomic.incr t.failovers;
+  cl
+
+(* run [f] against the shard's live client, recovering and retrying
+   (bounded) across shard death; must be called on the shard's worker *)
+let with_client t sk (f : C.t -> 'a) : 'a =
+  let rec go attempt =
+    match
+      match sk.sk_cl with
+      | Some cl -> f cl
+      | None -> f (recover t sk)
+    with
+    | v -> v
+    | exception Diagnostics.Diagnostic d
+      when retryable d.Diagnostics.code && attempt < t.op_retries ->
+        (match sk.sk_cl with
+        | Some cl ->
+            sk.sk_cl <- None;
+            C.close cl
+        | None -> ());
+        go (attempt + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Session setup                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_open t =
+  if t.closed then net_raise "E1110" "router session is closed"
+
+(** Split the container per shard, open each sub-container on its
+    shard concurrently, and merge the per-unit results back into
+    container order. *)
+let open_hli_bytes t bytes : (string * int list) list =
+  check_open t;
+  let parts =
+    match S.split_container bytes with
+    | parts -> parts
+    | exception S.Corrupt c ->
+        raise (Diagnostics.Diagnostic (P.diagnostic_of_fault c))
+  in
+  let n = Array.length t.shards in
+  let groups = Array.make n [] in
+  List.iter
+    (fun (name, payload) ->
+      let i = shard_of t name in
+      groups.(i) <- (name, payload) :: groups.(i))
+    parts;
+  let waits =
+    Array.to_list
+      (Array.mapi
+         (fun i sk ->
+           match List.rev groups.(i) with
+           | [] -> fun () -> []
+           | named ->
+               let sub = S.container_of_payloads (List.map snd named) in
+               sk.sk_bytes <- Some sub;
+               sk.sk_log <- [];
+               dispatch t i (fun () ->
+                   with_client t sk (fun cl ->
+                       match sk.sk_opened with
+                       | Some r -> r
+                       | None ->
+                           let r = C.open_hli_bytes cl sub in
+                           sk.sk_opened <- Some r;
+                           r)))
+         t.shards)
+  in
+  let opened = List.concat_map (fun wait -> wait ()) waits in
+  (* container order, like a single server's R_opened *)
+  List.map
+    (fun (name, _) ->
+      match List.assoc_opt name opened with
+      | Some dups -> (name, dups)
+      | None -> net_raise "E1105" "shard did not open unit %S" name)
+    parts
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let q_unit = function
+  | P.Q_equiv { u; _ }
+  | P.Q_alias { u; _ }
+  | P.Q_lcdd { u; _ }
+  | P.Q_call { u; _ }
+  | P.Q_region_of { u; _ }
+  | P.Q_hoist_target { u; _ } ->
+      u
+
+(** A shard's share of one batch: [Whole] when the shard owns every
+    query of the batch — forwarded verbatim, answers slotted as a
+    block — or [Split] with positions for cross-shard batches. *)
+type sub = Whole of P.query list | Split of (int * P.query) list
+
+(** Split each batch per shard (preserving per-shard query order), fan
+    the per-shard sub-trains out concurrently — each shard client
+    pipelines its own train — and merge every answer back into its
+    original batch position.  Batches whose queries all share one
+    owner (the common case: a session works one unit at a time) skip
+    the positional split entirely. *)
+let query_batches t (batches : P.query list list) : P.answer list list =
+  check_open t;
+  let n = Array.length t.shards in
+  let nb = List.length batches in
+  let out = Array.make nb [] in
+  (* positional scatter targets, allocated only for cross-shard
+     batches *)
+  let scat = Array.make nb [||] in
+  (* per shard: (batch index, sub) accumulated in batch order *)
+  let trains = Array.make n [] in
+  List.iteri
+    (fun bi qs ->
+      let owner =
+        match qs with
+        | [] -> Some (-1)
+        | q0 :: rest ->
+            let i0 = shard_of t (q_unit q0) in
+            if List.for_all (fun q -> shard_of t (q_unit q) = i0) rest then
+              Some i0
+            else None
+      in
+      match owner with
+      | Some -1 -> () (* empty batch: out.(bi) stays [] *)
+      | Some i -> trains.(i) <- (bi, Whole qs) :: trains.(i)
+      | None ->
+          (* split this batch by owner, keeping per-shard positional
+             order; every position is overwritten by exactly one
+             shard's merge below *)
+          scat.(bi) <- Array.make (List.length qs) (P.A_alias false);
+          let per = Array.make n [] in
+          List.iteri
+            (fun pos q ->
+              let i = shard_of t (q_unit q) in
+              per.(i) <- (pos, q) :: per.(i))
+            qs;
+          Array.iteri
+            (fun i l ->
+              match List.rev l with
+              | [] -> ()
+              | l -> trains.(i) <- (bi, Split l) :: trains.(i))
+            per)
+    batches;
+  let waits =
+    Array.to_list
+      (Array.mapi
+         (fun i sk ->
+           match List.rev trains.(i) with
+           | [] -> fun () -> []
+           | train ->
+               let subs =
+                 List.map
+                   (fun (_, s) ->
+                     match s with
+                     | Whole qs -> qs
+                     | Split l -> List.map snd l)
+                   train
+               in
+               let wait =
+                 match t.workers.(i) with
+                 | Some _ ->
+                     dispatch t i (fun () ->
+                         with_client t sk (fun cl -> C.query_batches cl subs))
+                 | None ->
+                     (* no worker domain for this shard: overlap the
+                        backends anyway.  Put the sub-train on the wire
+                        now — every shard is sent before any is
+                        collected, so the server processes compute
+                        concurrently even though one thread drives
+                        them.  A shard death after the send loses the
+                        in-flight replies: recover and re-run this
+                        sub-train synchronously, same budget as
+                        [with_client]. *)
+                     let k =
+                       with_client t sk (fun cl ->
+                           C.query_batches_send cl subs)
+                     in
+                     fun () -> (
+                       try k ()
+                       with Diagnostics.Diagnostic d
+                       when retryable d.Diagnostics.code ->
+                         (match sk.sk_cl with
+                         | Some cl ->
+                             sk.sk_cl <- None;
+                             C.close cl
+                         | None -> ());
+                         with_client t sk (fun cl -> C.query_batches cl subs))
+               in
+               fun () -> List.combine train (wait ()))
+         t.shards)
+  in
+  List.iter
+    (fun merged ->
+      List.iter
+        (fun ((bi, s), answers) ->
+          match s with
+          | Whole _ -> out.(bi) <- answers
+          | Split posed ->
+              List.iter2
+                (fun (pos, _) a -> scat.(bi).(pos) <- a)
+                posed answers)
+        merged)
+    (List.map (fun w -> w ()) waits);
+  Array.iteri
+    (fun bi a -> if Array.length a > 0 then out.(bi) <- Array.to_list a)
+    scat;
+  Array.to_list out
+
+let query_batch t qs =
+  match query_batches t [ qs ] with [ r ] -> r | _ -> assert false
+
+(* single-query conveniences: route to the owner and inherit the
+   shard client's memo tables and shm fast path *)
+let on_unit t u f =
+  check_open t;
+  let i = shard_of t u in
+  run_on t i (fun () -> with_client t t.shards.(i) f)
+
+let equiv_acc t ~u a b = on_unit t u (fun cl -> C.equiv_acc cl ~u a b)
+let alias t ~u ~rid ca cb = on_unit t u (fun cl -> C.alias cl ~u ~rid ca cb)
+let lcdd t ~u ~rid a b = on_unit t u (fun cl -> C.lcdd cl ~u ~rid a b)
+
+let call_acc t ~u ~call ~mem =
+  on_unit t u (fun cl -> C.call_acc cl ~u ~call ~mem)
+
+let region_of_item t ~u item = on_unit t u (fun cl -> C.region_of_item cl ~u item)
+let hoist_target t ~u item = on_unit t u (fun cl -> C.hoist_target cl ~u item)
+let line_table t u = on_unit t u (fun cl -> C.line_table cl u)
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance + the epoch barrier                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* log-then-apply: the op is in the shard's log before it runs, so a
+   shard dying mid-op replays it (filling the same result cell) and
+   the caller still gets exactly one answer *)
+let maint t (op : op) : op_result =
+  check_open t;
+  let i = shard_of t (op_unit op) in
+  let sk = t.shards.(i) in
+  run_on t i (fun () ->
+      let cell = ref None in
+      sk.sk_log <- (op, cell) :: sk.sk_log;
+      with_client t sk (fun cl ->
+          match !cell with
+          | Some r -> r (* applied by a recovery replay *)
+          | None ->
+              let r = apply_op cl op in
+              cell := Some r;
+              r))
+
+let notify_delete t ~u item = ignore (maint t (Op_delete (u, item)))
+
+let notify_gen t ~u ~like ~line =
+  match maint t (Op_gen (u, like, line)) with
+  | Res_int id -> id
+  | _ -> assert false
+
+let notify_move t ~u ~item ~target_rid =
+  match maint t (Op_move (u, item, target_rid)) with
+  | Res_bool b -> b
+  | _ -> assert false
+
+let notify_unroll t ~u ~rid ~factor =
+  match maint t (Op_unroll (u, rid, factor)) with
+  | Res_unroll r -> r
+  | _ -> assert false
+
+let pending t =
+  Array.fold_left
+    (fun acc sk -> acc + match sk.sk_cl with Some cl -> C.pending cl | None -> 0)
+    0 t.shards
+
+let flush t =
+  check_open t;
+  let waits =
+    Array.to_list
+      (Array.mapi
+         (fun i sk ->
+           dispatch t i (fun () ->
+               match sk.sk_cl with
+               | None -> ()
+               | Some _ -> with_client t sk C.flush))
+         t.shards)
+  in
+  List.iter (fun w -> w ()) waits
+
+(** The epoch barrier: drain every shard's in-flight replies, advance
+    the epoch, then refresh the owning shard.  After the barrier no
+    pre-refresh answer is still in flight anywhere, so replies
+    collected later are uniformly post-refresh — a router never mixes
+    generations across shards. *)
+let refresh t ~u =
+  flush t;
+  t.epoch <- t.epoch + 1;
+  ignore (maint t (Op_refresh u));
+  (* collect the refresh's own ack too (deferred under pipelining):
+     [pending t = 0] holds on return, so the barrier is observable *)
+  flush t
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry + teardown                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Aggregate fleet telemetry: a ["router"] object (shard count,
+    epoch, failovers) plus each backend's own stats object, in shard
+    order ([null] for an unreachable backend). *)
+let stats_json t =
+  check_open t;
+  let backends =
+    Array.to_list
+      (Array.mapi
+         (fun i sk ->
+           run_on t i (fun () ->
+               match with_client t sk C.server_stats with
+               | s -> s
+               | exception _ -> "null"))
+         t.shards)
+  in
+  Printf.sprintf "{\"router\":{\"shards\":%d,\"epoch\":%d,\"failovers\":%d},\
+                  \"backends\":[%s]}"
+    (Array.length t.shards) t.epoch
+    (Atomic.get t.failovers)
+    (String.concat "," backends)
+
+let close t =
+  if not t.closed then begin
+    let waits =
+      Array.to_list
+        (Array.mapi
+           (fun i sk ->
+             dispatch t i (fun () ->
+                 match sk.sk_cl with
+                 | Some cl ->
+                     sk.sk_cl <- None;
+                     C.close cl
+                 | None -> ()))
+           t.shards)
+    in
+    List.iter (fun w -> try w () with _ -> ()) waits;
+    Array.iter (function Some w -> stop_worker w | None -> ()) t.workers;
+    t.closed <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Process mode: hlid --router                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One accepted connection = one fleet session (inline mode: the
+   connection's domain serializes its own backends; concurrency comes
+   from connections, not per-session fan-out).  Requests are answered
+   strictly in order, so pipelined clients correlate positionally as
+   with a plain hlid.  Open_delta is answered E1106 — the client
+   library resyncs with a full Open_hli (the delta store lives on the
+   shards; re-splitting reference lists is not worth the protocol
+   surface) — and backend sessions run at pipeline 1 so every ack the
+   router forwards is a real backend answer, never a deferred one. *)
+let handle_req t ~backends (req : P.request) : P.response * bool =
+  match req with
+  | P.Hello { version } ->
+      if version <> P.protocol_version then
+        ( P.R_error
+            {
+              e_code = "E1111";
+              e_msg =
+                Printf.sprintf "protocol version mismatch: client %d, router %d"
+                  version P.protocol_version;
+            },
+          false )
+      else
+        ( P.R_hello
+            { version = P.protocol_version; shm_dir = None; shards = backends },
+          true )
+  | P.Open_hli bytes -> (P.R_opened (open_hli_bytes t bytes), true)
+  | P.Open_path path -> (
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | bytes -> (P.R_opened (open_hli_bytes t bytes), true)
+      | exception Sys_error m ->
+          (P.R_error { e_code = "E1108"; e_msg = m }, true))
+  | P.Open_delta _ | P.Delta_fill _ ->
+      ( P.R_error
+          {
+            e_code = "E1106";
+            e_msg = "delta upload unsupported via the router; resend as \
+                     Open_hli";
+          },
+        true )
+  | P.Batch qs -> (P.R_results (query_batch t qs), true)
+  | P.Notify_delete { u; item } ->
+      notify_delete t ~u item;
+      (P.R_ack, true)
+  | P.Notify_gen { u; like; line } -> (P.R_gen (notify_gen t ~u ~like ~line), true)
+  | P.Notify_move { u; item; target_rid } ->
+      (P.R_moved (notify_move t ~u ~item ~target_rid), true)
+  | P.Notify_unroll { u; rid; factor } ->
+      (P.R_unrolled (notify_unroll t ~u ~rid ~factor), true)
+  | P.Refresh u ->
+      refresh t ~u;
+      (P.R_ack, true)
+  | P.Line_table u -> (P.R_line_table (line_table t u), true)
+  | P.Stats -> (P.R_stats (stats_json t), true)
+  | P.Shm_list -> (P.R_shm_list [], true)
+  | P.Close -> (P.R_closing, false)
+
+let handle_conn ~backends ~timeout ~max_frame ~stop fd =
+  match connect ~timeout ~max_frame ~pipeline:1 ~fanout:false backends with
+  | exception _ ->
+      (* backends unreachable: the client sees EOF (E1110) and may
+         retry; nothing sound to answer without a session *)
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | t ->
+  let rd = P.reader fd in
+  let respond resp =
+    P.write_all
+      ~deadline:(P.now () +. timeout)
+      fd
+      (P.response_to_string resp)
+  in
+  let rec loop () =
+    match P.recv_request ~max_frame ~idle_timeout:0.2 ~timeout rd with
+    | P.Idle -> if Atomic.get stop then (try respond (P.R_error { e_code = "E1110"; e_msg = "router shutting down" }) with _ -> ()) else loop ()
+    | P.Closed -> ()
+    | P.Got req ->
+        let resp, keep =
+          try handle_req t ~backends req
+          with Diagnostics.Diagnostic d ->
+            ( P.R_error
+                { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },
+              true )
+        in
+        respond resp;
+        if keep then loop ()
+    | exception S.Corrupt c ->
+        (try
+           respond
+             (P.R_error
+                { e_code = c.S.c_code; e_msg = S.corruption_to_string c })
+         with _ -> ())
+  in
+  (try loop () with _ -> ());
+  close t;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(** Run the process-mode router: listen on [socket_path], proxy every
+    accepted session onto a fleet session over [backends].  Returns
+    when [stop] goes true (poll granularity 0.2s); in-flight sessions
+    are told E1110 and drained, mirroring hlid's graceful shutdown. *)
+let serve ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
+    ~backends ~socket_path ~stop () =
+  (match backends with
+  | [] -> invalid_arg "Router.serve: no backend sockets"
+  | _ -> ());
+  (try if Sys.file_exists socket_path then Sys.remove socket_path
+   with Sys_error _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind lfd (Unix.ADDR_UNIX socket_path);
+     Unix.listen lfd 64
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     net_raise "E1112" "cannot listen on %s: %s" socket_path
+       (Unix.error_message e));
+  let conns = ref [] in
+  while not (Atomic.get stop) do
+    match Unix.select [ lfd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept lfd with
+        | fd, _ ->
+            conns :=
+              Domain.spawn (fun () ->
+                  handle_conn ~backends ~timeout ~max_frame ~stop fd)
+              :: !conns
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  List.iter Domain.join !conns;
+  try Sys.remove socket_path with Sys_error _ -> ()

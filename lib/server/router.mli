@@ -1,0 +1,123 @@
+(** hlid fleet router: HLI units sharded across N hlid instances by
+    consistent hash of unit name, behind the single-session client
+    surface (DESIGN.md §9).
+
+    Batched/pipelined query trains are split per shard, fanned out
+    concurrently (one worker domain per shard on multi-core hosts) and
+    merged back into positional order.  {!refresh} is an epoch
+    barrier: every shard's in-flight replies are drained before the
+    owner refreshes, so pre- and post-refresh answers are never mixed
+    across shards.  A shard dying mid-session triggers re-handshake
+    and bounded retry — reconnect, re-open the shard's unit subset,
+    replay its maintenance log (verified against the recorded results;
+    divergence raises E1105), re-run the failed operation — so callers
+    see retried answers, never wrong ones. *)
+
+type t
+
+val connect :
+  ?timeout:float ->
+  ?max_frame:int ->
+  ?pipeline:int ->
+  ?shm:bool ->
+  ?fanout:bool ->
+  ?retry_attempts:int ->
+  ?retry_delay:float ->
+  string list ->
+  t
+(** Open one session per shard socket and hand back the fleet session.
+    [pipeline]/[shm]/[timeout]/[max_frame] apply to every shard
+    client.  [fanout] (default: on iff more than one shard {e and}
+    more than one core) runs each shard on its own worker domain so
+    sub-trains overlap; off, shards are driven sequentially from the
+    caller — cheaper on a single core.  [retry_attempts] (default 25)
+    × [retry_delay] (default 0.2s) bound how long a recovery waits for
+    a dead shard to come back — at setup too, so a shard mid-restart
+    does not kill sessions that merely started at the wrong moment.
+    Raises E1112 if a shard stays unreachable through the whole
+    window, [Invalid_argument] on an empty list. *)
+
+val shard_of : t -> string -> int
+(** The ring owner (index into the socket list) of a unit name —
+    deterministic in fleet size and order only. *)
+
+val shard_paths : t -> string list
+(** The shard sockets, in ring order (the v4 Hello shard map). *)
+
+val epoch : t -> int
+(** Refresh barriers completed on this session. *)
+
+val failovers : t -> int
+(** Successful shard recoveries (reconnect + replay) performed. *)
+
+val pending : t -> int
+(** In-flight frames summed across shards (0 unless pipelining); 0
+    immediately after any {!refresh} — the barrier drained them. *)
+
+val open_hli_bytes : t -> string -> (string * int list) list
+(** Split the container per shard, open every sub-container on its
+    owner (delta uploads included, via each shard client), and merge
+    the per-unit results back into container order.  The sub-containers
+    are retained for failover re-opens. *)
+
+val close : t -> unit
+(** Close every shard session and stop the worker domains.  Never
+    raises. *)
+
+val flush : t -> unit
+(** Drain in-flight replies on every shard. *)
+
+(** {2 Queries} — positional, exactly as {!Client}. *)
+
+val query_batch : t -> Protocol.query list -> Protocol.answer list
+val query_batches : t -> Protocol.query list list -> Protocol.answer list list
+
+val equiv_acc : t -> u:string -> int -> int -> Hli_core.Query.equiv_result
+val alias : t -> u:string -> rid:int -> int -> int -> bool
+
+val lcdd :
+  t -> u:string -> rid:int -> int -> int ->
+  Hli_core.Tables.lcdd_entry list option
+
+val call_acc :
+  t -> u:string -> call:int -> mem:int -> Hli_core.Query.call_acc_result
+
+val region_of_item : t -> u:string -> int -> int option
+val hoist_target : t -> u:string -> int -> int option
+val line_table : t -> string -> Hli_core.Tables.line_entry list
+
+(** {2 Maintenance} — routed to the unit's owner and appended to that
+    shard's replay log before executing, so a shard death mid-op still
+    yields exactly one (replayed) answer. *)
+
+val notify_delete : t -> u:string -> int -> unit
+val notify_gen : t -> u:string -> like:int -> line:int -> int
+val notify_move : t -> u:string -> item:int -> target_rid:int -> bool
+
+val notify_unroll :
+  t -> u:string -> rid:int -> factor:int -> Hli_core.Maintain.unroll_result
+
+val refresh : t -> u:string -> unit
+(** The epoch barrier (see the module header). *)
+
+val stats_json : t -> string
+(** Aggregate fleet telemetry: [{"router":{"shards","epoch",
+    "failovers"},"backends":[...]}] with each backend's own stats
+    object in shard order. *)
+
+(** {2 Process mode} — [hlid --router] *)
+
+val serve :
+  ?timeout:float ->
+  ?max_frame:int ->
+  backends:string list ->
+  socket_path:string ->
+  stop:bool Atomic.t ->
+  unit ->
+  unit
+(** Listen on [socket_path] speaking the ordinary wire protocol and
+    proxy each accepted session onto a fleet session over [backends]
+    (one domain per connection; Hello advertises the shard map;
+    Open_delta answers E1106 so clients resync with a full upload).
+    Returns once [stop] goes true; sessions are told E1110 and
+    drained.  Raises E1112 if the socket cannot be bound. *)

@@ -93,6 +93,9 @@ type stats = {
   mutable st_timeouts : int;
   mutable st_shm_publishes : int;
   mutable st_shm_rebuilds : int;
+  mutable st_shm_stale_swept : int;
+      (** orphaned [*.tmp.*] publish temporaries removed (a crash
+          between openfile and rename leaves one behind) *)
   mutable st_delta_opens : int;
   mutable st_delta_reused : int;  (** entries served from the store *)
   mutable st_delta_filled : int;  (** entries shipped by Delta_fill *)
@@ -122,6 +125,7 @@ let fresh_stats () =
     st_timeouts = 0;
     st_shm_publishes = 0;
     st_shm_rebuilds = 0;
+    st_shm_stale_swept = 0;
     st_delta_opens = 0;
     st_delta_reused = 0;
     st_delta_filled = 0;
@@ -264,9 +268,10 @@ let stats_json t =
         \"maintenance_ops\":%d,\"queries\":{\"total\":%d,\"equiv_acc\":%d,\
         \"alias\":%d,\"lcdd\":%d,\"call_acc\":%d,\"region_of_item\":%d,\
         \"hoist_target\":%d},\"latency_ns\":{\"samples\":%d,\"p50\":%d,\
-        \"p99\":%d},\"shm\":{\"publishes\":%d,\"rebuilds\":%d},\
-        \"delta\":{\"opens\":%d,\"entries_reused\":%d,\
-        \"entries_filled\":%d},\"refresh_skips\":%d,\
+        \"p99\":%d},\"shm\":{\"publishes\":%d,\"rebuilds\":%d,\
+        \"stale_swept\":%d},\"delta\":{\"opens\":%d,\"entries_reused\":%d,\
+        \"entries_filled\":%d},\"store\":{\"bytes\":%d,\"entries\":%d},\
+        \"refresh_skips\":%d,\
         \"per_session\":["
        s.st_sessions s.st_active s.st_frames s.st_rejected s.st_timeouts
        s.st_batches s.st_batch_max s.st_maintenance s.st_queries s.st_q_equiv
@@ -274,8 +279,9 @@ let stats_json t =
        s.st_lat_n
        (percentile_ns sorted 0.50)
        (percentile_ns sorted 0.99)
-       s.st_shm_publishes s.st_shm_rebuilds s.st_delta_opens s.st_delta_reused
-       s.st_delta_filled s.st_refresh_skips);
+       s.st_shm_publishes s.st_shm_rebuilds s.st_shm_stale_swept
+       s.st_delta_opens s.st_delta_reused s.st_delta_filled t.store_bytes
+       (Hashtbl.length t.store) s.st_refresh_skips);
   List.iteri
     (fun i (id, frames, queries) ->
       if i > 0 then Buffer.add_char b ',';
@@ -337,6 +343,17 @@ let session_shm_dir t (c : conn) =
     (fun d -> Filename.concat d (Printf.sprintf "sess-%d" c.c_id))
     t.cfg.shm_dir
 
+(* Remove orphaned publish temporaries from a session directory and
+   account for them.  Crash-orphaned [*.tmp.*] files (a publisher
+   SIGKILLed between openfile and rename) otherwise sit in
+   [shm_dir]/sess-<id>/ forever: nothing advertises them, and they
+   block the rmdir at reap. *)
+let sweep_session_dir t d =
+  let n = Shm.sweep_stale d in
+  if n > 0 then
+    locked t (fun () ->
+        t.st.st_shm_stale_swept <- t.st.st_shm_stale_swept + n)
+
 (* Publish one unit's HLIX segment, or skip on any filesystem trouble:
    the fast path is an optimization — the wire path stays
    authoritative, so shm failure must never fail the open. *)
@@ -355,7 +372,8 @@ let open_file t (c : conn) ~hash (f : T.hli_file) : P.response =
     match session_shm_dir t c with
     | Some d when hash <> "" ->
         (try
-           if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+           if not (Sys.file_exists d) then Unix.mkdir d 0o755
+           else sweep_session_dir t d;
            Some d
          with Unix.Unix_error _ | Sys_error _ -> None)
     | _ -> None
@@ -445,7 +463,11 @@ let handle t (c : conn) (req : P.request) : P.response * bool =
           false )
       else
         ( P.R_hello
-            { version = P.protocol_version; shm_dir = session_shm_dir t c },
+            {
+              version = P.protocol_version;
+              shm_dir = session_shm_dir t c;
+              shards = [];
+            },
           true )
   | P.Open_hli bytes -> (open_container_bytes t c bytes, true)
   | P.Open_delta refs ->
@@ -620,7 +642,7 @@ let handle t (c : conn) (req : P.request) : P.response * bool =
    true to keep the connection, false to terminate it. *)
 let handle_work t c out = function
   | W_req req ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = P.now () in
       let resp, keep =
         try handle t c req with
         | Reply_error (e_code, e_msg) -> (P.R_error { e_code; e_msg }, true)
@@ -636,7 +658,7 @@ let handle_work t c out = function
       | _ -> ());
       locked t (fun () ->
           t.st.st_frames <- t.st.st_frames + 1;
-          record_latency t (Unix.gettimeofday () -. t0));
+          record_latency t (P.now () -. t0));
       keep
   | W_fault cor ->
       (* a framing fault is unrecoverable: answer with its precise
@@ -670,7 +692,7 @@ let process t c =
       let s = Buffer.contents out in
       Buffer.clear out;
       P.write_all
-        ~deadline:(Unix.gettimeofday () +. t.cfg.request_timeout)
+        ~deadline:(P.now () +. t.cfg.request_timeout)
         c.c_fd s
     end
   in
@@ -787,7 +809,7 @@ let parse_conn t c =
           c.c_frame_since <- 0.0
         end
         else if c.c_frame_since = 0.0 then
-          c.c_frame_since <- Unix.gettimeofday ()
+          c.c_frame_since <- P.now ()
     | Some fi -> (
         match P.decode_request_at c.c_buf fi with
         | exception S.Corrupt cor -> fault cor
@@ -856,27 +878,50 @@ let create (cfg : config) : t =
       try if not (Sys.file_exists d) then Unix.mkdir d 0o755
       with Unix.Unix_error _ | Sys_error _ -> ())
   | None -> ());
-  {
+  let t =
+    {
     (* jobs = 1 is poller-inline mode: Pool.submit with no worker
        domains runs the job synchronously, so request handling happens
        on the poller domain itself.  On a single-core host that saves
        the cross-domain handoff per burst; the cost is that one slow
        request stalls every session, so it is opt-in, never the
        default. *)
-    cfg = { cfg with jobs = max 1 cfg.jobs };
-    listen_fd = fd;
-    stop = Atomic.make false;
-    pool = Pool.create ~jobs:(max 1 cfg.jobs);
-    active = Atomic.make 0;
-    mutex = Mutex.create ();
-    st = fresh_stats ();
-    conns = [];
-    store = Hashtbl.create 256;
-    store_q = Queue.create ();
-    store_bytes = 0;
-    wake_r;
-    wake_w;
-  }
+      cfg = { cfg with jobs = max 1 cfg.jobs };
+      listen_fd = fd;
+      stop = Atomic.make false;
+      pool = Pool.create ~jobs:(max 1 cfg.jobs);
+      active = Atomic.make 0;
+      mutex = Mutex.create ();
+      st = fresh_stats ();
+      conns = [];
+      store = Hashtbl.create 256;
+      store_q = Queue.create ();
+      store_bytes = 0;
+      wake_r;
+      wake_w;
+    }
+  in
+  (* a previous daemon SIGKILLed mid-publish leaves sess-<id>/ dirs
+     with orphaned *.tmp.* files under a shared shm root; sweep them
+     now so the space is reclaimed and the dirs can be reused *)
+  (match cfg.shm_dir with
+  | Some root -> (
+      match Sys.readdir root with
+      | exception Sys_error _ -> ()
+      | names ->
+          Array.iter
+            (fun name ->
+              if String.length name > 5 && String.sub name 0 5 = "sess-" then begin
+                let d = Filename.concat root name in
+                match Sys.is_directory d with
+                | true ->
+                    sweep_session_dir t d;
+                    (try Unix.rmdir d with Unix.Unix_error _ -> ())
+                | false | (exception Sys_error _) -> ()
+              end)
+            names)
+  | None -> ());
+  t
 
 (** Flip the stop flag, close the listening socket and wake the
     poller.  Callable from a signal handler; {!run} then drains and
@@ -958,7 +1003,9 @@ let reap t =
           | None -> ())
         c.c_units;
       (match session_shm_dir t c with
-      | Some d -> ( try Unix.rmdir d with Unix.Unix_error _ -> ())
+      | Some d ->
+          sweep_session_dir t d;
+          (try Unix.rmdir d with Unix.Unix_error _ -> ())
       | None -> ());
       Atomic.decr t.active;
       locked t (fun () ->
@@ -973,7 +1020,7 @@ let reap t =
 
 (* expire connections stuck mid-frame past the request timeout *)
 let check_frame_deadlines t live =
-  let now = Unix.gettimeofday () in
+  let now = P.now () in
   List.iter
     (fun c ->
       if
@@ -995,7 +1042,7 @@ let check_frame_deadlines t live =
 (* the poller sleeps until the next fd event, but never past the idle
    interval or the earliest mid-frame deadline *)
 let select_timeout t live =
-  let now = Unix.gettimeofday () in
+  let now = P.now () in
   List.fold_left
     (fun acc c ->
       if c.c_frame_since > 0.0 then
@@ -1043,8 +1090,8 @@ let run t =
      E1110 notice, then EOF *)
   let live = reap t in
   List.iter (fun c -> enqueue t c ~terminal:true W_shutdown) live;
-  let deadline = Unix.gettimeofday () +. (2.0 *. t.cfg.idle_timeout) +. 1.0 in
-  while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
+  let deadline = P.now () +. (2.0 *. t.cfg.idle_timeout) +. 1.0 in
+  while Atomic.get t.active > 0 && P.now () < deadline do
     ignore (reap t);
     sleepf 0.02
   done;
@@ -1057,8 +1104,8 @@ let run t =
             try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
             with Unix.Unix_error _ -> ())
           t.conns);
-    let deadline = Unix.gettimeofday () +. 2.0 in
-    while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
+    let deadline = P.now () +. 2.0 in
+    while Atomic.get t.active > 0 && P.now () < deadline do
       ignore (reap t);
       sleepf 0.02
     done

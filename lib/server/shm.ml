@@ -93,6 +93,36 @@ let rebuild pub ~hash idx =
 
 let close pub = try Unix.close pub.p_fd with Unix.Unix_error _ -> ()
 
+(** Remove orphaned publish temporaries ([<segment>.tmp.<pid>]) under
+    [dir], returning how many were removed.  A publisher that crashes
+    between [openfile] and [rename] leaves its temp file behind
+    forever — nothing ever advertises or reopens it — so any
+    [*.tmp.*] in a session directory we own is garbage by
+    construction (publishes within a session run on that session's
+    single worker, so a sweep at session open or close can never race
+    a live publish into the same directory). *)
+let sweep_stale dir : int =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun n name ->
+          (* "<base>.tmp.<pid>": a ".tmp." infix, not a suffix *)
+          let is_tmp =
+            let rec find i =
+              if i + 5 > String.length name then false
+              else if String.sub name i 5 = ".tmp." then true
+              else find (i + 1)
+            in
+            find 0
+          in
+          if is_tmp then (
+            match Unix.unlink (Filename.concat dir name) with
+            | () -> n + 1
+            | exception Unix.Unix_error _ -> n)
+          else n)
+        0 names
+
 (** Close and remove the advertised file.  Client mappings survive
     the unlink (the inode lives until the last mapping dies); they
     just stop seeing rebuilds, which the generation check turns into

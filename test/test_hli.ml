@@ -640,7 +640,42 @@ let cache_tests =
             (* a capped cache still compiles correctly *)
             Alcotest.(check bool) "capped warm run still correct" true
               (frontend_bytes ~config (cache_src 1)
-              = frontend_bytes (cache_src 1))))
+              = frontend_bytes (cache_src 1))));
+    Alcotest.test_case "trim ties break on path; concurrent trims survive"
+      `Quick (fun () ->
+        with_cache_dir (fun dir ->
+            let mk name =
+              let p = Filename.concat dir name in
+              Out_channel.with_open_bin p (fun oc ->
+                  Out_channel.output_string oc (String.make 10 'x'));
+              p
+            in
+            let paths = List.map mk [ "a.hlie"; "b.hlie"; "c.hlie"; "d.hlie" ] in
+            (* identical mtimes: on a 1s-granularity filesystem a whole
+               edit storm ties, so only the secondary path sort keeps
+               eviction deterministic *)
+            let t0 = Unix.time () -. 60.0 in
+            List.iter (fun p -> Unix.utimes p t0 t0) paths;
+            Harness.Pipeline.cache_trim dir ~max_bytes:(Some 20);
+            Alcotest.(check (list string))
+              "lexicographically smallest paths evicted first"
+              [ "c.hlie"; "d.hlie" ]
+              (List.sort compare (Array.to_list (Sys.readdir dir)));
+            (* two trims racing stat/unlink over the same files: both
+               must finish silently (a file the other trim already
+               removed is ENOENT at unlink, not an error) *)
+            let more =
+              List.map mk (List.init 30 (Printf.sprintf "e%02d.hlie"))
+            in
+            List.iter (fun p -> Unix.utimes p t0 t0) more;
+            let doms =
+              List.init 2 (fun _ ->
+                  Domain.spawn (fun () ->
+                      Harness.Pipeline.cache_trim dir ~max_bytes:(Some 1)))
+            in
+            List.iter Domain.join doms;
+            Alcotest.(check (list string)) "concurrent trims drained" []
+              (List.sort compare (Array.to_list (Sys.readdir dir)))));
   ]
 
 let () =

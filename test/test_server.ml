@@ -144,6 +144,17 @@ let expect_code code f =
   | exception Diagnostics.Diagnostic d ->
       Alcotest.(check string) "code" code d.Diagnostics.code
 
+(* Scrape the integer that follows [key] in a stats JSON blob. *)
+let json_int key json =
+  let klen = String.length key and n = String.length json in
+  let rec find i =
+    if i + klen > n then Alcotest.failf "stats JSON lacks %s" key
+    else if String.sub json i klen = key then i + klen
+    else find (i + 1)
+  in
+  let start = find 0 in
+  Scanf.sscanf (String.sub json start (min 20 (n - start))) "%d" Fun.id
+
 (* ------------------------------------------------------------------ *)
 (* Differential + maintenance + concurrency                            *)
 (* ------------------------------------------------------------------ *)
@@ -408,6 +419,25 @@ let shm_tests =
                     Alcotest.(check bool)
                       "lookups fell back to the wire" true
                       (after.C.wire_fallbacks > before.C.wire_fallbacks)))));
+    Alcotest.test_case "stale publish temporaries are swept and counted"
+      `Quick (fun () ->
+        with_shm_dir (fun dir ->
+            (* a crashed server left a half-published segment behind *)
+            let stale_dir = Filename.concat dir "sess-99" in
+            Unix.mkdir stale_dir 0o755;
+            let stale =
+              Filename.concat stale_dir "deadbeef.hlix.tmp.4242"
+            in
+            Out_channel.with_open_bin stale (fun oc ->
+                Out_channel.output_string oc "half-written junk");
+            with_server ~shm_dir:dir (fun path _srv ->
+                Alcotest.(check bool) "temporary removed at startup" false
+                  (Sys.file_exists stale);
+                Alcotest.(check bool) "orphan session dir removed" false
+                  (Sys.file_exists stale_dir);
+                with_client path (fun cl ->
+                    Alcotest.(check int) "telemetry counted the sweep" 1
+                      (json_int "\"stale_swept\":" (C.server_stats cl))))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -613,7 +643,7 @@ let pipeline_tests =
               (match P.recv_request ~timeout:10.0 rd with
               | P.Got (P.Hello _) ->
                   P.send_response fd
-                    (P.R_hello { version = P.protocol_version; shm_dir = None })
+                    (P.R_hello { version = P.protocol_version; shm_dir = None; shards = [] })
               | _ -> ());
               (match P.recv_request ~timeout:10.0 rd with
               | P.Got (P.Batch _) -> P.send_response fd P.R_ack
@@ -687,7 +717,7 @@ let wire_io_tests =
               (try Unix.close b with Unix.Unix_error _ -> ());
               r)
         in
-        P.write_all ~deadline:(Unix.gettimeofday () +. 10.0) a frame;
+        P.write_all ~deadline:(P.now () +. 10.0) a frame;
         let got = Domain.join reader_d in
         (try Unix.close a with Unix.Unix_error _ -> ());
         Alcotest.(check bool)
@@ -698,7 +728,7 @@ let wire_io_tests =
         let a, b = tiny_buffered_socketpair () in
         let frame = P.response_to_string (P.R_stats (String.make 1048576 'x')) in
         (match
-           P.write_all ~deadline:(Unix.gettimeofday () +. 0.2) a frame
+           P.write_all ~deadline:(P.now () +. 0.2) a frame
          with
         | () -> Alcotest.fail "expected E1109 on a never-read socket"
         | exception S.Corrupt c ->
@@ -981,6 +1011,348 @@ let delta_tests =
                     Alcotest.(check int) "clean units were skipped"
                       (skips0 + List.length entries - 1)
                       (skips (C.server_stats cl))))));
+    Alcotest.test_case "re-opening identical content leaves the store fixed"
+      `Quick (fun () ->
+        let entries = delta_entries 1 in
+        with_server (fun path _srv ->
+            let store_stats () =
+              with_client path (fun cl ->
+                  let json = C.server_stats cl in
+                  let key = "\"store\":{\"bytes\":" in
+                  let klen = String.length key and n = String.length json in
+                  let rec find i =
+                    if i + klen > n then
+                      Alcotest.fail "stats JSON lacks the store object"
+                    else if String.sub json i klen = key then i + klen
+                    else find (i + 1)
+                  in
+                  let start = find 0 in
+                  Scanf.sscanf
+                    (String.sub json start (min 60 (n - start)))
+                    "%d,\"entries\":%d"
+                    (fun b e -> (b, e)))
+            in
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries)));
+            let b1, n1 = store_stats () in
+            Alcotest.(check bool) "first open stored something" true (b1 > 0);
+            Alcotest.(check int) "one store entry per unit"
+              (List.length entries) n1;
+            (* repeated identical opens must not double-insert: the
+               store's accounted bytes stay exactly fixed *)
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries)));
+            with_client path (fun cl ->
+                ignore (C.open_hli_bytes cl (wire_of entries));
+                List.iter (check_unit_against_local cl) entries);
+            Alcotest.(check (pair int int))
+              "store_bytes and entry count unchanged" (b1, n1)
+              (store_stats ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fleet: units sharded across several hlid instances via the router   *)
+(* ------------------------------------------------------------------ *)
+
+module R = Hli_server.Router
+
+(* [n] independent servers, torn down innermost-first. *)
+let with_fleet n f =
+  let rec go acc k =
+    if k = 0 then f (List.rev acc)
+    else with_server (fun path srv -> go ((path, srv) :: acc) (k - 1))
+  in
+  go [] n
+
+let with_router ?pipeline paths f =
+  let rt = R.connect ?pipeline paths in
+  Fun.protect ~finally:(fun () -> R.close rt) (fun () -> f rt)
+
+(* The fleet corpus: guaranteed to hold >= 2 units with items. *)
+let fleet_entries = lazy (delta_entries 1)
+
+(* Delete a unit's first item and commit: the post-edit oracle. *)
+let deleted_oracle (e : T.hli_entry) =
+  let i0 = List.hd (items_of_entry e) in
+  let mt = M.start e in
+  M.delete_item mt i0;
+  let _entry', idx' = M.commit mt in
+  (i0, idx')
+
+let fleet_tests =
+  [
+    Alcotest.test_case "process-mode router: shard map + proxied answers"
+      `Quick (fun () ->
+        let entries = Lazy.force fleet_entries in
+        with_fleet 3 (fun fleet ->
+            let backends = List.map fst fleet in
+            let front = fresh_socket () in
+            let stop = Atomic.make false in
+            let d =
+              Domain.spawn (fun () ->
+                  R.serve ~backends ~socket_path:front ~stop ())
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                Atomic.set stop true;
+                Domain.join d)
+              (fun () ->
+                let rec wait n =
+                  if Sys.file_exists front then ()
+                  else if n = 0 then
+                    Alcotest.fail "router socket never appeared"
+                  else begin
+                    Unix.sleepf 0.02;
+                    wait (n - 1)
+                  end
+                in
+                wait 250;
+                with_client front (fun cl ->
+                    Alcotest.(check (list string))
+                      "Hello carries the shard map in ring order" backends
+                      (C.shard_map cl);
+                    (* open_hli_bytes first tries Open_delta; the router
+                       answers E1106 and the client resyncs with a full
+                       upload — the fallback is part of what we test *)
+                    ignore (C.open_hli_bytes cl (wire_of entries));
+                    List.iter (check_unit_against_local cl) entries)));
+        (* a standalone daemon advertises no shard map *)
+        with_server (fun path _srv ->
+            with_client path (fun cl ->
+                Alcotest.(check (list string))
+                  "standalone Hello: empty shard map" [] (C.shard_map cl))));
+    Alcotest.test_case "cross-shard batches split and merge positionally"
+      `Quick (fun () ->
+        let entries = Lazy.force fleet_entries in
+        with_fleet 3 (fun fleet ->
+            with_router ~pipeline:4 (List.map fst fleet) (fun rt ->
+                let opened = R.open_hli_bytes rt (wire_of entries) in
+                Alcotest.(check int) "all units opened"
+                  (List.length entries) (List.length opened);
+                let shards =
+                  List.sort_uniq compare
+                    (List.map
+                       (fun (e : T.hli_entry) ->
+                         R.shard_of rt e.T.unit_name)
+                       entries)
+                in
+                Alcotest.(check bool) "units spread over >= 2 shards" true
+                  (List.length shards >= 2);
+                (* per-unit (query, oracle answer) pairs... *)
+                let per_entry =
+                  List.map
+                    (fun (e : T.hli_entry) ->
+                      let u = e.T.unit_name in
+                      let idx = Q.build e in
+                      let items = take 5 (items_of_entry e) in
+                      List.concat_map
+                        (fun a ->
+                          (P.Q_region_of { u; item = a },
+                           P.A_region_of (Q.get_region_of_item idx a))
+                          :: List.concat_map
+                               (fun b ->
+                                 [
+                                   ( P.Q_equiv { u; a; b },
+                                     P.A_equiv (Q.get_equiv_acc idx a b) );
+                                   ( P.Q_call { u; call = a; mem = b },
+                                     P.A_call
+                                       (Q.get_call_acc idx ~call:a ~mem:b)
+                                   );
+                                 ])
+                               items)
+                        items)
+                    entries
+                in
+                (* ...woven round-robin so consecutive queries hop
+                   shards: the router must split the train per shard
+                   and stitch replies back into request order *)
+                let rec weave lists =
+                  let heads, tails =
+                    List.fold_right
+                      (fun l (hs, ts) ->
+                        match l with
+                        | [] -> (hs, ts)
+                        | h :: t -> (h :: hs, t :: ts))
+                      lists ([], [])
+                  in
+                  match heads with [] -> [] | _ -> heads @ weave tails
+                in
+                let woven = weave per_entry in
+                let queries = List.map fst woven
+                and oracle = List.map snd woven in
+                Alcotest.(check bool)
+                  "one interleaved batch merges to the oracle" true
+                  (R.query_batch rt queries = oracle);
+                (* pipelined trains of small cross-shard batches *)
+                let rec chunk k = function
+                  | [] -> []
+                  | xs ->
+                      let rec split i = function
+                        | x :: rest when i > 0 ->
+                            let h, t = split (i - 1) rest in
+                            (x :: h, t)
+                        | rest -> ([], rest)
+                      in
+                      let h, t = split k xs in
+                      h :: chunk k t
+                in
+                Alcotest.(check bool)
+                  "pipelined batches merge to the oracle" true
+                  (R.query_batches rt (chunk 7 queries) = chunk 7 oracle))));
+    Alcotest.test_case "refresh is an epoch barrier across shards" `Quick
+      (fun () ->
+        let entries = Lazy.force fleet_entries in
+        let with_items =
+          List.filter (fun e -> items_of_entry e <> []) entries
+        in
+        with_fleet 3 (fun fleet ->
+            with_router ~pipeline:8 (List.map fst fleet) (fun rt ->
+                ignore (R.open_hli_bytes rt (wire_of entries));
+                let e_u = List.hd with_items in
+                let e_v =
+                  List.find
+                    (fun (e : T.hli_entry) ->
+                      R.shard_of rt e.T.unit_name
+                      <> R.shard_of rt e_u.T.unit_name)
+                    with_items
+                in
+                let u = e_u.T.unit_name and v = e_v.T.unit_name in
+                let iu, idx_u = deleted_oracle e_u
+                and iv, idx_v = deleted_oracle e_v in
+                let e0 = R.epoch rt in
+                (* deferred maintenance acks in flight on two shards *)
+                R.notify_delete rt ~u iu;
+                R.notify_delete rt ~u:v iv;
+                Alcotest.(check bool) "acks in flight on two shards" true
+                  (R.pending rt >= 2);
+                R.refresh rt ~u;
+                Alcotest.(check int) "barrier drained every shard" 0
+                  (R.pending rt);
+                Alcotest.(check int) "epoch advanced" (e0 + 1) (R.epoch rt);
+                R.refresh rt ~u:v;
+                Alcotest.(check int) "second barrier drained too" 0
+                  (R.pending rt);
+                (* post-barrier answers are uniformly post-edit *)
+                List.iter
+                  (fun (un, idx) ->
+                    let probe =
+                      take 6
+                        (items_of_entry
+                           (if un = u then e_u else e_v))
+                    in
+                    List.iter
+                      (fun a ->
+                        List.iter
+                          (fun b ->
+                            Alcotest.check equiv_result
+                              (Printf.sprintf "post-barrier %s %d %d" un a
+                                 b)
+                              (Q.get_equiv_acc idx a b)
+                              (R.equiv_acc rt ~u:un a b))
+                          probe)
+                      probe)
+                  [ (u, idx_u); (v, idx_v) ])));
+    Alcotest.test_case
+      "killed shard: re-handshake, replay, byte-identical answers" `Quick
+      (fun () ->
+        let entries = Lazy.force fleet_entries in
+        let e =
+          List.find (fun e -> items_of_entry e <> []) entries
+        in
+        let u = e.T.unit_name in
+        (* local replay of the maintenance the recovery must reproduce *)
+        let i0, rest =
+          match items_of_entry e with
+          | i0 :: rest -> (i0, rest)
+          | [] -> Alcotest.fail "corpus has no items"
+        in
+        let like = match rest with i :: _ -> i | [] -> i0 in
+        let mt = M.start e in
+        M.delete_item mt i0;
+        let gid = M.gen_item mt ~like ~line:5 in
+        let _entry', idx' = M.commit mt in
+        (* servers managed by hand: the victim restarts on the SAME
+           socket path, which with_server's teardown cannot express *)
+        let paths = List.init 3 (fun _ -> fresh_socket ()) in
+        let start path =
+          let cfg =
+            {
+              (Hli_server.Server.default_config ~socket_path:path) with
+              jobs = 4;
+              idle_timeout = 0.005;
+            }
+          in
+          let srv = Hli_server.Server.create cfg in
+          (srv, Domain.spawn (fun () -> Hli_server.Server.run srv))
+        in
+        let servers = Array.of_list (List.map start paths) in
+        let halt i =
+          let srv, d = servers.(i) in
+          Hli_server.Server.initiate_shutdown srv;
+          Domain.join d
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iteri (fun i _ -> try halt i with _ -> ()) servers;
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              paths)
+          (fun () ->
+            with_router ~pipeline:4 paths (fun rt ->
+                ignore (R.open_hli_bytes rt (wire_of entries));
+                (* maintenance before the kill, so recovery must replay
+                   the log — and reproduce the same generated id *)
+                R.notify_delete rt ~u i0;
+                Alcotest.(check int) "generated id" gid
+                  (R.notify_gen rt ~u ~like ~line:5);
+                R.refresh rt ~u;
+                (* probe through query_batch: batches always cross the
+                   wire (the client memoizes singles locally, which
+                   would mask the kill entirely) *)
+                let items = take 8 (gid :: items_of_entry e) in
+                let train =
+                  List.concat_map
+                    (fun a ->
+                      List.map (fun b -> P.Q_equiv { u; a; b }) items)
+                    items
+                in
+                let probe () = R.query_batch rt train in
+                let before = probe () in
+                (* SIGKILL-equivalent: the owner goes away mid-session
+                   and a replacement comes up on the same socket *)
+                let victim = R.shard_of rt u in
+                halt victim;
+                servers.(victim) <- start (List.nth paths victim);
+                (* the next train on the dead connection must be
+                   retried, not answered wrongly, not raised *)
+                let after = probe () in
+                Alcotest.(check bool)
+                  "retried answers byte-identical" true (before = after);
+                Alcotest.(check bool) "a failover was recorded" true
+                  (R.failovers rt >= 1);
+                (* and the recovered shard still equals the committed
+                   local engine, deleted item unmapped included *)
+                List.iter
+                  (fun a ->
+                    List.iter
+                      (fun b ->
+                        Alcotest.check equiv_result
+                          (Printf.sprintf "post-failover equiv %d %d" a b)
+                          (Q.get_equiv_acc idx' a b)
+                          (R.equiv_acc rt ~u a b))
+                      items)
+                  items;
+                Alcotest.(check (option int)) "deleted item unmapped"
+                  (Q.get_region_of_item idx' i0)
+                  (R.region_of_item rt ~u i0);
+                (* unrelated shards never noticed *)
+                List.iter
+                  (fun (o : T.hli_entry) ->
+                    if R.shard_of rt o.T.unit_name <> victim then
+                      Alcotest.(check bool)
+                        (o.T.unit_name ^ " line table intact") true
+                        (R.line_table rt o.T.unit_name = o.T.line_table))
+                  entries)));
   ]
 
 let () =
@@ -992,4 +1364,5 @@ let () =
       ("pipelining", pipeline_tests);
       ("wire-io", wire_io_tests);
       ("delta", delta_tests);
+      ("fleet", fleet_tests);
     ]
