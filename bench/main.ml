@@ -36,6 +36,15 @@
                                                  recompile curve,
                                                  BENCH_editstorm.json)
 
+             dune exec bench/main.exe -- specbench
+                                                 (speculative-scheduling
+                                                 threshold sweep: DDG edges
+                                                 dropped, misspeculation rate
+                                                 and speedup over the
+                                                 non-speculative HLI schedule
+                                                 per workload,
+                                                 BENCH_speculate.json)
+
    Flags (tables mode):
      -j N                 domain-pool size (default: HLI_JOBS env, else
                           Domain.recommended_domain_count; -j 1 is the
@@ -49,6 +58,12 @@
      --ablation NAME      run under a DESIGN.md §5 ablation config
                           (baseline, merge-off, routine-regions,
                           hli-only, lsq-off)
+     --speculate THRESH   schedule speculatively: drop maybe-class
+                          store-to-load DDG edges whose HLI confidence
+                          is below THRESH per mille (0..1000), with
+                          run-time checks and recovery; composes onto
+                          --ablation (specbench sweeps this axis
+                          itself and rejects the flag)
      --list-passes        list the registered passes and exit
      --hli-cache DIR      on-disk HLI cache directory for the compile
                           stage (default: HLI_CACHE env; unset disables
@@ -106,15 +121,19 @@ type cfg = {
   shm : bool;  (** map published HLIX segments (--shm) *)
   batch : int;  (** queries per frame (servbench-child only) *)
   repeat : int;  (** stream replay count (servbench-child only) *)
+  speculate : int option;
+      (** per-mille speculation threshold (--speculate); composes onto
+          --ablation for tables mode, None = non-speculative *)
 }
 
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [tables|micro|querybench|serbench|servbench|fleetbench|remote-probe|emit-hli|editstorm|all] \
+     [tables|micro|querybench|serbench|servbench|fleetbench|remote-probe|emit-hli|editstorm|specbench|all] \
      [-j N] [--fuel N] [--workloads a,b,c] [--passes SPEC] [--ablation NAME] \
-     [--list-passes] [--stats] [--stats-json PATH] [--validate-json PATH] \
-     [--hli-cache DIR] [--out PATH] [--remote SOCKET] [--pipeline N] [--shm]";
+     [--speculate THRESH] [--list-passes] [--stats] [--stats-json PATH] \
+     [--validate-json PATH] [--hli-cache DIR] [--out PATH] [--remote SOCKET] \
+     [--pipeline N] [--shm]";
   exit 2
 
 (* --------------------------------------------------------------- *)
@@ -182,14 +201,15 @@ let parse_args () =
         shm = false;
         batch = 64;
         repeat = 1;
+        speculate = None;
       }
   in
   let rec loop = function
     | [] -> ()
     | ( "tables" | "micro" | "all" | "querybench" | "serbench" | "servbench"
       | "servbench-child" | "fleetbench" | "fleetbench-server" | "remote-probe"
-      | "emit-hli"
-      | "editstorm" ) as m
+      | "emit-hli" | "editstorm"
+      | "specbench" ) as m
       :: rest ->
         cfg := { !cfg with mode = m };
         loop rest
@@ -222,6 +242,13 @@ let parse_args () =
     | "--ablation" :: name :: rest ->
         cfg := { !cfg with ablation = name };
         loop rest
+    | "--speculate" :: n :: rest -> (
+        (* per-mille threshold; composes onto --ablation *)
+        match int_of_string_opt n with
+        | Some t when t >= 0 && t <= 1000 ->
+            cfg := { !cfg with speculate = Some t };
+            loop rest
+        | _ -> usage ())
     | "--list-passes" :: _ ->
         print_string (Driver.Pass_manager.list_text ());
         exit 0
@@ -320,6 +347,13 @@ let pipeline_config cfg =
       remote = cfg.remote;
       pipeline = cfg.pipeline;
       shm = cfg.shm }
+    |> fun c ->
+    (match cfg.speculate with
+    | None -> c
+    | Some t ->
+        { c with
+          Harness.Pipeline.ablation =
+            Driver.Variant.with_speculate t c.Harness.Pipeline.ablation })
   with Diagnostics.Diagnostic d ->
     Fmt.epr "%a@." Diagnostics.pp d;
     exit (Diagnostics.exit_code d)
@@ -1325,6 +1359,223 @@ let editstorm cfg =
   Printf.eprintf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Speculation sweep (BENCH_speculate.json)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* For every workload: compile and simulate the non-speculative
+   baseline once, then re-run the full variant matrix at each
+   --speculate threshold of the sweep, recording DDG edges dropped,
+   run-time checks inserted, misspeculation recoveries and the speedup
+   of the speculative HLI schedule over the non-speculative one (per
+   machine, HLI-variant cycles against HLI-variant cycles — the
+   gcc-only baselines never speculate).  Threshold 0 can never drop an
+   edge (no per-mille confidence is below 0), so its cycle counts must
+   equal the baseline's exactly; a difference means the byte-identity
+   guarantee of [speculate = None] is broken and the bench fails.
+   The artifact is BENCH_speculate.json (hli-specbench-v1);
+   bench/specbench.sh validates it and gates the misspeculation rate
+   at the default threshold. *)
+
+let spec_thresholds = [ 0; 250; 500; 750; 1000 ]
+
+type spec_cell = {
+  sc_t : int;  (** per-mille threshold *)
+  sc_dropped : int;  (** DDG edges dropped (stats variant) *)
+  sc_checks : int;  (** speculative loads flagged (stats variant) *)
+  sc_misspec : int;  (** recoveries, summed over both HLI variants *)
+  sc_rate : float;  (** misspeculations per dynamic instruction *)
+  sc_c4 : int;  (** HLI-variant R4600 cycles *)
+  sc_c10 : int;  (** HLI-variant R10000 cycles *)
+  sc_s4 : float;  (** speedup over the non-speculative HLI schedule *)
+  sc_s10 : float;
+}
+
+let spec_fail_reason = function
+  | Diagnostics.Diagnostic d -> Diagnostics.to_string d
+  | Machine.Exec.Out_of_fuel -> "out of fuel"
+  | Machine.Exec.Runtime_error m -> "runtime error: " ^ m
+  | e -> Printexc.to_string e
+
+let specbench cfg pool =
+  let ws =
+    match cfg.workloads with
+    | None -> Workloads.Registry.all
+    | Some names ->
+        List.filter_map
+          (fun n ->
+            match Workloads.Registry.find n with
+            | Some w -> Some w
+            | None ->
+                Fmt.epr "warning: unknown workload %s (skipped)@." n;
+                None)
+          names
+  in
+  let base_ablation =
+    (pipeline_config cfg).Harness.Pipeline.ablation
+  in
+  if base_ablation.Driver.Variant.speculate <> None then begin
+    (* the sweep owns the threshold axis *)
+    Printf.eprintf "specbench: --speculate is implied by the sweep\n";
+    exit 2
+  end;
+  let run_at w speculate =
+    let ablation =
+      match speculate with
+      | None -> base_ablation
+      | Some t -> Driver.Variant.with_speculate t base_ablation
+    in
+    let config = { (pipeline_config cfg) with Harness.Pipeline.ablation } in
+    let c = Harness.Pipeline.compile ~config ?pool w.Workloads.Workload.source in
+    let m = Harness.Pipeline.measure ~fuel:cfg.fuel ?pool c in
+    (c, m)
+  in
+  let speedup base opt = if base = 0 || opt = 0 then 1.0
+    else float_of_int base /. float_of_int opt
+  in
+  Printf.printf "== Speculative scheduling sweep (per-mille thresholds) ==\n";
+  Printf.printf "%-14s %6s %8s %7s %8s %9s %8s %8s\n" "Benchmark" "thresh"
+    "dropped" "checks" "misspec" "rate" "sp4600" "sp10000";
+  let rows =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        let name = w.Workloads.Workload.name in
+        Fmt.epr "specbench: %s...@." name;
+        match run_at w None with
+        | exception
+            ((Diagnostics.Diagnostic _ | Machine.Exec.Out_of_fuel
+             | Machine.Exec.Runtime_error _) as e) ->
+            let reason = spec_fail_reason e in
+            Printf.printf "%-14s (skipped: %s)\n" name reason;
+            (name, 0, 0, 0, Error reason)
+        | _, m0 ->
+            let b4 = Harness.Pipeline.r4600_hli m0 in
+            let b10 = Harness.Pipeline.r10000_hli m0 in
+            let cells =
+              List.filter_map
+                (fun t ->
+                  match run_at w (Some t) with
+                  | exception
+                      ((Diagnostics.Diagnostic _ | Machine.Exec.Out_of_fuel
+                       | Machine.Exec.Runtime_error _) as e) ->
+                      Printf.printf "%-14s %6d (failed: %s)\n" name t
+                        (spec_fail_reason e);
+                      None
+                  | c, m ->
+                      let r4 = Harness.Pipeline.r4600_hli m in
+                      let r10 = Harness.Pipeline.r10000_hli m in
+                      let misspec =
+                        r4.Machine.Simulate.misspeculations
+                        + r10.Machine.Simulate.misspeculations
+                      in
+                      let dyn =
+                        r4.Machine.Simulate.dyn_insns
+                        + r10.Machine.Simulate.dyn_insns
+                      in
+                      let s = c.Harness.Pipeline.stats in
+                      if
+                        t = 0
+                        && (r4.Machine.Simulate.cycles
+                            <> b4.Machine.Simulate.cycles
+                           || r10.Machine.Simulate.cycles
+                              <> b10.Machine.Simulate.cycles)
+                      then begin
+                        Printf.eprintf
+                          "specbench: FAIL — %s at threshold 0 differs from \
+                           the non-speculative run (r4600 %d vs %d, r10000 \
+                           %d vs %d cycles)\n"
+                          name r4.Machine.Simulate.cycles
+                          b4.Machine.Simulate.cycles
+                          r10.Machine.Simulate.cycles
+                          b10.Machine.Simulate.cycles;
+                        exit 1
+                      end;
+                      let cell =
+                        {
+                          sc_t = t;
+                          sc_dropped = s.Backend.Ddg.spec_edges_dropped;
+                          sc_checks = s.Backend.Ddg.spec_checks;
+                          sc_misspec = misspec;
+                          sc_rate =
+                            (if dyn = 0 then 0.0
+                             else float_of_int misspec /. float_of_int dyn);
+                          sc_c4 = r4.Machine.Simulate.cycles;
+                          sc_c10 = r10.Machine.Simulate.cycles;
+                          sc_s4 =
+                            speedup b4.Machine.Simulate.cycles
+                              r4.Machine.Simulate.cycles;
+                          sc_s10 =
+                            speedup b10.Machine.Simulate.cycles
+                              r10.Machine.Simulate.cycles;
+                        }
+                      in
+                      Printf.printf
+                        "%-14s %6d %8d %7d %8d %9.6f %8.3f %8.3f\n" name t
+                        cell.sc_dropped cell.sc_checks cell.sc_misspec
+                        cell.sc_rate cell.sc_s4 cell.sc_s10;
+                      Some cell)
+                spec_thresholds
+            in
+            ( name,
+              (Harness.Pipeline.r4600_gcc m0).Machine.Simulate.dyn_insns,
+              b4.Machine.Simulate.cycles,
+              b10.Machine.Simulate.cycles,
+              Ok cells ))
+      ws
+  in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"hli-specbench-v1\",\"thresholds\":[%s],\
+                     \"workloads\":["
+       (String.concat "," (List.map string_of_int spec_thresholds)));
+  List.iteri
+    (fun i (name, dyn, c4, c10, cells) ->
+      if i > 0 then Buffer.add_char b ',';
+      match cells with
+      | Error reason ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"name\":\"%s\",\"failure\":\"%s\"}"
+               (Harness.Telemetry.json_escape name)
+               (Harness.Telemetry.json_escape reason))
+      | Ok cells ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"dyn_insns\":%d,\
+                \"base\":{\"cycles_r4600\":%d,\"cycles_r10000\":%d},\"sweep\":["
+               (Harness.Telemetry.json_escape name)
+               dyn c4 c10);
+          List.iteri
+            (fun j c ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf
+                   "{\"threshold\":%d,\"edges_dropped\":%d,\"checks\":%d,\
+                    \"misspeculations\":%d,\"misspec_rate\":%.6f,\
+                    \"cycles_r4600\":%d,\"cycles_r10000\":%d,\
+                    \"speedup_r4600\":%.3f,\"speedup_r10000\":%.3f}"
+                   c.sc_t c.sc_dropped c.sc_checks c.sc_misspec c.sc_rate
+                   c.sc_c4 c.sc_c10 c.sc_s4 c.sc_s10))
+            cells;
+          Buffer.add_string b "]}")
+    rows;
+  Buffer.add_string b "]}";
+  let json = Buffer.contents b in
+  (match Harness.Telemetry.validate_json json with
+  | Ok () -> ()
+  | Error (msg, pos) ->
+      Printf.eprintf "specbench: generated malformed JSON at byte %d: %s\n" pos
+        msg;
+      exit 1);
+  let out = Option.value ~default:"BENCH_speculate.json" cfg.out in
+  let oc =
+    try open_out_bin out
+    with Sys_error msg ->
+      Printf.eprintf "--out: %s\n" msg;
+      exit 1
+  in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json);
+  Printf.eprintf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Server benchmark (servbench) and the remote-probe fault client      *)
 (* ------------------------------------------------------------------ *)
 
@@ -2207,4 +2458,5 @@ let () =
       if cfg.mode = "fleetbench" then fleetbench cfg;
       if cfg.mode = "remote-probe" then remote_probe cfg;
       if cfg.mode = "emit-hli" then emit_hli cfg;
-      if cfg.mode = "editstorm" then editstorm cfg)
+      if cfg.mode = "editstorm" then editstorm cfg;
+      if cfg.mode = "specbench" then specbench cfg pool)

@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-let run_tables only quick passes ablation list_passes =
+let run_tables only quick passes ablation speculate list_passes =
   if list_passes then begin
     print_string (Driver.Pass_manager.list_text ());
     0
@@ -26,6 +26,14 @@ let run_tables only quick passes ablation list_passes =
             Diagnostics.error ~code:"E1006" ~phase:Diagnostics.Driver
               "unknown ablation %S (known: %s)" ablation
               (String.concat ", " ("baseline" :: Driver.Variant.ablation_names))
+      in
+      let ablation =
+        match speculate with
+        | None -> ablation
+        | Some t when t >= 0 && t <= 1000 -> Driver.Variant.with_speculate t ablation
+        | Some t ->
+            Diagnostics.error ~code:"E1006" ~phase:Diagnostics.Driver
+              "--speculate threshold %d out of range (per-mille, 0..1000)" t
       in
       let config =
         { Harness.Pipeline.specs = Driver.Pass_manager.parse_specs passes;
@@ -67,6 +75,15 @@ let ablation_arg =
     value & opt string "baseline"
     & info [ "ablation" ] ~docv:"NAME" ~doc:"ablation configuration")
 
+let speculate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "speculate" ] ~docv:"THRESH"
+        ~doc:
+          "speculative scheduling threshold in per mille (0..1000); \
+           composes with $(b,--ablation)")
+
 let list_passes_flag =
   Arg.(value & flag & info [ "list-passes" ] ~doc:"list registered passes and exit")
 
@@ -75,6 +92,6 @@ let cmd =
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(
       const run_tables $ only_arg $ quick_flag $ passes_arg $ ablation_arg
-      $ list_passes_flag)
+      $ speculate_arg $ list_passes_flag)
 
 let () = exit (Cmd.eval' cmd)

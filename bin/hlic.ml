@@ -49,8 +49,8 @@ let lint_hli path =
           4)
 
 let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
-    list_passes jobs stats stats_json lint hli_cache hli_cache_max remote
-    pipeline shm =
+    speculate list_passes jobs stats stats_json lint hli_cache hli_cache_max
+    remote pipeline shm =
   if list_passes then begin
     print_string (Driver.Pass_manager.list_text ());
     0
@@ -78,6 +78,16 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
                   "unknown ablation %S (known: %s)" ablation
                   (String.concat ", "
                      ("baseline" :: Driver.Variant.ablation_names))
+          in
+          let ablation =
+            match speculate with
+            | None -> ablation
+            | Some t when t >= 0 && t <= 1000 ->
+                Driver.Variant.with_speculate t ablation
+            | Some t ->
+                Diagnostics.error ~code:"E1006" ~phase:Diagnostics.Driver
+                  "--speculate threshold %d out of range (per-mille, 0..1000)"
+                  t
           in
           let config =
             {
@@ -129,6 +139,9 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
             "dependence queries: total=%d gcc_yes=%d hli_yes=%d combined_yes=%d@."
             s.Backend.Ddg.total s.Backend.Ddg.gcc_yes s.Backend.Ddg.hli_yes
             s.Backend.Ddg.combined_yes;
+          if ablation.Driver.Variant.speculate <> None then
+            Fmt.pr "speculation: edges_dropped=%d checks=%d@."
+              s.Backend.Ddg.spec_edges_dropped s.Backend.Ddg.spec_checks;
           if run then begin
             let m =
               if md_is_4600 then Machine.Simulate.R4600
@@ -146,7 +159,11 @@ let run_hlic src_path use_hli machine run emit_hli dump_rtl passes ablation
             Fmt.pr "[%s] %d cycles, %d instructions, L1 %d/%d hits/misses@."
               (Machine.Simulate.machine_name m)
               r.Machine.Simulate.cycles r.Machine.Simulate.dyn_insns
-              r.Machine.Simulate.l1_hits r.Machine.Simulate.l1_misses
+              r.Machine.Simulate.l1_hits r.Machine.Simulate.l1_misses;
+            if r.Machine.Simulate.misspeculations > 0 then
+              Fmt.pr "[%s] %d misspeculation(s) recovered@."
+                (Machine.Simulate.machine_name m)
+                r.Machine.Simulate.misspeculations
           end;
           if stats then begin
             Fmt.pr "== per-stage telemetry ==@.%a" Harness.Telemetry.pp_table tm;
@@ -236,6 +253,18 @@ let ablation_arg =
     & info [ "ablation" ] ~docv:"NAME"
         ~doc:"ablation configuration (baseline, merge-off, \
               routine-regions, hli-only, lsq-off)")
+
+let speculate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "speculate" ] ~docv:"THRESH"
+        ~doc:
+          "speculative scheduling: drop maybe-class store-to-load \
+           dependences whose HLI confidence is below $(docv) per mille \
+           (0..1000) from the DDG, inserting run-time checks with \
+           recovery; composes with $(b,--ablation).  Unset keeps \
+           schedules byte-identical to the non-speculative compiler")
 
 let list_passes_flag =
   Arg.(value & flag & info [ "list-passes" ] ~doc:"list registered passes and exit")
@@ -330,8 +359,9 @@ let cmd =
   Cmd.v (Cmd.info "hlic" ~doc)
     Term.(
       const run_hlic $ src_arg $ hli_flag $ machine_arg $ run_flag $ emit_arg
-      $ dump_flag $ passes_arg $ ablation_arg $ list_passes_flag $ jobs_arg
-      $ stats_flag $ stats_json_arg $ lint_arg $ hli_cache_arg
-      $ hli_cache_max_arg $ remote_arg $ pipeline_arg $ shm_flag)
+      $ dump_flag $ passes_arg $ ablation_arg $ speculate_arg
+      $ list_passes_flag $ jobs_arg $ stats_flag $ stats_json_arg $ lint_arg
+      $ hli_cache_arg $ hli_cache_max_arg $ remote_arg $ pipeline_arg
+      $ shm_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -232,6 +232,117 @@ let carried ~ctx ~invariant (a : Frontir.Access.t) (b : Frontir.Access.t) : outc
     end
   end
 
+(* ------------------------------------------------------------------ *)
+(* Dependence likelihood (HLI3 probability sections)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-mille likelihood assumed for a "maybe" dependence when the
+    affine tests left no measurable slack (wild symbols, non-affine
+    subscripts, symbolic bounds): an uninformative midpoint. *)
+let default_dep_prob = 500
+
+(* Likelihood that a [Dim_maybe] dimension really carries a dependence,
+   from the slack the deciding tests left.  Mirrors the coefficient
+   derivation of [analyze_dim] (which stays byte-identical), then turns
+   the two filters that {e almost} proved independence into evidence:
+
+   - GCD: solutions of the Diophantine equation form a lattice with
+     spacing [g]; having passed [g | r], roughly one in [g] index
+     combinations can still land on the solution plane -> [1000 / g].
+   - Banerjee: with constant bounds the equation value sweeps
+     [mn..mx]; a dependence needs an exact zero, so the wider the
+     straddle the less likely -> [1000 / (mx - mn + 1)].
+
+   Independent pieces of evidence multiply (per-mille fixed point);
+   no evidence at all yields {!default_dep_prob}. *)
+let dim_dep_prob ~ctx ~invariant (fa : Affine.t) (fb : Affine.t) : int =
+  let is_inner v = List.exists (Symbol.equal v) ctx.inner_ivars in
+  let ca, ra = Affine.split fa ctx.ivar in
+  let cb, rb = Affine.split fb ctx.ivar in
+  let strip_inner t =
+    let rest =
+      { t with
+        Affine.terms = List.filter (fun (v, _) -> not (is_inner v)) t.Affine.terms
+      }
+    in
+    (List.filter_map (fun (v, c) -> if is_inner v then Some c else None) t.Affine.terms, rest)
+  in
+  let inner_a, ra = strip_inner ra in
+  let inner_b, rb = strip_inner rb in
+  let has_wild =
+    List.exists (fun v -> not (invariant v)) (Affine.symbols ra)
+    || List.exists (fun v -> not (invariant v)) (Affine.symbols rb)
+  in
+  let rest = Affine.sub ra rb in
+  if has_wild || not (Affine.is_const rest) then default_dep_prob
+  else begin
+    let r = rest.Affine.const in
+    let inner_coeffs = inner_a @ List.map (fun c -> -c) inner_b in
+    let coeffs =
+      List.filter (fun c -> c <> 0) ((ca - cb) :: cb :: inner_coeffs)
+    in
+    let g = gcd_list coeffs in
+    let evidence = ref [] in
+    if g > 1 then evidence := max 1 (1000 / g) :: !evidence;
+    (let lo_const =
+       match ctx.lower with Some lo -> Affine.const_value lo | None -> None
+     in
+     match (ctx.trip, lo_const, ctx.step) with
+     | Some trip, Some lo, Some 1 when inner_coeffs = [] ->
+         let dmax = max 0 (trip - 1) in
+         if dmax > 0 then begin
+           let c1 = ca - cb and c2 = -cb in
+           let candidates = ref [] in
+           List.iter
+             (fun d ->
+               let i_lo = lo and i_hi = lo + dmax - d in
+               if i_hi >= i_lo then begin
+                 candidates := ((c1 * i_lo) + (c2 * d) + r) :: !candidates;
+                 candidates := ((c1 * i_hi) + (c2 * d) + r) :: !candidates
+               end)
+             [ 1; dmax ];
+           match !candidates with
+           | [] -> ()
+           | cs ->
+               let mn = List.fold_left min max_int cs
+               and mx = List.fold_left max min_int cs in
+               if mn <= 0 && mx >= 0 then
+                 evidence := max 1 (1000 / (mx - mn + 1)) :: !evidence
+         end
+     | _ -> ());
+    match !evidence with
+    | [] -> default_dep_prob
+    | ps -> max 1 (List.fold_left (fun acc p -> acc * p / 1000) 1000 ps)
+  end
+
+(** Per-mille likelihood that the {!carried} dependence between [a] and
+    [b] is real: definite outcomes map to 1000, proven independence to
+    0, and "maybe" outcomes to the product of each dimension's slack
+    evidence (all dimensions must carry the dependence at once). *)
+let carried_prob ~ctx ~invariant (a : Frontir.Access.t) (b : Frontir.Access.t) : int =
+  match carried ~ctx ~invariant a b with
+  | Independent -> 0
+  | Dependent { definite = true; _ } -> 1000
+  | Unknown -> default_dep_prob
+  | Dependent { definite = false; _ } ->
+      let subs_a = affine_subscripts a and subs_b = affine_subscripts b in
+      if List.length subs_a <> List.length subs_b || subs_a = [] then
+        default_dep_prob
+      else
+        let probs =
+          List.map2
+            (fun fa fb ->
+              match (fa, fb) with
+              | Some fa, Some fb -> (
+                  match analyze_dim ~ctx ~invariant fa fb with
+                  | Dim_maybe -> dim_dep_prob ~ctx ~invariant fa fb
+                  | Dim_independent -> 0
+                  | Dim_distance _ | Dim_any_distance -> 1000)
+              | _ -> default_dep_prob)
+            subs_a subs_b
+        in
+        max 1 (List.fold_left (fun acc p -> acc * p / 1000) 1000 probs)
+
 (** Do the two accesses refer to the same location {e within one
     iteration} (all enclosing induction variables at equal values)?
     Used for equivalence-class formation and the alias table. *)

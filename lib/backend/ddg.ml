@@ -19,15 +19,30 @@ type stats = {
   mutable gcc_yes : int;
   mutable hli_yes : int;
   mutable combined_yes : int;
+  mutable spec_edges_dropped : int;
+      (** store-to-load edges removed under [--speculate] *)
+  mutable spec_checks : int;
+      (** loads marked speculative (one check each, at the original
+          position) *)
 }
 
-let fresh_stats () = { total = 0; gcc_yes = 0; hli_yes = 0; combined_yes = 0 }
+let fresh_stats () =
+  {
+    total = 0;
+    gcc_yes = 0;
+    hli_yes = 0;
+    combined_yes = 0;
+    spec_edges_dropped = 0;
+    spec_checks = 0;
+  }
 
 let add_stats a b =
   a.total <- a.total + b.total;
   a.gcc_yes <- a.gcc_yes + b.gcc_yes;
   a.hli_yes <- a.hli_yes + b.hli_yes;
-  a.combined_yes <- a.combined_yes + b.combined_yes
+  a.combined_yes <- a.combined_yes + b.combined_yes;
+  a.spec_edges_dropped <- a.spec_edges_dropped + b.spec_edges_dropped;
+  a.spec_checks <- a.spec_checks + b.spec_checks
 
 type edge = { e_src : int; e_dst : int; e_lat : int }
 (** indices into the block's instruction array *)
@@ -93,12 +108,46 @@ let call_mem_dependent ~mode ~hli (call : insn) (mem : insn) : bool =
     | Gcc_only, _ | _, None -> true (* GCC fences all memory at calls *)
     | With_hli, Some h -> Hli_import.call_conflicts h ~call ~mem
 
+(* Speculation eligibility of a store->load pair the final decision
+   called dependent: the HLI must answer a maybe-class result (a
+   definite answer, an unknown one, or an unmapped instruction is never
+   speculated over) with a per-mille alias likelihood below the
+   threshold. *)
+let speculatable ~(hli : Hli_import.t option) ~thresh (a : insn) (b : insn) :
+    bool =
+  is_store a && is_load b
+  && match hli with
+     | None -> false
+     | Some h -> (
+         match Hli_import.equiv_prob h a b with
+         | (Hli_core.Query.Equiv_same Hli_core.Tables.Maybe
+           | Hli_core.Query.Equiv_alias), p ->
+             p < thresh
+         | (Hli_core.Query.Equiv_none
+           | Hli_core.Query.Equiv_same _
+           | Hli_core.Query.Equiv_unknown), _ ->
+             false)
+
 (** Build the DDG of one block.  [stats] accumulates query counts across
-    blocks. *)
-let build ~mode ?(combine_gcc = true) ~(hli : Hli_import.t option)
-    ~(md : Machdesc.t) ~stats (block_insns : insn list) : graph =
+    blocks.
+
+    [speculate] (a per-mille threshold, With_hli variants only) turns on
+    speculative disambiguation: a store-to-load dependence whose HLI
+    answer is maybe-class with confidence below the threshold is
+    dropped, so the load may hoist above the store (the IA-64
+    [ld.s]/[chk.s] shape).  The check stays at the original position:
+    the load's register consumers gain an edge from the store, and the
+    load itself is flagged {!Rtl.insn.spec} so the interpreter re-loads
+    (and the timing models charge [Machdesc.misspec_penalty]) when the
+    addresses actually collide at run time. *)
+let build ~mode ?(combine_gcc = true) ?speculate
+    ~(hli : Hli_import.t option) ~(md : Machdesc.t) ~stats
+    (block_insns : insn list) : graph =
   let insns = Array.of_list block_insns in
   let n = Array.length insns in
+  (* speculation marks are per-schedule: never inherit them from a
+     previous variant's build over the same RTL *)
+  Array.iter (fun i -> i.spec <- false) insns;
   let preds = Array.make n [] and succs = Array.make n [] in
   let add_edge src dst lat =
     if src <> dst then begin
@@ -150,7 +199,25 @@ let build ~mode ?(combine_gcc = true) ~(hli : Hli_import.t option)
         then mem_pair_dependent ~mode ~combine_gcc ~hli ~stats a b
         else false
       in
-      if dependent then
+      let speculated =
+        dependent
+        && (match (speculate, mode) with
+           | Some thresh, With_hli -> speculatable ~hli ~thresh a b
+           | _ -> false)
+      in
+      if speculated then begin
+        stats.spec_edges_dropped <- stats.spec_edges_dropped + 1;
+        if not b.spec then begin
+          b.spec <- true;
+          stats.spec_checks <- stats.spec_checks + 1
+        end;
+        (* the check at the load's original position: its register
+           consumers wait for the store it hoisted above (register
+           edges are all built by the first loop, so succs.(j) is
+           exactly the consumer set here) *)
+        List.iter (fun (c, _) -> add_edge k c 1) succs.(j)
+      end
+      else if dependent then
         let lat =
           if is_store a && is_load b then Machdesc.latency md a
           else if is_store a || is_store b then 1

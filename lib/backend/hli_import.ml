@@ -23,6 +23,9 @@ open Rtl
     hlid session. *)
 type query_source = {
   qs_equiv_acc : int -> int -> Hli_core.Query.equiv_result;
+  qs_equiv_prob : int -> int -> Hli_core.Query.equiv_result * int;
+      (** the equiv answer plus its per-mille confidence (HLI3
+          probability sections; protocol v5 on the wire) *)
   qs_call_acc : call:int -> mem:int -> Hli_core.Query.call_acc_result;
   qs_region_of_item : int -> int option;
 }
@@ -131,6 +134,11 @@ let item_equiv_acc (t : t) ia ib : Hli_core.Query.equiv_result =
   | Local index -> Hli_core.Query.get_equiv_acc index ia ib
   | Remote qs -> qs.qs_equiv_acc ia ib
 
+let item_equiv_prob (t : t) ia ib : Hli_core.Query.equiv_result * int =
+  match t.source with
+  | Local index -> Hli_core.Query.get_equiv_prob index ia ib
+  | Remote qs -> qs.qs_equiv_prob ia ib
+
 let item_proves_independent (t : t) ia ib : bool =
   match item_equiv_acc t ia ib with
   | Hli_core.Query.Equiv_none -> true
@@ -157,6 +165,15 @@ let equiv_acc (t : t) (a : insn) (b : insn) : Hli_core.Query.equiv_result =
   match (a.item, b.item) with
   | Some ia, Some ib -> item_equiv_acc t ia ib
   | _ -> Hli_core.Query.Equiv_unknown
+
+(** {!equiv_acc} plus its per-mille confidence.  Unmapped
+    instructions answer [(Equiv_unknown, 0)] — no evidence, no
+    confidence, so a speculative scheduler never drops their edges. *)
+let equiv_prob (t : t) (a : insn) (b : insn) :
+    Hli_core.Query.equiv_result * int =
+  match (a.item, b.item) with
+  | Some ia, Some ib -> item_equiv_prob t ia ib
+  | _ -> (Hli_core.Query.Equiv_unknown, 0)
 
 (** Does the HLI prove these two references independent (no edge
     needed)? *)

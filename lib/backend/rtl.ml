@@ -78,10 +78,16 @@ type desc =
   | Ret of operand option
 
 type insn = {
-  uid : int;  (** unique within the function *)
+  uid : int;  (** unique within the function; monotone in program order *)
   desc : desc;
   line : int;  (** source line (0 when synthesized) *)
   mutable item : int option;  (** mapped HLI item (memory refs and calls) *)
+  mutable spec : bool;
+      (** speculative load: the DDG dropped a below-threshold
+          store-to-load edge, so this load may execute ahead of a store
+          it possibly aliases; a check at the original position recovers
+          (re-loads) on a dynamic conflict.  Set by [Ddg.build] under
+          [--speculate], always false otherwise *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -225,6 +231,7 @@ let pp_insn ppf i =
   let item =
     match i.item with Some n -> Fmt.str " {i%d}" n | None -> ""
   in
+  let item = if i.spec then item ^ " {spec}" else item in
   (match i.desc with
   | Li (d, op) -> Fmt.pf ppf "r%d <- %a" d pp_operand op
   | Alu (op, d, a, b) ->

@@ -87,20 +87,23 @@ let schedule_block ~(md : Machdesc.t) (g : Ddg.graph) : insn list =
 
 (** Schedule every block of a function in place, building DDGs in the
     given mode and accumulating query statistics. *)
-let schedule_fn ~mode ?(combine_gcc = true) ~hli ~(md : Machdesc.t)
+let schedule_fn ~mode ?(combine_gcc = true) ?speculate ~hli ~(md : Machdesc.t)
     ~(stats : Ddg.stats) (fn : fn) : unit =
   Array.iter
     (fun (b : block) ->
-      let g = Ddg.build ~mode ~combine_gcc ~hli ~md ~stats b.insns in
+      let g = Ddg.build ~mode ~combine_gcc ?speculate ~hli ~md ~stats b.insns in
       b.insns <- schedule_block ~md g)
     fn.blocks
 
-(** Schedule a whole program; returns the accumulated statistics. *)
-let schedule_program ~mode ?(combine_gcc = true) ~hli_of_fn ~(md : Machdesc.t)
-    (p : program) : Ddg.stats =
+(** Schedule a whole program; returns the accumulated statistics.
+    [speculate] is the per-mille speculation threshold (see
+    {!Ddg.build}). *)
+let schedule_program ~mode ?(combine_gcc = true) ?speculate ~hli_of_fn
+    ~(md : Machdesc.t) (p : program) : Ddg.stats =
   let stats = Ddg.fresh_stats () in
   List.iter
     (fun fn ->
-      schedule_fn ~mode ~combine_gcc ~hli:(hli_of_fn fn.fname) ~md ~stats fn)
+      schedule_fn ~mode ~combine_gcc ?speculate ~hli:(hli_of_fn fn.fname) ~md
+        ~stats fn)
     p.fns;
   stats

@@ -218,6 +218,7 @@ let run_fn ?maintain ~factor (fn : fn) : stats =
                       desc = Alu (Add, iv_k, Reg iv, Imm (k * step));
                       line = 0;
                       item = None;
+                      spec = false;
                     }
                   in
                   iv_init
@@ -274,6 +275,7 @@ let run_fn ?maintain ~factor (fn : fn) : stats =
                   desc = Alu (Add, iv, Reg iv, Imm (factor * step));
                   line = 0;
                   item = None;
+                  spec = false;
                 }
               in
               body.insns <- copies @ [ new_step ] @ terminator

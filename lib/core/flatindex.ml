@@ -48,9 +48,10 @@
               from [Query.alias_bits] (padded to 4 bytes)
     ups       u32 region-table indices (self first, root last)
     lines     n_lines x 8: line, region index — sorted by line
-    lcdd      n_lcdds x 20: src class, dst class, dep (0 definite /
-              1 maybe), has_distance, distance (i32) — entry order
-              preserved per region
+    lcdd      n_lcdds x 24: src class, dst class, dep (0 definite /
+              1 maybe), has_distance, distance (i32), prob (0 none /
+              per-mille p stored as p+1) — entry order preserved per
+              region
     v}
 
     The precomputed kind and slot per chain element make the hot
@@ -79,7 +80,7 @@ type seg = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.
 exception Torn
 
 let magic = "HLIX"
-let hlix_version = 1
+let hlix_version = 2
 let header_size = 96
 let none = 0xffffffff
 let mask32 = 0xffffffff
@@ -207,7 +208,7 @@ let build ~content_hash (idx : Q.index) : Bytes.t =
   let off_ups = off_alias + alias_bytes in
   let off_lines = off_ups + (4 * ups_total) in
   let off_lcdd = off_lines + (8 * n_lines) in
-  let total = off_lcdd + (20 * lcdd_total) in
+  let total = off_lcdd + (24 * lcdd_total) in
   let b = Bytes.make total '\000' in
   Bytes.blit_string magic 0 b 0 4;
   pu32 b 4 hlix_version;
@@ -347,7 +348,10 @@ let build ~content_hash (idx : Q.index) : Bytes.t =
               pu32 b (e + 12) 1;
               pu32 b (e + 16) (d land mask32)
           | None -> ());
-          lcdd_off := e + 20)
+          (match l.lcdd_prob with
+          | Some p -> pu32 b (e + 20) (p + 1)
+          | None -> ());
+          lcdd_off := e + 24)
         r.lcdds)
     regions;
   assert (!crm_off = off_cls);
@@ -491,7 +495,7 @@ let validate ?expect_hash (seg : seg) =
     S.corrupt ~code:"E0635" "HLIX region section size disagrees with n_regions";
   if sec 8 - sec 7 <> 8 * n_lines then
     S.corrupt ~code:"E0635" "HLIX line section size disagrees with n_lines";
-  if len - sec 8 <> 20 * n_lcdds then
+  if len - sec 8 <> 24 * n_lcdds then
     S.corrupt ~code:"E0635" "HLIX lcdd section size disagrees with n_lcdds"
 
 (* ------------------------------------------------------------------ *)
@@ -797,11 +801,11 @@ let get_lcdd (seg : seg) ~rid item_a item_b =
       else begin
         let roff = u32 seg o_regions + (40 * ri) in
         let off = u32 seg (roff + 32)
-        and cnt = capped seg (u32 seg (roff + 36)) 20 in
+        and cnt = capped seg (u32 seg (roff + 36)) 24 in
         (* build back-to-front so the list preserves entry order *)
         let acc = ref [] in
         for j = cnt - 1 downto 0 do
-          let e = off + (20 * j) in
+          let e = off + (24 * j) in
           let src = u32 seg e and dst = u32 seg (e + 4) in
           if (src = ca && dst = cb) || (src = cb && dst = ca) then
             acc :=
@@ -811,6 +815,9 @@ let get_lcdd (seg : seg) ~rid item_a item_b =
                 lcdd_dep = (if u32 seg (e + 8) = 0 then Dep_definite else Dep_maybe);
                 lcdd_distance =
                   (if u32 seg (e + 12) = 0 then None else Some (i32 seg (e + 16)));
+                lcdd_prob =
+                  (let v = u32 seg (e + 20) in
+                   if v = 0 then None else Some (v - 1));
               }
               :: !acc
         done;

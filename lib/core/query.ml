@@ -52,7 +52,13 @@ open Tables
     per-shard split is not.  Readers run either on the same domain or
     after the harness pool has joined its workers (a synchronization
     edge), so the summed values are up to date at every read point. *)
-type query_kind = Q_equiv_acc | Q_alias | Q_lcdd | Q_call_acc | Q_region_of_item
+type query_kind =
+  | Q_equiv_acc
+  | Q_alias
+  | Q_lcdd
+  | Q_call_acc
+  | Q_region_of_item
+  | Q_equiv_prob
 
 type shard = {
   mutable s_equiv_acc : int;
@@ -60,6 +66,7 @@ type shard = {
   mutable s_lcdd : int;
   mutable s_call_acc : int;
   mutable s_region_of_item : int;
+  mutable s_equiv_prob : int;
   mutable s_equiv_hits : int;
   mutable s_equiv_misses : int;
   mutable s_call_hits : int;
@@ -80,6 +87,7 @@ let shard_key =
           s_lcdd = 0;
           s_call_acc = 0;
           s_region_of_item = 0;
+          s_equiv_prob = 0;
           s_equiv_hits = 0;
           s_equiv_misses = 0;
           s_call_hits = 0;
@@ -109,6 +117,7 @@ let count_query k =
   | Q_lcdd -> s.s_lcdd <- s.s_lcdd + 1
   | Q_call_acc -> s.s_call_acc <- s.s_call_acc + 1
   | Q_region_of_item -> s.s_region_of_item <- s.s_region_of_item + 1
+  | Q_equiv_prob -> s.s_equiv_prob <- s.s_equiv_prob + 1
 
 let query_kind_name = function
   | Q_equiv_acc -> "equiv_acc"
@@ -116,9 +125,10 @@ let query_kind_name = function
   | Q_lcdd -> "lcdd"
   | Q_call_acc -> "call_acc"
   | Q_region_of_item -> "region_of_item"
+  | Q_equiv_prob -> "equiv_prob"
 
 let all_query_kinds =
-  [ Q_equiv_acc; Q_alias; Q_lcdd; Q_call_acc; Q_region_of_item ]
+  [ Q_equiv_acc; Q_alias; Q_lcdd; Q_call_acc; Q_region_of_item; Q_equiv_prob ]
 
 let field_of_kind k (s : shard) =
   match k with
@@ -127,6 +137,7 @@ let field_of_kind k (s : shard) =
   | Q_lcdd -> s.s_lcdd
   | Q_call_acc -> s.s_call_acc
   | Q_region_of_item -> s.s_region_of_item
+  | Q_equiv_prob -> s.s_equiv_prob
 
 (** Snapshot of all per-kind counters, in a fixed order. *)
 let query_counters () =
@@ -140,7 +151,8 @@ let reset_query_counters () =
       s.s_alias <- 0;
       s.s_lcdd <- 0;
       s.s_call_acc <- 0;
-      s.s_region_of_item <- 0)
+      s.s_region_of_item <- 0;
+      s.s_equiv_prob <- 0)
     !shards;
   Mutex.unlock shards_mutex
 
@@ -293,6 +305,7 @@ type index = {
   (* keyed by two item ids packed into one int (see [memo_key]) *)
   equiv_memo : equiv_result Imemo.t;
   call_memo : call_acc_result Imemo.t;
+  prob_memo : (equiv_result * int) Imemo.t;
 }
 
 (* Pack an id pair into one int key: cheaper to hash than a tuple and
@@ -429,6 +442,7 @@ let build (entry : hli_entry) : index =
     dup_items = List.sort_uniq compare !dups;
     equiv_memo = Imemo.create 256;
     call_memo = Imemo.create 64;
+    prob_memo = Imemo.create 64;
   }
 
 (** Item ids that occurred more than once in the line table or in the
@@ -445,11 +459,14 @@ let invalidate idx =
   let s = shard () in
   s.s_invalidations <- s.s_invalidations + 1;
   Imemo.reset idx.equiv_memo;
-  Imemo.reset idx.call_memo
+  Imemo.reset idx.call_memo;
+  Imemo.reset idx.prob_memo
 
 (** Number of memoized answers currently held (tests use this to prove
     invalidation). *)
-let memo_size idx = Imemo.length idx.equiv_memo + Imemo.length idx.call_memo
+let memo_size idx =
+  Imemo.length idx.equiv_memo + Imemo.length idx.call_memo
+  + Imemo.length idx.prob_memo
 
 (* ------------------------------------------------------------------ *)
 (* Basic queries                                                       *)
@@ -561,6 +578,94 @@ let get_equiv_acc idx item_a item_b =
     s.s_equiv_misses <- s.s_equiv_misses + 1;
     equiv_acc_uncached idx item_a item_b
   end
+
+(* ------------------------------------------------------------------ *)
+(* Probabilistic equivalent-access query (HLI3)                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-mille confidence assumed for a "maybe" answer when the HLI
+    carries no probability section (HLI1/HLI2 data, or the front end
+    had no evidence): an uninformative midpoint, so consumers that
+    speculate only above-midpoint thresholds never act on it. *)
+let default_maybe_prob = 500
+
+(* probability recorded for the alias pair (ca, cb) in region [rid]:
+   the first alias entry listing both classes wins, mirroring the
+   entry-scan order of the reference engine *)
+let alias_prob_at idx ~rid ca cb =
+  match Hashtbl.find_opt idx.region_by_id rid with
+  | None -> default_maybe_prob
+  | Some r -> (
+      match
+        List.find_opt
+          (fun ae -> List.mem ca ae.alias_classes && List.mem cb ae.alias_classes)
+          r.aliases
+      with
+      | Some { alias_prob = Some p; _ } -> p
+      | Some { alias_prob = None; _ } | None -> default_maybe_prob)
+
+(* the equiv_acc chain walk, returning the answer together with its
+   per-mille confidence.  The decision leg is byte-identical to
+   [equiv_acc_uncached]; only the confidence is new. *)
+let equiv_prob_uncached idx item_a item_b =
+  match
+    ( Hashtbl.find_opt idx.chain_of_item item_a,
+      Hashtbl.find_opt idx.chain_of_item item_b )
+  with
+  | None, _ | _, None -> (Equiv_unknown, 0)
+  | Some chain_a, Some chain_b ->
+      let la = Array.length chain_a and lb = Array.length chain_b in
+      let rec find i =
+        if i >= la then (Equiv_unknown, 0)
+        else
+          let rid, ca = chain_a.(i) in
+          let rec assoc j =
+            if j >= lb then None
+            else
+              let rb, cb = chain_b.(j) in
+              if rb = rid then Some cb else assoc (j + 1)
+          in
+          match assoc 0 with
+          | None -> find (i + 1)
+          | Some cb ->
+              if ca = cb then (
+                match Hashtbl.find_opt idx.kind_of_class (rid, ca) with
+                | Some Definitely -> (Equiv_same Definitely, 1000)
+                | Some Maybe -> (Equiv_same Maybe, default_maybe_prob)
+                | None -> (Equiv_unknown, 0))
+              else (
+                match Hashtbl.find_opt idx.alias_of_region rid with
+                | None -> (Equiv_unknown, 0)
+                | Some ab ->
+                    if alias_bit_test ab ca cb then
+                      (Equiv_alias, alias_prob_at idx ~rid ca cb)
+                    else (Equiv_none, 1000))
+      in
+      find 0
+
+(** {!get_equiv_acc} with a per-mille confidence attached: how likely
+    the two items really do touch the same location ([Equiv_same] /
+    [Equiv_alias]), or how certain the separation is ([Equiv_none] is
+    proven, so 1000; [Equiv_unknown] carries no evidence, so 0).  The
+    answer component always equals [get_equiv_acc] on the same pair.
+    Memoized on the unordered item pair; the [Q_equiv_prob] counter is
+    bumped on every call, hit or miss. *)
+let get_equiv_prob idx item_a item_b =
+  let s = shard () in
+  s.s_equiv_prob <- s.s_equiv_prob + 1;
+  if memo_packable item_a item_b then begin
+    let key =
+      if item_a <= item_b then memo_key item_a item_b
+      else memo_key item_b item_a
+    in
+    match Imemo.find idx.prob_memo key with
+    | r -> r
+    | exception Not_found ->
+        let r = equiv_prob_uncached idx item_a item_b in
+        Imemo.replace idx.prob_memo key r;
+        r
+  end
+  else equiv_prob_uncached idx item_a item_b
 
 (** Alias query between two classes of one region: are they listed in a
     common alias entry?  An O(1) bit test on the region's alias bitset. *)

@@ -13,10 +13,9 @@
     {!size_bytes} is defined over HLI1 and is stable across container
     revisions.
 
-    {b HLI2} — the validated container {!to_bytes} writes and
-    {!of_bytes} prefers.  Differences from HLI1, all motivated by the
-    file being a front-end/back-end {e interface} that must not trust
-    its producer:
+    {b HLI2} — the validated container revision.  Differences from
+    HLI1, all motivated by the file being a front-end/back-end
+    {e interface} that must not trust its producer:
 
     - option fields carry an explicit tag byte (0 = [None], 1 =
       [Some]), so [Some 0] survives the round-trip;
@@ -29,6 +28,13 @@
     - each entry is length-prefixed and followed by a CRC32 of its
       payload, so truncation and bit-rot are reported per entry instead
       of decoding into garbage tables.
+
+    {b HLI3} — HLI2 plus the optional probability sections: each alias
+    entry carries an optional per-mille [alias_prob] and each LCDD
+    entry an optional per-mille [lcdd_prob] (explicit option tag, then
+    a varint).  Everything else — framing, CRCs, bounds — is HLI2
+    verbatim.  {!to_bytes} writes HLI3; {!of_bytes} reads all three
+    revisions (HLI1/HLI2 data decodes with [None] probabilities).
 
     [of_bytes (to_bytes f) = f] holds for {e every} value of
     {!Tables.hli_file} (property-tested, including [Some 0] boundary
@@ -62,10 +68,11 @@ let diagnostic_of_corruption ?file c =
 
 let magic_v1 = "HLI1"
 let magic_v2 = "HLI2"
+let magic_v3 = "HLI3"
 
 (** Version tag of the container {!to_bytes} writes; part of the HLI
     cache key so a format revision invalidates stale cache entries. *)
-let format_version = magic_v2
+let format_version = magic_v3
 
 (* ------------------------------------------------------------------ *)
 (* CRC32 (IEEE 802.3, reflected)                                       *)
@@ -297,17 +304,48 @@ let put_entry_v2 buf e =
   put_list buf put_line e.line_table;
   put_list buf put_region_v2 e.regions
 
-(** Encode as an HLI2 container: magic, entry count, then one
+(* ------------------------------------------------------------------ *)
+(* HLI3 writer (HLI2 + optional probability sections)                  *)
+(* ------------------------------------------------------------------ *)
+
+let put_alias_v3 buf a =
+  put_list buf (fun b x -> put_varint b x) a.alias_classes;
+  put_opt buf put_varint a.alias_prob
+
+let put_lcdd_v3 buf l =
+  put_varint buf l.lcdd_src;
+  put_varint buf l.lcdd_dst;
+  Buffer.add_char buf (match l.lcdd_dep with Dep_definite -> '\000' | Dep_maybe -> '\001');
+  put_opt buf put_varint l.lcdd_distance;
+  put_opt buf put_varint l.lcdd_prob
+
+let put_region_v3 buf r =
+  put_varint buf r.region_id;
+  Buffer.add_char buf (match r.rtype with Region_unit -> '\000' | Region_loop -> '\001');
+  put_opt buf put_varint r.parent;
+  put_varint buf r.first_line;
+  put_varint buf r.last_line;
+  put_list buf put_class r.eq_classes;
+  put_list buf put_alias_v3 r.aliases;
+  put_list buf put_lcdd_v3 r.lcdds;
+  put_list buf put_callrefmod r.callrefmods
+
+let put_entry_v3 buf e =
+  put_string buf e.unit_name;
+  put_list buf put_line e.line_table;
+  put_list buf put_region_v3 e.regions
+
+(** Encode as an HLI3 container: magic, entry count, then one
     length-prefixed, CRC32-trailed payload per entry. *)
 let to_bytes (f : hli_file) : string =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic_v2;
+  Buffer.add_string buf magic_v3;
   put_varint buf (List.length f.entries);
   let ebuf = Buffer.create 1024 in
   List.iter
     (fun e ->
       Buffer.clear ebuf;
-      put_entry_v2 ebuf e;
+      put_entry_v3 ebuf e;
       let payload = Buffer.contents ebuf in
       put_varint buf (String.length payload);
       Buffer.add_string buf payload;
@@ -315,7 +353,7 @@ let to_bytes (f : hli_file) : string =
     f.entries;
   Buffer.contents buf
 
-(** On-disk size of the HLI2 container (payload + option tags + entry
+(** On-disk size of the HLI3 container (payload + option tags + entry
     framing + CRCs); compare with {!size_bytes}. *)
 let container_bytes f = String.length (to_bytes f)
 
@@ -442,7 +480,8 @@ let get_class cur =
   let desc = get_string cur in
   { class_id; kind; desc; members = get_list cur get_member }
 
-let get_alias cur = { alias_classes = get_list cur get_varint }
+(* HLI1/HLI2 alias entries predate the probability section *)
+let get_alias cur = { alias_classes = get_list cur get_varint; alias_prob = None }
 
 let get_dep cur =
   match byte cur with
@@ -478,7 +517,8 @@ let get_lcdd_v1 cur =
   let lcdd_dst = get_varint cur in
   let lcdd_dep = get_dep cur in
   let d = get_varint cur in
-  { lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance = (if d = 0 then None else Some d) }
+  { lcdd_src; lcdd_dst; lcdd_dep;
+    lcdd_distance = (if d = 0 then None else Some d); lcdd_prob = None }
 
 let get_region_v1 cur =
   let region_id = get_varint cur in
@@ -518,7 +558,7 @@ let get_lcdd_v2 cur =
   let lcdd_dst = get_varint cur in
   let lcdd_dep = get_dep cur in
   let lcdd_distance = get_opt cur get_varint in
-  { lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance }
+  { lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance; lcdd_prob = None }
 
 let get_region_v2 cur =
   let region_id = get_varint cur in
@@ -538,7 +578,44 @@ let get_entry_v2 cur =
   let regions = get_list cur get_region_v2 in
   { unit_name; line_table; regions }
 
-let of_bytes_v2 (s : string) : hli_file =
+(* ------------------------------------------------------------------ *)
+(* HLI3 reader                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let get_alias_v3 cur =
+  let alias_classes = get_list cur get_varint in
+  let alias_prob = get_opt cur get_varint in
+  { alias_classes; alias_prob }
+
+let get_lcdd_v3 cur =
+  let lcdd_src = get_varint cur in
+  let lcdd_dst = get_varint cur in
+  let lcdd_dep = get_dep cur in
+  let lcdd_distance = get_opt cur get_varint in
+  let lcdd_prob = get_opt cur get_varint in
+  { lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance; lcdd_prob }
+
+let get_region_v3 cur =
+  let region_id = get_varint cur in
+  let rtype = get_rtype cur in
+  let parent = get_opt cur get_varint in
+  let first_line = get_varint cur in
+  let last_line = get_varint cur in
+  let eq_classes = get_list cur get_class in
+  let aliases = get_list cur get_alias_v3 in
+  let lcdds = get_list cur get_lcdd_v3 in
+  let callrefmods = get_list cur get_callrefmod in
+  { region_id; rtype; parent; first_line; last_line; eq_classes; aliases; lcdds; callrefmods }
+
+let get_entry_v3 cur =
+  let unit_name = get_string cur in
+  let line_table = get_list cur get_line in
+  let regions = get_list cur get_region_v3 in
+  { unit_name; line_table; regions }
+
+(* HLI2 and HLI3 share the container framing (entry count, per-entry
+   length + CRC32); only the entry payload codec differs. *)
+let of_container ~get_entry (s : string) : hli_file =
   let cur = { data = s; pos = 4 } in
   let n_entries = get_varint cur in
   if n_entries > remaining cur then
@@ -561,7 +638,7 @@ let of_bytes_v2 (s : string) : hli_file =
             "entry %d: CRC32 mismatch (stored %08x, computed %08x)" i stored
             computed;
         let sub = { data = payload; pos = 0 } in
-        let e = get_entry_v2 sub in
+        let e = get_entry sub in
         if sub.pos <> len then
           corrupt ~at:(payload_ofs + sub.pos) ~code:"E0616"
             "entry %d: %d bytes of payload left undecoded" i (len - sub.pos);
@@ -571,34 +648,40 @@ let of_bytes_v2 (s : string) : hli_file =
     corrupt ~at:cur.pos ~code:"E0616" "%d trailing bytes" (remaining cur);
   { entries }
 
+let of_bytes_v2 = of_container ~get_entry:get_entry_v2
+let of_bytes_v3 = of_container ~get_entry:get_entry_v3
+
 (* ------------------------------------------------------------------ *)
 (* Per-entry payloads and content hashes                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Each HLI2 entry is already a self-contained length+CRC framed
+(* Each HLI3 entry is already a self-contained length+CRC framed
    payload, which makes the function the natural unit of storage and
    transfer: the per-function disk cache keys single-entry payloads by
    fingerprint, and the hlid delta-upload path ships/references entries
-   by content hash instead of re-shipping whole containers. *)
+   by content hash instead of re-shipping whole containers.  These
+   always use the current (HLI3) entry codec: the cache key and the
+   content hashes both cover {!format_version}, so a revision bump
+   retires stale payloads instead of mis-decoding them. *)
 
-(** Encode one entry as its bare HLI2 payload (no length/CRC framing —
+(** Encode one entry as its bare HLI3 payload (no length/CRC framing —
     callers that need framing add it, exactly as {!to_bytes} does). *)
 let entry_to_bytes (e : hli_entry) : string =
   let buf = Buffer.create 1024 in
-  put_entry_v2 buf e;
+  put_entry_v3 buf e;
   Buffer.contents buf
 
-(** Decode one bare HLI2 entry payload; raises {!Corrupt} (E06xx) on
+(** Decode one bare HLI3 entry payload; raises {!Corrupt} (E06xx) on
     any malformation, including undecoded trailing bytes. *)
 let entry_of_bytes (s : string) : hli_entry =
   let cur = { data = s; pos = 0 } in
-  let e = get_entry_v2 cur in
+  let e = get_entry_v3 cur in
   if cur.pos <> String.length s then
     corrupt ~at:cur.pos ~code:"E0616" "%d trailing bytes after entry"
       (remaining cur);
   e
 
-(** Content hash of an entry: MD5 over its HLI2 payload bytes.  Stable
+(** Content hash of an entry: MD5 over its HLI3 payload bytes.  Stable
     across container framing, so the same value names an entry in the
     disk cache, on the wire (delta uploads) and in [hli_dump]. *)
 let entry_hash_of_payload (payload : string) : Digest.t =
@@ -607,13 +690,16 @@ let entry_hash_of_payload (payload : string) : Digest.t =
 let entry_hash (e : hli_entry) : Digest.t =
   entry_hash_of_payload (entry_to_bytes e)
 
-(** Split an HLI2 container into its per-entry payloads, in order, with
+(** Split an HLI3 container into its per-entry payloads, in order, with
     each CRC verified — [(unit_name, payload)] per entry.  The payload
     is {e not} decoded beyond the leading unit name, so this is the
-    cheap way to content-address a container's entries. *)
+    cheap way to content-address a container's entries.  Only the
+    current revision is accepted: the callers (delta uploads, the disk
+    cache) content-address payloads under {!format_version}, so an
+    HLI2 container here would silently hash v2 bytes under v3 names. *)
 let split_container (s : string) : (string * string) list =
-  if String.length s < 4 || String.sub s 0 4 <> magic_v2 then
-    corrupt ~at:0 ~code:"E0610" "bad magic (want %s)" magic_v2;
+  if String.length s < 4 || String.sub s 0 4 <> magic_v3 then
+    corrupt ~at:0 ~code:"E0610" "bad magic (want %s)" magic_v3;
   let cur = { data = s; pos = 4 } in
   let n_entries = get_varint cur in
   if n_entries > remaining cur then
@@ -642,14 +728,14 @@ let split_container (s : string) : (string * string) list =
     corrupt ~at:cur.pos ~code:"E0616" "%d trailing bytes" (remaining cur);
   entries
 
-(** Reassemble an HLI2 container from per-entry payloads, in order.
+(** Reassemble an HLI3 container from per-entry payloads, in order.
     Inverse of {!split_container}: byte-identical to {!to_bytes} over
     the same entries, so a receiver that collected payloads by content
     hash recovers the exact container (and its whole-container
     digest). *)
 let container_of_payloads (payloads : string list) : string =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic_v2;
+  Buffer.add_string buf magic_v3;
   put_varint buf (List.length payloads);
   List.iter
     (fun payload ->
@@ -659,16 +745,17 @@ let container_of_payloads (payloads : string list) : string =
     payloads;
   Buffer.contents buf
 
-(** Decode either container revision, dispatching on the magic. *)
+(** Decode any container revision, dispatching on the magic. *)
 let of_bytes (s : string) : hli_file =
   if String.length s < 4 then
     corrupt ~at:0 ~code:"E0610" "input shorter than a magic number";
   match String.sub s 0 4 with
+  | m when m = magic_v3 -> of_bytes_v3 s
   | m when m = magic_v2 -> of_bytes_v2 s
   | m when m = magic_v1 -> of_bytes_v1 s
   | m ->
-      corrupt ~at:0 ~code:"E0610" "bad magic %S (want %s or %s)" m magic_v2
-        magic_v1
+      corrupt ~at:0 ~code:"E0610" "bad magic %S (want %s, %s or %s)" m magic_v3
+        magic_v2 magic_v1
 
 (* ------------------------------------------------------------------ *)
 (* File I/O and text dump                                              *)

@@ -28,6 +28,7 @@
     - [E0616] trailing / undecoded bytes
     - [E0621]..[E0629] structural validation (line-table order, region
       tree, class/alias/LCDD/REF-MOD id resolution, duplicate units)
+    - [E0636] probability section value outside per-mille range 0..1000
 
     The wire-protocol block [E11xx] is subdivided (see
     [lib/server/protocol.ml]; DESIGN.md has the byte-level spec):
@@ -40,6 +41,8 @@
     - [E1110] connection closed / server shutting down
     - [E1111] protocol version mismatch
     - [E1112] socket setup failure
+    - [E1113] frame known but not offered at the negotiated version
+      (e.g. [Q_prob] on a v4 session)
 
     [E1012] (driver block) flags a malformed [HLI_JOBS] value whose
     silent fallback used to hide typos (see [Pool.default_jobs]). *)

@@ -218,7 +218,8 @@ let run_ddg_schedule ctx ~arg:_ (m : mapped) : scheduled =
   let hli_of_fn name = Hashtbl.find_opt m.m_maps name in
   let stats =
     Backend.Sched.schedule_program ~mode:v.Variant.alias
-      ~combine_gcc:ctx.ablation.Variant.combine_gcc ~hli_of_fn ~md m.m_rtl
+      ~combine_gcc:ctx.ablation.Variant.combine_gcc
+      ?speculate:ctx.ablation.Variant.speculate ~hli_of_fn ~md m.m_rtl
   in
   {
     s_rtl = m.m_rtl;

@@ -62,6 +62,13 @@ type ablation = {
       (** DDG edge decision is [gcc && hli]; [false] trusts the HLI
           answer alone *)
   lsq_blocking : bool;  (** R10000 LSQ load-blocking rule *)
+  speculate : int option;
+      (** per-mille speculation threshold ([--speculate]): maybe-class
+          store-to-load dependences with HLI confidence below it are
+          dropped from the DDG, with check/recovery at run time
+          ({!Backend.Ddg.build}).  [None] — the default everywhere —
+          keeps schedules and simulations byte-identical to the
+          non-speculative compiler *)
 }
 
 let baseline =
@@ -72,6 +79,7 @@ let baseline =
     routine_only_regions = false;
     combine_gcc = true;
     lsq_blocking = true;
+    speculate = None;
   }
 
 let ablations =
@@ -101,6 +109,17 @@ let ablations =
       lsq_blocking = false;
     };
   ]
+
+(** [ab] with speculative scheduling at per-mille threshold [t] — the
+    [--speculate] CLI flag composes this onto whatever ablation is
+    selected. *)
+let with_speculate t ab =
+  {
+    ab with
+    ab_name = (if ab.ab_name = "baseline" then "" else ab.ab_name ^ "+")
+              ^ Printf.sprintf "speculate=%d" t;
+    speculate = Some t;
+  }
 
 let find_ablation n =
   List.find_opt (fun a -> a.ab_name = n) (baseline :: ablations)

@@ -23,6 +23,7 @@ let hooks_of_client (cl : C.t) (opened : (string * int list) list) :
               {
                 Backend.Hli_import.qs_equiv_acc =
                   (fun a b -> C.equiv_acc cl ~u a b);
+                qs_equiv_prob = (fun a b -> C.equiv_prob cl ~u a b);
                 qs_call_acc = (fun ~call ~mem -> C.call_acc cl ~u ~call ~mem);
                 qs_region_of_item = (fun item -> C.region_of_item cl ~u item);
               };
@@ -63,6 +64,7 @@ let hooks_of_router (rt : R.t) (opened : (string * int list) list) :
               {
                 Backend.Hli_import.qs_equiv_acc =
                   (fun a b -> R.equiv_acc rt ~u a b);
+                qs_equiv_prob = (fun a b -> R.equiv_prob rt ~u a b);
                 qs_call_acc = (fun ~call ~mem -> R.call_acc rt ~u ~call ~mem);
                 qs_region_of_item = (fun item -> R.region_of_item rt ~u item);
               };

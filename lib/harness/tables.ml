@@ -20,6 +20,9 @@ type row = {
   unmapped : int;  (** memory refs the HLI mapping could not cover *)
   duplicates : int;  (** duplicate HLI item ids found while indexing *)
   dropped : int;  (** HLI entries whose unit has no RTL function *)
+  misspec : int;
+      (** misspeculation recoveries, summed over the simulated variants
+          (0 unless the config schedules with [--speculate]) *)
   failure : string option;
       (** [Some reason] when compilation or simulation aborted;
           speedups are then 1.0 placeholders and excluded from the
@@ -42,6 +45,7 @@ let run_workload ?(fuel = 400_000_000) ?(config = Pipeline.default_config)
       unmapped = 0;
       duplicates = 0;
       dropped = 0;
+      misspec = 0;
       failure = None;
       tm;
     }
@@ -71,6 +75,11 @@ let run_workload ?(fuel = 400_000_000) ?(config = Pipeline.default_config)
               Pipeline.speedup ~base:(Pipeline.r10000_gcc m)
                 ~opt:(Pipeline.r10000_hli m);
             dyn_insns = (Pipeline.r4600_gcc m).Machine.Simulate.dyn_insns;
+            misspec =
+              List.fold_left
+                (fun acc (_, (r : Machine.Simulate.report)) ->
+                  acc + r.Machine.Simulate.misspeculations)
+                0 m.Pipeline.reports;
           }
       | exception Machine.Exec.Out_of_fuel ->
           { base with failure = Some "out of fuel" }
@@ -288,7 +297,9 @@ let stats_table (rows : row list) =
     the shared-memory fast-path counters of a [--shm] run as a
     preformatted JSON object ([null] otherwise); v7 made the
     [hli_cache] counters per-function and added its
-    [partial_hits]/[trims] fields. *)
+    [partial_hits]/[trims] fields; v8 added the per-kind [equiv_prob]
+    counter and the per-workload [speculation] object (edges dropped,
+    checks inserted, misspeculations). *)
 let stats_json ?server ?shm (rows : row list) =
   let b = Buffer.create 4096 in
   Buffer.add_string b
@@ -322,7 +333,7 @@ let stats_json ?server ?shm (rows : row list) =
       let s = r.stats in
       Buffer.add_string b
         (Printf.sprintf
-           "{\"name\":\"%s\",\"failure\":%s,\"unmapped\":%d,\"duplicates\":%d,\"dropped\":%d,\"dep_queries\":{\"total\":%d,\"gcc_yes\":%d,\"hli_yes\":%d,\"combined_yes\":%d},%s}"
+           "{\"name\":\"%s\",\"failure\":%s,\"unmapped\":%d,\"duplicates\":%d,\"dropped\":%d,\"dep_queries\":{\"total\":%d,\"gcc_yes\":%d,\"hli_yes\":%d,\"combined_yes\":%d},\"speculation\":{\"edges_dropped\":%d,\"checks\":%d,\"misspeculations\":%d},%s}"
            (Telemetry.json_escape r.w.Workloads.Workload.name)
            (match r.failure with
            | None -> "null"
@@ -330,6 +341,8 @@ let stats_json ?server ?shm (rows : row list) =
            r.unmapped r.duplicates r.dropped s.Backend.Ddg.total
            s.Backend.Ddg.gcc_yes
            s.Backend.Ddg.hli_yes s.Backend.Ddg.combined_yes
+           s.Backend.Ddg.spec_edges_dropped s.Backend.Ddg.spec_checks
+           r.misspec
            (Telemetry.json_fragment r.tm)))
     rows;
   Buffer.add_string b "]}";

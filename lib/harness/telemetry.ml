@@ -168,8 +168,13 @@ let to_json (t : t) = "{" ^ json_fragment t ^ "}"
     now count function entries rather than whole files — and added the
     [hli_cache_partial_hits] (compiles that mixed hits and misses) and
     [hli_cache_trims] (entries evicted by [--hli-cache-max-bytes])
-    counters plus the [hli.fingerprint] span. *)
-let schema_version = "hli-telemetry-v7"
+    counters plus the [hli.fingerprint] span; v8 added the [equiv_prob]
+    per-kind query counter (the probabilistic [Q_equiv_prob] engine
+    query, and its [Q_prob] wire counterpart inside [server]) and the
+    per-workload [speculation] object — DDG edges dropped by
+    [--speculate], checks inserted, and misspeculation recoveries
+    observed in simulation. *)
+let schema_version = "hli-telemetry-v8"
 
 (* first "schema" key in the dump (the emitters put it first) and its
    string value, scanned tolerantly so a pretty-printed dump still

@@ -205,6 +205,30 @@ let spaces_may_overlap (ctx : context) s1 s2 =
   | _, (Atom.Space_abi_out _ | Atom.Space_abi_in _) ->
       false
 
+(* Points-to evidence for a cross-space pair, per-mille; [None] when
+   the pair is not pointer-based (no cardinality evidence exists). *)
+let space_overlap_prob (ctx : context) (a : Atom.t) (b : Atom.t) : int option =
+  match (a.Atom.space, b.Atom.space) with
+  | Atom.Space_ptr p, Atom.Space_sym s | Atom.Space_sym s, Atom.Space_ptr p ->
+      Some (Pointsto.may_point_at_prob ctx.pointsto p s)
+  | Atom.Space_ptr p, Atom.Space_ptr q when not (Symbol.equal p q) ->
+      Some (Pointsto.ptrs_alias_prob ctx.pointsto p q)
+  | Atom.Space_any, _ | _, Atom.Space_any -> Some Pointsto.universe_prob
+  | _ -> None
+
+(* Per-mille likelihood attached to an alias pair (the HLI3 probability
+   section): points-to cardinality evidence for cross-space pairs;
+   same-space pairs that are provably the same location get certainty,
+   other same-space pairs carry no estimate (subscript overlap is not a
+   cardinality question). *)
+let alias_prob ~invariant ctx (a : Atom.t) (b : Atom.t) : int option =
+  if Atom.space_equal a.Atom.space b.Atom.space then begin
+    match Atom.same_location ~invariant a b with
+    | Deptest.Same -> Some 1000
+    | Deptest.Different | Deptest.Maybe_same -> None
+  end
+  else space_overlap_prob ctx a b
+
 (* May two classes touch a common location within one iteration? *)
 let may_alias ~invariant ctx (a : Atom.t) (b : Atom.t) : bool =
   if not (spaces_may_overlap ctx a.Atom.space b.Atom.space) then false
@@ -286,11 +310,21 @@ let section_carried ~lctx (a : Atom.t) (b : Atom.t) : bool =
    pointer space and a symbol space would require offset knowledge the
    points-to analysis does not track (a mid-array pointer shifts every
    subscript).  Cross-space pairs therefore get a conservative
-   maybe-dependence. *)
-let class_lcdd ~lctx ~invariant (a : Atom.t) (b : Atom.t) : Deptest.outcome list =
+   maybe-dependence.
+
+   Each outcome is paired with its per-mille likelihood (the HLI3
+   probability section): affine-test slack for exact pairs, points-to
+   evidence for cross-space pairs, the uninformative midpoint where the
+   deciding test left nothing measurable. *)
+let class_lcdd ~ctx ~lctx ~invariant (a : Atom.t) (b : Atom.t) :
+    (Deptest.outcome * int) list =
   if not (Atom.space_equal a.Atom.space b.Atom.space) then begin
     if a.Atom.has_store || b.Atom.has_store then
-      [ Deptest.Dependent { distance = None; definite = false } ]
+      let p =
+        Option.value ~default:Deptest.default_dep_prob
+          (space_overlap_prob ctx a b)
+      in
+      [ (Deptest.Dependent { distance = None; definite = false }, p) ]
     else []
   end
   else
@@ -307,14 +341,20 @@ let class_lcdd ~lctx ~invariant (a : Atom.t) (b : Atom.t) : Deptest.outcome list
         List.iter
           (fun rb ->
             if ra.Frontir.Access.is_store || rb.Frontir.Access.is_store then
-              outcomes := Deptest.carried ~ctx:lctx ~invariant ra rb :: !outcomes)
+              outcomes :=
+                ( Deptest.carried ~ctx:lctx ~invariant ra rb,
+                  Deptest.carried_prob ~ctx:lctx ~invariant ra rb )
+                :: !outcomes)
           b.Atom.reprs)
       a.Atom.reprs;
     !outcomes
   end
   else if a.Atom.has_store || b.Atom.has_store then
-    if section_carried ~lctx a b then [ Deptest.Dependent { distance = None; definite = false } ]
-    else [ Deptest.Independent ]
+    if section_carried ~lctx a b then
+      [ ( Deptest.Dependent { distance = None; definite = false },
+          Deptest.default_dep_prob )
+      ]
+    else [ (Deptest.Independent, 0) ]
   else []
 
 (* ------------------------------------------------------------------ *)
@@ -394,10 +434,14 @@ let atom_for_parent ~parent_invariant (sub : Frontir.Region.t) (cid, (atom : Ato
     desc;
   }
 
-let dep_outcomes_to_lcdds ~src ~dst (outcomes : Deptest.outcome list) : T.lcdd_entry list =
+let dep_outcomes_to_lcdds ~src ~dst (outcomes : (Deptest.outcome * int) list) :
+    T.lcdd_entry list =
   let exact = ref [] and maybe = ref false and maybe_definite = ref false in
+  (* the one maybe entry summarizes all non-exact pair outcomes, so it
+     carries the largest likelihood any of them produced *)
+  let maybe_prob = ref 0 in
   List.iter
-    (fun o ->
+    (fun (o, p) ->
       match o with
       | Deptest.Independent -> ()
       | Deptest.Dependent { distance = Some d; definite } ->
@@ -406,12 +450,16 @@ let dep_outcomes_to_lcdds ~src ~dst (outcomes : Deptest.outcome list) : T.lcdd_e
           end
           else begin
             maybe := true;
+            maybe_prob := max !maybe_prob p;
             ignore d
           end
       | Deptest.Dependent { distance = None; definite } ->
           maybe := true;
+          maybe_prob := max !maybe_prob p;
           if definite then maybe_definite := true
-      | Deptest.Unknown -> maybe := true)
+      | Deptest.Unknown ->
+          maybe := true;
+          maybe_prob := max !maybe_prob p)
     outcomes;
   let exact_entries =
     List.map
@@ -421,6 +469,7 @@ let dep_outcomes_to_lcdds ~src ~dst (outcomes : Deptest.outcome list) : T.lcdd_e
           lcdd_dst = dst;
           lcdd_dep = T.Dep_definite;
           lcdd_distance = Some d;
+          lcdd_prob = Some 1000;
         })
       (List.sort compare !exact)
   in
@@ -432,6 +481,8 @@ let dep_outcomes_to_lcdds ~src ~dst (outcomes : Deptest.outcome list) : T.lcdd_e
           lcdd_dst = dst;
           lcdd_dep = (if !maybe_definite then T.Dep_definite else T.Dep_maybe);
           lcdd_distance = None;
+          lcdd_prob =
+            (if !maybe_definite then Some 1000 else Some !maybe_prob);
         };
       ]
   else exact_entries
@@ -516,7 +567,11 @@ let rec build_region (ctx : context) (u : Frontir.Itemgen.unit_items)
           List.filter_map
             (fun (idb, b) ->
               if may_alias ~invariant ctx a b then
-                Some { T.alias_classes = [ ida; idb ] }
+                Some
+                  {
+                    T.alias_classes = [ ida; idb ];
+                    alias_prob = alias_prob ~invariant ctx a b;
+                  }
               else None)
             rest
           @ pairs rest
@@ -536,7 +591,7 @@ let rec build_region (ctx : context) (u : Frontir.Itemgen.unit_items)
                   (fun (idb, b) ->
                     if spaces_may_overlap ctx a.Atom.space b.Atom.space then
                       dep_outcomes_to_lcdds ~src:ida ~dst:idb
-                        (class_lcdd ~lctx ~invariant a b)
+                        (class_lcdd ~ctx ~lctx ~invariant a b)
                     else [])
                   class_atoms)
               class_atoms
@@ -557,6 +612,8 @@ let rec build_region (ctx : context) (u : Frontir.Itemgen.unit_items)
                           lcdd_dst = idb;
                           lcdd_dep = T.Dep_maybe;
                           lcdd_distance = None;
+                          (* unrecognized loop: nothing to estimate from *)
+                          lcdd_prob = None;
                         }
                     else None)
                   class_atoms)

@@ -26,12 +26,17 @@ type dyn = {
   d_dst : int option;
   d_addr : int;  (** effective address for loads/stores, else 0 *)
   d_taken : bool;  (** control transfer actually redirected *)
+  d_misspec : int;
+      (** speculative loads this store collided with (re-loads the
+          recovery performed here); 0 everywhere else.  Timing models
+          charge the misspeculation penalty off this. *)
 }
 
 type result = {
   ret : int;
   output : string;
   dyn_count : int;  (** executed instructions *)
+  misspec : int;  (** misspeculation recoveries performed *)
 }
 
 type state = {
@@ -42,6 +47,7 @@ type state = {
   mutable rand_state : int;
   mutable fuel : int;
   mutable executed : int;
+  mutable misspec : int;  (** misspeculation recoveries across the run *)
   hook : dyn -> unit;
   reg_base : (string, int) Hashtbl.t;  (** per-function global reg base *)
 }
@@ -119,6 +125,7 @@ let make ?(fuel = 400_000_000) ?(hook = fun (_ : dyn) -> ()) (prog : Rtl.program
     rand_state = 123456789;
     fuel;
     executed = 0;
+    misspec = 0;
     hook;
     reg_base;
   }
@@ -178,6 +185,13 @@ type frame = {
   caller_argout : int;  (** address of caller's outgoing area *)
   rbase : int;  (** globalized register base *)
   args : value array;  (** register-passed arguments *)
+  mutable specs : (int * Rtl.insn * int) list;
+      (** in-flight speculative loads of the current block: dest
+          register, the load, and its captured effective address.  A
+          later store with a smaller uid (originally earlier) that
+          overlaps the address triggers the check's recovery — the
+          destination is re-loaded.  Cleared at block entry; an entry
+          dies when its destination register is redefined. *)
 }
 
 let reg_val fr cls r =
@@ -189,7 +203,12 @@ let operand_val fr (op : Rtl.operand) : value =
   | Rtl.Fimm f -> Vf f
   | Rtl.Reg r -> reg_val fr fr.fn.Rtl.vreg_class.(r) r
 
+let prune_spec fr r =
+  if fr.specs <> [] then
+    fr.specs <- List.filter (fun (d, _, _) -> d <> r) fr.specs
+
 let set_reg fr r (v : value) =
+  prune_spec fr r;
   match fr.fn.Rtl.vreg_class.(r) with
   | Rtl.Rint -> fr.iregs.(r) <- as_int v
   | Rtl.Rflt -> fr.fregs.(r) <- as_flt v
@@ -239,7 +258,7 @@ let falu_op (op : Rtl.falu_op) a b : value =
 
 let globalize fr regs = List.map (fun r -> fr.rbase + r) regs
 
-let emit_dyn st fr (i : Rtl.insn) ~addr ~taken =
+let emit_dyn ?(misspec = 0) st fr (i : Rtl.insn) ~addr ~taken =
   (* check before counting: with [fuel = n] exactly [n] instructions
      execute (and reach the hook) before the n+1st raises *)
   if st.fuel > 0 && st.executed >= st.fuel then raise Out_of_fuel;
@@ -251,6 +270,7 @@ let emit_dyn st fr (i : Rtl.insn) ~addr ~taken =
       d_dst = Option.map (fun r -> fr.rbase + r) (Rtl.def i);
       d_addr = addr;
       d_taken = taken;
+      d_misspec = misspec;
     }
 
 let rec exec_call st ~sp name (args : value list) : value =
@@ -272,10 +292,14 @@ and exec_fn st ~sp (fn : Rtl.fn) (args : value list) : value =
       caller_argout = sp;
       rbase = (try Hashtbl.find st.reg_base fn.Rtl.fname with Not_found -> 0);
       args = Array.of_list args;
+      specs = [];
     }
   in
   let blocks = fn.Rtl.blocks in
   let rec run_block bid : value =
+    (* speculation never crosses a block: the DDG that dropped the
+       edges is block-local *)
+    fr.specs <- [];
     let rec run_insns = function
       | [] -> Vi 0 (* block fell off the end: treat as return 0 *)
       | (i : Rtl.insn) :: rest -> (
@@ -315,19 +339,47 @@ and exec_fn st ~sp (fn : Rtl.fn) (args : value list) : value =
               in
               set_reg fr d v;
               emit_dyn st fr i ~addr ~taken:false;
+              if i.Rtl.spec then fr.specs <- (d, i, addr) :: fr.specs;
               run_insns rest
           | Rtl.Store (m, v) ->
               let addr = addr_of_mem st fr m in
               (match m.Rtl.mclass with
               | Rtl.Rint -> store_int st addr (as_int (operand_val fr v))
               | Rtl.Rflt -> store_flt st addr (as_flt (operand_val fr v)));
-              emit_dyn st fr i ~addr ~taken:false;
+              let misspec =
+                if fr.specs = [] then 0
+                else begin
+                  (* the check of every speculative load hoisted above
+                     this store (originally-later loads only: uid order
+                     is original program order) fires on an address
+                     overlap — recovery re-executes the load *)
+                  let n = ref 0 in
+                  List.iter
+                    (fun (d, (li : Rtl.insn), a0) ->
+                      if li.Rtl.uid > i.Rtl.uid then
+                        match Rtl.mem_of_insn li with
+                        | Some lm
+                          when a0 < addr + m.Rtl.msize
+                               && addr < a0 + lm.Rtl.msize -> (
+                            incr n;
+                            match lm.Rtl.mclass with
+                            | Rtl.Rint -> fr.iregs.(d) <- load_int st a0
+                            | Rtl.Rflt -> fr.fregs.(d) <- load_flt st a0)
+                        | _ -> ())
+                    fr.specs;
+                  st.misspec <- st.misspec + !n;
+                  !n
+                end
+              in
+              emit_dyn ~misspec st fr i ~addr ~taken:false;
               run_insns rest
           | Rtl.Cvt_i2f (d, s) ->
+              prune_spec fr d;
               fr.fregs.(d) <- float_of_int fr.iregs.(s);
               emit_dyn st fr i ~addr:0 ~taken:false;
               run_insns rest
           | Rtl.Cvt_f2i (d, s) ->
+              prune_spec fr d;
               fr.iregs.(d) <- int_of_float fr.fregs.(s);
               emit_dyn st fr i ~addr:0 ~taken:false;
               run_insns rest
@@ -371,4 +423,9 @@ let run ?fuel ?hook (prog : Rtl.program) : result =
   | Some fn ->
       let sp = mem_size - 64 in
       let v = exec_fn st ~sp fn [] in
-      { ret = as_int v; output = Buffer.contents st.out; dyn_count = st.executed }
+      {
+        ret = as_int v;
+        output = Buffer.contents st.out;
+        dyn_count = st.executed;
+        misspec = st.misspec;
+      }

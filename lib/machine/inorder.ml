@@ -45,6 +45,11 @@ let step (t : t) (d : Exec.dyn) =
   | None -> ());
   (* taken control transfers flush the fetch stage: one bubble *)
   t.last_issue <- (if d.Exec.d_taken then issue + 1 else issue);
+  (* a store that caught a misspeculated load stalls the pipeline for
+     the recovery (re-fetch and re-execute the load) *)
+  if d.Exec.d_misspec > 0 then
+    t.last_issue <-
+      t.last_issue + (d.Exec.d_misspec * t.md.Backend.Machdesc.misspec_penalty);
   if issue + lat > t.cycles then t.cycles <- issue + lat
 
 let cycles t = t.cycles

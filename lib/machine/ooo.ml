@@ -159,6 +159,14 @@ let step (t : t) (d : Exec.dyn) =
     end
   in
   t.last_retire <- retire;
+  (* a store that caught misspeculated loads replays them from the
+     issue queue: dispatch restarts after the recovery window *)
+  if d.Exec.d_misspec > 0 then begin
+    t.dispatch_cycle <-
+      max t.dispatch_cycle
+        (complete + (d.Exec.d_misspec * t.md.Backend.Machdesc.misspec_penalty));
+    t.dispatch_in_cycle <- 0
+  end;
   t.rob.(slot) <-
     {
       complete;

@@ -12,6 +12,9 @@ type report = {
   l1_hits : int;
   l1_misses : int;
   lsq_stalls : int;  (** 0 on the in-order machine *)
+  misspeculations : int;
+      (** speculative-load recoveries (0 unless scheduled with
+          [--speculate]) *)
 }
 
 let machine_name = function R4600 -> "R4600" | R10000 -> "R10000"
@@ -35,6 +38,7 @@ let run ?(fuel = 400_000_000) ?md (machine : machine)
         l1_hits = h;
         l1_misses = mi;
         lsq_stalls = 0;
+        misspeculations = res.Exec.misspec;
       }
   | R10000 ->
       let m = Ooo.make ?md () in
@@ -49,6 +53,7 @@ let run ?(fuel = 400_000_000) ?md (machine : machine)
         l1_hits = h;
         l1_misses = mi;
         lsq_stalls = m.Ooo.lsq_stall_cycles;
+        misspeculations = res.Exec.misspec;
       }
 
 (** Functional-only run (no timing), for correctness checks. *)

@@ -54,6 +54,11 @@ type t = {
   rd : P.reader;
   max_frame : int;
   timeout : float;
+  mutable version : int;
+      (** the session's negotiated protocol version — min(client,
+          server) from the Hello exchange.  Below 5 the v5 frames
+          (Q_prob) are not offered; calling {!equiv_prob} then raises
+          E1113 locally instead of tripping the server's fault path *)
   pipeline : int;  (** max in-flight frames; 1 = strict request/reply *)
   shm : bool;  (** shared-memory fast path requested *)
   mutable shm_dir : string option;  (** advertised by the server's Hello *)
@@ -80,6 +85,7 @@ type t = {
   memo_lcdd : (string * int * int * int, T.lcdd_entry list option) Hashtbl.t;
   memo_call : (string * int * int, Q.call_acc_result) Hashtbl.t;
   memo_region : (string * int, int option) Hashtbl.t;
+  memo_prob : (string * int * int, Q.equiv_result * int) Hashtbl.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -191,6 +197,7 @@ let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
       rd = P.reader fd;
       max_frame;
       timeout;
+      version = P.protocol_version;
       pipeline;
       shm;
       shm_dir = None;
@@ -206,10 +213,15 @@ let connect ?(timeout = P.default_timeout) ?(max_frame = P.default_max_frame)
       memo_lcdd = Hashtbl.create 64;
       memo_call = Hashtbl.create 64;
       memo_region = Hashtbl.create 64;
+      memo_prob = Hashtbl.create 64;
     }
   in
   (match rpc cl (P.Hello { version = P.protocol_version }) with
-  | P.R_hello { version; shm_dir; shards } when version = P.protocol_version ->
+  | P.R_hello { version; shm_dir; shards }
+    when version <= P.protocol_version && version >= P.min_protocol_version ->
+      (* downgrade negotiation: an older server answers with its own
+         version and the session runs at that level (no v5 frames) *)
+      cl.version <- version;
       cl.shards <- shards;
       if shm then cl.shm_dir <- shm_dir
   | P.R_hello { version; _ } ->
@@ -688,6 +700,24 @@ let region_of_item cl ~u item =
       | P.A_region_of r -> r
       | _ -> net_raise "E1105" "answer kind mismatch (region_of)")
 
+let version cl = cl.version
+
+let equiv_prob cl ~u a b =
+  (* probability queries stay on the wire in shm mode too: HLIX
+     segments don't carry alias probability sections (yet), so the
+     mapped image can't answer with a confidence *)
+  if cl.version < 5 then
+    net_raise "E1113"
+      "Q_prob not offered at negotiated protocol version %d (needs 5)"
+      cl.version;
+  memoized cl.memo_prob (u, a, b) @@ fun () ->
+  match rpc cl (P.Q_prob { u; pairs = [ (a, b) ] }) with
+  | P.R_prob [ r ] -> r
+  | P.R_prob l ->
+      net_raise "E1105" "out-of-sequence reply: %d answers to a 1-pair Q_prob"
+        (List.length l)
+  | _ -> net_raise "E1105" "answer kind mismatch (equiv_prob)"
+
 let hoist_target cl ~u item =
   (* not memoized: the answer depends on maintained state committed
      server-side, mirroring the local commit-then-query sequence *)
@@ -715,6 +745,7 @@ let invalidate_unit cl u =
   drop (fun (u', _, _, _) -> u') cl.memo_lcdd;
   drop (fun (u', _, _) -> u') cl.memo_call;
   drop (fun (u', _) -> u') cl.memo_region;
+  drop (fun (u', _, _) -> u') cl.memo_prob;
   Hashtbl.replace cl.maint_open u ()
 
 let expect_ack what = function

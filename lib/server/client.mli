@@ -33,7 +33,15 @@ val connect :
     generation is odd or moved mid-read, the segment is missing or
     corrupt, or the unit has uncommitted maintenance (DESIGN.md §8).
     Raises E1112 if the socket is unreachable, E1111 on a protocol
-    version mismatch, [Invalid_argument] if [pipeline < 1]. *)
+    version mismatch, [Invalid_argument] if [pipeline < 1].
+
+    The handshake negotiates down: a server at an older (>= v4)
+    version is accepted and the session runs at that version; see
+    {!version} and {!equiv_prob}. *)
+
+val version : t -> int
+(** The session's negotiated protocol version (min of client and
+    server). *)
 
 val close : t -> unit
 (** Drain in-flight replies, best-effort [Close] round-trip, then
@@ -109,6 +117,15 @@ val region_of_item : t -> u:string -> int -> int option
 val hoist_target : t -> u:string -> int -> int option
 (** Server-side commit-then-query for the LICM hoist decision; not
     memoized because the answer tracks maintained state. *)
+
+val equiv_prob :
+  t -> u:string -> int -> int -> Hli_core.Query.equiv_result * int
+(** Confidence-weighted equiv (v5): the engine's [get_equiv_prob] —
+    the equiv answer plus a per-mille confidence from the HLI3
+    probability sections.  Memoized like {!equiv_acc}; always answered
+    on the wire (HLIX segments don't carry alias probabilities).
+    Raises E1113 without touching the wire when the session was
+    negotiated below v5. *)
 
 (** {2 Shared-memory fast path} *)
 

@@ -18,6 +18,7 @@
     - E1109 timeout                  - E1110 connection closed
     - E1111 protocol version mismatch
     - E1112 socket setup failure
+    - E1113 frame known but not offered at the negotiated version
 
     The exchange is one response frame per request frame, answered
     {e strictly in request order} — which is what makes pipelining
@@ -41,9 +42,20 @@ module Q = Hli_core.Query
    entries that changed.  v4: R_hello carries the serving fleet's shard
    map — the socket paths of the hlid instances units are sharded
    across (empty for a standalone daemon) — so a client that lands on
-   a router can discover the backends.  Older peers are rejected with
-   E1111 as before — the version is checked first on both ends. *)
-let protocol_version = 4
+   a router can discover the backends.  v5: probabilistic queries —
+   the Q_prob/R_prob frame pair carries confidence-weighted equiv
+   answers ((result, per-mille) pairs from HLI3 probability sections).
+   v5 also introduces {e downgrade} negotiation: the server accepts
+   any client version >= 4 and replies with min(client, server), so a
+   v4 client keeps working unchanged (it simply is not offered
+   Q_prob; sending one anyway on a v4 session is a protocol fault,
+   E1113, distinct from an unknown tag).  Peers older than v4 are
+   rejected with E1111 as before — the version is checked first on
+   both ends. *)
+let protocol_version = 5
+
+(** Oldest peer version the v5 negotiation still serves. *)
+let min_protocol_version = 4
 
 (** Bound on a frame's payload length, checked {e before} the payload
     is read or allocated. *)
@@ -104,6 +116,11 @@ type request =
   | Delta_fill of string list
       (** the entry payloads an {!R_delta_need} asked for, in the
           listed order; only valid while its [Open_delta] is pending *)
+  | Q_prob of { u : string; pairs : (int * int) list }
+      (** confidence-weighted equiv: per item pair, the engine's
+          [get_equiv_prob] answer — (result, per-mille confidence).
+          v5 only; on a session negotiated at v4 this frame is a
+          protocol fault (E1113) *)
 
 type response =
   | R_hello of {
@@ -132,6 +149,8 @@ type response =
       (** positions (into the [Open_delta] list) of the entries the
           server's store lacks; empty never occurs — a fully known
           delta open is answered with {!R_opened} directly *)
+  | R_prob of (Q.equiv_result * int) list
+      (** positional answers to a {!Q_prob}'s pairs (v5) *)
   | R_error of { e_code : string; e_msg : string }
 
 (* ------------------------------------------------------------------ *)
@@ -197,7 +216,7 @@ let put_answer buf = function
       S.put_bool buf b
   | A_lcdd o ->
       Buffer.add_char buf '\002';
-      S.put_opt buf (fun b l -> S.put_list b S.put_lcdd_v2 l) o
+      S.put_opt buf (fun b l -> S.put_list b S.put_lcdd_v3 l) o
   | A_call r ->
       Buffer.add_char buf '\003';
       put_call buf r
@@ -232,8 +251,9 @@ let request_tag = function
   | Shm_list -> 0x0d
   | Open_delta _ -> 0x0e
   | Delta_fill _ -> 0x0f
+  | Q_prob _ -> 0x10
 
-let is_request_tag t = t >= 0x01 && t <= 0x0f
+let is_request_tag t = t >= 0x01 && t <= 0x10
 
 let response_tag = function
   | R_hello _ -> 0x81
@@ -248,9 +268,10 @@ let response_tag = function
   | R_closing -> 0x8a
   | R_shm_list _ -> 0x8b
   | R_delta_need _ -> 0x8c
+  | R_prob _ -> 0x8d
   | R_error _ -> 0xff
 
-let is_response_tag t = (t >= 0x81 && t <= 0x8c) || t = 0xff
+let is_response_tag t = (t >= 0x81 && t <= 0x8d) || t = 0xff
 
 let frame tag payload =
   let buf = Buffer.create (String.length payload + 12) in
@@ -290,7 +311,14 @@ let request_payload (r : request) : string =
           S.put_string b name;
           S.put_string b hash)
         refs
-  | Delta_fill payloads -> S.put_list buf S.put_string payloads);
+  | Delta_fill payloads -> S.put_list buf S.put_string payloads
+  | Q_prob { u; pairs } ->
+      S.put_string buf u;
+      S.put_list buf
+        (fun b (a, x) ->
+          S.put_varint b a;
+          S.put_varint b x)
+        pairs);
   Buffer.contents buf
 
 (* append the framed request to [buf] without building the
@@ -336,6 +364,12 @@ let response_payload (r : response) : string =
           S.put_string b path)
         segs
   | R_delta_need idxs -> S.put_list buf S.put_varint idxs
+  | R_prob answers ->
+      S.put_list buf
+        (fun b (r, p) ->
+          put_equiv b r;
+          S.put_varint b p)
+        answers
   | R_error { e_code; e_msg } ->
       S.put_string buf e_code;
       S.put_string buf e_msg);
@@ -442,7 +476,7 @@ let get_answer cur =
   match S.byte cur with
   | 0 -> A_equiv (get_equiv cur)
   | 1 -> A_alias (S.get_bool cur)
-  | 2 -> A_lcdd (S.get_opt cur (fun cur -> S.get_list cur S.get_lcdd_v2))
+  | 2 -> A_lcdd (S.get_opt cur (fun cur -> S.get_list cur S.get_lcdd_v3))
   | 3 -> A_call (get_call cur)
   | 4 -> A_region_of (S.get_opt cur S.get_varint)
   | 5 -> A_hoist_target (S.get_opt cur S.get_varint)
@@ -491,6 +525,15 @@ let decode_request_payload tag cur : request =
                  (String.length hash);
              (name, hash)))
   | 0x0f -> Delta_fill (S.get_list cur S.get_string)
+  | 0x10 ->
+      let u = S.get_string cur in
+      let pairs =
+        S.get_list cur (fun cur ->
+            let a = S.get_varint cur in
+            let b = S.get_varint cur in
+            (a, b))
+      in
+      Q_prob { u; pairs }
   | _ -> assert false (* tag validated by the framing layer *)
 
 let decode_response_payload tag cur : response =
@@ -522,6 +565,12 @@ let decode_response_payload tag cur : response =
              let name = S.get_string cur in
              (name, S.get_string cur)))
   | 0x8c -> R_delta_need (S.get_list cur S.get_varint)
+  | 0x8d ->
+      R_prob
+        (S.get_list cur (fun cur ->
+             let r = get_equiv cur in
+             let p = S.get_varint cur in
+             (r, p)))
   | 0xff ->
       let e_code = S.get_string cur in
       R_error { e_code; e_msg = S.get_string cur }

@@ -11,6 +11,13 @@
 
 val protocol_version : int
 
+val min_protocol_version : int
+(** Oldest peer version the negotiation still serves: a client at
+    [min_protocol_version] or newer is answered with
+    [min(client, protocol_version)]; anything older is rejected with
+    E1111.  Frames a downgraded session was never offered (e.g.
+    [Q_prob] on a v4 session) are faulted with E1113. *)
+
 val default_max_frame : int
 (** Default payload size bound (16 MiB), enforced before allocation. *)
 
@@ -62,6 +69,10 @@ type request =
   | Delta_fill of string list
       (** the entry payloads an [R_delta_need] asked for, in the listed
           order; only valid while its [Open_delta] is pending *)
+  | Q_prob of { u : string; pairs : (int * int) list }
+      (** confidence-weighted equiv: per item pair, the engine's
+          [get_equiv_prob] answer.  v5 only — on a session negotiated
+          at v4 this frame is a protocol fault (E1113) *)
 
 type response =
   | R_hello of {
@@ -89,6 +100,9 @@ type response =
   | R_delta_need of int list
       (** positions (into the [Open_delta] list) of the entries the
           server's store lacks *)
+  | R_prob of (Hli_core.Query.equiv_result * int) list
+      (** positional answers to a [Q_prob]'s pairs: result and
+          per-mille confidence (v5) *)
   | R_error of { e_code : string; e_msg : string }
 
 (** {2 Pure frame codec} — used directly by the fuzz harness. *)

@@ -621,6 +621,7 @@ let call_acc t ~u ~call ~mem =
 
 let region_of_item t ~u item = on_unit t u (fun cl -> C.region_of_item cl ~u item)
 let hoist_target t ~u item = on_unit t u (fun cl -> C.hoist_target cl ~u item)
+let equiv_prob t ~u a b = on_unit t u (fun cl -> C.equiv_prob cl ~u a b)
 let line_table t u = on_unit t u (fun cl -> C.line_table cl u)
 
 (* ------------------------------------------------------------------ *)
@@ -751,22 +752,26 @@ let close t =
    shards; re-splitting reference lists is not worth the protocol
    surface) — and backend sessions run at pipeline 1 so every ack the
    router forwards is a real backend answer, never a deferred one. *)
-let handle_req t ~backends (req : P.request) : P.response * bool =
+let handle_req t ~backends ~ver (req : P.request) : P.response * bool =
   match req with
   | P.Hello { version } ->
-      if version <> P.protocol_version then
+      if version < P.min_protocol_version then
         ( P.R_error
             {
               e_code = "E1111";
               e_msg =
-                Printf.sprintf "protocol version mismatch: client %d, router %d"
-                  version P.protocol_version;
+                Printf.sprintf
+                  "protocol version mismatch: client %d, router %d (oldest \
+                   served: %d)"
+                  version P.protocol_version P.min_protocol_version;
             },
           false )
-      else
-        ( P.R_hello
-            { version = P.protocol_version; shm_dir = None; shards = backends },
-          true )
+      else begin
+        (* downgrade negotiation, like the daemon's: serve the older
+           of the two versions *)
+        ver := min version P.protocol_version;
+        (P.R_hello { version = !ver; shm_dir = None; shards = backends }, true)
+      end
   | P.Open_hli bytes -> (P.R_opened (open_hli_bytes t bytes), true)
   | P.Open_path path -> (
       match
@@ -801,6 +806,20 @@ let handle_req t ~backends (req : P.request) : P.response * bool =
   | P.Line_table u -> (P.R_line_table (line_table t u), true)
   | P.Stats -> (P.R_stats (stats_json t), true)
   | P.Shm_list -> (P.R_shm_list [], true)
+  | P.Q_prob { u; pairs } ->
+      if !ver < 5 then
+        ( P.R_error
+            {
+              e_code = "E1113";
+              e_msg =
+                Printf.sprintf
+                  "Q_prob not offered at negotiated protocol version %d \
+                   (needs 5)"
+                  !ver;
+            },
+          true )
+      else
+        (P.R_prob (List.map (fun (a, b) -> equiv_prob t ~u a b) pairs), true)
   | P.Close -> (P.R_closing, false)
 
 let handle_conn ~backends ~timeout ~max_frame ~stop fd =
@@ -810,6 +829,7 @@ let handle_conn ~backends ~timeout ~max_frame ~stop fd =
          retry; nothing sound to answer without a session *)
       (try Unix.close fd with Unix.Unix_error _ -> ())
   | t ->
+  let ver = ref P.protocol_version in
   let rd = P.reader fd in
   let respond resp =
     P.write_all
@@ -823,7 +843,7 @@ let handle_conn ~backends ~timeout ~max_frame ~stop fd =
     | P.Closed -> ()
     | P.Got req ->
         let resp, keep =
-          try handle_req t ~backends req
+          try handle_req t ~backends ~ver req
           with Diagnostics.Diagnostic d ->
             ( P.R_error
                 { e_code = d.Diagnostics.code; e_msg = d.Diagnostics.message },

@@ -84,6 +84,12 @@ val call_acc :
 
 val region_of_item : t -> u:string -> int -> int option
 val hoist_target : t -> u:string -> int -> int option
+
+val equiv_prob :
+  t -> u:string -> int -> int -> Hli_core.Query.equiv_result * int
+(** Confidence-weighted equiv (v5), routed to the unit's ring owner;
+    memoized per shard client like {!equiv_acc}. *)
+
 val line_table : t -> string -> Hli_core.Tables.line_entry list
 
 (** {2 Maintenance} — routed to the unit's owner and appended to that

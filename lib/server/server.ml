@@ -69,7 +69,7 @@ let default_config ~socket_path =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry (hli-telemetry-v7 "server" object)                        *)
+(* Telemetry (hli-telemetry-v8 "server" object)                        *)
 (* ------------------------------------------------------------------ *)
 
 let lat_cap = 8192
@@ -88,6 +88,7 @@ type stats = {
   mutable st_q_call : int;
   mutable st_q_region : int;
   mutable st_q_hoist : int;
+  mutable st_q_prob : int;
   mutable st_maintenance : int;
   mutable st_rejected : int;
   mutable st_timeouts : int;
@@ -120,6 +121,7 @@ let fresh_stats () =
     st_q_call = 0;
     st_q_region = 0;
     st_q_hoist = 0;
+    st_q_prob = 0;
     st_maintenance = 0;
     st_rejected = 0;
     st_timeouts = 0;
@@ -174,6 +176,11 @@ type conn = {
   mutable c_frame_since : float;
       (** when the first byte of the current partial frame arrived;
           0.0 = no partial frame pending *)
+  mutable c_version : int;
+      (** the session's negotiated protocol version — min(client,
+          server), set by the Hello handler.  Frames a downgraded
+          session was never offered (Q_prob below v5) are faulted
+          with E1113.  Worker-only. *)
   c_units : (string, unit_state) Hashtbl.t;  (** worker-only *)
   mutable c_delta : ((string * string) array * int list) option;
       (** pending [Open_delta] (the (name, hash) refs and the missing
@@ -254,7 +261,7 @@ let percentile_ns sorted p =
     int_of_float (sorted.(max 0 i) *. 1e9)
 
 (** The server-side telemetry object embedded as the ["server"] field
-    of an hli-telemetry-v7 dump (and answered to a [Stats] frame). *)
+    of an hli-telemetry-v8 dump (and answered to a [Stats] frame). *)
 let stats_json t =
   locked t @@ fun () ->
   let s = t.st in
@@ -267,7 +274,7 @@ let stats_json t =
         \"timed_out_frames\":%d,\"batches\":%d,\"batch_max\":%d,\
         \"maintenance_ops\":%d,\"queries\":{\"total\":%d,\"equiv_acc\":%d,\
         \"alias\":%d,\"lcdd\":%d,\"call_acc\":%d,\"region_of_item\":%d,\
-        \"hoist_target\":%d},\"latency_ns\":{\"samples\":%d,\"p50\":%d,\
+        \"hoist_target\":%d,\"equiv_prob\":%d},\"latency_ns\":{\"samples\":%d,\"p50\":%d,\
         \"p99\":%d},\"shm\":{\"publishes\":%d,\"rebuilds\":%d,\
         \"stale_swept\":%d},\"delta\":{\"opens\":%d,\"entries_reused\":%d,\
         \"entries_filled\":%d},\"store\":{\"bytes\":%d,\"entries\":%d},\
@@ -276,7 +283,7 @@ let stats_json t =
        s.st_sessions s.st_active s.st_frames s.st_rejected s.st_timeouts
        s.st_batches s.st_batch_max s.st_maintenance s.st_queries s.st_q_equiv
        s.st_q_alias s.st_q_lcdd s.st_q_call s.st_q_region s.st_q_hoist
-       s.st_lat_n
+       s.st_q_prob s.st_lat_n
        (percentile_ns sorted 0.50)
        (percentile_ns sorted 0.99)
        s.st_shm_publishes s.st_shm_rebuilds s.st_shm_stale_swept
@@ -452,23 +459,29 @@ let handle t (c : conn) (req : P.request) : P.response * bool =
   (match req with P.Delta_fill _ -> () | _ -> c.c_delta <- None);
   match req with
   | P.Hello { version } ->
-      if version <> P.protocol_version then
+      if version < P.min_protocol_version then
         ( P.R_error
             {
               e_code = "E1111";
               e_msg =
-                Printf.sprintf "protocol version mismatch: client %d, server %d"
-                  version P.protocol_version;
+                Printf.sprintf
+                  "protocol version mismatch: client %d, server %d (oldest \
+                   served: %d)"
+                  version P.protocol_version P.min_protocol_version;
             },
           false )
-      else
+      else begin
+        (* downgrade negotiation: serve the older of the two versions;
+           a v4 client simply is not offered the v5 frames *)
+        c.c_version <- min version P.protocol_version;
         ( P.R_hello
             {
-              version = P.protocol_version;
+              version = c.c_version;
               shm_dir = session_shm_dir t c;
               shards = [];
             },
           true )
+      end
   | P.Open_hli bytes -> (open_container_bytes t c bytes, true)
   | P.Open_delta refs ->
       if Hashtbl.length units > 0 then
@@ -630,6 +643,21 @@ let handle t (c : conn) (req : P.request) : P.response * bool =
           units []
       in
       (P.R_shm_list segs, true)
+  | P.Q_prob { u; pairs } ->
+      if c.c_version < 5 then
+        reply_error "E1113"
+          "Q_prob not offered at negotiated protocol version %d (needs 5)"
+          c.c_version;
+      let us = find_unit units u in
+      let answers =
+        List.map (fun (a, b) -> Q.get_equiv_prob us.us_idx a b) pairs
+      in
+      locked t (fun () ->
+          let st = t.st in
+          let n = List.length pairs in
+          st.st_queries <- st.st_queries + n;
+          st.st_q_prob <- st.st_q_prob + n);
+      (P.R_prob answers, true)
   | P.Close -> (P.R_closing, false)
 
 (* ------------------------------------------------------------------ *)
@@ -655,6 +683,7 @@ let handle_work t c out = function
       c.c_frames <- c.c_frames + 1;
       (match req with
       | P.Batch qs -> c.c_queries <- c.c_queries + List.length qs
+      | P.Q_prob { pairs; _ } -> c.c_queries <- c.c_queries + List.length pairs
       | _ -> ());
       locked t (fun () ->
           t.st.st_frames <- t.st.st_frames + 1;
@@ -948,6 +977,7 @@ let accept_loop t =
             c_ofs = 0;
             c_len = 0;
             c_frame_since = 0.0;
+            c_version = P.protocol_version;
             c_units = Hashtbl.create 8;
             c_delta = None;
             c_lock = Mutex.create ();

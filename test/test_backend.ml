@@ -120,8 +120,8 @@ int main()
 }
 |}
 
-let compile_stats mode =
-  let prog = Srclang.Typecheck.program_of_string stencil_src in
+let compile_src ?speculate mode src =
+  let prog = Srclang.Typecheck.program_of_string src in
   let entries = Harness.Pipeline.build_hli_entries prog in
   let rtl = Lower.lower_program prog in
   let maps = Hashtbl.create 4 in
@@ -133,11 +133,13 @@ let compile_stats mode =
       | None -> ())
     entries;
   let stats =
-    Sched.schedule_program ~mode
+    Sched.schedule_program ~mode ?speculate
       ~hli_of_fn:(fun n -> Hashtbl.find_opt maps n)
       ~md:Machdesc.r10000 rtl
   in
   (rtl, stats)
+
+let compile_stats mode = compile_src mode stencil_src
 
 let ddg_tests =
   [
@@ -201,6 +203,75 @@ let ddg_tests =
           rtl.Rtl.fns);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Speculative scheduling (--speculate)                                *)
+(* ------------------------------------------------------------------ *)
+
+let workload_src name =
+  let w =
+    List.find (fun w -> w.Workloads.Workload.name = name) Workloads.Registry.all
+  in
+  w.Workloads.Workload.source
+
+let spec_flag_count (rtl : Rtl.program) =
+  List.fold_left
+    (fun acc fn ->
+      Array.fold_left
+        (fun acc (b : Rtl.block) ->
+          List.fold_left
+            (fun acc (i : Rtl.insn) -> if i.Rtl.spec then acc + 1 else acc)
+            acc b.Rtl.insns)
+        acc fn.Rtl.blocks)
+    0 rtl.Rtl.fns
+
+(* 034.mdljdp2 is one of the two workloads with maybe-class
+   store-to-load edges whose alias confidence lands in [0.5, 0.75):
+   they survive the default threshold and drop only at 0.75+.  The
+   exact counts pin the probability analysis end to end. *)
+let speculation_tests =
+  [
+    Alcotest.test_case "threshold 1.0 drops mdljdp2's maybe edges" `Quick
+      (fun () ->
+        let rtl, s =
+          compile_src ~speculate:1000 Ddg.With_hli (workload_src "034.mdljdp2")
+        in
+        Alcotest.(check int) "edges dropped" 3 s.Ddg.spec_edges_dropped;
+        Alcotest.(check int) "checks" 3 s.Ddg.spec_checks;
+        Alcotest.(check int) "flagged loads" 3 (spec_flag_count rtl));
+    Alcotest.test_case "confident edges survive the default threshold" `Quick
+      (fun () ->
+        let rtl, s =
+          compile_src ~speculate:500 Ddg.With_hli (workload_src "034.mdljdp2")
+        in
+        Alcotest.(check int) "edges dropped" 0 s.Ddg.spec_edges_dropped;
+        Alcotest.(check int) "flagged loads" 0 (spec_flag_count rtl));
+    Alcotest.test_case "threshold 0 is the identity" `Quick (fun () ->
+        let rtl, s =
+          compile_src ~speculate:0 Ddg.With_hli (workload_src "034.mdljdp2")
+        in
+        Alcotest.(check int) "edges dropped" 0 s.Ddg.spec_edges_dropped;
+        Alcotest.(check int) "checks" 0 s.Ddg.spec_checks;
+        Alcotest.(check int) "flagged loads" 0 (spec_flag_count rtl));
+    Alcotest.test_case "rescheduling without --speculate clears flags" `Quick
+      (fun () ->
+        (* spec marks are per-schedule state: a later variant built over
+           the same RTL must not inherit them *)
+        let rtl, _ =
+          compile_src ~speculate:1000 Ddg.With_hli (workload_src "034.mdljdp2")
+        in
+        Alcotest.(check bool) "flags set" true (spec_flag_count rtl > 0);
+        List.iter
+          (fun (fn : Rtl.fn) ->
+            Array.iter
+              (fun (b : Rtl.block) ->
+                ignore
+                  (Ddg.build ~mode:Ddg.With_hli ~hli:None ~md:Machdesc.r10000
+                     ~stats:(Ddg.fresh_stats ()) b.Rtl.insns))
+              fn.Rtl.blocks)
+          rtl.Rtl.fns;
+        Alcotest.(check int) "flags cleared" 0 (spec_flag_count rtl));
+  ]
+
 (* lowering sanity: loop metadata matches region numbering *)
 let loop_meta_tests =
   [
@@ -232,5 +303,6 @@ let () =
       ("gcc-alias", gcc_alias_tests);
       ("mapping-contract", mapping_tests);
       ("ddg", ddg_tests);
+      ("speculation", speculation_tests);
       ("loops", loop_meta_tests);
     ]

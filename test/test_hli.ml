@@ -143,6 +143,102 @@ let serialize_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Text rendering (hli_dump output)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let dump_tests =
+  [
+    Alcotest.test_case "per-mille probabilities render compactly" `Quick
+      (fun () ->
+        List.iter
+          (fun (p, s) ->
+            Alcotest.(check string)
+              (Printf.sprintf "p=%d" p)
+              s
+              (Hli_core.Tables.prob_to_string p))
+          [
+            (0, "0.0");
+            (1000, "1.0");
+            (500, "0.5");
+            (850, "0.85");
+            (730, "0.73");
+            (125, "0.125");
+            (30, "0.03");
+            (7, "0.007");
+          ]);
+    Alcotest.test_case "golden text dump with probability sections" `Quick
+      (fun () ->
+        (* exactly what [hli_dump --entry u] prints for an HLI3 entry:
+           alias sets and maybe-LCDDs carry p=..., sections without a
+           probability render as before (HLI2 dumps are unchanged) *)
+        let e =
+          {
+            T.unit_name = "u";
+            line_table =
+              [ { T.line_no = 3; items = [ { T.item_id = 1; acc = T.Acc_store } ] } ];
+            regions =
+              [
+                {
+                  T.region_id = 1;
+                  rtype = T.Region_loop;
+                  parent = None;
+                  first_line = 1;
+                  last_line = 9;
+                  eq_classes =
+                    [
+                      {
+                        T.class_id = 1;
+                        kind = T.Maybe;
+                        desc = "a";
+                        members = [ T.Member_item 1 ];
+                      };
+                    ];
+                  aliases =
+                    [
+                      { T.alias_classes = [ 1; 2 ]; alias_prob = Some 850 };
+                      { T.alias_classes = [ 2; 3 ]; alias_prob = None };
+                    ];
+                  lcdds =
+                    [
+                      {
+                        T.lcdd_src = 1;
+                        lcdd_dst = 1;
+                        lcdd_dep = T.Dep_maybe;
+                        lcdd_distance = Some 4;
+                        lcdd_prob = Some 500;
+                      };
+                      {
+                        T.lcdd_src = 1;
+                        lcdd_dst = 2;
+                        lcdd_dep = T.Dep_definite;
+                        lcdd_distance = None;
+                        lcdd_prob = None;
+                      };
+                    ];
+                  callrefmods = [];
+                };
+              ];
+          }
+        in
+        let expected =
+          String.concat "\n"
+            [
+              "unit u:";
+              "  1 lines, 1 items, 1 regions";
+              "  region 1 (loop, lines 1-9):";
+              "    classes: c1? \"a\" = {i1}";
+              "    aliases: {1, 2, p=0.85}; {2, 3}";
+              "    lcdd: c1 -> c1 (maybe, d=4, p=0.5)";
+              "          c1 -> c2 (definite, d=?)";
+              "    calls: 0 entries";
+              "";
+            ]
+        in
+        Alcotest.(check string) "dump" expected
+          (Hli_core.Serialize.to_text { T.entries = [ e ] }));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Serialization boundaries (HLI2 hardening)                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -237,6 +333,7 @@ let boundary_tests =
             lcdd_dst = 1;
             lcdd_dep = T.Dep_definite;
             lcdd_distance = Some 0;
+            lcdd_prob = None;
           }
         in
         let f =
@@ -332,6 +429,7 @@ let boundary_tests =
                               lcdd_dst = 2;
                               lcdd_dep = T.Dep_maybe;
                               lcdd_distance = None;
+                              lcdd_prob = None;
                             };
                           ];
                         callrefmods =
@@ -683,6 +781,7 @@ let () =
     [
       ("query", query_tests);
       ("serialize", serialize_tests);
+      ("text-dump", dump_tests);
       ("serialize-boundary", boundary_tests);
       ("serialize-props", List.map QCheck_alcotest.to_alcotest serialize_props);
       ("maintain", maintain_tests);

@@ -264,6 +264,124 @@ let fuel_tests =
           (String.trim r.Machine.Exec.output));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Speculative-load recovery (--speculate)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-built function in the shape the scheduler emits under
+   [--speculate]: a load hoisted above a store it may alias, with
+   [Rtl.insn.spec] set and the load's uid greater than the store's
+   (uid order is original program order).  The store's implicit check
+   must re-load the destination register and count a misspeculation
+   exactly when the addresses collide at run time. *)
+let spec_rtl ?(nloads = 1) ~store_off ~overwrite () =
+  let open Backend in
+  let g =
+    Srclang.Symbol.fresh ~name:"g"
+      ~ty:(Srclang.Types.Tarray (Srclang.Types.Tint, 4))
+      ~storage:Srclang.Symbol.Global
+  in
+  let mem off =
+    {
+      Rtl.mbase = Rtl.Bsym g;
+      moffset = off;
+      mindex = None;
+      mscale = 1;
+      msize = 4;
+      mclass = Rtl.Rint;
+    }
+  in
+  let insn ?(spec = false) uid desc =
+    { Rtl.uid; desc; line = 0; item = None; spec }
+  in
+  let insns =
+    [ insn 0 (Rtl.Store (mem 0, Rtl.Imm 1)) ]
+    (* g[0]'s loads originally sat below the uid-2 store; the
+       scheduler hoisted them here and flagged them speculative *)
+    @ List.init nloads (fun k -> insn ~spec:true (3 + k) (Rtl.Load (1 + k, mem 0)))
+    @ (if overwrite then [ insn 90 (Rtl.Li (1, Rtl.Imm 7)) ] else [])
+    @ [
+        insn 2 (Rtl.Store (mem store_off, Rtl.Imm 42));
+        insn 4 (Rtl.Call ("print_int", [ Rtl.Reg 1 ], None));
+      ]
+    (* a tail long enough that the check's issue-stage stall (not the
+       cold-cache miss on the first store) sets the final cycle count *)
+    @ List.init 32 (fun k -> insn (100 + k) (Rtl.Li (0, Rtl.Imm k)))
+    @ [ insn 5 (Rtl.Ret (Some (Rtl.Imm 0))) ]
+  in
+  let block = { Rtl.bid = 0; insns; succs = []; preds = [] } in
+  {
+    Rtl.fns =
+      [
+        {
+          Rtl.fname = "main";
+          params = [];
+          ret_class = Some Rtl.Rint;
+          blocks = [| block |];
+          entry = 0;
+          frame_size = 0;
+          argout_size = 0;
+          vreg_count = nloads + 1;
+          vreg_class = Array.make (nloads + 1) Rtl.Rint;
+          loops = [];
+        };
+      ];
+    globals = [ (g, None) ];
+  }
+
+let speculation_tests =
+  [
+    Alcotest.test_case "colliding store recovers the load" `Quick (fun () ->
+        let r = Machine.Exec.run (spec_rtl ~store_off:0 ~overwrite:false ()) in
+        Alcotest.(check string)
+          "recovered value" "42"
+          (String.trim r.Machine.Exec.output);
+        Alcotest.(check int) "misspeculations" 1 r.Machine.Exec.misspec);
+    Alcotest.test_case "disjoint store leaves the load alone" `Quick (fun () ->
+        let r = Machine.Exec.run (spec_rtl ~store_off:4 ~overwrite:false ()) in
+        Alcotest.(check string)
+          "speculated value" "1"
+          (String.trim r.Machine.Exec.output);
+        Alcotest.(check int) "misspeculations" 0 r.Machine.Exec.misspec);
+    Alcotest.test_case "overwritten register prunes the check" `Quick (fun () ->
+        (* once the destination register is redefined the speculative
+           value is dead: no recovery may clobber the new definition *)
+        let r = Machine.Exec.run (spec_rtl ~store_off:0 ~overwrite:true ()) in
+        Alcotest.(check string)
+          "redefined value" "7"
+          (String.trim r.Machine.Exec.output);
+        Alcotest.(check int) "misspeculations" 0 r.Machine.Exec.misspec);
+    Alcotest.test_case "timing models surface the recovery count" `Quick
+      (fun () ->
+        List.iter
+          (fun m ->
+            (* several hoisted loads so the recovery window is longer
+               than the cold-miss shadow of the first store — the
+               penalty must show up in the cycle count, not just the
+               counter *)
+            let hit =
+              Machine.Simulate.run m
+                (spec_rtl ~nloads:8 ~store_off:0 ~overwrite:false ())
+            in
+            let miss =
+              Machine.Simulate.run m
+                (spec_rtl ~nloads:8 ~store_off:4 ~overwrite:false ())
+            in
+            Alcotest.(check int)
+              (Machine.Simulate.machine_name m ^ " misspeculations")
+              8 hit.Machine.Simulate.misspeculations;
+            Alcotest.(check int)
+              (Machine.Simulate.machine_name m ^ " clean run")
+              0 miss.Machine.Simulate.misspeculations;
+            (* identical instruction streams: the penalty alone must
+               separate the two runs *)
+            Alcotest.(check bool)
+              (Machine.Simulate.machine_name m ^ " penalty charged")
+              true
+              (hit.Machine.Simulate.cycles > miss.Machine.Simulate.cycles))
+          [ Machine.Simulate.R4600; Machine.Simulate.R10000 ]);
+  ]
+
 let () =
   Alcotest.run "machine"
     [
@@ -271,4 +389,5 @@ let () =
       ("cache", cache_tests);
       ("timing", timing_tests);
       ("fuel", fuel_tests);
+      ("speculation", speculation_tests);
     ]

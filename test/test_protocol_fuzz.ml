@@ -117,6 +117,8 @@ let exemplar_requests : (string * P.request) list =
     ("open_delta_empty", P.Open_delta []);
     ( "delta_fill",
       P.Delta_fill [ S.entry_to_bytes sample_entry; "second payload" ] );
+    ("q_prob", P.Q_prob { u = "u"; pairs = [ (1, 2); (2, 2); (3, 99991) ] });
+    ("q_prob_empty", P.Q_prob { u = "u"; pairs = [] });
   ]
 
 let exemplar_responses : (string * P.response) list =
@@ -153,6 +155,7 @@ let exemplar_responses : (string * P.response) list =
                    lcdd_dst = 2;
                    lcdd_dep = Hli_core.Tables.Dep_maybe;
                    lcdd_distance = Some 0;
+                   lcdd_prob = Some 850;
                  };
                ]);
           P.A_call Hli_core.Query.Call_refmod;
@@ -177,6 +180,16 @@ let exemplar_responses : (string * P.response) list =
     ("r_shm_list_empty", P.R_shm_list []);
     ("r_delta_need", P.R_delta_need [ 0; 3; 17 ]);
     ("r_delta_need_none", P.R_delta_need []);
+    ( "r_prob",
+      P.R_prob
+        [
+          (Hli_core.Query.Equiv_none, 1000);
+          (Hli_core.Query.Equiv_same Hli_core.Tables.Maybe, 500);
+          (Hli_core.Query.Equiv_same Hli_core.Tables.Definitely, 1000);
+          (Hli_core.Query.Equiv_alias, 850);
+          (Hli_core.Query.Equiv_unknown, 0);
+        ] );
+    ("r_prob_empty", P.R_prob []);
     ("r_error", P.R_error { e_code = "E1107"; e_msg = "unknown unit" });
   ]
 

@@ -103,8 +103,8 @@ let json_tests =
           (has_sub json
              (Printf.sprintf "\"schema\":\"%s\""
                 Harness.Telemetry.schema_version));
-        Alcotest.(check bool) "schema is v6" true
-          (Harness.Telemetry.schema_version = "hli-telemetry-v7");
+        Alcotest.(check bool) "schema is v8" true
+          (Harness.Telemetry.schema_version = "hli-telemetry-v8");
         (* v5: the server object is present, null for in-process runs *)
         Alcotest.(check bool) "has null server" true
           (has_sub json "\"server\":null");
@@ -171,9 +171,11 @@ int main()
         in
         ignore (Harness.Pipeline.compile src);
         let counters = Hli_core.Query.query_counters () in
-        Alcotest.(check int) "five kinds" 5 (List.length counters);
+        Alcotest.(check int) "six kinds" 6 (List.length counters);
         Alcotest.(check bool) "equiv_acc issued" true
-          (List.assoc "equiv_acc" counters > 0));
+          (List.assoc "equiv_acc" counters > 0);
+        Alcotest.(check bool) "equiv_prob counted" true
+          (List.mem_assoc "equiv_prob" counters));
     Alcotest.test_case "reset zeroes every kind" `Quick (fun () ->
         Hli_core.Query.reset_query_counters ();
         List.iter

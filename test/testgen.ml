@@ -39,12 +39,17 @@ let gen_file ?(allow_zero = false) () : T.hli_file QCheck.Gen.t =
       list_size (int_range 0 4) gen_member >>= fun members ->
       return { T.class_id; kind; desc; members }
     in
+    (* probability sections (HLI3): full per-mille range including the
+       0 boundary — the v3 encoding tags the option explicitly, so
+       [Some 0] must round-trip *)
+    let gen_prob = opt (int_range 0 1000) in
     let gen_lcdd =
       int_range 1 500 >>= fun lcdd_src ->
       int_range 1 500 >>= fun lcdd_dst ->
       oneofl [ T.Dep_definite; T.Dep_maybe ] >>= fun lcdd_dep ->
       opt (int_range opt_floor 64) >>= fun lcdd_distance ->
-      return { T.lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance }
+      gen_prob >>= fun lcdd_prob ->
+      return { T.lcdd_src; lcdd_dst; lcdd_dep; lcdd_distance; lcdd_prob }
     in
     let gen_callrefmod =
       oneof
@@ -67,7 +72,8 @@ let gen_file ?(allow_zero = false) () : T.hli_file QCheck.Gen.t =
       list_size (int_range 0 4) gen_class >>= fun eq_classes ->
       list_size (int_range 0 2)
         (list_size (int_range 2 4) (int_range 1 500)
-        >>= fun alias_classes -> return { T.alias_classes })
+        >>= fun alias_classes ->
+         gen_prob >>= fun alias_prob -> return { T.alias_classes; alias_prob })
       >>= fun aliases ->
       list_size (int_range 0 4) gen_lcdd >>= fun lcdds ->
       list_size (int_range 0 2) gen_callrefmod >>= fun callrefmods ->
@@ -93,18 +99,22 @@ let gen_file ?(allow_zero = false) () : T.hli_file QCheck.Gen.t =
     list_size (int_range 0 4) gen_entry >>= fun entries -> return { T.entries })
 
 (* The HLI1 payload encoding's normalization: what a lossless value
-   becomes after a v1 write/read cycle (optional zeros collapse).  The
-   differential oracle compares against this. *)
+   becomes after a v1 write/read cycle (optional zeros collapse, and
+   the probability sections — which HLI1 cannot carry — drop to
+   [None]).  The differential oracle compares against this. *)
 let v1_normalize (f : T.hli_file) : T.hli_file =
   let norm_lcdd l =
     { l with T.lcdd_distance = (match l.T.lcdd_distance with
                                 | Some 0 -> None
-                                | d -> d) }
+                                | d -> d);
+             lcdd_prob = None }
   in
+  let norm_alias a = { a with T.alias_prob = None } in
   let norm_region r =
     {
       r with
       T.parent = (match r.T.parent with Some 0 -> None | p -> p);
+      aliases = List.map norm_alias r.T.aliases;
       lcdds = List.map norm_lcdd r.T.lcdds;
     }
   in
@@ -185,4 +195,10 @@ let gen_request : P.request QCheck.Gen.t =
                   | e :: _ -> Hli_core.Serialize.entry_to_bytes e
                   | [] -> "")
                 (gen_file ~allow_zero:true ())));
+        (* probabilistic batch (protocol v5) *)
+        (gen_unit_name >>= fun u ->
+         list_size (int_range 0 10)
+           (int_range 0 500 >>= fun a ->
+            int_range 0 500 >>= fun b -> return (a, b))
+         >>= fun pairs -> return (P.Q_prob { u; pairs }));
       ])
